@@ -1,0 +1,120 @@
+// E1 — headline bandwidth table.
+//
+// Paper claim (VisualCloud, SIGMOD'17 demo): spatiotemporal partitioning
+// plus orientation prediction reduces streaming bandwidth by up to ~60%
+// versus serving the full-quality sphere, at equal in-view quality.
+//
+// This bench regenerates the table: per video, bytes per session for each
+// approach, averaged over the canonical viewer population, plus savings vs
+// the monolithic full-quality baseline. An additional "untiled" row ingests
+// the same content with no spatial partitioning to expose the tiling
+// overhead the savings have to pay for.
+
+#include "bench_util.h"
+#include "predict/popularity.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main() {
+  Banner("E1: bandwidth per approach per video",
+         "expect: visualcloud well below monolithic; oracle below that");
+
+  auto traces = ViewerPopulation(/*seeds_per=*/5, kVideoSeconds);
+  BenchDb bench = OpenBenchDb();
+
+  std::printf("\n%-11s %-28s %14s %9s\n", "video", "approach", "bytes/session",
+              "saved");
+
+  for (const std::string& scene_name : StandardSceneNames()) {
+    auto scene = CanonicalScene(scene_name);
+    // Tiled store (the VisualCloud layout) and an untiled reference store.
+    IngestOptions tiled = CanonicalIngest();
+    CheckOk(bench.db
+                ->IngestScene(scene_name, *scene, kVideoSeconds * kFps, tiled)
+                .status(),
+            "ingest tiled");
+    IngestOptions untiled = CanonicalIngest();
+    untiled.tile_rows = 1;
+    untiled.tile_cols = 1;
+    CheckOk(bench.db
+                ->IngestScene(scene_name + "-untiled", *scene,
+                              kVideoSeconds * kFps, untiled)
+                .status(),
+            "ingest untiled");
+
+    VideoMetadata tiled_md =
+        CheckOk(bench.db->Describe(scene_name), "describe");
+    VideoMetadata untiled_md =
+        CheckOk(bench.db->Describe(scene_name + "-untiled"), "describe");
+
+    // Cross-user popularity model trained on a disjoint viewer population
+    // (different seeds than the evaluation traces).
+    PopularityModel popularity(tiled_md.tile_grid(),
+                               tiled_md.segment_duration_seconds(),
+                               tiled_md.segment_count());
+    for (const std::string& archetype : ViewerArchetypes()) {
+      for (uint64_t seed = 100; seed < 110; ++seed) {
+        auto trace_options = ArchetypeOptions(archetype, seed);
+        trace_options->duration_seconds = kVideoSeconds;
+        popularity.AddTrace(
+            CheckOk(SynthesizeTrace(*trace_options), "train trace"));
+      }
+    }
+
+    auto mean_bytes = [&](const VideoMetadata& metadata,
+                          StreamingApproach approach,
+                          const std::string& predictor,
+                          const PopularityModel* crowd = nullptr) {
+      uint64_t total = 0;
+      for (const HeadTrace& trace : traces) {
+        SessionOptions session = CanonicalSession(approach);
+        session.predictor = predictor;
+        session.popularity = crowd;
+        auto stats = SimulateSession(bench.db->storage(), metadata, trace,
+                                     session);
+        CheckOk(stats.status(), "session");
+        total += stats->bytes_sent;
+      }
+      return total / traces.size();
+    };
+
+    uint64_t untiled_full = mean_bytes(
+        untiled_md, StreamingApproach::kMonolithicFull, "static");
+    uint64_t mono =
+        mean_bytes(tiled_md, StreamingApproach::kMonolithicFull, "static");
+    struct Row {
+      std::string label;
+      uint64_t bytes;
+    };
+    std::vector<Row> rows = {
+        {"untiled full quality", untiled_full},
+        {"monolithic (all tiles hi)", mono},
+        {"uniform DASH", mean_bytes(tiled_md, StreamingApproach::kUniformDash,
+                                    "static")},
+        {"visualcloud (static)",
+         mean_bytes(tiled_md, StreamingApproach::kVisualCloud, "static")},
+        {"visualcloud (dead reckon)",
+         mean_bytes(tiled_md, StreamingApproach::kVisualCloud,
+                    "dead_reckoning")},
+        {"visualcloud (markov)",
+         mean_bytes(tiled_md, StreamingApproach::kVisualCloud, "markov")},
+        {"visualcloud (DR + crowd)",
+         mean_bytes(tiled_md, StreamingApproach::kVisualCloud,
+                    "dead_reckoning", &popularity)},
+        {"visualcloud (oracle)",
+         mean_bytes(tiled_md, StreamingApproach::kOracle, "static")},
+    };
+    for (const Row& row : rows) {
+      double saved = 100.0 * (1.0 - static_cast<double>(row.bytes) / mono);
+      std::printf("%-11s %-28s %14llu %8.0f%%\n", scene_name.c_str(),
+                  row.label.c_str(),
+                  static_cast<unsigned long long>(row.bytes), saved);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("('saved' is relative to the tiled monolithic baseline; the\n"
+              " untiled row shows what spatial partitioning itself costs)\n");
+  return 0;
+}

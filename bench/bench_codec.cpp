@@ -1,0 +1,150 @@
+// M1 — codec microbenchmark: rate-distortion table plus encode/decode
+// throughput (google-benchmark), including the motion-constrained-tiles
+// ablation.
+//
+// Expected shape: bitrate falls monotonically with QP while PSNR falls;
+// high-motion content costs more bits at equal QP; constraining motion to
+// tiles costs a few percent of bitrate (the price of independent
+// decodability); encode is slower than decode (motion search).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "image/metrics.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+namespace {
+
+std::vector<Frame> SceneFrames(const std::string& name, int count) {
+  auto scene = CanonicalScene(name);
+  return RenderScene(*scene, count);
+}
+
+EncoderOptions BaseOptions(int qp) {
+  EncoderOptions options;
+  options.width = kWidth;
+  options.height = kHeight;
+  options.gop_length = kSegmentFrames;
+  options.fps = kFps;
+  options.qp = qp;
+  return options;
+}
+
+void PrintRdTable() {
+  Banner("M1: codec rate-distortion and tiling ablation",
+         "expect: bitrate down / PSNR down as QP rises; MCTS costs a few "
+         "percent bitrate");
+  constexpr int kFrames = 30;
+
+  std::printf("\n%-11s %4s %12s %9s %9s\n", "scene", "qp", "kbit/s",
+              "PSNR(dB)", "WS-PSNR");
+  for (const std::string& scene_name : StandardSceneNames()) {
+    auto frames = SceneFrames(scene_name, kFrames);
+    for (int qp : {8, 14, 20, 28, 35, 42, 50}) {
+      auto video = CheckOk(EncodeVideo(frames, BaseOptions(qp)), "encode");
+      auto decoded = CheckOk(DecodeVideo(video), "decode");
+      double psnr = 0, ws = 0;
+      for (size_t i = 0; i < frames.size(); ++i) {
+        psnr += CheckOk(LumaPsnr(frames[i], decoded[i]), "psnr");
+        ws += CheckOk(WsPsnr(frames[i], decoded[i]), "wspsnr");
+      }
+      double kbps = video.size_bytes() * 8.0 / 1000.0 /
+                    (static_cast<double>(kFrames) / kFps);
+      std::printf("%-11s %4d %12.1f %9.2f %9.2f\n", scene_name.c_str(), qp,
+                  kbps, psnr / kFrames, ws / kFrames);
+    }
+  }
+
+  std::printf("\nMotion-constrained tile set ablation (venice, qp 28):\n");
+  std::printf("%-7s %16s %16s %9s\n", "grid", "bytes (MCTS)",
+              "bytes (free mv)", "overhead");
+  auto frames = SceneFrames("venice", kFrames);
+  for (auto [rows, cols] :
+       {std::pair{1, 1}, {2, 2}, {4, 4}, {4, 8}}) {
+    EncoderOptions constrained = BaseOptions(28);
+    constrained.tile_rows = rows;
+    constrained.tile_cols = cols;
+    constrained.motion_constrained_tiles = true;
+    EncoderOptions free_mv = constrained;
+    free_mv.motion_constrained_tiles = false;
+    auto video_c = CheckOk(EncodeVideo(frames, constrained), "encode");
+    auto video_f = CheckOk(EncodeVideo(frames, free_mv), "encode");
+    std::printf("%d x %-3d %16zu %16zu %8.1f%%\n", rows, cols,
+                video_c.size_bytes(), video_f.size_bytes(),
+                100.0 * (static_cast<double>(video_c.size_bytes()) /
+                             video_f.size_bytes() -
+                         1.0));
+  }
+  std::printf("\n");
+}
+
+// ------------------------------------------------------- google-benchmark
+
+void BM_EncodeFrame(benchmark::State& state) {
+  int qp = static_cast<int>(state.range(0));
+  auto frames = SceneFrames("venice", 8);
+  auto encoder = CheckOk(Encoder::Create(BaseOptions(qp)), "encoder");
+  size_t i = 0;
+  for (auto _ : state) {
+    auto encoded = encoder->Encode(frames[i++ % frames.size()]);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.counters["fps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EncodeFrame)->Arg(14)->Arg(28)->Arg(42);
+
+void BM_DecodeFrame(benchmark::State& state) {
+  int qp = static_cast<int>(state.range(0));
+  auto frames = SceneFrames("venice", 8);
+  auto video = CheckOk(EncodeVideo(frames, BaseOptions(qp)), "encode");
+  auto decoder = CheckOk(Decoder::Create(video.header), "decoder");
+  size_t i = 0;
+  for (auto _ : state) {
+    // Stay within one GOP chain: restart at the keyframe each lap.
+    auto decoded = decoder->Decode(Slice(video.frames[i].payload));
+    benchmark::DoNotOptimize(decoded);
+    i = (i + 1) % video.frames.size();
+  }
+  state.counters["fps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeFrame)->Arg(14)->Arg(28)->Arg(42);
+
+void BM_DecodeSingleTile(benchmark::State& state) {
+  // Partial decode of 1 tile of a 4x8-tiled stream vs the full frame:
+  // the tile-index benefit at decode time.
+  auto frames = SceneFrames("venice", 8);
+  EncoderOptions options = BaseOptions(28);
+  options.tile_rows = 4;
+  options.tile_cols = 8;
+  auto video = CheckOk(EncodeVideo(frames, options), "encode");
+  auto decoder = CheckOk(Decoder::Create(video.header), "decoder");
+  std::vector<TileId> one_tile = {TileId{1, 3}};
+  size_t i = 0;
+  for (auto _ : state) {
+    auto decoded =
+        decoder->DecodeTiles(Slice(video.frames[i].payload), one_tile);
+    benchmark::DoNotOptimize(decoded);
+    i = (i + 1) % video.frames.size();
+  }
+  state.counters["fps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeSingleTile);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintRdTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// M2 — index microbenchmark: GOP-index random access and buffer-pool
+// behaviour.
+//
+// Expected shape: for small temporal ranges the GOP index reads a tiny
+// fraction of the stream's bytes (and is proportionally faster); for a
+// whole-stream range it degenerates to the linear read. Cache hit rate
+// rises with repeated access.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "codec/encoder.h"
+#include "storage/monolithic.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+namespace {
+
+struct IndexFixtureData {
+  std::unique_ptr<Env> env;
+  GopIndex index;
+  uint32_t frame_count = 0;
+  uint64_t file_bytes = 0;
+};
+
+IndexFixtureData* BuildFixture() {
+  static IndexFixtureData* data = [] {
+    auto* fixture = new IndexFixtureData();
+    fixture->env = NewMemEnv();
+    constexpr int kSeconds = 60;
+    auto scene = CanonicalScene("venice");
+    auto frames = RenderScene(*scene, kSeconds * kFps);
+    EncoderOptions options;
+    options.width = kWidth;
+    options.height = kHeight;
+    options.gop_length = kSegmentFrames;
+    options.fps = kFps;
+    options.qp = 28;
+    auto video = CheckOk(EncodeVideo(frames, options), "encode");
+    fixture->frame_count = static_cast<uint32_t>(video.frames.size());
+    fixture->file_bytes = video.size_bytes();
+    fixture->index = CheckOk(
+        WriteMonolithicStream(fixture->env.get(), "/mono.vcc", video),
+        "write stream");
+    return fixture;
+  }();
+  return data;
+}
+
+void PrintIndexTable() {
+  Banner("M2: GOP index random access",
+         "expect: indexed reads touch ~range/duration of the bytes; "
+         "whole-range reads converge with linear scan");
+  IndexFixtureData* fixture = BuildFixture();
+  std::printf("\nstream: %u frames, %.1f KB, %zu GOPs\n",
+              fixture->frame_count, fixture->file_bytes / 1024.0,
+              fixture->index.entries.size());
+
+  struct RangeCase {
+    const char* label;
+    uint32_t first, last;
+  };
+  const RangeCase cases[] = {
+      {"1 frame   ", 433, 433},
+      {"1 second  ", 450, 464},
+      {"5 seconds ", 300, 374},
+      {"30 seconds", 150, 599},
+      {"everything", 0, 899},
+  };
+
+  std::printf("%-12s %14s %14s %9s\n", "range", "indexed bytes",
+              "linear bytes", "ratio");
+  for (const RangeCase& c : cases) {
+    auto indexed = CheckOk(
+        ReadFrameRangeIndexed(fixture->env.get(), "/mono.vcc",
+                              fixture->index, c.first, c.last),
+        "indexed read");
+    auto linear = CheckOk(ReadFrameRangeLinear(fixture->env.get(),
+                                               "/mono.vcc", c.first, c.last),
+                          "linear read");
+    std::printf("%-12s %14llu %14llu %8.1f%%\n", c.label,
+                static_cast<unsigned long long>(indexed.bytes_read),
+                static_cast<unsigned long long>(linear.bytes_read),
+                100.0 * indexed.bytes_read / linear.bytes_read);
+  }
+  std::printf("\n");
+}
+
+void BM_IndexedRangeRead(benchmark::State& state) {
+  IndexFixtureData* fixture = BuildFixture();
+  uint32_t span = static_cast<uint32_t>(state.range(0));
+  uint32_t first = 150;
+  for (auto _ : state) {
+    auto result =
+        ReadFrameRangeIndexed(fixture->env.get(), "/mono.vcc",
+                              fixture->index, first, first + span - 1);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_IndexedRangeRead)->Arg(1)->Arg(15)->Arg(150);
+
+void BM_LinearRangeRead(benchmark::State& state) {
+  IndexFixtureData* fixture = BuildFixture();
+  uint32_t span = static_cast<uint32_t>(state.range(0));
+  uint32_t first = 150;
+  for (auto _ : state) {
+    auto result = ReadFrameRangeLinear(fixture->env.get(), "/mono.vcc",
+                                       first, first + span - 1);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LinearRangeRead)->Arg(1)->Arg(15)->Arg(150);
+
+void BM_GopIndexLookup(benchmark::State& state) {
+  IndexFixtureData* fixture = BuildFixture();
+  uint32_t frame = 0;
+  for (auto _ : state) {
+    auto entry = fixture->index.Lookup(frame);
+    benchmark::DoNotOptimize(entry);
+    frame = (frame + 37) % fixture->frame_count;
+  }
+}
+BENCHMARK(BM_GopIndexLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintIndexTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

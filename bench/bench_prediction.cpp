@@ -1,0 +1,67 @@
+// E3 — prediction accuracy vs lookahead.
+//
+// The savings/quality trade hinges on predicting the viewer's orientation
+// one segment-duration ahead. This bench sweeps the prediction horizon for
+// every predictor over the canonical viewer population and reports mean
+// great-circle error and tile hit rate (would the streamed viewport have
+// covered the tile the viewer actually looked at?).
+//
+// Expected shape: error grows with lookahead for every model; motion
+// extrapolators win at short horizons; persistence/Markov degrade most
+// gracefully on saccade-heavy (frantic) viewers.
+
+#include "bench_util.h"
+#include "predict/accuracy.h"
+#include "predict/predictor.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main() {
+  Banner("E3: prediction accuracy vs lookahead",
+         "expect: error grows with horizon; predictors beat nothing "
+         "only at short horizons on erratic viewers");
+
+  const TileGrid grid(kTileRows, kTileCols);
+  const std::vector<double> lookaheads = {0.25, 0.5, 1.0, 2.0, 4.0};
+  constexpr int kSeedsPerArchetype = 10;
+  constexpr double kTraceSeconds = 90;
+
+  for (const std::string& archetype : ViewerArchetypes()) {
+    std::vector<HeadTrace> traces;
+    for (int seed = 1; seed <= kSeedsPerArchetype; ++seed) {
+      auto options = ArchetypeOptions(archetype, seed);
+      options->duration_seconds = kTraceSeconds;
+      traces.push_back(CheckOk(SynthesizeTrace(*options), "trace"));
+    }
+
+    std::printf("\narchetype '%s' (%d traces x %.0fs)\n", archetype.c_str(),
+                kSeedsPerArchetype, kTraceSeconds);
+    std::printf("%-18s", "predictor");
+    for (double lookahead : lookaheads) {
+      std::printf("  err@%-4.2gs hit@%-4.2gs", lookahead, lookahead);
+    }
+    std::printf("\n");
+
+    for (auto& predictor : AllPredictors(grid)) {
+      std::printf("%-18s", predictor->name().c_str());
+      for (double lookahead : lookaheads) {
+        double err = 0, hit = 0;
+        for (const HeadTrace& trace : traces) {
+          AccuracyOptions options;
+          options.lookahead_seconds = lookahead;
+          options.fov_yaw = DegToRad(kFovYawDeg);
+          options.fov_pitch = DegToRad(kFovPitchDeg);
+          PredictionAccuracy accuracy =
+              EvaluatePredictor(predictor.get(), trace, grid, options);
+          err += accuracy.mean_error_radians;
+          hit += accuracy.tile_hit_rate;
+        }
+        std::printf("  %7.1f°  %6.0f%%", RadToDeg(err / traces.size()),
+                    100.0 * hit / traces.size());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

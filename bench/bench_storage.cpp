@@ -1,0 +1,72 @@
+// E5 — storage overhead and ingest throughput vs quality-ladder size.
+//
+// Multi-quality storage is the price VisualCloud pays for its bandwidth
+// savings. This bench sweeps the number of ladder rungs and reports stored
+// bytes (absolute and relative to single-quality) and ingest throughput in
+// frames per second.
+//
+// Expected shape: stored bytes grow sub-linearly in rung count (lower rungs
+// are much smaller than the top rung); ingest time grows roughly linearly
+// with rungs encoded.
+
+#include "bench_util.h"
+#include "codec/quality.h"
+#include "common/stopwatch.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main() {
+  Banner("E5: storage & ingest cost vs quality ladder size",
+         "expect: stored bytes grow sub-linearly with rungs; ingest time "
+         "roughly linearly");
+
+  constexpr int kSeconds = 10;
+  BenchDb bench = OpenBenchDb();
+  auto scene = CanonicalScene("timelapse");
+
+  std::printf("\n%-7s %12s %10s %12s %12s\n", "rungs", "stored(KB)",
+              "x1-rung", "ingest(s)", "ingest fps");
+
+  double single_rung_kb = 0;
+  for (int rungs = 1; rungs <= 5; ++rungs) {
+    IngestOptions ingest = CanonicalIngest();
+    ingest.ladder = CheckOk(MakeQualityLadder(rungs, 14, 42), "ladder");
+    std::string name = "timelapse-l" + std::to_string(rungs);
+
+    Stopwatch stopwatch;
+    CheckOk(bench.db->IngestScene(name, *scene, kSeconds * kFps, ingest)
+                .status(),
+            "ingest");
+    double seconds = stopwatch.ElapsedSeconds();
+
+    VideoMetadata metadata = CheckOk(bench.db->Describe(name), "describe");
+    double kb = metadata.TotalBytes() / 1024.0;
+    if (rungs == 1) single_rung_kb = kb;
+    std::printf("%-7d %12.1f %9.2fx %12.2f %12.1f\n", rungs, kb,
+                kb / single_rung_kb, seconds, kSeconds * kFps / seconds);
+  }
+
+  // Cache behaviour while serving: repeated sessions against one video are
+  // mostly cache hits — the GOP-granularity buffer pool at work.
+  VideoMetadata metadata =
+      CheckOk(bench.db->Describe("timelapse-l3"), "describe");
+  auto traces = ViewerPopulation(/*seeds_per=*/2, kSeconds);
+  for (const HeadTrace& trace : traces) {
+    SessionOptions session =
+        CanonicalSession(StreamingApproach::kVisualCloud);
+    session.evaluate_quality = true;  // forces decode → cell reads
+    CheckOk(SimulateSession(bench.db->storage(), metadata, trace, session,
+                            scene.get())
+                .status(),
+            "session");
+  }
+  CacheStats stats = bench.db->storage()->cache_stats();
+  std::printf("\nbuffer pool during %zu serving sessions: %.0f%% hit rate "
+              "(%llu hits, %llu misses, %.1f KB resident)\n",
+              traces.size(), 100.0 * stats.HitRate(),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              stats.bytes_cached / 1024.0);
+  return 0;
+}

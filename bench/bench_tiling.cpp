@@ -1,0 +1,70 @@
+// E4 — tiling-configuration sweep.
+//
+// Finer spatial partitioning lets the server trim out-of-view bytes more
+// precisely, but every tile boundary costs compression efficiency (motion
+// constrained to the tile, prediction reset at edges, per-tile headers).
+// This bench sweeps the grid and reports stored size, full-quality session
+// bytes, predicted-session bytes, and savings — exposing where the
+// overhead starts eroding the benefit.
+
+#include "bench_util.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main() {
+  Banner("E4: savings vs tile grid",
+         "expect: savings grow then plateau with tile count while the "
+         "stored-size overhead keeps growing");
+
+  auto traces = ViewerPopulation(/*seeds_per=*/3, kVideoSeconds);
+  BenchDb bench = OpenBenchDb();
+  auto scene = CanonicalScene("venice");
+
+  struct GridCase {
+    int rows, cols;
+  };
+  const std::vector<GridCase> grids = {{1, 1}, {2, 2}, {2, 4},
+                                       {4, 4}, {4, 8}, {8, 8}};
+
+  std::printf("\n%-7s %8s %12s %14s %14s %8s\n", "grid", "tiles",
+              "stored(KB)", "mono bytes", "vcloud bytes", "saved");
+
+  for (const GridCase& grid_case : grids) {
+    IngestOptions ingest = CanonicalIngest();
+    ingest.tile_rows = grid_case.rows;
+    ingest.tile_cols = grid_case.cols;
+    std::string name = "venice-" + std::to_string(grid_case.rows) + "x" +
+                       std::to_string(grid_case.cols);
+    CheckOk(
+        bench.db->IngestScene(name, *scene, kVideoSeconds * kFps, ingest)
+            .status(),
+        "ingest");
+    VideoMetadata metadata = CheckOk(bench.db->Describe(name), "describe");
+
+    auto mean_bytes = [&](StreamingApproach approach) {
+      uint64_t total = 0;
+      for (const HeadTrace& trace : traces) {
+        SessionOptions session = CanonicalSession(approach);
+        auto stats =
+            SimulateSession(bench.db->storage(), metadata, trace, session);
+        CheckOk(stats.status(), "session");
+        total += stats->bytes_sent;
+      }
+      return total / traces.size();
+    };
+
+    uint64_t mono = mean_bytes(StreamingApproach::kMonolithicFull);
+    uint64_t vcloud = mean_bytes(StreamingApproach::kVisualCloud);
+    std::printf("%d x %-3d %8d %12.1f %14llu %14llu %7.0f%%\n",
+                grid_case.rows, grid_case.cols,
+                grid_case.rows * grid_case.cols,
+                metadata.TotalBytes() / 1024.0,
+                static_cast<unsigned long long>(mono),
+                static_cast<unsigned long long>(vcloud),
+                100.0 * (1.0 - static_cast<double>(vcloud) / mono));
+  }
+
+  std::printf("\n(1x1 cannot trim anything: 0%% saved by construction)\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+#ifndef VC_BENCH_BENCH_UTIL_H_
+#define VC_BENCH_BENCH_UTIL_H_
+
+// Shared configuration for the experiment harness. Every bench binary
+// regenerates one table/figure of EXPERIMENTS.md; they share this canonical
+// workload so numbers are comparable across experiments.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "core/session.h"
+#include "core/visualcloud.h"
+#include "image/scene.h"
+#include "predict/trace_synthesizer.h"
+
+namespace vc {
+namespace bench {
+
+/// Canonical workload parameters (kept small enough that the whole harness
+/// reruns in minutes on a laptop; shapes, not absolute numbers, are the
+/// reproduction target).
+inline constexpr int kWidth = 256;
+inline constexpr int kHeight = 128;
+inline constexpr int kFps = 15;
+inline constexpr int kSegmentFrames = 15;  // 1-second segments
+inline constexpr int kVideoSeconds = 20;
+inline constexpr int kTileRows = 6;
+inline constexpr int kTileCols = 8;
+inline constexpr double kFovYawDeg = 90.0;
+inline constexpr double kFovPitchDeg = 75.0;
+
+/// Canonical ingest options (callers may override fields).
+inline IngestOptions CanonicalIngest() {
+  IngestOptions options;
+  options.tile_rows = kTileRows;
+  options.tile_cols = kTileCols;
+  options.frames_per_segment = kSegmentFrames;
+  options.fps = kFps;
+  options.ladder = DefaultQualityLadder();
+  return options;
+}
+
+/// Canonical session options for an `approach`.
+inline SessionOptions CanonicalSession(StreamingApproach approach) {
+  SessionOptions options;
+  options.approach = approach;
+  options.network.bandwidth_bps = 50e6;  // unconstrained unless a bench sweeps
+  options.network.latency_seconds = 0.02;
+  options.viewport.fov_yaw = DegToRad(kFovYawDeg);
+  options.viewport.fov_pitch = DegToRad(kFovPitchDeg);
+  options.viewport.width = 64;
+  options.viewport.height = 48;
+  return options;
+}
+
+/// An opened in-memory VisualCloud plus the env keeping it alive.
+struct BenchDb {
+  std::unique_ptr<Env> env;
+  std::unique_ptr<VisualCloud> db;
+};
+
+inline BenchDb OpenBenchDb() {
+  BenchDb bench;
+  bench.env = NewMemEnv();
+  VisualCloudOptions options;
+  options.storage.env = bench.env.get();
+  options.storage.root = "/bench";
+  auto db = VisualCloud::Open(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "bench: open failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(1);
+  }
+  bench.db = std::move(*db);
+  return bench;
+}
+
+/// Aborts the bench with a message when `status` is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+inline T CheckOk(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Builds the canonical scene by name.
+inline std::unique_ptr<SceneGenerator> CanonicalScene(const std::string& name,
+                                                      int width = kWidth,
+                                                      int height = kHeight) {
+  SceneOptions options;
+  options.width = width;
+  options.height = height;
+  options.fps = kFps;
+  auto scene = MakeScene(name, options);
+  CheckOk(scene.status(), "scene");
+  return std::move(*scene);
+}
+
+/// The canonical viewer population: every archetype × `seeds_per` seeds,
+/// each `seconds` long.
+inline std::vector<HeadTrace> ViewerPopulation(int seeds_per, double seconds) {
+  std::vector<HeadTrace> traces;
+  for (const std::string& archetype : ViewerArchetypes()) {
+    for (int seed = 1; seed <= seeds_per; ++seed) {
+      auto options = ArchetypeOptions(archetype, seed);
+      options->duration_seconds = seconds;
+      auto trace = SynthesizeTrace(*options);
+      CheckOk(trace.status(), "trace synthesis");
+      traces.push_back(std::move(*trace));
+    }
+  }
+  return traces;
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("=======================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  %s\n", claim);
+  std::printf("=======================================================\n");
+}
+
+}  // namespace bench
+}  // namespace vc
+
+#endif  // VC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Trace explorer: synthesizes head-movement traces for each viewer
+// archetype, round-trips them through the CSV format real datasets use, and
+// scores every orientation predictor against them at several lookaheads.
+//
+//   ./build/examples/trace_explorer
+
+#include <cstdio>
+
+#include "common/env.h"
+#include "predict/accuracy.h"
+#include "predict/predictor.h"
+#include "predict/trace_synthesizer.h"
+
+int main() {
+  using namespace vc;
+
+  const TileGrid grid(4, 8);
+  auto env = NewMemEnv();
+
+  for (const std::string& archetype : ViewerArchetypes()) {
+    auto trace_options = ArchetypeOptions(archetype, /*seed=*/11);
+    trace_options->duration_seconds = 60;
+    auto trace = SynthesizeTrace(*trace_options);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "synthesis failed\n");
+      return 1;
+    }
+
+    // Round-trip through CSV, the interchange format for real HMD datasets.
+    std::string csv = trace->ToCsv();
+    std::string path = "/traces/" + archetype + ".csv";
+    env->WriteFile(path, Slice(csv));
+    auto loaded = HeadTrace::FromCsv(Slice(*env->ReadFile(path)));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "csv round trip failed\n");
+      return 1;
+    }
+
+    std::printf("archetype '%s' (%zu samples, %.0f s, %zu byte CSV)\n",
+                archetype.c_str(), loaded->size(), loaded->duration(),
+                csv.size());
+    std::printf("  %-18s", "predictor");
+    for (double lookahead : {0.5, 1.0, 2.0}) {
+      std::printf("   err@%.1fs  hit@%.1fs", lookahead, lookahead);
+    }
+    std::printf("\n");
+
+    for (auto& predictor : AllPredictors(grid)) {
+      std::printf("  %-18s", predictor->name().c_str());
+      for (double lookahead : {0.5, 1.0, 2.0}) {
+        AccuracyOptions accuracy_options;
+        accuracy_options.lookahead_seconds = lookahead;
+        PredictionAccuracy accuracy = EvaluatePredictor(
+            predictor.get(), *loaded, grid, accuracy_options);
+        std::printf("   %7.1f°   %6.0f%%",
+                    RadToDeg(accuracy.mean_error_radians),
+                    100.0 * accuracy.tile_hit_rate);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,265 @@
+// vcctl — command-line front end to a persistent VisualCloud store, the
+// scriptable equivalent of the demonstration GUI: ingest content, inspect
+// the catalog, emit manifests, and run streaming sessions with every knob
+// the demo exposed (approach, predictor, tiling, bandwidth, viewer type).
+//
+//   vcctl                                # canned end-to-end demo
+//   vcctl ingest <scene> <name> [tilesRxC] [seconds]
+//   vcctl ls
+//   vcctl describe <name>
+//   vcctl manifest <name>
+//   vcctl stream <name> [approach] [predictor] [mbps] [archetype]
+//   vcctl drop <name>
+//
+// The store lives in $VCCTL_ROOT (default /tmp/visualcloud-store).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "core/export.h"
+#include "core/session.h"
+#include "core/visualcloud.h"
+#include "streaming/manifest.h"
+#include "predict/trace_synthesizer.h"
+
+namespace {
+
+using namespace vc;
+
+std::string StoreRoot() {
+  const char* root = std::getenv("VCCTL_ROOT");
+  return root != nullptr ? root : "/tmp/visualcloud-store";
+}
+
+std::unique_ptr<VisualCloud> OpenStore() {
+  VisualCloudOptions options;
+  options.storage.root = StoreRoot();
+  auto db = VisualCloud::Open(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "vcctl: cannot open store at %s: %s\n",
+                 StoreRoot().c_str(), db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*db);
+}
+
+[[noreturn]] void Fail(const Status& status, const char* what) {
+  std::fprintf(stderr, "vcctl: %s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+int CmdIngest(VisualCloud* db, const std::string& scene_name,
+              const std::string& video_name, const std::string& tiles,
+              int seconds) {
+  SceneOptions scene_options;
+  scene_options.width = 256;
+  scene_options.height = 128;
+  auto scene = MakeScene(scene_name, scene_options);
+  if (!scene.ok()) Fail(scene.status(), "scene");
+
+  IngestOptions ingest;
+  ingest.frames_per_segment = 15;
+  ingest.fps = 15.0;
+  if (std::sscanf(tiles.c_str(), "%dx%d", &ingest.tile_rows,
+                  &ingest.tile_cols) != 2) {
+    std::fprintf(stderr, "vcctl: bad tile spec '%s' (want RxC)\n",
+                 tiles.c_str());
+    return 1;
+  }
+  auto version = db->IngestScene(video_name, **scene, seconds * 15, ingest);
+  if (!version.ok()) Fail(version.status(), "ingest");
+  auto metadata = db->Describe(video_name);
+  std::printf("ingested '%s' v%u: %ds, %s tiles, %d qualities, %.1f KB\n",
+              video_name.c_str(), *version, seconds, tiles.c_str(),
+              metadata->quality_count(), metadata->TotalBytes() / 1024.0);
+  return 0;
+}
+
+int CmdLs(VisualCloud* db) {
+  auto videos = db->List();
+  if (!videos.ok()) Fail(videos.status(), "list");
+  if (videos->empty()) {
+    std::printf("(catalog empty — try: vcctl ingest venice myvideo)\n");
+    return 0;
+  }
+  std::printf("%-20s %8s %9s %7s %7s %10s\n", "name", "version", "duration",
+              "tiles", "rungs", "stored");
+  for (const std::string& name : *videos) {
+    auto metadata = db->Describe(name);
+    if (!metadata.ok()) continue;
+    double seconds = 0;
+    for (const SegmentInfo& s : metadata->segments) {
+      seconds += s.frame_count / metadata->fps();
+    }
+    std::printf("%-20s %8u %8.1fs %3dx%-3d %7d %8.1fKB\n", name.c_str(),
+                metadata->version, seconds, int{metadata->tile_rows},
+                int{metadata->tile_cols}, metadata->quality_count(),
+                metadata->TotalBytes() / 1024.0);
+  }
+  return 0;
+}
+
+int CmdDescribe(VisualCloud* db, const std::string& name) {
+  auto metadata = db->Describe(name);
+  if (!metadata.ok()) Fail(metadata.status(), "describe");
+  std::printf("name:      %s\n", metadata->name.c_str());
+  std::printf("version:   %u%s\n", metadata->version,
+              metadata->streaming ? " (live)" : "");
+  std::printf("frames:    %dx%d @ %.2f fps, %s\n", metadata->width,
+              metadata->height, metadata->fps(),
+              metadata->spherical.stereo == StereoMode::kMono
+                  ? "mono"
+                  : "stereo top-bottom");
+  std::printf("partition: %d segments x %dx%d tiles (%d frames/segment)\n",
+              metadata->segment_count(), int{metadata->tile_rows},
+              int{metadata->tile_cols}, metadata->frames_per_segment);
+  std::printf("ladder:   ");
+  for (const QualityLevel& level : metadata->ladder) {
+    std::printf(" %s(qp%d)", level.name.c_str(), level.qp);
+  }
+  std::printf("\nstored:    %.1f KB across %zu cells\n",
+              metadata->TotalBytes() / 1024.0, metadata->cells.size());
+  auto versions = db->storage()->ListVersions(name);
+  std::printf("versions: ");
+  for (uint32_t v : *versions) std::printf(" %u", v);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdManifest(VisualCloud* db, const std::string& name) {
+  auto metadata = db->Describe(name);
+  if (!metadata.ok()) Fail(metadata.status(), "manifest");
+  std::fputs(GenerateManifest(*metadata).c_str(), stdout);
+  return 0;
+}
+
+int CmdStream(VisualCloud* db, const std::string& name,
+              const std::string& approach_name, const std::string& predictor,
+              double mbps, const std::string& archetype) {
+  auto metadata = db->Describe(name);
+  if (!metadata.ok()) Fail(metadata.status(), "stream");
+
+  StreamingApproach approach;
+  if (approach_name == "monolithic") {
+    approach = StreamingApproach::kMonolithicFull;
+  } else if (approach_name == "uniform_dash") {
+    approach = StreamingApproach::kUniformDash;
+  } else if (approach_name == "visualcloud") {
+    approach = StreamingApproach::kVisualCloud;
+  } else if (approach_name == "oracle") {
+    approach = StreamingApproach::kOracle;
+  } else {
+    std::fprintf(stderr,
+                 "vcctl: unknown approach '%s' (monolithic, uniform_dash, "
+                 "visualcloud, oracle)\n",
+                 approach_name.c_str());
+    return 1;
+  }
+
+  double seconds = 0;
+  for (const SegmentInfo& s : metadata->segments) {
+    seconds += s.frame_count / metadata->fps();
+  }
+  auto trace_options = ArchetypeOptions(archetype, /*seed=*/1);
+  if (!trace_options.ok()) Fail(trace_options.status(), "archetype");
+  trace_options->duration_seconds = seconds;
+  auto trace = SynthesizeTrace(*trace_options);
+
+  SessionOptions session;
+  session.approach = approach;
+  session.predictor = predictor;
+  session.network.bandwidth_bps = mbps * 1e6;
+  session.viewport.fov_yaw = DegToRad(90);
+  session.viewport.fov_pitch = DegToRad(75);
+  auto stats = SimulateSession(db->storage(), *metadata, *trace, session);
+  if (!stats.ok()) Fail(stats.status(), "session");
+
+  std::printf("approach:      %s (predictor %s, %s viewer, %.1f Mbps)\n",
+              stats->approach.c_str(), predictor.c_str(), archetype.c_str(),
+              mbps);
+  std::printf("bytes sent:    %llu (%.2f Mbps average)\n",
+              static_cast<unsigned long long>(stats->bytes_sent),
+              stats->MeanBitrateBps() / 1e6);
+  std::printf("startup:       %.2fs, stalls: %.2fs (%d events)\n",
+              stats->startup_delay, stats->stall_seconds,
+              stats->stall_events);
+  std::printf("in-view rung:  %.2f (0 = best of %d)\n",
+              stats->mean_inview_quality, metadata->quality_count() - 1);
+  return 0;
+}
+
+int CmdExport(VisualCloud* db, const std::string& name,
+              const std::string& path, int quality) {
+  auto metadata = db->Describe(name);
+  if (!metadata.ok()) Fail(metadata.status(), "export");
+  auto video = ExportMonolithic(db->storage(), *metadata, quality);
+  if (!video.ok()) Fail(video.status(), "export");
+  auto bytes = video->Serialize();
+  if (Status s = Env::Default()->WriteFile(path, Slice(bytes)); !s.ok()) {
+    Fail(s, "write");
+  }
+  std::printf("exported '%s' q%d to %s (%.1f KB, %zu frames, no transcode)\n",
+              name.c_str(), quality, path.c_str(), bytes.size() / 1024.0,
+              video->frames.size());
+  return 0;
+}
+
+int CmdDemo(VisualCloud* db) {
+  std::printf("== vcctl demo: ingest + compare approaches ==\n");
+  CmdIngest(db, "venice", "demo", "4x8", 10);
+  for (const char* approach :
+       {"monolithic", "uniform_dash", "visualcloud", "oracle"}) {
+    std::printf("\n-- %s --\n", approach);
+    CmdStream(db, "demo", approach, "dead_reckoning", 20.0, "explorer");
+  }
+  std::printf("\n(store kept at %s; try 'vcctl ls')\n", StoreRoot().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto db = OpenStore();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return CmdDemo(db.get());
+
+  const std::string& command = args[0];
+  auto arg = [&args](size_t i, const char* fallback) {
+    return args.size() > i ? args[i] : std::string(fallback);
+  };
+  if (command == "ingest" && args.size() >= 3) {
+    return CmdIngest(db.get(), args[1], args[2], arg(3, "4x8"),
+                     std::atoi(arg(4, "10").c_str()));
+  }
+  if (command == "ls") return CmdLs(db.get());
+  if (command == "describe" && args.size() >= 2) {
+    return CmdDescribe(db.get(), args[1]);
+  }
+  if (command == "manifest" && args.size() >= 2) {
+    return CmdManifest(db.get(), args[1]);
+  }
+  if (command == "stream" && args.size() >= 2) {
+    return CmdStream(db.get(), args[1], arg(2, "visualcloud"),
+                     arg(3, "dead_reckoning"),
+                     std::atof(arg(4, "20").c_str()), arg(5, "explorer"));
+  }
+  if (command == "export" && args.size() >= 3) {
+    return CmdExport(db.get(), args[1], args[2],
+                     std::atoi(arg(3, "0").c_str()));
+  }
+  if (command == "drop" && args.size() >= 2) {
+    if (Status s = db->Drop(args[1]); !s.ok()) Fail(s, "drop");
+    std::printf("dropped '%s'\n", args[1].c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage: vcctl [demo | ingest <scene> <name> [RxC] [sec] | ls "
+               "| describe <name> | manifest <name> | stream <name> "
+               "[approach] [predictor] [mbps] [archetype] | export <name> "
+               "<file> [quality] | drop <name>]\n");
+  return 2;
+}

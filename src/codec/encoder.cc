@@ -1,0 +1,284 @@
+#include "codec/encoder.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "codec/mb_common.h"
+#include "common/math_util.h"
+
+namespace vc {
+
+using codec_internal::kMbSize;
+
+Status EncoderOptions::Validate() const {
+  if (width <= 0 || height <= 0 || width % kMbSize != 0 ||
+      height % kMbSize != 0 || width > 65535 || height > 65535) {
+    return Status::InvalidArgument(
+        "frame dimensions must be positive multiples of 16 and < 64Ki");
+  }
+  if (fps <= 0 || fps > 600) {
+    return Status::InvalidArgument("fps must be in (0, 600]");
+  }
+  if (gop_length <= 0 || gop_length > 65535) {
+    return Status::InvalidArgument("gop_length must be in [1, 65535]");
+  }
+  if (qp < 0 || qp > kMaxQp) {
+    return Status::InvalidArgument("qp must be in [0, 51]");
+  }
+  if (tile_rows <= 0 || tile_cols <= 0 || tile_rows > 255 || tile_cols > 255) {
+    return Status::InvalidArgument("tile grid must be in [1, 255] per axis");
+  }
+  if (motion_range < 0 || motion_range > 127) {
+    return Status::InvalidArgument("motion_range must be in [0, 127]");
+  }
+  if (target_bitrate_bps < 0 || target_bitrate_bps > 1e12) {
+    return Status::InvalidArgument("target bitrate out of range");
+  }
+  return Status::OK();
+}
+
+SequenceHeader EncoderOptions::ToHeader() const {
+  SequenceHeader header;
+  header.width = static_cast<uint16_t>(width);
+  header.height = static_cast<uint16_t>(height);
+  header.fps_times_100 = static_cast<uint16_t>(std::lround(fps * 100.0));
+  header.gop_length = static_cast<uint16_t>(gop_length);
+  header.qp = static_cast<uint8_t>(qp);
+  header.tile_rows = static_cast<uint8_t>(tile_rows);
+  header.tile_cols = static_cast<uint8_t>(tile_cols);
+  header.flags = motion_constrained_tiles
+                     ? SequenceHeader::kFlagMotionConstrainedTiles
+                     : 0;
+  return header;
+}
+
+Result<std::unique_ptr<Encoder>> Encoder::Create(
+    const EncoderOptions& options) {
+  VC_RETURN_IF_ERROR(options.Validate());
+  std::vector<TileGrid::PixelRect> rects;
+  VC_ASSIGN_OR_RETURN(rects,
+                      codec_internal::ComputeTileRects(options.ToHeader()));
+  return std::unique_ptr<Encoder>(new Encoder(options, std::move(rects)));
+}
+
+Encoder::Encoder(const EncoderOptions& options,
+                 std::vector<TileGrid::PixelRect> tile_rects)
+    : options_(options),
+      tile_rects_(std::move(tile_rects)),
+      control_qp_(options.qp),
+      recon_(options.width, options.height),
+      reference_(options.width, options.height) {}
+
+Result<EncodedFrame> Encoder::Encode(const Frame& frame) {
+  if (frame.width() != options_.width || frame.height() != options_.height) {
+    return Status::InvalidArgument("frame size does not match encoder");
+  }
+  FrameType type = FrameType::kInter;
+  if (frame_index_ % options_.gop_length == 0 || force_keyframe_) {
+    type = FrameType::kIntra;
+    force_keyframe_ = false;
+  }
+  const int frame_qp = NextFrameQp();
+  const double qstep = QStepForQp(frame_qp);
+
+  // Encode each tile into its own bit buffer, then assemble the payload:
+  // [type:u8][qp:u8][tile offsets:u32 × T][tile payloads].
+  std::vector<std::vector<uint8_t>> tile_payloads(tile_rects_.size());
+  for (size_t i = 0; i < tile_rects_.size(); ++i) {
+    BitWriter writer;
+    EncodeTile(frame, tile_rects_[i], type, qstep, &writer);
+    tile_payloads[i] = writer.Finish();
+  }
+
+  EncodedFrame encoded;
+  encoded.type = type;
+  auto& out = encoded.payload;
+  out.push_back(static_cast<uint8_t>(type));
+  out.push_back(static_cast<uint8_t>(frame_qp));
+  uint32_t offset =
+      2 + static_cast<uint32_t>(tile_payloads.size()) * 4;
+  for (const auto& payload : tile_payloads) {
+    out.push_back(static_cast<uint8_t>(offset >> 24));
+    out.push_back(static_cast<uint8_t>((offset >> 16) & 0xff));
+    out.push_back(static_cast<uint8_t>((offset >> 8) & 0xff));
+    out.push_back(static_cast<uint8_t>(offset & 0xff));
+    offset += static_cast<uint32_t>(payload.size());
+  }
+  for (const auto& payload : tile_payloads) {
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+
+  if (options_.target_bitrate_bps > 0) {
+    double budget = options_.target_bitrate_bps / 8.0 / options_.fps;
+    double bytes = static_cast<double>(encoded.payload.size());
+    backlog_bytes_ += bytes - budget;
+    // Walk the control QP toward the rate target: our quantizer roughly
+    // halves the rate every +6 QP, so the log2 rate ratio is a QP error.
+    // The 1.5 gain (of 6) converges in a few frames without oscillating on
+    // the intra/inter frame-size alternation.
+    double step = Clamp(1.5 * std::log2(bytes / budget), -3.0, 3.0);
+    control_qp_ = Clamp(control_qp_ + step, 0.0,
+                        static_cast<double>(kMaxQp));
+  }
+  reference_ = recon_;
+  ++frame_index_;
+  return encoded;
+}
+
+int Encoder::NextFrameQp() const {
+  if (options_.target_bitrate_bps <= 0) return options_.qp;
+  // A leaky-bucket term on top of the adaptive control QP repays any
+  // accumulated surplus or backlog.
+  double budget = options_.target_bitrate_bps / 8.0 / options_.fps;
+  double buffer_delta = Clamp(0.2 * backlog_bytes_ / budget, -6.0, 6.0);
+  return Clamp(static_cast<int>(std::lround(control_qp_ + buffer_delta)), 0,
+               kMaxQp);
+}
+
+void Encoder::EncodeTile(const Frame& frame, const TileGrid::PixelRect& rect,
+                         FrameType type, double qstep, BitWriter* writer) {
+  using namespace codec_internal;  // NOLINT
+
+  const MotionBounds luma_bounds =
+      options_.motion_constrained_tiles
+          ? BoundsOf(rect)
+          : MotionBounds{0, 0, options_.width, options_.height};
+  const MotionBounds tile_bounds = BoundsOf(rect);
+  const MotionBounds chroma_tile_bounds = ChromaBounds(tile_bounds);
+
+  PlaneView cur_y{frame.y_plane().data(), frame.width()};
+  PlaneView cur_u{frame.u_plane().data(), frame.chroma_width()};
+  PlaneView cur_v{frame.v_plane().data(), frame.chroma_width()};
+  PlaneView ref_y{reference_.y_plane().data(), reference_.width()};
+  PlaneView ref_u{reference_.u_plane().data(), reference_.chroma_width()};
+  PlaneView ref_v{reference_.v_plane().data(), reference_.chroma_width()};
+  PlaneView rec_y{recon_.y_plane().data(), recon_.width()};
+  PlaneView rec_u{recon_.u_plane().data(), recon_.chroma_width()};
+  PlaneView rec_v{recon_.v_plane().data(), recon_.chroma_width()};
+
+  // Lagrangian weight for motion-vector rate in the mode decision.
+  const double lambda = qstep;
+
+  uint8_t pred_y[kMbSize * kMbSize];
+  uint8_t pred_c[kBlockSize * kBlockSize];
+  uint8_t recon_y[kMbSize * kMbSize];
+  uint8_t recon_c[kBlockSize * kBlockSize];
+
+  for (int ly = rect.y; ly < rect.y + rect.height; ly += kMbSize) {
+    for (int lx = rect.x; lx < rect.x + rect.width; lx += kMbSize) {
+      // --- Mode decision ------------------------------------------------
+      bool use_inter = false;
+      MotionVector mv{0, 0};
+      if (type == FrameType::kInter) {
+        uint32_t inter_sad = 0;
+        mv = SearchMotion(cur_y, ref_y, lx, ly, kMbSize, options_.motion_range,
+                          luma_bounds, &inter_sad);
+        double inter_cost =
+            inter_sad +
+            lambda * (2.0 * (std::abs(mv.dx) + std::abs(mv.dy)) + 2.0);
+
+        // Cheap intra estimate: DC prediction SAD plus a fixed mode cost.
+        IntraPredict(rec_y, lx, ly, kMbSize, IntraMode::kDc, tile_bounds,
+                     pred_y);
+        uint32_t intra_sad = 0;
+        for (int row = 0; row < kMbSize; ++row) {
+          for (int col = 0; col < kMbSize; ++col) {
+            intra_sad += static_cast<uint32_t>(std::abs(
+                int{frame.y(lx + col, ly + row)} -
+                int{pred_y[row * kMbSize + col]}));
+          }
+        }
+        double intra_cost = intra_sad + lambda * 3.0;
+        use_inter = inter_cost <= intra_cost;
+      }
+
+      IntraMode intra_mode = IntraMode::kDc;
+      if (!use_inter) {
+        // Pick the best available intra mode by prediction SAD.
+        IntraNeighbors neighbors = IntraAvailability(lx, ly, tile_bounds);
+        double best_cost = -1.0;
+        for (IntraMode mode :
+             {IntraMode::kDc, IntraMode::kHorizontal, IntraMode::kVertical}) {
+          if (mode == IntraMode::kHorizontal && !neighbors.left) continue;
+          if (mode == IntraMode::kVertical && !neighbors.top) continue;
+          IntraPredict(rec_y, lx, ly, kMbSize, mode, tile_bounds, pred_y);
+          uint32_t sad = 0;
+          for (int row = 0; row < kMbSize; ++row) {
+            for (int col = 0; col < kMbSize; ++col) {
+              sad += static_cast<uint32_t>(
+                  std::abs(int{frame.y(lx + col, ly + row)} -
+                           int{pred_y[row * kMbSize + col]}));
+            }
+          }
+          if (best_cost < 0 || sad < best_cost) {
+            best_cost = sad;
+            intra_mode = mode;
+          }
+        }
+      }
+
+      // --- Syntax -------------------------------------------------------
+      if (type == FrameType::kInter) {
+        writer->WriteBit(use_inter);
+      }
+      if (use_inter) {
+        writer->WriteSE(mv.dx);
+        writer->WriteSE(mv.dy);
+      } else {
+        writer->WriteBits(static_cast<uint64_t>(intra_mode), 2);
+      }
+
+      // --- Luma ----------------------------------------------------------
+      if (use_inter) {
+        CompensateBlock(ref_y, lx, ly, mv, kMbSize, pred_y);
+      } else {
+        IntraPredict(rec_y, lx, ly, kMbSize, intra_mode, tile_bounds, pred_y);
+      }
+      EncodeResidual(cur_y.data + static_cast<size_t>(ly) * cur_y.stride + lx,
+                     cur_y.stride, pred_y, kMbSize, qstep, writer, recon_y);
+      StoreBlock(recon_y, kMbSize, recon_.y_plane().data(), recon_.width(), lx,
+                 ly);
+
+      // --- Chroma ---------------------------------------------------------
+      const int cx = lx / 2, cy = ly / 2;
+      MotionVector cmv = ChromaVector(mv);
+      for (int plane = 0; plane < 2; ++plane) {
+        PlaneView cur_c = plane == 0 ? cur_u : cur_v;
+        PlaneView ref_c = plane == 0 ? ref_u : ref_v;
+        PlaneView rec_c = plane == 0 ? rec_u : rec_v;
+        if (use_inter) {
+          CompensateBlock(ref_c, cx, cy, cmv, kBlockSize, pred_c);
+        } else {
+          // Chroma always uses DC intra: cheap and close to optimal for
+          // 4:2:0 chroma statistics.
+          IntraPredict(rec_c, cx, cy, kBlockSize, IntraMode::kDc,
+                       chroma_tile_bounds, pred_c);
+        }
+        EncodeResidual(
+            cur_c.data + static_cast<size_t>(cy) * cur_c.stride + cx,
+            cur_c.stride, pred_c, kBlockSize, qstep, writer, recon_c);
+        uint8_t* plane_data = plane == 0 ? recon_.u_plane().data()
+                                         : recon_.v_plane().data();
+        StoreBlock(recon_c, kBlockSize, plane_data, recon_.chroma_width(), cx,
+                   cy);
+      }
+    }
+  }
+}
+
+Result<EncodedVideo> EncodeVideo(const std::vector<Frame>& frames,
+                                 const EncoderOptions& options) {
+  std::unique_ptr<Encoder> encoder;
+  VC_ASSIGN_OR_RETURN(encoder, Encoder::Create(options));
+  EncodedVideo video;
+  video.header = encoder->header();
+  video.frames.reserve(frames.size());
+  for (const Frame& frame : frames) {
+    EncodedFrame encoded;
+    VC_ASSIGN_OR_RETURN(encoded, encoder->Encode(frame));
+    video.frames.push_back(std::move(encoded));
+  }
+  return video;
+}
+
+}  // namespace vc

@@ -1,0 +1,98 @@
+#ifndef VC_CODEC_ENCODER_H_
+#define VC_CODEC_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "codec/bitstream.h"
+#include "common/bitio.h"
+#include "common/result.h"
+#include "geometry/tile_grid.h"
+#include "image/frame.h"
+
+namespace vc {
+
+/// \brief Configuration of an encoding session.
+///
+/// VisualCloud's quality ladder is expressed purely through `qp`: every
+/// (segment, tile) cell is encoded once per ladder rung with a different QP.
+struct EncoderOptions {
+  int width = 0;        ///< Luma width; multiple of 16, ≤ 65535.
+  int height = 0;       ///< Luma height; multiple of 16.
+  double fps = 30.0;    ///< Nominal frame rate (metadata only).
+  int gop_length = 30;  ///< Keyframe interval; the temporal partition unit.
+  int qp = 28;          ///< Base quantization parameter, 0 (best) … 51.
+  /// When positive, enables rate control: the encoder adapts the per-frame
+  /// QP around `qp` (carried in each frame header) so the output rate
+  /// tracks this target. Zero means constant-QP encoding.
+  double target_bitrate_bps = 0.0;
+  int tile_rows = 1;    ///< In-stream spatial tiling.
+  int tile_cols = 1;
+  int motion_range = 16;  ///< Max |mv| component, luma pixels.
+  /// Motion-constrained tile sets: when true (the default, and what the
+  /// tiled-streaming design requires), inter prediction never references
+  /// pixels outside the current tile, so each tile is independently
+  /// decodable across the whole GOP.
+  bool motion_constrained_tiles = true;
+
+  /// Validates all fields; returns InvalidArgument with a reason otherwise.
+  Status Validate() const;
+
+  /// The corresponding stream header.
+  SequenceHeader ToHeader() const;
+};
+
+/// \brief Single-stream video encoder (I/P GOP structure, tiled).
+///
+/// Stateful: frames must be supplied in presentation order. The first frame
+/// of every GOP (and any frame after ForceKeyframe) is coded intra.
+class Encoder {
+ public:
+  /// Validates `options` and creates an encoder.
+  static Result<std::unique_ptr<Encoder>> Create(const EncoderOptions& options);
+
+  /// Encodes the next frame. `frame` dimensions must match the options.
+  Result<EncodedFrame> Encode(const Frame& frame);
+
+  /// Forces the next frame to be a keyframe (used at segment boundaries of
+  /// live ingest).
+  void ForceKeyframe() { force_keyframe_ = true; }
+
+  /// The encoder-side reconstruction of the last encoded frame — exactly
+  /// what a decoder will produce, useful for quality instrumentation
+  /// without a decode pass.
+  const Frame& reconstructed() const { return recon_; }
+
+  const EncoderOptions& options() const { return options_; }
+  SequenceHeader header() const { return options_.ToHeader(); }
+
+  /// Number of frames encoded so far.
+  int frame_count() const { return frame_index_; }
+
+ private:
+  Encoder(const EncoderOptions& options,
+          std::vector<TileGrid::PixelRect> tile_rects);
+
+  /// Picks the QP for the next frame (rate control when enabled).
+  int NextFrameQp() const;
+
+  void EncodeTile(const Frame& frame, const TileGrid::PixelRect& rect,
+                  FrameType type, double qstep, BitWriter* writer);
+
+  const EncoderOptions options_;
+  const std::vector<TileGrid::PixelRect> tile_rects_;
+  double backlog_bytes_ = 0.0;  ///< rate-control virtual buffer fullness
+  double control_qp_ = 0.0;     ///< adaptive rate-control QP state
+  Frame recon_;      ///< reconstruction of the current frame (in progress)
+  Frame reference_;  ///< reconstruction of the previous frame
+  int frame_index_ = 0;
+  bool force_keyframe_ = false;
+};
+
+/// Convenience: encodes `frames` as one stream with `options`.
+Result<EncodedVideo> EncodeVideo(const std::vector<Frame>& frames,
+                                 const EncoderOptions& options);
+
+}  // namespace vc
+
+#endif  // VC_CODEC_ENCODER_H_

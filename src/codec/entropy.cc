@@ -1,0 +1,54 @@
+#include "codec/entropy.h"
+
+namespace vc {
+
+void EncodeLevelBlock(const LevelBlock& levels, BitWriter* writer) {
+  const auto& zigzag = ZigzagOrder();
+  int nonzero = 0;
+  for (int i = 0; i < kBlockPixels; ++i) {
+    if (levels[zigzag[i]] != 0) ++nonzero;
+  }
+  writer->WriteUE(static_cast<uint64_t>(nonzero));
+  int run = 0;
+  int remaining = nonzero;
+  for (int i = 0; i < kBlockPixels && remaining > 0; ++i) {
+    int32_t level = levels[zigzag[i]];
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    writer->WriteUE(static_cast<uint64_t>(run));
+    writer->WriteSE(level);
+    run = 0;
+    --remaining;
+  }
+}
+
+Status DecodeLevelBlock(BitReader* reader, LevelBlock* levels) {
+  levels->fill(0);
+  const auto& zigzag = ZigzagOrder();
+  uint64_t nonzero;
+  VC_RETURN_IF_ERROR(reader->ReadUE(&nonzero));
+  if (nonzero > kBlockPixels) {
+    return Status::Corruption("level block claims too many coefficients");
+  }
+  int position = 0;
+  for (uint64_t i = 0; i < nonzero; ++i) {
+    uint64_t run;
+    VC_RETURN_IF_ERROR(reader->ReadUE(&run));
+    int64_t level;
+    VC_RETURN_IF_ERROR(reader->ReadSE(&level));
+    position += static_cast<int>(run);
+    if (position >= kBlockPixels || level == 0) {
+      return Status::Corruption("level block run past end");
+    }
+    if (level < INT32_MIN || level > INT32_MAX) {
+      return Status::Corruption("level magnitude out of range");
+    }
+    (*levels)[zigzag[position]] = static_cast<int32_t>(level);
+    ++position;
+  }
+  return Status::OK();
+}
+
+}  // namespace vc

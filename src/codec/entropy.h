@@ -1,0 +1,21 @@
+#ifndef VC_CODEC_ENTROPY_H_
+#define VC_CODEC_ENTROPY_H_
+
+#include "codec/transform.h"
+#include "common/bitio.h"
+#include "common/status.h"
+
+namespace vc {
+
+/// Entropy-codes one quantized 8×8 block: the number of nonzero levels
+/// followed by (zero-run, level) pairs in zigzag order, all Exp-Golomb coded.
+/// All-zero blocks cost a single UE(0) — typical for well-predicted inter
+/// content, which is where the bitrate savings come from.
+void EncodeLevelBlock(const LevelBlock& levels, BitWriter* writer);
+
+/// Decodes one block written by EncodeLevelBlock.
+Status DecodeLevelBlock(BitReader* reader, LevelBlock* levels);
+
+}  // namespace vc
+
+#endif  // VC_CODEC_ENTROPY_H_

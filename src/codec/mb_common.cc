@@ -1,0 +1,145 @@
+#include "codec/mb_common.h"
+
+#include "codec/entropy.h"
+#include "common/math_util.h"
+
+namespace vc {
+namespace codec_internal {
+
+Result<std::vector<TileGrid::PixelRect>> ComputeTileRects(
+    const SequenceHeader& header) {
+  TileGrid grid = header.tile_grid();
+  std::vector<TileGrid::PixelRect> rects;
+  rects.reserve(grid.tile_count());
+  for (int i = 0; i < grid.tile_count(); ++i) {
+    TileGrid::PixelRect rect;
+    VC_ASSIGN_OR_RETURN(
+        rect, grid.PixelRectOf(grid.TileAt(i), header.width, header.height,
+                               kMbSize));
+    if (rect.width < kMbSize || rect.height < kMbSize) {
+      return Status::InvalidArgument("tile smaller than one macroblock");
+    }
+    rects.push_back(rect);
+  }
+  return rects;
+}
+
+IntraNeighbors IntraAvailability(int x, int y, const MotionBounds& bounds) {
+  IntraNeighbors n;
+  n.top = y > bounds.y0;
+  n.left = x > bounds.x0;
+  return n;
+}
+
+void IntraPredict(PlaneView plane, int x, int y, int size, IntraMode mode,
+                  const MotionBounds& bounds, uint8_t* out) {
+  IntraNeighbors n = IntraAvailability(x, y, bounds);
+  const uint8_t* top_row =
+      n.top ? plane.data + static_cast<size_t>(y - 1) * plane.stride + x
+            : nullptr;
+  switch (mode) {
+    case IntraMode::kVertical: {
+      for (int row = 0; row < size; ++row) {
+        for (int col = 0; col < size; ++col) {
+          out[row * size + col] = top_row[col];
+        }
+      }
+      return;
+    }
+    case IntraMode::kHorizontal: {
+      for (int row = 0; row < size; ++row) {
+        uint8_t left =
+            plane.data[static_cast<size_t>(y + row) * plane.stride + (x - 1)];
+        for (int col = 0; col < size; ++col) {
+          out[row * size + col] = left;
+        }
+      }
+      return;
+    }
+    case IntraMode::kDc: {
+      int sum = 0;
+      int count = 0;
+      if (n.top) {
+        for (int col = 0; col < size; ++col) sum += top_row[col];
+        count += size;
+      }
+      if (n.left) {
+        for (int row = 0; row < size; ++row) {
+          sum += plane.data[static_cast<size_t>(y + row) * plane.stride +
+                            (x - 1)];
+        }
+        count += size;
+      }
+      uint8_t dc =
+          count > 0 ? static_cast<uint8_t>((sum + count / 2) / count) : 128;
+      for (int i = 0; i < size * size; ++i) out[i] = dc;
+      return;
+    }
+  }
+}
+
+void EncodeResidual(const uint8_t* cur, int cur_stride, const uint8_t* pred,
+                    int size, double qstep, BitWriter* writer,
+                    uint8_t* recon) {
+  ResidualBlock residual;
+  CoeffBlock coeffs;
+  LevelBlock levels;
+  for (int by = 0; by < size; by += kBlockSize) {
+    for (int bx = 0; bx < size; bx += kBlockSize) {
+      for (int row = 0; row < kBlockSize; ++row) {
+        for (int col = 0; col < kBlockSize; ++col) {
+          int c = cur[static_cast<size_t>(by + row) * cur_stride + bx + col];
+          int p = pred[(by + row) * size + bx + col];
+          residual[row * kBlockSize + col] = static_cast<int16_t>(c - p);
+        }
+      }
+      ForwardDct(residual, &coeffs);
+      Quantize(coeffs, qstep, &levels);
+      EncodeLevelBlock(levels, writer);
+      // Reconstruct exactly as the decoder will.
+      Dequantize(levels, qstep, &coeffs);
+      InverseDct(coeffs, &residual);
+      for (int row = 0; row < kBlockSize; ++row) {
+        for (int col = 0; col < kBlockSize; ++col) {
+          int p = pred[(by + row) * size + bx + col];
+          recon[(by + row) * size + bx + col] =
+              ClampPixel(p + residual[row * kBlockSize + col]);
+        }
+      }
+    }
+  }
+}
+
+Status DecodeResidual(BitReader* reader, const uint8_t* pred, int size,
+                      double qstep, uint8_t* recon) {
+  ResidualBlock residual;
+  CoeffBlock coeffs;
+  LevelBlock levels;
+  for (int by = 0; by < size; by += kBlockSize) {
+    for (int bx = 0; bx < size; bx += kBlockSize) {
+      VC_RETURN_IF_ERROR(DecodeLevelBlock(reader, &levels));
+      Dequantize(levels, qstep, &coeffs);
+      InverseDct(coeffs, &residual);
+      for (int row = 0; row < kBlockSize; ++row) {
+        for (int col = 0; col < kBlockSize; ++col) {
+          int p = pred[(by + row) * size + bx + col];
+          recon[(by + row) * size + bx + col] =
+              ClampPixel(p + residual[row * kBlockSize + col]);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void StoreBlock(const uint8_t* block, int size, uint8_t* plane, int stride,
+                int x, int y) {
+  for (int row = 0; row < size; ++row) {
+    uint8_t* dst = plane + static_cast<size_t>(y + row) * stride + x;
+    const uint8_t* src = block + static_cast<size_t>(row) * size;
+    for (int col = 0; col < size; ++col) dst[col] = src[col];
+  }
+}
+
+}  // namespace codec_internal
+}  // namespace vc

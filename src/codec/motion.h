@@ -1,0 +1,57 @@
+#ifndef VC_CODEC_MOTION_H_
+#define VC_CODEC_MOTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vc {
+
+/// An integer-pel motion vector (luma pixels).
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  bool operator==(const MotionVector& o) const {
+    return dx == o.dx && dy == o.dy;
+  }
+};
+
+/// \brief A rectangular region a motion-compensated reference block must stay
+/// inside. With motion-constrained tile sets this is the tile rectangle, so
+/// each tile of a predicted frame depends only on the same tile of the
+/// reference frame and remains independently decodable.
+struct MotionBounds {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;  ///< exclusive
+  int y1 = 0;  ///< exclusive
+};
+
+/// \brief View over one image plane for motion search/compensation.
+struct PlaneView {
+  const uint8_t* data = nullptr;
+  int stride = 0;
+};
+
+/// Sum of absolute differences between a `size`×`size` block of `a` at
+/// (ax, ay) and of `b` at (bx, by). Caller guarantees bounds.
+uint32_t BlockSad(PlaneView a, int ax, int ay, PlaneView b, int bx, int by,
+                  int size);
+
+/// Diamond-pattern motion search for the `size`×`size` block of `current` at
+/// (x, y) against `reference`, starting from (0, 0), with displacement at
+/// most `range` in each axis and the referenced block constrained to
+/// `bounds`. Returns the best vector and writes its SAD to `*best_sad`.
+MotionVector SearchMotion(PlaneView current, PlaneView reference, int x, int y,
+                          int size, int range, const MotionBounds& bounds,
+                          uint32_t* best_sad);
+
+/// Copies the motion-compensated `size`×`size` reference block at
+/// (x + mv.dx, y + mv.dy) into `out` (row-major, `size` stride). The source
+/// block must lie within `bounds` (guaranteed by SearchMotion / decoder
+/// validation).
+void CompensateBlock(PlaneView reference, int x, int y, MotionVector mv,
+                     int size, uint8_t* out);
+
+}  // namespace vc
+
+#endif  // VC_CODEC_MOTION_H_

@@ -1,0 +1,37 @@
+#ifndef VC_CODEC_QUALITY_H_
+#define VC_CODEC_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vc {
+
+/// \brief One rung of VisualCloud's quality ladder: a name plus the
+/// quantization parameter used to encode it. Lower QP = higher quality and
+/// higher bitrate.
+struct QualityLevel {
+  std::string name;
+  int qp = 28;
+
+  bool operator==(const QualityLevel& o) const {
+    return name == o.name && qp == o.qp;
+  }
+};
+
+/// A quality ladder, ordered from highest quality (index 0) to lowest.
+using QualityLadder = std::vector<QualityLevel>;
+
+/// The default three-rung ladder used throughout the benchmarks.
+inline QualityLadder DefaultQualityLadder() {
+  return {{"high", 14}, {"medium", 28}, {"low", 42}};
+}
+
+/// Builds an `count`-rung ladder spanning QP [hi_qp, lo_qp] evenly.
+Result<QualityLadder> MakeQualityLadder(int count, int hi_qp = 14,
+                                        int lo_qp = 42);
+
+}  // namespace vc
+
+#endif  // VC_CODEC_QUALITY_H_

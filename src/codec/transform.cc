@@ -1,0 +1,132 @@
+#include "codec/transform.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace vc {
+
+namespace {
+
+/// Precomputed DCT-II basis: basis[u][x] = c(u) cos((2x+1)uπ/16).
+struct DctBasis {
+  double value[kBlockSize][kBlockSize];
+  DctBasis() {
+    for (int u = 0; u < kBlockSize; ++u) {
+      double cu = u == 0 ? std::sqrt(1.0 / kBlockSize)
+                         : std::sqrt(2.0 / kBlockSize);
+      for (int x = 0; x < kBlockSize; ++x) {
+        value[u][x] = cu * std::cos((2 * x + 1) * u * kPi / (2 * kBlockSize));
+      }
+    }
+  }
+};
+
+const DctBasis& Basis() {
+  static const DctBasis basis;
+  return basis;
+}
+
+}  // namespace
+
+void ForwardDct(const ResidualBlock& input, CoeffBlock* output) {
+  const auto& b = Basis();
+  // Separable: rows then columns.
+  double temp[kBlockSize][kBlockSize];
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int u = 0; u < kBlockSize; ++u) {
+      double sum = 0;
+      for (int x = 0; x < kBlockSize; ++x) {
+        sum += input[y * kBlockSize + x] * b.value[u][x];
+      }
+      temp[y][u] = sum;
+    }
+  }
+  for (int u = 0; u < kBlockSize; ++u) {
+    for (int v = 0; v < kBlockSize; ++v) {
+      double sum = 0;
+      for (int y = 0; y < kBlockSize; ++y) {
+        sum += temp[y][u] * b.value[v][y];
+      }
+      (*output)[v * kBlockSize + u] = sum;
+    }
+  }
+}
+
+void InverseDct(const CoeffBlock& input, ResidualBlock* output) {
+  const auto& b = Basis();
+  double temp[kBlockSize][kBlockSize];
+  for (int v = 0; v < kBlockSize; ++v) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      double sum = 0;
+      for (int u = 0; u < kBlockSize; ++u) {
+        sum += input[v * kBlockSize + u] * b.value[u][x];
+      }
+      temp[v][x] = sum;
+    }
+  }
+  for (int x = 0; x < kBlockSize; ++x) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      double sum = 0;
+      for (int v = 0; v < kBlockSize; ++v) {
+        sum += temp[v][x] * b.value[v][y];
+      }
+      double rounded = std::lround(sum);
+      (*output)[y * kBlockSize + x] =
+          static_cast<int16_t>(Clamp(rounded, -32768.0, 32767.0));
+    }
+  }
+}
+
+double QStepForQp(int qp) {
+  qp = Clamp(qp, 0, kMaxQp);
+  return 0.625 * std::pow(2.0, qp / 6.0);
+}
+
+void Quantize(const CoeffBlock& coeffs, double qstep, LevelBlock* levels) {
+  // Dead-zone quantizer: slightly biases toward zero, which measurably
+  // improves rate at equal distortion for residual statistics.
+  constexpr double kDeadZone = 0.4;
+  for (int i = 0; i < kBlockPixels; ++i) {
+    double scaled = coeffs[i] / qstep;
+    double magnitude = std::floor(std::abs(scaled) + kDeadZone);
+    (*levels)[i] = static_cast<int32_t>(scaled < 0 ? -magnitude : magnitude);
+  }
+}
+
+void Dequantize(const LevelBlock& levels, double qstep, CoeffBlock* coeffs) {
+  for (int i = 0; i < kBlockPixels; ++i) {
+    (*coeffs)[i] = levels[i] * qstep;
+  }
+}
+
+const std::array<int, kBlockPixels>& ZigzagOrder() {
+  static const std::array<int, kBlockPixels> order = [] {
+    std::array<int, kBlockPixels> o{};
+    int index = 0;
+    for (int s = 0; s < 2 * kBlockSize - 1; ++s) {
+      if (s % 2 == 0) {
+        // Walk up-right on even anti-diagonals.
+        int y = s < kBlockSize ? s : kBlockSize - 1;
+        int x = s - y;
+        while (y >= 0 && x < kBlockSize) {
+          o[index++] = y * kBlockSize + x;
+          --y;
+          ++x;
+        }
+      } else {
+        int x = s < kBlockSize ? s : kBlockSize - 1;
+        int y = s - x;
+        while (x >= 0 && y < kBlockSize) {
+          o[index++] = y * kBlockSize + x;
+          --x;
+          ++y;
+        }
+      }
+    }
+    return o;
+  }();
+  return order;
+}
+
+}  // namespace vc

@@ -1,0 +1,45 @@
+#ifndef VC_CODEC_TRANSFORM_H_
+#define VC_CODEC_TRANSFORM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace vc {
+
+/// Residual/coefficient block edge length used throughout the codec.
+inline constexpr int kBlockSize = 8;
+inline constexpr int kBlockPixels = kBlockSize * kBlockSize;
+
+/// A spatial-domain residual block (row-major).
+using ResidualBlock = std::array<int16_t, kBlockPixels>;
+/// A frequency-domain coefficient block (row-major before zigzag).
+using CoeffBlock = std::array<double, kBlockPixels>;
+/// A quantized-level block (what the entropy coder sees).
+using LevelBlock = std::array<int32_t, kBlockPixels>;
+
+/// Forward 8×8 orthonormal DCT-II of a residual block.
+void ForwardDct(const ResidualBlock& input, CoeffBlock* output);
+
+/// Inverse 8×8 DCT (exact inverse of ForwardDct up to float rounding).
+void InverseDct(const CoeffBlock& input, ResidualBlock* output);
+
+/// Quantizer step size for quantization parameter `qp` ∈ [0, 51]; doubles
+/// every 6 QP steps, as in H.264/HEVC.
+double QStepForQp(int qp);
+
+/// Maximum supported quantization parameter.
+inline constexpr int kMaxQp = 51;
+
+/// Quantizes DCT coefficients to integer levels with a dead-zone.
+void Quantize(const CoeffBlock& coeffs, double qstep, LevelBlock* levels);
+
+/// Reconstructs coefficients from levels. Bit-exact mirror of the decoder.
+void Dequantize(const LevelBlock& levels, double qstep, CoeffBlock* coeffs);
+
+/// Zigzag scan order for an 8×8 block (index i gives the raster position of
+/// the i-th scanned coefficient).
+const std::array<int, kBlockPixels>& ZigzagOrder();
+
+}  // namespace vc
+
+#endif  // VC_CODEC_TRANSFORM_H_

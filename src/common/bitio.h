@@ -1,0 +1,98 @@
+#ifndef VC_COMMON_BITIO_H_
+#define VC_COMMON_BITIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace vc {
+
+/// \brief MSB-first bit writer used by the codec entropy layer and the
+/// container format.
+///
+/// Supports fixed-width fields, unsigned/signed Exp-Golomb codes (as in
+/// H.264/HEVC), and byte alignment. The writer owns its output buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `bits` bits of `value`, MSB first. `bits` in [0, 64].
+  void WriteBits(uint64_t value, int bits);
+
+  /// Appends a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  /// Appends an order-0 unsigned Exp-Golomb code for `value`.
+  void WriteUE(uint64_t value);
+
+  /// Appends a signed Exp-Golomb code (0, 1, -1, 2, -2, ... mapping).
+  void WriteSE(int64_t value);
+
+  /// Pads with zero bits to the next byte boundary.
+  void AlignToByte();
+
+  /// Appends raw bytes; requires byte alignment.
+  void WriteBytes(Slice bytes);
+
+  /// Number of bits written so far.
+  size_t bit_count() const { return buffer_.size() * 8 - spare_bits_; }
+
+  /// Whether the stream is at a byte boundary.
+  bool aligned() const { return spare_bits_ == 0; }
+
+  /// Finalizes (byte-aligns) and returns the encoded bytes.
+  std::vector<uint8_t> Finish();
+
+  /// Read-only view of the bytes written so far (call after AlignToByte()).
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  int spare_bits_ = 0;  // unused low bits in buffer_.back()
+};
+
+/// \brief MSB-first bit reader matching BitWriter.
+///
+/// All read methods return Status-checked results: reading past the end of
+/// the underlying slice yields `OutOfRange` without UB, which the codec
+/// surfaces as `Corruption`.
+class BitReader {
+ public:
+  explicit BitReader(Slice data) : data_(data) {}
+
+  /// Reads `bits` bits (MSB-first) into `*value`. `bits` in [0, 64].
+  Status ReadBits(int bits, uint64_t* value);
+
+  /// Reads a single bit.
+  Status ReadBit(bool* bit);
+
+  /// Reads an order-0 unsigned Exp-Golomb code.
+  Status ReadUE(uint64_t* value);
+
+  /// Reads a signed Exp-Golomb code.
+  Status ReadSE(int64_t* value);
+
+  /// Skips forward to the next byte boundary.
+  void AlignToByte();
+
+  /// Reads `count` raw bytes; requires byte alignment.
+  Status ReadBytes(size_t count, std::vector<uint8_t>* out);
+
+  /// Bits consumed so far.
+  size_t bit_position() const { return bit_pos_; }
+
+  /// Bits remaining.
+  size_t bits_remaining() const { return data_.size() * 8 - bit_pos_; }
+
+  bool aligned() const { return bit_pos_ % 8 == 0; }
+
+ private:
+  Slice data_;
+  size_t bit_pos_ = 0;
+};
+
+}  // namespace vc
+
+#endif  // VC_COMMON_BITIO_H_

@@ -1,0 +1,31 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace vc {
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(Slice data, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < data.size(); ++i) {
+    c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace vc

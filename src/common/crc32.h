@@ -1,0 +1,17 @@
+#ifndef VC_COMMON_CRC32_H_
+#define VC_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace vc {
+
+/// Computes the CRC-32 (IEEE 802.3 polynomial) of `data`, continuing from
+/// `seed` (pass 0 for a fresh checksum). Used to detect corruption in stored
+/// segments and container boxes.
+uint32_t Crc32(Slice data, uint32_t seed = 0);
+
+}  // namespace vc
+
+#endif  // VC_COMMON_CRC32_H_

@@ -1,0 +1,45 @@
+#ifndef VC_COMMON_LOGGING_H_
+#define VC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vc {
+
+/// Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the process-wide minimum severity that is emitted (default kWarn so
+/// benchmarks stay quiet). Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define VC_LOG(level)                                        \
+  if (::vc::LogLevel::level < ::vc::GetLogLevel()) {         \
+  } else                                                     \
+    ::vc::internal::LogMessage(::vc::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace vc
+
+#endif  // VC_COMMON_LOGGING_H_

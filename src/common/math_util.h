@@ -1,0 +1,39 @@
+#ifndef VC_COMMON_MATH_UTIL_H_
+#define VC_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace vc {
+
+/// Pi to double precision; the geometry and prediction layers use this single
+/// definition so wrap-around arithmetic is consistent everywhere.
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Clamps `v` to [lo, hi].
+template <typename T>
+constexpr T Clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Clamps to the uint8_t pixel range.
+inline uint8_t ClampPixel(int v) {
+  return static_cast<uint8_t>(Clamp(v, 0, 255));
+}
+
+/// Rounds `v` up to the next multiple of `align` (align > 0).
+constexpr int AlignUp(int v, int align) {
+  return (v + align - 1) / align * align;
+}
+
+/// Integer ceiling division for non-negative operands.
+constexpr int CeilDiv(int a, int b) { return (a + b - 1) / b; }
+
+/// Degrees/radians conversions.
+constexpr double DegToRad(double deg) { return deg * kPi / 180.0; }
+constexpr double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+}  // namespace vc
+
+#endif  // VC_COMMON_MATH_UTIL_H_

@@ -1,0 +1,78 @@
+#ifndef VC_COMMON_RESULT_H_
+#define VC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vc {
+
+/// \brief A `Status` or a value of type `T`.
+///
+/// Like `arrow::Result<T>`: either holds an OK status and a value, or a
+/// non-OK status and no value. Accessing the value of an errored result is a
+/// programming error (checked by assertion in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a `Result` expression, otherwise assigns its value
+/// to `lhs`. `lhs` must be an already-declared lvalue.
+#define VC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define VC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define VC_ASSIGN_OR_RETURN_NAME(a, b) VC_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define VC_ASSIGN_OR_RETURN(lhs, expr) \
+  VC_ASSIGN_OR_RETURN_IMPL(            \
+      VC_ASSIGN_OR_RETURN_NAME(_vc_result_, __COUNTER__), lhs, expr)
+
+}  // namespace vc
+
+#endif  // VC_COMMON_RESULT_H_

@@ -1,0 +1,66 @@
+#ifndef VC_COMMON_SLICE_H_
+#define VC_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vc {
+
+/// \brief A non-owning view over a byte range (rocksdb::Slice analogue).
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  explicit Slice(const std::string& s) : Slice(s.data(), s.size()) {}
+  explicit Slice(const std::vector<uint8_t>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first `n` bytes from the view.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns a sub-view `[offset, offset + length)`.
+  Slice Subslice(size_t offset, size_t length) const {
+    assert(offset + length <= size_);
+    return Slice(data_ + offset, length);
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::vector<uint8_t> ToVector() const {
+    return std::vector<uint8_t>(data_, data_ + size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace vc
+
+#endif  // VC_COMMON_SLICE_H_

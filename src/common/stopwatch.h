@@ -1,0 +1,32 @@
+#ifndef VC_COMMON_STOPWATCH_H_
+#define VC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vc {
+
+/// \brief Monotonic wall-clock stopwatch used by benchmarks and the ingest
+/// pipeline's throughput accounting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vc
+
+#endif  // VC_COMMON_STOPWATCH_H_

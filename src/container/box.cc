@@ -1,0 +1,105 @@
+#include "container/box.h"
+
+namespace vc {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  out->push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+Result<std::vector<Box>> ParseBoxesImpl(Slice data, int depth) {
+  if (depth > 16) return Status::Corruption("box nesting too deep");
+  std::vector<Box> boxes;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (pos + 8 > data.size()) {
+      return Status::Corruption("truncated box header");
+    }
+    uint32_t size = GetU32(data.data() + pos);
+    uint32_t type = GetU32(data.data() + pos + 4);
+    pos += 8;
+    if (pos + size > data.size()) {
+      return Status::Corruption("box '" + FourCcToString(type) +
+                                "' overruns its parent");
+    }
+    Box box(type);
+    Slice payload = data.Subslice(pos, size);
+    if (IsContainerBoxType(type)) {
+      VC_ASSIGN_OR_RETURN(box.children, ParseBoxesImpl(payload, depth + 1));
+    } else {
+      box.data = payload.ToVector();
+    }
+    boxes.push_back(std::move(box));
+    pos += size;
+  }
+  return boxes;
+}
+
+}  // namespace
+
+std::string FourCcToString(uint32_t fourcc) {
+  std::string s(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    char c = static_cast<char>((fourcc >> (24 - 8 * i)) & 0xff);
+    s[i] = (c >= 32 && c < 127) ? c : '?';
+  }
+  return s;
+}
+
+bool IsContainerBoxType(uint32_t type) {
+  return type == kBoxVcmf || type == kBoxTrak;
+}
+
+size_t Box::SerializedSize() const {
+  size_t payload = data.size();
+  for (const Box& child : children) payload += child.SerializedSize();
+  return 8 + payload;
+}
+
+void Box::AppendTo(std::vector<uint8_t>* out) const {
+  PutU32(out, static_cast<uint32_t>(SerializedSize() - 8));
+  PutU32(out, type);
+  out->insert(out->end(), data.begin(), data.end());
+  for (const Box& child : children) child.AppendTo(out);
+}
+
+Result<const Box*> Box::FindChild(uint32_t child_type) const {
+  for (const Box& child : children) {
+    if (child.type == child_type) return &child;
+  }
+  return Status::NotFound("no '" + FourCcToString(child_type) + "' child in '" +
+                          FourCcToString(type) + "'");
+}
+
+std::vector<const Box*> Box::FindChildren(uint32_t child_type) const {
+  std::vector<const Box*> found;
+  for (const Box& child : children) {
+    if (child.type == child_type) found.push_back(&child);
+  }
+  return found;
+}
+
+std::vector<uint8_t> SerializeBoxes(const std::vector<Box>& boxes) {
+  std::vector<uint8_t> out;
+  size_t total = 0;
+  for (const Box& box : boxes) total += box.SerializedSize();
+  out.reserve(total);
+  for (const Box& box : boxes) box.AppendTo(&out);
+  return out;
+}
+
+Result<std::vector<Box>> ParseBoxes(Slice data) {
+  return ParseBoxesImpl(data, 0);
+}
+
+}  // namespace vc

@@ -1,0 +1,80 @@
+#ifndef VC_CONTAINER_BOX_H_
+#define VC_CONTAINER_BOX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace vc {
+
+/// \brief A node of the VCMF container format.
+///
+/// VCMF is an MP4-style box ("atom") format: every box is
+/// `[u32 size][4cc type][payload]`, where `size` counts the payload bytes.
+/// Boxes whose type is in the known container set carry child boxes as their
+/// payload; all other boxes carry opaque data that the typed wrappers in
+/// boxes.h interpret. Mirrors the role MP4's moov/trak/stss/sv3d atoms play
+/// for VisualCloud: all stored metadata is expressed in this format.
+struct Box {
+  uint32_t type = 0;               ///< FourCC, e.g. MakeFourCc("vchd").
+  std::vector<uint8_t> data;       ///< Leaf payload (empty for containers).
+  std::vector<Box> children;       ///< Children (containers only).
+
+  Box() = default;
+  explicit Box(uint32_t t) : type(t) {}
+  Box(uint32_t t, std::vector<uint8_t> payload)
+      : type(t), data(std::move(payload)) {}
+
+  /// Total serialized size (header + payload, recursively).
+  size_t SerializedSize() const;
+
+  /// Appends the serialized box to `out`.
+  void AppendTo(std::vector<uint8_t>* out) const;
+
+  /// First child of the given type, or NotFound.
+  Result<const Box*> FindChild(uint32_t type) const;
+
+  /// All children of the given type.
+  std::vector<const Box*> FindChildren(uint32_t type) const;
+};
+
+/// Builds a FourCC from a 4-character literal, e.g. MakeFourCc("trak").
+constexpr uint32_t MakeFourCc(const char (&s)[5]) {
+  return (static_cast<uint32_t>(static_cast<uint8_t>(s[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(s[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(s[2])) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(s[3]));
+}
+
+/// FourCC rendered as 4 characters (for diagnostics).
+std::string FourCcToString(uint32_t fourcc);
+
+/// Registered container box types (children instead of leaf payload).
+bool IsContainerBoxType(uint32_t type);
+
+/// Serializes a forest of top-level boxes to a flat byte vector.
+std::vector<uint8_t> SerializeBoxes(const std::vector<Box>& boxes);
+
+/// Parses a forest of boxes; validates sizes and nesting.
+Result<std::vector<Box>> ParseBoxes(Slice data);
+
+// Box types used by VisualCloud (see boxes.h for the typed wrappers).
+inline constexpr uint32_t kBoxVcmf = MakeFourCc("vcmf");  // file root
+inline constexpr uint32_t kBoxTrak = MakeFourCc("trak");  // one media stream
+inline constexpr uint32_t kBoxVchd = MakeFourCc("vchd");  // video header
+inline constexpr uint32_t kBoxTkhd = MakeFourCc("tkhd");  // track header
+inline constexpr uint32_t kBoxGidx = MakeFourCc("gidx");  // GOP index (stss)
+inline constexpr uint32_t kBoxSv3d = MakeFourCc("sv3d");  // spherical meta
+inline constexpr uint32_t kBoxQlad = MakeFourCc("qlad");  // quality ladder
+inline constexpr uint32_t kBoxSgix = MakeFourCc("sgix");  // segment index
+inline constexpr uint32_t kBoxCidx = MakeFourCc("cidx");  // cell index
+inline constexpr uint32_t kBoxName = MakeFourCc("name");  // UTF-8 string
+inline constexpr uint32_t kBoxDref = MakeFourCc("dref");  // data reference
+inline constexpr uint32_t kBoxMdat = MakeFourCc("mdat");  // embedded media
+
+}  // namespace vc
+
+#endif  // VC_CONTAINER_BOX_H_

@@ -1,0 +1,280 @@
+#include "container/boxes.h"
+
+namespace vc {
+
+namespace {
+
+/// Minimal big-endian byte packer/unpacker for leaf payloads.
+class Packer {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U16(uint16_t v) {
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+    out_.push_back(static_cast<uint8_t>(v & 0xff));
+  }
+  void U32(uint32_t v) {
+    U16(static_cast<uint16_t>(v >> 16));
+    U16(static_cast<uint16_t>(v & 0xffff));
+  }
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v >> 32));
+    U32(static_cast<uint32_t>(v & 0xffffffff));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+class Unpacker {
+ public:
+  explicit Unpacker(Slice data) : data_(data) {}
+
+  Status U8(uint8_t* v) {
+    VC_RETURN_IF_ERROR(Need(1));
+    *v = data_[pos_++];
+    return Status::OK();
+  }
+  Status U16(uint16_t* v) {
+    VC_RETURN_IF_ERROR(Need(2));
+    *v = static_cast<uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return Status::OK();
+  }
+  Status U32(uint32_t* v) {
+    uint16_t hi, lo;
+    VC_RETURN_IF_ERROR(U16(&hi));
+    VC_RETURN_IF_ERROR(U16(&lo));
+    *v = (static_cast<uint32_t>(hi) << 16) | lo;
+    return Status::OK();
+  }
+  Status U64(uint64_t* v) {
+    uint32_t hi, lo;
+    VC_RETURN_IF_ERROR(U32(&hi));
+    VC_RETURN_IF_ERROR(U32(&lo));
+    *v = (static_cast<uint64_t>(hi) << 32) | lo;
+    return Status::OK();
+  }
+  Status Str(std::string* s) {
+    uint32_t length;
+    VC_RETURN_IF_ERROR(U32(&length));
+    VC_RETURN_IF_ERROR(Need(length));
+    s->assign(reinterpret_cast<const char*>(data_.data() + pos_), length);
+    pos_ += length;
+    return Status::OK();
+  }
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::Corruption("box payload truncated");
+    }
+    return Status::OK();
+  }
+
+  Slice data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Box TrackHeader::ToBox() const {
+  Packer p;
+  p.U32(track_id);
+  p.U32(codec);
+  p.U16(width);
+  p.U16(height);
+  p.U16(fps_times_100);
+  p.U32(frame_count);
+  return Box(kBoxTkhd, p.Take());
+}
+
+Result<TrackHeader> TrackHeader::FromBox(const Box& box) {
+  if (box.type != kBoxTkhd) return Status::InvalidArgument("not a tkhd box");
+  Unpacker u{Slice(box.data)};
+  TrackHeader h;
+  VC_RETURN_IF_ERROR(u.U32(&h.track_id));
+  VC_RETURN_IF_ERROR(u.U32(&h.codec));
+  VC_RETURN_IF_ERROR(u.U16(&h.width));
+  VC_RETURN_IF_ERROR(u.U16(&h.height));
+  VC_RETURN_IF_ERROR(u.U16(&h.fps_times_100));
+  VC_RETURN_IF_ERROR(u.U32(&h.frame_count));
+  return h;
+}
+
+Result<GopIndexEntry> GopIndex::Lookup(uint32_t frame) const {
+  for (const GopIndexEntry& entry : entries) {
+    if (frame >= entry.first_frame &&
+        frame < entry.first_frame + entry.frame_count) {
+      return entry;
+    }
+  }
+  return Status::NotFound("frame " + std::to_string(frame) +
+                          " not covered by GOP index");
+}
+
+Box GopIndex::ToBox() const {
+  Packer p;
+  p.U32(static_cast<uint32_t>(entries.size()));
+  for (const GopIndexEntry& e : entries) {
+    p.U32(e.first_frame);
+    p.U32(e.frame_count);
+    p.U64(e.byte_offset);
+    p.U64(e.byte_length);
+  }
+  return Box(kBoxGidx, p.Take());
+}
+
+Result<GopIndex> GopIndex::FromBox(const Box& box) {
+  if (box.type != kBoxGidx) return Status::InvalidArgument("not a gidx box");
+  Unpacker u{Slice(box.data)};
+  uint32_t count;
+  VC_RETURN_IF_ERROR(u.U32(&count));
+  // 24 bytes per entry: a count beyond the payload is corruption, and must
+  // be rejected *before* reserving memory for it.
+  if (static_cast<uint64_t>(count) * 24 + 4 > box.data.size()) {
+    return Status::Corruption("gidx count exceeds payload");
+  }
+  GopIndex index;
+  index.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GopIndexEntry e;
+    VC_RETURN_IF_ERROR(u.U32(&e.first_frame));
+    VC_RETURN_IF_ERROR(u.U32(&e.frame_count));
+    VC_RETURN_IF_ERROR(u.U64(&e.byte_offset));
+    VC_RETURN_IF_ERROR(u.U64(&e.byte_length));
+    index.entries.push_back(e);
+  }
+  if (!u.Done()) return Status::Corruption("trailing bytes in gidx");
+  return index;
+}
+
+Box SphericalMeta::ToBox() const {
+  Packer p;
+  p.U8(static_cast<uint8_t>(projection));
+  p.U8(static_cast<uint8_t>(stereo));
+  return Box(kBoxSv3d, p.Take());
+}
+
+Result<SphericalMeta> SphericalMeta::FromBox(const Box& box) {
+  if (box.type != kBoxSv3d) return Status::InvalidArgument("not an sv3d box");
+  Unpacker u{Slice(box.data)};
+  uint8_t projection, stereo;
+  VC_RETURN_IF_ERROR(u.U8(&projection));
+  VC_RETURN_IF_ERROR(u.U8(&stereo));
+  if (projection > 0 || stereo > 1) {
+    return Status::NotSupported("unknown spherical layout");
+  }
+  SphericalMeta meta;
+  meta.projection = static_cast<Projection>(projection);
+  meta.stereo = static_cast<StereoMode>(stereo);
+  return meta;
+}
+
+Box QualityLadderToBox(const QualityLadder& ladder) {
+  Packer p;
+  p.U32(static_cast<uint32_t>(ladder.size()));
+  for (const QualityLevel& level : ladder) {
+    p.U8(static_cast<uint8_t>(level.qp));
+    p.Str(level.name);
+  }
+  return Box(kBoxQlad, p.Take());
+}
+
+Result<QualityLadder> QualityLadderFromBox(const Box& box) {
+  if (box.type != kBoxQlad) return Status::InvalidArgument("not a qlad box");
+  Unpacker u{Slice(box.data)};
+  uint32_t count;
+  VC_RETURN_IF_ERROR(u.U32(&count));
+  if (count == 0 || count > 16) {
+    return Status::Corruption("quality ladder size out of range");
+  }
+  QualityLadder ladder;
+  for (uint32_t i = 0; i < count; ++i) {
+    QualityLevel level;
+    uint8_t qp;
+    VC_RETURN_IF_ERROR(u.U8(&qp));
+    VC_RETURN_IF_ERROR(u.Str(&level.name));
+    level.qp = qp;
+    ladder.push_back(std::move(level));
+  }
+  return ladder;
+}
+
+Box SegmentIndexToBox(const std::vector<SegmentInfo>& segments) {
+  Packer p;
+  p.U32(static_cast<uint32_t>(segments.size()));
+  for (const SegmentInfo& s : segments) {
+    p.U32(s.start_frame);
+    p.U32(s.frame_count);
+  }
+  return Box(kBoxSgix, p.Take());
+}
+
+Result<std::vector<SegmentInfo>> SegmentIndexFromBox(const Box& box) {
+  if (box.type != kBoxSgix) return Status::InvalidArgument("not an sgix box");
+  Unpacker u{Slice(box.data)};
+  uint32_t count;
+  VC_RETURN_IF_ERROR(u.U32(&count));
+  if (static_cast<uint64_t>(count) * 8 + 4 > box.data.size()) {
+    return Status::Corruption("sgix count exceeds payload");
+  }
+  std::vector<SegmentInfo> segments;
+  segments.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SegmentInfo s;
+    VC_RETURN_IF_ERROR(u.U32(&s.start_frame));
+    VC_RETURN_IF_ERROR(u.U32(&s.frame_count));
+    segments.push_back(s);
+  }
+  return segments;
+}
+
+Box CellIndexToBox(const std::vector<CellInfo>& cells) {
+  Packer p;
+  p.U32(static_cast<uint32_t>(cells.size()));
+  for (const CellInfo& c : cells) {
+    p.U64(c.byte_size);
+    p.U32(c.crc32);
+  }
+  return Box(kBoxCidx, p.Take());
+}
+
+Result<std::vector<CellInfo>> CellIndexFromBox(const Box& box) {
+  if (box.type != kBoxCidx) return Status::InvalidArgument("not a cidx box");
+  Unpacker u{Slice(box.data)};
+  uint32_t count;
+  VC_RETURN_IF_ERROR(u.U32(&count));
+  if (static_cast<uint64_t>(count) * 12 + 4 > box.data.size()) {
+    return Status::Corruption("cidx count exceeds payload");
+  }
+  std::vector<CellInfo> cells;
+  cells.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CellInfo c;
+    VC_RETURN_IF_ERROR(u.U64(&c.byte_size));
+    VC_RETURN_IF_ERROR(u.U32(&c.crc32));
+    cells.push_back(c);
+  }
+  return cells;
+}
+
+Box StringToBox(uint32_t type, const std::string& value) {
+  Packer p;
+  p.Str(value);
+  return Box(type, p.Take());
+}
+
+Result<std::string> StringFromBox(const Box& box) {
+  Unpacker u{Slice(box.data)};
+  std::string s;
+  VC_RETURN_IF_ERROR(u.Str(&s));
+  return s;
+}
+
+}  // namespace vc

@@ -1,0 +1,86 @@
+#ifndef VC_CONTAINER_BOXES_H_
+#define VC_CONTAINER_BOXES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/quality.h"
+#include "container/box.h"
+
+namespace vc {
+
+/// \brief Typed payload of a `tkhd` box: describes one media stream.
+struct TrackHeader {
+  uint32_t track_id = 0;
+  uint32_t codec = MakeFourCc("vcc1");
+  uint16_t width = 0;
+  uint16_t height = 0;
+  uint16_t fps_times_100 = 3000;
+  uint32_t frame_count = 0;
+
+  Box ToBox() const;
+  static Result<TrackHeader> FromBox(const Box& box);
+};
+
+/// \brief One entry of a `gidx` GOP index (the stss analogue): where a GOP's
+/// bytes live inside the media stream, enabling random access without a
+/// linear scan.
+struct GopIndexEntry {
+  uint32_t first_frame = 0;   ///< Presentation index of the GOP's keyframe.
+  uint32_t frame_count = 0;   ///< Frames in this GOP.
+  uint64_t byte_offset = 0;   ///< Offset of the GOP's first frame record.
+  uint64_t byte_length = 0;   ///< Total bytes of the GOP's frame records.
+};
+
+struct GopIndex {
+  std::vector<GopIndexEntry> entries;
+
+  /// The entry containing presentation frame `frame`, or NotFound.
+  Result<GopIndexEntry> Lookup(uint32_t frame) const;
+
+  Box ToBox() const;
+  static Result<GopIndex> FromBox(const Box& box);
+};
+
+/// Spherical projection identifiers for `sv3d` (Spherical Video V2 analog).
+enum class Projection : uint8_t { kEquirectangular = 0 };
+enum class StereoMode : uint8_t { kMono = 0, kStereoTopBottom = 1 };
+
+/// \brief Typed payload of an `sv3d` box.
+struct SphericalMeta {
+  Projection projection = Projection::kEquirectangular;
+  StereoMode stereo = StereoMode::kMono;
+
+  Box ToBox() const;
+  static Result<SphericalMeta> FromBox(const Box& box);
+};
+
+/// \brief `qlad`: the quality ladder a video was ingested with.
+Box QualityLadderToBox(const QualityLadder& ladder);
+Result<QualityLadder> QualityLadderFromBox(const Box& box);
+
+/// \brief One entry of an `sgix` segment index: the temporal partitioning.
+struct SegmentInfo {
+  uint32_t start_frame = 0;
+  uint32_t frame_count = 0;
+};
+Box SegmentIndexToBox(const std::vector<SegmentInfo>& segments);
+Result<std::vector<SegmentInfo>> SegmentIndexFromBox(const Box& box);
+
+/// \brief One entry of a `cidx` cell index: size and checksum of one
+/// (segment, tile, quality) encoded stream, in segment-major order.
+struct CellInfo {
+  uint64_t byte_size = 0;
+  uint32_t crc32 = 0;
+};
+Box CellIndexToBox(const std::vector<CellInfo>& cells);
+Result<std::vector<CellInfo>> CellIndexFromBox(const Box& box);
+
+/// `name` / `dref`: UTF-8 string payloads.
+Box StringToBox(uint32_t type, const std::string& value);
+Result<std::string> StringFromBox(const Box& box);
+
+}  // namespace vc
+
+#endif  // VC_CONTAINER_BOXES_H_

@@ -1,0 +1,36 @@
+#include "core/export.h"
+
+#include "codec/homomorphic.h"
+
+namespace vc {
+
+Result<EncodedVideo> ExportMonolithic(StorageManager* storage,
+                                      const VideoMetadata& metadata,
+                                      int quality) {
+  if (quality < 0 || quality >= metadata.quality_count()) {
+    return Status::InvalidArgument("quality rung out of range");
+  }
+  std::vector<EncodedVideo> segments;
+  segments.reserve(metadata.segment_count());
+  for (int segment = 0; segment < metadata.segment_count(); ++segment) {
+    std::vector<EncodedVideo> tiles;
+    tiles.reserve(metadata.tile_count());
+    for (int tile = 0; tile < metadata.tile_count(); ++tile) {
+      LruCache::Value bytes;
+      VC_ASSIGN_OR_RETURN(bytes,
+                          storage->ReadCell(metadata, segment, tile, quality));
+      EncodedVideo cell;
+      VC_ASSIGN_OR_RETURN(cell, EncodedVideo::Parse(Slice(*bytes)));
+      tiles.push_back(std::move(cell));
+    }
+    EncodedVideo merged;
+    VC_ASSIGN_OR_RETURN(
+        merged, MergeTileStreams(tiles, metadata.tile_rows,
+                                 metadata.tile_cols, metadata.width,
+                                 metadata.height));
+    segments.push_back(std::move(merged));
+  }
+  return ConcatenateStreams(segments);
+}
+
+}  // namespace vc

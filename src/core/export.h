@@ -1,0 +1,21 @@
+#ifndef VC_CORE_EXPORT_H_
+#define VC_CORE_EXPORT_H_
+
+#include "codec/bitstream.h"
+#include "storage/storage_manager.h"
+
+namespace vc {
+
+/// \brief Exports a stored video as one monolithic tiled stream at a single
+/// ladder rung, **without any transcode**: per segment the stored tile
+/// cells are byte-merged (homomorphic TILEUNION) and the segments are then
+/// concatenated (GOPUNION). The result decodes to exactly the pixels the
+/// stored cells decode to, and is what a server hands to a client that
+/// wants a plain download instead of an adaptive session.
+Result<EncodedVideo> ExportMonolithic(StorageManager* storage,
+                                      const VideoMetadata& metadata,
+                                      int quality);
+
+}  // namespace vc
+
+#endif  // VC_CORE_EXPORT_H_

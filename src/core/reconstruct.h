@@ -1,0 +1,34 @@
+#ifndef VC_CORE_RECONSTRUCT_H_
+#define VC_CORE_RECONSTRUCT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "image/frame.h"
+#include "storage/storage_manager.h"
+
+namespace vc {
+
+/// Per-tile ladder rungs chosen for one segment (tile-index order;
+/// values index `metadata.ladder`, 0 = best).
+using TileQualityPlan = std::vector<int>;
+
+/// \brief Decodes one whole segment at the given per-tile qualities and
+/// reassembles the panorama frames. This is what the VisualCloud client
+/// does with the cells the server streamed: decode each tile's stream and
+/// paste it into the equirectangular canvas.
+Result<std::vector<Frame>> ReconstructSegment(StorageManager* storage,
+                                              const VideoMetadata& metadata,
+                                              int segment,
+                                              const TileQualityPlan& plan);
+
+/// Reconstructs panorama frames [first, last] (presentation indices,
+/// inclusive) of the stored video, all tiles at ladder rung `quality`.
+Result<std::vector<Frame>> ReconstructFrameRange(StorageManager* storage,
+                                                 const VideoMetadata& metadata,
+                                                 int first, int last,
+                                                 int quality);
+
+}  // namespace vc
+
+#endif  // VC_CORE_RECONSTRUCT_H_

@@ -1,0 +1,283 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/metrics.h"
+#include "predict/predictor.h"
+#include "streaming/adaptation.h"
+
+namespace vc {
+
+std::string ApproachName(StreamingApproach approach) {
+  switch (approach) {
+    case StreamingApproach::kMonolithicFull:
+      return "monolithic";
+    case StreamingApproach::kUniformDash:
+      return "uniform_dash";
+    case StreamingApproach::kVisualCloud:
+      return "visualcloud";
+    case StreamingApproach::kOracle:
+      return "oracle";
+  }
+  return "unknown";
+}
+
+Status SessionOptions::Validate() const {
+  VC_RETURN_IF_ERROR(network.Validate());
+  if (viewport_margin < 0 || viewport_margin > kPi) {
+    return Status::InvalidArgument("viewport margin out of range");
+  }
+  if (high_quality < 0) {
+    return Status::InvalidArgument("high_quality must be >= 0");
+  }
+  if (budget_safety <= 0 || budget_safety > 1.0) {
+    return Status::InvalidArgument("budget_safety must be in (0, 1]");
+  }
+  if (feed_rate_hz <= 0 || feed_rate_hz > 1000) {
+    return Status::InvalidArgument("feed rate out of range");
+  }
+  if (eval_frames_per_segment < 1) {
+    return Status::InvalidArgument("eval_frames_per_segment must be >= 1");
+  }
+  if (buffer_ahead_seconds < 0 || buffer_ahead_seconds > 3600) {
+    return Status::InvalidArgument("buffer_ahead_seconds out of range");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Plans the segment's per-tile qualities for the chosen approach.
+TileQualityPlan PlanSegment(const VideoMetadata& metadata, int segment,
+                            StreamingApproach approach,
+                            const Orientation& predicted,
+                            const SessionOptions& options,
+                            double budget_bytes) {
+  const int lowest = metadata.quality_count() - 1;
+  switch (approach) {
+    case StreamingApproach::kMonolithicFull: {
+      return TileQualityPlan(metadata.tile_count(),
+                             Clamp(options.high_quality, 0, lowest));
+    }
+    case StreamingApproach::kUniformDash: {
+      std::vector<uint64_t> sizes(metadata.quality_count());
+      for (int q = 0; q < metadata.quality_count(); ++q) {
+        sizes[q] = metadata.SegmentBytesAtQuality(segment, q);
+      }
+      int quality = options.adaptive
+                        ? PickQualityForBudget(sizes, budget_bytes)
+                        : Clamp(options.high_quality, 0, lowest);
+      return TileQualityPlan(metadata.tile_count(), quality);
+    }
+    case StreamingApproach::kVisualCloud:
+    case StreamingApproach::kOracle: {
+      AssignmentOptions assignment;
+      assignment.fov_yaw = options.viewport.fov_yaw;
+      assignment.fov_pitch = options.viewport.fov_pitch;
+      // The oracle knows exactly where the viewer looks; no margin needed.
+      assignment.margin =
+          approach == StreamingApproach::kOracle ? 0.0 : options.viewport_margin;
+      assignment.high_quality = options.high_quality;
+      TileQualityPlan plan =
+          AssignTileQualities(metadata, predicted, assignment);
+      if (approach == StreamingApproach::kVisualCloud &&
+          options.popularity != nullptr &&
+          options.popularity->grid() == metadata.tile_grid()) {
+        int high = Clamp(options.high_quality, 0, lowest);
+        for (const TileId& tile : options.popularity->PopularTiles(
+                 segment, options.popularity_coverage)) {
+          plan[metadata.tile_grid().IndexOf(tile)] = high;
+        }
+      }
+      if (options.adaptive) {
+        plan = FitPlanToBudget(metadata, segment, std::move(plan), predicted,
+                               budget_bytes);
+      }
+      return plan;
+    }
+  }
+  return TileQualityPlan(metadata.tile_count(), lowest);
+}
+
+}  // namespace
+
+Result<SessionStats> SimulateSession(StorageManager* storage,
+                                     const VideoMetadata& metadata,
+                                     const HeadTrace& trace,
+                                     const SessionOptions& options,
+                                     const SceneGenerator* reference) {
+  VC_RETURN_IF_ERROR(options.Validate());
+  if (metadata.segment_count() == 0) {
+    return Status::InvalidArgument("video has no segments");
+  }
+  if (trace.empty()) {
+    return Status::InvalidArgument("head trace is empty");
+  }
+  if (options.evaluate_quality && reference == nullptr) {
+    return Status::InvalidArgument(
+        "evaluate_quality requires a reference scene");
+  }
+  if (options.high_quality >= metadata.quality_count()) {
+    return Status::InvalidArgument("high_quality beyond ladder");
+  }
+
+  NetworkSimulator network = *NetworkSimulator::Create(options.network);
+  ThroughputEstimator estimator(0.3, options.network.bandwidth_bps * 0.5);
+  std::unique_ptr<Predictor> predictor;
+  VC_ASSIGN_OR_RETURN(predictor,
+                      MakePredictor(options.predictor, metadata.tile_grid()));
+
+  const double segment_seconds = metadata.segment_duration_seconds();
+  const double fps = metadata.fps();
+  const double media_duration =
+      metadata.segments.back().start_frame / fps +
+      metadata.segments.back().frame_count / fps;
+
+  SessionStats stats;
+  stats.approach = ApproachName(options.approach);
+  stats.segments = metadata.segment_count();
+  stats.duration_seconds = media_duration;
+
+  double wall = 0.0;
+  double play_start = -1.0;
+  double stall_total = 0.0;
+  double last_fed = -1.0;
+  double psnr_sum = 0.0;
+  double psnr_min = kInfinitePsnr;
+  double inview_quality_sum = 0.0;
+  int inview_quality_count = 0;
+  const double feed_dt = 1.0 / options.feed_rate_hz;
+
+  for (int segment = 0; segment < metadata.segment_count(); ++segment) {
+    const SegmentInfo& info = metadata.segments[segment];
+    const double media_start = info.start_frame / fps;
+    const double media_mid = media_start + info.frame_count / fps / 2.0;
+
+    // Pacing: hold the download until the segment is within the client's
+    // buffer target of its playback deadline.
+    if (play_start >= 0.0) {
+      double earliest = play_start + stall_total + media_start -
+                        options.buffer_ahead_seconds;
+      if (earliest > wall) wall = earliest;
+    }
+
+    // The viewer's current playback position: media advances in wall time
+    // once playback starts, minus accumulated stalls.
+    double media_now = 0.0;
+    if (play_start >= 0.0) {
+      media_now = Clamp(wall - play_start - stall_total, 0.0, media_duration);
+    }
+
+    // Feed the predictor every orientation report up to "now".
+    for (double t = (last_fed < 0 ? 0.0 : last_fed + feed_dt); t <= media_now;
+         t += feed_dt) {
+      predictor->Observe(t, trace.At(t));
+      last_fed = t;
+    }
+
+    // Orientation the plan is built around.
+    Orientation predicted;
+    if (options.approach == StreamingApproach::kOracle) {
+      predicted = trace.At(media_mid);
+    } else {
+      double lookahead = std::max(0.0, media_mid - media_now);
+      predicted = predictor->Predict(lookahead);
+    }
+
+    double budget =
+        SegmentByteBudget(estimator.estimate_bps(), segment_seconds,
+                          options.budget_safety);
+    TileQualityPlan plan;
+    if (options.approach == StreamingApproach::kOracle) {
+      // The oracle knows the viewer's entire path through the segment: the
+      // high-quality set is the union of the viewports along it. This is
+      // the true upper bound a predictor can approach.
+      AssignmentOptions assignment;
+      assignment.fov_yaw = options.viewport.fov_yaw;
+      assignment.fov_pitch = options.viewport.fov_pitch;
+      assignment.margin = 0.0;
+      assignment.high_quality = options.high_quality;
+      plan.assign(metadata.tile_count(), metadata.quality_count() - 1);
+      for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        double t = media_start + fraction * segment_seconds;
+        TileQualityPlan at_t = AssignTileQualities(metadata, trace.At(t),
+                                                   assignment);
+        for (int i = 0; i < metadata.tile_count(); ++i) {
+          plan[i] = std::min(plan[i], at_t[i]);
+        }
+      }
+      if (options.adaptive) {
+        plan = FitPlanToBudget(metadata, segment, std::move(plan), predicted,
+                               budget);
+      }
+    } else {
+      plan = PlanSegment(metadata, segment, options.approach, predicted,
+                         options, budget);
+    }
+
+    uint64_t bytes = PlanBytes(metadata, segment, plan);
+    double done = network.Transfer(wall, bytes);
+    estimator.AddSample(bytes, done - wall);
+    stats.bytes_sent += bytes;
+    wall = done;
+
+    if (segment == 0) {
+      play_start = wall;
+      stats.startup_delay = wall;
+    } else {
+      double deadline = play_start + stall_total + media_start;
+      if (wall > deadline + 1e-9) {
+        stats.stall_seconds += wall - deadline;
+        stall_total += wall - deadline;
+        ++stats.stall_events;
+      }
+    }
+
+    // In-view quality bookkeeping: the rung the viewer actually sees.
+    {
+      TileGrid grid = metadata.tile_grid();
+      Orientation actual = trace.At(media_mid);
+      auto visible = grid.TilesInViewport(actual, options.viewport.fov_yaw,
+                                          options.viewport.fov_pitch);
+      for (const TileId& tile : visible) {
+        inview_quality_sum += plan[grid.IndexOf(tile)];
+        ++inview_quality_count;
+      }
+    }
+
+    if (options.evaluate_quality) {
+      std::vector<Frame> delivered;
+      VC_ASSIGN_OR_RETURN(
+          delivered, ReconstructSegment(storage, metadata, segment, plan));
+      int step = std::max(
+          1, static_cast<int>(info.frame_count) /
+                 options.eval_frames_per_segment);
+      for (int k = step / 2; k < static_cast<int>(info.frame_count);
+           k += step) {
+        int frame_index = static_cast<int>(info.start_frame) + k;
+        double media_t = frame_index / fps;
+        Orientation actual = trace.At(media_t);
+        Frame original = reference->FrameAt(frame_index);
+        double psnr;
+        VC_ASSIGN_OR_RETURN(
+            psnr, ViewportPsnr(original, delivered[k], actual,
+                               options.viewport));
+        psnr_sum += psnr;
+        psnr_min = std::min(psnr_min, psnr);
+        ++stats.quality_samples;
+      }
+    }
+  }
+
+  if (stats.quality_samples > 0) {
+    stats.mean_viewport_psnr = psnr_sum / stats.quality_samples;
+    stats.min_viewport_psnr = psnr_min;
+  }
+  if (inview_quality_count > 0) {
+    stats.mean_inview_quality = inview_quality_sum / inview_quality_count;
+  }
+  return stats;
+}
+
+}  // namespace vc

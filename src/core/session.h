@@ -1,0 +1,79 @@
+#ifndef VC_CORE_SESSION_H_
+#define VC_CORE_SESSION_H_
+
+#include <string>
+
+#include "core/tile_assignment.h"
+#include "geometry/viewport.h"
+#include "image/scene.h"
+#include "predict/head_trace.h"
+#include "predict/popularity.h"
+#include "storage/storage_manager.h"
+#include "streaming/network.h"
+#include "streaming/qoe.h"
+
+namespace vc {
+
+/// The streaming strategies compared in the evaluation.
+enum class StreamingApproach {
+  /// Every tile of every segment at the top ladder rung — the behaviour of
+  /// serving the full panorama at full quality (YouTube-style baseline).
+  kMonolithicFull,
+  /// Classic DASH: one quality for all tiles, rate-adapted to throughput —
+  /// view-agnostic adaptive streaming.
+  kUniformDash,
+  /// VisualCloud: predicted-viewport tiles high quality, rest low, with
+  /// adaptive degradation under bandwidth pressure.
+  kVisualCloud,
+  /// VisualCloud with a perfect predictor (knows the future orientation) —
+  /// the upper bound on what prediction can save.
+  kOracle,
+};
+
+/// Stable display name ("monolithic", "uniform_dash", ...).
+std::string ApproachName(StreamingApproach approach);
+
+/// Configuration of one simulated client session.
+struct SessionOptions {
+  StreamingApproach approach = StreamingApproach::kVisualCloud;
+  std::string predictor = "dead_reckoning";  ///< See MakePredictor().
+  NetworkOptions network;
+  ViewportSpec viewport;         ///< HMD FOV and render size.
+  double viewport_margin = 0.2;  ///< Extra tile-selection margin (radians).
+  int high_quality = 0;          ///< Ladder rung for in-view tiles.
+  bool adaptive = true;          ///< Degrade plans that exceed the budget.
+  double budget_safety = 0.85;   ///< Derating of the throughput estimate.
+  /// Client buffer target: a segment's download starts no earlier than
+  /// this long before its playback deadline. Pacing is what makes the
+  /// system react to bandwidth changes mid-session instead of having
+  /// prefetched everything at t=0.
+  double buffer_ahead_seconds = 1.0;
+  double feed_rate_hz = 30.0;    ///< Orientation feedback cadence.
+  /// When true (requires `reference`), decode what was delivered and
+  /// measure in-viewport PSNR against the pristine source.
+  bool evaluate_quality = false;
+  int eval_frames_per_segment = 2;
+
+  /// Optional cross-user popularity model (not owned). When set and the
+  /// approach is kVisualCloud, tiles covering `popularity_coverage` of the
+  /// historical gaze mass are also streamed at high quality — catching
+  /// content-driven attention shifts individual motion prediction misses.
+  const PopularityModel* popularity = nullptr;
+  double popularity_coverage = 0.8;
+
+  Status Validate() const;
+};
+
+/// Simulates one client streaming session of the stored video `metadata`
+/// driven by head-movement `trace`, and returns its QoE accounting.
+/// `reference` (the pristine scene) is required when
+/// `options.evaluate_quality` is set and ignored otherwise.
+Result<SessionStats> SimulateSession(StorageManager* storage,
+                                     const VideoMetadata& metadata,
+                                     const HeadTrace& trace,
+                                     const SessionOptions& options,
+                                     const SceneGenerator* reference = nullptr);
+
+}  // namespace vc
+
+#endif  // VC_CORE_SESSION_H_

@@ -1,0 +1,293 @@
+#include "core/visualcloud.h"
+
+#include <thread>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/transform.h"
+#include "common/thread_pool.h"
+#include "core/reconstruct.h"
+
+namespace vc {
+
+Status IngestOptions::Validate() const {
+  if (tile_rows < 1 || tile_rows > 255 || tile_cols < 1 || tile_cols > 255) {
+    return Status::InvalidArgument("tile grid out of range");
+  }
+  if (frames_per_segment < 1 || frames_per_segment > 600) {
+    return Status::InvalidArgument("frames_per_segment out of range [1, 600]");
+  }
+  if (fps <= 0 || fps > 600) {
+    return Status::InvalidArgument("fps out of range");
+  }
+  if (ladder.empty() || ladder.size() > 16) {
+    return Status::InvalidArgument("quality ladder must have 1-16 rungs");
+  }
+  for (const QualityLevel& level : ladder) {
+    if (level.qp < 0 || level.qp > kMaxQp) {
+      return Status::InvalidArgument("ladder QP out of range");
+    }
+  }
+  if (motion_range < 0 || motion_range > 127) {
+    return Status::InvalidArgument("motion_range out of range");
+  }
+  return Status::OK();
+}
+
+VisualCloud::VisualCloud(std::unique_ptr<StorageManager> storage,
+                         int encode_threads)
+    : storage_(std::move(storage)), encode_threads_(encode_threads) {}
+
+Result<std::unique_ptr<VisualCloud>> VisualCloud::Open(
+    const VisualCloudOptions& options) {
+  std::unique_ptr<StorageManager> storage;
+  VC_ASSIGN_OR_RETURN(storage, StorageManager::Open(options.storage));
+  int threads = options.encode_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  return std::unique_ptr<VisualCloud>(
+      new VisualCloud(std::move(storage), threads));
+}
+
+namespace {
+
+VideoMetadata MakeLayoutMetadata(const std::string& name, int width,
+                                 int height, const IngestOptions& options) {
+  VideoMetadata metadata;
+  metadata.name = name;
+  metadata.width = static_cast<uint16_t>(width);
+  metadata.height = static_cast<uint16_t>(height);
+  metadata.fps_times_100 =
+      static_cast<uint16_t>(std::lround(options.fps * 100.0));
+  metadata.frames_per_segment =
+      static_cast<uint16_t>(options.frames_per_segment);
+  metadata.tile_rows = static_cast<uint8_t>(options.tile_rows);
+  metadata.tile_cols = static_cast<uint8_t>(options.tile_cols);
+  metadata.ladder = options.ladder;
+  metadata.spherical.stereo = options.stereo;
+  return metadata;
+}
+
+Status CheckIngestFrames(const std::vector<Frame>& frames, int width,
+                         int height) {
+  if (frames.empty()) return Status::InvalidArgument("no frames to ingest");
+  if (width % 16 != 0 || height % 16 != 0) {
+    return Status::InvalidArgument(
+        "ingest frames must have dimensions that are multiples of 16");
+  }
+  for (const Frame& frame : frames) {
+    if (frame.width() != width || frame.height() != height) {
+      return Status::InvalidArgument("ingest frames differ in size");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<uint8_t>>> VisualCloud::EncodeSegment(
+    const std::vector<Frame>& segment_frames, const IngestOptions& options,
+    int width, int height) {
+  TileGrid grid(options.tile_rows, options.tile_cols);
+  const int tiles = grid.tile_count();
+  const int qualities = static_cast<int>(options.ladder.size());
+
+  // Crop each frame once per tile, then encode each (tile, quality) cell.
+  std::vector<std::vector<Frame>> tile_frames(tiles);
+  for (int tile = 0; tile < tiles; ++tile) {
+    TileGrid::PixelRect rect;
+    VC_ASSIGN_OR_RETURN(rect,
+                        grid.PixelRectOf(grid.TileAt(tile), width, height, 16));
+    tile_frames[tile].reserve(segment_frames.size());
+    for (const Frame& frame : segment_frames) {
+      Frame cropped;
+      VC_ASSIGN_OR_RETURN(cropped,
+                          frame.Crop(rect.x, rect.y, rect.width, rect.height));
+      tile_frames[tile].push_back(std::move(cropped));
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> cells(
+      static_cast<size_t>(tiles) * qualities);
+  std::vector<Status> statuses(cells.size());
+
+  ThreadPool pool(static_cast<size_t>(encode_threads_));
+  for (int tile = 0; tile < tiles; ++tile) {
+    for (int quality = 0; quality < qualities; ++quality) {
+      size_t index = static_cast<size_t>(tile) * qualities + quality;
+      pool.Submit([&, tile, quality, index] {
+        EncoderOptions encoder_options;
+        encoder_options.width = tile_frames[tile][0].width();
+        encoder_options.height = tile_frames[tile][0].height();
+        encoder_options.fps = options.fps;
+        encoder_options.gop_length = options.frames_per_segment;
+        encoder_options.qp = options.ladder[quality].qp;
+        encoder_options.motion_range = options.motion_range;
+        encoder_options.motion_constrained_tiles =
+            options.motion_constrained_tiles;
+        auto video = EncodeVideo(tile_frames[tile], encoder_options);
+        if (!video.ok()) {
+          statuses[index] = video.status();
+          return;
+        }
+        cells[index] = video->Serialize();
+      });
+    }
+  }
+  pool.WaitIdle();
+  for (const Status& status : statuses) {
+    VC_RETURN_IF_ERROR(status);
+  }
+  return cells;
+}
+
+Result<uint32_t> VisualCloud::Ingest(const std::string& name,
+                                     const std::vector<Frame>& frames,
+                                     const IngestOptions& options) {
+  VC_RETURN_IF_ERROR(options.Validate());
+  if (frames.empty()) return Status::InvalidArgument("no frames to ingest");
+  const int width = frames[0].width();
+  const int height = frames[0].height();
+  VC_RETURN_IF_ERROR(CheckIngestFrames(frames, width, height));
+
+  std::unique_ptr<StorageManager::VideoWriter> writer;
+  VC_ASSIGN_OR_RETURN(
+      writer, storage_->NewVideoWriter(
+                  MakeLayoutMetadata(name, width, height, options)));
+
+  for (size_t start = 0; start < frames.size();
+       start += options.frames_per_segment) {
+    size_t end =
+        std::min(frames.size(),
+                 start + static_cast<size_t>(options.frames_per_segment));
+    std::vector<Frame> segment(frames.begin() + start, frames.begin() + end);
+    std::vector<std::vector<uint8_t>> cells;
+    VC_ASSIGN_OR_RETURN(cells, EncodeSegment(segment, options, width, height));
+    VC_RETURN_IF_ERROR(
+        writer->AddSegment(static_cast<uint32_t>(segment.size()), cells));
+  }
+  return writer->Commit();
+}
+
+Result<uint32_t> VisualCloud::IngestScene(const std::string& name,
+                                          const SceneGenerator& scene,
+                                          int frame_count,
+                                          const IngestOptions& options) {
+  VC_RETURN_IF_ERROR(options.Validate());
+  if (frame_count <= 0) {
+    return Status::InvalidArgument("frame_count must be positive");
+  }
+  const int width = scene.width();
+  const int height = scene.height();
+  if (width % 16 != 0 || height % 16 != 0) {
+    return Status::InvalidArgument("scene dimensions must be multiples of 16");
+  }
+
+  std::unique_ptr<StorageManager::VideoWriter> writer;
+  VC_ASSIGN_OR_RETURN(
+      writer, storage_->NewVideoWriter(
+                  MakeLayoutMetadata(name, width, height, options)));
+
+  for (int start = 0; start < frame_count;
+       start += options.frames_per_segment) {
+    int end = std::min(frame_count, start + options.frames_per_segment);
+    std::vector<Frame> segment;
+    segment.reserve(end - start);
+    for (int i = start; i < end; ++i) segment.push_back(scene.FrameAt(i));
+    std::vector<std::vector<uint8_t>> cells;
+    VC_ASSIGN_OR_RETURN(cells, EncodeSegment(segment, options, width, height));
+    VC_RETURN_IF_ERROR(
+        writer->AddSegment(static_cast<uint32_t>(segment.size()), cells));
+  }
+  return writer->Commit();
+}
+
+Result<std::unique_ptr<LiveIngest>> VisualCloud::StartLiveIngest(
+    const std::string& name, int width, int height,
+    const IngestOptions& options) {
+  VC_RETURN_IF_ERROR(options.Validate());
+  if (width <= 0 || height <= 0 || width % 16 != 0 || height % 16 != 0) {
+    return Status::InvalidArgument("live frame size must be multiples of 16");
+  }
+  std::unique_ptr<StorageManager::VideoWriter> writer;
+  VC_ASSIGN_OR_RETURN(writer,
+                      storage_->NewVideoWriter(
+                          MakeLayoutMetadata(name, width, height, options)));
+  return std::unique_ptr<LiveIngest>(
+      new LiveIngest(this, std::move(writer), options, width, height));
+}
+
+LiveIngest::LiveIngest(VisualCloud* db,
+                       std::unique_ptr<StorageManager::VideoWriter> writer,
+                       IngestOptions options, int width, int height)
+    : db_(db),
+      writer_(std::move(writer)),
+      options_(std::move(options)),
+      width_(width),
+      height_(height) {}
+
+int LiveIngest::segments_written() const {
+  return writer_->metadata().segment_count();
+}
+
+Status LiveIngest::FlushSegment() {
+  if (pending_.empty()) return Status::OK();
+  std::vector<std::vector<uint8_t>> cells;
+  VC_ASSIGN_OR_RETURN(
+      cells, db_->EncodeSegment(pending_, options_, width_, height_));
+  VC_RETURN_IF_ERROR(
+      writer_->AddSegment(static_cast<uint32_t>(pending_.size()), cells));
+  pending_.clear();
+  return Status::OK();
+}
+
+Status LiveIngest::PushFrame(const Frame& frame) {
+  if (finished_) return Status::Aborted("live ingest already finished");
+  if (frame.width() != width_ || frame.height() != height_) {
+    return Status::InvalidArgument("live frame size mismatch");
+  }
+  pending_.push_back(frame);
+  if (static_cast<int>(pending_.size()) >= options_.frames_per_segment) {
+    return FlushSegment();
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> LiveIngest::Checkpoint() {
+  if (finished_) return Status::Aborted("live ingest already finished");
+  if (writer_->metadata().segment_count() == 0) {
+    return Status::InvalidArgument("no full segment captured yet");
+  }
+  return writer_->CommitCheckpoint();
+}
+
+Result<uint32_t> LiveIngest::Finish() {
+  if (finished_) return Status::Aborted("live ingest already finished");
+  VC_RETURN_IF_ERROR(FlushSegment());
+  finished_ = true;
+  return writer_->Commit();
+}
+
+Result<VideoMetadata> VisualCloud::Describe(const std::string& name) const {
+  return storage_->GetVideo(name);
+}
+
+Result<std::vector<std::string>> VisualCloud::List() const {
+  return storage_->ListVideos();
+}
+
+Status VisualCloud::Drop(const std::string& name) {
+  return storage_->DropVideo(name);
+}
+
+Result<std::vector<Frame>> VisualCloud::ReadFrames(const std::string& name,
+                                                   int first, int last,
+                                                   int quality) {
+  VideoMetadata metadata;
+  VC_ASSIGN_OR_RETURN(metadata, storage_->GetVideo(name));
+  return ReconstructFrameRange(storage_.get(), metadata, first, last, quality);
+}
+
+}  // namespace vc

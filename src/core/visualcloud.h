@@ -1,0 +1,141 @@
+#ifndef VC_CORE_VISUALCLOUD_H_
+#define VC_CORE_VISUALCLOUD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/quality.h"
+#include "common/result.h"
+#include "image/frame.h"
+#include "image/scene.h"
+#include "storage/storage_manager.h"
+
+namespace vc {
+
+/// Options for opening a VisualCloud instance.
+struct VisualCloudOptions {
+  StorageOptions storage;   ///< Where and how videos are persisted.
+  int encode_threads = 0;   ///< Ingest parallelism; 0 = hardware concurrency.
+};
+
+/// Per-ingest configuration: the spatiotemporal partitioning and ladder.
+struct IngestOptions {
+  int tile_rows = 4;            ///< Spatial partitioning of the sphere.
+  int tile_cols = 4;
+  int frames_per_segment = 30;  ///< Temporal partition (≈ 1 s GOPs).
+  double fps = 30.0;
+  QualityLadder ladder = DefaultQualityLadder();
+  /// Stereoscopic layout of the ingested frames. For kStereoTopBottom the
+  /// frames are width × 2·height packed panoramas (see image/stereo.h); the
+  /// layout is recorded in the sv3d metadata so clients unpack per eye.
+  StereoMode stereo = StereoMode::kMono;
+  int motion_range = 16;
+  bool motion_constrained_tiles = true;
+
+  Status Validate() const;
+};
+
+class VisualCloud;
+
+/// \brief A live (streaming) ingest session.
+///
+/// Push frames as a camera rig produces them; every full segment is encoded
+/// and written immediately, and `Checkpoint()` publishes everything captured
+/// so far as a committed version — viewers stream the latest checkpoint
+/// while capture continues. Checkpoints share cell files (no copying).
+class LiveIngest {
+ public:
+  /// Buffers one frame; encodes and persists when a segment fills.
+  Status PushFrame(const Frame& frame);
+
+  /// Publishes the segments captured so far; returns the version.
+  /// At least one full segment must exist.
+  Result<uint32_t> Checkpoint();
+
+  /// Encodes any buffered partial segment and commits the final version.
+  /// The session must not be used afterwards.
+  Result<uint32_t> Finish();
+
+  /// Segments fully encoded and written so far.
+  int segments_written() const;
+
+ private:
+  friend class VisualCloud;
+  LiveIngest(VisualCloud* db,
+             std::unique_ptr<StorageManager::VideoWriter> writer,
+             IngestOptions options, int width, int height);
+
+  Status FlushSegment();
+
+  VisualCloud* db_;
+  std::unique_ptr<StorageManager::VideoWriter> writer_;
+  const IngestOptions options_;
+  const int width_;
+  const int height_;
+  std::vector<Frame> pending_;
+  bool finished_ = false;
+};
+
+/// \brief The VisualCloud server facade: a DBMS for VR video.
+///
+/// `Ingest` spatiotemporally partitions a 360° equirectangular video into
+/// (segment × tile × quality) cells — each an independently decodable
+/// encoded stream — and commits them as a new immutable version in the
+/// storage manager. Reads and streaming sessions (see session.h) operate on
+/// committed versions only.
+class VisualCloud {
+ public:
+  static Result<std::unique_ptr<VisualCloud>> Open(
+      const VisualCloudOptions& options);
+
+  /// Ingests `frames` as a new version of video `name`. Returns the version.
+  Result<uint32_t> Ingest(const std::string& name,
+                          const std::vector<Frame>& frames,
+                          const IngestOptions& options);
+
+  /// Ingests frames produced by `scene` without materializing the whole
+  /// video: frames are generated and encoded one segment at a time — the
+  /// live-ingest path.
+  Result<uint32_t> IngestScene(const std::string& name,
+                               const SceneGenerator& scene, int frame_count,
+                               const IngestOptions& options);
+
+  /// Starts a live ingest session for `name` (see LiveIngest).
+  Result<std::unique_ptr<LiveIngest>> StartLiveIngest(
+      const std::string& name, int width, int height,
+      const IngestOptions& options);
+
+  /// Latest committed metadata for a video.
+  Result<VideoMetadata> Describe(const std::string& name) const;
+
+  /// Videos in the catalog.
+  Result<std::vector<std::string>> List() const;
+
+  /// Drops a video and all versions.
+  Status Drop(const std::string& name);
+
+  /// Reconstructs full panorama frames [first, last] (inclusive) of the
+  /// latest version, decoding every tile at ladder rung `quality`.
+  Result<std::vector<Frame>> ReadFrames(const std::string& name, int first,
+                                        int last, int quality = 0);
+
+  StorageManager* storage() { return storage_.get(); }
+
+ private:
+  friend class LiveIngest;
+  VisualCloud(std::unique_ptr<StorageManager> storage, int encode_threads);
+
+  /// Encodes one segment's worth of tile frames into cell payloads
+  /// (tile-major × quality-minor), parallelized across cells.
+  Result<std::vector<std::vector<uint8_t>>> EncodeSegment(
+      const std::vector<Frame>& segment_frames, const IngestOptions& options,
+      int width, int height);
+
+  std::unique_ptr<StorageManager> storage_;
+  int encode_threads_;
+};
+
+}  // namespace vc
+
+#endif  // VC_CORE_VISUALCLOUD_H_

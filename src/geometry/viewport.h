@@ -1,0 +1,36 @@
+#ifndef VC_GEOMETRY_VIEWPORT_H_
+#define VC_GEOMETRY_VIEWPORT_H_
+
+#include "common/result.h"
+#include "geometry/orientation.h"
+#include "image/frame.h"
+
+namespace vc {
+
+/// \brief Parameters of a head-mounted display's view frustum.
+struct ViewportSpec {
+  double fov_yaw = DegToRad(100.0);   ///< Horizontal field of view (radians).
+  double fov_pitch = DegToRad(90.0);  ///< Vertical field of view (radians).
+  int width = 192;                    ///< Rendered viewport width (even).
+  int height = 160;                   ///< Rendered viewport height (even).
+};
+
+/// Renders the perspective (rectilinear) viewport a user at `orientation`
+/// sees, by inverse-mapping every output pixel through the camera frustum
+/// onto the equirectangular `panorama` with bilinear sampling. This is how
+/// the client produces the image actually shown in the HMD, and it is the
+/// basis of the in-viewport quality metric: compare
+/// `RenderViewport(original)` against `RenderViewport(delivered)`.
+Result<Frame> RenderViewport(const Frame& panorama,
+                             const Orientation& orientation,
+                             const ViewportSpec& spec);
+
+/// In-viewport PSNR: PSNR between the viewports rendered from the reference
+/// and the delivered panorama at the same orientation.
+Result<double> ViewportPsnr(const Frame& reference, const Frame& delivered,
+                            const Orientation& orientation,
+                            const ViewportSpec& spec);
+
+}  // namespace vc
+
+#endif  // VC_GEOMETRY_VIEWPORT_H_

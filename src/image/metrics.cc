@@ -1,0 +1,103 @@
+#include "image/metrics.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace vc {
+
+namespace {
+
+Status CheckComparable(const Frame& a, const Frame& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("metric on empty frame");
+  }
+  if (!a.SameSize(b)) {
+    return Status::InvalidArgument("metric on differently-sized frames");
+  }
+  return Status::OK();
+}
+
+double MseToPsnr(double mse) {
+  if (mse <= 1e-12) return kInfinitePsnr;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace
+
+Result<double> LumaMse(const Frame& a, const Frame& b) {
+  VC_RETURN_IF_ERROR(CheckComparable(a, b));
+  const auto& pa = a.y_plane();
+  const auto& pb = b.y_plane();
+  double sum = 0.0;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    double d = static_cast<double>(pa[i]) - pb[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(pa.size());
+}
+
+Result<double> LumaPsnr(const Frame& a, const Frame& b) {
+  double mse;
+  VC_ASSIGN_OR_RETURN(mse, LumaMse(a, b));
+  return MseToPsnr(mse);
+}
+
+Result<double> WsPsnr(const Frame& a, const Frame& b) {
+  VC_RETURN_IF_ERROR(CheckComparable(a, b));
+  double weighted_error = 0.0;
+  double weight_sum = 0.0;
+  for (int y = 0; y < a.height(); ++y) {
+    // Latitude of the row center: 0 at the top pole, pi at the bottom.
+    double phi = (y + 0.5) / a.height() * kPi;
+    double w = std::cos(phi - kPi / 2.0);
+    double row_error = 0.0;
+    for (int x = 0; x < a.width(); ++x) {
+      double d = static_cast<double>(a.y(x, y)) - b.y(x, y);
+      row_error += d * d;
+    }
+    weighted_error += w * row_error;
+    weight_sum += w * a.width();
+  }
+  return MseToPsnr(weighted_error / weight_sum);
+}
+
+Result<double> LumaSsim(const Frame& a, const Frame& b) {
+  VC_RETURN_IF_ERROR(CheckComparable(a, b));
+  constexpr int kWin = 8;
+  constexpr double kC1 = 6.5025;   // (0.01 * 255)^2
+  constexpr double kC2 = 58.5225;  // (0.03 * 255)^2
+  if (a.width() < kWin || a.height() < kWin) {
+    return Status::InvalidArgument("frame smaller than SSIM window");
+  }
+  double total = 0.0;
+  int windows = 0;
+  for (int wy = 0; wy + kWin <= a.height(); wy += kWin) {
+    for (int wx = 0; wx + kWin <= a.width(); wx += kWin) {
+      double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+      for (int y = 0; y < kWin; ++y) {
+        for (int x = 0; x < kWin; ++x) {
+          double va = a.y(wx + x, wy + y);
+          double vb = b.y(wx + x, wy + y);
+          sum_a += va;
+          sum_b += vb;
+          sum_aa += va * va;
+          sum_bb += vb * vb;
+          sum_ab += va * vb;
+        }
+      }
+      constexpr double kN = kWin * kWin;
+      double mu_a = sum_a / kN, mu_b = sum_b / kN;
+      double var_a = sum_aa / kN - mu_a * mu_a;
+      double var_b = sum_bb / kN - mu_b * mu_b;
+      double cov = sum_ab / kN - mu_a * mu_b;
+      double ssim = ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+                    ((mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2));
+      total += ssim;
+      ++windows;
+    }
+  }
+  return total / windows;
+}
+
+}  // namespace vc

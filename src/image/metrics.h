@@ -1,0 +1,30 @@
+#ifndef VC_IMAGE_METRICS_H_
+#define VC_IMAGE_METRICS_H_
+
+#include "common/result.h"
+#include "image/frame.h"
+
+namespace vc {
+
+/// Mean squared error over the luma plane. Frames must be the same size.
+Result<double> LumaMse(const Frame& a, const Frame& b);
+
+/// Peak signal-to-noise ratio (dB) over the luma plane. Identical frames
+/// return `kInfinitePsnr`.
+Result<double> LumaPsnr(const Frame& a, const Frame& b);
+
+/// PSNR ceiling reported for identical content (matches common tooling).
+inline constexpr double kInfinitePsnr = 100.0;
+
+/// Weighted-spherical PSNR (WS-PSNR) over the luma plane: each row is
+/// weighted by cos(latitude) to undo the equirectangular oversampling near
+/// the poles. This is the standard objective metric for 360° video.
+Result<double> WsPsnr(const Frame& a, const Frame& b);
+
+/// Mean structural similarity (SSIM) over the luma plane using 8×8 windows.
+/// Returns a value in [-1, 1]; 1 means identical.
+Result<double> LumaSsim(const Frame& a, const Frame& b);
+
+}  // namespace vc
+
+#endif  // VC_IMAGE_METRICS_H_

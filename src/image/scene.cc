@@ -1,0 +1,258 @@
+#include "image/scene.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace vc {
+
+namespace {
+
+/// Smooth value-noise texture: a deterministic function of (x, y, octave
+/// lattice) used to give scenes compressible but non-trivial detail.
+double ValueNoise(uint64_t seed, int xi, int yi) {
+  uint64_t h = seed;
+  h ^= static_cast<uint64_t>(xi) * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<uint64_t>(yi) * 0xc2b2ae3d27d4eb4full;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return static_cast<double>(h & 0xffffff) / static_cast<double>(0xffffff);
+}
+
+double SmoothNoise(uint64_t seed, double x, double y) {
+  int x0 = static_cast<int>(std::floor(x));
+  int y0 = static_cast<int>(std::floor(y));
+  double fx = x - x0, fy = y - y0;
+  // Smoothstep interpolation between lattice values.
+  fx = fx * fx * (3 - 2 * fx);
+  fy = fy * fy * (3 - 2 * fy);
+  double v00 = ValueNoise(seed, x0, y0);
+  double v10 = ValueNoise(seed, x0 + 1, y0);
+  double v01 = ValueNoise(seed, x0, y0 + 1);
+  double v11 = ValueNoise(seed, x0 + 1, y0 + 1);
+  double top = v00 * (1 - fx) + v10 * fx;
+  double bottom = v01 * (1 - fx) + v11 * fx;
+  return top * (1 - fy) + bottom * fy;
+}
+
+class SceneBase : public SceneGenerator {
+ public:
+  SceneBase(std::string name, const SceneOptions& options)
+      : name_(std::move(name)), options_(options) {}
+
+  const std::string& name() const override { return name_; }
+  int width() const override { return options_.width; }
+  int height() const override { return options_.height; }
+  double fps() const override { return options_.fps; }
+
+ protected:
+  const std::string name_;
+  const SceneOptions options_;
+};
+
+/// Low motion: gradient sky, static skyline silhouette, drifting sun.
+class TimelapseScene final : public SceneBase {
+ public:
+  explicit TimelapseScene(const SceneOptions& options)
+      : SceneBase("timelapse", options) {
+    Random rng(options.seed);
+    // Skyline: per-column building heights, piecewise constant.
+    int columns = options.width / 16;
+    building_heights_.reserve(columns);
+    for (int i = 0; i < columns; ++i) {
+      building_heights_.push_back(
+          0.55 + 0.25 * rng.NextDouble());  // fraction of height
+    }
+  }
+
+  Frame FrameAt(int index) const override {
+    Frame frame(width(), height());
+    double t = index / fps();
+    // Sky gradient brightens slowly over the day.
+    double day = 0.5 + 0.4 * std::sin(t * 0.05);
+    for (int y = 0; y < height(); ++y) {
+      double vertical = static_cast<double>(y) / height();
+      uint8_t sky = ClampPixel(static_cast<int>(40 + 180 * day * (1 - vertical)));
+      for (int x = 0; x < width(); ++x) {
+        frame.set_y(x, y, sky);
+      }
+    }
+    // Chroma: bluish sky.
+    for (int y = 0; y < frame.chroma_height(); ++y) {
+      for (int x = 0; x < frame.chroma_width(); ++x) {
+        frame.set_u(x, y, 140);
+        frame.set_v(x, y, 118);
+      }
+    }
+    // Sun drifts slowly in yaw across the top band (one orbit per 100 s).
+    int sun_x = static_cast<int>(std::fmod(t * 0.01, 1.0) * width());
+    int sun_y = height() / 5;
+    frame.FillCircle(sun_x, sun_y, height() / 16, 235, 110, 150);
+    // Static skyline along the equator band downward.
+    int column_width = 16;
+    for (size_t i = 0; i < building_heights_.size(); ++i) {
+      int top = static_cast<int>(building_heights_[i] * height());
+      frame.FillRect(static_cast<int>(i) * column_width, top, column_width,
+                     height() - top, 60, 128, 128);
+    }
+    // Gentle textured foreground so intra blocks are not flat.
+    for (int y = height() * 7 / 8; y < height(); ++y) {
+      for (int x = 0; x < width(); ++x) {
+        double n = SmoothNoise(options_.seed ^ 0x51, x * 0.08, y * 0.08);
+        frame.set_y(x, y, ClampPixel(static_cast<int>(50 + 40 * n)));
+      }
+    }
+    return frame;
+  }
+
+ private:
+  std::vector<double> building_heights_;
+};
+
+/// Medium motion: shimmering water plus boats crossing at various speeds.
+class VeniceScene final : public SceneBase {
+ public:
+  explicit VeniceScene(const SceneOptions& options)
+      : SceneBase("venice", options) {
+    Random rng(options.seed ^ 0xbeef);
+    for (int i = 0; i < 6; ++i) {
+      Boat boat;
+      boat.row = 0.45 + 0.4 * rng.NextDouble();
+      boat.speed = (rng.Bernoulli(0.5) ? 1 : -1) *
+                   (0.02 + 0.05 * rng.NextDouble());  // revolutions / s
+      boat.phase = rng.NextDouble();
+      boat.size = 0.03 + 0.03 * rng.NextDouble();
+      boat.luma = static_cast<uint8_t>(120 + rng.Uniform(100));
+      boats_.push_back(boat);
+    }
+  }
+
+  Frame FrameAt(int index) const override {
+    Frame frame(width(), height());
+    double t = index / fps();
+    // Sky (top 40%) and water (bottom 60%) with animated ripple texture.
+    for (int y = 0; y < height(); ++y) {
+      bool water = y > height() * 2 / 5;
+      for (int x = 0; x < width(); ++x) {
+        double n;
+        if (water) {
+          n = SmoothNoise(options_.seed, x * 0.15 + t * 3.0, y * 0.15 + t);
+          frame.set_y(x, y, ClampPixel(static_cast<int>(70 + 60 * n)));
+        } else {
+          n = SmoothNoise(options_.seed ^ 0x7, x * 0.03, y * 0.03);
+          frame.set_y(x, y, ClampPixel(static_cast<int>(150 + 40 * n)));
+        }
+      }
+    }
+    for (int y = 0; y < frame.chroma_height(); ++y) {
+      bool water = y > frame.chroma_height() * 2 / 5;
+      for (int x = 0; x < frame.chroma_width(); ++x) {
+        frame.set_u(x, y, water ? 135 : 128);
+        frame.set_v(x, y, water ? 120 : 128);
+      }
+    }
+    // Boats: rectangles sliding in yaw at fixed latitudes.
+    for (const Boat& boat : boats_) {
+      double revolutions = boat.phase + boat.speed * t;
+      int x = static_cast<int>(std::fmod(revolutions, 1.0) * width());
+      if (x < 0) x += width();
+      int y = static_cast<int>(boat.row * height());
+      int w = static_cast<int>(boat.size * width());
+      int h = std::max(4, w / 3);
+      frame.FillRect(x, y, w, h, boat.luma, 110, 135);
+      // Cabin highlight for structure.
+      frame.FillRect(x + w / 4, y - h / 2, w / 2, h / 2, 210, 128, 128);
+    }
+    return frame;
+  }
+
+ private:
+  struct Boat {
+    double row;
+    double speed;
+    double phase;
+    double size;
+    uint8_t luma;
+  };
+  std::vector<Boat> boats_;
+};
+
+/// High motion: the panorama texture translates quickly in yaw while the
+/// horizon shears sinusoidally in pitch, mimicking a roller-coaster camera.
+class CoasterScene final : public SceneBase {
+ public:
+  explicit CoasterScene(const SceneOptions& options)
+      : SceneBase("coaster", options) {}
+
+  Frame FrameAt(int index) const override {
+    Frame frame(width(), height());
+    double t = index / fps();
+    double yaw_shift = t * 1.2 * width();            // fast yaw rotation
+    double pitch_wobble = std::sin(t * 2.2) * 0.12;  // fraction of height
+    for (int y = 0; y < height(); ++y) {
+      for (int x = 0; x < width(); ++x) {
+        double sx = x + yaw_shift;
+        double sy = y + pitch_wobble * height() *
+                            std::sin((x + yaw_shift) * kTwoPi / width());
+        double coarse = SmoothNoise(options_.seed, sx * 0.04, sy * 0.04);
+        double fine = SmoothNoise(options_.seed ^ 0x33, sx * 0.2, sy * 0.2);
+        frame.set_y(x, y,
+                    ClampPixel(static_cast<int>(60 + 120 * coarse + 40 * fine)));
+      }
+    }
+    // Track: a dark band oscillating across the view.
+    int track_y =
+        static_cast<int>(height() * (0.6 + 0.15 * std::sin(t * 2.2 + 1.0)));
+    frame.FillRect(0, track_y, width(), height() / 20, 30, 128, 128);
+    for (int y = 0; y < frame.chroma_height(); ++y) {
+      for (int x = 0; x < frame.chroma_width(); ++x) {
+        double n = SmoothNoise(options_.seed ^ 0x99, x * 0.1 + t, y * 0.1);
+        frame.set_u(x, y, ClampPixel(static_cast<int>(120 + 20 * n)));
+        frame.set_v(x, y, ClampPixel(static_cast<int>(125 + 10 * n)));
+      }
+    }
+    return frame;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SceneGenerator> NewTimelapseScene(const SceneOptions& options) {
+  return std::make_unique<TimelapseScene>(options);
+}
+
+std::unique_ptr<SceneGenerator> NewVeniceScene(const SceneOptions& options) {
+  return std::make_unique<VeniceScene>(options);
+}
+
+std::unique_ptr<SceneGenerator> NewCoasterScene(const SceneOptions& options) {
+  return std::make_unique<CoasterScene>(options);
+}
+
+Result<std::unique_ptr<SceneGenerator>> MakeScene(const std::string& name,
+                                                  const SceneOptions& options) {
+  if (options.width < 64 || options.width % 2 != 0 || options.height < 32 ||
+      options.height % 2 != 0) {
+    return Status::InvalidArgument("scene dimensions must be even and >= 64x32");
+  }
+  if (name == "timelapse") return NewTimelapseScene(options);
+  if (name == "venice") return NewVeniceScene(options);
+  if (name == "coaster") return NewCoasterScene(options);
+  return Status::InvalidArgument("unknown scene '" + name + "'");
+}
+
+const std::vector<std::string>& StandardSceneNames() {
+  static const std::vector<std::string> names = {"timelapse", "venice",
+                                                 "coaster"};
+  return names;
+}
+
+std::vector<Frame> RenderScene(const SceneGenerator& scene, int count) {
+  std::vector<Frame> frames;
+  frames.reserve(count);
+  for (int i = 0; i < count; ++i) frames.push_back(scene.FrameAt(i));
+  return frames;
+}
+
+}  // namespace vc

@@ -1,0 +1,69 @@
+#ifndef VC_IMAGE_SCENE_H_
+#define VC_IMAGE_SCENE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "image/frame.h"
+
+namespace vc {
+
+/// \brief Deterministic procedural 360° video source.
+///
+/// Stands in for the public equirectangular test videos used by the paper's
+/// demonstration ("Timelapse", "Venice", "Coaster" style content): each
+/// generator produces frames with a characteristic motion profile so the
+/// codec's rate-distortion behaviour — and therefore the tiling/prediction
+/// trade-offs built on it — match the corresponding content class.
+class SceneGenerator {
+ public:
+  virtual ~SceneGenerator() = default;
+
+  /// Content name ("timelapse", "venice", "coaster").
+  virtual const std::string& name() const = 0;
+
+  virtual int width() const = 0;
+  virtual int height() const = 0;
+  virtual double fps() const = 0;
+
+  /// Renders frame `index` (index 0 is time 0). Pure function of the index,
+  /// so frames may be produced in any order.
+  virtual Frame FrameAt(int index) const = 0;
+};
+
+/// Parameters common to all scene generators.
+struct SceneOptions {
+  int width = 512;    ///< Equirectangular width (even, ≥ 64).
+  int height = 256;   ///< Equirectangular height (even, = width / 2 typical).
+  double fps = 30.0;  ///< Frame rate used for timing metadata.
+  uint64_t seed = 42; ///< Seed for procedural texture placement.
+};
+
+/// Low-motion scene: static skyline, slowly drifting sun and sky gradient
+/// (a "timelapse" content class; inter frames compress extremely well).
+std::unique_ptr<SceneGenerator> NewTimelapseScene(const SceneOptions& options);
+
+/// Medium-motion scene: textured "water" with several independently moving
+/// objects (a "venice" content class).
+std::unique_ptr<SceneGenerator> NewVeniceScene(const SceneOptions& options);
+
+/// High-motion scene: the whole panorama translates rapidly in yaw with
+/// oscillating pitch shear (a "coaster" content class; inter prediction
+/// must work hard and residuals stay large).
+std::unique_ptr<SceneGenerator> NewCoasterScene(const SceneOptions& options);
+
+/// Factory by content-class name; returns InvalidArgument for unknown names.
+Result<std::unique_ptr<SceneGenerator>> MakeScene(const std::string& name,
+                                                  const SceneOptions& options);
+
+/// The three standard content classes used throughout the benchmarks.
+const std::vector<std::string>& StandardSceneNames();
+
+/// Convenience: renders frames [0, count) of a scene into a vector.
+std::vector<Frame> RenderScene(const SceneGenerator& scene, int count);
+
+}  // namespace vc
+
+#endif  // VC_IMAGE_SCENE_H_

@@ -1,0 +1,87 @@
+#include "image/stereo.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace vc {
+
+namespace {
+
+/// Rolls a frame horizontally by `shift_px` columns (yaw rotation of an
+/// equirectangular panorama), wrapping at the seam.
+Frame RollYaw(const Frame& src, int shift_px) {
+  Frame out(src.width(), src.height());
+  int w = src.width();
+  // Chroma shift at half resolution; force evenness so the planes agree.
+  int cshift = shift_px / 2;
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < w; ++x) {
+      int sx = ((x + shift_px) % w + w) % w;
+      out.set_y(x, y, src.y(sx, y));
+    }
+  }
+  int cw = src.chroma_width();
+  for (int y = 0; y < src.chroma_height(); ++y) {
+    for (int x = 0; x < cw; ++x) {
+      int sx = ((x + cshift) % cw + cw) % cw;
+      out.set_u(x, y, src.u(sx, y));
+      out.set_v(x, y, src.v(sx, y));
+    }
+  }
+  return out;
+}
+
+class StereoScene final : public SceneGenerator {
+ public:
+  StereoScene(std::unique_ptr<SceneGenerator> mono, double eye_yaw_offset)
+      : mono_(std::move(mono)),
+        name_(mono_->name() + "-stereo"),
+        eye_yaw_offset_(eye_yaw_offset) {}
+
+  const std::string& name() const override { return name_; }
+  int width() const override { return mono_->width(); }
+  int height() const override { return mono_->height() * 2; }
+  double fps() const override { return mono_->fps(); }
+
+  Frame FrameAt(int index) const override {
+    Frame mono_frame = mono_->FrameAt(index);
+    int shift_px = static_cast<int>(
+        std::lround(eye_yaw_offset_ / 2.0 / kTwoPi * mono_->width()));
+    if (shift_px == 0) shift_px = 1;
+    shift_px -= shift_px % 2;  // keep chroma aligned
+    if (shift_px == 0) shift_px = 2;
+    Frame left = RollYaw(mono_frame, -shift_px);
+    Frame right = RollYaw(mono_frame, shift_px);
+    Frame packed(width(), height());
+    // Top-bottom packing; sizes match by construction.
+    Status status = packed.Paste(left, 0, 0);
+    if (status.ok()) status = packed.Paste(right, 0, mono_->height());
+    (void)status;
+    return packed;
+  }
+
+ private:
+  std::unique_ptr<SceneGenerator> mono_;
+  std::string name_;
+  double eye_yaw_offset_;
+};
+
+}  // namespace
+
+std::unique_ptr<SceneGenerator> NewStereoScene(
+    std::unique_ptr<SceneGenerator> mono, double eye_yaw_offset) {
+  return std::make_unique<StereoScene>(std::move(mono), eye_yaw_offset);
+}
+
+Result<Frame> ExtractEyeView(const Frame& packed, Eye eye) {
+  if (packed.empty() || packed.height() % 4 != 0) {
+    return Status::InvalidArgument(
+        "packed stereo frame height must be a positive multiple of 4");
+  }
+  int eye_height = packed.height() / 2;
+  int y = eye == Eye::kLeft ? 0 : eye_height;
+  return packed.Crop(0, y, packed.width(), eye_height);
+}
+
+}  // namespace vc

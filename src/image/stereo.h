@@ -1,0 +1,29 @@
+#ifndef VC_IMAGE_STEREO_H_
+#define VC_IMAGE_STEREO_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "image/frame.h"
+#include "image/scene.h"
+
+namespace vc {
+
+/// Which eye of a stereoscopic frame.
+enum class Eye { kLeft = 0, kRight = 1 };
+
+/// \brief Wraps a monoscopic 360° scene into a stereoscopic one using
+/// top-bottom packing: the output frame is width × 2·height, the top half
+/// being the left eye and the bottom half the right eye, with the eyes'
+/// panoramas yaw-offset by ±`eye_yaw_offset`/2 — the standard cheap
+/// approximation of interpupillary parallax for synthetic content.
+std::unique_ptr<SceneGenerator> NewStereoScene(
+    std::unique_ptr<SceneGenerator> mono, double eye_yaw_offset = 0.02);
+
+/// Extracts one eye's equirectangular panorama from a top-bottom packed
+/// stereo frame. The packed height must be even (it is 2× the eye height).
+Result<Frame> ExtractEyeView(const Frame& packed, Eye eye);
+
+}  // namespace vc
+
+#endif  // VC_IMAGE_STEREO_H_

@@ -1,0 +1,53 @@
+#include "predict/accuracy.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace vc {
+
+PredictionAccuracy EvaluatePredictor(Predictor* predictor,
+                                     const HeadTrace& trace,
+                                     const TileGrid& grid,
+                                     const AccuracyOptions& options) {
+  predictor->Reset();
+  PredictionAccuracy accuracy;
+  if (trace.empty()) return accuracy;
+
+  std::vector<double> errors;
+  double hits = 0;
+  const double dt = 1.0 / options.feed_rate_hz;
+  double next_eval = options.eval_interval;
+  const double end = trace.duration() - options.lookahead_seconds;
+
+  for (double t = 0.0; t <= trace.duration() + 1e-9; t += dt) {
+    predictor->Observe(t, trace.At(t));
+    if (t >= next_eval && t <= end) {
+      next_eval += options.eval_interval;
+      Orientation predicted = predictor->Predict(options.lookahead_seconds);
+      Orientation actual = trace.At(t + options.lookahead_seconds);
+      errors.push_back(AngularDistance(predicted, actual));
+      // Tile hit: would the viewport streamed for the prediction contain
+      // the tile the user actually looks at?
+      auto covered =
+          grid.TilesInViewport(predicted, options.fov_yaw, options.fov_pitch);
+      TileId actual_tile = grid.TileFor(actual);
+      if (std::find(covered.begin(), covered.end(), actual_tile) !=
+          covered.end()) {
+        hits += 1;
+      }
+    }
+  }
+
+  if (errors.empty()) return accuracy;
+  accuracy.evaluations = static_cast<int>(errors.size());
+  double sum = 0;
+  for (double e : errors) sum += e;
+  accuracy.mean_error_radians = sum / errors.size();
+  std::sort(errors.begin(), errors.end());
+  size_t p95 = static_cast<size_t>(0.95 * (errors.size() - 1));
+  accuracy.p95_error_radians = errors[p95];
+  accuracy.tile_hit_rate = hits / errors.size();
+  return accuracy;
+}
+
+}  // namespace vc

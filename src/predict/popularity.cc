@@ -1,0 +1,126 @@
+#include "predict/popularity.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace vc {
+
+PopularityModel::PopularityModel(const TileGrid& grid, double segment_seconds,
+                                 int segment_count)
+    : grid_(grid),
+      segment_seconds_(segment_seconds > 0 ? segment_seconds : 1.0),
+      segment_count_(segment_count > 0 ? segment_count : 1),
+      counts_(static_cast<size_t>(segment_count_) * grid.tile_count(), 0) {}
+
+void PopularityModel::AddTrace(const HeadTrace& trace, double sample_rate_hz) {
+  if (trace.empty() || sample_rate_hz <= 0) return;
+  double dt = 1.0 / sample_rate_hz;
+  double end = segment_count_ * segment_seconds_;
+  for (double t = 0.0; t < end && t <= trace.duration(); t += dt) {
+    int segment = static_cast<int>(t / segment_seconds_);
+    if (segment >= segment_count_) break;
+    TileId tile = grid_.TileFor(trace.At(t));
+    counts_[static_cast<size_t>(segment) * grid_.tile_count() +
+            grid_.IndexOf(tile)] += 1;
+  }
+  ++viewer_count_;
+}
+
+double PopularityModel::Probability(int segment, TileId tile) const {
+  if (segment < 0 || segment >= segment_count_) return 0.0;
+  const uint64_t* row =
+      counts_.data() + static_cast<size_t>(segment) * grid_.tile_count();
+  uint64_t total = std::accumulate(row, row + grid_.tile_count(),
+                                   static_cast<uint64_t>(0));
+  if (total == 0) return 0.0;
+  return static_cast<double>(row[grid_.IndexOf(tile)]) /
+         static_cast<double>(total);
+}
+
+std::vector<TileId> PopularityModel::PopularTiles(int segment,
+                                                  double coverage) const {
+  std::vector<TileId> popular;
+  if (segment < 0 || segment >= segment_count_) return popular;
+  coverage = Clamp(coverage, 0.0, 1.0);
+  const uint64_t* row =
+      counts_.data() + static_cast<size_t>(segment) * grid_.tile_count();
+  uint64_t total = std::accumulate(row, row + grid_.tile_count(),
+                                   static_cast<uint64_t>(0));
+  if (total == 0) return popular;
+
+  std::vector<int> order(grid_.tile_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [row](int a, int b) { return row[a] > row[b]; });
+
+  uint64_t covered = 0;
+  for (int index : order) {
+    if (row[index] == 0) break;
+    popular.push_back(grid_.TileAt(index));
+    covered += row[index];
+    if (static_cast<double>(covered) >= coverage * total) break;
+  }
+  return popular;
+}
+
+namespace {
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+Result<uint64_t> GetU64(Slice data, size_t* pos) {
+  if (*pos + 8 > data.size()) {
+    return Status::Corruption("popularity model truncated");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data[(*pos)++];
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> PopularityModel::Serialize() const {
+  std::vector<uint8_t> out;
+  PutU64(&out, static_cast<uint64_t>(grid_.rows()));
+  PutU64(&out, static_cast<uint64_t>(grid_.cols()));
+  PutU64(&out, static_cast<uint64_t>(segment_count_));
+  // Segment duration stored in microseconds to stay integral.
+  PutU64(&out, static_cast<uint64_t>(segment_seconds_ * 1e6));
+  PutU64(&out, static_cast<uint64_t>(viewer_count_));
+  for (uint64_t count : counts_) PutU64(&out, count);
+  return out;
+}
+
+Result<PopularityModel> PopularityModel::Parse(Slice data) {
+  size_t pos = 0;
+  uint64_t rows, cols, segments, duration_us, viewers;
+  VC_ASSIGN_OR_RETURN(rows, GetU64(data, &pos));
+  VC_ASSIGN_OR_RETURN(cols, GetU64(data, &pos));
+  VC_ASSIGN_OR_RETURN(segments, GetU64(data, &pos));
+  VC_ASSIGN_OR_RETURN(duration_us, GetU64(data, &pos));
+  VC_ASSIGN_OR_RETURN(viewers, GetU64(data, &pos));
+  if (rows == 0 || rows > 255 || cols == 0 || cols > 255 || segments == 0 ||
+      segments > 1u << 20) {
+    return Status::Corruption("popularity model has bad dimensions");
+  }
+  uint64_t expected = segments * rows * cols;
+  if (data.size() != 40 + expected * 8) {
+    return Status::Corruption("popularity model size mismatch");
+  }
+  PopularityModel model(TileGrid(static_cast<int>(rows),
+                                 static_cast<int>(cols)),
+                        duration_us / 1e6, static_cast<int>(segments));
+  model.viewer_count_ = static_cast<int>(viewers);
+  for (size_t i = 0; i < model.counts_.size(); ++i) {
+    VC_ASSIGN_OR_RETURN(model.counts_[i], GetU64(data, &pos));
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("popularity model has trailing bytes");
+  }
+  return model;
+}
+
+}  // namespace vc

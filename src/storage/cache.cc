@@ -1,0 +1,68 @@
+#include "storage/cache.h"
+
+namespace vc {
+
+LruCache::LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+LruCache::Value LruCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void LruCache::Put(const std::string& key, Value value) {
+  if (value == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (value->size() > capacity_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.bytes_cached -= it->second->value->size();
+    it->second->value = std::move(value);
+    stats_.bytes_cached += it->second->value->size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(value)});
+    index_[key] = lru_.begin();
+    stats_.bytes_cached += lru_.front().value->size();
+  }
+  EvictIfNeededLocked();
+}
+
+void LruCache::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  stats_.bytes_cached -= it->second->value->size();
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void LruCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes_cached = 0;
+}
+
+CacheStats LruCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void LruCache::EvictIfNeededLocked() {
+  while (stats_.bytes_cached > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes_cached -= victim.value->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace vc

@@ -1,0 +1,73 @@
+#ifndef VC_STORAGE_CACHE_H_
+#define VC_STORAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vc {
+
+/// Hit/miss/eviction counters for a cache instance.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_cached = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// \brief Byte-bounded LRU cache from string keys to immutable byte buffers.
+///
+/// This is VisualCloud's buffer pool: the storage manager caches encoded
+/// segment cells at GOP granularity, which captures the temporal locality of
+/// streaming sessions (clients re-request neighbouring qualities and replay
+/// ranges). Thread-safe.
+class LruCache {
+ public:
+  using Value = std::shared_ptr<const std::vector<uint8_t>>;
+
+  /// `capacity_bytes` of zero disables caching entirely.
+  explicit LruCache(size_t capacity_bytes);
+
+  /// Returns the cached value or nullptr, updating recency and stats.
+  Value Get(const std::string& key);
+
+  /// Inserts (or replaces) a value, evicting LRU entries over capacity.
+  /// Values larger than the whole capacity are not cached.
+  void Put(const std::string& key, Value value);
+
+  /// Removes one key if present.
+  void Erase(const std::string& key);
+
+  /// Drops everything (stats are preserved).
+  void Clear();
+
+  CacheStats stats() const;
+  size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    Value value;
+  };
+
+  void EvictIfNeededLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace vc
+
+#endif  // VC_STORAGE_CACHE_H_

@@ -1,0 +1,85 @@
+#ifndef VC_STORAGE_METADATA_H_
+#define VC_STORAGE_METADATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/quality.h"
+#include "container/boxes.h"
+#include "geometry/tile_grid.h"
+
+namespace vc {
+
+/// \brief Complete description of one stored (versioned) VR video.
+///
+/// A video is spatiotemporally partitioned into *cells*: segment (time) ×
+/// tile (space) × quality (ladder rung). Each cell is an independently
+/// decodable encoded stream on disk; this metadata records the layout plus
+/// the per-cell size/checksum index. Serialized as a VCMF box tree
+/// (metadata.v<N>.vcmf), mirroring how VisualCloud keeps a small MP4
+/// metadata file per TLF version.
+struct VideoMetadata {
+  std::string name;
+  uint32_t version = 0;
+  uint16_t width = 0;
+  uint16_t height = 0;
+  uint16_t fps_times_100 = 3000;
+  uint16_t frames_per_segment = 30;
+  uint8_t tile_rows = 1;
+  uint8_t tile_cols = 1;
+  bool streaming = false;  ///< Live: segment count still growing.
+  /// Directory (relative to the video dir) holding the cell files. Defaults
+  /// to "v<version>". Live checkpoints publish successive versions that
+  /// share one data directory, so already-written cells are never copied —
+  /// the "unmodified tracks are pointers, not copies" rule.
+  std::string data_dir;
+  SphericalMeta spherical;
+  QualityLadder ladder;
+  std::vector<SegmentInfo> segments;
+  /// Segment-major, then tile (row-major), then quality (ladder order).
+  std::vector<CellInfo> cells;
+
+  int tile_count() const { return tile_rows * tile_cols; }
+  int quality_count() const { return static_cast<int>(ladder.size()); }
+  int segment_count() const { return static_cast<int>(segments.size()); }
+  double fps() const { return fps_times_100 / 100.0; }
+  TileGrid tile_grid() const { return TileGrid(tile_rows, tile_cols); }
+  double segment_duration_seconds() const {
+    return frames_per_segment / fps();
+  }
+
+  /// Flat index into `cells` for (segment, tile, quality).
+  size_t CellIndex(int segment, int tile, int quality) const {
+    return (static_cast<size_t>(segment) * tile_count() + tile) *
+               quality_count() +
+           quality;
+  }
+
+  /// Relative file name of a cell within the data directory.
+  std::string CellFileName(int segment, int tile, int quality) const;
+
+  /// The effective data directory ("v<version>" when unset).
+  std::string DataDir() const {
+    return data_dir.empty() ? "v" + std::to_string(version) : data_dir;
+  }
+
+  /// Total stored bytes across all cells.
+  uint64_t TotalBytes() const;
+
+  /// Bytes of one segment at a single quality across all tiles.
+  uint64_t SegmentBytesAtQuality(int segment, int quality) const;
+
+  /// Structural validation (counts consistent, ladder non-empty, ...).
+  Status Validate() const;
+
+  /// Serializes to a VCMF byte stream.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a stream produced by Serialize.
+  static Result<VideoMetadata> Parse(Slice data);
+};
+
+}  // namespace vc
+
+#endif  // VC_STORAGE_METADATA_H_

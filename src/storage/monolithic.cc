@@ -1,0 +1,136 @@
+#include "storage/monolithic.h"
+
+namespace vc {
+
+namespace {
+
+uint32_t GetU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+/// Parses length-prefixed frame records from a byte range.
+Result<std::vector<EncodedFrame>> ParseFrameRecords(Slice data) {
+  std::vector<EncodedFrame> frames;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (pos + 4 > data.size()) {
+      return Status::Corruption("truncated frame length prefix");
+    }
+    uint32_t length = GetU32(data.data() + pos);
+    pos += 4;
+    if (pos + length > data.size()) {
+      return Status::Corruption("truncated frame payload");
+    }
+    EncodedFrame frame;
+    frame.payload.assign(data.data() + pos, data.data() + pos + length);
+    FrameType type;
+    VC_ASSIGN_OR_RETURN(type, ParseFrameType(Slice(frame.payload)));
+    frame.type = type;
+    frames.push_back(std::move(frame));
+    pos += length;
+  }
+  return frames;
+}
+
+}  // namespace
+
+Result<GopIndex> WriteMonolithicStream(Env* env, const std::string& path,
+                                       const EncodedVideo& video) {
+  auto bytes = video.Serialize();
+  VC_RETURN_IF_ERROR(env->WriteFile(path, Slice(bytes)));
+
+  GopIndex index;
+  uint64_t offset = SequenceHeader::kSerializedSize;
+  GopIndexEntry current;
+  bool open = false;
+  uint32_t frame_number = 0;
+  for (const EncodedFrame& frame : video.frames) {
+    uint64_t record_size = 4 + frame.payload.size();
+    if (frame.type == FrameType::kIntra) {
+      if (open) index.entries.push_back(current);
+      current = GopIndexEntry{};
+      current.first_frame = frame_number;
+      current.byte_offset = offset;
+      current.frame_count = 0;
+      current.byte_length = 0;
+      open = true;
+    } else if (!open) {
+      return Status::InvalidArgument("stream does not start with a keyframe");
+    }
+    current.frame_count += 1;
+    current.byte_length += record_size;
+    offset += record_size;
+    ++frame_number;
+  }
+  if (open) index.entries.push_back(current);
+  return index;
+}
+
+Result<FrameRangeReadResult> ReadFrameRangeIndexed(Env* env,
+                                                   const std::string& path,
+                                                   const GopIndex& index,
+                                                   uint32_t first_frame,
+                                                   uint32_t last_frame) {
+  if (first_frame > last_frame) {
+    return Status::InvalidArgument("inverted frame range");
+  }
+  // Sequence header first (small, fixed read).
+  std::vector<uint8_t> header_bytes;
+  VC_ASSIGN_OR_RETURN(header_bytes,
+                      env->ReadFileRange(path, 0,
+                                         SequenceHeader::kSerializedSize));
+  FrameRangeReadResult result;
+  VC_ASSIGN_OR_RETURN(result.header,
+                      SequenceHeader::Parse(Slice(header_bytes)));
+  result.bytes_read = header_bytes.size();
+
+  GopIndexEntry first_gop;
+  VC_ASSIGN_OR_RETURN(first_gop, index.Lookup(first_frame));
+  GopIndexEntry last_gop;
+  VC_ASSIGN_OR_RETURN(last_gop, index.Lookup(last_frame));
+
+  uint64_t begin = first_gop.byte_offset;
+  uint64_t end = last_gop.byte_offset + last_gop.byte_length;
+  std::vector<uint8_t> media;
+  VC_ASSIGN_OR_RETURN(media, env->ReadFileRange(path, begin, end - begin));
+  result.bytes_read += media.size();
+  VC_ASSIGN_OR_RETURN(result.frames, ParseFrameRecords(Slice(media)));
+  result.first_frame = first_gop.first_frame;
+  return result;
+}
+
+Result<FrameRangeReadResult> ReadFrameRangeLinear(Env* env,
+                                                  const std::string& path,
+                                                  uint32_t first_frame,
+                                                  uint32_t last_frame) {
+  if (first_frame > last_frame) {
+    return Status::InvalidArgument("inverted frame range");
+  }
+  std::vector<uint8_t> bytes;
+  VC_ASSIGN_OR_RETURN(bytes, env->ReadFile(path));
+  EncodedVideo video;
+  VC_ASSIGN_OR_RETURN(video, EncodedVideo::Parse(Slice(bytes)));
+  if (last_frame >= video.frames.size()) {
+    return Status::OutOfRange("frame range past end of stream");
+  }
+  FrameRangeReadResult result;
+  result.header = video.header;
+  result.bytes_read = bytes.size();
+  // Back up to the keyframe covering first_frame.
+  uint32_t start = first_frame;
+  while (start > 0 && video.frames[start].type != FrameType::kIntra) --start;
+  // Extend to the end of last_frame's GOP.
+  uint32_t end = last_frame;
+  while (end + 1 < video.frames.size() &&
+         video.frames[end + 1].type != FrameType::kIntra) {
+    ++end;
+  }
+  result.first_frame = start;
+  result.frames.assign(video.frames.begin() + start,
+                       video.frames.begin() + end + 1);
+  return result;
+}
+
+}  // namespace vc

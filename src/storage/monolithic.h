@@ -1,0 +1,54 @@
+#ifndef VC_STORAGE_MONOLITHIC_H_
+#define VC_STORAGE_MONOLITHIC_H_
+
+#include <string>
+#include <vector>
+
+#include "codec/bitstream.h"
+#include "common/env.h"
+#include "container/boxes.h"
+
+namespace vc {
+
+/// \brief Helpers for storing a video as a single monolithic stream file
+/// with an external GOP index — the layout VisualCloud uses for archived
+/// content that was not ingested through the tiled pipeline, and the subject
+/// of the index microbenchmark (M2): a temporal range query with the index
+/// reads only the covering GOPs' byte ranges; without it, the whole file.
+///
+/// File layout: exactly `EncodedVideo::Serialize()` (sequence header, then
+/// length-prefixed frames).
+
+/// Writes the stream to `path` and returns the GOP index over it.
+Result<GopIndex> WriteMonolithicStream(Env* env, const std::string& path,
+                                       const EncodedVideo& video);
+
+/// Result of a frame-range read: the decoder-ready frames covering the
+/// request plus how many bytes were actually read from storage.
+struct FrameRangeReadResult {
+  SequenceHeader header;
+  /// Encoded frames of every GOP overlapping the request, in coding order.
+  std::vector<EncodedFrame> frames;
+  /// Presentation index of frames[0].
+  uint32_t first_frame = 0;
+  uint64_t bytes_read = 0;
+};
+
+/// Reads frames [first_frame, last_frame] using the GOP index: seeks
+/// directly to the covering GOPs.
+Result<FrameRangeReadResult> ReadFrameRangeIndexed(Env* env,
+                                                   const std::string& path,
+                                                   const GopIndex& index,
+                                                   uint32_t first_frame,
+                                                   uint32_t last_frame);
+
+/// Baseline without an index: reads and parses the entire stream, then
+/// returns the same covering range.
+Result<FrameRangeReadResult> ReadFrameRangeLinear(Env* env,
+                                                  const std::string& path,
+                                                  uint32_t first_frame,
+                                                  uint32_t last_frame);
+
+}  // namespace vc
+
+#endif  // VC_STORAGE_MONOLITHIC_H_

@@ -1,0 +1,264 @@
+#include "storage/storage_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/crc32.h"
+
+namespace vc {
+
+namespace {
+
+constexpr char kMetadataPrefix[] = "metadata.v";
+constexpr char kMetadataSuffix[] = ".vcmf";
+
+/// Parses "metadata.v<N>.vcmf" into N; returns 0 for non-matching names.
+uint32_t VersionFromMetadataName(const std::string& filename) {
+  const size_t prefix_len = sizeof(kMetadataPrefix) - 1;
+  const size_t suffix_len = sizeof(kMetadataSuffix) - 1;
+  if (filename.size() <= prefix_len + suffix_len) return 0;
+  if (filename.compare(0, prefix_len, kMetadataPrefix) != 0) return 0;
+  if (filename.compare(filename.size() - suffix_len, suffix_len,
+                       kMetadataSuffix) != 0) {
+    return 0;
+  }
+  uint32_t version = 0;
+  for (size_t i = prefix_len; i < filename.size() - suffix_len; ++i) {
+    if (filename[i] < '0' || filename[i] > '9') return 0;
+    version = version * 10 + (filename[i] - '0');
+  }
+  return version;
+}
+
+}  // namespace
+
+StorageManager::StorageManager(const StorageOptions& options)
+    : options_(options), cache_(options.cache_capacity_bytes) {}
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    const StorageOptions& options) {
+  if (options.env == nullptr) {
+    return Status::InvalidArgument("StorageOptions.env must not be null");
+  }
+  if (options.root.empty()) {
+    return Status::InvalidArgument("StorageOptions.root must not be empty");
+  }
+  VC_RETURN_IF_ERROR(options.env->CreateDirs(options.root));
+  return std::unique_ptr<StorageManager>(new StorageManager(options));
+}
+
+std::string StorageManager::VideoDir(const std::string& name) const {
+  return options_.root + "/" + name;
+}
+
+std::string StorageManager::MetadataPath(const std::string& name,
+                                         uint32_t version) const {
+  return VideoDir(name) + "/" + kMetadataPrefix + std::to_string(version) +
+         kMetadataSuffix;
+}
+
+StorageManager::VideoWriter::VideoWriter(StorageManager* store,
+                                         VideoMetadata metadata,
+                                         std::string version_dir)
+    : store_(store),
+      metadata_(std::move(metadata)),
+      version_dir_(std::move(version_dir)) {}
+
+Result<std::unique_ptr<StorageManager::VideoWriter>>
+StorageManager::NewVideoWriter(VideoMetadata metadata) {
+  if (!metadata.segments.empty() || !metadata.cells.empty()) {
+    return Status::InvalidArgument(
+        "NewVideoWriter expects empty segment/cell lists");
+  }
+  // Validate layout fields using a dummy single segment.
+  VideoMetadata probe = metadata;
+  probe.segments = {SegmentInfo{0, metadata.frames_per_segment}};
+  probe.cells.assign(
+      static_cast<size_t>(probe.tile_count()) * probe.quality_count(),
+      CellInfo{});
+  probe.version = 1;
+  VC_RETURN_IF_ERROR(probe.Validate());
+
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  uint32_t next_version = 1;
+  auto versions = ListVersions(metadata.name);
+  if (versions.ok() && !versions->empty()) {
+    next_version = versions->back() + 1;
+  }
+  metadata.version = next_version;
+  metadata.data_dir = "v" + std::to_string(next_version);
+  std::string dir = VideoDir(metadata.name) + "/" + metadata.data_dir;
+  VC_RETURN_IF_ERROR(options_.env->CreateDirs(dir));
+  return std::unique_ptr<VideoWriter>(
+      new VideoWriter(this, std::move(metadata), std::move(dir)));
+}
+
+Status StorageManager::VideoWriter::AddSegment(
+    uint32_t frame_count, const std::vector<std::vector<uint8_t>>& cells) {
+  if (committed_) return Status::Aborted("writer already committed");
+  size_t expected =
+      static_cast<size_t>(metadata_.tile_count()) * metadata_.quality_count();
+  if (cells.size() != expected) {
+    return Status::InvalidArgument(
+        "segment cell count mismatch: have " + std::to_string(cells.size()) +
+        ", want " + std::to_string(expected));
+  }
+  if (frame_count == 0) {
+    return Status::InvalidArgument("segment must contain frames");
+  }
+  uint32_t start = 0;
+  if (!metadata_.segments.empty()) {
+    start = metadata_.segments.back().start_frame +
+            metadata_.segments.back().frame_count;
+  }
+  int segment = metadata_.segment_count();
+  for (int tile = 0; tile < metadata_.tile_count(); ++tile) {
+    for (int quality = 0; quality < metadata_.quality_count(); ++quality) {
+      const auto& payload =
+          cells[static_cast<size_t>(tile) * metadata_.quality_count() +
+                quality];
+      std::string path = version_dir_ + "/" +
+                         metadata_.CellFileName(segment, tile, quality);
+      VC_RETURN_IF_ERROR(
+          store_->options_.env->WriteFile(path, Slice(payload)));
+      CellInfo info;
+      info.byte_size = payload.size();
+      info.crc32 = Crc32(Slice(payload));
+      metadata_.cells.push_back(info);
+    }
+  }
+  metadata_.segments.push_back(SegmentInfo{start, frame_count});
+  return Status::OK();
+}
+
+Result<uint32_t> StorageManager::VideoWriter::Commit() {
+  if (committed_) return Status::Aborted("writer already committed");
+  metadata_.streaming = false;
+  VC_RETURN_IF_ERROR(metadata_.Validate());
+  std::string path =
+      store_->MetadataPath(metadata_.name, metadata_.version);
+  auto bytes = metadata_.Serialize();
+  VC_RETURN_IF_ERROR(store_->options_.env->WriteFile(path, Slice(bytes)));
+  committed_ = true;
+  return metadata_.version;
+}
+
+Result<uint32_t> StorageManager::VideoWriter::CommitCheckpoint() {
+  if (committed_) return Status::Aborted("writer already committed");
+  metadata_.streaming = true;
+  VC_RETURN_IF_ERROR(metadata_.Validate());
+  std::string path =
+      store_->MetadataPath(metadata_.name, metadata_.version);
+  auto bytes = metadata_.Serialize();
+  VC_RETURN_IF_ERROR(store_->options_.env->WriteFile(path, Slice(bytes)));
+  uint32_t published = metadata_.version;
+  // Continue into the next version, reusing the same data directory so the
+  // cells published so far are shared, not copied.
+  metadata_.version += 1;
+  return published;
+}
+
+Result<uint32_t> StorageManager::StoreVideo(
+    VideoMetadata metadata, const std::vector<std::vector<uint8_t>>& cells) {
+  std::vector<SegmentInfo> segments = std::move(metadata.segments);
+  metadata.segments.clear();
+  metadata.cells.clear();
+  size_t per_segment =
+      static_cast<size_t>(metadata.tile_count()) * metadata.quality_count();
+  if (cells.size() != per_segment * segments.size()) {
+    return Status::InvalidArgument("cell payload count mismatch");
+  }
+  std::unique_ptr<VideoWriter> writer;
+  VC_ASSIGN_OR_RETURN(writer, NewVideoWriter(std::move(metadata)));
+  for (size_t s = 0; s < segments.size(); ++s) {
+    std::vector<std::vector<uint8_t>> segment_cells(
+        cells.begin() + s * per_segment, cells.begin() + (s + 1) * per_segment);
+    VC_RETURN_IF_ERROR(writer->AddSegment(segments[s].frame_count,
+                                          segment_cells));
+  }
+  return writer->Commit();
+}
+
+Result<std::vector<std::string>> StorageManager::ListVideos() const {
+  std::vector<std::string> names;
+  VC_ASSIGN_OR_RETURN(names, options_.env->ListDir(options_.root));
+  std::vector<std::string> videos;
+  for (const std::string& name : names) {
+    auto versions = ListVersions(name);
+    if (versions.ok() && !versions->empty()) videos.push_back(name);
+  }
+  std::sort(videos.begin(), videos.end());
+  return videos;
+}
+
+Result<std::vector<uint32_t>> StorageManager::ListVersions(
+    const std::string& name) const {
+  auto entries = options_.env->ListDir(VideoDir(name));
+  if (!entries.ok()) {
+    return Status::NotFound("video '" + name + "' not in catalog");
+  }
+  std::vector<uint32_t> versions;
+  for (const std::string& entry : *entries) {
+    uint32_t version = VersionFromMetadataName(entry);
+    if (version > 0) versions.push_back(version);
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+Result<VideoMetadata> StorageManager::GetVideo(const std::string& name) const {
+  std::vector<uint32_t> versions;
+  VC_ASSIGN_OR_RETURN(versions, ListVersions(name));
+  if (versions.empty()) {
+    return Status::NotFound("video '" + name + "' has no committed versions");
+  }
+  return GetVideoVersion(name, versions.back());
+}
+
+Result<VideoMetadata> StorageManager::GetVideoVersion(
+    const std::string& name, uint32_t version) const {
+  auto bytes = options_.env->ReadFile(MetadataPath(name, version));
+  if (!bytes.ok()) {
+    return Status::NotFound("video '" + name + "' version " +
+                            std::to_string(version) + " not found");
+  }
+  return VideoMetadata::Parse(Slice(*bytes));
+}
+
+Result<LruCache::Value> StorageManager::ReadCell(
+    const VideoMetadata& metadata, int segment, int tile, int quality) {
+  if (segment < 0 || segment >= metadata.segment_count() || tile < 0 ||
+      tile >= metadata.tile_count() || quality < 0 ||
+      quality >= metadata.quality_count()) {
+    return Status::InvalidArgument("cell coordinates out of range");
+  }
+  std::string path = VideoDir(metadata.name) + "/" + metadata.DataDir() +
+                     "/" + metadata.CellFileName(segment, tile, quality);
+  if (LruCache::Value cached = cache_.Get(path)) {
+    return cached;
+  }
+  std::vector<uint8_t> bytes;
+  VC_ASSIGN_OR_RETURN(bytes, options_.env->ReadFile(path));
+  const CellInfo& info =
+      metadata.cells[metadata.CellIndex(segment, tile, quality)];
+  if (bytes.size() != info.byte_size ||
+      Crc32(Slice(bytes)) != info.crc32) {
+    return Status::Corruption("cell '" + path + "' fails checksum");
+  }
+  auto value =
+      std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+  cache_.Put(path, value);
+  return LruCache::Value(value);
+}
+
+Status StorageManager::DropVideo(const std::string& name) {
+  auto versions = ListVersions(name);
+  if (!versions.ok() || versions->empty()) {
+    return Status::NotFound("video '" + name + "' not in catalog");
+  }
+  VC_RETURN_IF_ERROR(options_.env->RemoveDirRecursive(VideoDir(name)));
+  cache_.Clear();
+  return Status::OK();
+}
+
+}  // namespace vc

@@ -1,0 +1,122 @@
+#ifndef VC_STORAGE_STORAGE_MANAGER_H_
+#define VC_STORAGE_STORAGE_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "storage/cache.h"
+#include "storage/metadata.h"
+
+namespace vc {
+
+/// Configuration for opening a VisualCloud store.
+struct StorageOptions {
+  Env* env = Env::Default();          ///< Filesystem (not owned).
+  std::string root;                   ///< Store root directory.
+  size_t cache_capacity_bytes = 64ull << 20;  ///< Segment cell cache.
+};
+
+/// \brief VisualCloud's no-overwrite, multi-version storage manager.
+///
+/// Layout under `root`:
+///
+///     <root>/<video>/metadata.v<N>.vcmf    one per committed version
+///     <root>/<video>/v<N>/s*_t*_q*.vcc     encoded cell streams
+///
+/// Writes are copy-on-write: committing a video always creates version
+/// max+1; readers that opened version N keep seeing exactly N's files
+/// (snapshot isolation by immutability). Cell reads are checksum-verified
+/// and served through an LRU buffer cache at cell (≈GOP) granularity.
+class StorageManager {
+ public:
+  /// Opens (creating the root directory if needed).
+  static Result<std::unique_ptr<StorageManager>> Open(
+      const StorageOptions& options);
+
+  /// \brief Streaming-friendly writer for one new video version.
+  ///
+  /// Append segments in order, then Commit() to publish atomically. The
+  /// version is invisible to readers until Commit writes the metadata file.
+  class VideoWriter {
+   public:
+    /// Appends one segment: `cells` holds tile-major × quality-minor encoded
+    /// streams (tile_count × quality_count entries).
+    Status AddSegment(uint32_t frame_count,
+                      const std::vector<std::vector<uint8_t>>& cells);
+
+    /// Publishes the version; returns the assigned version number. The
+    /// writer must not be used afterwards.
+    Result<uint32_t> Commit();
+
+    /// Live-ingest checkpoint: publishes the segments written so far as a
+    /// new committed version (flagged `streaming`) and keeps the writer
+    /// open. Successive checkpoints produce successive versions that share
+    /// the same data directory — already-written cells are never copied.
+    Result<uint32_t> CommitCheckpoint();
+
+    /// The metadata accumulated so far (pre-commit: version already set).
+    const VideoMetadata& metadata() const { return metadata_; }
+
+   private:
+    friend class StorageManager;
+    VideoWriter(StorageManager* store, VideoMetadata metadata,
+                std::string version_dir);
+
+    StorageManager* store_;
+    VideoMetadata metadata_;
+    std::string version_dir_;
+    bool committed_ = false;
+  };
+
+  /// Starts writing a new version of `metadata.name`. `metadata.segments`
+  /// and `metadata.cells` must be empty; layout fields must validate.
+  Result<std::unique_ptr<VideoWriter>> NewVideoWriter(VideoMetadata metadata);
+
+  /// One-shot store: metadata with segments filled in, plus all cell
+  /// payloads in metadata cell order. Returns the assigned version.
+  Result<uint32_t> StoreVideo(VideoMetadata metadata,
+                              const std::vector<std::vector<uint8_t>>& cells);
+
+  /// Video names present in the catalog (sorted).
+  Result<std::vector<std::string>> ListVideos() const;
+
+  /// Committed versions of a video (ascending).
+  Result<std::vector<uint32_t>> ListVersions(const std::string& name) const;
+
+  /// Latest committed version's metadata.
+  Result<VideoMetadata> GetVideo(const std::string& name) const;
+
+  /// Specific version's metadata.
+  Result<VideoMetadata> GetVideoVersion(const std::string& name,
+                                        uint32_t version) const;
+
+  /// Reads one encoded cell stream (checksum-verified, cached).
+  Result<LruCache::Value> ReadCell(const VideoMetadata& metadata, int segment,
+                                   int tile, int quality);
+
+  /// Removes a video and all of its versions from disk and cache.
+  Status DropVideo(const std::string& name);
+
+  /// Buffer-cache statistics.
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  Env* env() const { return options_.env; }
+  const std::string& root() const { return options_.root; }
+
+ private:
+  explicit StorageManager(const StorageOptions& options);
+
+  std::string VideoDir(const std::string& name) const;
+  std::string MetadataPath(const std::string& name, uint32_t version) const;
+
+  StorageOptions options_;
+  LruCache cache_;
+  mutable std::mutex writer_mu_;  ///< serializes version assignment
+};
+
+}  // namespace vc
+
+#endif  // VC_STORAGE_STORAGE_MANAGER_H_

@@ -1,0 +1,19 @@
+#include "streaming/adaptation.h"
+
+namespace vc {
+
+int PickQualityForBudget(const std::vector<uint64_t>& sizes_per_quality,
+                         double budget_bytes) {
+  for (size_t q = 0; q < sizes_per_quality.size(); ++q) {
+    if (static_cast<double>(sizes_per_quality[q]) <= budget_bytes) {
+      return static_cast<int>(q);
+    }
+  }
+  return static_cast<int>(sizes_per_quality.size()) - 1;
+}
+
+double SegmentByteBudget(double bps, double segment_seconds, double safety) {
+  return bps * segment_seconds * safety / 8.0;
+}
+
+}  // namespace vc

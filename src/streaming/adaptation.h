@@ -1,0 +1,45 @@
+#ifndef VC_STREAMING_ADAPTATION_H_
+#define VC_STREAMING_ADAPTATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vc {
+
+/// \brief EWMA throughput estimator (the standard DASH rate-adaptation
+/// signal): smooths per-segment measured goodput.
+class ThroughputEstimator {
+ public:
+  explicit ThroughputEstimator(double alpha = 0.3, double initial_bps = 4e6)
+      : alpha_(alpha), estimate_bps_(initial_bps) {}
+
+  /// Records a completed transfer of `bytes` that took `seconds`.
+  void AddSample(uint64_t bytes, double seconds) {
+    if (seconds <= 1e-9) return;
+    double bps = static_cast<double>(bytes) * 8.0 / seconds;
+    estimate_bps_ = alpha_ * bps + (1.0 - alpha_) * estimate_bps_;
+  }
+
+  /// Smoothed goodput estimate (bits/second).
+  double estimate_bps() const { return estimate_bps_; }
+
+ private:
+  double alpha_;
+  double estimate_bps_;
+};
+
+/// Picks the highest quality index (0 = best) whose size fits in
+/// `budget_bytes`; falls back to the lowest quality if none fit.
+/// `sizes_per_quality` is ordered best→worst quality.
+int PickQualityForBudget(const std::vector<uint64_t>& sizes_per_quality,
+                         double budget_bytes);
+
+/// Byte budget for one segment: the bytes a `bps` link delivers in
+/// `segment_seconds`, derated by `safety` (< 1) to absorb estimation error.
+double SegmentByteBudget(double bps, double segment_seconds,
+                         double safety = 0.85);
+
+}  // namespace vc
+
+#endif  // VC_STREAMING_ADAPTATION_H_

@@ -1,0 +1,94 @@
+#include "streaming/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace vc {
+
+Status NetworkOptions::Validate() const {
+  if (bandwidth_bps <= 0) {
+    return Status::InvalidArgument("bandwidth must be positive");
+  }
+  if (latency_seconds < 0 || latency_seconds > 10) {
+    return Status::InvalidArgument("latency out of range [0, 10s]");
+  }
+  if (jitter < 0 || jitter > 0.9) {
+    return Status::InvalidArgument("jitter out of range [0, 0.9]");
+  }
+  double last_t = -1;
+  for (const auto& [t, bps] : bandwidth_trace) {
+    if (t < 0 || bps <= 0 || t <= last_t) {
+      return Status::InvalidArgument("bandwidth trace must be sorted, positive");
+    }
+    last_t = t;
+  }
+  return Status::OK();
+}
+
+Result<NetworkSimulator> NetworkSimulator::Create(
+    const NetworkOptions& options) {
+  VC_RETURN_IF_ERROR(options.Validate());
+  return NetworkSimulator(options);
+}
+
+NetworkSimulator::NetworkSimulator(const NetworkOptions& options)
+    : options_(options), jitter_state_(options.seed) {}
+
+double NetworkSimulator::BandwidthAt(double t) const {
+  double bps = options_.bandwidth_bps;
+  for (const auto& [start, rate] : options_.bandwidth_trace) {
+    if (t >= start) {
+      bps = rate;
+    } else {
+      break;
+    }
+  }
+  return bps;
+}
+
+double NetworkSimulator::Transfer(double start, uint64_t bytes) {
+  ++request_count_;
+  total_bytes_ += bytes;
+  double t = start + options_.latency_seconds;
+  double remaining_bits = static_cast<double>(bytes) * 8.0;
+
+  double rate_factor = 1.0;
+  if (options_.jitter > 0) {
+    Random rng(jitter_state_);
+    jitter_state_ = rng.Next();
+    rate_factor =
+        Clamp(1.0 + options_.jitter * rng.NextGaussian(), 0.1, 2.0);
+  }
+
+  // Integrate across stepwise bandwidth changes.
+  constexpr int kMaxSteps = 10000;
+  for (int step = 0; step < kMaxSteps && remaining_bits > 1e-9; ++step) {
+    double bps = BandwidthAt(t) * rate_factor;
+    // Find the next bandwidth change after t.
+    double next_change = -1;
+    for (const auto& [change_t, rate] : options_.bandwidth_trace) {
+      (void)rate;
+      if (change_t > t) {
+        next_change = change_t;
+        break;
+      }
+    }
+    double finish = t + remaining_bits / bps;
+    if (next_change < 0 || finish <= next_change) {
+      return finish;
+    }
+    remaining_bits -= (next_change - t) * bps;
+    t = next_change;
+  }
+  return t;
+}
+
+void NetworkSimulator::ResetStats() {
+  total_bytes_ = 0;
+  request_count_ = 0;
+}
+
+}  // namespace vc

@@ -1,0 +1,67 @@
+#ifndef VC_STREAMING_NETWORK_H_
+#define VC_STREAMING_NETWORK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vc {
+
+/// \brief Parameters of the simulated client↔server network path.
+///
+/// Replaces the HTTP/DASH path of the live demonstration with a
+/// deterministic model: a (possibly time-varying) bandwidth, a fixed
+/// per-request latency, and optional multiplicative jitter. Determinism
+/// makes every bandwidth number in EXPERIMENTS.md exactly reproducible.
+struct NetworkOptions {
+  double bandwidth_bps = 8e6;      ///< Steady-state bandwidth (bits/second).
+  double latency_seconds = 0.030;  ///< Per-request one-way latency.
+  double jitter = 0.0;             ///< Stddev of per-transfer rate factor.
+  uint64_t seed = 7;               ///< Jitter RNG seed.
+  /// Optional stepwise bandwidth trace: (start_time, bps) pairs sorted by
+  /// time; overrides `bandwidth_bps` from each start time onward.
+  std::vector<std::pair<double, double>> bandwidth_trace;
+
+  Status Validate() const;
+};
+
+/// \brief Deterministic network path simulator.
+///
+/// The streaming session calls `Transfer` once per segment request; the
+/// simulator integrates the byte count over the (stepwise) bandwidth curve
+/// and returns the completion time.
+class NetworkSimulator {
+ public:
+  static Result<NetworkSimulator> Create(const NetworkOptions& options);
+
+  /// Bandwidth in effect at simulation time `t` (bits/second).
+  double BandwidthAt(double t) const;
+
+  /// Simulates a request for `bytes` issued at time `start`; returns the
+  /// completion time (start + latency + transfer time) and accumulates
+  /// transfer statistics.
+  double Transfer(double start, uint64_t bytes);
+
+  /// Total bytes transferred so far.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Number of Transfer calls.
+  uint64_t request_count() const { return request_count_; }
+
+  /// Clears statistics (the bandwidth model is unchanged).
+  void ResetStats();
+
+ private:
+  explicit NetworkSimulator(const NetworkOptions& options);
+
+  NetworkOptions options_;
+  uint64_t jitter_state_;
+  uint64_t total_bytes_ = 0;
+  uint64_t request_count_ = 0;
+};
+
+}  // namespace vc
+
+#endif  // VC_STREAMING_NETWORK_H_

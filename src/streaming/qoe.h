@@ -1,0 +1,50 @@
+#ifndef VC_STREAMING_QOE_H_
+#define VC_STREAMING_QOE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vc {
+
+/// \brief Quality-of-experience accounting for one streaming session.
+///
+/// Collected by the session driver: transfer volume, rebuffering, and
+/// (optionally) in-viewport quality measured against the pristine source.
+struct SessionStats {
+  std::string approach;        ///< Strategy name ("visualcloud", ...).
+  uint64_t bytes_sent = 0;     ///< Total media bytes delivered.
+  int segments = 0;            ///< Segments streamed.
+  double startup_delay = 0.0;  ///< Seconds until playback started.
+  double stall_seconds = 0.0;  ///< Total rebuffering time after startup.
+  int stall_events = 0;        ///< Number of distinct rebuffer events.
+  double duration_seconds = 0.0;  ///< Media duration streamed.
+
+  // In-viewport quality (only when the session evaluated quality).
+  double mean_viewport_psnr = 0.0;
+  double min_viewport_psnr = 0.0;
+  int quality_samples = 0;
+
+  /// Mean ladder rung delivered for in-view tiles (0 = best).
+  double mean_inview_quality = 0.0;
+
+  /// Average delivered media bitrate (bits/second of content time).
+  double MeanBitrateBps() const {
+    return duration_seconds > 0
+               ? static_cast<double>(bytes_sent) * 8.0 / duration_seconds
+               : 0.0;
+  }
+};
+
+/// Bandwidth saved by `candidate` relative to `baseline` (fraction in
+/// [−∞, 1]; 0.6 means 60% fewer bytes).
+inline double BandwidthSavings(const SessionStats& baseline,
+                               const SessionStats& candidate) {
+  if (baseline.bytes_sent == 0) return 0.0;
+  return 1.0 - static_cast<double>(candidate.bytes_sent) /
+                   static_cast<double>(baseline.bytes_sent);
+}
+
+}  // namespace vc
+
+#endif  // VC_STREAMING_QOE_H_

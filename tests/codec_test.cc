@@ -1,0 +1,715 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "codec/bitstream.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/entropy.h"
+#include "codec/homomorphic.h"
+#include "codec/quality.h"
+#include "codec/transform.h"
+#include "common/random.h"
+#include "image/metrics.h"
+#include "image/scene.h"
+
+namespace vc {
+namespace {
+
+// --------------------------------------------------------------- Transform
+
+TEST(TransformTest, DctRoundTripIsLossless) {
+  Random rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    ResidualBlock in;
+    for (auto& v : in) {
+      v = static_cast<int16_t>(static_cast<int>(rng.Uniform(511)) - 255);
+    }
+    CoeffBlock coeffs;
+    ForwardDct(in, &coeffs);
+    ResidualBlock out;
+    InverseDct(coeffs, &out);
+    for (int i = 0; i < kBlockPixels; ++i) {
+      EXPECT_EQ(in[i], out[i]) << "trial " << trial << " index " << i;
+    }
+  }
+}
+
+TEST(TransformTest, DcCoefficientIsScaledMean) {
+  ResidualBlock in;
+  in.fill(100);
+  CoeffBlock coeffs;
+  ForwardDct(in, &coeffs);
+  // Orthonormal DCT: DC = mean * 8 = 800 for a constant-100 block.
+  EXPECT_NEAR(coeffs[0], 800.0, 1e-6);
+  for (int i = 1; i < kBlockPixels; ++i) {
+    EXPECT_NEAR(coeffs[i], 0.0, 1e-9);
+  }
+}
+
+TEST(TransformTest, QStepDoublesEverySixQp) {
+  EXPECT_NEAR(QStepForQp(6) / QStepForQp(0), 2.0, 1e-9);
+  EXPECT_NEAR(QStepForQp(24) / QStepForQp(18), 2.0, 1e-9);
+  EXPECT_GT(QStepForQp(51), QStepForQp(0));
+}
+
+TEST(TransformTest, QuantizeDequantizeBoundsError) {
+  Random rng(12);
+  double qstep = QStepForQp(20);
+  CoeffBlock coeffs;
+  for (auto& c : coeffs) c = rng.UniformDouble(-500, 500);
+  LevelBlock levels;
+  Quantize(coeffs, qstep, &levels);
+  CoeffBlock recon;
+  Dequantize(levels, qstep, &recon);
+  for (int i = 0; i < kBlockPixels; ++i) {
+    EXPECT_LE(std::abs(recon[i] - coeffs[i]), qstep)
+        << "reconstruction off by more than one step";
+  }
+}
+
+TEST(TransformTest, ZigzagIsAPermutation) {
+  const auto& order = ZigzagOrder();
+  std::array<int, kBlockPixels> seen{};
+  for (int i : order) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, kBlockPixels);
+    seen[i]++;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // First entries follow the canonical diagonal walk.
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 8);
+  EXPECT_EQ(order[3], 16);
+  EXPECT_EQ(order[4], 9);
+  EXPECT_EQ(order[5], 2);
+}
+
+// ----------------------------------------------------------------- Entropy
+
+TEST(EntropyTest, LevelBlockRoundTrip) {
+  Random rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    LevelBlock in{};
+    // Sparse blocks, as produced by quantization.
+    for (int i = 0; i < kBlockPixels; ++i) {
+      if (rng.Bernoulli(0.2)) {
+        in[i] = static_cast<int32_t>(rng.Uniform(2000)) - 1000;
+      }
+    }
+    BitWriter writer;
+    EncodeLevelBlock(in, &writer);
+    auto bytes = writer.Finish();
+    BitReader reader{Slice(bytes)};
+    LevelBlock out;
+    ASSERT_TRUE(DecodeLevelBlock(&reader, &out).ok());
+    EXPECT_EQ(in, out);
+  }
+}
+
+TEST(EntropyTest, AllZeroBlockIsOneBit) {
+  LevelBlock zeros{};
+  BitWriter writer;
+  EncodeLevelBlock(zeros, &writer);
+  EXPECT_EQ(writer.bit_count(), 1u);  // UE(0) == one bit
+}
+
+TEST(EntropyTest, TruncatedStreamFails) {
+  LevelBlock in{};
+  in[0] = 500;
+  in[63] = -3;
+  BitWriter writer;
+  EncodeLevelBlock(in, &writer);
+  auto bytes = writer.Finish();
+  bytes.resize(bytes.size() / 2);
+  BitReader reader{Slice(bytes)};
+  LevelBlock out;
+  EXPECT_FALSE(DecodeLevelBlock(&reader, &out).ok());
+}
+
+// --------------------------------------------------------------- Bitstream
+
+TEST(BitstreamTest, SequenceHeaderRoundTrip) {
+  SequenceHeader header;
+  header.width = 512;
+  header.height = 256;
+  header.fps_times_100 = 2997;
+  header.gop_length = 30;
+  header.qp = 33;
+  header.tile_rows = 4;
+  header.tile_cols = 8;
+  header.flags = SequenceHeader::kFlagMotionConstrainedTiles;
+  auto bytes = header.Serialize();
+  EXPECT_EQ(bytes.size(), SequenceHeader::kSerializedSize);
+  auto parsed = SequenceHeader::Parse(Slice(bytes));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->width, 512);
+  EXPECT_EQ(parsed->height, 256);
+  EXPECT_NEAR(parsed->fps(), 29.97, 1e-9);
+  EXPECT_EQ(parsed->gop_length, 30);
+  EXPECT_EQ(parsed->qp, 33);
+  EXPECT_TRUE(parsed->motion_constrained_tiles());
+  EXPECT_EQ(parsed->tile_grid().tile_count(), 32);
+}
+
+TEST(BitstreamTest, HeaderRejectsGarbage) {
+  std::vector<uint8_t> junk(SequenceHeader::kSerializedSize, 0xAB);
+  EXPECT_TRUE(SequenceHeader::Parse(Slice(junk)).status().IsCorruption());
+  std::vector<uint8_t> tiny(4, 0);
+  EXPECT_TRUE(SequenceHeader::Parse(Slice(tiny)).status().IsCorruption());
+  // Valid magic but odd dimensions.
+  SequenceHeader header;
+  header.width = 100;  // not a multiple of 16
+  header.height = 64;
+  auto bytes = header.Serialize();
+  EXPECT_FALSE(SequenceHeader::Parse(Slice(bytes)).ok());
+}
+
+// ------------------------------------------------------ Encode/decode E2E
+
+EncoderOptions SmallOptions() {
+  EncoderOptions options;
+  options.width = 128;
+  options.height = 64;
+  options.gop_length = 8;
+  options.qp = 20;
+  return options;
+}
+
+std::vector<Frame> TestFrames(int count, int width = 128, int height = 64) {
+  SceneOptions scene_options;
+  scene_options.width = width;
+  scene_options.height = height;
+  auto scene = NewVeniceScene(scene_options);
+  return RenderScene(*scene, count);
+}
+
+TEST(CodecTest, OptionsValidation) {
+  EncoderOptions options = SmallOptions();
+  EXPECT_TRUE(options.Validate().ok());
+  options.width = 100;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SmallOptions();
+  options.qp = 52;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SmallOptions();
+  options.gop_length = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SmallOptions();
+  options.tile_rows = 300;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SmallOptions();
+  options.motion_range = -1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(CodecTest, SingleIntraFrameRoundTrip) {
+  auto frames = TestFrames(1);
+  auto encoder = Encoder::Create(SmallOptions());
+  ASSERT_TRUE(encoder.ok());
+  auto encoded = (*encoder)->Encode(frames[0]);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->type, FrameType::kIntra);
+
+  auto decoder = Decoder::Create((*encoder)->header());
+  ASSERT_TRUE(decoder.ok());
+  auto decoded = (*decoder)->Decode(Slice(encoded->payload));
+  ASSERT_TRUE(decoded.ok());
+  auto psnr = LumaPsnr(frames[0], *decoded);
+  ASSERT_TRUE(psnr.ok());
+  EXPECT_GT(*psnr, 30.0) << "QP 20 intra should exceed 30 dB";
+}
+
+TEST(CodecTest, DecoderMatchesEncoderReconstruction) {
+  // The decoder must reproduce the encoder's reconstruction bit-exactly;
+  // anything else means encoder/decoder drift that compounds across GOPs.
+  auto frames = TestFrames(12);
+  auto encoder = Encoder::Create(SmallOptions());
+  ASSERT_TRUE(encoder.ok());
+  auto decoder = Decoder::Create((*encoder)->header());
+  ASSERT_TRUE(decoder.ok());
+  for (const Frame& frame : frames) {
+    auto encoded = (*encoder)->Encode(frame);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = (*decoder)->Decode(Slice(encoded->payload));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->y_plane(), (*encoder)->reconstructed().y_plane());
+    EXPECT_EQ(decoded->u_plane(), (*encoder)->reconstructed().u_plane());
+    EXPECT_EQ(decoded->v_plane(), (*encoder)->reconstructed().v_plane());
+  }
+}
+
+TEST(CodecTest, GopStructure) {
+  auto frames = TestFrames(17);
+  EncoderOptions options = SmallOptions();
+  options.gop_length = 8;
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+  ASSERT_EQ(video->frames.size(), 17u);
+  for (size_t i = 0; i < video->frames.size(); ++i) {
+    FrameType expected =
+        i % 8 == 0 ? FrameType::kIntra : FrameType::kInter;
+    EXPECT_EQ(video->frames[i].type, expected) << "frame " << i;
+  }
+}
+
+TEST(CodecTest, ForceKeyframe) {
+  auto frames = TestFrames(4);
+  auto encoder = Encoder::Create(SmallOptions());
+  ASSERT_TRUE(encoder.ok());
+  ASSERT_TRUE((*encoder)->Encode(frames[0]).ok());
+  auto second = (*encoder)->Encode(frames[1]);
+  EXPECT_EQ(second->type, FrameType::kInter);
+  (*encoder)->ForceKeyframe();
+  auto third = (*encoder)->Encode(frames[2]);
+  EXPECT_EQ(third->type, FrameType::kIntra);
+}
+
+TEST(CodecTest, InterFramesAreSmallerThanIntra) {
+  auto frames = TestFrames(8);
+  auto video = EncodeVideo(frames, SmallOptions());
+  ASSERT_TRUE(video.ok());
+  size_t intra_size = video->frames[0].size_bytes();
+  double inter_total = 0;
+  for (size_t i = 1; i < video->frames.size(); ++i) {
+    inter_total += video->frames[i].size_bytes();
+  }
+  double inter_mean = inter_total / (video->frames.size() - 1);
+  EXPECT_LT(inter_mean, intra_size)
+      << "motion compensation should beat intra coding on average";
+}
+
+TEST(CodecTest, HigherQpMeansFewerBytesAndLowerQuality) {
+  auto frames = TestFrames(6);
+  EncoderOptions low_qp = SmallOptions();
+  low_qp.qp = 10;
+  EncoderOptions high_qp = SmallOptions();
+  high_qp.qp = 40;
+
+  auto video_lo = EncodeVideo(frames, low_qp);
+  auto video_hi = EncodeVideo(frames, high_qp);
+  ASSERT_TRUE(video_lo.ok());
+  ASSERT_TRUE(video_hi.ok());
+  EXPECT_LT(video_hi->size_bytes(), video_lo->size_bytes());
+
+  auto decoded_lo = DecodeVideo(*video_lo);
+  auto decoded_hi = DecodeVideo(*video_hi);
+  ASSERT_TRUE(decoded_lo.ok());
+  ASSERT_TRUE(decoded_hi.ok());
+  double psnr_lo = 0, psnr_hi = 0;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    psnr_lo += *LumaPsnr(frames[i], (*decoded_lo)[i]);
+    psnr_hi += *LumaPsnr(frames[i], (*decoded_hi)[i]);
+  }
+  EXPECT_GT(psnr_lo, psnr_hi);
+}
+
+TEST(CodecTest, VideoSerializationRoundTrip) {
+  auto frames = TestFrames(5);
+  auto video = EncodeVideo(frames, SmallOptions());
+  ASSERT_TRUE(video.ok());
+  auto bytes = video->Serialize();
+  EXPECT_EQ(bytes.size(), video->size_bytes());
+  auto parsed = EncodedVideo::Parse(Slice(bytes));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->frames.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(parsed->frames[i].payload, video->frames[i].payload);
+    EXPECT_EQ(parsed->frames[i].type, video->frames[i].type);
+  }
+  // Truncated stream is rejected.
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(EncodedVideo::Parse(Slice(bytes)).ok());
+}
+
+TEST(CodecTest, MismatchedFrameSizeRejected) {
+  auto encoder = Encoder::Create(SmallOptions());
+  ASSERT_TRUE(encoder.ok());
+  Frame wrong(64, 64);
+  EXPECT_TRUE((*encoder)->Encode(wrong).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------------- Tiles
+
+TEST(CodecTest, TiledStreamRoundTrip) {
+  EncoderOptions options = SmallOptions();
+  options.tile_rows = 2;
+  options.tile_cols = 4;
+  auto frames = TestFrames(10);
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+  auto decoded = DecodeVideo(*video);
+  ASSERT_TRUE(decoded.ok());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    auto psnr = LumaPsnr(frames[i], (*decoded)[i]);
+    EXPECT_GT(*psnr, 28.0);
+  }
+}
+
+TEST(CodecTest, TileOffsetsParse) {
+  EncoderOptions options = SmallOptions();
+  options.tile_rows = 2;
+  options.tile_cols = 2;
+  auto frames = TestFrames(1);
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+  auto ranges = ParseTileOffsets(Slice(video->frames[0].payload), 4);
+  ASSERT_TRUE(ranges.ok());
+  ASSERT_EQ(ranges->size(), 4u);
+  size_t total = 2 + 4 * 4;  // type + qp bytes + offset table
+  for (auto [offset, length] : *ranges) {
+    EXPECT_EQ(offset, total);
+    total += length;
+  }
+  EXPECT_EQ(total, video->frames[0].payload.size());
+}
+
+TEST(CodecTest, PartialTileDecodeMatchesFullDecode) {
+  // With motion-constrained tiles, decoding only tile T across a GOP must
+  // produce the same pixels for T as a full decode — this independence is
+  // exactly what VisualCloud's selective streaming relies on.
+  EncoderOptions options = SmallOptions();
+  options.tile_rows = 2;
+  options.tile_cols = 2;
+  options.motion_constrained_tiles = true;
+  auto frames = TestFrames(8);
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+
+  auto full_decoder = Decoder::Create(video->header);
+  auto tile_decoder = Decoder::Create(video->header);
+  ASSERT_TRUE(full_decoder.ok());
+  ASSERT_TRUE(tile_decoder.ok());
+  TileGrid grid = video->header.tile_grid();
+  TileId target{1, 0};
+  auto rect = grid.PixelRectOf(target, options.width, options.height, 16);
+  ASSERT_TRUE(rect.ok());
+
+  for (const auto& encoded : video->frames) {
+    auto full = (*full_decoder)->Decode(Slice(encoded.payload));
+    ASSERT_TRUE(full.ok());
+    auto partial =
+        (*tile_decoder)->DecodeTiles(Slice(encoded.payload), {target});
+    ASSERT_TRUE(partial.ok());
+    for (int y = rect->y; y < rect->y + rect->height; ++y) {
+      for (int x = rect->x; x < rect->x + rect->width; ++x) {
+        ASSERT_EQ(full->y(x, y), partial->y(x, y))
+            << "tile pixels diverge at " << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(CodecTest, UnconstrainedMotionBreaksTileIndependence) {
+  // Sanity check of the ablation: without MCTS the codec may reference
+  // pixels outside the tile, so this configuration exists and encodes fine
+  // (the streaming layer simply must not use partial decode with it).
+  EncoderOptions options = SmallOptions();
+  options.tile_rows = 2;
+  options.tile_cols = 2;
+  options.motion_constrained_tiles = false;
+  auto frames = TestFrames(6);
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+  EXPECT_FALSE(video->header.motion_constrained_tiles());
+  auto decoded = DecodeVideo(*video);
+  ASSERT_TRUE(decoded.ok());
+}
+
+TEST(CodecTest, CorruptPayloadIsRejectedNotCrash) {
+  auto frames = TestFrames(2);
+  auto video = EncodeVideo(frames, SmallOptions());
+  ASSERT_TRUE(video.ok());
+  auto decoder = Decoder::Create(video->header);
+  ASSERT_TRUE(decoder.ok());
+  // Truncate the intra frame payload mid-tile.
+  auto payload = video->frames[0].payload;
+  payload.resize(payload.size() / 3);
+  auto result = (*decoder)->Decode(Slice(payload));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CodecTest, EmptyPayloadRejected) {
+  auto video = EncodeVideo(TestFrames(1), SmallOptions());
+  auto decoder = Decoder::Create(video->header);
+  EXPECT_FALSE((*decoder)->Decode(Slice()).ok());
+}
+
+// ------------------------------------------------------ Homomorphic ops
+
+TEST(HomomorphicTest, ExtractTileMatchesPartialDecode) {
+  EncoderOptions options = SmallOptions();
+  options.tile_rows = 2;
+  options.tile_cols = 2;
+  auto frames = TestFrames(8);
+  auto tiled = EncodeVideo(frames, options);
+  ASSERT_TRUE(tiled.ok());
+
+  TileGrid grid = tiled->header.tile_grid();
+  TileId target{1, 1};
+  auto rect = grid.PixelRectOf(target, options.width, options.height, 16);
+  ASSERT_TRUE(rect.ok());
+
+  auto extracted = ExtractTileStream(*tiled, target);
+  ASSERT_TRUE(extracted.ok()) << extracted.status().ToString();
+  EXPECT_EQ(extracted->header.width, rect->width);
+  EXPECT_EQ(extracted->header.height, rect->height);
+  EXPECT_EQ(extracted->header.tile_grid().tile_count(), 1);
+
+  // Decoding the standalone stream must give the same pixels as a partial
+  // decode of the tile in the original stream — bit-exactly.
+  auto standalone = DecodeVideo(*extracted);
+  ASSERT_TRUE(standalone.ok());
+  auto full_decoder = Decoder::Create(tiled->header);
+  ASSERT_TRUE(full_decoder.ok());
+  for (size_t f = 0; f < frames.size(); ++f) {
+    auto full = (*full_decoder)->Decode(Slice(tiled->frames[f].payload));
+    ASSERT_TRUE(full.ok());
+    for (int y = 0; y < rect->height; ++y) {
+      for (int x = 0; x < rect->width; ++x) {
+        ASSERT_EQ((*standalone)[f].y(x, y),
+                  full->y(rect->x + x, rect->y + y))
+            << "frame " << f << " pixel " << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(HomomorphicTest, ExtractValidation) {
+  EncoderOptions options = SmallOptions();
+  options.tile_rows = 2;
+  options.tile_cols = 2;
+  auto tiled = EncodeVideo(TestFrames(2), options);
+  EXPECT_FALSE(ExtractTileStream(*tiled, {5, 0}).ok());
+  options.motion_constrained_tiles = false;
+  auto unconstrained = EncodeVideo(TestFrames(2), options);
+  EXPECT_TRUE(ExtractTileStream(*unconstrained, {0, 0})
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST(HomomorphicTest, MergeIsInverseOfExtract) {
+  EncoderOptions options = SmallOptions();
+  options.tile_rows = 2;
+  options.tile_cols = 2;
+  auto frames = TestFrames(6);
+  auto tiled = EncodeVideo(frames, options);
+  ASSERT_TRUE(tiled.ok());
+
+  TileGrid grid = tiled->header.tile_grid();
+  std::vector<EncodedVideo> parts;
+  for (int i = 0; i < grid.tile_count(); ++i) {
+    auto part = ExtractTileStream(*tiled, grid.TileAt(i));
+    ASSERT_TRUE(part.ok());
+    parts.push_back(std::move(*part));
+  }
+  auto merged = MergeTileStreams(parts, 2, 2, options.width, options.height);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->frames.size(), tiled->frames.size());
+  for (size_t f = 0; f < merged->frames.size(); ++f) {
+    EXPECT_EQ(merged->frames[f].payload, tiled->frames[f].payload)
+        << "merge(extract(x)) must be byte-identical to x";
+  }
+}
+
+TEST(HomomorphicTest, MergeValidation) {
+  EncoderOptions options = SmallOptions();  // 1x1 stream
+  auto a = EncodeVideo(TestFrames(4), options);
+  ASSERT_TRUE(a.ok());
+  // Wrong part count.
+  EXPECT_FALSE(MergeTileStreams({*a}, 2, 2, 128, 64).ok());
+  // Dimensions that do not match the grid partition.
+  EXPECT_FALSE(MergeTileStreams({*a, *a, *a, *a}, 2, 2, 128, 64).ok());
+}
+
+TEST(HomomorphicTest, ConcatenatePlaysBackToBack) {
+  EncoderOptions options = SmallOptions();
+  options.gop_length = 4;
+  auto frames_a = TestFrames(4);
+  // Second clip starts later in the scene for distinct content.
+  SceneOptions scene_options;
+  scene_options.width = 128;
+  scene_options.height = 64;
+  auto scene = NewVeniceScene(scene_options);
+  std::vector<Frame> frames_b;
+  for (int i = 20; i < 24; ++i) frames_b.push_back(scene->FrameAt(i));
+
+  auto a = EncodeVideo(frames_a, options);
+  auto b = EncodeVideo(frames_b, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto joined = ConcatenateStreams({*a, *b});
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->frames.size(), 8u);
+
+  auto decoded = DecodeVideo(*joined);
+  ASSERT_TRUE(decoded.ok());
+  // Second half decodes to the second clip's content.
+  auto reference = DecodeVideo(*b);
+  ASSERT_TRUE(reference.ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ((*decoded)[4 + i].y_plane(), (*reference)[i].y_plane());
+  }
+}
+
+TEST(HomomorphicTest, ConcatenateValidation) {
+  EncoderOptions options = SmallOptions();
+  auto a = EncodeVideo(TestFrames(4), options);
+  EncoderOptions other = SmallOptions();
+  other.width = 64;
+  other.height = 64;
+  SceneOptions scene_options;
+  scene_options.width = 64;
+  scene_options.height = 64;
+  auto small_scene = NewVeniceScene(scene_options);
+  auto b = EncodeVideo(RenderScene(*small_scene, 4), other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(ConcatenateStreams({*a, *b}).ok());
+  EXPECT_FALSE(ConcatenateStreams({}).ok());
+}
+
+// ------------------------------------------------------------ Rate control
+
+TEST(CodecTest, FramePayloadCarriesQp) {
+  auto frames = TestFrames(2);
+  EncoderOptions options = SmallOptions();
+  options.qp = 33;
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+  for (const auto& frame : video->frames) {
+    auto qp = ParseFrameQp(Slice(frame.payload));
+    ASSERT_TRUE(qp.ok());
+    EXPECT_EQ(*qp, 33);
+  }
+}
+
+TEST(CodecTest, RateControlTracksTarget) {
+  auto frames = TestFrames(48);
+  EncoderOptions options = SmallOptions();
+  options.gop_length = 8;
+  options.fps = 8.0;
+  options.qp = 28;  // starting point; control adapts around it
+  options.target_bitrate_bps = 120e3;
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+  double seconds = frames.size() / options.fps;
+  double achieved_bps = video->size_bytes() * 8.0 / seconds;
+  EXPECT_NEAR(achieved_bps, options.target_bitrate_bps,
+              0.35 * options.target_bitrate_bps)
+      << "rate control should land near the target";
+  // The decoder follows the per-frame QP changes bit-exactly.
+  auto decoded = DecodeVideo(*video);
+  ASSERT_TRUE(decoded.ok());
+}
+
+TEST(CodecTest, RateControlVariesQpAcrossFrames) {
+  auto frames = TestFrames(24);
+  EncoderOptions options = SmallOptions();
+  options.gop_length = 8;
+  options.fps = 8.0;
+  options.target_bitrate_bps = 60e3;  // tight: forces adaptation
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+  int min_qp = 99, max_qp = -1;
+  for (const auto& frame : video->frames) {
+    int qp = *ParseFrameQp(Slice(frame.payload));
+    min_qp = std::min(min_qp, qp);
+    max_qp = std::max(max_qp, qp);
+  }
+  EXPECT_LT(min_qp, max_qp) << "controller should move the QP";
+}
+
+TEST(CodecTest, RateControlDecoderMatchesEncoderRecon) {
+  auto frames = TestFrames(20);
+  EncoderOptions options = SmallOptions();
+  options.target_bitrate_bps = 100e3;
+  auto encoder = Encoder::Create(options);
+  ASSERT_TRUE(encoder.ok());
+  auto decoder = Decoder::Create((*encoder)->header());
+  ASSERT_TRUE(decoder.ok());
+  for (const Frame& frame : frames) {
+    auto encoded = (*encoder)->Encode(frame);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = (*decoder)->Decode(Slice(encoded->payload));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->y_plane(), (*encoder)->reconstructed().y_plane());
+  }
+}
+
+TEST(CodecTest, NegativeTargetBitrateRejected) {
+  EncoderOptions options = SmallOptions();
+  options.target_bitrate_bps = -5;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// ----------------------------------------------------------------- Quality
+
+TEST(QualityTest, DefaultLadderIsOrdered) {
+  QualityLadder ladder = DefaultQualityLadder();
+  ASSERT_EQ(ladder.size(), 3u);
+  EXPECT_LT(ladder[0].qp, ladder[1].qp);
+  EXPECT_LT(ladder[1].qp, ladder[2].qp);
+}
+
+TEST(QualityTest, MakeLadderSpansRange) {
+  auto ladder = MakeQualityLadder(5, 10, 42);
+  ASSERT_TRUE(ladder.ok());
+  ASSERT_EQ(ladder->size(), 5u);
+  EXPECT_EQ((*ladder)[0].qp, 10);
+  EXPECT_EQ((*ladder)[4].qp, 42);
+  for (size_t i = 1; i < ladder->size(); ++i) {
+    EXPECT_GE((*ladder)[i].qp, (*ladder)[i - 1].qp);
+  }
+  EXPECT_FALSE(MakeQualityLadder(0).ok());
+  EXPECT_FALSE(MakeQualityLadder(3, 40, 10).ok());
+}
+
+// ----------------------------------------- Parameterized RD property sweep
+
+struct RdCase {
+  std::string scene;
+  int qp;
+};
+
+class RdSweepTest : public ::testing::TestWithParam<RdCase> {};
+
+TEST_P(RdSweepTest, DecodeQualityScalesWithQp) {
+  const RdCase& param = GetParam();
+  SceneOptions scene_options;
+  scene_options.width = 128;
+  scene_options.height = 64;
+  auto scene = MakeScene(param.scene, scene_options);
+  ASSERT_TRUE(scene.ok());
+  auto frames = RenderScene(**scene, 4);
+
+  EncoderOptions options = SmallOptions();
+  options.qp = param.qp;
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+  auto decoded = DecodeVideo(*video);
+  ASSERT_TRUE(decoded.ok());
+
+  double min_expected = param.qp <= 14 ? 34.0 : (param.qp <= 28 ? 27.0 : 20.0);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    auto psnr = LumaPsnr(frames[i], (*decoded)[i]);
+    ASSERT_TRUE(psnr.ok());
+    EXPECT_GT(*psnr, min_expected)
+        << param.scene << " qp=" << param.qp << " frame " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenesAndQps, RdSweepTest,
+    ::testing::Values(RdCase{"timelapse", 10}, RdCase{"timelapse", 28},
+                      RdCase{"timelapse", 42}, RdCase{"venice", 10},
+                      RdCase{"venice", 28}, RdCase{"venice", 42},
+                      RdCase{"coaster", 10}, RdCase{"coaster", 28},
+                      RdCase{"coaster", 42}),
+    [](const ::testing::TestParamInfo<RdCase>& info) {
+      return info.param.scene + "_qp" + std::to_string(info.param.qp);
+    });
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "container/box.h"
+#include "container/boxes.h"
+
+namespace vc {
+namespace {
+
+TEST(BoxTest, FourCcHelpers) {
+  uint32_t trak = MakeFourCc("trak");
+  EXPECT_EQ(FourCcToString(trak), "trak");
+  EXPECT_TRUE(IsContainerBoxType(kBoxVcmf));
+  EXPECT_TRUE(IsContainerBoxType(kBoxTrak));
+  EXPECT_FALSE(IsContainerBoxType(kBoxGidx));
+}
+
+TEST(BoxTest, LeafRoundTrip) {
+  Box leaf(kBoxName, {1, 2, 3, 4, 5});
+  auto bytes = SerializeBoxes({leaf});
+  EXPECT_EQ(bytes.size(), 8u + 5u);
+  auto parsed = ParseBoxes(Slice(bytes));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].type, kBoxName);
+  EXPECT_EQ((*parsed)[0].data, leaf.data);
+}
+
+TEST(BoxTest, NestedRoundTrip) {
+  Box root(kBoxVcmf);
+  Box track(kBoxTrak);
+  track.children.push_back(Box(kBoxGidx, {9, 9}));
+  root.children.push_back(std::move(track));
+  root.children.push_back(Box(kBoxName, {'h', 'i'}));
+
+  auto bytes = SerializeBoxes({root});
+  auto parsed = ParseBoxes(Slice(bytes));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  const Box& r = (*parsed)[0];
+  ASSERT_EQ(r.children.size(), 2u);
+  auto trak = r.FindChild(kBoxTrak);
+  ASSERT_TRUE(trak.ok());
+  ASSERT_EQ((*trak)->children.size(), 1u);
+  EXPECT_EQ((*trak)->children[0].data, (std::vector<uint8_t>{9, 9}));
+  EXPECT_TRUE(r.FindChild(kBoxMdat).status().IsNotFound());
+}
+
+TEST(BoxTest, FindChildrenReturnsAll) {
+  Box root(kBoxVcmf);
+  root.children.push_back(Box(kBoxTrak));
+  root.children.push_back(Box(kBoxTrak));
+  root.children.push_back(Box(kBoxName));
+  EXPECT_EQ(root.FindChildren(kBoxTrak).size(), 2u);
+}
+
+TEST(BoxTest, TruncatedInputRejected) {
+  Box leaf(kBoxGidx, std::vector<uint8_t>(20, 1));
+  auto bytes = SerializeBoxes({leaf});
+  bytes.resize(bytes.size() - 5);
+  EXPECT_TRUE(ParseBoxes(Slice(bytes)).status().IsCorruption());
+  bytes.resize(6);
+  EXPECT_TRUE(ParseBoxes(Slice(bytes)).status().IsCorruption());
+}
+
+TEST(BoxTest, OverrunningChildRejected) {
+  // Craft a box claiming a payload larger than the buffer.
+  std::vector<uint8_t> bytes = {0x00, 0x00, 0x01, 0x00,  // size 256
+                                'n',  'a',  'm',  'e',   // type
+                                1,    2,    3};
+  EXPECT_TRUE(ParseBoxes(Slice(bytes)).status().IsCorruption());
+}
+
+TEST(TrackHeaderTest, RoundTrip) {
+  TrackHeader header;
+  header.track_id = 3;
+  header.width = 512;
+  header.height = 256;
+  header.fps_times_100 = 2400;
+  header.frame_count = 2700;
+  auto parsed = TrackHeader::FromBox(header.ToBox());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->track_id, 3u);
+  EXPECT_EQ(parsed->width, 512);
+  EXPECT_EQ(parsed->fps_times_100, 2400);
+  EXPECT_EQ(parsed->frame_count, 2700u);
+  EXPECT_EQ(parsed->codec, MakeFourCc("vcc1"));
+}
+
+TEST(GopIndexTest, RoundTripAndLookup) {
+  GopIndex index;
+  index.entries = {{0, 30, 16, 1000}, {30, 30, 1016, 900}, {60, 15, 1916, 400}};
+  auto parsed = GopIndex::FromBox(index.ToBox());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->entries.size(), 3u);
+
+  auto hit = parsed->Lookup(45);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->first_frame, 30u);
+  EXPECT_EQ(hit->byte_offset, 1016u);
+
+  EXPECT_TRUE(parsed->Lookup(0).ok());
+  EXPECT_TRUE(parsed->Lookup(74).ok());
+  EXPECT_TRUE(parsed->Lookup(75).status().IsNotFound());
+}
+
+TEST(SphericalMetaTest, RoundTripAndValidation) {
+  SphericalMeta meta;
+  meta.stereo = StereoMode::kStereoTopBottom;
+  auto parsed = SphericalMeta::FromBox(meta.ToBox());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->stereo, StereoMode::kStereoTopBottom);
+  EXPECT_EQ(parsed->projection, Projection::kEquirectangular);
+
+  Box bad(kBoxSv3d, {9, 9});
+  EXPECT_TRUE(SphericalMeta::FromBox(bad).status().IsNotSupported());
+}
+
+TEST(QualityLadderBoxTest, RoundTrip) {
+  QualityLadder ladder = {{"high", 12}, {"medium", 26}, {"low", 40}};
+  auto parsed = QualityLadderFromBox(QualityLadderToBox(ladder));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, ladder);
+}
+
+TEST(SegmentIndexBoxTest, RoundTrip) {
+  std::vector<SegmentInfo> segments = {{0, 30}, {30, 30}, {60, 7}};
+  auto parsed = SegmentIndexFromBox(SegmentIndexToBox(segments));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[2].start_frame, 60u);
+  EXPECT_EQ((*parsed)[2].frame_count, 7u);
+}
+
+TEST(CellIndexBoxTest, RoundTrip) {
+  std::vector<CellInfo> cells = {{1234, 0xdeadbeef}, {0, 0}, {1ull << 40, 7}};
+  auto parsed = CellIndexFromBox(CellIndexToBox(cells));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0].byte_size, 1234u);
+  EXPECT_EQ((*parsed)[0].crc32, 0xdeadbeefu);
+  EXPECT_EQ((*parsed)[2].byte_size, 1ull << 40);
+}
+
+TEST(StringBoxTest, RoundTripIncludingEmpty) {
+  auto parsed = StringFromBox(StringToBox(kBoxName, "venice"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, "venice");
+  parsed = StringFromBox(StringToBox(kBoxDref, ""));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, "");
+}
+
+TEST(TypedBoxTest, WrongTypeRejected) {
+  Box name = StringToBox(kBoxName, "x");
+  EXPECT_FALSE(TrackHeader::FromBox(name).ok());
+  EXPECT_FALSE(GopIndex::FromBox(name).ok());
+  EXPECT_FALSE(QualityLadderFromBox(name).ok());
+}
+
+TEST(TypedBoxTest, TruncatedPayloadRejected) {
+  TrackHeader header;
+  Box box = header.ToBox();
+  box.data.resize(box.data.size() - 2);
+  EXPECT_TRUE(TrackHeader::FromBox(box).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,523 @@
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "codec/decoder.h"
+#include "core/export.h"
+#include "core/session.h"
+#include "core/tile_assignment.h"
+#include "core/visualcloud.h"
+#include "image/metrics.h"
+#include "image/stereo.h"
+#include "predict/trace_synthesizer.h"
+
+namespace vc {
+namespace {
+
+/// Shared fixture: one in-memory VisualCloud instance with a small venice
+/// clip ingested once (encoding dominates test time).
+class CoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = NewMemEnv().release();
+    VisualCloudOptions options;
+    options.storage.env = env_;
+    options.storage.root = "/vcdb";
+    auto db = VisualCloud::Open(options);
+    ASSERT_TRUE(db.ok());
+    db_ = db->release();
+
+    SceneOptions scene_options;
+    scene_options.width = 128;
+    scene_options.height = 64;
+    scene_ = NewVeniceScene(scene_options).release();
+
+    IngestOptions ingest;
+    ingest.tile_rows = 4;
+    ingest.tile_cols = 4;
+    ingest.frames_per_segment = 8;
+    ingest.fps = 8.0;  // 1-second segments with 8 frames
+    ingest.ladder = {{"high", 14}, {"medium", 28}, {"low", 42}};
+    auto version = db_->IngestScene("venice", *scene_, 32, ingest);
+    ASSERT_TRUE(version.ok()) << version.status().ToString();
+    ASSERT_EQ(*version, 1u);
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+    delete scene_;
+    scene_ = nullptr;
+    delete env_;
+    env_ = nullptr;
+  }
+
+  static HeadTrace MakeTrace(double yaw_rate = 0.3) {
+    std::vector<TraceSample> samples;
+    for (int i = 0; i <= 32 * 4; ++i) {
+      double t = i / 32.0 * 4.0;  // covers the 4-second clip
+      samples.push_back({t, {WrapYaw(1.0 + yaw_rate * t), kPi / 2}});
+    }
+    return *HeadTrace::FromSamples(std::move(samples));
+  }
+
+  static SessionOptions BaseSession(StreamingApproach approach) {
+    SessionOptions options;
+    options.approach = approach;
+    options.network.bandwidth_bps = 50e6;  // unconstrained by default
+    options.network.latency_seconds = 0.01;
+    options.viewport.width = 48;
+    options.viewport.height = 48;
+    options.viewport.fov_yaw = DegToRad(90.0);
+    options.viewport.fov_pitch = DegToRad(75.0);
+    return options;
+  }
+
+  static Env* env_;
+  static VisualCloud* db_;
+  static SceneGenerator* scene_;
+};
+
+Env* CoreTest::env_ = nullptr;
+VisualCloud* CoreTest::db_ = nullptr;
+SceneGenerator* CoreTest::scene_ = nullptr;
+
+// ------------------------------------------------------------------ Ingest
+
+TEST_F(CoreTest, IngestProducesExpectedLayout) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  EXPECT_EQ(metadata->width, 128);
+  EXPECT_EQ(metadata->height, 64);
+  EXPECT_EQ(metadata->segment_count(), 4);
+  EXPECT_EQ(metadata->tile_count(), 16);
+  EXPECT_EQ(metadata->quality_count(), 3);
+  EXPECT_EQ(metadata->cells.size(), 4u * 16 * 3);
+  EXPECT_NEAR(metadata->segment_duration_seconds(), 1.0, 1e-9);
+  for (const CellInfo& cell : metadata->cells) {
+    EXPECT_GT(cell.byte_size, 0u);
+  }
+}
+
+TEST_F(CoreTest, QualityLadderShrinksBytes) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  for (int segment = 0; segment < metadata->segment_count(); ++segment) {
+    uint64_t high = metadata->SegmentBytesAtQuality(segment, 0);
+    uint64_t medium = metadata->SegmentBytesAtQuality(segment, 1);
+    uint64_t low = metadata->SegmentBytesAtQuality(segment, 2);
+    EXPECT_GT(high, medium);
+    EXPECT_GT(medium, low);
+  }
+}
+
+TEST_F(CoreTest, ListAndDescribe) {
+  auto videos = db_->List();
+  ASSERT_TRUE(videos.ok());
+  EXPECT_NE(std::find(videos->begin(), videos->end(), "venice"),
+            videos->end());
+  EXPECT_TRUE(db_->Describe("nothere").status().IsNotFound());
+}
+
+TEST_F(CoreTest, ReadFramesMatchesSource) {
+  auto frames = db_->ReadFrames("venice", 4, 9, /*quality=*/0);
+  ASSERT_TRUE(frames.ok()) << frames.status().ToString();
+  ASSERT_EQ(frames->size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    Frame original = scene_->FrameAt(4 + i);
+    auto psnr = LumaPsnr(original, (*frames)[i]);
+    ASSERT_TRUE(psnr.ok());
+    EXPECT_GT(*psnr, 32.0) << "frame " << 4 + i;
+  }
+}
+
+TEST_F(CoreTest, ReadFramesLowQualityIsWorse) {
+  auto high = db_->ReadFrames("venice", 0, 3, 0);
+  auto low = db_->ReadFrames("venice", 0, 3, 2);
+  ASSERT_TRUE(high.ok());
+  ASSERT_TRUE(low.ok());
+  double high_psnr = 0, low_psnr = 0;
+  for (int i = 0; i < 4; ++i) {
+    Frame original = scene_->FrameAt(i);
+    high_psnr += *LumaPsnr(original, (*high)[i]);
+    low_psnr += *LumaPsnr(original, (*low)[i]);
+  }
+  EXPECT_GT(high_psnr, low_psnr);
+}
+
+TEST_F(CoreTest, ReadFramesValidatesRange) {
+  EXPECT_FALSE(db_->ReadFrames("venice", -1, 3).ok());
+  EXPECT_FALSE(db_->ReadFrames("venice", 3, 1).ok());
+  EXPECT_TRUE(db_->ReadFrames("venice", 0, 999).status().IsOutOfRange());
+}
+
+TEST_F(CoreTest, IngestValidation) {
+  IngestOptions bad;
+  bad.ladder.clear();
+  std::vector<Frame> frames = {Frame(128, 64)};
+  EXPECT_TRUE(db_->Ingest("x", frames, bad).status().IsInvalidArgument());
+  IngestOptions ok_options;
+  EXPECT_TRUE(db_->Ingest("x", {}, ok_options).status().IsInvalidArgument());
+  std::vector<Frame> mixed = {Frame(128, 64), Frame(64, 64)};
+  EXPECT_TRUE(
+      db_->Ingest("x", mixed, ok_options).status().IsInvalidArgument());
+}
+
+// --------------------------------------------------------- Tile assignment
+
+TEST_F(CoreTest, AssignTileQualitiesSplitsInAndOut) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  AssignmentOptions options;
+  options.margin = 0.1;
+  Orientation gaze{kPi / 2, kPi / 2};
+  TileQualityPlan plan = AssignTileQualities(*metadata, gaze, options);
+  ASSERT_EQ(plan.size(), 16u);
+  int high_tiles = 0, low_tiles = 0;
+  for (int q : plan) {
+    if (q == 0) ++high_tiles;
+    if (q == metadata->quality_count() - 1) ++low_tiles;
+  }
+  EXPECT_GT(high_tiles, 0);
+  EXPECT_GT(low_tiles, 0);
+  // The gaze tile itself is high quality.
+  TileGrid grid = metadata->tile_grid();
+  EXPECT_EQ(plan[grid.IndexOf(grid.TileFor(gaze))], 0);
+}
+
+TEST_F(CoreTest, PlanBytesAndBudgetFitting) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  Orientation gaze{kPi / 2, kPi / 2};
+  AssignmentOptions options;
+  TileQualityPlan plan = AssignTileQualities(*metadata, gaze, options);
+  uint64_t bytes = PlanBytes(*metadata, 0, plan);
+  EXPECT_GT(bytes, 0u);
+
+  // A tiny budget forces everything to the lowest rung.
+  TileQualityPlan squeezed =
+      FitPlanToBudget(*metadata, 0, plan, gaze, /*budget=*/1.0);
+  for (int q : squeezed) {
+    EXPECT_EQ(q, metadata->quality_count() - 1);
+  }
+  // A huge budget leaves the plan untouched.
+  TileQualityPlan untouched =
+      FitPlanToBudget(*metadata, 0, plan, gaze, 1e12);
+  EXPECT_EQ(untouched, plan);
+  // Degradation hits far-from-gaze tiles before the gaze tile.
+  uint64_t mid_budget = bytes - 1;
+  TileQualityPlan degraded =
+      FitPlanToBudget(*metadata, 0, plan, gaze, mid_budget);
+  TileGrid grid = metadata->tile_grid();
+  EXPECT_EQ(degraded[grid.IndexOf(grid.TileFor(gaze))], 0);
+}
+
+// ----------------------------------------------------------------- Session
+
+TEST_F(CoreTest, VisualCloudSendsFewerBytesThanMonolithic) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  HeadTrace trace = MakeTrace();
+
+  auto mono = SimulateSession(db_->storage(), *metadata, trace,
+                              BaseSession(StreamingApproach::kMonolithicFull));
+  auto tiled = SimulateSession(db_->storage(), *metadata, trace,
+                               BaseSession(StreamingApproach::kVisualCloud));
+  auto oracle = SimulateSession(db_->storage(), *metadata, trace,
+                                BaseSession(StreamingApproach::kOracle));
+  ASSERT_TRUE(mono.ok()) << mono.status().ToString();
+  ASSERT_TRUE(tiled.ok());
+  ASSERT_TRUE(oracle.ok());
+
+  EXPECT_LT(tiled->bytes_sent, mono->bytes_sent);
+  EXPECT_LE(oracle->bytes_sent, tiled->bytes_sent * 11 / 10);
+  double savings = BandwidthSavings(*mono, *tiled);
+  EXPECT_GT(savings, 0.15) << "tiled streaming should save bandwidth";
+}
+
+TEST_F(CoreTest, OracleKeepsViewportQualityHigh) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  HeadTrace trace = MakeTrace();
+
+  SessionOptions options = BaseSession(StreamingApproach::kOracle);
+  options.evaluate_quality = true;
+  auto oracle =
+      SimulateSession(db_->storage(), *metadata, trace, options, scene_);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  SessionOptions mono_options = BaseSession(StreamingApproach::kMonolithicFull);
+  mono_options.evaluate_quality = true;
+  auto mono = SimulateSession(db_->storage(), *metadata, trace, mono_options,
+                              scene_);
+  ASSERT_TRUE(mono.ok());
+
+  // The oracle's viewport quality matches full-quality delivery closely.
+  EXPECT_GT(oracle->mean_viewport_psnr, mono->mean_viewport_psnr - 1.0);
+  EXPECT_GT(oracle->quality_samples, 0);
+}
+
+TEST_F(CoreTest, ConstrainedBandwidthCausesAdaptation) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  HeadTrace trace = MakeTrace();
+
+  SessionOptions rich = BaseSession(StreamingApproach::kUniformDash);
+  SessionOptions poor = BaseSession(StreamingApproach::kUniformDash);
+  poor.network.bandwidth_bps = 100e3;  // starved
+
+  auto rich_stats = SimulateSession(db_->storage(), *metadata, trace, rich);
+  auto poor_stats = SimulateSession(db_->storage(), *metadata, trace, poor);
+  ASSERT_TRUE(rich_stats.ok());
+  ASSERT_TRUE(poor_stats.ok());
+  EXPECT_LT(poor_stats->bytes_sent, rich_stats->bytes_sent);
+  EXPECT_GT(poor_stats->mean_inview_quality,
+            rich_stats->mean_inview_quality);  // higher rung index = worse
+}
+
+TEST_F(CoreTest, SessionValidation) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  HeadTrace trace = MakeTrace();
+
+  SessionOptions options = BaseSession(StreamingApproach::kVisualCloud);
+  options.evaluate_quality = true;  // but no reference scene
+  EXPECT_TRUE(SimulateSession(db_->storage(), *metadata, trace, options)
+                  .status()
+                  .IsInvalidArgument());
+
+  options = BaseSession(StreamingApproach::kVisualCloud);
+  options.high_quality = 99;
+  EXPECT_TRUE(SimulateSession(db_->storage(), *metadata, trace, options)
+                  .status()
+                  .IsInvalidArgument());
+
+  options = BaseSession(StreamingApproach::kVisualCloud);
+  EXPECT_TRUE(SimulateSession(db_->storage(), *metadata, HeadTrace(), options)
+                  .status()
+                  .IsInvalidArgument());
+
+  options = BaseSession(StreamingApproach::kVisualCloud);
+  options.predictor = "psychic";
+  EXPECT_FALSE(SimulateSession(db_->storage(), *metadata, trace, options).ok());
+}
+
+TEST_F(CoreTest, PopularityModelExpandsHighQualitySet) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  HeadTrace trace = MakeTrace();
+
+  // Train a model where historical viewers stared at the yaw opposite this
+  // session's trace: those tiles must be added to the high-quality set.
+  PopularityModel model(metadata->tile_grid(),
+                        metadata->segment_duration_seconds(),
+                        metadata->segment_count());
+  std::vector<TraceSample> opposite;
+  for (int i = 0; i <= 32 * 4; ++i) {
+    double t = i / 32.0 * 4.0;
+    opposite.push_back({t, {WrapYaw(1.0 + 0.3 * t + kPi), kPi / 2}});
+  }
+  model.AddTrace(*HeadTrace::FromSamples(std::move(opposite)));
+
+  SessionOptions plain = BaseSession(StreamingApproach::kVisualCloud);
+  SessionOptions crowd = plain;
+  crowd.popularity = &model;
+  auto plain_stats = SimulateSession(db_->storage(), *metadata, trace, plain);
+  auto crowd_stats = SimulateSession(db_->storage(), *metadata, trace, crowd);
+  ASSERT_TRUE(plain_stats.ok());
+  ASSERT_TRUE(crowd_stats.ok());
+  EXPECT_GT(crowd_stats->bytes_sent, plain_stats->bytes_sent)
+      << "popular (historically watched) tiles must be upgraded too";
+
+  // A mismatched grid is ignored rather than misapplied.
+  PopularityModel wrong_grid(TileGrid(2, 3), 1.0, metadata->segment_count());
+  crowd.popularity = &wrong_grid;
+  auto ignored = SimulateSession(db_->storage(), *metadata, trace, crowd);
+  ASSERT_TRUE(ignored.ok());
+  EXPECT_EQ(ignored->bytes_sent, plain_stats->bytes_sent);
+}
+
+TEST_F(CoreTest, SessionAccountsStalls) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  HeadTrace trace = MakeTrace();
+  // Non-adaptive full quality over a starved link must stall.
+  SessionOptions options = BaseSession(StreamingApproach::kMonolithicFull);
+  options.network.bandwidth_bps = 50e3;
+  auto stats = SimulateSession(db_->storage(), *metadata, trace, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->stall_seconds, 0.0);
+  EXPECT_GT(stats->stall_events, 0);
+  EXPECT_GT(stats->startup_delay, 0.0);
+}
+
+TEST_F(CoreTest, ApproachNames) {
+  EXPECT_EQ(ApproachName(StreamingApproach::kMonolithicFull), "monolithic");
+  EXPECT_EQ(ApproachName(StreamingApproach::kUniformDash), "uniform_dash");
+  EXPECT_EQ(ApproachName(StreamingApproach::kVisualCloud), "visualcloud");
+  EXPECT_EQ(ApproachName(StreamingApproach::kOracle), "oracle");
+}
+
+// ----------------------------------------------------------------- Export
+
+TEST_F(CoreTest, ExportMonolithicMatchesStoredPixels) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  auto exported = ExportMonolithic(db_->storage(), *metadata, /*quality=*/0);
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  EXPECT_EQ(exported->header.width, metadata->width);
+  EXPECT_EQ(exported->header.tile_grid(), metadata->tile_grid());
+  ASSERT_EQ(exported->frames.size(), 32u);
+
+  // The exported stream decodes to exactly what the per-cell path decodes.
+  auto decoded = DecodeVideo(*exported);
+  ASSERT_TRUE(decoded.ok());
+  auto reference = db_->ReadFrames("venice", 0, 31, 0);
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < decoded->size(); ++i) {
+    ASSERT_EQ((*decoded)[i].y_plane(), (*reference)[i].y_plane())
+        << "frame " << i;
+  }
+}
+
+TEST_F(CoreTest, ExportValidatesQuality) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  EXPECT_FALSE(ExportMonolithic(db_->storage(), *metadata, 99).ok());
+  EXPECT_FALSE(ExportMonolithic(db_->storage(), *metadata, -1).ok());
+}
+
+// ----------------------------------------------------------------- Stereo
+
+TEST_F(CoreTest, StereoIngestRoundTrip) {
+  SceneOptions scene_options;
+  scene_options.width = 128;
+  scene_options.height = 32;  // packed becomes 128x64
+  auto stereo = NewStereoScene(NewVeniceScene(scene_options));
+  IngestOptions ingest;
+  ingest.tile_rows = 2;
+  ingest.tile_cols = 2;
+  ingest.frames_per_segment = 4;
+  ingest.fps = 4.0;
+  ingest.stereo = StereoMode::kStereoTopBottom;
+  ingest.ladder = {{"only", 20}};
+  auto version = db_->IngestScene("stereo", *stereo, 8, ingest);
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+
+  auto metadata = db_->Describe("stereo");
+  ASSERT_TRUE(metadata.ok());
+  EXPECT_EQ(metadata->spherical.stereo, StereoMode::kStereoTopBottom);
+  EXPECT_EQ(metadata->height, 64);
+
+  // Read back and unpack each eye; both must match the source eye views.
+  auto frames = db_->ReadFrames("stereo", 2, 2, 0);
+  ASSERT_TRUE(frames.ok());
+  Frame original = stereo->FrameAt(2);
+  for (Eye eye : {Eye::kLeft, Eye::kRight}) {
+    auto decoded_eye = ExtractEyeView((*frames)[0], eye);
+    auto original_eye = ExtractEyeView(original, eye);
+    ASSERT_TRUE(decoded_eye.ok());
+    ASSERT_TRUE(original_eye.ok());
+    auto psnr = LumaPsnr(*original_eye, *decoded_eye);
+    ASSERT_TRUE(psnr.ok());
+    EXPECT_GT(*psnr, 30.0);
+  }
+  ASSERT_TRUE(db_->Drop("stereo").ok());
+}
+
+// ------------------------------------------------------------- Live ingest
+
+TEST_F(CoreTest, LiveIngestCheckpointsAndFinishes) {
+  IngestOptions ingest;
+  ingest.tile_rows = 2;
+  ingest.tile_cols = 2;
+  ingest.frames_per_segment = 8;
+  ingest.fps = 8.0;
+  ingest.ladder = {{"high", 14}, {"low", 42}};
+  auto live = db_->StartLiveIngest("live", 128, 64, ingest);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  // Push 1.5 segments, checkpoint after the first full one.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(i)).ok());
+  }
+  EXPECT_EQ((*live)->segments_written(), 1);
+  auto v1 = (*live)->Checkpoint();
+  ASSERT_TRUE(v1.ok());
+
+  // A viewer can stream the checkpoint while capture continues.
+  auto checkpoint_md = db_->storage()->GetVideoVersion("live", *v1);
+  ASSERT_TRUE(checkpoint_md.ok());
+  EXPECT_TRUE(checkpoint_md->streaming);
+  EXPECT_EQ(checkpoint_md->segment_count(), 1);
+  SessionOptions session = BaseSession(StreamingApproach::kVisualCloud);
+  auto stats =
+      SimulateSession(db_->storage(), *checkpoint_md, MakeTrace(), session);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->bytes_sent, 0u);
+
+  for (int i = 8; i < 12; ++i) {
+    ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(i)).ok());
+  }
+  auto final_version = (*live)->Finish();
+  ASSERT_TRUE(final_version.ok());
+  EXPECT_GT(*final_version, *v1);
+  auto final_md = db_->Describe("live");
+  ASSERT_TRUE(final_md.ok());
+  EXPECT_FALSE(final_md->streaming);
+  // The partial 4-frame segment was flushed as a short segment.
+  EXPECT_EQ(final_md->segment_count(), 2);
+  EXPECT_EQ(final_md->segments[1].frame_count, 4u);
+  // Both versions share the data directory.
+  EXPECT_EQ(final_md->DataDir(), checkpoint_md->DataDir());
+  ASSERT_TRUE(db_->Drop("live").ok());
+}
+
+TEST_F(CoreTest, LiveIngestValidation) {
+  IngestOptions ingest;
+  ingest.frames_per_segment = 4;
+  ingest.ladder = {{"only", 30}};
+  auto live = db_->StartLiveIngest("liveval", 128, 64, ingest);
+  ASSERT_TRUE(live.ok());
+  // Wrong frame size rejected.
+  EXPECT_TRUE((*live)->PushFrame(Frame(64, 64)).IsInvalidArgument());
+  // Checkpoint before any full segment rejected.
+  EXPECT_TRUE((*live)->Checkpoint().status().IsInvalidArgument());
+  // After Finish, the session is closed.
+  ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(0)).ok());
+  ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(1)).ok());
+  ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(2)).ok());
+  ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(3)).ok());
+  ASSERT_TRUE((*live)->Finish().ok());
+  EXPECT_TRUE((*live)->PushFrame(scene_->FrameAt(4)).IsAborted());
+  EXPECT_TRUE((*live)->Finish().status().IsAborted());
+  ASSERT_TRUE(db_->Drop("liveval").ok());
+  // Bad dimensions rejected up front.
+  EXPECT_FALSE(db_->StartLiveIngest("bad", 100, 64, ingest).ok());
+}
+
+// ------------------------------------------------------- Versioned reingest
+
+TEST_F(CoreTest, ReingestCreatesNewVersion) {
+  SceneOptions scene_options;
+  scene_options.width = 128;
+  scene_options.height = 64;
+  auto scene = NewTimelapseScene(scene_options);
+  IngestOptions ingest;
+  ingest.tile_rows = 1;
+  ingest.tile_cols = 1;
+  ingest.frames_per_segment = 8;
+  ingest.ladder = {{"only", 30}};
+  auto v1 = db_->IngestScene("versioned", *scene, 8, ingest);
+  ASSERT_TRUE(v1.ok());
+  auto v2 = db_->IngestScene("versioned", *scene, 16, ingest);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, *v1 + 1);
+  auto latest = db_->Describe("versioned");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->segment_count(), 2);
+  ASSERT_TRUE(db_->Drop("versioned").ok());
+  EXPECT_TRUE(db_->Describe("versioned").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "geometry/orientation.h"
+#include "image/metrics.h"
+#include "geometry/tile_grid.h"
+#include "geometry/viewport.h"
+
+namespace vc {
+namespace {
+
+// ------------------------------------------------------------- Orientation
+
+TEST(OrientationTest, WrapYaw) {
+  EXPECT_NEAR(WrapYaw(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(WrapYaw(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(WrapYaw(-0.5), kTwoPi - 0.5, 1e-12);
+  EXPECT_NEAR(WrapYaw(3 * kPi), kPi, 1e-12);
+}
+
+TEST(OrientationTest, YawDifferenceShortestPath) {
+  EXPECT_NEAR(YawDifference(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(YawDifference(kTwoPi - 0.1, 0.1), -0.2, 1e-12);
+  EXPECT_NEAR(YawDifference(1.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(OrientationTest, VectorRoundTrip) {
+  for (double yaw : {0.0, 1.0, 3.0, 5.5}) {
+    for (double pitch : {0.3, kPi / 2, 2.8}) {
+      Orientation o{yaw, pitch};
+      Orientation back = Orientation::FromVector(o.ToVector());
+      EXPECT_NEAR(back.yaw, yaw, 1e-9);
+      EXPECT_NEAR(back.pitch, pitch, 1e-9);
+    }
+  }
+}
+
+TEST(OrientationTest, AngularDistanceProperties) {
+  Orientation a{0.0, kPi / 2};
+  Orientation b{kPi / 2, kPi / 2};
+  EXPECT_NEAR(AngularDistance(a, b), kPi / 2, 1e-9);
+  EXPECT_NEAR(AngularDistance(a, a), 0.0, 1e-6);
+  // Symmetric.
+  EXPECT_NEAR(AngularDistance(a, b), AngularDistance(b, a), 1e-12);
+  // Antipodal points are pi apart.
+  Orientation c{kPi, kPi / 2};
+  EXPECT_NEAR(AngularDistance(a, c), kPi, 1e-9);
+}
+
+TEST(OrientationTest, SeamDistanceIsSmall) {
+  // Orientations on either side of the yaw seam are angularly close; naive
+  // euclidean distance on yaw would say they are ~2π apart.
+  Orientation a{0.05, kPi / 2};
+  Orientation b{kTwoPi - 0.05, kPi / 2};
+  EXPECT_LT(AngularDistance(a, b), 0.2);
+}
+
+// ---------------------------------------------------------------- TileGrid
+
+TEST(TileGridTest, TileForBasics) {
+  TileGrid grid(4, 4);
+  EXPECT_EQ(grid.tile_count(), 16);
+  // Center of the first cell.
+  TileId t = grid.TileFor({kPi / 4, kPi / 8});
+  EXPECT_EQ(t.row, 0);
+  EXPECT_EQ(t.col, 0);
+  // pitch = π (bottom pole) clamps into the last row.
+  t = grid.TileFor({0.0, kPi});
+  EXPECT_EQ(t.row, 3);
+  // yaw wraps.
+  t = grid.TileFor({kTwoPi + 0.1, kPi / 2});
+  EXPECT_EQ(t.col, 0);
+}
+
+TEST(TileGridTest, IndexRoundTrip) {
+  TileGrid grid(3, 5);
+  for (int i = 0; i < grid.tile_count(); ++i) {
+    EXPECT_EQ(grid.IndexOf(grid.TileAt(i)), i);
+  }
+}
+
+TEST(TileGridTest, CenterOfIsInsideTile) {
+  TileGrid grid(4, 8);
+  for (int i = 0; i < grid.tile_count(); ++i) {
+    TileId tile = grid.TileAt(i);
+    EXPECT_EQ(grid.TileFor(grid.CenterOf(tile)), tile);
+  }
+}
+
+TEST(TileGridTest, ViewportCoversGazeTile) {
+  TileGrid grid(4, 4);
+  for (double yaw = 0.1; yaw < kTwoPi; yaw += 0.7) {
+    for (double pitch = 0.2; pitch < kPi; pitch += 0.5) {
+      Orientation o{yaw, pitch};
+      auto tiles = grid.TilesInViewport(o, DegToRad(100), DegToRad(90));
+      TileId gaze = grid.TileFor(o);
+      EXPECT_NE(std::find(tiles.begin(), tiles.end(), gaze), tiles.end())
+          << "yaw=" << yaw << " pitch=" << pitch;
+    }
+  }
+}
+
+TEST(TileGridTest, ViewportIsProperSubsetAwayFromPoles) {
+  TileGrid grid(4, 8);
+  Orientation equator{kPi, kPi / 2};
+  auto tiles = grid.TilesInViewport(equator, DegToRad(90), DegToRad(80));
+  EXPECT_GT(tiles.size(), 0u);
+  EXPECT_LT(tiles.size(), static_cast<size_t>(grid.tile_count()));
+}
+
+TEST(TileGridTest, ViewportWrapsAcrossSeam) {
+  TileGrid grid(1, 8);
+  Orientation near_seam{0.02, kPi / 2};
+  auto tiles = grid.TilesInViewport(near_seam, DegToRad(100), DegToRad(60));
+  // Must include both the first and the last column.
+  bool has_first = false, has_last = false;
+  for (const TileId& t : tiles) {
+    if (t.col == 0) has_first = true;
+    if (t.col == 7) has_last = true;
+  }
+  EXPECT_TRUE(has_first);
+  EXPECT_TRUE(has_last);
+}
+
+TEST(TileGridTest, ViewportOverPoleCoversWholePolarRow) {
+  TileGrid grid(4, 4);
+  Orientation up{1.0, 0.05};  // staring nearly straight up
+  auto tiles = grid.TilesInViewport(up, DegToRad(100), DegToRad(90));
+  int row0_count = 0;
+  for (const TileId& t : tiles) {
+    if (t.row == 0) ++row0_count;
+  }
+  EXPECT_EQ(row0_count, 4);  // all columns of the top row
+}
+
+TEST(TileGridTest, SingleTileGridAlwaysFullCoverage) {
+  TileGrid grid(1, 1);
+  auto tiles = grid.TilesInViewport({1.0, 1.0}, DegToRad(100), DegToRad(90));
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], (TileId{0, 0}));
+}
+
+TEST(TileGridTest, WiderFovCoversMoreTiles) {
+  TileGrid grid(6, 12);
+  Orientation o{2.0, kPi / 2};
+  auto narrow = grid.TilesInViewport(o, DegToRad(60), DegToRad(50));
+  auto wide = grid.TilesInViewport(o, DegToRad(140), DegToRad(110));
+  EXPECT_LT(narrow.size(), wide.size());
+  // Narrow set is a subset of the wide set.
+  for (const TileId& t : narrow) {
+    EXPECT_NE(std::find(wide.begin(), wide.end(), t), wide.end());
+  }
+}
+
+TEST(TileGridTest, PixelRectsTileTheFrame) {
+  const int width = 256, height = 128;
+  for (auto [rows, cols] : {std::pair{1, 1}, {2, 2}, {4, 4}, {2, 8}}) {
+    TileGrid grid(rows, cols);
+    long long area = 0;
+    for (int i = 0; i < grid.tile_count(); ++i) {
+      auto rect = grid.PixelRectOf(grid.TileAt(i), width, height, 16);
+      ASSERT_TRUE(rect.ok());
+      EXPECT_EQ(rect->x % 16, 0);
+      EXPECT_EQ(rect->y % 16, 0);
+      EXPECT_GT(rect->width, 0);
+      area += static_cast<long long>(rect->width) * rect->height;
+    }
+    EXPECT_EQ(area, static_cast<long long>(width) * height)
+        << rows << "x" << cols;
+  }
+}
+
+TEST(TileGridTest, PixelRectRejectsTooFineGrid) {
+  TileGrid grid(16, 16);
+  // 64x32 frame with 16 rows => 2-pixel tiles, under the 16px block floor.
+  EXPECT_FALSE(grid.PixelRectOf({0, 0}, 64, 32, 16).ok());
+}
+
+TEST(TileGridTest, PixelRectRejectsBadTile) {
+  TileGrid grid(2, 2);
+  EXPECT_FALSE(grid.PixelRectOf({2, 0}, 64, 64, 16).ok());
+  EXPECT_FALSE(grid.PixelRectOf({0, -1}, 64, 64, 16).ok());
+}
+
+// ---------------------------------------------------------------- Viewport
+
+TEST(ViewportTest, RendersGazeDirectionContent) {
+  // Panorama: left hemisphere dark, right hemisphere bright.
+  Frame pano(256, 128);
+  pano.FillRect(0, 0, 128, 128, 50, 128, 128);
+  pano.FillRect(128, 0, 128, 128, 200, 128, 128);
+
+  ViewportSpec spec;
+  spec.width = 64;
+  spec.height = 64;
+
+  // Gaze at yaw = π/2 (center of the dark half given our mapping of column
+  // x = yaw/2π * width: yaw π/2 is column 64, inside [0,128) = dark).
+  auto dark_view = RenderViewport(pano, {kPi / 2, kPi / 2}, spec);
+  ASSERT_TRUE(dark_view.ok());
+  EXPECT_NEAR(dark_view->y(32, 32), 50, 2);
+
+  auto bright_view = RenderViewport(pano, {3 * kPi / 2, kPi / 2}, spec);
+  ASSERT_TRUE(bright_view.ok());
+  EXPECT_NEAR(bright_view->y(32, 32), 200, 2);
+}
+
+TEST(ViewportTest, PoleGazeDoesNotCrash) {
+  Frame pano(128, 64);
+  pano.Fill(99, 128, 128);
+  ViewportSpec spec;
+  spec.width = 32;
+  spec.height = 32;
+  auto up = RenderViewport(pano, {0.0, 0.0}, spec);
+  ASSERT_TRUE(up.ok());
+  EXPECT_NEAR(up->y(16, 16), 99, 2);
+  auto down = RenderViewport(pano, {0.0, kPi}, spec);
+  ASSERT_TRUE(down.ok());
+}
+
+TEST(ViewportTest, RejectsBadSpecs) {
+  Frame pano(128, 64);
+  ViewportSpec spec;
+  spec.width = 33;  // odd
+  EXPECT_FALSE(RenderViewport(pano, {0, kPi / 2}, spec).ok());
+  spec.width = 32;
+  spec.fov_yaw = kPi;  // too wide for rectilinear projection
+  EXPECT_FALSE(RenderViewport(pano, {0, kPi / 2}, spec).ok());
+}
+
+TEST(ViewportTest, ViewportPsnrPerfectWhenIdentical) {
+  Frame pano(128, 64);
+  pano.FillRect(20, 10, 40, 30, 180, 100, 140);
+  ViewportSpec spec;
+  spec.width = 32;
+  spec.height = 32;
+  auto psnr = ViewportPsnr(pano, pano, {1.0, 1.5}, spec);
+  ASSERT_TRUE(psnr.ok());
+  EXPECT_EQ(*psnr, kInfinitePsnr);
+}
+
+TEST(ViewportTest, ViewportPsnrIgnoresOutOfViewDamage) {
+  Frame reference(256, 128);
+  reference.Fill(128, 128, 128);
+  Frame damaged = reference;
+  // Damage the area behind the viewer (yaw ≈ π+gaze).
+  damaged.FillRect(0, 48, 32, 32, 0, 128, 128);
+
+  ViewportSpec spec;
+  spec.width = 64;
+  spec.height = 64;
+  // Gaze far from the damage: quality is perfect in-view.
+  auto psnr = ViewportPsnr(reference, damaged, {kPi, kPi / 2}, spec);
+  ASSERT_TRUE(psnr.ok());
+  EXPECT_EQ(*psnr, kInfinitePsnr);
+  // Gaze at the damage: quality collapses.
+  auto bad = ViewportPsnr(reference, damaged, {0.4, kPi / 2}, spec);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_LT(*bad, 40.0);
+}
+
+}  // namespace
+}  // namespace vc

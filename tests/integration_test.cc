@@ -1,0 +1,202 @@
+// Cross-module integration tests: exercise whole pipelines the way a
+// deployment would — real filesystem persistence across process-like
+// reopens, manifest interchange, and composition of export with the
+// monolithic GOP-index path.
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "common/env.h"
+#include "core/export.h"
+#include "core/session.h"
+#include "core/visualcloud.h"
+#include "image/metrics.h"
+#include "predict/trace_synthesizer.h"
+#include "storage/monolithic.h"
+#include "streaming/manifest.h"
+
+namespace vc {
+namespace {
+
+IngestOptions SmallIngest() {
+  IngestOptions ingest;
+  ingest.tile_rows = 2;
+  ingest.tile_cols = 2;
+  ingest.frames_per_segment = 4;
+  ingest.fps = 4.0;
+  ingest.ladder = {{"high", 16}, {"low", 40}};
+  return ingest;
+}
+
+SceneOptions SmallScene() {
+  SceneOptions options;
+  options.width = 64;
+  options.height = 32;
+  return options;
+}
+
+TEST(IntegrationTest, DiskPersistenceSurvivesReopen) {
+  // Ingest against the real filesystem, tear the instance down, reopen a
+  // fresh one on the same root, and verify catalog + pixels survive.
+  std::string root = ::testing::TempDir() + "/vc_persist_test";
+  Env::Default()->RemoveDirRecursive(root).ok();
+
+  auto scene = NewVeniceScene(SmallScene());
+  std::vector<Frame> original = RenderScene(*scene, 8);
+  {
+    VisualCloudOptions options;
+    options.storage.root = root;
+    auto db = *VisualCloud::Open(options);
+    auto version = db->IngestScene("persist", *scene, 8, SmallIngest());
+    ASSERT_TRUE(version.ok()) << version.status().ToString();
+  }
+  {
+    VisualCloudOptions options;
+    options.storage.root = root;
+    auto db = *VisualCloud::Open(options);
+    auto videos = db->List();
+    ASSERT_TRUE(videos.ok());
+    ASSERT_EQ(videos->size(), 1u);
+    EXPECT_EQ((*videos)[0], "persist");
+    auto frames = db->ReadFrames("persist", 0, 7, 0);
+    ASSERT_TRUE(frames.ok()) << frames.status().ToString();
+    for (int i = 0; i < 8; ++i) {
+      auto psnr = LumaPsnr(original[i], (*frames)[i]);
+      ASSERT_TRUE(psnr.ok());
+      EXPECT_GT(*psnr, 30.0);
+    }
+  }
+  ASSERT_TRUE(Env::Default()->RemoveDirRecursive(root).ok());
+}
+
+TEST(IntegrationTest, ManifestFromStoreDrivesPlanning) {
+  // A remote client that only has the manifest can compute exactly the
+  // byte budgets the server computes from its own metadata.
+  auto env = NewMemEnv();
+  VisualCloudOptions options;
+  options.storage.env = env.get();
+  options.storage.root = "/db";
+  auto db = *VisualCloud::Open(options);
+  auto scene = NewCoasterScene(SmallScene());
+  ASSERT_TRUE(db->IngestScene("m", *scene, 8, SmallIngest()).ok());
+  auto metadata = *db->Describe("m");
+
+  std::string manifest_text = GenerateManifest(metadata);
+  auto client_view = ParseManifest(Slice(manifest_text));
+  ASSERT_TRUE(client_view.ok());
+  for (int segment = 0; segment < metadata.segment_count(); ++segment) {
+    for (int quality = 0; quality < metadata.quality_count(); ++quality) {
+      EXPECT_EQ(client_view->SegmentBytesAtQuality(segment, quality),
+                metadata.SegmentBytesAtQuality(segment, quality));
+    }
+  }
+}
+
+TEST(IntegrationTest, ExportFeedsMonolithicIndexPath) {
+  // Tiled store → homomorphic export → monolithic file + GOP index →
+  // indexed random access decodes the right frames.
+  auto env = NewMemEnv();
+  VisualCloudOptions options;
+  options.storage.env = env.get();
+  options.storage.root = "/db";
+  auto db = *VisualCloud::Open(options);
+  auto scene = NewTimelapseScene(SmallScene());
+  ASSERT_TRUE(db->IngestScene("x", *scene, 12, SmallIngest()).ok());
+  auto metadata = *db->Describe("x");
+
+  auto exported = ExportMonolithic(db->storage(), metadata, 0);
+  ASSERT_TRUE(exported.ok());
+  auto index = WriteMonolithicStream(env.get(), "/x.vcc", *exported);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->entries.size(), 3u);  // 12 frames / 4-frame segments
+
+  // Random-access frames 5..6 (second GOP) and decode them.
+  auto range = ReadFrameRangeIndexed(env.get(), "/x.vcc", *index, 5, 6);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->first_frame, 4u);
+  auto decoder = *Decoder::Create(range->header);
+  Frame decoded;
+  for (uint32_t i = 0; i <= 6 - range->first_frame; ++i) {
+    auto frame = decoder->Decode(Slice(range->frames[i].payload));
+    ASSERT_TRUE(frame.ok());
+    decoded = std::move(*frame);
+  }
+  auto psnr = LumaPsnr(scene->FrameAt(6), decoded);
+  ASSERT_TRUE(psnr.ok());
+  EXPECT_GT(*psnr, 30.0);
+}
+
+TEST(IntegrationTest, SessionOverVariableBandwidthTrace) {
+  // Bandwidth that collapses mid-session: the adaptive session must finish
+  // without error, with fewer bytes than the rich-network run and visible
+  // degradation (higher in-view rung).
+  auto env = NewMemEnv();
+  VisualCloudOptions options;
+  options.storage.env = env.get();
+  options.storage.root = "/db";
+  auto db = *VisualCloud::Open(options);
+  auto scene = NewCoasterScene(SmallScene());
+  ASSERT_TRUE(db->IngestScene("bw", *scene, 96, SmallIngest()).ok());
+  auto metadata = *db->Describe("bw");  // 24 one-second segments
+
+  auto trace_options = ArchetypeOptions("explorer", 2);
+  trace_options->duration_seconds = 24;
+  auto trace = *SynthesizeTrace(*trace_options);
+
+  SessionOptions session;
+  session.approach = StreamingApproach::kVisualCloud;
+  session.network.bandwidth_bps = 10e6;
+  session.buffer_ahead_seconds = 0.5;  // react quickly to the collapse
+  auto rich = SimulateSession(db->storage(), metadata, trace, session);
+  ASSERT_TRUE(rich.ok());
+  EXPECT_EQ(rich->stall_seconds, 0.0);
+
+  // Collapse to 8 kbps after 1 s: transfers slower than real time until
+  // the throughput estimator converges and adaptation shrinks the plans.
+  session.network.bandwidth_trace = {{1.0, 8e3}};
+  auto poor = SimulateSession(db->storage(), metadata, trace, session);
+  ASSERT_TRUE(poor.ok());
+  EXPECT_LT(poor->bytes_sent, rich->bytes_sent)
+      << "adaptation after the collapse must shrink later segments";
+  EXPECT_GT(poor->mean_inview_quality, rich->mean_inview_quality);
+  EXPECT_GT(poor->stall_seconds, 0.0)
+      << "segments planned before the estimator converged must stall";
+}
+
+TEST(IntegrationTest, LiveCheckpointStreamsWhileIngestContinues) {
+  // Interleave: push, checkpoint, stream the checkpoint, push more, finish
+  // — on one VisualCloud instance with a disk-backed layout in memory.
+  auto env = NewMemEnv();
+  VisualCloudOptions options;
+  options.storage.env = env.get();
+  options.storage.root = "/db";
+  auto db = *VisualCloud::Open(options);
+  auto scene = NewVeniceScene(SmallScene());
+  auto live = *db->StartLiveIngest("feed", 64, 32, SmallIngest());
+
+  auto trace_options = ArchetypeOptions("calm", 5);
+  trace_options->duration_seconds = 2;
+  auto trace = *SynthesizeTrace(*trace_options);
+
+  uint64_t previous_bytes = 0;
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(live->PushFrame(scene->FrameAt(batch * 4 + i)).ok());
+    }
+    auto version = live->Checkpoint();
+    ASSERT_TRUE(version.ok());
+    auto snapshot = *db->storage()->GetVideoVersion("feed", *version);
+    SessionOptions session;
+    session.approach = StreamingApproach::kVisualCloud;
+    auto stats = SimulateSession(db->storage(), snapshot, trace, session);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_GT(stats->bytes_sent, previous_bytes)
+        << "each checkpoint should stream strictly more content";
+    previous_bytes = stats->bytes_sent;
+  }
+  ASSERT_TRUE(live->Finish().ok());
+  EXPECT_EQ((*db->Describe("feed")).segment_count(), 3);
+}
+
+}  // namespace
+}  // namespace vc

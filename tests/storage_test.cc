@@ -1,0 +1,492 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "codec/encoder.h"
+#include "common/env.h"
+#include "image/scene.h"
+#include "storage/cache.h"
+#include "storage/metadata.h"
+#include "storage/monolithic.h"
+#include "storage/storage_manager.h"
+
+namespace vc {
+namespace {
+
+// ------------------------------------------------------------------- Cache
+
+std::shared_ptr<const std::vector<uint8_t>> Bytes(size_t n, uint8_t fill) {
+  return std::make_shared<const std::vector<uint8_t>>(n, fill);
+}
+
+TEST(LruCacheTest, HitAndMiss) {
+  LruCache cache(1024);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put("a", Bytes(100, 1));
+  auto v = cache.Get("a");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->size(), 100u);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.bytes_cached, 100u);
+  EXPECT_NEAR(stats.HitRate(), 0.5, 1e-9);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(250);
+  cache.Put("a", Bytes(100, 1));
+  cache.Put("b", Bytes(100, 2));
+  EXPECT_NE(cache.Get("a"), nullptr);  // refresh a
+  cache.Put("c", Bytes(100, 3));       // evicts b
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, OversizedValueNotCached) {
+  LruCache cache(50);
+  cache.Put("big", Bytes(100, 1));
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.stats().bytes_cached, 0u);
+}
+
+TEST(LruCacheTest, ReplaceUpdatesBytes) {
+  LruCache cache(1000);
+  cache.Put("k", Bytes(100, 1));
+  cache.Put("k", Bytes(300, 2));
+  EXPECT_EQ(cache.stats().bytes_cached, 300u);
+  auto v = cache.Get("k");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ((*v)[0], 2);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache cache(1000);
+  cache.Put("a", Bytes(10, 1));
+  cache.Put("b", Bytes(10, 1));
+  cache.Erase("a");
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_EQ(cache.stats().bytes_cached, 0u);
+}
+
+// --------------------------------------------------------------- Metadata
+
+VideoMetadata SampleMetadata() {
+  VideoMetadata m;
+  m.name = "venice";
+  m.version = 2;
+  m.width = 256;
+  m.height = 128;
+  m.fps_times_100 = 3000;
+  m.frames_per_segment = 30;
+  m.tile_rows = 2;
+  m.tile_cols = 2;
+  m.ladder = DefaultQualityLadder();
+  m.segments = {{0, 30}, {30, 30}};
+  m.cells.assign(2 * 4 * 3, CellInfo{100, 7});
+  return m;
+}
+
+TEST(VideoMetadataTest, SerializeParseRoundTrip) {
+  VideoMetadata m = SampleMetadata();
+  auto bytes = m.Serialize();
+  auto parsed = VideoMetadata::Parse(Slice(bytes));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name, "venice");
+  EXPECT_EQ(parsed->version, 2u);
+  EXPECT_EQ(parsed->width, 256);
+  EXPECT_EQ(parsed->tile_count(), 4);
+  EXPECT_EQ(parsed->quality_count(), 3);
+  EXPECT_EQ(parsed->segment_count(), 2);
+  EXPECT_EQ(parsed->cells.size(), 24u);
+  EXPECT_EQ(parsed->TotalBytes(), 2400u);
+}
+
+TEST(VideoMetadataTest, CellIndexLayout) {
+  VideoMetadata m = SampleMetadata();
+  // Segment-major, then tile, then quality.
+  EXPECT_EQ(m.CellIndex(0, 0, 0), 0u);
+  EXPECT_EQ(m.CellIndex(0, 0, 2), 2u);
+  EXPECT_EQ(m.CellIndex(0, 1, 0), 3u);
+  EXPECT_EQ(m.CellIndex(1, 0, 0), 12u);
+  EXPECT_EQ(m.CellIndex(1, 3, 2), 23u);
+}
+
+TEST(VideoMetadataTest, ValidationCatchesInconsistencies) {
+  VideoMetadata m = SampleMetadata();
+  m.cells.pop_back();
+  EXPECT_FALSE(m.Validate().ok());
+
+  m = SampleMetadata();
+  m.segments[1].start_frame = 31;  // gap
+  EXPECT_FALSE(m.Validate().ok());
+
+  m = SampleMetadata();
+  m.name = "bad name!";
+  EXPECT_FALSE(m.Validate().ok());
+
+  m = SampleMetadata();
+  m.ladder.clear();
+  EXPECT_FALSE(m.Validate().ok());
+
+  m = SampleMetadata();
+  m.width = 100;  // not multiple of 16
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(VideoMetadataTest, SegmentBytesAtQuality) {
+  VideoMetadata m = SampleMetadata();
+  for (int tile = 0; tile < 4; ++tile) {
+    m.cells[m.CellIndex(1, tile, 0)].byte_size = 1000;
+  }
+  EXPECT_EQ(m.SegmentBytesAtQuality(1, 0), 4000u);
+  EXPECT_EQ(m.SegmentBytesAtQuality(0, 0), 400u);
+}
+
+// ---------------------------------------------------------- StorageManager
+
+class StorageManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    StorageOptions options;
+    options.env = env_.get();
+    options.root = "/store";
+    options.cache_capacity_bytes = 1 << 20;
+    auto store = StorageManager::Open(options);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+  }
+
+  /// Stores a tiny synthetic video and returns its committed metadata.
+  VideoMetadata StoreSample(const std::string& name, int segments = 2) {
+    VideoMetadata layout;
+    layout.name = name;
+    layout.width = 64;
+    layout.height = 32;
+    layout.frames_per_segment = 4;
+    layout.tile_rows = 1;
+    layout.tile_cols = 2;
+    layout.ladder = {{"high", 14}, {"low", 40}};
+    auto writer = store_->NewVideoWriter(layout);
+    EXPECT_TRUE(writer.ok());
+    for (int s = 0; s < segments; ++s) {
+      std::vector<std::vector<uint8_t>> cells;
+      for (int i = 0; i < 4; ++i) {  // 2 tiles × 2 qualities
+        cells.push_back(std::vector<uint8_t>(
+            50 + 10 * s + i, static_cast<uint8_t>(s * 16 + i)));
+      }
+      EXPECT_TRUE((*writer)->AddSegment(4, cells).ok());
+    }
+    auto version = (*writer)->Commit();
+    EXPECT_TRUE(version.ok());
+    auto metadata = store_->GetVideoVersion(name, *version);
+    EXPECT_TRUE(metadata.ok());
+    return *metadata;
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<StorageManager> store_;
+};
+
+TEST_F(StorageManagerTest, StoreAndList) {
+  StoreSample("alpha");
+  StoreSample("beta");
+  auto videos = store_->ListVideos();
+  ASSERT_TRUE(videos.ok());
+  EXPECT_EQ(*videos, (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(StorageManagerTest, VersionsIncrease) {
+  StoreSample("v");
+  StoreSample("v");
+  StoreSample("v");
+  auto versions = store_->ListVersions("v");
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(*versions, (std::vector<uint32_t>{1, 2, 3}));
+  auto latest = store_->GetVideo("v");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->version, 3u);
+}
+
+TEST_F(StorageManagerTest, SnapshotIsolationAcrossVersions) {
+  VideoMetadata v1 = StoreSample("video", 1);
+  VideoMetadata v2 = StoreSample("video", 2);
+  // The old version's cells remain readable after the new commit.
+  auto old_cell = store_->ReadCell(v1, 0, 0, 0);
+  ASSERT_TRUE(old_cell.ok());
+  auto new_cell = store_->ReadCell(v2, 1, 0, 0);
+  ASSERT_TRUE(new_cell.ok());
+  EXPECT_EQ((*old_cell)->size(), 50u);
+}
+
+TEST_F(StorageManagerTest, ReadCellVerifiesChecksum) {
+  VideoMetadata m = StoreSample("video", 1);
+  // Corrupt the stored bytes behind the manager's back.
+  std::string path =
+      "/store/video/v1/" + m.CellFileName(0, 1, 1);
+  auto bytes = env_->ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  auto corrupted = *bytes;
+  corrupted[10] ^= 0xff;
+  ASSERT_TRUE(env_->WriteFile(path, Slice(corrupted)).ok());
+  auto cell = store_->ReadCell(m, 0, 1, 1);
+  EXPECT_TRUE(cell.status().IsCorruption());
+}
+
+TEST_F(StorageManagerTest, ReadCellUsesCache) {
+  VideoMetadata m = StoreSample("video", 1);
+  ASSERT_TRUE(store_->ReadCell(m, 0, 0, 0).ok());
+  ASSERT_TRUE(store_->ReadCell(m, 0, 0, 0).ok());
+  CacheStats stats = store_->cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(StorageManagerTest, ReadCellRangeChecks) {
+  VideoMetadata m = StoreSample("video", 1);
+  EXPECT_TRUE(store_->ReadCell(m, 5, 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(store_->ReadCell(m, 0, 9, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(store_->ReadCell(m, 0, 0, 9).status().IsInvalidArgument());
+}
+
+TEST_F(StorageManagerTest, DropRemovesVideo) {
+  StoreSample("gone");
+  ASSERT_TRUE(store_->DropVideo("gone").ok());
+  EXPECT_TRUE(store_->GetVideo("gone").status().IsNotFound());
+  EXPECT_TRUE(store_->DropVideo("gone").IsNotFound());
+  auto videos = store_->ListVideos();
+  ASSERT_TRUE(videos.ok());
+  EXPECT_TRUE(videos->empty());
+}
+
+TEST_F(StorageManagerTest, UncommittedVersionInvisible) {
+  VideoMetadata layout;
+  layout.name = "wip";
+  layout.width = 64;
+  layout.height = 32;
+  layout.frames_per_segment = 4;
+  layout.ladder = {{"only", 30}};
+  auto writer = store_->NewVideoWriter(layout);
+  ASSERT_TRUE(writer.ok());
+  std::vector<std::vector<uint8_t>> cells = {std::vector<uint8_t>(10, 1)};
+  ASSERT_TRUE((*writer)->AddSegment(4, cells).ok());
+  // Not committed: invisible.
+  EXPECT_TRUE(store_->GetVideo("wip").status().IsNotFound());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  EXPECT_TRUE(store_->GetVideo("wip").ok());
+}
+
+TEST_F(StorageManagerTest, WriterValidatesCellCount) {
+  VideoMetadata layout;
+  layout.name = "bad";
+  layout.width = 64;
+  layout.height = 32;
+  layout.frames_per_segment = 4;
+  layout.tile_cols = 2;
+  layout.ladder = {{"only", 30}};
+  auto writer = store_->NewVideoWriter(layout);
+  ASSERT_TRUE(writer.ok());
+  std::vector<std::vector<uint8_t>> too_few = {std::vector<uint8_t>(10, 1)};
+  EXPECT_TRUE((*writer)->AddSegment(4, too_few).IsInvalidArgument());
+}
+
+TEST_F(StorageManagerTest, OpenValidatesOptions) {
+  StorageOptions options;
+  options.env = nullptr;
+  options.root = "/x";
+  EXPECT_FALSE(StorageManager::Open(options).ok());
+  options.env = env_.get();
+  options.root = "";
+  EXPECT_FALSE(StorageManager::Open(options).ok());
+}
+
+// ---------------------------------------------------------- Monolithic/GOP
+
+class MonolithicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    SceneOptions scene_options;
+    scene_options.width = 64;
+    scene_options.height = 32;
+    auto scene = NewVeniceScene(scene_options);
+    auto frames = RenderScene(*scene, 24);
+    EncoderOptions options;
+    options.width = 64;
+    options.height = 32;
+    options.gop_length = 8;
+    options.qp = 30;
+    auto video = EncodeVideo(frames, options);
+    ASSERT_TRUE(video.ok());
+    video_ = std::move(*video);
+  }
+
+  std::unique_ptr<Env> env_;
+  EncodedVideo video_;
+};
+
+TEST_F(MonolithicTest, IndexCoversAllFrames) {
+  auto index = WriteMonolithicStream(env_.get(), "/mono.vcc", video_);
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->entries.size(), 3u);  // 24 frames / 8-frame GOPs
+  for (uint32_t f = 0; f < 24; ++f) {
+    EXPECT_TRUE(index->Lookup(f).ok()) << "frame " << f;
+  }
+  EXPECT_TRUE(index->Lookup(24).status().IsNotFound());
+}
+
+TEST_F(MonolithicTest, IndexedReadMatchesLinearRead) {
+  auto index = WriteMonolithicStream(env_.get(), "/mono.vcc", video_);
+  ASSERT_TRUE(index.ok());
+  auto indexed = ReadFrameRangeIndexed(env_.get(), "/mono.vcc", *index, 9, 12);
+  auto linear = ReadFrameRangeLinear(env_.get(), "/mono.vcc", 9, 12);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(linear.ok());
+  EXPECT_EQ(indexed->first_frame, 8u);
+  EXPECT_EQ(linear->first_frame, 8u);
+  ASSERT_EQ(indexed->frames.size(), linear->frames.size());
+  for (size_t i = 0; i < indexed->frames.size(); ++i) {
+    EXPECT_EQ(indexed->frames[i].payload, linear->frames[i].payload);
+  }
+}
+
+TEST_F(MonolithicTest, IndexedReadTouchesFewerBytes) {
+  auto index = WriteMonolithicStream(env_.get(), "/mono.vcc", video_);
+  ASSERT_TRUE(index.ok());
+  auto indexed = ReadFrameRangeIndexed(env_.get(), "/mono.vcc", *index, 20, 23);
+  auto linear = ReadFrameRangeLinear(env_.get(), "/mono.vcc", 20, 23);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(linear.ok());
+  EXPECT_LT(indexed->bytes_read, linear->bytes_read);
+}
+
+TEST(LruCacheTest, ConcurrentAccessIsSafe) {
+  // Hammer one cache from several threads: no crashes, no lost entries
+  // beyond capacity-driven eviction, consistent stats.
+  LruCache cache(10'000);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "k" + std::to_string((t * 7 + i) % 50);
+        if (i % 3 == 0) {
+          cache.Put(key, Bytes(100, static_cast<uint8_t>(i)));
+        } else if (i % 7 == 0) {
+          cache.Erase(key);
+        } else {
+          auto v = cache.Get(key);
+          if (v) {
+            // Values are immutable snapshots; size always intact.
+            EXPECT_EQ(v->size(), 100u);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  CacheStats stats = cache.stats();
+  EXPECT_LE(stats.bytes_cached, 10'000u);
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+// ------------------------------------------------------- Live checkpoints
+
+TEST_F(StorageManagerTest, CheckpointPublishesAndSharesDataDir) {
+  VideoMetadata layout;
+  layout.name = "live";
+  layout.width = 64;
+  layout.height = 32;
+  layout.frames_per_segment = 4;
+  layout.ladder = {{"only", 30}};
+  auto writer = store_->NewVideoWriter(layout);
+  ASSERT_TRUE(writer.ok());
+
+  std::vector<std::vector<uint8_t>> cells = {std::vector<uint8_t>(20, 1)};
+  ASSERT_TRUE((*writer)->AddSegment(4, cells).ok());
+  auto v1 = (*writer)->CommitCheckpoint();
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 1u);
+
+  // Version 1 is visible, flagged streaming, and readable.
+  auto m1 = store_->GetVideoVersion("live", 1);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_TRUE(m1->streaming);
+  EXPECT_EQ(m1->segment_count(), 1);
+  EXPECT_TRUE(store_->ReadCell(*m1, 0, 0, 0).ok());
+
+  // Append more and finish: version 2, same data dir, not streaming.
+  cells[0] = std::vector<uint8_t>(30, 2);
+  ASSERT_TRUE((*writer)->AddSegment(4, cells).ok());
+  auto v2 = (*writer)->Commit();
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2u);
+  auto m2 = store_->GetVideoVersion("live", 2);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_FALSE(m2->streaming);
+  EXPECT_EQ(m2->segment_count(), 2);
+  EXPECT_EQ(m2->DataDir(), m1->DataDir()) << "checkpoints must share cells";
+
+  // The old version still reads its snapshot; the new one reads both.
+  EXPECT_TRUE(store_->ReadCell(*m1, 0, 0, 0).ok());
+  EXPECT_TRUE(store_->ReadCell(*m2, 1, 0, 0).ok());
+  // Segment 1 is not part of version 1's snapshot.
+  EXPECT_TRUE(store_->ReadCell(*m1, 1, 0, 0).status().IsInvalidArgument());
+}
+
+TEST_F(StorageManagerTest, CheckpointRequiresASegment) {
+  VideoMetadata layout;
+  layout.name = "early";
+  layout.width = 64;
+  layout.height = 32;
+  layout.frames_per_segment = 4;
+  layout.ladder = {{"only", 30}};
+  auto writer = store_->NewVideoWriter(layout);
+  ASSERT_TRUE(writer.ok());
+  // Zero segments fails metadata validation inside the checkpoint.
+  EXPECT_FALSE((*writer)->CommitCheckpoint().ok());
+}
+
+TEST_F(StorageManagerTest, WriterUnusableAfterCommit) {
+  VideoMetadata m = StoreSample("done", 1);
+  (void)m;
+  VideoMetadata layout;
+  layout.name = "done2";
+  layout.width = 64;
+  layout.height = 32;
+  layout.frames_per_segment = 4;
+  layout.ladder = {{"only", 30}};
+  auto writer = store_->NewVideoWriter(layout);
+  std::vector<std::vector<uint8_t>> cells = {std::vector<uint8_t>(10, 1)};
+  ASSERT_TRUE((*writer)->AddSegment(4, cells).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  EXPECT_TRUE((*writer)->AddSegment(4, cells).IsAborted());
+  EXPECT_TRUE((*writer)->Commit().status().IsAborted());
+  EXPECT_TRUE((*writer)->CommitCheckpoint().status().IsAborted());
+}
+
+TEST(VideoMetadataTest, DataDirDefaultsAndRoundTrips) {
+  VideoMetadata m;
+  m.version = 7;
+  EXPECT_EQ(m.DataDir(), "v7");
+  m.data_dir = "v3";
+  EXPECT_EQ(m.DataDir(), "v3");
+}
+
+TEST_F(MonolithicTest, RangeValidation) {
+  auto index = WriteMonolithicStream(env_.get(), "/mono.vcc", video_);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(ReadFrameRangeIndexed(env_.get(), "/mono.vcc", *index, 5, 2).ok());
+  EXPECT_FALSE(
+      ReadFrameRangeIndexed(env_.get(), "/mono.vcc", *index, 0, 99).ok());
+  EXPECT_FALSE(ReadFrameRangeLinear(env_.get(), "/mono.vcc", 0, 99).ok());
+}
+
+}  // namespace
+}  // namespace vc

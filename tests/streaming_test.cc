@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "streaming/adaptation.h"
+#include "streaming/manifest.h"
+#include "streaming/network.h"
+#include "streaming/qoe.h"
+
+namespace vc {
+namespace {
+
+// ---------------------------------------------------------------- Network
+
+TEST(NetworkTest, OptionsValidation) {
+  NetworkOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.bandwidth_bps = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = NetworkOptions{};
+  options.latency_seconds = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = NetworkOptions{};
+  options.jitter = 2.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = NetworkOptions{};
+  options.bandwidth_trace = {{5.0, 1e6}, {2.0, 2e6}};  // unsorted
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(NetworkTest, SteadyTransferTime) {
+  NetworkOptions options;
+  options.bandwidth_bps = 8e6;  // 1 MB/s
+  options.latency_seconds = 0.05;
+  auto net = NetworkSimulator::Create(options);
+  ASSERT_TRUE(net.ok());
+  double done = net->Transfer(0.0, 1'000'000);
+  EXPECT_NEAR(done, 0.05 + 1.0, 1e-9);
+  EXPECT_EQ(net->total_bytes(), 1'000'000u);
+  EXPECT_EQ(net->request_count(), 1u);
+}
+
+TEST(NetworkTest, BandwidthTraceSteps) {
+  NetworkOptions options;
+  options.bandwidth_bps = 8e6;
+  options.latency_seconds = 0.0;
+  options.bandwidth_trace = {{1.0, 4e6}};  // halves after t=1
+  auto net = NetworkSimulator::Create(options);
+  ASSERT_TRUE(net.ok());
+  EXPECT_DOUBLE_EQ(net->BandwidthAt(0.5), 8e6);
+  EXPECT_DOUBLE_EQ(net->BandwidthAt(2.0), 4e6);
+  // 2 MB starting at t=0: first 1 s moves 1 MB, remaining 1 MB at 0.5 MB/s.
+  double done = net->Transfer(0.0, 2'000'000);
+  EXPECT_NEAR(done, 1.0 + 2.0, 1e-9);
+}
+
+TEST(NetworkTest, JitterIsDeterministicPerSeed) {
+  NetworkOptions options;
+  options.jitter = 0.2;
+  options.seed = 99;
+  auto a = NetworkSimulator::Create(options);
+  auto b = NetworkSimulator::Create(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(a->Transfer(i * 10.0, 500'000),
+                     b->Transfer(i * 10.0, 500'000));
+  }
+}
+
+TEST(NetworkTest, ResetStatsKeepsModel) {
+  auto net = NetworkSimulator::Create(NetworkOptions{});
+  ASSERT_TRUE(net.ok());
+  net->Transfer(0, 1000);
+  net->ResetStats();
+  EXPECT_EQ(net->total_bytes(), 0u);
+  EXPECT_EQ(net->request_count(), 0u);
+}
+
+// -------------------------------------------------------------- Adaptation
+
+TEST(AdaptationTest, ThroughputEstimatorConverges) {
+  ThroughputEstimator estimator(0.5, 1e6);
+  for (int i = 0; i < 20; ++i) {
+    estimator.AddSample(1'000'000, 1.0);  // 8 Mbps observed
+  }
+  EXPECT_NEAR(estimator.estimate_bps(), 8e6, 1e5);
+  estimator.AddSample(0, 0.0);  // degenerate sample ignored
+  EXPECT_NEAR(estimator.estimate_bps(), 8e6, 1e5);
+}
+
+TEST(AdaptationTest, PickQualityForBudget) {
+  std::vector<uint64_t> sizes = {1000, 500, 100};  // best → worst
+  EXPECT_EQ(PickQualityForBudget(sizes, 2000), 0);
+  EXPECT_EQ(PickQualityForBudget(sizes, 600), 1);
+  EXPECT_EQ(PickQualityForBudget(sizes, 150), 2);
+  EXPECT_EQ(PickQualityForBudget(sizes, 10), 2);  // nothing fits: lowest
+}
+
+TEST(AdaptationTest, SegmentByteBudget) {
+  // 8 Mbps for 1 s at safety 0.85 = 850 KB.
+  EXPECT_NEAR(SegmentByteBudget(8e6, 1.0, 0.85), 850'000, 1);
+}
+
+// ---------------------------------------------------------------- Manifest
+
+VideoMetadata ManifestSample() {
+  VideoMetadata m;
+  m.name = "venice";
+  m.version = 3;
+  m.width = 256;
+  m.height = 128;
+  m.fps_times_100 = 1500;
+  m.frames_per_segment = 15;
+  m.tile_rows = 2;
+  m.tile_cols = 4;
+  m.spherical.stereo = StereoMode::kStereoTopBottom;
+  m.ladder = {{"high", 14}, {"low", 42}};
+  m.segments = {{0, 15}, {15, 15}, {30, 7}};
+  m.cells.resize(3 * 8 * 2);
+  for (size_t i = 0; i < m.cells.size(); ++i) {
+    m.cells[i] = CellInfo{1000 + i * 13, static_cast<uint32_t>(0xAB00 + i)};
+  }
+  return m;
+}
+
+TEST(ManifestTest, RoundTripsAllFields) {
+  VideoMetadata m = ManifestSample();
+  std::string text = GenerateManifest(m);
+  auto parsed = ParseManifest(Slice(text));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name, m.name);
+  EXPECT_EQ(parsed->version, m.version);
+  EXPECT_EQ(parsed->width, m.width);
+  EXPECT_EQ(parsed->height, m.height);
+  EXPECT_EQ(parsed->fps_times_100, m.fps_times_100);
+  EXPECT_EQ(parsed->frames_per_segment, m.frames_per_segment);
+  EXPECT_EQ(parsed->tile_rows, m.tile_rows);
+  EXPECT_EQ(parsed->tile_cols, m.tile_cols);
+  EXPECT_EQ(parsed->spherical.stereo, m.spherical.stereo);
+  EXPECT_EQ(parsed->ladder, m.ladder);
+  ASSERT_EQ(parsed->segments.size(), m.segments.size());
+  ASSERT_EQ(parsed->cells.size(), m.cells.size());
+  for (size_t i = 0; i < m.cells.size(); ++i) {
+    EXPECT_EQ(parsed->cells[i].byte_size, m.cells[i].byte_size);
+    EXPECT_EQ(parsed->cells[i].crc32, m.cells[i].crc32);
+  }
+}
+
+TEST(ManifestTest, IgnoresCommentsAndBlankLines) {
+  std::string text = GenerateManifest(ManifestSample());
+  text = "# a comment\n\n" + text + "# trailing comment\n";
+  EXPECT_TRUE(ParseManifest(Slice(text)).ok());
+}
+
+TEST(ManifestTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseManifest(Slice(std::string(""))).ok());
+  EXPECT_FALSE(ParseManifest(Slice(std::string("BOGUS 1\n"))).ok());
+  std::string text = GenerateManifest(ManifestSample());
+  // Drop one cell line → count mismatch.
+  size_t last_cell = text.rfind("cell ");
+  std::string missing = text.substr(0, last_cell);
+  EXPECT_FALSE(ParseManifest(Slice(missing)).ok());
+  // Duplicate a cell line.
+  std::string duplicated = text + text.substr(last_cell);
+  EXPECT_FALSE(ParseManifest(Slice(duplicated)).ok());
+  // Unknown keyword.
+  std::string unknown = text + "frobnicate 1\n";
+  EXPECT_FALSE(ParseManifest(Slice(unknown)).ok());
+}
+
+// -------------------------------------------------------------------- QoE
+
+TEST(QoeTest, BandwidthSavings) {
+  SessionStats baseline, candidate;
+  baseline.bytes_sent = 1000;
+  candidate.bytes_sent = 400;
+  EXPECT_NEAR(BandwidthSavings(baseline, candidate), 0.6, 1e-9);
+  baseline.bytes_sent = 0;
+  EXPECT_EQ(BandwidthSavings(baseline, candidate), 0.0);
+}
+
+TEST(QoeTest, MeanBitrate) {
+  SessionStats stats;
+  stats.bytes_sent = 1'000'000;
+  stats.duration_seconds = 10.0;
+  EXPECT_NEAR(stats.MeanBitrateBps(), 800'000, 1e-6);
+  stats.duration_seconds = 0;
+  EXPECT_EQ(stats.MeanBitrateBps(), 0.0);
+}
+
+}  // namespace
+}  // namespace vc
