@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bandwidth.dir/bench_bandwidth.cpp.o"
+  "CMakeFiles/bench_bandwidth.dir/bench_bandwidth.cpp.o.d"
+  "bench_bandwidth"
+  "bench_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

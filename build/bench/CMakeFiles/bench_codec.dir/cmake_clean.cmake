@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codec.dir/bench_codec.cpp.o"
+  "CMakeFiles/bench_codec.dir/bench_codec.cpp.o.d"
+  "bench_codec"
+  "bench_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

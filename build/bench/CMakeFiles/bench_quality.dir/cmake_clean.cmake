@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quality.dir/bench_quality.cpp.o"
+  "CMakeFiles/bench_quality.dir/bench_quality.cpp.o.d"
+  "bench_quality"
+  "bench_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

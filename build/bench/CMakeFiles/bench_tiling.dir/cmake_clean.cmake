@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tiling.dir/bench_tiling.cpp.o"
+  "CMakeFiles/bench_tiling.dir/bench_tiling.cpp.o.d"
+  "bench_tiling"
+  "bench_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

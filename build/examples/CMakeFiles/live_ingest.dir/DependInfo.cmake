@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_ingest.cpp" "examples/CMakeFiles/live_ingest.dir/live_ingest.cpp.o" "gcc" "examples/CMakeFiles/live_ingest.dir/live_ingest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/vc_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/vc_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/vc_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/vc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/vc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

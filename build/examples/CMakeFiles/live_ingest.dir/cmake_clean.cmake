@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_ingest.dir/live_ingest.cpp.o"
+  "CMakeFiles/live_ingest.dir/live_ingest.cpp.o.d"
+  "live_ingest"
+  "live_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_streaming.dir/predictive_streaming.cpp.o"
+  "CMakeFiles/predictive_streaming.dir/predictive_streaming.cpp.o.d"
+  "predictive_streaming"
+  "predictive_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

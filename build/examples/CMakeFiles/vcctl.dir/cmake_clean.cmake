@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcctl.dir/vcctl.cpp.o"
+  "CMakeFiles/vcctl.dir/vcctl.cpp.o.d"
+  "vcctl"
+  "vcctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

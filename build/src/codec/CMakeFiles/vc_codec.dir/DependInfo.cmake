@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cc" "src/codec/CMakeFiles/vc_codec.dir/bitstream.cc.o" "gcc" "src/codec/CMakeFiles/vc_codec.dir/bitstream.cc.o.d"
+  "/root/repo/src/codec/decoder.cc" "src/codec/CMakeFiles/vc_codec.dir/decoder.cc.o" "gcc" "src/codec/CMakeFiles/vc_codec.dir/decoder.cc.o.d"
+  "/root/repo/src/codec/encoder.cc" "src/codec/CMakeFiles/vc_codec.dir/encoder.cc.o" "gcc" "src/codec/CMakeFiles/vc_codec.dir/encoder.cc.o.d"
+  "/root/repo/src/codec/entropy.cc" "src/codec/CMakeFiles/vc_codec.dir/entropy.cc.o" "gcc" "src/codec/CMakeFiles/vc_codec.dir/entropy.cc.o.d"
+  "/root/repo/src/codec/homomorphic.cc" "src/codec/CMakeFiles/vc_codec.dir/homomorphic.cc.o" "gcc" "src/codec/CMakeFiles/vc_codec.dir/homomorphic.cc.o.d"
+  "/root/repo/src/codec/mb_common.cc" "src/codec/CMakeFiles/vc_codec.dir/mb_common.cc.o" "gcc" "src/codec/CMakeFiles/vc_codec.dir/mb_common.cc.o.d"
+  "/root/repo/src/codec/motion.cc" "src/codec/CMakeFiles/vc_codec.dir/motion.cc.o" "gcc" "src/codec/CMakeFiles/vc_codec.dir/motion.cc.o.d"
+  "/root/repo/src/codec/quality.cc" "src/codec/CMakeFiles/vc_codec.dir/quality.cc.o" "gcc" "src/codec/CMakeFiles/vc_codec.dir/quality.cc.o.d"
+  "/root/repo/src/codec/transform.cc" "src/codec/CMakeFiles/vc_codec.dir/transform.cc.o" "gcc" "src/codec/CMakeFiles/vc_codec.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/vc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vc_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_codec.dir/bitstream.cc.o"
+  "CMakeFiles/vc_codec.dir/bitstream.cc.o.d"
+  "CMakeFiles/vc_codec.dir/decoder.cc.o"
+  "CMakeFiles/vc_codec.dir/decoder.cc.o.d"
+  "CMakeFiles/vc_codec.dir/encoder.cc.o"
+  "CMakeFiles/vc_codec.dir/encoder.cc.o.d"
+  "CMakeFiles/vc_codec.dir/entropy.cc.o"
+  "CMakeFiles/vc_codec.dir/entropy.cc.o.d"
+  "CMakeFiles/vc_codec.dir/homomorphic.cc.o"
+  "CMakeFiles/vc_codec.dir/homomorphic.cc.o.d"
+  "CMakeFiles/vc_codec.dir/mb_common.cc.o"
+  "CMakeFiles/vc_codec.dir/mb_common.cc.o.d"
+  "CMakeFiles/vc_codec.dir/motion.cc.o"
+  "CMakeFiles/vc_codec.dir/motion.cc.o.d"
+  "CMakeFiles/vc_codec.dir/quality.cc.o"
+  "CMakeFiles/vc_codec.dir/quality.cc.o.d"
+  "CMakeFiles/vc_codec.dir/transform.cc.o"
+  "CMakeFiles/vc_codec.dir/transform.cc.o.d"
+  "libvc_codec.a"
+  "libvc_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

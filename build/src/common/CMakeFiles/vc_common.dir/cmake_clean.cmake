@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_common.dir/bitio.cc.o"
+  "CMakeFiles/vc_common.dir/bitio.cc.o.d"
+  "CMakeFiles/vc_common.dir/crc32.cc.o"
+  "CMakeFiles/vc_common.dir/crc32.cc.o.d"
+  "CMakeFiles/vc_common.dir/env.cc.o"
+  "CMakeFiles/vc_common.dir/env.cc.o.d"
+  "CMakeFiles/vc_common.dir/logging.cc.o"
+  "CMakeFiles/vc_common.dir/logging.cc.o.d"
+  "CMakeFiles/vc_common.dir/status.cc.o"
+  "CMakeFiles/vc_common.dir/status.cc.o.d"
+  "CMakeFiles/vc_common.dir/thread_pool.cc.o"
+  "CMakeFiles/vc_common.dir/thread_pool.cc.o.d"
+  "libvc_common.a"
+  "libvc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_container.dir/box.cc.o"
+  "CMakeFiles/vc_container.dir/box.cc.o.d"
+  "CMakeFiles/vc_container.dir/boxes.cc.o"
+  "CMakeFiles/vc_container.dir/boxes.cc.o.d"
+  "libvc_container.a"
+  "libvc_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvc_container.a"
+)

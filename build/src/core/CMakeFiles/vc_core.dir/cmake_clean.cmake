@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_core.dir/export.cc.o"
+  "CMakeFiles/vc_core.dir/export.cc.o.d"
+  "CMakeFiles/vc_core.dir/reconstruct.cc.o"
+  "CMakeFiles/vc_core.dir/reconstruct.cc.o.d"
+  "CMakeFiles/vc_core.dir/session.cc.o"
+  "CMakeFiles/vc_core.dir/session.cc.o.d"
+  "CMakeFiles/vc_core.dir/tile_assignment.cc.o"
+  "CMakeFiles/vc_core.dir/tile_assignment.cc.o.d"
+  "CMakeFiles/vc_core.dir/visualcloud.cc.o"
+  "CMakeFiles/vc_core.dir/visualcloud.cc.o.d"
+  "libvc_core.a"
+  "libvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

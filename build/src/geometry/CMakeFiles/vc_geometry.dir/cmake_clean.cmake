@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_geometry.dir/tile_grid.cc.o"
+  "CMakeFiles/vc_geometry.dir/tile_grid.cc.o.d"
+  "CMakeFiles/vc_geometry.dir/viewport.cc.o"
+  "CMakeFiles/vc_geometry.dir/viewport.cc.o.d"
+  "libvc_geometry.a"
+  "libvc_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/frame.cc" "src/image/CMakeFiles/vc_image.dir/frame.cc.o" "gcc" "src/image/CMakeFiles/vc_image.dir/frame.cc.o.d"
+  "/root/repo/src/image/metrics.cc" "src/image/CMakeFiles/vc_image.dir/metrics.cc.o" "gcc" "src/image/CMakeFiles/vc_image.dir/metrics.cc.o.d"
+  "/root/repo/src/image/scene.cc" "src/image/CMakeFiles/vc_image.dir/scene.cc.o" "gcc" "src/image/CMakeFiles/vc_image.dir/scene.cc.o.d"
+  "/root/repo/src/image/stereo.cc" "src/image/CMakeFiles/vc_image.dir/stereo.cc.o" "gcc" "src/image/CMakeFiles/vc_image.dir/stereo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

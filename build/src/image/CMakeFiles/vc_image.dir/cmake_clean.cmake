@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_image.dir/frame.cc.o"
+  "CMakeFiles/vc_image.dir/frame.cc.o.d"
+  "CMakeFiles/vc_image.dir/metrics.cc.o"
+  "CMakeFiles/vc_image.dir/metrics.cc.o.d"
+  "CMakeFiles/vc_image.dir/scene.cc.o"
+  "CMakeFiles/vc_image.dir/scene.cc.o.d"
+  "CMakeFiles/vc_image.dir/stereo.cc.o"
+  "CMakeFiles/vc_image.dir/stereo.cc.o.d"
+  "libvc_image.a"
+  "libvc_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

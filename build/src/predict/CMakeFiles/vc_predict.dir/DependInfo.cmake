@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/accuracy.cc" "src/predict/CMakeFiles/vc_predict.dir/accuracy.cc.o" "gcc" "src/predict/CMakeFiles/vc_predict.dir/accuracy.cc.o.d"
+  "/root/repo/src/predict/head_trace.cc" "src/predict/CMakeFiles/vc_predict.dir/head_trace.cc.o" "gcc" "src/predict/CMakeFiles/vc_predict.dir/head_trace.cc.o.d"
+  "/root/repo/src/predict/popularity.cc" "src/predict/CMakeFiles/vc_predict.dir/popularity.cc.o" "gcc" "src/predict/CMakeFiles/vc_predict.dir/popularity.cc.o.d"
+  "/root/repo/src/predict/predictor.cc" "src/predict/CMakeFiles/vc_predict.dir/predictor.cc.o" "gcc" "src/predict/CMakeFiles/vc_predict.dir/predictor.cc.o.d"
+  "/root/repo/src/predict/trace_synthesizer.cc" "src/predict/CMakeFiles/vc_predict.dir/trace_synthesizer.cc.o" "gcc" "src/predict/CMakeFiles/vc_predict.dir/trace_synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/vc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_predict.dir/accuracy.cc.o"
+  "CMakeFiles/vc_predict.dir/accuracy.cc.o.d"
+  "CMakeFiles/vc_predict.dir/head_trace.cc.o"
+  "CMakeFiles/vc_predict.dir/head_trace.cc.o.d"
+  "CMakeFiles/vc_predict.dir/popularity.cc.o"
+  "CMakeFiles/vc_predict.dir/popularity.cc.o.d"
+  "CMakeFiles/vc_predict.dir/predictor.cc.o"
+  "CMakeFiles/vc_predict.dir/predictor.cc.o.d"
+  "CMakeFiles/vc_predict.dir/trace_synthesizer.cc.o"
+  "CMakeFiles/vc_predict.dir/trace_synthesizer.cc.o.d"
+  "libvc_predict.a"
+  "libvc_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vc_predict.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/cache.cc" "src/storage/CMakeFiles/vc_storage.dir/cache.cc.o" "gcc" "src/storage/CMakeFiles/vc_storage.dir/cache.cc.o.d"
+  "/root/repo/src/storage/metadata.cc" "src/storage/CMakeFiles/vc_storage.dir/metadata.cc.o" "gcc" "src/storage/CMakeFiles/vc_storage.dir/metadata.cc.o.d"
+  "/root/repo/src/storage/monolithic.cc" "src/storage/CMakeFiles/vc_storage.dir/monolithic.cc.o" "gcc" "src/storage/CMakeFiles/vc_storage.dir/monolithic.cc.o.d"
+  "/root/repo/src/storage/storage_manager.cc" "src/storage/CMakeFiles/vc_storage.dir/storage_manager.cc.o" "gcc" "src/storage/CMakeFiles/vc_storage.dir/storage_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/vc_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/vc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/vc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

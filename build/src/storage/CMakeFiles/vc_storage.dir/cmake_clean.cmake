@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_storage.dir/cache.cc.o"
+  "CMakeFiles/vc_storage.dir/cache.cc.o.d"
+  "CMakeFiles/vc_storage.dir/metadata.cc.o"
+  "CMakeFiles/vc_storage.dir/metadata.cc.o.d"
+  "CMakeFiles/vc_storage.dir/monolithic.cc.o"
+  "CMakeFiles/vc_storage.dir/monolithic.cc.o.d"
+  "CMakeFiles/vc_storage.dir/storage_manager.cc.o"
+  "CMakeFiles/vc_storage.dir/storage_manager.cc.o.d"
+  "libvc_storage.a"
+  "libvc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_streaming.dir/adaptation.cc.o"
+  "CMakeFiles/vc_streaming.dir/adaptation.cc.o.d"
+  "CMakeFiles/vc_streaming.dir/manifest.cc.o"
+  "CMakeFiles/vc_streaming.dir/manifest.cc.o.d"
+  "CMakeFiles/vc_streaming.dir/network.cc.o"
+  "CMakeFiles/vc_streaming.dir/network.cc.o.d"
+  "libvc_streaming.a"
+  "libvc_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

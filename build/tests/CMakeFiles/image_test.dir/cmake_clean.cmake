@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_test.dir/image_test.cc.o"
+  "CMakeFiles/image_test.dir/image_test.cc.o.d"
+  "image_test"
+  "image_test.pdb"
+  "image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
