@@ -62,5 +62,6 @@ int main() {
   std::printf("\n(inview rung: mean ladder index delivered inside the actual "
               "viewport; 0 = best of %d)\n",
               metadata.quality_count() - 1);
+  EmitMetricsSnapshot("E6");
   return 0;
 }

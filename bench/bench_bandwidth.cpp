@@ -116,5 +116,6 @@ int main() {
 
   std::printf("('saved' is relative to the tiled monolithic baseline; the\n"
               " untiled row shows what spatial partitioning itself costs)\n");
+  EmitMetricsSnapshot("E1");
   return 0;
 }

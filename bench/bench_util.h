@@ -15,6 +15,8 @@
 #include "core/session.h"
 #include "core/visualcloud.h"
 #include "image/scene.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "predict/trace_synthesizer.h"
 
 namespace vc {
@@ -129,6 +131,15 @@ inline void Banner(const char* experiment, const char* claim) {
   std::printf("%s\n", experiment);
   std::printf("  %s\n", claim);
   std::printf("=======================================================\n");
+}
+
+/// Prints the process-wide metrics snapshot as a single machine-parseable
+/// line (`METRICS <experiment> <json>`), so BENCH_*.json harvests subsystem
+/// counters — cache hits, stalls, downgrades, predictor misses — alongside
+/// the timing tables. Call at the end of a bench's main().
+inline void EmitMetricsSnapshot(const char* experiment) {
+  std::printf("METRICS %s %s\n", experiment,
+              MetricsToJson(MetricRegistry::Global().Snapshot()).c_str());
 }
 
 }  // namespace bench

@@ -9,6 +9,7 @@
 //   vcctl describe <name>
 //   vcctl manifest <name>
 //   vcctl stream <name> [approach] [predictor] [mbps] [archetype]
+//   vcctl metrics [name] [json|csv]      # subsystem counters snapshot
 //   vcctl drop <name>
 //
 // The store lives in $VCCTL_ROOT (default /tmp/visualcloud-store).
@@ -23,6 +24,8 @@
 #include "core/export.h"
 #include "core/session.h"
 #include "core/visualcloud.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "streaming/manifest.h"
 #include "predict/trace_synthesizer.h"
 
@@ -192,6 +195,46 @@ int CmdStream(VisualCloud* db, const std::string& name,
   return 0;
 }
 
+int CmdMetrics(VisualCloud* db, const std::vector<std::string>& args) {
+  std::string format = "json";
+  std::string name;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "json" || args[i] == "csv") {
+      format = args[i];
+    } else {
+      name = args[i];
+    }
+  }
+
+  // With a video name, run one quiet streaming session first so the
+  // snapshot carries live counters from every instrumented subsystem.
+  if (!name.empty()) {
+    auto metadata = db->Describe(name);
+    if (!metadata.ok()) Fail(metadata.status(), "metrics");
+    double seconds = 0;
+    for (const SegmentInfo& s : metadata->segments) {
+      seconds += s.frame_count / metadata->fps();
+    }
+    auto trace_options = ArchetypeOptions("explorer", /*seed=*/1);
+    if (!trace_options.ok()) Fail(trace_options.status(), "archetype");
+    trace_options->duration_seconds = seconds;
+    auto trace = SynthesizeTrace(*trace_options);
+    SessionOptions session;
+    session.viewport.fov_yaw = DegToRad(90);
+    session.viewport.fov_pitch = DegToRad(75);
+    auto stats = SimulateSession(db->storage(), *metadata, *trace, session);
+    if (!stats.ok()) Fail(stats.status(), "session");
+  }
+
+  MetricsSnapshot snapshot = MetricRegistry::Global().Snapshot();
+  if (format == "csv") {
+    std::fputs(MetricsToCsv(snapshot).c_str(), stdout);
+  } else {
+    std::printf("%s\n", MetricsToJson(snapshot).c_str());
+  }
+  return 0;
+}
+
 int CmdExport(VisualCloud* db, const std::string& name,
               const std::string& path, int quality) {
   auto metadata = db->Describe(name);
@@ -216,6 +259,8 @@ int CmdDemo(VisualCloud* db) {
     std::printf("\n-- %s --\n", approach);
     CmdStream(db, "demo", approach, "dead_reckoning", 20.0, "explorer");
   }
+  std::printf("\n-- metrics (all four sessions) --\n%s\n",
+              MetricsToJson(MetricRegistry::Global().Snapshot()).c_str());
   std::printf("\n(store kept at %s; try 'vcctl ls')\n", StoreRoot().c_str());
   return 0;
 }
@@ -247,6 +292,7 @@ int main(int argc, char** argv) {
                      arg(3, "dead_reckoning"),
                      std::atof(arg(4, "20").c_str()), arg(5, "explorer"));
   }
+  if (command == "metrics") return CmdMetrics(db.get(), args);
   if (command == "export" && args.size() >= 3) {
     return CmdExport(db.get(), args[1], args[2],
                      std::atoi(arg(3, "0").c_str()));
@@ -259,7 +305,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: vcctl [demo | ingest <scene> <name> [RxC] [sec] | ls "
                "| describe <name> | manifest <name> | stream <name> "
-               "[approach] [predictor] [mbps] [archetype] | export <name> "
-               "<file> [quality] | drop <name>]\n");
+               "[approach] [predictor] [mbps] [archetype] | metrics [name] "
+               "[json|csv] | export <name> <file> [quality] | drop <name>]\n");
   return 2;
 }

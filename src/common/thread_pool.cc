@@ -11,20 +11,29 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  Shutdown();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   work_available_.notify_all();
-  for (auto& thread : threads_) thread.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Checked under the same lock Shutdown() takes: a task is either
+    // enqueued before shutdown (and will run — workers drain the queue
+    // before exiting) or observably refused here.
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {

@@ -24,8 +24,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution. Returns false (and drops the task)
+  /// once shutdown has begun — every task accepted here is guaranteed to
+  /// run before the workers exit.
+  bool Submit(std::function<void()> task);
+
+  /// Begins shutdown: subsequent Submit calls are refused, already-queued
+  /// tasks still run. Idempotent; the destructor calls it and then joins.
+  void Shutdown();
 
   /// Blocks until the queue is empty and all workers are idle.
   void WaitIdle();

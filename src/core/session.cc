@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "image/metrics.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "predict/predictor.h"
 #include "streaming/adaptation.h"
 
@@ -48,6 +50,23 @@ Status SessionOptions::Validate() const {
 
 namespace {
 
+/// Tiles whose planned rung was lowered by budget fitting (a "quality
+/// downgrade" in the viewport-adaptive-streaming sense).
+int CountDowngrades(const TileQualityPlan& before,
+                    const TileQualityPlan& after) {
+  int downgrades = 0;
+  for (size_t i = 0; i < before.size() && i < after.size(); ++i) {
+    if (after[i] > before[i]) ++downgrades;
+  }
+  return downgrades;
+}
+
+Counter* DowngradeCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("session.quality_downgrades");
+  return counter;
+}
+
 /// Plans the segment's per-tile qualities for the chosen approach.
 TileQualityPlan PlanSegment(const VideoMetadata& metadata, int segment,
                             StreamingApproach approach,
@@ -91,8 +110,10 @@ TileQualityPlan PlanSegment(const VideoMetadata& metadata, int segment,
         }
       }
       if (options.adaptive) {
+        TileQualityPlan requested = plan;
         plan = FitPlanToBudget(metadata, segment, std::move(plan), predicted,
                                budget_bytes);
+        DowngradeCounter()->Add(CountDowngrades(requested, plan));
       }
       return plan;
     }
@@ -138,6 +159,17 @@ Result<SessionStats> SimulateSession(StorageManager* storage,
   stats.approach = ApproachName(options.approach);
   stats.segments = metadata.segment_count();
   stats.duration_seconds = media_duration;
+
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("session.sessions")->Add();
+  Counter* segments_streamed = registry.GetCounter("session.segments");
+  Counter* stall_events = registry.GetCounter("session.stall_events");
+  Histogram* stall_seconds = registry.GetHistogram("session.stall_seconds");
+  Histogram* plan_seconds = registry.GetHistogram("session.plan_seconds");
+  Counter* predict_hits =
+      registry.GetCounter("predict." + options.predictor + ".viewport_hits");
+  Counter* predict_misses =
+      registry.GetCounter("predict." + options.predictor + ".viewport_misses");
 
   double wall = 0.0;
   double play_start = -1.0;
@@ -189,32 +221,38 @@ Result<SessionStats> SimulateSession(StorageManager* storage,
         SegmentByteBudget(estimator.estimate_bps(), segment_seconds,
                           options.budget_safety);
     TileQualityPlan plan;
-    if (options.approach == StreamingApproach::kOracle) {
-      // The oracle knows the viewer's entire path through the segment: the
-      // high-quality set is the union of the viewports along it. This is
-      // the true upper bound a predictor can approach.
-      AssignmentOptions assignment;
-      assignment.fov_yaw = options.viewport.fov_yaw;
-      assignment.fov_pitch = options.viewport.fov_pitch;
-      assignment.margin = 0.0;
-      assignment.high_quality = options.high_quality;
-      plan.assign(metadata.tile_count(), metadata.quality_count() - 1);
-      for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-        double t = media_start + fraction * segment_seconds;
-        TileQualityPlan at_t = AssignTileQualities(metadata, trace.At(t),
-                                                   assignment);
-        for (int i = 0; i < metadata.tile_count(); ++i) {
-          plan[i] = std::min(plan[i], at_t[i]);
+    {
+      ScopedTimer plan_timer(plan_seconds);
+      if (options.approach == StreamingApproach::kOracle) {
+        // The oracle knows the viewer's entire path through the segment: the
+        // high-quality set is the union of the viewports along it. This is
+        // the true upper bound a predictor can approach.
+        AssignmentOptions assignment;
+        assignment.fov_yaw = options.viewport.fov_yaw;
+        assignment.fov_pitch = options.viewport.fov_pitch;
+        assignment.margin = 0.0;
+        assignment.high_quality = options.high_quality;
+        plan.assign(metadata.tile_count(), metadata.quality_count() - 1);
+        for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+          double t = media_start + fraction * segment_seconds;
+          TileQualityPlan at_t = AssignTileQualities(metadata, trace.At(t),
+                                                     assignment);
+          for (int i = 0; i < metadata.tile_count(); ++i) {
+            plan[i] = std::min(plan[i], at_t[i]);
+          }
         }
+        if (options.adaptive) {
+          TileQualityPlan requested = plan;
+          plan = FitPlanToBudget(metadata, segment, std::move(plan),
+                                 predicted, budget);
+          DowngradeCounter()->Add(CountDowngrades(requested, plan));
+        }
+      } else {
+        plan = PlanSegment(metadata, segment, options.approach, predicted,
+                           options, budget);
       }
-      if (options.adaptive) {
-        plan = FitPlanToBudget(metadata, segment, std::move(plan), predicted,
-                               budget);
-      }
-    } else {
-      plan = PlanSegment(metadata, segment, options.approach, predicted,
-                         options, budget);
     }
+    segments_streamed->Add();
 
     uint64_t bytes = PlanBytes(metadata, segment, plan);
     double done = network.Transfer(wall, bytes);
@@ -231,6 +269,8 @@ Result<SessionStats> SimulateSession(StorageManager* storage,
         stats.stall_seconds += wall - deadline;
         stall_total += wall - deadline;
         ++stats.stall_events;
+        stall_events->Add();
+        stall_seconds->Observe(wall - deadline);
       }
     }
 
@@ -243,6 +283,19 @@ Result<SessionStats> SimulateSession(StorageManager* storage,
       for (const TileId& tile : visible) {
         inview_quality_sum += plan[grid.IndexOf(tile)];
         ++inview_quality_count;
+      }
+      // Predictor accuracy as the session experienced it: did the viewport
+      // planned around the prediction (FOV + selection margin) cover the
+      // tile the viewer actually gazed at mid-segment? The oracle is
+      // excluded — its "prediction" is the ground truth.
+      if (options.approach != StreamingApproach::kOracle) {
+        auto covered = grid.TilesInViewport(
+            predicted, options.viewport.fov_yaw + 2 * options.viewport_margin,
+            options.viewport.fov_pitch + 2 * options.viewport_margin);
+        TileId gaze = grid.TileFor(actual);
+        bool hit = std::find(covered.begin(), covered.end(), gaze) !=
+                   covered.end();
+        (hit ? predict_hits : predict_misses)->Add();
       }
     }
 

@@ -1,0 +1,269 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace vc {
+
+namespace {
+
+// ------------------------------------------------------------- Serialization
+
+/// Shortest decimal form that round-trips through a double.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) return "0";
+  return std::string(buffer, end);
+}
+
+/// Metric names are plain identifiers, but escape the JSON specials anyway
+/// so the output is always well-formed.
+std::string QuoteString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
+  out->append("{\"bounds\": [");
+  for (size_t i = 0; i < h.bounds.size(); ++i) {
+    if (i > 0) out->append(", ");
+    out->append(FormatDouble(h.bounds[i]));
+  }
+  out->append("], \"counts\": [");
+  for (size_t i = 0; i < h.counts.size(); ++i) {
+    if (i > 0) out->append(", ");
+    out->append(std::to_string(h.counts[i]));
+  }
+  out->append("], \"count\": ");
+  out->append(std::to_string(h.count));
+  out->append(", \"sum\": ");
+  out->append(FormatDouble(h.sum));
+  out->append("}");
+}
+
+// ------------------------------------------------------------------ Parsing
+
+/// Cursor over the JSON text with the micro-grammar MetricsToJson emits.
+struct Parser {
+  const char* p;
+  const char* end;
+  Status error = Status::OK();
+
+  void Fail(const std::string& what) {
+    if (error.ok()) error = Status::Corruption("metrics JSON: " + what);
+  }
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    Fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return p < end && *p == c;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    if (!Consume('"')) return out;
+    while (p < end && *p != '"') {
+      if (*p == '\\' && p + 1 < end) ++p;
+      out.push_back(*p++);
+    }
+    if (p >= end) {
+      Fail("unterminated string");
+      return out;
+    }
+    ++p;  // closing quote
+    return out;
+  }
+
+  double ParseDouble() {
+    SkipWs();
+    char* after = nullptr;
+    double value = std::strtod(p, &after);
+    if (after == p || after > end) {
+      Fail("malformed number");
+      return 0.0;
+    }
+    p = after;
+    return value;
+  }
+
+  uint64_t ParseUint() {
+    SkipWs();
+    uint64_t value = 0;
+    auto [after, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc()) {
+      Fail("malformed integer");
+      return 0;
+    }
+    p = after;
+    return value;
+  }
+
+  /// Parses `"key": <value>` pairs of an object, invoking `field` per key.
+  /// `field` must consume the value.
+  template <typename Fn>
+  void ParseObject(Fn field) {
+    if (!Consume('{')) return;
+    if (Peek('}')) {
+      ++p;
+      return;
+    }
+    while (error.ok()) {
+      std::string key = ParseString();
+      if (!Consume(':')) return;
+      field(key);
+      if (Peek(',')) {
+        ++p;
+        continue;
+      }
+      Consume('}');
+      return;
+    }
+  }
+
+  template <typename Fn>
+  void ParseArray(Fn element) {
+    if (!Consume('[')) return;
+    if (Peek(']')) {
+      ++p;
+      return;
+    }
+    while (error.ok()) {
+      element();
+      if (Peek(',')) {
+        ++p;
+        continue;
+      }
+      Consume(']');
+      return;
+    }
+  }
+
+  HistogramSnapshot ParseHistogram() {
+    HistogramSnapshot h;
+    ParseObject([&](const std::string& key) {
+      if (key == "bounds") {
+        ParseArray([&] { h.bounds.push_back(ParseDouble()); });
+      } else if (key == "counts") {
+        ParseArray([&] { h.counts.push_back(ParseUint()); });
+      } else if (key == "count") {
+        h.count = ParseUint();
+      } else if (key == "sum") {
+        h.sum = ParseDouble();
+      } else {
+        Fail("unknown histogram field '" + key + "'");
+      }
+    });
+    if (h.counts.size() != h.bounds.size() + 1) {
+      Fail("histogram bucket count mismatch");
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out.append(", ");
+    first = false;
+    out.append(QuoteString(name) + ": " + std::to_string(value));
+  }
+  out.append("}, \"gauges\": {");
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out.append(", ");
+    first = false;
+    out.append(QuoteString(name) + ": " + FormatDouble(value));
+  }
+  out.append("}, \"histograms\": {");
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (!first) out.append(", ");
+    first = false;
+    out.append(QuoteString(name) + ": ");
+    AppendHistogramJson(histogram, &out);
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string MetricsToCsv(const MetricsSnapshot& snapshot) {
+  std::string out = "type,name,field,value\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out.append("counter," + name + ",value," + std::to_string(value) + "\n");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out.append("gauge," + name + ",value," + FormatDouble(value) + "\n");
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out.append("histogram," + name + ",count," + std::to_string(h.count) +
+               "\n");
+    out.append("histogram," + name + ",sum," + FormatDouble(h.sum) + "\n");
+    out.append("histogram," + name + ",mean," + FormatDouble(h.Mean()) + "\n");
+    out.append("histogram," + name + ",p50," +
+               FormatDouble(h.Percentile(0.50)) + "\n");
+    out.append("histogram," + name + ",p95," +
+               FormatDouble(h.Percentile(0.95)) + "\n");
+    out.append("histogram," + name + ",p99," +
+               FormatDouble(h.Percentile(0.99)) + "\n");
+  }
+  return out;
+}
+
+Result<MetricsSnapshot> MetricsFromJson(Slice json) {
+  // strtod needs a NUL terminator; copy so the cursor can never run off the
+  // caller's buffer.
+  std::string text = json.ToString();
+  Parser parser{text.c_str(), text.c_str() + text.size()};
+  MetricsSnapshot snapshot;
+  parser.ParseObject([&](const std::string& section) {
+    if (section == "counters") {
+      parser.ParseObject([&](const std::string& name) {
+        snapshot.counters[name] = parser.ParseUint();
+      });
+    } else if (section == "gauges") {
+      parser.ParseObject([&](const std::string& name) {
+        snapshot.gauges[name] = parser.ParseDouble();
+      });
+    } else if (section == "histograms") {
+      parser.ParseObject([&](const std::string& name) {
+        snapshot.histograms[name] = parser.ParseHistogram();
+      });
+    } else {
+      parser.Fail("unknown section '" + section + "'");
+    }
+  });
+  parser.SkipWs();
+  if (parser.error.ok() && parser.p != parser.end) {
+    parser.Fail("trailing characters");
+  }
+  VC_RETURN_IF_ERROR(parser.error);
+  return snapshot;
+}
+
+}  // namespace vc

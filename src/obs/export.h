@@ -1,0 +1,34 @@
+#ifndef VC_OBS_EXPORT_H_
+#define VC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "obs/metrics.h"
+
+namespace vc {
+
+/// Serializes a snapshot as one JSON object:
+///
+///   {"counters": {"net.transfers": 12, ...},
+///    "gauges": {"net.goodput_bps": 8.1e6, ...},
+///    "histograms": {"storage.read_seconds":
+///        {"bounds": [...], "counts": [...], "count": 9, "sum": 0.004}, ...}}
+///
+/// Numbers use shortest-round-trip formatting, so parsing the output yields
+/// exactly the snapshot that was serialized.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Serializes a snapshot as CSV rows `type,name,field,value` — counters and
+/// gauges one row each, histograms one row per aggregate (count, sum, mean,
+/// p50, p95, p99). Includes a header line.
+std::string MetricsToCsv(const MetricsSnapshot& snapshot);
+
+/// Parses the JSON produced by `MetricsToJson` (the metrics interchange
+/// format used in BENCH_*.json); not a general-purpose JSON parser.
+Result<MetricsSnapshot> MetricsFromJson(Slice json);
+
+}  // namespace vc
+
+#endif  // VC_OBS_EXPORT_H_

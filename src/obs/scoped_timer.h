@@ -1,0 +1,38 @@
+#ifndef VC_OBS_SCOPED_TIMER_H_
+#define VC_OBS_SCOPED_TIMER_H_
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace vc {
+
+/// \brief RAII latency probe: records the enclosing scope's wall-clock
+/// duration (seconds) into a histogram on destruction.
+///
+///   static Histogram* lat =
+///       MetricRegistry::Global().GetHistogram("storage.read_seconds");
+///   ScopedTimer timer(lat);
+///
+/// A null histogram disables the probe (so call sites can gate on config
+/// without branching around the timer itself).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(watch_.ElapsedSeconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far (the destructor still records the full scope).
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+}  // namespace vc
+
+#endif  // VC_OBS_SCOPED_TIMER_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace vc {
 
 PredictionAccuracy EvaluatePredictor(Predictor* predictor,
@@ -31,10 +33,15 @@ PredictionAccuracy EvaluatePredictor(Predictor* predictor,
       auto covered =
           grid.TilesInViewport(predicted, options.fov_yaw, options.fov_pitch);
       TileId actual_tile = grid.TileFor(actual);
-      if (std::find(covered.begin(), covered.end(), actual_tile) !=
-          covered.end()) {
-        hits += 1;
-      }
+      bool hit = std::find(covered.begin(), covered.end(), actual_tile) !=
+                 covered.end();
+      if (hit) hits += 1;
+      // Per-model accuracy counters, so sweeps over many traces accumulate
+      // an aggregate hit/miss tally in the metrics registry.
+      MetricRegistry::Global()
+          .GetCounter("predict." + predictor->name() +
+                      (hit ? ".eval_hits" : ".eval_misses"))
+          ->Add();
     }
   }
 

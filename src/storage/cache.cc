@@ -1,6 +1,29 @@
 #include "storage/cache.h"
 
+#include "obs/metrics.h"
+
 namespace vc {
+
+namespace {
+
+// Process-wide mirrors of the per-instance CacheStats, so session-level
+// observability sees every cache in the process without plumbing handles.
+Counter* HitCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter("cache.hits");
+  return counter;
+}
+Counter* MissCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("cache.misses");
+  return counter;
+}
+Counter* EvictionCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("cache.evictions");
+  return counter;
+}
+
+}  // namespace
 
 LruCache::LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
@@ -9,9 +32,11 @@ LruCache::Value LruCache::Get(const std::string& key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    MissCounter()->Add();
     return nullptr;
   }
   ++stats_.hits;
+  HitCounter()->Add();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }
@@ -62,6 +87,7 @@ void LruCache::EvictIfNeededLocked() {
     index_.erase(victim.key);
     lru_.pop_back();
     ++stats_.evictions;
+    EvictionCounter()->Add();
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "common/crc32.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace vc {
 
@@ -227,18 +229,28 @@ Result<VideoMetadata> StorageManager::GetVideoVersion(
 
 Result<LruCache::Value> StorageManager::ReadCell(
     const VideoMetadata& metadata, int segment, int tile, int quality) {
+  static Counter* cell_reads =
+      MetricRegistry::Global().GetCounter("storage.cell_reads");
+  static Counter* cell_read_bytes =
+      MetricRegistry::Global().GetCounter("storage.cell_read_bytes");
+  static Histogram* read_seconds =
+      MetricRegistry::Global().GetHistogram("storage.read_seconds");
   if (segment < 0 || segment >= metadata.segment_count() || tile < 0 ||
       tile >= metadata.tile_count() || quality < 0 ||
       quality >= metadata.quality_count()) {
     return Status::InvalidArgument("cell coordinates out of range");
   }
+  ScopedTimer timer(read_seconds);
+  cell_reads->Add();
   std::string path = VideoDir(metadata.name) + "/" + metadata.DataDir() +
                      "/" + metadata.CellFileName(segment, tile, quality);
   if (LruCache::Value cached = cache_.Get(path)) {
+    cell_read_bytes->Add(cached->size());
     return cached;
   }
   std::vector<uint8_t> bytes;
   VC_ASSIGN_OR_RETURN(bytes, options_.env->ReadFile(path));
+  cell_read_bytes->Add(bytes.size());
   const CellInfo& info =
       metadata.cells[metadata.CellIndex(segment, tile, quality)];
   if (bytes.size() != info.byte_size ||

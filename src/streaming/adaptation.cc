@@ -1,9 +1,32 @@
 #include "streaming/adaptation.h"
 
+#include "obs/metrics.h"
+
 namespace vc {
+
+void ThroughputEstimator::AddSample(uint64_t bytes, double seconds) {
+  static Counter* samples =
+      MetricRegistry::Global().GetCounter("adaptation.samples");
+  static Counter* clamped =
+      MetricRegistry::Global().GetCounter("adaptation.samples_clamped");
+  static Counter* discarded =
+      MetricRegistry::Global().GetCounter("adaptation.samples_discarded");
+  if (bytes == 0 || seconds <= 0.0) {
+    discarded->Add();
+    return;
+  }
+  if (seconds < kMinSampleSeconds) {
+    seconds = kMinSampleSeconds;
+    clamped->Add();
+  }
+  samples->Add();
+  double bps = static_cast<double>(bytes) * 8.0 / seconds;
+  estimate_bps_ = alpha_ * bps + (1.0 - alpha_) * estimate_bps_;
+}
 
 int PickQualityForBudget(const std::vector<uint64_t>& sizes_per_quality,
                          double budget_bytes) {
+  if (sizes_per_quality.empty()) return 0;
   for (size_t q = 0; q < sizes_per_quality.size(); ++q) {
     if (static_cast<double>(sizes_per_quality[q]) <= budget_bytes) {
       return static_cast<int>(q);

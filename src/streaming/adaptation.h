@@ -11,15 +11,19 @@ namespace vc {
 /// signal): smooths per-segment measured goodput.
 class ThroughputEstimator {
  public:
+  /// Durations below this floor (cache-served segments completing in
+  /// near-zero simulated time) are clamped rather than trusted: the raw
+  /// sample would read as near-infinite goodput and bias the EWMA high.
+  static constexpr double kMinSampleSeconds = 1e-3;
+
   explicit ThroughputEstimator(double alpha = 0.3, double initial_bps = 4e6)
       : alpha_(alpha), estimate_bps_(initial_bps) {}
 
-  /// Records a completed transfer of `bytes` that took `seconds`.
-  void AddSample(uint64_t bytes, double seconds) {
-    if (seconds <= 1e-9) return;
-    double bps = static_cast<double>(bytes) * 8.0 / seconds;
-    estimate_bps_ = alpha_ * bps + (1.0 - alpha_) * estimate_bps_;
-  }
+  /// Records a completed transfer of `bytes` that took `seconds`. Empty or
+  /// non-positive-duration samples are discarded; durations under
+  /// `kMinSampleSeconds` are clamped to it. Both cases are counted in the
+  /// `adaptation.samples_discarded` / `adaptation.samples_clamped` metrics.
+  void AddSample(uint64_t bytes, double seconds);
 
   /// Smoothed goodput estimate (bits/second).
   double estimate_bps() const { return estimate_bps_; }
@@ -31,7 +35,8 @@ class ThroughputEstimator {
 
 /// Picks the highest quality index (0 = best) whose size fits in
 /// `budget_bytes`; falls back to the lowest quality if none fit.
-/// `sizes_per_quality` is ordered best→worst quality.
+/// `sizes_per_quality` is ordered best→worst quality. An empty ladder
+/// returns 0 so callers that index a ladder never see a negative index.
 int PickQualityForBudget(const std::vector<uint64_t>& sizes_per_quality,
                          double budget_bytes);
 

@@ -5,6 +5,7 @@
 
 #include "common/math_util.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 
 namespace vc {
 
@@ -63,25 +64,45 @@ double NetworkSimulator::Transfer(double start, uint64_t bytes) {
         Clamp(1.0 + options_.jitter * rng.NextGaussian(), 0.1, 2.0);
   }
 
-  // Integrate across stepwise bandwidth changes.
-  constexpr int kMaxSteps = 10000;
-  for (int step = 0; step < kMaxSteps && remaining_bits > 1e-9; ++step) {
-    double bps = BandwidthAt(t) * rate_factor;
-    // Find the next bandwidth change after t.
-    double next_change = -1;
-    for (const auto& [change_t, rate] : options_.bandwidth_trace) {
-      (void)rate;
-      if (change_t > t) {
-        next_change = change_t;
-        break;
-      }
-    }
+  // Integrate across stepwise bandwidth changes: walk each remaining trace
+  // step at most once, then finish analytically on the final (constant)
+  // plateau. No step budget — a transfer spanning an arbitrarily long trace
+  // still completes exactly.
+  const auto& trace = options_.bandwidth_trace;
+  auto next = std::upper_bound(
+      trace.begin(), trace.end(), t,
+      [](double time, const std::pair<double, double>& step) {
+        return time < step.first;
+      });
+  double bps = (next == trace.begin() ? options_.bandwidth_bps
+                                      : std::prev(next)->second) *
+               rate_factor;
+  for (; next != trace.end() && remaining_bits > 1e-9; ++next) {
     double finish = t + remaining_bits / bps;
-    if (next_change < 0 || finish <= next_change) {
-      return finish;
+    if (finish <= next->first) {
+      remaining_bits = 0;
+      t = finish;
+      break;
     }
-    remaining_bits -= (next_change - t) * bps;
-    t = next_change;
+    remaining_bits -= (next->first - t) * bps;
+    t = next->first;
+    bps = next->second * rate_factor;
+  }
+  if (remaining_bits > 1e-9) t += remaining_bits / bps;
+
+  static Counter* transfers =
+      MetricRegistry::Global().GetCounter("net.transfers");
+  static Counter* bytes_sent =
+      MetricRegistry::Global().GetCounter("net.bytes_sent");
+  static Histogram* transfer_seconds =
+      MetricRegistry::Global().GetHistogram("net.transfer_seconds");
+  static Gauge* goodput =
+      MetricRegistry::Global().GetGauge("net.goodput_bps");
+  transfers->Add();
+  bytes_sent->Add(bytes);
+  transfer_seconds->Observe(t - start);
+  if (t > start) {
+    goodput->Set(static_cast<double>(bytes) * 8.0 / (t - start));
   }
   return t;
 }

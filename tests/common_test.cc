@@ -331,6 +331,22 @@ TEST(ThreadPoolTest, RunsAllTasks) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(ThreadPoolTest, SubmitRefusedAfterShutdown) {
+  // Regression: Submit used to enqueue unconditionally, so tasks posted
+  // after shutdown were accepted and silently dropped.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.WaitIdle();
+  // Every accepted task ran; the refused one did not.
+  EXPECT_EQ(counter.load(), 10);
+  pool.Shutdown();  // idempotent
+}
+
 TEST(ThreadPoolTest, WaitIdleIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};

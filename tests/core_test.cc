@@ -8,6 +8,7 @@
 #include "core/visualcloud.h"
 #include "image/metrics.h"
 #include "image/stereo.h"
+#include "obs/metrics.h"
 #include "predict/trace_synthesizer.h"
 
 namespace vc {
@@ -348,6 +349,45 @@ TEST_F(CoreTest, SessionAccountsStalls) {
   EXPECT_GT(stats->stall_seconds, 0.0);
   EXPECT_GT(stats->stall_events, 0);
   EXPECT_GT(stats->startup_delay, 0.0);
+}
+
+TEST_F(CoreTest, SimulateSessionPopulatesGlobalMetrics) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  HeadTrace trace = MakeTrace();
+
+  MetricRegistry& registry = MetricRegistry::Global();
+  MetricsSnapshot before = registry.Snapshot();
+  auto value = [](const MetricsSnapshot& snapshot, const std::string& name) {
+    auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? uint64_t{0} : it->second;
+  };
+
+  SessionOptions options = BaseSession(StreamingApproach::kVisualCloud);
+  options.evaluate_quality = true;  // exercises the storage read path too
+  auto stats = SimulateSession(db_->storage(), *metadata, trace, options,
+                               scene_);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  MetricsSnapshot after = registry.Snapshot();
+  EXPECT_GT(value(after, "session.sessions"), value(before, "session.sessions"));
+  EXPECT_GE(value(after, "session.segments"),
+            value(before, "session.segments") + 4);
+  EXPECT_GT(value(after, "net.transfers"), value(before, "net.transfers"));
+  EXPECT_GT(value(after, "net.bytes_sent"), value(before, "net.bytes_sent"));
+  EXPECT_GT(value(after, "storage.cell_reads"),
+            value(before, "storage.cell_reads"));
+  // Every segment scores the predictor as either a viewport hit or a miss.
+  uint64_t predictions =
+      value(after, "predict.dead_reckoning.viewport_hits") +
+      value(after, "predict.dead_reckoning.viewport_misses") -
+      value(before, "predict.dead_reckoning.viewport_hits") -
+      value(before, "predict.dead_reckoning.viewport_misses");
+  EXPECT_GE(predictions, 4u);
+  // Transfer latencies landed in the histogram.
+  auto histogram = after.histograms.find("net.transfer_seconds");
+  ASSERT_NE(histogram, after.histograms.end());
+  EXPECT_GT(histogram->second.count, 0u);
 }
 
 TEST_F(CoreTest, ApproachNames) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "streaming/adaptation.h"
 #include "streaming/manifest.h"
 #include "streaming/network.h"
@@ -66,6 +67,38 @@ TEST(NetworkTest, JitterIsDeterministicPerSeed) {
   }
 }
 
+TEST(NetworkTest, LongTraceIntegratesPastStepLimit) {
+  // Regression: the integrator used to bail after a fixed step budget
+  // (10k) and silently return the truncated time-so-far instead of the
+  // completion time. A trace with more steps than the old budget must
+  // still integrate exactly.
+  NetworkOptions options;
+  options.bandwidth_bps = 1e6;
+  options.latency_seconds = 0.0;
+  for (int i = 1; i <= 20'000; ++i) {
+    options.bandwidth_trace.emplace_back(i * 1e-3, 1e6);  // constant rate
+  }
+  auto net = NetworkSimulator::Create(options);
+  ASSERT_TRUE(net.ok());
+  // 3.75 MB at 1 Mbps = 30 s, spanning all 20k trace steps. The pre-fix
+  // code returned ~10 s (the time reached when the step budget ran out).
+  double done = net->Transfer(0.0, 3'750'000);
+  EXPECT_NEAR(done, 30.0, 1e-6);
+  // A transfer completing between trace steps still lands exactly.
+  EXPECT_NEAR(net->Transfer(0.0, 1'000), 0.008, 1e-9);
+}
+
+TEST(NetworkTest, TransferPastEndOfTraceUsesLastRate) {
+  NetworkOptions options;
+  options.bandwidth_bps = 8e6;
+  options.latency_seconds = 0.0;
+  options.bandwidth_trace = {{1.0, 4e6}, {2.0, 2e6}};
+  auto net = NetworkSimulator::Create(options);
+  ASSERT_TRUE(net.ok());
+  // Starting after every trace step: the last rate applies analytically.
+  EXPECT_NEAR(net->Transfer(10.0, 1'000'000), 10.0 + 4.0, 1e-9);
+}
+
 TEST(NetworkTest, ResetStatsKeepsModel) {
   auto net = NetworkSimulator::Create(NetworkOptions{});
   ASSERT_TRUE(net.ok());
@@ -93,6 +126,41 @@ TEST(AdaptationTest, PickQualityForBudget) {
   EXPECT_EQ(PickQualityForBudget(sizes, 600), 1);
   EXPECT_EQ(PickQualityForBudget(sizes, 150), 2);
   EXPECT_EQ(PickQualityForBudget(sizes, 10), 2);  // nothing fits: lowest
+}
+
+TEST(AdaptationTest, PickQualityForBudgetEmptyLadderIsIndexSafe) {
+  // Regression: an empty ladder used to return -1, which callers then used
+  // to index the quality ladder.
+  EXPECT_EQ(PickQualityForBudget({}, 1000.0), 0);
+  EXPECT_EQ(PickQualityForBudget({}, 0.0), 0);
+}
+
+TEST(AdaptationTest, ThroughputEstimatorClampsTinyDurations) {
+  // Regression: near-zero-duration samples (cache-served segments) used to
+  // be silently discarded; worse, slightly-larger-but-tiny durations were
+  // trusted verbatim and biased the EWMA sky-high. Durations below the
+  // floor now clamp to it and are counted.
+  Counter* clamped =
+      MetricRegistry::Global().GetCounter("adaptation.samples_clamped");
+  Counter* discarded =
+      MetricRegistry::Global().GetCounter("adaptation.samples_discarded");
+  uint64_t clamped_before = clamped->Value();
+  uint64_t discarded_before = discarded->Value();
+
+  ThroughputEstimator estimator(0.5, 1e6);
+  estimator.AddSample(1'000'000, 1e-7);  // clamped to the 1 ms floor
+  // 1 MB over (clamped) 1 ms = 8e9 bps; the raw 1e-7 s sample would have
+  // read as 8e13 bps.
+  EXPECT_NEAR(estimator.estimate_bps(), 0.5 * 1e6 + 0.5 * 8e9, 1e3);
+  EXPECT_EQ(clamped->Value(), clamped_before + 1);
+
+  // Degenerate samples are discarded (estimate unchanged) and counted.
+  double before_bps = estimator.estimate_bps();
+  estimator.AddSample(0, 1.0);
+  estimator.AddSample(1000, 0.0);
+  estimator.AddSample(1000, -1.0);
+  EXPECT_EQ(estimator.estimate_bps(), before_bps);
+  EXPECT_EQ(discarded->Value(), discarded_before + 3);
 }
 
 TEST(AdaptationTest, SegmentByteBudget) {
