@@ -71,6 +71,9 @@ inline BenchDb OpenBenchDb() {
   VisualCloudOptions options;
   options.storage.env = bench.env.get();
   options.storage.root = "/bench";
+  if (const char* threads = std::getenv("VC_BENCH_THREADS")) {
+    options.encode_threads = std::atoi(threads);
+  }
   auto db = VisualCloud::Open(options);
   if (!db.ok()) {
     std::fprintf(stderr, "bench: open failed: %s\n",
@@ -140,6 +143,34 @@ inline void Banner(const char* experiment, const char* claim) {
 inline void EmitMetricsSnapshot(const char* experiment) {
   std::printf("METRICS %s %s\n", experiment,
               MetricsToJson(MetricRegistry::Global().Snapshot()).c_str());
+}
+
+/// Writes a bench's machine-readable result snapshot (`BENCH_<name>.json`)
+/// into `$VC_BENCH_JSON_DIR` (default: the working directory), so the perf
+/// trajectory of successive runs can be diffed. Prints the path written.
+inline void WriteBenchJson(const std::string& filename,
+                           const std::string& json) {
+  std::string path = filename;
+  if (const char* dir = std::getenv("VC_BENCH_JSON_DIR")) {
+    path = std::string(dir) + "/" + filename;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Reads a counter out of a snapshot (0 when absent).
+inline double SnapshotCounter(const MetricsSnapshot& snapshot,
+                              const std::string& name) {
+  auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0.0
+                                       : static_cast<double>(it->second);
 }
 
 }  // namespace bench

@@ -79,6 +79,25 @@ int CmdIngest(VisualCloud* db, const std::string& scene_name,
   std::printf("ingested '%s' v%u: %ds, %s tiles, %d qualities, %.1f KB\n",
               video_name.c_str(), *version, seconds, tiles.c_str(),
               metadata->quality_count(), metadata->TotalBytes() / 1024.0);
+
+  // The metrics registry is per-process, so this invocation is the only
+  // chance to see the ingest-side counters (a later `vcctl metrics` starts
+  // from zero). Print the ingest/codec subset.
+  MetricsSnapshot snapshot = MetricRegistry::Global().Snapshot();
+  std::printf("-- ingest metrics --\n");
+  for (const auto& [metric, value] : snapshot.counters) {
+    if (metric.rfind("ingest.", 0) == 0 || metric.rfind("codec.", 0) == 0) {
+      std::printf("%-28s %llu\n", metric.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  for (const auto& [metric, histogram] : snapshot.histograms) {
+    if (metric.rfind("ingest.", 0) == 0) {
+      std::printf("%-28s count %llu mean %.4fs p95 %.4fs\n", metric.c_str(),
+                  static_cast<unsigned long long>(histogram.count),
+                  histogram.Mean(), histogram.Percentile(0.95));
+    }
+  }
   return 0;
 }
 

@@ -2,13 +2,34 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <utility>
 
 #include "codec/mb_common.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
 
 namespace vc {
 
 using codec_internal::kMbSize;
+
+namespace {
+
+/// A hinted inter block whose seeded SAD is at most this is accepted without
+/// refining further or re-running the intra estimate: the prediction is
+/// already near-perfect, so neither the vector nor the mode decision can
+/// plausibly improve. Deliberately tight (mean absolute difference ≤ 2 per
+/// luma pixel): a laxer, quantizer-scaled threshold was measured to skip
+/// refines that still improve the coarse rungs by several tenths of a dB.
+constexpr uint32_t kHintAcceptSad = 2u * kMbSize * kMbSize;
+
+bool HintsCompatible(const MotionHints* hints, const EncoderOptions& options) {
+  return hints != nullptr && hints->width == options.width &&
+         hints->height == options.height &&
+         hints->gop_length == options.gop_length &&
+         hints->motion_range == options.motion_range;
+}
+
+}  // namespace
 
 Status EncoderOptions::Validate() const {
   if (width <= 0 || height <= 0 || width % kMbSize != 0 ||
@@ -58,6 +79,12 @@ Result<std::unique_ptr<Encoder>> Encoder::Create(
   std::vector<TileGrid::PixelRect> rects;
   VC_ASSIGN_OR_RETURN(rects,
                       codec_internal::ComputeTileRects(options.ToHeader()));
+  if (options.reuse_hints != nullptr &&
+      !HintsCompatible(options.reuse_hints, options)) {
+    static Counter* rejects =
+        MetricRegistry::Global().GetCounter("codec.hint_geometry_rejects");
+    rejects->Add(1);
+  }
   return std::unique_ptr<Encoder>(new Encoder(options, std::move(rects)));
 }
 
@@ -65,6 +92,7 @@ Encoder::Encoder(const EncoderOptions& options,
                  std::vector<TileGrid::PixelRect> tile_rects)
     : options_(options),
       tile_rects_(std::move(tile_rects)),
+      reuse_ok_(HintsCompatible(options.reuse_hints, options)),
       control_qp_(options.qp),
       recon_(options.width, options.height),
       reference_(options.width, options.height) {}
@@ -81,13 +109,66 @@ Result<EncodedFrame> Encoder::Encode(const Frame& frame) {
   const int frame_qp = NextFrameQp();
   const double qstep = QStepForQp(frame_qp);
 
+  // The previous frame's reconstruction becomes the reference by swapping
+  // buffers: every tile rect is fully re-encoded below, so recon_ is
+  // completely overwritten and a deep copy per frame would be pure waste.
+  std::swap(reference_, recon_);
+
+  const int mb_count =
+      (options_.width / kMbSize) * (options_.height / kMbSize);
+  BlockHint* capture_row = nullptr;
+  if (options_.capture_hints != nullptr) {
+    MotionHints* hints = options_.capture_hints;
+    if (frame_index_ == 0) {
+      hints->Clear();
+      hints->width = options_.width;
+      hints->height = options_.height;
+      hints->gop_length = options_.gop_length;
+      hints->motion_range = options_.motion_range;
+    }
+    hints->frames.emplace_back(mb_count);
+    capture_row = hints->frames.back().data();
+  }
+  const BlockHint* reuse_row = nullptr;
+  if (reuse_ok_) {
+    const auto& hint_frames = options_.reuse_hints->frames;
+    if (static_cast<size_t>(frame_index_) < hint_frames.size() &&
+        hint_frames[frame_index_].size() == static_cast<size_t>(mb_count)) {
+      reuse_row = hint_frames[frame_index_].data();
+    }
+  }
+  frame_stats_ = AnalysisStats{};
+  const uint64_t sad_evals_before = scratch_.sad_evals;
+
   // Encode each tile into its own bit buffer, then assemble the payload:
   // [type:u8][qp:u8][tile offsets:u32 × T][tile payloads].
   std::vector<std::vector<uint8_t>> tile_payloads(tile_rects_.size());
   for (size_t i = 0; i < tile_rects_.size(); ++i) {
     BitWriter writer;
-    EncodeTile(frame, tile_rects_[i], type, qstep, &writer);
+    EncodeTile(frame, tile_rects_[i], type, qstep, reuse_row, capture_row,
+               &writer);
     tile_payloads[i] = writer.Finish();
+  }
+
+  {
+    static Counter* sad_evals =
+        MetricRegistry::Global().GetCounter("codec.sad_evals");
+    static Counter* full_searches =
+        MetricRegistry::Global().GetCounter("codec.search_full");
+    static Counter* hinted_searches =
+        MetricRegistry::Global().GetCounter("codec.search_hinted");
+    static Counter* hints_accepted =
+        MetricRegistry::Global().GetCounter("codec.hints_accepted");
+    sad_evals->Add(scratch_.sad_evals - sad_evals_before);
+    if (frame_stats_.full_searches > 0) {
+      full_searches->Add(frame_stats_.full_searches);
+    }
+    if (frame_stats_.hinted_searches > 0) {
+      hinted_searches->Add(frame_stats_.hinted_searches);
+    }
+    if (frame_stats_.hints_accepted > 0) {
+      hints_accepted->Add(frame_stats_.hints_accepted);
+    }
   }
 
   EncodedFrame encoded;
@@ -120,7 +201,6 @@ Result<EncodedFrame> Encoder::Encode(const Frame& frame) {
     control_qp_ = Clamp(control_qp_ + step, 0.0,
                         static_cast<double>(kMaxQp));
   }
-  reference_ = recon_;
   ++frame_index_;
   return encoded;
 }
@@ -136,7 +216,9 @@ int Encoder::NextFrameQp() const {
 }
 
 void Encoder::EncodeTile(const Frame& frame, const TileGrid::PixelRect& rect,
-                         FrameType type, double qstep, BitWriter* writer) {
+                         FrameType type, double qstep,
+                         const BlockHint* reuse_row, BlockHint* capture_row,
+                         BitWriter* writer) {
   using namespace codec_internal;  // NOLINT
 
   const MotionBounds luma_bounds =
@@ -159,41 +241,88 @@ void Encoder::EncodeTile(const Frame& frame, const TileGrid::PixelRect& rect,
   // Lagrangian weight for motion-vector rate in the mode decision.
   const double lambda = qstep;
 
+  const int mb_cols = options_.width / kMbSize;
+
   uint8_t pred_y[kMbSize * kMbSize];
   uint8_t pred_c[kBlockSize * kBlockSize];
   uint8_t recon_y[kMbSize * kMbSize];
   uint8_t recon_c[kBlockSize * kBlockSize];
+  const PlaneView pred_view{pred_y, kMbSize};
+
+  // SAD of the current source block against the prediction scratch buffer.
+  auto pred_sad = [&](int lx, int ly) {
+    ++scratch_.sad_evals;
+    return BlockSad(cur_y, lx, ly, pred_view, 0, 0, kMbSize);
+  };
 
   for (int ly = rect.y; ly < rect.y + rect.height; ly += kMbSize) {
     for (int lx = rect.x; lx < rect.x + rect.width; lx += kMbSize) {
+      const int mb_index = (ly / kMbSize) * mb_cols + (lx / kMbSize);
+      const BlockHint* hint =
+          reuse_row != nullptr ? &reuse_row[mb_index] : nullptr;
+
       // --- Mode decision ------------------------------------------------
       bool use_inter = false;
       MotionVector mv{0, 0};
-      if (type == FrameType::kInter) {
-        uint32_t inter_sad = 0;
-        mv = SearchMotion(cur_y, ref_y, lx, ly, kMbSize, options_.motion_range,
-                          luma_bounds, &inter_sad);
-        double inter_cost =
-            inter_sad +
-            lambda * (2.0 * (std::abs(mv.dx) + std::abs(mv.dy)) + 2.0);
-
-        // Cheap intra estimate: DC prediction SAD plus a fixed mode cost.
-        IntraPredict(rec_y, lx, ly, kMbSize, IntraMode::kDc, tile_bounds,
-                     pred_y);
-        uint32_t intra_sad = 0;
-        for (int row = 0; row < kMbSize; ++row) {
-          for (int col = 0; col < kMbSize; ++col) {
-            intra_sad += static_cast<uint32_t>(std::abs(
-                int{frame.y(lx + col, ly + row)} -
-                int{pred_y[row * kMbSize + col]}));
-          }
-        }
-        double intra_cost = intra_sad + lambda * 3.0;
-        use_inter = inter_cost <= intra_cost;
-      }
-
       IntraMode intra_mode = IntraMode::kDc;
-      if (!use_inter) {
+      bool intra_mode_known = false;
+      uint32_t best_inter_sad = 0;
+      if (type == FrameType::kInter) {
+        if (hint != nullptr && !hint->use_inter) {
+          // The reference rung chose intra here. The mode decision is
+          // driven by content, not quantization, so reuse it outright.
+          intra_mode = hint->intra_mode;
+          intra_mode_known = true;
+          ++frame_stats_.hinted_searches;
+          ++frame_stats_.hints_accepted;
+        } else {
+          uint32_t inter_sad = 0;
+          if (hint != nullptr) {
+            // The reference rung's full search achieved `hint->sad`; once the
+            // seeded SAD is within a quantization-noise margin of that, more
+            // refinement only chases reference-reconstruction noise. The
+            // strict accept below still uses the tight absolute threshold, so
+            // a merely-as-good-as-reference vector still faces the intra
+            // cross-check.
+            uint32_t good_enough = std::max(
+                kHintAcceptSad,
+                hint->sad + hint->sad / 16 + kMbSize * kMbSize / 4u);
+            mv = RefineMotion(cur_y, ref_y, lx, ly, kMbSize,
+                              options_.motion_range, luma_bounds, hint->mv,
+                              good_enough, &inter_sad, &scratch_);
+            ++frame_stats_.hinted_searches;
+          } else {
+            mv = SearchMotion(cur_y, ref_y, lx, ly, kMbSize,
+                              options_.motion_range, luma_bounds, &inter_sad,
+                              &scratch_);
+            ++frame_stats_.full_searches;
+          }
+          best_inter_sad = inter_sad;
+          if (hint != nullptr && inter_sad <= kHintAcceptSad) {
+            // The hinted prediction is already near-perfect; skip the
+            // intra cross-check.
+            use_inter = true;
+          } else {
+            double inter_cost =
+                inter_sad +
+                lambda * (2.0 * (std::abs(mv.dx) + std::abs(mv.dy)) + 2.0);
+            // Cheap intra estimate: DC prediction SAD plus a fixed cost.
+            IntraPredict(rec_y, lx, ly, kMbSize, IntraMode::kDc, tile_bounds,
+                         pred_y);
+            double intra_cost = pred_sad(lx, ly) + lambda * 3.0;
+            use_inter = inter_cost <= intra_cost;
+          }
+          if (hint != nullptr && use_inter) ++frame_stats_.hints_accepted;
+        }
+      }
+      // Keyframes deliberately ignore hints: the best intra mode depends on
+      // the reconstructed neighbors, which are sharper at the reference
+      // rung's finer quantizer, and a mode mismatch on a keyframe propagates
+      // through the whole GOP (measured ~0.1 dB at qp 28). The analysis is a
+      // handful of prediction SADs — noise next to a motion search — so
+      // there is nothing worth reusing here.
+
+      if (!use_inter && !intra_mode_known) {
         // Pick the best available intra mode by prediction SAD.
         IntraNeighbors neighbors = IntraAvailability(lx, ly, tile_bounds);
         double best_cost = -1.0;
@@ -202,19 +331,17 @@ void Encoder::EncodeTile(const Frame& frame, const TileGrid::PixelRect& rect,
           if (mode == IntraMode::kHorizontal && !neighbors.left) continue;
           if (mode == IntraMode::kVertical && !neighbors.top) continue;
           IntraPredict(rec_y, lx, ly, kMbSize, mode, tile_bounds, pred_y);
-          uint32_t sad = 0;
-          for (int row = 0; row < kMbSize; ++row) {
-            for (int col = 0; col < kMbSize; ++col) {
-              sad += static_cast<uint32_t>(
-                  std::abs(int{frame.y(lx + col, ly + row)} -
-                           int{pred_y[row * kMbSize + col]}));
-            }
-          }
+          uint32_t sad = pred_sad(lx, ly);
           if (best_cost < 0 || sad < best_cost) {
             best_cost = sad;
             intra_mode = mode;
           }
         }
+      }
+
+      if (capture_row != nullptr) {
+        capture_row[mb_index] =
+            BlockHint{use_inter, intra_mode, mv, best_inter_sad};
       }
 
       // --- Syntax -------------------------------------------------------

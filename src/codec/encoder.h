@@ -5,12 +5,54 @@
 #include <vector>
 
 #include "codec/bitstream.h"
+#include "codec/motion.h"
 #include "common/bitio.h"
 #include "common/result.h"
 #include "geometry/tile_grid.h"
 #include "image/frame.h"
 
 namespace vc {
+
+/// \brief One macroblock's analysis decision, captured from a reference-rung
+/// encode (see MotionHints).
+struct BlockHint {
+  bool use_inter = false;          ///< Mode decision (inter frames only).
+  IntraMode intra_mode = IntraMode::kDc;  ///< Chosen mode when intra.
+  MotionVector mv;                 ///< Chosen vector when inter.
+  uint32_t sad = 0;  ///< Best inter SAD the reference rung's search achieved.
+};
+
+/// \brief Reusable motion-analysis product of one encode.
+///
+/// Motion and mode decisions are driven by the content, not the quantizer,
+/// so the quality ladder's rungs of the same (segment, tile) cell make
+/// near-identical decisions. The storage manager encodes a designated
+/// reference rung first with `EncoderOptions::capture_hints` set, then hands
+/// the captured hints to the sibling rungs via `reuse_hints`: hinted blocks
+/// reuse the intra mode outright and seed the motion search with the
+/// reference rung's vector, replacing the full diamond walk with a short
+/// refine. Hints are advisory — the hinted encoder still writes every
+/// decision into the bitstream, so hinted streams are ordinary valid streams
+/// for the unmodified decoder.
+///
+/// The geometry fields identify the stream shape the hints were captured
+/// from; an encoder handed hints with mismatched geometry ignores them and
+/// falls back to the full search (per block, frames beyond
+/// `frames.size()` likewise fall back).
+struct MotionHints {
+  int width = 0;         ///< Luma width of the captured stream.
+  int height = 0;        ///< Luma height.
+  int gop_length = 0;    ///< Keyframe cadence (frame types must align).
+  int motion_range = 0;  ///< Search range the vectors were found under.
+  /// Per frame, one hint per macroblock in raster order
+  /// ((height/16) × (width/16) entries).
+  std::vector<std::vector<BlockHint>> frames;
+
+  void Clear() {
+    width = height = gop_length = motion_range = 0;
+    frames.clear();
+  }
+};
 
 /// \brief Configuration of an encoding session.
 ///
@@ -34,6 +76,15 @@ struct EncoderOptions {
   /// pixels outside the current tile, so each tile is independently
   /// decodable across the whole GOP.
   bool motion_constrained_tiles = true;
+  /// When set, the encoder records its per-block analysis decisions here
+  /// (cleared and geometry-stamped on the first frame). Not owned; must
+  /// outlive the encoder.
+  MotionHints* capture_hints = nullptr;
+  /// When set and geometry-compatible, per-block analysis is seeded from
+  /// these hints instead of running the full diamond search. Incompatible
+  /// hints are ignored entirely (clean fallback to unhinted search). Not
+  /// owned; must outlive the encoder.
+  const MotionHints* reuse_hints = nullptr;
 
   /// Validates all fields; returns InvalidArgument with a reason otherwise.
   Status Validate() const;
@@ -76,17 +127,32 @@ class Encoder {
   /// Picks the QP for the next frame (rate control when enabled).
   int NextFrameQp() const;
 
+  /// `reuse_row`, when non-null, points at this frame's per-macroblock hints
+  /// (indexed by global raster macroblock index); `capture_row` likewise
+  /// receives this frame's decisions.
   void EncodeTile(const Frame& frame, const TileGrid::PixelRect& rect,
-                  FrameType type, double qstep, BitWriter* writer);
+                  FrameType type, double qstep, const BlockHint* reuse_row,
+                  BlockHint* capture_row, BitWriter* writer);
+
+  /// Per-frame analysis accounting, flushed to the metrics registry at the
+  /// end of each Encode() call.
+  struct AnalysisStats {
+    uint64_t full_searches = 0;    ///< Blocks that ran the full diamond walk.
+    uint64_t hinted_searches = 0;  ///< Blocks seeded from a hint.
+    uint64_t hints_accepted = 0;   ///< Hinted blocks that kept the hinted mode.
+  };
 
   const EncoderOptions options_;
   const std::vector<TileGrid::PixelRect> tile_rects_;
+  const bool reuse_ok_;  ///< reuse_hints present and geometry-compatible.
   double backlog_bytes_ = 0.0;  ///< rate-control virtual buffer fullness
   double control_qp_ = 0.0;     ///< adaptive rate-control QP state
   Frame recon_;      ///< reconstruction of the current frame (in progress)
   Frame reference_;  ///< reconstruction of the previous frame
   int frame_index_ = 0;
   bool force_keyframe_ = false;
+  MotionSearchScratch scratch_;  ///< Visited-candidate memo + SAD counter.
+  AnalysisStats frame_stats_;
 };
 
 /// Convenience: encodes `frames` as one stream with `options`.

@@ -2,13 +2,15 @@
 
 namespace vc {
 
-void EncodeLevelBlock(const LevelBlock& levels, BitWriter* writer) {
-  const auto& zigzag = ZigzagOrder();
+int EncodeLevelBlock(const LevelBlock& levels, BitWriter* writer) {
+  // The count is order-independent, so scan in raster order — no zigzag
+  // indirection, and the loop vectorizes.
   int nonzero = 0;
   for (int i = 0; i < kBlockPixels; ++i) {
-    if (levels[zigzag[i]] != 0) ++nonzero;
+    if (levels[i] != 0) ++nonzero;
   }
   writer->WriteUE(static_cast<uint64_t>(nonzero));
+  const auto& zigzag = ZigzagOrder();
   int run = 0;
   int remaining = nonzero;
   for (int i = 0; i < kBlockPixels && remaining > 0; ++i) {
@@ -22,9 +24,11 @@ void EncodeLevelBlock(const LevelBlock& levels, BitWriter* writer) {
     run = 0;
     --remaining;
   }
+  return nonzero;
 }
 
-Status DecodeLevelBlock(BitReader* reader, LevelBlock* levels) {
+Status DecodeLevelBlock(BitReader* reader, LevelBlock* levels,
+                        int* nonzero_count) {
   levels->fill(0);
   const auto& zigzag = ZigzagOrder();
   uint64_t nonzero;
@@ -48,6 +52,7 @@ Status DecodeLevelBlock(BitReader* reader, LevelBlock* levels) {
     (*levels)[zigzag[position]] = static_cast<int32_t>(level);
     ++position;
   }
+  if (nonzero_count != nullptr) *nonzero_count = static_cast<int>(nonzero);
   return Status::OK();
 }
 

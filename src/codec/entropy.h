@@ -10,11 +10,16 @@ namespace vc {
 /// Entropy-codes one quantized 8×8 block: the number of nonzero levels
 /// followed by (zero-run, level) pairs in zigzag order, all Exp-Golomb coded.
 /// All-zero blocks cost a single UE(0) — typical for well-predicted inter
-/// content, which is where the bitrate savings come from.
-void EncodeLevelBlock(const LevelBlock& levels, BitWriter* writer);
+/// content, which is where the bitrate savings come from. Returns the number
+/// of nonzero levels so callers can pick an inverse-transform path without
+/// re-scanning the block.
+int EncodeLevelBlock(const LevelBlock& levels, BitWriter* writer);
 
-/// Decodes one block written by EncodeLevelBlock.
-Status DecodeLevelBlock(BitReader* reader, LevelBlock* levels);
+/// Decodes one block written by EncodeLevelBlock. If `nonzero_count` is
+/// non-null it receives the number of nonzero levels (from the stream, so the
+/// caller avoids a rescan).
+Status DecodeLevelBlock(BitReader* reader, LevelBlock* levels,
+                        int* nonzero_count = nullptr);
 
 }  // namespace vc
 

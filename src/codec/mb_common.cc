@@ -78,27 +78,81 @@ void IntraPredict(PlaneView plane, int x, int y, int size, IntraMode mode,
   }
 }
 
+namespace {
+
+/// Copies the prediction into the reconstruction for one transform block —
+/// what an all-zero level block reconstructs to.
+inline void CopyPredBlock(const uint8_t* pred, int size, int bx, int by,
+                          uint8_t* recon) {
+  for (int row = 0; row < kBlockSize; ++row) {
+    const uint8_t* src = pred + (by + row) * size + bx;
+    uint8_t* dst = recon + (by + row) * size + bx;
+    for (int col = 0; col < kBlockSize; ++col) dst[col] = src[col];
+  }
+}
+
+}  // namespace
+
 void EncodeResidual(const uint8_t* cur, int cur_stride, const uint8_t* pred,
                     int size, double qstep, BitWriter* writer,
                     uint8_t* recon) {
   ResidualBlock residual;
   CoeffBlock coeffs;
   LevelBlock levels;
+  // Every DCT coefficient's magnitude is bounded by the residual's L2 norm
+  // (Parseval; the basis is orthonormal), itself at most 8·max|residual|.
+  // When the bound stays strictly inside the quantizer dead zone
+  // (level = 0 iff |X| < 0.6·qstep), every level is provably zero: the
+  // block costs one codeword and reconstructs to the prediction, so the
+  // transform is skipped outright. A borderline disagreement with the
+  // quantizer's own rounding is harmless — both sides of the codec see the
+  // same all-zero block either way.
+  const double zero_bound = 0.6 * qstep;
   for (int by = 0; by < size; by += kBlockSize) {
     for (int bx = 0; bx < size; bx += kBlockSize) {
+      int max_abs = 0;
       for (int row = 0; row < kBlockSize; ++row) {
         for (int col = 0; col < kBlockSize; ++col) {
           int c = cur[static_cast<size_t>(by + row) * cur_stride + bx + col];
           int p = pred[(by + row) * size + bx + col];
-          residual[row * kBlockSize + col] = static_cast<int16_t>(c - p);
+          int diff = c - p;
+          residual[row * kBlockSize + col] = static_cast<int16_t>(diff);
+          int abs_diff = diff < 0 ? -diff : diff;
+          if (abs_diff > max_abs) max_abs = abs_diff;
         }
       }
+      bool provably_zero = 8.0 * max_abs < zero_bound;
+      if (!provably_zero && max_abs < zero_bound) {
+        // Cheap bound failed but the exact L2 bound might not: 64 integer
+        // multiplies against a 1024-flop transform.
+        int64_t ssd = 0;
+        for (int i = 0; i < kBlockPixels; ++i) {
+          ssd += int{residual[i]} * int{residual[i]};
+        }
+        provably_zero = static_cast<double>(ssd) < zero_bound * zero_bound;
+      }
+      if (provably_zero) {
+        writer->WriteUE(0);  // as EncodeLevelBlock writes an all-zero block
+        CopyPredBlock(pred, size, bx, by, recon);
+        continue;
+      }
+
       ForwardDct(residual, &coeffs);
       Quantize(coeffs, qstep, &levels);
-      EncodeLevelBlock(levels, writer);
-      // Reconstruct exactly as the decoder will.
+      // Reconstruct exactly as the decoder will, with the same all-zero /
+      // sparse / dense inverse-transform dispatch so both reconstructions
+      // stay bit-identical.
+      int nonzero = EncodeLevelBlock(levels, writer);
+      if (nonzero == 0) {
+        CopyPredBlock(pred, size, bx, by, recon);
+        continue;
+      }
       Dequantize(levels, qstep, &coeffs);
-      InverseDct(coeffs, &residual);
+      if (nonzero <= kInverseDctSparseThreshold) {
+        InverseDctSparse(coeffs, nonzero, &residual);
+      } else {
+        InverseDct(coeffs, &residual);
+      }
       for (int row = 0; row < kBlockSize; ++row) {
         for (int col = 0; col < kBlockSize; ++col) {
           int p = pred[(by + row) * size + bx + col];
@@ -117,9 +171,20 @@ Status DecodeResidual(BitReader* reader, const uint8_t* pred, int size,
   LevelBlock levels;
   for (int by = 0; by < size; by += kBlockSize) {
     for (int bx = 0; bx < size; bx += kBlockSize) {
-      VC_RETURN_IF_ERROR(DecodeLevelBlock(reader, &levels));
+      // Mirror the encoder's all-zero / sparse / dense dispatch exactly so
+      // both reconstructions stay bit-identical.
+      int nonzero = 0;
+      VC_RETURN_IF_ERROR(DecodeLevelBlock(reader, &levels, &nonzero));
+      if (nonzero == 0) {
+        CopyPredBlock(pred, size, bx, by, recon);
+        continue;
+      }
       Dequantize(levels, qstep, &coeffs);
-      InverseDct(coeffs, &residual);
+      if (nonzero <= kInverseDctSparseThreshold) {
+        InverseDctSparse(coeffs, nonzero, &residual);
+      } else {
+        InverseDct(coeffs, &residual);
+      }
       for (int row = 0; row < kBlockSize; ++row) {
         for (int col = 0; col < kBlockSize; ++col) {
           int p = pred[(by + row) * size + bx + col];

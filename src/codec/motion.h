@@ -37,13 +37,52 @@ struct PlaneView {
 uint32_t BlockSad(PlaneView a, int ax, int ay, PlaneView b, int bx, int by,
                   int size);
 
+/// SAD with a row-granularity early exit: once the running sum reaches
+/// `limit` the remaining rows are skipped and the partial sum (≥ `limit`)
+/// is returned. A candidate whose SAD cannot beat the current best is
+/// abandoned after the first few rows, which is where most of the search
+/// cost goes. Exact (equal to BlockSad) whenever the result is < `limit`.
+uint32_t BlockSadBounded(PlaneView a, int ax, int ay, PlaneView b, int bx,
+                         int by, int size, uint32_t limit);
+
+/// \brief Reusable per-search scratch state, owned by the caller (one per
+/// encoder, not per block).
+///
+/// Memoizes candidate displacements already evaluated during one search so
+/// the diamond walk never re-runs a SAD for a revisited position, using
+/// generation-stamped cells so the scratch is reset in O(1) between blocks.
+/// Also accumulates the number of SAD kernel invocations, which the encoder
+/// flushes to the `codec.sad_evals` metric.
+struct MotionSearchScratch {
+  std::vector<uint32_t> stamps;  ///< (2·range+1)² cells, generation-tagged.
+  uint32_t generation = 0;
+  uint64_t sad_evals = 0;  ///< Cumulative SAD evaluations (never reset here).
+};
+
 /// Diamond-pattern motion search for the `size`×`size` block of `current` at
 /// (x, y) against `reference`, starting from (0, 0), with displacement at
 /// most `range` in each axis and the referenced block constrained to
 /// `bounds`. Returns the best vector and writes its SAD to `*best_sad`.
+/// `scratch` (optional) memoizes visited candidates and counts SAD
+/// evaluations; results are identical with or without it.
 MotionVector SearchMotion(PlaneView current, PlaneView reference, int x, int y,
                           int size, int range, const MotionBounds& bounds,
-                          uint32_t* best_sad);
+                          uint32_t* best_sad,
+                          MotionSearchScratch* scratch = nullptr);
+
+/// Short motion refinement seeded from a prior analysis (e.g. the same block
+/// of a sibling quality rung): evaluates `seed` — returning immediately if
+/// its SAD is at most `good_enough_sad` — then (0, 0), then walks a small
+/// diamond from the best of the two until no step improves or the threshold
+/// is met. Costs one SAD for a good hint instead of a full diamond walk.
+/// Pass `good_enough_sad = 0` to always refine to a local optimum. Falls
+/// back to the zero vector with SAD = UINT32_MAX when no candidate fits
+/// `bounds`, exactly like SearchMotion.
+MotionVector RefineMotion(PlaneView current, PlaneView reference, int x, int y,
+                          int size, int range, const MotionBounds& bounds,
+                          MotionVector seed, uint32_t good_enough_sad,
+                          uint32_t* best_sad,
+                          MotionSearchScratch* scratch = nullptr);
 
 /// Copies the motion-compensated `size`×`size` reference block at
 /// (x + mv.dx, y + mv.dy) into `out` (row-major, `size` stride). The source

@@ -8,15 +8,31 @@ namespace vc {
 
 namespace {
 
-/// Precomputed DCT-II basis: basis[u][x] = c(u) cos((2x+1)uπ/16).
+constexpr int kHalf = kBlockSize / 2;
+
+/// Precomputed DCT-II basis, folded by the cosine symmetry
+/// cos((2(N−1−x)+1)uπ/2N) = (−1)ᵘ cos((2x+1)uπ/2N): even-frequency rows
+/// see only the symmetric half-sums of the input, odd rows only the
+/// antisymmetric half-differences. Folding first and multiplying 4×4
+/// sub-matrices halves the multiply count of every 8-point transform.
 struct DctBasis {
-  double value[kBlockSize][kBlockSize];
+  double even[kHalf][kHalf];  // even[k][x] = c(2k)·cos((2x+1)(2k)π/16)
+  double odd[kHalf][kHalf];   // odd[k][x]  = c(2k+1)·cos((2x+1)(2k+1)π/16)
+  double full[kBlockSize][kBlockSize];  // full[u][x], for the sparse path
   DctBasis() {
     for (int u = 0; u < kBlockSize; ++u) {
       double cu = u == 0 ? std::sqrt(1.0 / kBlockSize)
                          : std::sqrt(2.0 / kBlockSize);
       for (int x = 0; x < kBlockSize; ++x) {
-        value[u][x] = cu * std::cos((2 * x + 1) * u * kPi / (2 * kBlockSize));
+        double value = cu * std::cos((2 * x + 1) * u * kPi / (2 * kBlockSize));
+        full[u][x] = value;
+        if (x < kHalf) {
+          if (u % 2 == 0) {
+            even[u / 2][x] = value;
+          } else {
+            odd[u / 2][x] = value;
+          }
+        }
       }
     }
   }
@@ -27,54 +43,113 @@ const DctBasis& Basis() {
   return basis;
 }
 
+/// 8-point DCT-II of `in` into `out` (natural frequency order).
+inline void ForwardDct8(const double* in, double* out, const DctBasis& b) {
+  double e[kHalf], o[kHalf];
+  for (int i = 0; i < kHalf; ++i) {
+    e[i] = in[i] + in[kBlockSize - 1 - i];
+    o[i] = in[i] - in[kBlockSize - 1 - i];
+  }
+  for (int k = 0; k < kHalf; ++k) {
+    double sum_e = 0, sum_o = 0;
+    for (int i = 0; i < kHalf; ++i) {
+      sum_e += e[i] * b.even[k][i];
+      sum_o += o[i] * b.odd[k][i];
+    }
+    out[2 * k] = sum_e;
+    out[2 * k + 1] = sum_o;
+  }
+}
+
+/// 8-point inverse of ForwardDct8.
+inline void InverseDct8(const double* in, double* out, const DctBasis& b) {
+  for (int i = 0; i < kHalf; ++i) {
+    double e = 0, o = 0;
+    for (int k = 0; k < kHalf; ++k) {
+      e += in[2 * k] * b.even[k][i];
+      o += in[2 * k + 1] * b.odd[k][i];
+    }
+    out[i] = e + o;
+    out[kBlockSize - 1 - i] = e - o;
+  }
+}
+
 }  // namespace
 
 void ForwardDct(const ResidualBlock& input, CoeffBlock* output) {
   const auto& b = Basis();
-  // Separable: rows then columns.
-  double temp[kBlockSize][kBlockSize];
+  // Separable: rows, then columns of the (transposed) row results.
+  double row[kBlockSize], freq[kBlockSize];
+  double temp[kBlockSize][kBlockSize];  // temp[u][y]
   for (int y = 0; y < kBlockSize; ++y) {
-    for (int u = 0; u < kBlockSize; ++u) {
-      double sum = 0;
-      for (int x = 0; x < kBlockSize; ++x) {
-        sum += input[y * kBlockSize + x] * b.value[u][x];
-      }
-      temp[y][u] = sum;
-    }
+    for (int x = 0; x < kBlockSize; ++x) row[x] = input[y * kBlockSize + x];
+    ForwardDct8(row, freq, b);
+    for (int u = 0; u < kBlockSize; ++u) temp[u][y] = freq[u];
   }
   for (int u = 0; u < kBlockSize; ++u) {
+    ForwardDct8(temp[u], freq, b);
     for (int v = 0; v < kBlockSize; ++v) {
-      double sum = 0;
-      for (int y = 0; y < kBlockSize; ++y) {
-        sum += temp[y][u] * b.value[v][y];
-      }
-      (*output)[v * kBlockSize + u] = sum;
+      (*output)[v * kBlockSize + u] = freq[v];
     }
   }
 }
 
 void InverseDct(const CoeffBlock& input, ResidualBlock* output) {
   const auto& b = Basis();
-  double temp[kBlockSize][kBlockSize];
+  double spatial[kBlockSize];
+  double temp[kBlockSize][kBlockSize];  // temp[x][v]
   for (int v = 0; v < kBlockSize; ++v) {
-    for (int x = 0; x < kBlockSize; ++x) {
-      double sum = 0;
-      for (int u = 0; u < kBlockSize; ++u) {
-        sum += input[v * kBlockSize + u] * b.value[u][x];
-      }
-      temp[v][x] = sum;
-    }
+    InverseDct8(&input[v * kBlockSize], spatial, b);
+    for (int x = 0; x < kBlockSize; ++x) temp[x][v] = spatial[x];
   }
   for (int x = 0; x < kBlockSize; ++x) {
+    InverseDct8(temp[x], spatial, b);
     for (int y = 0; y < kBlockSize; ++y) {
-      double sum = 0;
-      for (int v = 0; v < kBlockSize; ++v) {
-        sum += temp[v][x] * b.value[v][y];
-      }
-      double rounded = std::lround(sum);
+      // Round half away from zero (as std::lround), without the libm call:
+      // adding ±0.5 then truncating matches lround for every magnitude a
+      // dequantized coefficient sum can reach.
+      double rounded = spatial[y] + std::copysign(0.5, spatial[y]);
       (*output)[y * kBlockSize + x] =
           static_cast<int16_t>(Clamp(rounded, -32768.0, 32767.0));
     }
+  }
+}
+
+void InverseDctSparse(const CoeffBlock& input, int nonzero_count,
+                      ResidualBlock* output) {
+  const auto& b = Basis();
+  if (nonzero_count == 1 && input[0] != 0.0) {
+    // DC-only block — the most common sparse case at medium/high QP. The
+    // outer product is a constant fill; the arithmetic below matches the
+    // general loop exactly (same multiply order), so the result is
+    // bit-identical to taking the general path.
+    const double weight = input[0] * b.full[0][0];
+    const double value = weight * b.full[0][0];
+    const double rounded = value + std::copysign(0.5, value);
+    const auto pixel = static_cast<int16_t>(Clamp(rounded, -32768.0, 32767.0));
+    output->fill(pixel);
+    return;
+  }
+  double acc[kBlockPixels] = {};
+  int remaining = nonzero_count;
+  for (int v = 0; v < kBlockSize && remaining > 0; ++v) {
+    for (int u = 0; u < kBlockSize && remaining > 0; ++u) {
+      const double coeff = input[v * kBlockSize + u];
+      if (coeff == 0.0) continue;
+      --remaining;
+      // One separable outer product: coeff · B[v][y] · B[u][x].
+      const double* col = b.full[v];
+      const double* row = b.full[u];
+      for (int y = 0; y < kBlockSize; ++y) {
+        const double weight = coeff * col[y];
+        double* out_row = acc + y * kBlockSize;
+        for (int x = 0; x < kBlockSize; ++x) out_row[x] += weight * row[x];
+      }
+    }
+  }
+  for (int i = 0; i < kBlockPixels; ++i) {
+    double rounded = acc[i] + std::copysign(0.5, acc[i]);
+    (*output)[i] = static_cast<int16_t>(Clamp(rounded, -32768.0, 32767.0));
   }
 }
 
@@ -85,12 +160,15 @@ double QStepForQp(int qp) {
 
 void Quantize(const CoeffBlock& coeffs, double qstep, LevelBlock* levels) {
   // Dead-zone quantizer: slightly biases toward zero, which measurably
-  // improves rate at equal distortion for residual statistics.
+  // improves rate at equal distortion for residual statistics. One
+  // reciprocal up front instead of 64 divides; floor of a non-negative
+  // value is a plain truncating cast, which vectorizes.
   constexpr double kDeadZone = 0.4;
+  const double inv_qstep = 1.0 / qstep;
   for (int i = 0; i < kBlockPixels; ++i) {
-    double scaled = coeffs[i] / qstep;
-    double magnitude = std::floor(std::abs(scaled) + kDeadZone);
-    (*levels)[i] = static_cast<int32_t>(scaled < 0 ? -magnitude : magnitude);
+    double scaled = coeffs[i] * inv_qstep;
+    auto magnitude = static_cast<int32_t>(std::abs(scaled) + kDeadZone);
+    (*levels)[i] = scaled < 0 ? -magnitude : magnitude;
   }
 }
 

@@ -23,6 +23,19 @@ void ForwardDct(const ResidualBlock& input, CoeffBlock* output);
 /// Inverse 8×8 DCT (exact inverse of ForwardDct up to float rounding).
 void InverseDct(const CoeffBlock& input, ResidualBlock* output);
 
+/// Inverse 8×8 DCT specialized for sparse blocks: sums one basis outer
+/// product per nonzero coefficient, which beats the separable transform up
+/// to roughly six nonzeros (the common case for inter residuals at medium
+/// and high QP). Deterministic but not bit-identical to InverseDct (different
+/// float summation order), so encoder and decoder must agree on when to use
+/// it — both switch on `InverseDctSparseThreshold`.
+void InverseDctSparse(const CoeffBlock& input, int nonzero_count,
+                      ResidualBlock* output);
+
+/// Nonzero-coefficient count at or below which both codec sides use
+/// InverseDctSparse.
+inline constexpr int kInverseDctSparseThreshold = 4;
+
 /// Quantizer step size for quantization parameter `qp` ∈ [0, 51]; doubles
 /// every 6 QP steps, as in H.264/HEVC.
 double QStepForQp(int qp);

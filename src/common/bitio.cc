@@ -4,44 +4,6 @@
 
 namespace vc {
 
-void BitWriter::WriteBits(uint64_t value, int bits) {
-  assert(bits >= 0 && bits <= 64);
-  if (bits < 64) {
-    assert((bits == 0 && value == 0) || (value >> bits) == 0);
-  }
-  while (bits > 0) {
-    if (spare_bits_ == 0) {
-      buffer_.push_back(0);
-      spare_bits_ = 8;
-    }
-    int take = bits < spare_bits_ ? bits : spare_bits_;
-    uint8_t chunk =
-        static_cast<uint8_t>((value >> (bits - take)) & ((1u << take) - 1));
-    buffer_.back() |= static_cast<uint8_t>(chunk << (spare_bits_ - take));
-    spare_bits_ -= take;
-    bits -= take;
-  }
-}
-
-void BitWriter::WriteUE(uint64_t value) {
-  // Exp-Golomb: value+1 has N bits; emit N-1 zeros then the N bits.
-  uint64_t v = value + 1;
-  int bits = 0;
-  for (uint64_t t = v; t != 0; t >>= 1) ++bits;
-  WriteBits(0, bits - 1);
-  WriteBits(v, bits);
-}
-
-void BitWriter::WriteSE(int64_t value) {
-  // 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4, ...
-  uint64_t mapped =
-      value > 0 ? static_cast<uint64_t>(value) * 2 - 1
-                : static_cast<uint64_t>(-value) * 2;
-  WriteUE(mapped);
-}
-
-void BitWriter::AlignToByte() { spare_bits_ = 0; }
-
 void BitWriter::WriteBytes(Slice bytes) {
   assert(aligned());
   buffer_.insert(buffer_.end(), bytes.data(), bytes.data() + bytes.size());
@@ -76,7 +38,7 @@ Status BitReader::ReadBits(int bits, uint64_t* value) {
 }
 
 Status BitReader::ReadBit(bool* bit) {
-  uint64_t v;
+  uint64_t v = 0;
   VC_RETURN_IF_ERROR(ReadBits(1, &v));
   *bit = v != 0;
   return Status::OK();
@@ -85,7 +47,7 @@ Status BitReader::ReadBit(bool* bit) {
 Status BitReader::ReadUE(uint64_t* value) {
   int zeros = 0;
   while (true) {
-    bool bit;
+    bool bit = false;
     VC_RETURN_IF_ERROR(ReadBit(&bit));
     if (bit) break;
     if (++zeros > 63) return Status::Corruption("exp-golomb code too long");

@@ -1,6 +1,8 @@
 #ifndef VC_COMMON_BITIO_H_
 #define VC_COMMON_BITIO_H_
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -14,33 +16,76 @@ namespace vc {
 ///
 /// Supports fixed-width fields, unsigned/signed Exp-Golomb codes (as in
 /// H.264/HEVC), and byte alignment. The writer owns its output buffer.
+///
+/// Pending bits live in a 64-bit accumulator and drain to the byte buffer in
+/// whole bytes; the hot methods are header-inline because the entropy layer
+/// calls them on the order of 10⁸ times per encoded segment.
 class BitWriter {
  public:
   BitWriter() = default;
 
   /// Appends the low `bits` bits of `value`, MSB first. `bits` in [0, 64].
-  void WriteBits(uint64_t value, int bits);
+  void WriteBits(uint64_t value, int bits) {
+    assert(bits >= 0 && bits <= 64);
+    if (bits < 64) {
+      assert((bits == 0 && value == 0) || (value >> bits) == 0);
+    }
+    if (bits > 56) {
+      // Split so the accumulator shift below stays < 64 even with up to 7
+      // pending bits.
+      WriteBits(value >> 32, bits - 32);
+      value &= 0xffffffffu;
+      bits = 32;
+    }
+    acc_ = (acc_ << bits) | value;
+    acc_bits_ += bits;
+    while (acc_bits_ >= 8) {
+      acc_bits_ -= 8;
+      buffer_.push_back(static_cast<uint8_t>(acc_ >> acc_bits_));
+    }
+  }
 
   /// Appends a single bit.
   void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
 
   /// Appends an order-0 unsigned Exp-Golomb code for `value`.
-  void WriteUE(uint64_t value);
+  void WriteUE(uint64_t value) {
+    // Exp-Golomb: value+1 has N significant bits; the code is N-1 zeros then
+    // those N bits — i.e. value+1 written in a 2N-1 bit field.
+    uint64_t v = value + 1;
+    int bits = 64 - std::countl_zero(v);
+    if (bits <= 32) {
+      WriteBits(v, 2 * bits - 1);
+    } else {
+      WriteBits(0, bits - 1);
+      WriteBits(v, bits);
+    }
+  }
 
   /// Appends a signed Exp-Golomb code (0, 1, -1, 2, -2, ... mapping).
-  void WriteSE(int64_t value);
+  void WriteSE(int64_t value) {
+    uint64_t mapped = value > 0 ? static_cast<uint64_t>(value) * 2 - 1
+                                : static_cast<uint64_t>(-value) * 2;
+    WriteUE(mapped);
+  }
 
   /// Pads with zero bits to the next byte boundary.
-  void AlignToByte();
+  void AlignToByte() {
+    if (acc_bits_ > 0) {
+      buffer_.push_back(static_cast<uint8_t>(acc_ << (8 - acc_bits_)));
+      acc_bits_ = 0;
+    }
+    acc_ = 0;
+  }
 
   /// Appends raw bytes; requires byte alignment.
   void WriteBytes(Slice bytes);
 
   /// Number of bits written so far.
-  size_t bit_count() const { return buffer_.size() * 8 - spare_bits_; }
+  size_t bit_count() const { return buffer_.size() * 8 + acc_bits_; }
 
   /// Whether the stream is at a byte boundary.
-  bool aligned() const { return spare_bits_ == 0; }
+  bool aligned() const { return acc_bits_ == 0; }
 
   /// Finalizes (byte-aligns) and returns the encoded bytes.
   std::vector<uint8_t> Finish();
@@ -50,7 +95,8 @@ class BitWriter {
 
  private:
   std::vector<uint8_t> buffer_;
-  int spare_bits_ = 0;  // unused low bits in buffer_.back()
+  uint64_t acc_ = 0;  // pending bits in the low `acc_bits_` positions
+  int acc_bits_ = 0;  // in [0, 7] between public calls
 };
 
 /// \brief MSB-first bit reader matching BitWriter.

@@ -5,8 +5,9 @@
 #include "codec/decoder.h"
 #include "codec/encoder.h"
 #include "codec/transform.h"
-#include "common/thread_pool.h"
 #include "core/reconstruct.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace vc {
 
@@ -36,7 +37,8 @@ Status IngestOptions::Validate() const {
 
 VisualCloud::VisualCloud(std::unique_ptr<StorageManager> storage,
                          int encode_threads)
-    : storage_(std::move(storage)), encode_threads_(encode_threads) {}
+    : storage_(std::move(storage)),
+      encode_pool_(static_cast<size_t>(encode_threads)) {}
 
 Result<std::unique_ptr<VisualCloud>> VisualCloud::Open(
     const VisualCloudOptions& options) {
@@ -90,22 +92,37 @@ Status CheckIngestFrames(const std::vector<Frame>& frames, int width,
 Result<std::vector<std::vector<uint8_t>>> VisualCloud::EncodeSegment(
     const std::vector<Frame>& segment_frames, const IngestOptions& options,
     int width, int height) {
+  static Counter* segments_encoded =
+      MetricRegistry::Global().GetCounter("ingest.segments");
+  static Counter* cells_encoded =
+      MetricRegistry::Global().GetCounter("ingest.cells");
+  static Histogram* cell_seconds =
+      MetricRegistry::Global().GetHistogram("ingest.cell_encode_seconds");
+
   TileGrid grid(options.tile_rows, options.tile_cols);
   const int tiles = grid.tile_count();
   const int qualities = static_cast<int>(options.ladder.size());
 
-  // Crop each frame once per tile, then encode each (tile, quality) cell.
-  std::vector<std::vector<Frame>> tile_frames(tiles);
-  for (int tile = 0; tile < tiles; ++tile) {
-    TileGrid::PixelRect rect;
-    VC_ASSIGN_OR_RETURN(rect,
-                        grid.PixelRectOf(grid.TileAt(tile), width, height, 16));
-    tile_frames[tile].reserve(segment_frames.size());
-    for (const Frame& frame : segment_frames) {
-      Frame cropped;
-      VC_ASSIGN_OR_RETURN(cropped,
-                          frame.Crop(rect.x, rect.y, rect.width, rect.height));
-      tile_frames[tile].push_back(std::move(cropped));
+  // Crop each frame once per tile. A 1×1 grid covers the whole frame, so
+  // the ingest frames are used in place instead of deep-copying every frame
+  // into a single "tile".
+  std::vector<std::vector<Frame>> cropped(tiles);
+  std::vector<const std::vector<Frame>*> tile_frames(tiles);
+  if (tiles == 1) {
+    tile_frames[0] = &segment_frames;
+  } else {
+    for (int tile = 0; tile < tiles; ++tile) {
+      TileGrid::PixelRect rect;
+      VC_ASSIGN_OR_RETURN(
+          rect, grid.PixelRectOf(grid.TileAt(tile), width, height, 16));
+      cropped[tile].reserve(segment_frames.size());
+      for (const Frame& frame : segment_frames) {
+        Frame crop;
+        VC_ASSIGN_OR_RETURN(
+            crop, frame.Crop(rect.x, rect.y, rect.width, rect.height));
+        cropped[tile].push_back(std::move(crop));
+      }
+      tile_frames[tile] = &cropped[tile];
     }
   }
 
@@ -113,33 +130,71 @@ Result<std::vector<std::vector<uint8_t>>> VisualCloud::EncodeSegment(
       static_cast<size_t>(tiles) * qualities);
   std::vector<Status> statuses(cells.size());
 
-  ThreadPool pool(static_cast<size_t>(encode_threads_));
-  for (int tile = 0; tile < tiles; ++tile) {
-    for (int quality = 0; quality < qualities; ++quality) {
-      size_t index = static_cast<size_t>(tile) * qualities + quality;
-      pool.Submit([&, tile, quality, index] {
-        EncoderOptions encoder_options;
-        encoder_options.width = tile_frames[tile][0].width();
-        encoder_options.height = tile_frames[tile][0].height();
-        encoder_options.fps = options.fps;
-        encoder_options.gop_length = options.frames_per_segment;
-        encoder_options.qp = options.ladder[quality].qp;
-        encoder_options.motion_range = options.motion_range;
-        encoder_options.motion_constrained_tiles =
-            options.motion_constrained_tiles;
-        auto video = EncodeVideo(tile_frames[tile], encoder_options);
-        if (!video.ok()) {
-          statuses[index] = video.status();
-          return;
-        }
-        cells[index] = video->Serialize();
+  // Encodes one (tile, quality) cell, optionally capturing or reusing the
+  // tile's motion analysis.
+  auto encode_cell = [&](int tile, int quality, MotionHints* capture,
+                         const MotionHints* reuse) {
+    ScopedTimer timer(cell_seconds);
+    size_t index = static_cast<size_t>(tile) * qualities + quality;
+    const std::vector<Frame>& frames = *tile_frames[tile];
+    EncoderOptions encoder_options;
+    encoder_options.width = frames[0].width();
+    encoder_options.height = frames[0].height();
+    encoder_options.fps = options.fps;
+    encoder_options.gop_length = options.frames_per_segment;
+    encoder_options.qp = options.ladder[quality].qp;
+    encoder_options.motion_range = options.motion_range;
+    encoder_options.motion_constrained_tiles =
+        options.motion_constrained_tiles;
+    encoder_options.capture_hints = capture;
+    encoder_options.reuse_hints = reuse;
+    auto video = EncodeVideo(frames, encoder_options);
+    if (!video.ok()) {
+      statuses[index] = video.status();
+      return;
+    }
+    cells[index] = video->Serialize();
+    cells_encoded->Add(1);
+  };
+
+  const bool reuse = options.reuse_motion_analysis && qualities > 1;
+  if (!reuse) {
+    for (int tile = 0; tile < tiles; ++tile) {
+      for (int quality = 0; quality < qualities; ++quality) {
+        encode_pool_.Submit(
+            [&encode_cell, tile, quality] { encode_cell(tile, quality, nullptr, nullptr); });
+      }
+    }
+    encode_pool_.WaitIdle();
+  } else {
+    // Wave 1: the reference rung (ladder index 0, the highest quality and
+    // thus the cleanest analysis) of every tile in parallel, each capturing
+    // its per-block decisions.
+    std::vector<MotionHints> hints(tiles);
+    for (int tile = 0; tile < tiles; ++tile) {
+      encode_pool_.Submit([&encode_cell, &hints, tile] {
+        encode_cell(tile, /*quality=*/0, &hints[tile], nullptr);
       });
     }
+    // WaitIdle is both the schedule barrier and the publication point: the
+    // pool's mutex orders the wave-1 writes to hints before wave 2 reads.
+    encode_pool_.WaitIdle();
+    // Wave 2: every remaining rung in parallel, seeded from its tile's
+    // hints.
+    for (int tile = 0; tile < tiles; ++tile) {
+      for (int quality = 1; quality < qualities; ++quality) {
+        encode_pool_.Submit([&encode_cell, &hints, tile, quality] {
+          encode_cell(tile, quality, nullptr, &hints[tile]);
+        });
+      }
+    }
+    encode_pool_.WaitIdle();
   }
-  pool.WaitIdle();
+
   for (const Status& status : statuses) {
     VC_RETURN_IF_ERROR(status);
   }
+  segments_encoded->Add(1);
   return cells;
 }
 

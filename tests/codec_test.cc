@@ -666,6 +666,235 @@ TEST(QualityTest, MakeLadderSpansRange) {
   EXPECT_FALSE(MakeQualityLadder(3, 40, 10).ok());
 }
 
+// ------------------------------------------------- Motion search kernels
+
+TEST(MotionTest, BlockSadBoundedMatchesUnbounded) {
+  Random rng(21);
+  constexpr int kW = 64, kH = 48;
+  std::vector<uint8_t> a(kW * kH), b(kW * kH);
+  for (auto& px : a) px = static_cast<uint8_t>(rng.Uniform(256));
+  for (auto& px : b) px = static_cast<uint8_t>(rng.Uniform(256));
+  PlaneView pa{a.data(), kW}, pb{b.data(), kW};
+  for (int trial = 0; trial < 50; ++trial) {
+    int ax = static_cast<int>(rng.Uniform(kW - 16));
+    int ay = static_cast<int>(rng.Uniform(kH - 16));
+    int bx = static_cast<int>(rng.Uniform(kW - 16));
+    int by = static_cast<int>(rng.Uniform(kH - 16));
+    uint32_t exact = BlockSad(pa, ax, ay, pb, bx, by, 16);
+    // A generous limit never trips the early exit.
+    EXPECT_EQ(BlockSadBounded(pa, ax, ay, pb, bx, by, 16, UINT32_MAX), exact);
+    // Any limit: the bounded kernel is exact below the limit and reports at
+    // least the limit once it bails.
+    uint32_t limit = static_cast<uint32_t>(rng.Uniform(2 * exact + 2));
+    uint32_t bounded = BlockSadBounded(pa, ax, ay, pb, bx, by, 16, limit);
+    if (exact < limit) {
+      EXPECT_EQ(bounded, exact);
+    } else {
+      EXPECT_GE(bounded, limit);
+    }
+  }
+}
+
+TEST(MotionTest, RefineMotionFindsSeededShift) {
+  Random rng(22);
+  constexpr int kW = 96, kH = 64;
+  std::vector<uint8_t> reference(kW * kH), current(kW * kH, 0);
+  for (auto& px : reference) px = static_cast<uint8_t>(rng.Uniform(256));
+  // current(x, y) = reference(x + 3, y + 2): the block at (32, 24) matches
+  // the reference exactly at displacement (3, 2).
+  for (int y = 0; y < kH - 2; ++y) {
+    for (int x = 0; x < kW - 3; ++x) {
+      current[y * kW + x] = reference[(y + 2) * kW + x + 3];
+    }
+  }
+  PlaneView cur{current.data(), kW}, ref{reference.data(), kW};
+  MotionBounds bounds{0, 0, kW, kH};
+
+  // Exact seed: accepted with a single evaluation.
+  uint32_t sad = 0;
+  MotionVector mv = RefineMotion(cur, ref, 32, 24, 16, 16, bounds,
+                                 MotionVector{3, 2}, /*good_enough_sad=*/0,
+                                 &sad);
+  EXPECT_EQ(mv, (MotionVector{3, 2}));
+  EXPECT_EQ(sad, 0u);
+
+  // Seed one step off: the small-diamond descent recovers the optimum.
+  mv = RefineMotion(cur, ref, 32, 24, 16, 16, bounds, MotionVector{2, 2},
+                    /*good_enough_sad=*/0, &sad);
+  EXPECT_EQ(mv, (MotionVector{3, 2}));
+  EXPECT_EQ(sad, 0u);
+}
+
+TEST(MotionTest, ScratchDoesNotChangeSearchResults) {
+  Random rng(23);
+  constexpr int kW = 96, kH = 64;
+  std::vector<uint8_t> a(kW * kH), b(kW * kH);
+  for (auto& px : a) px = static_cast<uint8_t>(rng.Uniform(256));
+  for (auto& px : b) px = static_cast<uint8_t>(rng.Uniform(256));
+  PlaneView cur{a.data(), kW}, ref{b.data(), kW};
+  MotionBounds bounds{0, 0, kW, kH};
+  MotionSearchScratch scratch;
+  for (int trial = 0; trial < 10; ++trial) {
+    int x = 16 * static_cast<int>(rng.Uniform(kW / 16 - 1));
+    int y = 16 * static_cast<int>(rng.Uniform(kH / 16 - 1));
+    uint32_t plain_sad = 0, memo_sad = 0;
+    MotionVector plain =
+        SearchMotion(cur, ref, x, y, 16, 16, bounds, &plain_sad, nullptr);
+    MotionVector memo =
+        SearchMotion(cur, ref, x, y, 16, 16, bounds, &memo_sad, &scratch);
+    EXPECT_EQ(plain, memo) << "trial " << trial;
+    EXPECT_EQ(plain_sad, memo_sad) << "trial " << trial;
+  }
+  EXPECT_GT(scratch.sad_evals, 0u);
+}
+
+TEST(TransformTest, InverseDctSparseMatchesDense) {
+  Random rng(24);
+  double qstep = QStepForQp(30);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Production-shaped input: a few nonzero integer levels, dequantized.
+    LevelBlock levels{};
+    int nonzero = 1 + static_cast<int>(rng.Uniform(kInverseDctSparseThreshold));
+    for (int placed = 0; placed < nonzero;) {
+      int pos = static_cast<int>(rng.Uniform(kBlockPixels));
+      if (levels[pos] != 0) continue;
+      levels[pos] = static_cast<int32_t>(rng.Uniform(20)) - 10;
+      if (levels[pos] != 0) ++placed;
+    }
+    int count = 0;
+    for (int32_t level : levels) count += level != 0;
+    CoeffBlock coeffs;
+    Dequantize(levels, qstep, &coeffs);
+    ResidualBlock dense, sparse;
+    InverseDct(coeffs, &dense);
+    InverseDctSparse(coeffs, count, &sparse);
+    for (int i = 0; i < kBlockPixels; ++i) {
+      // Different float summation order: equal up to one rounding step.
+      EXPECT_NEAR(sparse[i], dense[i], 1) << "trial " << trial;
+    }
+  }
+}
+
+// ------------------------------------------------- Motion-analysis reuse
+
+TEST(CodecTest, HintedStreamDecodesBitExactly) {
+  // Hints change how the encoder searches, not the bitstream contract: a
+  // hinted stream must decode to exactly the hinted encoder's recon.
+  auto frames = TestFrames(12);
+  MotionHints hints;
+  EncoderOptions reference = SmallOptions();
+  reference.qp = 14;
+  reference.capture_hints = &hints;
+  ASSERT_TRUE(EncodeVideo(frames, reference).ok());
+  ASSERT_EQ(hints.frames.size(), frames.size());
+
+  EncoderOptions coarse = SmallOptions();
+  coarse.qp = 35;
+  coarse.reuse_hints = &hints;
+  auto encoder = Encoder::Create(coarse);
+  ASSERT_TRUE(encoder.ok());
+  auto decoder = Decoder::Create((*encoder)->header());
+  ASSERT_TRUE(decoder.ok());
+  for (const Frame& frame : frames) {
+    auto encoded = (*encoder)->Encode(frame);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = (*decoder)->Decode(Slice(encoded->payload));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->y_plane(), (*encoder)->reconstructed().y_plane());
+    EXPECT_EQ(decoded->u_plane(), (*encoder)->reconstructed().u_plane());
+    EXPECT_EQ(decoded->v_plane(), (*encoder)->reconstructed().v_plane());
+  }
+}
+
+TEST(CodecTest, HintedEncodeQualityMatchesUnhinted) {
+  auto frames = TestFrames(12);
+  MotionHints hints;
+  EncoderOptions reference = SmallOptions();
+  reference.qp = 14;
+  reference.capture_hints = &hints;
+  ASSERT_TRUE(EncodeVideo(frames, reference).ok());
+
+  for (int qp : {28, 42}) {
+    EncoderOptions options = SmallOptions();
+    options.qp = qp;
+    auto unhinted = EncodeVideo(frames, options);
+    options.reuse_hints = &hints;
+    auto hinted = EncodeVideo(frames, options);
+    ASSERT_TRUE(unhinted.ok());
+    ASSERT_TRUE(hinted.ok());
+    auto unhinted_frames = DecodeVideo(*unhinted);
+    auto hinted_frames = DecodeVideo(*hinted);
+    ASSERT_TRUE(unhinted_frames.ok());
+    ASSERT_TRUE(hinted_frames.ok());
+    double unhinted_psnr = 0, hinted_psnr = 0;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      unhinted_psnr += *LumaPsnr(frames[i], (*unhinted_frames)[i]);
+      hinted_psnr += *LumaPsnr(frames[i], (*hinted_frames)[i]);
+    }
+    unhinted_psnr /= frames.size();
+    hinted_psnr /= frames.size();
+    EXPECT_NEAR(hinted_psnr, unhinted_psnr, 0.1)
+        << "qp " << qp << ": analysis reuse may not cost visible quality";
+  }
+}
+
+TEST(CodecTest, MismatchedHintGeometryFallsBack) {
+  // Hints captured from a different stream shape are ignored entirely: the
+  // hinted encode is byte-identical to the unhinted one.
+  auto frames = TestFrames(8);
+  MotionHints hints;
+  EncoderOptions other_shape = SmallOptions();
+  other_shape.width = 64;
+  other_shape.height = 64;
+  other_shape.capture_hints = &hints;
+  auto other_frames = TestFrames(8, 64, 64);
+  ASSERT_TRUE(EncodeVideo(other_frames, other_shape).ok());
+
+  EncoderOptions options = SmallOptions();
+  auto unhinted = EncodeVideo(frames, options);
+  options.reuse_hints = &hints;
+  auto hinted = EncodeVideo(frames, options);
+  ASSERT_TRUE(unhinted.ok());
+  ASSERT_TRUE(hinted.ok());
+  ASSERT_EQ(unhinted->frames.size(), hinted->frames.size());
+  for (size_t i = 0; i < unhinted->frames.size(); ++i) {
+    EXPECT_EQ(unhinted->frames[i].payload, hinted->frames[i].payload)
+        << "frame " << i;
+  }
+}
+
+TEST(CodecTest, ShortHintsFallBackPerFrame) {
+  // Hints covering fewer frames than the encode: hinted frames reuse, later
+  // frames fall back to the full search, and the stream stays consistent.
+  auto frames = TestFrames(10);
+  MotionHints hints;
+  EncoderOptions reference = SmallOptions();
+  reference.capture_hints = &hints;
+  {
+    auto encoder = Encoder::Create(reference);
+    ASSERT_TRUE(encoder.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*encoder)->Encode(frames[i]).ok());
+    }
+  }
+  ASSERT_EQ(hints.frames.size(), 5u);
+
+  EncoderOptions options = SmallOptions();
+  options.qp = 35;
+  options.reuse_hints = &hints;
+  auto encoder = Encoder::Create(options);
+  ASSERT_TRUE(encoder.ok());
+  auto decoder = Decoder::Create((*encoder)->header());
+  ASSERT_TRUE(decoder.ok());
+  for (const Frame& frame : frames) {
+    auto encoded = (*encoder)->Encode(frame);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = (*decoder)->Decode(Slice(encoded->payload));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->y_plane(), (*encoder)->reconstructed().y_plane());
+  }
+}
+
 // ----------------------------------------- Parameterized RD property sweep
 
 struct RdCase {

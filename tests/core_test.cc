@@ -163,6 +163,60 @@ TEST_F(CoreTest, IngestValidation) {
       db_->Ingest("x", mixed, ok_options).status().IsInvalidArgument());
 }
 
+TEST_F(CoreTest, AnalysisReuseMatchesUnhintedQuality) {
+  // Ingesting with motion-analysis reuse on and off must land within a
+  // whisker of each other at every ladder rung, and the hinted ingest must
+  // actually take the hinted path (visible in the codec counters).
+  auto frames = RenderScene(*scene_, 16);
+  IngestOptions ingest;
+  ingest.tile_rows = 2;
+  ingest.tile_cols = 2;
+  ingest.frames_per_segment = 8;
+  ingest.fps = 8.0;
+  ingest.ladder = {{"high", 14}, {"medium", 28}, {"low", 42}};
+
+  auto rung_psnr = [&](VisualCloud* db, const std::string& name) {
+    std::vector<double> psnr;
+    for (int quality = 0; quality < 3; ++quality) {
+      auto decoded = db->ReadFrames(name, 0, 15, quality);
+      EXPECT_TRUE(decoded.ok());
+      double total = 0;
+      for (int i = 0; i < 16; ++i) total += *LumaPsnr(frames[i], (*decoded)[i]);
+      psnr.push_back(total / 16);
+    }
+    return psnr;
+  };
+
+  auto env = NewMemEnv();
+  VisualCloudOptions options;
+  options.storage.env = env.get();
+  options.storage.root = "/reusedb";
+  auto db = VisualCloud::Open(options);
+  ASSERT_TRUE(db.ok());
+
+  ingest.reuse_motion_analysis = false;
+  ASSERT_TRUE((*db)->Ingest("plain", frames, ingest).ok());
+  auto plain = rung_psnr(db->get(), "plain");
+
+  MetricRegistry::Global().Reset();
+  ingest.reuse_motion_analysis = true;
+  ASSERT_TRUE((*db)->Ingest("hinted", frames, ingest).ok());
+  auto hinted = rung_psnr(db->get(), "hinted");
+
+  for (int quality = 0; quality < 3; ++quality) {
+    EXPECT_NEAR(hinted[quality], plain[quality], 0.1) << "rung " << quality;
+  }
+
+  MetricsSnapshot snapshot = MetricRegistry::Global().Snapshot();
+  // 2 segments × 4 tiles × 3 rungs encoded; the two non-reference rungs of
+  // every cell ran hinted searches.
+  EXPECT_EQ(snapshot.counters["ingest.segments"], 2u);
+  EXPECT_EQ(snapshot.counters["ingest.cells"], 2u * 4 * 3);
+  EXPECT_GT(snapshot.counters["codec.search_hinted"], 0u);
+  EXPECT_GT(snapshot.counters["codec.hints_accepted"], 0u);
+  EXPECT_GT(snapshot.counters["codec.search_full"], 0u);
+}
+
 // --------------------------------------------------------- Tile assignment
 
 TEST_F(CoreTest, AssignTileQualitiesSplitsInAndOut) {
