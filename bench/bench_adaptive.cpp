@@ -44,13 +44,17 @@ int main() {
       for (const HeadTrace& trace : traces) {
         SessionOptions session = CanonicalSession(approach);
         session.network.bandwidth_bps = mbps * 1e6;
-        auto stats =
-            SimulateSession(bench.db->storage(), metadata, trace, session);
-        CheckOk(stats.status(), "session");
-        bytes += stats->bytes_sent;
-        rung += stats->mean_inview_quality;
-        stalls += stats->stall_seconds;
-        startup += stats->startup_delay;
+        auto client = CheckOk(ClientSession::Create(bench.db->storage(),
+                                                    metadata, trace, session),
+                              "session");
+        while (!client->done()) {
+          CheckOk(client->Step(client->NextDeadline()), "step");
+        }
+        const SessionStats& stats = client->stats();
+        bytes += stats.bytes_sent;
+        rung += stats.mean_inview_quality;
+        stalls += stats.stall_seconds;
+        startup += stats.startup_delay;
       }
       size_t n = traces.size();
       std::printf("%7.1f Mb  %-13s %12llu %14.2f %8.2fs %8.2fs\n", mbps,

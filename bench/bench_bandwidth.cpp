@@ -71,10 +71,13 @@ int main() {
         SessionOptions session = CanonicalSession(approach);
         session.predictor = predictor;
         session.popularity = crowd;
-        auto stats = SimulateSession(bench.db->storage(), metadata, trace,
-                                     session);
-        CheckOk(stats.status(), "session");
-        total += stats->bytes_sent;
+        auto client = CheckOk(ClientSession::Create(bench.db->storage(),
+                                                    metadata, trace, session),
+                              "session");
+        while (!client->done()) {
+          CheckOk(client->Step(client->NextDeadline()), "step");
+        }
+        total += client->stats().bytes_sent;
       }
       return total / traces.size();
     };

@@ -1,0 +1,147 @@
+// E7 — multi-viewer server scaling.
+//
+// Paper claim (VisualCloud, SIGMOD'17 demo): a VR DBMS serves many
+// concurrent viewers from one store; caching and cross-user sharing keep
+// per-viewer cost sublinear. This bench scales a simulated StreamingServer
+// from 1 to 64 viewers over one video and reports aggregate served rate,
+// shared-cache hit rate, and rebuffer ratio per viewer count, plus a
+// fault-injection run (network drops/stalls/collapses answered by
+// retry-at-lower-rung) and an admission-control run (bounded concurrency
+// and byte-rate budget).
+
+#include "bench_util.h"
+#include "server/streaming_server.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+namespace {
+
+// `count` viewers cycling the archetype population with distinct trace and
+// network seeds, arrivals staggered 250 ms apart.
+std::vector<ViewerRequest> MakeViewers(int count) {
+  const std::vector<std::string>& archetypes = ViewerArchetypes();
+  std::vector<ViewerRequest> viewers;
+  for (int i = 0; i < count; ++i) {
+    auto trace_options =
+        ArchetypeOptions(archetypes[i % archetypes.size()], 1 + i);
+    trace_options->duration_seconds = kVideoSeconds;
+    ViewerRequest viewer;
+    viewer.trace = CheckOk(SynthesizeTrace(*trace_options), "trace");
+    viewer.session = CanonicalSession(StreamingApproach::kVisualCloud);
+    viewer.session.network.seed = 1000 + i;
+    viewer.arrival_seconds = 0.25 * i;
+    viewers.push_back(std::move(viewer));
+  }
+  return viewers;
+}
+
+}  // namespace
+
+int main() {
+  Banner("E7: multi-viewer server scaling",
+         "expect: shared-cache hit rate grows with viewer count; faulted "
+         "runs degrade, not crash");
+
+  BenchDb bench = OpenBenchDb();
+  const std::string scene_name = StandardSceneNames().back();  // coaster
+  auto scene = CanonicalScene(scene_name);
+  CheckOk(bench.db
+              ->IngestScene(scene_name, *scene, kVideoSeconds * kFps,
+                            CanonicalIngest())
+              .status(),
+          "ingest");
+  VideoMetadata metadata = CheckOk(bench.db->Describe(scene_name), "describe");
+
+  std::printf("\n%8s %12s %10s %10s %10s %9s\n", "viewers", "served Mbps",
+              "cache hit", "coalesced", "rebuffer", "wall s");
+
+  std::string points_json;
+  for (int count : {1, 2, 4, 8, 16, 32, 64}) {
+    bench.db->storage()->ClearCache();  // cold cache for every population
+    ServerOptions server_options;
+    StreamingServer server(bench.db->storage(), server_options);
+    ServerStats stats =
+        CheckOk(server.Run(metadata, MakeViewers(count)), "server run");
+
+    std::printf("%8d %12.2f %9.1f%% %10llu %9.2f%% %9.2f\n", count,
+                stats.ServedMbps(), 100.0 * stats.cache.HitRate(),
+                static_cast<unsigned long long>(stats.cache.coalesced),
+                100.0 * stats.RebufferRatio(), stats.wall_seconds);
+
+    char row[320];
+    std::snprintf(row, sizeof(row),
+                  "%s  {\"viewers\": %d, \"served_mbps\": %.4f, "
+                  "\"cache_hit_rate\": %.4f, \"rebuffer_ratio\": %.4f, "
+                  "\"bytes_sent\": %llu, \"wall_seconds\": %.4f, "
+                  "\"completed\": %d}",
+                  points_json.empty() ? "" : ",\n", count, stats.ServedMbps(),
+                  stats.cache.HitRate(), stats.RebufferRatio(),
+                  static_cast<unsigned long long>(stats.bytes_sent),
+                  stats.wall_seconds, stats.sessions_completed);
+    points_json += row;
+  }
+
+  // Fault-injection run: 16 viewers on a network with seeded drop / stall /
+  // bandwidth-collapse episodes. The run must complete (sessions degrade
+  // through retries and skips; nothing crashes).
+  bench.db->storage()->ClearCache();
+  std::vector<ViewerRequest> faulted = MakeViewers(16);
+  for (ViewerRequest& viewer : faulted) {
+    viewer.session.network.faults.episodes_per_minute = 12.0;
+    viewer.session.network.faults.episode_seconds = 2.0;
+    viewer.session.network.faults.timeout_seconds = 1.0;
+    viewer.session.network.faults.seed =
+        500 + viewer.session.network.seed;
+  }
+  StreamingServer fault_server(bench.db->storage(), ServerOptions{});
+  ServerStats fault_stats =
+      CheckOk(fault_server.Run(metadata, faulted), "fault run");
+  std::printf("\nfault run (16 viewers): faults=%d retries=%d skips=%d "
+              "stalls=%d rebuffer=%.2f%%\n",
+              fault_stats.transfer_faults, fault_stats.transfer_retries,
+              fault_stats.segments_skipped, fault_stats.stall_events,
+              100.0 * fault_stats.RebufferRatio());
+
+  // Admission control: 24 viewers against 8 slots and a 600 Mbps budget.
+  // Two "whale" clients configured beyond the whole budget are rejected;
+  // everyone past the slot limit waits in the FIFO queue.
+  bench.db->storage()->ClearCache();
+  ServerOptions admission_options;
+  admission_options.max_concurrent_sessions = 8;
+  admission_options.bandwidth_budget_bps = 12 * 50e6;
+  std::vector<ViewerRequest> admission_viewers = MakeViewers(24);
+  admission_viewers[5].session.network.bandwidth_bps = 700e6;
+  admission_viewers[17].session.network.bandwidth_bps = 700e6;
+  StreamingServer admission_server(bench.db->storage(), admission_options);
+  ServerStats admission_stats =
+      CheckOk(admission_server.Run(metadata, admission_viewers), "admission");
+  std::printf("admission (24 viewers, 8 slots, 600 Mbps budget): "
+              "admitted=%d queued=%d rejected=%d max_queue=%d\n",
+              admission_stats.sessions_admitted,
+              admission_stats.sessions_queued,
+              admission_stats.sessions_rejected,
+              admission_stats.max_queue_depth);
+
+  char tail[640];
+  std::snprintf(tail, sizeof(tail),
+                " \"fault_run\": {\"viewers\": 16, \"transfer_faults\": %d, "
+                "\"transfer_retries\": %d, \"segments_skipped\": %d, "
+                "\"stall_events\": %d, \"rebuffer_ratio\": %.4f},\n"
+                " \"admission\": {\"viewers\": 24, \"admitted\": %d, "
+                "\"queued\": %d, \"rejected\": %d, \"max_queue_depth\": %d}}",
+                fault_stats.transfer_faults, fault_stats.transfer_retries,
+                fault_stats.segments_skipped, fault_stats.stall_events,
+                fault_stats.RebufferRatio(),
+                admission_stats.sessions_admitted,
+                admission_stats.sessions_queued,
+                admission_stats.sessions_rejected,
+                admission_stats.max_queue_depth);
+
+  std::string json = "{\"experiment\": \"E7-server\",\n \"scene\": \"" +
+                     scene_name + "\",\n \"scaling\": [\n" + points_json +
+                     "\n ],\n" + tail;
+  WriteBenchJson("BENCH_server.json", json);
+  EmitMetricsSnapshot("E7");
+  return 0;
+}

@@ -68,15 +68,26 @@ int main() {
       session.viewport.fov_yaw = DegToRad(90);
       session.viewport.fov_pitch = DegToRad(75);
       session.network.bandwidth_bps = 20e6;
-      auto stats =
-          SimulateSession((*db)->storage(), *metadata, trace, session);
-      if (!stats.ok()) {
+      // The object API: create a steppable session and drive it to
+      // completion at its own pacing deadlines (a server would interleave
+      // many of these on one clock).
+      auto client =
+          ClientSession::Create((*db)->storage(), *metadata, trace, session);
+      if (!client.ok()) {
         std::fprintf(stderr, "session failed: %s\n",
-                     stats.status().ToString().c_str());
+                     client.status().ToString().c_str());
         std::exit(1);
       }
-      bytes += stats->bytes_sent;
-      stalls += stats->stall_seconds;
+      while (!(*client)->done()) {
+        Status status = (*client)->Step((*client)->NextDeadline());
+        if (!status.ok()) {
+          std::fprintf(stderr, "step failed: %s\n",
+                       status.ToString().c_str());
+          std::exit(1);
+        }
+      }
+      bytes += (*client)->stats().bytes_sent;
+      stalls += (*client)->stats().stall_seconds;
     }
     return std::pair<uint64_t, double>(bytes / traces.size(),
                                        stalls / traces.size());

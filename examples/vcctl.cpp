@@ -9,6 +9,7 @@
 //   vcctl describe <name>
 //   vcctl manifest <name>
 //   vcctl stream <name> [approach] [predictor] [mbps] [archetype]
+//   vcctl serve-sim <name> [viewers] [slots] [budget_mbps] [faults/min]
 //   vcctl metrics [name] [json|csv]      # subsystem counters snapshot
 //   vcctl drop <name>
 //
@@ -26,6 +27,7 @@
 #include "core/visualcloud.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "server/streaming_server.h"
 #include "streaming/manifest.h"
 #include "predict/trace_synthesizer.h"
 
@@ -214,6 +216,67 @@ int CmdStream(VisualCloud* db, const std::string& name,
   return 0;
 }
 
+int CmdServeSim(VisualCloud* db, const std::string& name, int viewer_count,
+                int slots, double budget_mbps, double faults_per_minute) {
+  auto metadata = db->Describe(name);
+  if (!metadata.ok()) Fail(metadata.status(), "serve-sim");
+  double seconds = 0;
+  for (const SegmentInfo& s : metadata->segments) {
+    seconds += s.frame_count / metadata->fps();
+  }
+
+  // One viewer per archetype round-robin, arrivals staggered 250 ms apart.
+  const std::vector<std::string>& archetypes = ViewerArchetypes();
+  std::vector<ViewerRequest> viewers;
+  for (int i = 0; i < viewer_count; ++i) {
+    auto trace_options =
+        ArchetypeOptions(archetypes[i % archetypes.size()], /*seed=*/1 + i);
+    if (!trace_options.ok()) Fail(trace_options.status(), "archetype");
+    trace_options->duration_seconds = seconds;
+    auto trace = SynthesizeTrace(*trace_options);
+    if (!trace.ok()) Fail(trace.status(), "trace");
+    ViewerRequest viewer;
+    viewer.trace = std::move(*trace);
+    viewer.session.network.bandwidth_bps = 50e6;
+    viewer.session.network.seed = 1000 + i;
+    viewer.session.viewport.fov_yaw = DegToRad(90);
+    viewer.session.viewport.fov_pitch = DegToRad(75);
+    if (faults_per_minute > 0) {
+      viewer.session.network.faults.episodes_per_minute = faults_per_minute;
+      viewer.session.network.faults.episode_seconds = 2.0;
+      viewer.session.network.faults.timeout_seconds = 1.0;
+      viewer.session.network.faults.seed = 500 + i;
+    }
+    viewer.arrival_seconds = 0.25 * i;
+    viewers.push_back(std::move(viewer));
+  }
+
+  ServerOptions server_options;
+  server_options.max_concurrent_sessions = slots;
+  server_options.bandwidth_budget_bps = budget_mbps * 1e6;
+  StreamingServer server(db->storage(), server_options);
+  auto stats = server.Run(*metadata, viewers);
+  if (!stats.ok()) Fail(stats.status(), "server run");
+
+  std::printf("served '%s' to %d viewers (%d slots, %.0f Mbps budget)\n",
+              name.c_str(), viewer_count, slots, budget_mbps);
+  std::printf("admission:    admitted=%d queued=%d rejected=%d max_queue=%d\n",
+              stats->sessions_admitted, stats->sessions_queued,
+              stats->sessions_rejected, stats->max_queue_depth);
+  std::printf("throughput:   %.2f Mbps aggregate over %.2fs\n",
+              stats->ServedMbps(), stats->wall_seconds);
+  std::printf("shared cache: %.1f%% hit rate (%llu hits, %llu misses)\n",
+              100.0 * stats->cache.HitRate(),
+              static_cast<unsigned long long>(stats->cache.hits),
+              static_cast<unsigned long long>(stats->cache.misses));
+  std::printf("quality:      rebuffer %.2f%% (%d stalls), faults=%d "
+              "retries=%d skips=%d\n",
+              100.0 * stats->RebufferRatio(), stats->stall_events,
+              stats->transfer_faults, stats->transfer_retries,
+              stats->segments_skipped);
+  return 0;
+}
+
 int CmdMetrics(VisualCloud* db, const std::vector<std::string>& args) {
   std::string format = "json";
   std::string name;
@@ -311,6 +374,12 @@ int main(int argc, char** argv) {
                      arg(3, "dead_reckoning"),
                      std::atof(arg(4, "20").c_str()), arg(5, "explorer"));
   }
+  if (command == "serve-sim" && args.size() >= 2) {
+    return CmdServeSim(db.get(), args[1], std::atoi(arg(2, "16").c_str()),
+                       std::atoi(arg(3, "64").c_str()),
+                       std::atof(arg(4, "0").c_str()),
+                       std::atof(arg(5, "0").c_str()));
+  }
   if (command == "metrics") return CmdMetrics(db.get(), args);
   if (command == "export" && args.size() >= 3) {
     return CmdExport(db.get(), args[1], args[2],
@@ -324,7 +393,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: vcctl [demo | ingest <scene> <name> [RxC] [sec] | ls "
                "| describe <name> | manifest <name> | stream <name> "
-               "[approach] [predictor] [mbps] [archetype] | metrics [name] "
+               "[approach] [predictor] [mbps] [archetype] | serve-sim <name> "
+               "[viewers] [slots] [budget_mbps] [faults/min] | metrics [name] "
                "[json|csv] | export <name> <file> [quality] | drop <name>]\n");
   return 2;
 }

@@ -123,11 +123,10 @@ TileQualityPlan PlanSegment(const VideoMetadata& metadata, int segment,
 
 }  // namespace
 
-Result<SessionStats> SimulateSession(StorageManager* storage,
-                                     const VideoMetadata& metadata,
-                                     const HeadTrace& trace,
-                                     const SessionOptions& options,
-                                     const SceneGenerator* reference) {
+Result<std::unique_ptr<ClientSession>> ClientSession::Create(
+    StorageManager* storage, const VideoMetadata& metadata,
+    const HeadTrace& trace, const SessionOptions& options,
+    const SceneGenerator* reference) {
   VC_RETURN_IF_ERROR(options.Validate());
   if (metadata.segment_count() == 0) {
     return Status::InvalidArgument("video has no segments");
@@ -144,193 +143,277 @@ Result<SessionStats> SimulateSession(StorageManager* storage,
   }
 
   NetworkSimulator network = *NetworkSimulator::Create(options.network);
-  ThroughputEstimator estimator(0.3, options.network.bandwidth_bps * 0.5);
   std::unique_ptr<Predictor> predictor;
   VC_ASSIGN_OR_RETURN(predictor,
                       MakePredictor(options.predictor, metadata.tile_grid()));
+  return std::unique_ptr<ClientSession>(
+      new ClientSession(storage, metadata, trace, options, reference,
+                        std::move(network), std::move(predictor)));
+}
 
-  const double segment_seconds = metadata.segment_duration_seconds();
-  const double fps = metadata.fps();
-  const double media_duration =
-      metadata.segments.back().start_frame / fps +
-      metadata.segments.back().frame_count / fps;
-
-  SessionStats stats;
-  stats.approach = ApproachName(options.approach);
-  stats.segments = metadata.segment_count();
-  stats.duration_seconds = media_duration;
+ClientSession::ClientSession(StorageManager* storage,
+                             const VideoMetadata& metadata,
+                             const HeadTrace& trace,
+                             const SessionOptions& options,
+                             const SceneGenerator* reference,
+                             NetworkSimulator network,
+                             std::unique_ptr<Predictor> predictor)
+    : storage_(storage),
+      metadata_(metadata),
+      trace_(trace),
+      options_(options),
+      reference_(reference),
+      network_(std::move(network)),
+      estimator_(0.3, options.network.bandwidth_bps * 0.5),
+      predictor_(std::move(predictor)),
+      segment_seconds_(metadata_.segment_duration_seconds()),
+      fps_(metadata_.fps()),
+      media_duration_(metadata_.segments.back().start_frame / fps_ +
+                      metadata_.segments.back().frame_count / fps_),
+      feed_dt_(1.0 / options.feed_rate_hz),
+      psnr_min_(kInfinitePsnr) {
+  stats_.approach = ApproachName(options_.approach);
+  stats_.segments = metadata_.segment_count();
+  stats_.duration_seconds = media_duration_;
 
   MetricRegistry& registry = MetricRegistry::Global();
   registry.GetCounter("session.sessions")->Add();
-  Counter* segments_streamed = registry.GetCounter("session.segments");
-  Counter* stall_events = registry.GetCounter("session.stall_events");
-  Histogram* stall_seconds = registry.GetHistogram("session.stall_seconds");
-  Histogram* plan_seconds = registry.GetHistogram("session.plan_seconds");
-  Counter* predict_hits =
-      registry.GetCounter("predict." + options.predictor + ".viewport_hits");
-  Counter* predict_misses =
-      registry.GetCounter("predict." + options.predictor + ".viewport_misses");
+  segments_streamed_ = registry.GetCounter("session.segments");
+  stall_events_ = registry.GetCounter("session.stall_events");
+  stall_seconds_ = registry.GetHistogram("session.stall_seconds");
+  plan_seconds_ = registry.GetHistogram("session.plan_seconds");
+  predict_hits_ =
+      registry.GetCounter("predict." + options_.predictor + ".viewport_hits");
+  predict_misses_ =
+      registry.GetCounter("predict." + options_.predictor + ".viewport_misses");
+  transfer_faults_ = registry.GetCounter("session.transfer_faults");
+  transfer_retries_ = registry.GetCounter("session.transfer_retries");
+  segments_skipped_ = registry.GetCounter("session.segments_skipped");
+}
 
-  double wall = 0.0;
-  double play_start = -1.0;
-  double stall_total = 0.0;
-  double last_fed = -1.0;
-  double psnr_sum = 0.0;
-  double psnr_min = kInfinitePsnr;
-  double inview_quality_sum = 0.0;
-  int inview_quality_count = 0;
-  const double feed_dt = 1.0 / options.feed_rate_hz;
+ClientSession::~ClientSession() = default;
 
-  for (int segment = 0; segment < metadata.segment_count(); ++segment) {
-    const SegmentInfo& info = metadata.segments[segment];
-    const double media_start = info.start_frame / fps;
-    const double media_mid = media_start + info.frame_count / fps / 2.0;
+double ClientSession::NextDeadline() const {
+  // Pacing: the next segment's download is held until it is within the
+  // client's buffer target of its playback deadline.
+  if (done_ || play_start_ < 0.0) return wall_;
+  const SegmentInfo& info = metadata_.segments[segment_];
+  double earliest = play_start_ + stall_total_ + info.start_frame / fps_ -
+                    options_.buffer_ahead_seconds;
+  return std::max(wall_, earliest);
+}
 
-    // Pacing: hold the download until the segment is within the client's
-    // buffer target of its playback deadline.
-    if (play_start >= 0.0) {
-      double earliest = play_start + stall_total + media_start -
-                        options.buffer_ahead_seconds;
-      if (earliest > wall) wall = earliest;
+Status ClientSession::Step(double now) {
+  if (done_) return Status::Aborted("session already complete");
+  if (now > wall_) wall_ = now;
+
+  const int segment = segment_;
+  const SegmentInfo& info = metadata_.segments[segment];
+  const double media_start = info.start_frame / fps_;
+  const double media_mid = media_start + info.frame_count / fps_ / 2.0;
+
+  // The viewer's current playback position: media advances in wall time
+  // once playback starts, minus accumulated stalls.
+  double media_now = 0.0;
+  if (play_start_ >= 0.0) {
+    media_now =
+        Clamp(wall_ - play_start_ - stall_total_, 0.0, media_duration_);
+  }
+
+  // Feed the predictor (and any shared popularity model) every orientation
+  // report up to "now".
+  for (double t = (last_fed_ < 0 ? 0.0 : last_fed_ + feed_dt_);
+       t <= media_now; t += feed_dt_) {
+    Orientation seen = trace_.At(t);
+    predictor_->Observe(t, seen);
+    if (options_.popularity_sink != nullptr) {
+      options_.popularity_sink->Observe(t, seen);
     }
+    last_fed_ = t;
+  }
 
-    // The viewer's current playback position: media advances in wall time
-    // once playback starts, minus accumulated stalls.
-    double media_now = 0.0;
-    if (play_start >= 0.0) {
-      media_now = Clamp(wall - play_start - stall_total, 0.0, media_duration);
-    }
+  // Orientation the plan is built around.
+  Orientation predicted;
+  if (options_.approach == StreamingApproach::kOracle) {
+    predicted = trace_.At(media_mid);
+  } else {
+    double lookahead = std::max(0.0, media_mid - media_now);
+    predicted = predictor_->Predict(lookahead);
+  }
 
-    // Feed the predictor every orientation report up to "now".
-    for (double t = (last_fed < 0 ? 0.0 : last_fed + feed_dt); t <= media_now;
-         t += feed_dt) {
-      predictor->Observe(t, trace.At(t));
-      last_fed = t;
-    }
-
-    // Orientation the plan is built around.
-    Orientation predicted;
-    if (options.approach == StreamingApproach::kOracle) {
-      predicted = trace.At(media_mid);
-    } else {
-      double lookahead = std::max(0.0, media_mid - media_now);
-      predicted = predictor->Predict(lookahead);
-    }
-
-    double budget =
-        SegmentByteBudget(estimator.estimate_bps(), segment_seconds,
-                          options.budget_safety);
-    TileQualityPlan plan;
-    {
-      ScopedTimer plan_timer(plan_seconds);
-      if (options.approach == StreamingApproach::kOracle) {
-        // The oracle knows the viewer's entire path through the segment: the
-        // high-quality set is the union of the viewports along it. This is
-        // the true upper bound a predictor can approach.
-        AssignmentOptions assignment;
-        assignment.fov_yaw = options.viewport.fov_yaw;
-        assignment.fov_pitch = options.viewport.fov_pitch;
-        assignment.margin = 0.0;
-        assignment.high_quality = options.high_quality;
-        plan.assign(metadata.tile_count(), metadata.quality_count() - 1);
-        for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-          double t = media_start + fraction * segment_seconds;
-          TileQualityPlan at_t = AssignTileQualities(metadata, trace.At(t),
-                                                     assignment);
-          for (int i = 0; i < metadata.tile_count(); ++i) {
-            plan[i] = std::min(plan[i], at_t[i]);
-          }
+  double budget =
+      SegmentByteBudget(estimator_.estimate_bps(), segment_seconds_,
+                        options_.budget_safety);
+  TileQualityPlan plan;
+  {
+    ScopedTimer plan_timer(plan_seconds_);
+    if (options_.approach == StreamingApproach::kOracle) {
+      // The oracle knows the viewer's entire path through the segment: the
+      // high-quality set is the union of the viewports along it. This is
+      // the true upper bound a predictor can approach.
+      AssignmentOptions assignment;
+      assignment.fov_yaw = options_.viewport.fov_yaw;
+      assignment.fov_pitch = options_.viewport.fov_pitch;
+      assignment.margin = 0.0;
+      assignment.high_quality = options_.high_quality;
+      plan.assign(metadata_.tile_count(), metadata_.quality_count() - 1);
+      for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        double t = media_start + fraction * segment_seconds_;
+        TileQualityPlan at_t =
+            AssignTileQualities(metadata_, trace_.At(t), assignment);
+        for (int i = 0; i < metadata_.tile_count(); ++i) {
+          plan[i] = std::min(plan[i], at_t[i]);
         }
-        if (options.adaptive) {
-          TileQualityPlan requested = plan;
-          plan = FitPlanToBudget(metadata, segment, std::move(plan),
-                                 predicted, budget);
-          DowngradeCounter()->Add(CountDowngrades(requested, plan));
-        }
-      } else {
-        plan = PlanSegment(metadata, segment, options.approach, predicted,
-                           options, budget);
       }
-    }
-    segments_streamed->Add();
-
-    uint64_t bytes = PlanBytes(metadata, segment, plan);
-    double done = network.Transfer(wall, bytes);
-    estimator.AddSample(bytes, done - wall);
-    stats.bytes_sent += bytes;
-    wall = done;
-
-    if (segment == 0) {
-      play_start = wall;
-      stats.startup_delay = wall;
+      if (options_.adaptive) {
+        TileQualityPlan requested = plan;
+        plan = FitPlanToBudget(metadata_, segment, std::move(plan), predicted,
+                               budget);
+        DowngradeCounter()->Add(CountDowngrades(requested, plan));
+      }
     } else {
-      double deadline = play_start + stall_total + media_start;
-      if (wall > deadline + 1e-9) {
-        stats.stall_seconds += wall - deadline;
-        stall_total += wall - deadline;
-        ++stats.stall_events;
-        stall_events->Add();
-        stall_seconds->Observe(wall - deadline);
-      }
+      plan = PlanSegment(metadata_, segment, options_.approach, predicted,
+                         options_, budget);
     }
+  }
+  segments_streamed_->Add();
 
-    // In-view quality bookkeeping: the rung the viewer actually sees.
-    {
-      TileGrid grid = metadata.tile_grid();
-      Orientation actual = trace.At(media_mid);
-      auto visible = grid.TilesInViewport(actual, options.viewport.fov_yaw,
-                                          options.viewport.fov_pitch);
-      for (const TileId& tile : visible) {
-        inview_quality_sum += plan[grid.IndexOf(tile)];
-        ++inview_quality_count;
-      }
-      // Predictor accuracy as the session experienced it: did the viewport
-      // planned around the prediction (FOV + selection margin) cover the
-      // tile the viewer actually gazed at mid-segment? The oracle is
-      // excluded — its "prediction" is the ground truth.
-      if (options.approach != StreamingApproach::kOracle) {
-        auto covered = grid.TilesInViewport(
-            predicted, options.viewport.fov_yaw + 2 * options.viewport_margin,
-            options.viewport.fov_pitch + 2 * options.viewport_margin);
-        TileId gaze = grid.TileFor(actual);
-        bool hit = std::find(covered.begin(), covered.end(), gaze) !=
-                   covered.end();
-        (hit ? predict_hits : predict_misses)->Add();
-      }
+  const int lowest = metadata_.quality_count() - 1;
+  uint64_t bytes = PlanBytes(metadata_, segment, plan);
+  TransferResult transfer = network_.Transfer(wall_, bytes);
+  bool delivered = true;
+  bool skipped = false;
+  if (transfer.faulted) {
+    // The request timed out. Retry once with every tile one rung lower — a
+    // smaller request with better odds of landing inside the viewer's
+    // patience window. A second fault abandons the segment; the resulting
+    // stall is charged against the playback deadline below.
+    ++stats_.transfer_faults;
+    transfer_faults_->Add();
+    wall_ = transfer.completion_time;
+    for (int& q : plan) q = std::min(q + 1, lowest);
+    bytes = PlanBytes(metadata_, segment, plan);
+    ++stats_.transfer_retries;
+    transfer_retries_->Add();
+    transfer = network_.Transfer(wall_, bytes);
+    if (transfer.faulted) {
+      ++stats_.transfer_faults;
+      transfer_faults_->Add();
+      ++stats_.segments_skipped;
+      segments_skipped_->Add();
+      delivered = false;
+      skipped = true;
+      bytes = 0;
     }
+  }
+  if (delivered) {
+    estimator_.AddSample(bytes, transfer.completion_time - wall_);
+    stats_.bytes_sent += bytes;
+  }
+  wall_ = transfer.completion_time;
 
-    if (options.evaluate_quality) {
-      std::vector<Frame> delivered;
+  if (segment == 0) {
+    play_start_ = wall_;
+    stats_.startup_delay = wall_;
+  } else {
+    double deadline = play_start_ + stall_total_ + media_start;
+    if (wall_ > deadline + 1e-9) {
+      stats_.stall_seconds += wall_ - deadline;
+      stall_total_ += wall_ - deadline;
+      ++stats_.stall_events;
+      stall_events_->Add();
+      stall_seconds_->Observe(wall_ - deadline);
+    }
+  }
+
+  // Under a server, delivery is real: pull every planned cell through the
+  // shared storage cache, so concurrent viewers contend for — and reuse —
+  // the same buffer pool.
+  if (options_.fetch_cells && delivered) {
+    for (int tile = 0; tile < metadata_.tile_count(); ++tile) {
+      auto cell = storage_->ReadCell(metadata_, segment, tile, plan[tile]);
+      if (!cell.ok()) return cell.status();
+    }
+  }
+
+  // In-view quality bookkeeping: the rung the viewer actually sees (the
+  // lowest rung when the segment was skipped — the player shows stale or
+  // minimal detail).
+  {
+    TileGrid grid = metadata_.tile_grid();
+    Orientation actual = trace_.At(media_mid);
+    auto visible = grid.TilesInViewport(actual, options_.viewport.fov_yaw,
+                                        options_.viewport.fov_pitch);
+    for (const TileId& tile : visible) {
+      inview_quality_sum_ += skipped ? lowest : plan[grid.IndexOf(tile)];
+      ++inview_quality_count_;
+    }
+    // Predictor accuracy as the session experienced it: did the viewport
+    // planned around the prediction (FOV + selection margin) cover the
+    // tile the viewer actually gazed at mid-segment? The oracle is
+    // excluded — its "prediction" is the ground truth.
+    if (options_.approach != StreamingApproach::kOracle) {
+      auto covered = grid.TilesInViewport(
+          predicted, options_.viewport.fov_yaw + 2 * options_.viewport_margin,
+          options_.viewport.fov_pitch + 2 * options_.viewport_margin);
+      TileId gaze = grid.TileFor(actual);
+      bool hit =
+          std::find(covered.begin(), covered.end(), gaze) != covered.end();
+      (hit ? predict_hits_ : predict_misses_)->Add();
+    }
+  }
+
+  if (options_.evaluate_quality && delivered) {
+    std::vector<Frame> dframes;
+    VC_ASSIGN_OR_RETURN(
+        dframes, ReconstructSegment(storage_, metadata_, segment, plan));
+    int step = std::max(1, static_cast<int>(info.frame_count) /
+                               options_.eval_frames_per_segment);
+    for (int k = step / 2; k < static_cast<int>(info.frame_count); k += step) {
+      int frame_index = static_cast<int>(info.start_frame) + k;
+      double media_t = frame_index / fps_;
+      Orientation actual = trace_.At(media_t);
+      Frame original = reference_->FrameAt(frame_index);
+      double psnr;
       VC_ASSIGN_OR_RETURN(
-          delivered, ReconstructSegment(storage, metadata, segment, plan));
-      int step = std::max(
-          1, static_cast<int>(info.frame_count) /
-                 options.eval_frames_per_segment);
-      for (int k = step / 2; k < static_cast<int>(info.frame_count);
-           k += step) {
-        int frame_index = static_cast<int>(info.start_frame) + k;
-        double media_t = frame_index / fps;
-        Orientation actual = trace.At(media_t);
-        Frame original = reference->FrameAt(frame_index);
-        double psnr;
-        VC_ASSIGN_OR_RETURN(
-            psnr, ViewportPsnr(original, delivered[k], actual,
-                               options.viewport));
-        psnr_sum += psnr;
-        psnr_min = std::min(psnr_min, psnr);
-        ++stats.quality_samples;
-      }
+          psnr, ViewportPsnr(original, dframes[k], actual, options_.viewport));
+      psnr_sum_ += psnr;
+      psnr_min_ = std::min(psnr_min_, psnr);
+      ++stats_.quality_samples;
     }
   }
 
-  if (stats.quality_samples > 0) {
-    stats.mean_viewport_psnr = psnr_sum / stats.quality_samples;
-    stats.min_viewport_psnr = psnr_min;
+  ++segment_;
+  if (segment_ == metadata_.segment_count()) Finalize();
+  return Status::OK();
+}
+
+void ClientSession::Finalize() {
+  done_ = true;
+  if (stats_.quality_samples > 0) {
+    stats_.mean_viewport_psnr = psnr_sum_ / stats_.quality_samples;
+    stats_.min_viewport_psnr = psnr_min_;
   }
-  if (inview_quality_count > 0) {
-    stats.mean_inview_quality = inview_quality_sum / inview_quality_count;
+  if (inview_quality_count_ > 0) {
+    stats_.mean_inview_quality = inview_quality_sum_ / inview_quality_count_;
   }
-  return stats;
+  if (options_.popularity_sink != nullptr) {
+    options_.popularity_sink->EndViewer();
+  }
+}
+
+Result<SessionStats> SimulateSession(StorageManager* storage,
+                                     const VideoMetadata& metadata,
+                                     const HeadTrace& trace,
+                                     const SessionOptions& options,
+                                     const SceneGenerator* reference) {
+  std::unique_ptr<ClientSession> session;
+  VC_ASSIGN_OR_RETURN(session, ClientSession::Create(storage, metadata, trace,
+                                                     options, reference));
+  while (!session->done()) {
+    VC_RETURN_IF_ERROR(session->Step(session->NextDeadline()));
+  }
+  return session->stats();
 }
 
 }  // namespace vc

@@ -1,6 +1,7 @@
 #ifndef VC_CORE_SESSION_H_
 #define VC_CORE_SESSION_H_
 
+#include <memory>
 #include <string>
 
 #include "core/tile_assignment.h"
@@ -8,11 +9,16 @@
 #include "image/scene.h"
 #include "predict/head_trace.h"
 #include "predict/popularity.h"
+#include "predict/predictor.h"
 #include "storage/storage_manager.h"
+#include "streaming/adaptation.h"
 #include "streaming/network.h"
 #include "streaming/qoe.h"
 
 namespace vc {
+
+class Counter;
+class Histogram;
 
 /// The streaming strategies compared in the evaluation.
 enum class StreamingApproach {
@@ -54,6 +60,12 @@ struct SessionOptions {
   bool evaluate_quality = false;
   int eval_frames_per_segment = 2;
 
+  /// When true, every delivered cell is actually fetched through the
+  /// storage manager's cell cache (instead of only being accounted for in
+  /// bytes). A server sets this so concurrent viewers of the same video
+  /// exercise — and benefit from — the shared buffer cache.
+  bool fetch_cells = false;
+
   /// Optional cross-user popularity model (not owned). When set and the
   /// approach is kVisualCloud, tiles covering `popularity_coverage` of the
   /// historical gaze mass are also streamed at high quality — catching
@@ -61,13 +73,114 @@ struct SessionOptions {
   const PopularityModel* popularity = nullptr;
   double popularity_coverage = 0.8;
 
+  /// Optional live popularity sink (not owned). Every orientation the
+  /// session observes while playing is also recorded here, so concurrent
+  /// viewers of the same video teach each other where to look. Distinct
+  /// from `popularity` (the read side) — a server typically points both at
+  /// the same shared model.
+  PopularityModel* popularity_sink = nullptr;
+
   Status Validate() const;
+};
+
+/// \brief One steppable simulated viewer session.
+///
+/// Decomposes the classic run-to-completion session loop into an
+/// event-driven object so a server can interleave many viewers over shared
+/// storage: `NextDeadline()` reports the wall-clock time at which the
+/// session next wants to act (the pacing deadline of its upcoming
+/// segment), and `Step(now)` advances the clock to `now` and streams
+/// exactly one segment — plan, transfer (with fault retry), QoE
+/// accounting. Driving a lone session with
+/// `while (!done()) Step(NextDeadline())` reproduces the historical
+/// `SimulateSession` free function byte-for-byte; that function survives
+/// as a thin wrapper doing exactly this.
+///
+/// Not thread-safe; a server steps each session from its scheduler thread.
+class ClientSession {
+ public:
+  /// Validates options and builds a session. `metadata` and `trace` are
+  /// copied; `storage` and `reference` (required only when
+  /// `options.evaluate_quality` is set) must outlive the session.
+  static Result<std::unique_ptr<ClientSession>> Create(
+      StorageManager* storage, const VideoMetadata& metadata,
+      const HeadTrace& trace, const SessionOptions& options,
+      const SceneGenerator* reference = nullptr);
+
+  ~ClientSession();
+
+  /// Wall-clock seconds at which the next segment's download may start —
+  /// the client pacing deadline (`buffer_ahead_seconds` before the
+  /// segment's playback deadline). Before playback has started (or once
+  /// done()) this is simply the current wall clock.
+  double NextDeadline() const;
+
+  /// Advances the wall clock to `now` (never backwards) and streams the
+  /// next segment. Finalizes stats() after the last segment. It is an
+  /// error to step a completed session.
+  Status Step(double now);
+
+  bool done() const { return done_; }
+  /// Session accounting; aggregate means are finalized once done().
+  const SessionStats& stats() const { return stats_; }
+  double wall_seconds() const { return wall_; }
+  /// Index of the segment the next Step() will stream.
+  int next_segment() const { return segment_; }
+  int segment_count() const { return metadata_.segment_count(); }
+  const SessionOptions& options() const { return options_; }
+  const VideoMetadata& metadata() const { return metadata_; }
+
+ private:
+  ClientSession(StorageManager* storage, const VideoMetadata& metadata,
+                const HeadTrace& trace, const SessionOptions& options,
+                const SceneGenerator* reference, NetworkSimulator network,
+                std::unique_ptr<Predictor> predictor);
+
+  void Finalize();
+
+  StorageManager* storage_;
+  VideoMetadata metadata_;
+  HeadTrace trace_;
+  SessionOptions options_;
+  const SceneGenerator* reference_;
+  NetworkSimulator network_;
+  ThroughputEstimator estimator_;
+  std::unique_ptr<Predictor> predictor_;
+
+  double segment_seconds_;
+  double fps_;
+  double media_duration_;
+  double feed_dt_;
+
+  SessionStats stats_;
+  int segment_ = 0;
+  bool done_ = false;
+  double wall_ = 0.0;
+  double play_start_ = -1.0;
+  double stall_total_ = 0.0;
+  double last_fed_ = -1.0;
+  double psnr_sum_ = 0.0;
+  double psnr_min_;
+  double inview_quality_sum_ = 0.0;
+  int inview_quality_count_ = 0;
+
+  // Registry-owned metric handles (process lifetime).
+  Counter* segments_streamed_;
+  Counter* stall_events_;
+  Histogram* stall_seconds_;
+  Histogram* plan_seconds_;
+  Counter* predict_hits_;
+  Counter* predict_misses_;
+  Counter* transfer_faults_;
+  Counter* transfer_retries_;
+  Counter* segments_skipped_;
 };
 
 /// Simulates one client streaming session of the stored video `metadata`
 /// driven by head-movement `trace`, and returns its QoE accounting.
 /// `reference` (the pristine scene) is required when
-/// `options.evaluate_quality` is set and ignored otherwise.
+/// `options.evaluate_quality` is set and ignored otherwise. Thin wrapper
+/// over ClientSession.
 Result<SessionStats> SimulateSession(StorageManager* storage,
                                      const VideoMetadata& metadata,
                                      const HeadTrace& trace,

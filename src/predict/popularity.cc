@@ -26,6 +26,14 @@ void PopularityModel::AddTrace(const HeadTrace& trace, double sample_rate_hz) {
   ++viewer_count_;
 }
 
+void PopularityModel::Observe(double media_t, const Orientation& orientation) {
+  if (media_t < 0) return;
+  int segment = static_cast<int>(media_t / segment_seconds_);
+  if (segment >= segment_count_) return;
+  counts_[static_cast<size_t>(segment) * grid_.tile_count() +
+          grid_.IndexOf(grid_.TileFor(orientation))] += 1;
+}
+
 double PopularityModel::Probability(int segment, TileId tile) const {
   if (segment < 0 || segment >= segment_count_) return 0.0;
   const uint64_t* row =

@@ -30,6 +30,16 @@ class PopularityModel {
   /// Accumulates one prior viewer's trace (sampled at `sample_rate_hz`).
   void AddTrace(const HeadTrace& trace, double sample_rate_hz = 30.0);
 
+  /// Accumulates one live gaze sample at media time `media_t` seconds.
+  /// Streaming sessions feed the model incrementally as they play (instead
+  /// of as one whole trace after the fact); call EndViewer() when the
+  /// session finishes so viewer_count() stays meaningful. Samples beyond
+  /// the modelled video or before t=0 are ignored.
+  void Observe(double media_t, const Orientation& orientation);
+
+  /// Marks the end of one live viewer fed through Observe().
+  void EndViewer() { ++viewer_count_; }
+
   /// Fraction of observed gaze time segment `segment` spent in `tile`
   /// (0 when the segment has no observations).
   double Probability(int segment, TileId tile) const;

@@ -1,0 +1,208 @@
+#include "server/streaming_server.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "obs/metrics.h"
+
+namespace vc {
+
+Status ServerOptions::Validate() const {
+  if (max_concurrent_sessions < 1) {
+    return Status::InvalidArgument("max_concurrent_sessions must be >= 1");
+  }
+  if (bandwidth_budget_bps < 0) {
+    return Status::InvalidArgument("bandwidth_budget_bps must be >= 0");
+  }
+  if (popularity_coverage <= 0 || popularity_coverage > 1.0) {
+    return Status::InvalidArgument("popularity_coverage must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+enum class EventKind { kArrival, kStep };
+
+/// One scheduler entry. `seq` (assigned in push order) breaks time ties, so
+/// the event order — and therefore the whole run — is deterministic.
+struct Event {
+  double time;
+  uint64_t seq;
+  EventKind kind;
+  int viewer;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+StreamingServer::StreamingServer(StorageManager* storage,
+                                 const ServerOptions& options)
+    : storage_(storage), options_(options) {}
+
+Result<ServerStats> StreamingServer::Run(
+    const VideoMetadata& metadata, const std::vector<ViewerRequest>& viewers,
+    const SceneGenerator* reference) {
+  VC_RETURN_IF_ERROR(options_.Validate());
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("server requires a storage manager");
+  }
+  if (metadata.segment_count() == 0) {
+    return Status::InvalidArgument("video has no segments");
+  }
+  for (const ViewerRequest& viewer : viewers) {
+    if (viewer.arrival_seconds < 0) {
+      return Status::InvalidArgument("viewer arrival_seconds must be >= 0");
+    }
+  }
+
+  MetricRegistry& registry = MetricRegistry::Global();
+  Gauge* active_gauge = registry.GetGauge("server.active_sessions");
+  Gauge* queue_gauge = registry.GetGauge("server.queue_depth");
+  Counter* admitted_counter = registry.GetCounter("server.sessions_admitted");
+  Counter* rejected_counter = registry.GetCounter("server.sessions_rejected");
+  Counter* completed_counter =
+      registry.GetCounter("server.sessions_completed");
+  Gauge* hit_rate_gauge = registry.GetGauge("server.cache_hit_rate");
+  Gauge* rebuffer_gauge = registry.GetGauge("server.rebuffer_ratio");
+
+  const CacheStats cache_before = storage_->cache_stats();
+
+  // One popularity model per run: written by every admitted session's live
+  // orientation feed, read by every kVisualCloud plan. The event loop is
+  // single-threaded, so sessions see each other's gaze history with no
+  // locking and no ordering ambiguity.
+  PopularityModel popularity(metadata.tile_grid(),
+                             metadata.segment_duration_seconds(),
+                             metadata.segment_count());
+
+  ServerStats stats;
+  std::vector<std::unique_ptr<ClientSession>> sessions(viewers.size());
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::deque<int> waiting;  // FIFO queue for the concurrency limit
+  uint64_t seq = 0;
+  int active = 0;
+  double admitted_bps = 0.0;
+
+  for (size_t i = 0; i < viewers.size(); ++i) {
+    events.push(Event{viewers[i].arrival_seconds, seq++, EventKind::kArrival,
+                      static_cast<int>(i)});
+  }
+
+  auto admit = [&](int viewer, double now) -> Status {
+    SessionOptions session_options = viewers[viewer].session;
+    session_options.fetch_cells = options_.fetch_cells;
+    if (options_.shared_popularity) {
+      session_options.popularity = &popularity;
+      session_options.popularity_sink = &popularity;
+      session_options.popularity_coverage = options_.popularity_coverage;
+    }
+    std::unique_ptr<ClientSession> session;
+    VC_ASSIGN_OR_RETURN(
+        session, ClientSession::Create(storage_, metadata,
+                                       viewers[viewer].trace, session_options,
+                                       reference));
+    sessions[viewer] = std::move(session);
+    ++active;
+    ++stats.sessions_admitted;
+    admitted_counter->Add();
+    admitted_bps += viewers[viewer].session.network.bandwidth_bps;
+    stats.max_active_sessions = std::max(stats.max_active_sessions, active);
+    active_gauge->Set(active);
+    events.push(Event{std::max(now, sessions[viewer]->NextDeadline()), seq++,
+                      EventKind::kStep, viewer});
+    return Status::OK();
+  };
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+
+    if (event.kind == EventKind::kArrival) {
+      ++stats.sessions_offered;
+      double viewer_bps = viewers[event.viewer].session.network.bandwidth_bps;
+      if (options_.bandwidth_budget_bps > 0 &&
+          viewer_bps > options_.bandwidth_budget_bps + 1e-9) {
+        // This client alone exceeds the whole uplink budget: it could
+        // never be admitted, so reject instead of queueing it forever.
+        ++stats.sessions_rejected;
+        rejected_counter->Add();
+        continue;
+      }
+      if (active >= options_.max_concurrent_sessions ||
+          (options_.bandwidth_budget_bps > 0 &&
+           admitted_bps + viewer_bps >
+               options_.bandwidth_budget_bps + 1e-9)) {
+        waiting.push_back(event.viewer);
+        ++stats.sessions_queued;
+        stats.max_queue_depth =
+            std::max(stats.max_queue_depth, static_cast<int>(waiting.size()));
+        queue_gauge->Set(static_cast<double>(waiting.size()));
+        continue;
+      }
+      VC_RETURN_IF_ERROR(admit(event.viewer, event.time));
+      continue;
+    }
+
+    ClientSession* session = sessions[event.viewer].get();
+    VC_RETURN_IF_ERROR(session->Step(event.time));
+    if (!session->done()) {
+      events.push(Event{session->NextDeadline(), seq++, EventKind::kStep,
+                        event.viewer});
+      continue;
+    }
+
+    // Session completed: free its slot and bandwidth, admit waiters.
+    --active;
+    active_gauge->Set(active);
+    ++stats.sessions_completed;
+    completed_counter->Add();
+    admitted_bps -= viewers[event.viewer].session.network.bandwidth_bps;
+    stats.wall_seconds = std::max(stats.wall_seconds, session->wall_seconds());
+    while (!waiting.empty() && active < options_.max_concurrent_sessions) {
+      int next = waiting.front();
+      double next_bps = viewers[next].session.network.bandwidth_bps;
+      if (options_.bandwidth_budget_bps > 0 &&
+          admitted_bps + next_bps > options_.bandwidth_budget_bps + 1e-9) {
+        break;  // head of line waits for more bandwidth to free up
+      }
+      waiting.pop_front();
+      VC_RETURN_IF_ERROR(admit(next, event.time));
+    }
+    queue_gauge->Set(static_cast<double>(waiting.size()));
+  }
+
+  for (size_t i = 0; i < viewers.size(); ++i) {
+    if (sessions[i] == nullptr) continue;  // rejected
+    const SessionStats& session = sessions[i]->stats();
+    stats.sessions.push_back(session);
+    stats.admitted.push_back(static_cast<int>(i));
+    stats.bytes_sent += session.bytes_sent;
+    stats.media_seconds += session.duration_seconds;
+    stats.stall_seconds += session.stall_seconds;
+    stats.stall_events += session.stall_events;
+    stats.transfer_faults += session.transfer_faults;
+    stats.transfer_retries += session.transfer_retries;
+    stats.segments_skipped += session.segments_skipped;
+  }
+
+  const CacheStats cache_after = storage_->cache_stats();
+  stats.cache.hits = cache_after.hits - cache_before.hits;
+  stats.cache.misses = cache_after.misses - cache_before.misses;
+  stats.cache.evictions = cache_after.evictions - cache_before.evictions;
+  stats.cache.coalesced = cache_after.coalesced - cache_before.coalesced;
+  stats.cache.bytes_cached = cache_after.bytes_cached;
+
+  hit_rate_gauge->Set(stats.cache.HitRate());
+  rebuffer_gauge->Set(stats.RebufferRatio());
+  return stats;
+}
+
+}  // namespace vc

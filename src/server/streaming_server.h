@@ -1,0 +1,116 @@
+#ifndef VC_SERVER_STREAMING_SERVER_H_
+#define VC_SERVER_STREAMING_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/session.h"
+#include "predict/popularity.h"
+#include "storage/cache.h"
+#include "storage/storage_manager.h"
+
+namespace vc {
+
+/// One viewer joining a StreamingServer run: a head-movement trace, the
+/// client's session configuration, and when (server wall clock) it arrives.
+struct ViewerRequest {
+  HeadTrace trace;
+  SessionOptions session;
+  double arrival_seconds = 0.0;
+};
+
+/// Admission and sharing policy of a streaming server.
+struct ServerOptions {
+  /// Sessions streaming at once; arrivals beyond this wait in FIFO order.
+  int max_concurrent_sessions = 64;
+  /// Aggregate client byte-rate budget (bits/second) admission control
+  /// guards: admitted session bandwidths never sum over this. A viewer
+  /// whose own bandwidth exceeds the whole budget is rejected outright
+  /// (it could never be admitted); others wait in the queue until enough
+  /// bandwidth and a slot free up. 0 disables the budget.
+  double bandwidth_budget_bps = 0.0;
+  /// Route every delivered cell through the storage manager's shared
+  /// buffer cache (ClientSession fetch_cells). This is what makes
+  /// concurrent viewers of one video share reads.
+  bool fetch_cells = true;
+  /// Maintain one popularity model per run, fed by every admitted
+  /// session's live orientations and consulted by every kVisualCloud
+  /// plan — viewers teach each other where to look.
+  bool shared_popularity = true;
+  double popularity_coverage = 0.8;
+
+  Status Validate() const;
+};
+
+/// Aggregate accounting of one server run.
+struct ServerStats {
+  int sessions_offered = 0;    ///< Viewers presented to admission.
+  int sessions_admitted = 0;   ///< Started (immediately or from the queue).
+  int sessions_rejected = 0;   ///< Refused by the byte-rate budget.
+  int sessions_queued = 0;     ///< Arrivals that had to wait for a slot.
+  int sessions_completed = 0;
+  int max_queue_depth = 0;
+  int max_active_sessions = 0;
+
+  uint64_t bytes_sent = 0;       ///< Media bytes across all sessions.
+  double wall_seconds = 0.0;     ///< When the last session finished.
+  double media_seconds = 0.0;    ///< Sum of media durations streamed.
+  double stall_seconds = 0.0;    ///< Sum of rebuffering time.
+  int stall_events = 0;
+  int transfer_faults = 0;
+  int transfer_retries = 0;
+  int segments_skipped = 0;
+
+  /// Shared-cache activity attributable to this run (delta over the
+  /// storage manager's counters; bytes_cached is the end-of-run value).
+  CacheStats cache;
+
+  /// Per-admitted-session stats, in viewer order (rejected viewers have
+  /// no entry; see `admitted` for the mapping).
+  std::vector<SessionStats> sessions;
+  /// Viewer indices (into the Run() request vector) of `sessions` entries.
+  std::vector<int> admitted;
+
+  /// Aggregate delivered rate over the busy period (megabits/second).
+  double ServedMbps() const {
+    return wall_seconds > 0
+               ? static_cast<double>(bytes_sent) * 8.0 / wall_seconds / 1e6
+               : 0.0;
+  }
+  /// Fraction of media time spent rebuffering across all sessions.
+  double RebufferRatio() const {
+    return media_seconds > 0 ? stall_seconds / media_seconds : 0.0;
+  }
+};
+
+/// \brief A multi-viewer VisualCloud streaming server simulation.
+///
+/// Runs N concurrent ClientSessions over one shared StorageManager (and
+/// its LRU cell cache) under a deterministic discrete-event scheduler: a
+/// min-heap over session deadlines, ties broken by insertion order, so a
+/// run's outcome is a pure function of its inputs — identical viewer
+/// requests and seeds give bit-identical stats regardless of host timing.
+/// Admission control bounds concurrency (FIFO wait queue) and aggregate
+/// client bandwidth (reject), and an optional shared popularity model is
+/// fed live by every session and consulted by every plan.
+class StreamingServer {
+ public:
+  StreamingServer(StorageManager* storage, const ServerOptions& options);
+
+  /// Streams `metadata` to every viewer in `viewers`, advancing simulated
+  /// time until the last admitted session completes. `reference` is needed
+  /// only when some viewer evaluates quality.
+  Result<ServerStats> Run(const VideoMetadata& metadata,
+                          const std::vector<ViewerRequest>& viewers,
+                          const SceneGenerator* reference = nullptr);
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  StorageManager* storage_;
+  ServerOptions options_;
+};
+
+}  // namespace vc
+
+#endif  // VC_SERVER_STREAMING_SERVER_H_

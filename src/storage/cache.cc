@@ -22,6 +22,11 @@ Counter* EvictionCounter() {
       MetricRegistry::Global().GetCounter("cache.evictions");
   return counter;
 }
+Counter* CoalescedCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("cache.coalesced_loads");
+  return counter;
+}
 
 }  // namespace
 
@@ -44,19 +49,49 @@ LruCache::Value LruCache::Get(const std::string& key) {
 void LruCache::Put(const std::string& key, Value value) {
   if (value == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
-  if (value->size() > capacity_) return;
+  PutLocked(key, std::move(value));
+}
+
+Result<LruCache::Value> LruCache::GetOrCompute(const std::string& key,
+                                               const Loader& loader) {
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    stats_.bytes_cached -= it->second->value->size();
-    it->second->value = std::move(value);
-    stats_.bytes_cached += it->second->value->size();
+    ++stats_.hits;
+    HitCounter()->Add();
     lru_.splice(lru_.begin(), lru_, it->second);
-  } else {
-    lru_.push_front(Entry{key, std::move(value)});
-    index_[key] = lru_.begin();
-    stats_.bytes_cached += lru_.front().value->size();
+    return it->second->value;
   }
-  EvictIfNeededLocked();
+  ++stats_.misses;
+  MissCounter()->Add();
+
+  auto flight = inflight_.find(key);
+  if (flight != inflight_.end()) {
+    // Someone else is already loading this key: wait for their result.
+    std::shared_ptr<InFlight> state = flight->second;
+    ++stats_.coalesced;
+    CoalescedCounter()->Add();
+    state->cv.wait(lock, [&state] { return state->done; });
+    if (!state->status.ok()) return state->status;
+    return state->value;
+  }
+
+  // We are the loader for this key.
+  auto state = std::make_shared<InFlight>();
+  inflight_[key] = state;
+  lock.unlock();
+  Result<Value> loaded = loader();
+  lock.lock();
+  inflight_.erase(key);
+  state->done = true;
+  if (loaded.ok()) {
+    state->value = *loaded;
+    PutLocked(key, *loaded);
+  } else {
+    state->status = loaded.status();
+  }
+  state->cv.notify_all();
+  return loaded;
 }
 
 void LruCache::Erase(const std::string& key) {
@@ -78,6 +113,23 @@ void LruCache::Clear() {
 CacheStats LruCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void LruCache::PutLocked(const std::string& key, Value value) {
+  if (value == nullptr) return;
+  if (value->size() > capacity_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.bytes_cached -= it->second->value->size();
+    it->second->value = std::move(value);
+    stats_.bytes_cached += it->second->value->size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(value)});
+    index_[key] = lru_.begin();
+    stats_.bytes_cached += lru_.front().value->size();
+  }
+  EvictIfNeededLocked();
 }
 
 void LruCache::EvictIfNeededLocked() {

@@ -1,13 +1,17 @@
 #ifndef VC_STORAGE_CACHE_H_
 #define VC_STORAGE_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/result.h"
 
 namespace vc {
 
@@ -17,6 +21,9 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t bytes_cached = 0;
+  /// GetOrCompute callers that found another caller already loading the
+  /// same key and waited for its result instead of loading again.
+  uint64_t coalesced = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -33,6 +40,7 @@ struct CacheStats {
 class LruCache {
  public:
   using Value = std::shared_ptr<const std::vector<uint8_t>>;
+  using Loader = std::function<Result<Value>()>;
 
   /// `capacity_bytes` of zero disables caching entirely.
   explicit LruCache(size_t capacity_bytes);
@@ -43,6 +51,16 @@ class LruCache {
   /// Inserts (or replaces) a value, evicting LRU entries over capacity.
   /// Values larger than the whole capacity are not cached.
   void Put(const std::string& key, Value value);
+
+  /// Returns the cached value for `key`, or runs `loader` to produce (and
+  /// cache) it. Single-flight: when several threads miss on the same key
+  /// concurrently, exactly one runs the loader — the rest block and share
+  /// its outcome (value or error), so a popular segment cell is read from
+  /// the backing store once, not once per waiting session. The loader runs
+  /// without the cache lock held; loading the same key recursively from
+  /// inside a loader deadlocks. Errors are not cached — the next caller
+  /// retries the load.
+  Result<Value> GetOrCompute(const std::string& key, const Loader& loader);
 
   /// Removes one key if present.
   void Erase(const std::string& key);
@@ -59,12 +77,22 @@ class LruCache {
     Value value;
   };
 
+  /// One in-progress GetOrCompute load; waiters block on `cv`.
+  struct InFlight {
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    Value value;
+  };
+
+  void PutLocked(const std::string& key, Value value);
   void EvictIfNeededLocked();
 
   const size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   CacheStats stats_;
 };
 

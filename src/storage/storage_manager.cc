@@ -244,24 +244,26 @@ Result<LruCache::Value> StorageManager::ReadCell(
   cell_reads->Add();
   std::string path = VideoDir(metadata.name) + "/" + metadata.DataDir() +
                      "/" + metadata.CellFileName(segment, tile, quality);
-  if (LruCache::Value cached = cache_.Get(path)) {
-    cell_read_bytes->Add(cached->size());
-    return cached;
-  }
-  std::vector<uint8_t> bytes;
-  VC_ASSIGN_OR_RETURN(bytes, options_.env->ReadFile(path));
-  cell_read_bytes->Add(bytes.size());
   const CellInfo& info =
       metadata.cells[metadata.CellIndex(segment, tile, quality)];
-  if (bytes.size() != info.byte_size ||
-      Crc32(Slice(bytes)) != info.crc32) {
-    return Status::Corruption("cell '" + path + "' fails checksum");
-  }
-  auto value =
-      std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
-  cache_.Put(path, value);
-  return LruCache::Value(value);
+  // Single-flight through the cache: when many concurrent sessions miss on
+  // the same popular cell, exactly one hits the filesystem; the rest share
+  // its result.
+  Result<LruCache::Value> value = cache_.GetOrCompute(
+      path, [this, &path, &info]() -> Result<LruCache::Value> {
+        std::vector<uint8_t> bytes;
+        VC_ASSIGN_OR_RETURN(bytes, options_.env->ReadFile(path));
+        if (bytes.size() != info.byte_size ||
+            Crc32(Slice(bytes)) != info.crc32) {
+          return Status::Corruption("cell '" + path + "' fails checksum");
+        }
+        return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+      });
+  if (value.ok()) cell_read_bytes->Add((*value)->size());
+  return value;
 }
+
+void StorageManager::ClearCache() { cache_.Clear(); }
 
 Status StorageManager::DropVideo(const std::string& name) {
   auto versions = ListVersions(name);

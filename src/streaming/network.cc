@@ -9,6 +9,26 @@
 
 namespace vc {
 
+Status FaultInjectionOptions::Validate() const {
+  if (episodes_per_minute < 0 || episodes_per_minute > 600) {
+    return Status::InvalidArgument("fault rate out of range [0, 600]/min");
+  }
+  if (!enabled()) return Status::OK();
+  if (episode_seconds <= 0 || episode_seconds > 60) {
+    return Status::InvalidArgument("fault episode length out of (0, 60s]");
+  }
+  if (horizon_seconds <= 0 || horizon_seconds > 86400) {
+    return Status::InvalidArgument("fault horizon out of (0, 1 day]");
+  }
+  if (collapse_factor <= 0 || collapse_factor > 1.0) {
+    return Status::InvalidArgument("collapse factor out of (0, 1]");
+  }
+  if (timeout_seconds <= 0 || timeout_seconds > 60) {
+    return Status::InvalidArgument("fault timeout out of (0, 60s]");
+  }
+  return Status::OK();
+}
+
 Status NetworkOptions::Validate() const {
   if (bandwidth_bps <= 0) {
     return Status::InvalidArgument("bandwidth must be positive");
@@ -26,8 +46,46 @@ Status NetworkOptions::Validate() const {
     }
     last_t = t;
   }
-  return Status::OK();
+  return faults.Validate();
 }
+
+namespace {
+
+/// Builds the deterministic episode schedule: exponential gaps at the
+/// configured mean rate, episode durations uniform in [0.5, 1.5]× the mean,
+/// kinds cycling through the RNG.
+std::vector<FaultEpisode> GenerateEpisodes(const FaultInjectionOptions& f) {
+  std::vector<FaultEpisode> episodes;
+  if (!f.enabled()) return episodes;
+  Random rng(f.seed);
+  const double mean_gap = 60.0 / f.episodes_per_minute;
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival; guard the log argument away from 0.
+    double u = std::max(1e-12, 1.0 - rng.NextDouble());
+    t += -mean_gap * std::log(u);
+    if (t >= f.horizon_seconds) break;
+    FaultEpisode episode;
+    episode.start = t;
+    episode.duration = f.episode_seconds * rng.UniformDouble(0.5, 1.5);
+    switch (rng.Uniform(3)) {
+      case 0:
+        episode.kind = FaultKind::kDrop;
+        break;
+      case 1:
+        episode.kind = FaultKind::kStall;
+        break;
+      default:
+        episode.kind = FaultKind::kCollapse;
+        break;
+    }
+    episodes.push_back(episode);
+    t = episode.end();
+  }
+  return episodes;
+}
+
+}  // namespace
 
 Result<NetworkSimulator> NetworkSimulator::Create(
     const NetworkOptions& options) {
@@ -36,7 +94,9 @@ Result<NetworkSimulator> NetworkSimulator::Create(
 }
 
 NetworkSimulator::NetworkSimulator(const NetworkOptions& options)
-    : options_(options), jitter_state_(options.seed) {}
+    : options_(options),
+      episodes_(GenerateEpisodes(options.faults)),
+      jitter_state_(options.seed) {}
 
 double NetworkSimulator::BandwidthAt(double t) const {
   double bps = options_.bandwidth_bps;
@@ -50,10 +110,53 @@ double NetworkSimulator::BandwidthAt(double t) const {
   return bps;
 }
 
-double NetworkSimulator::Transfer(double start, uint64_t bytes) {
+const FaultEpisode* NetworkSimulator::EpisodeAt(double t) const {
+  // Episodes are sorted and non-overlapping: binary-search the last one
+  // starting at or before t.
+  auto it = std::upper_bound(
+      episodes_.begin(), episodes_.end(), t,
+      [](double time, const FaultEpisode& e) { return time < e.start; });
+  if (it == episodes_.begin()) return nullptr;
+  const FaultEpisode& episode = *std::prev(it);
+  return t < episode.end() ? &episode : nullptr;
+}
+
+TransferResult NetworkSimulator::Transfer(double start, uint64_t bytes) {
+  static Counter* transfers =
+      MetricRegistry::Global().GetCounter("net.transfers");
+  static Counter* bytes_sent =
+      MetricRegistry::Global().GetCounter("net.bytes_sent");
+  static Histogram* transfer_seconds =
+      MetricRegistry::Global().GetHistogram("net.transfer_seconds");
+  static Gauge* goodput =
+      MetricRegistry::Global().GetGauge("net.goodput_bps");
+  static Counter* fault_drops =
+      MetricRegistry::Global().GetCounter("net.fault_drops");
+  static Counter* fault_stalls =
+      MetricRegistry::Global().GetCounter("net.fault_stalls");
+  static Counter* fault_collapses =
+      MetricRegistry::Global().GetCounter("net.fault_collapses");
+
   ++request_count_;
-  total_bytes_ += bytes;
+  transfers->Add();
+
+  // Classify the request against the fault schedule by its issue time.
+  const FaultEpisode* episode = EpisodeAt(start);
+  if (episode != nullptr && episode->kind == FaultKind::kDrop) {
+    ++fault_count_;
+    fault_drops->Add();
+    TransferResult result;
+    result.completion_time = start + options_.faults.timeout_seconds;
+    result.delivered_bytes = 0;
+    result.faulted = true;
+    return result;
+  }
+
   double t = start + options_.latency_seconds;
+  if (episode != nullptr && episode->kind == FaultKind::kStall) {
+    fault_stalls->Add();
+    t = std::max(t, episode->end());  // frozen until the episode clears
+  }
   double remaining_bits = static_cast<double>(bytes) * 8.0;
 
   double rate_factor = 1.0;
@@ -62,6 +165,10 @@ double NetworkSimulator::Transfer(double start, uint64_t bytes) {
     jitter_state_ = rng.Next();
     rate_factor =
         Clamp(1.0 + options_.jitter * rng.NextGaussian(), 0.1, 2.0);
+  }
+  if (episode != nullptr && episode->kind == FaultKind::kCollapse) {
+    fault_collapses->Add();
+    rate_factor *= options_.faults.collapse_factor;
   }
 
   // Integrate across stepwise bandwidth changes: walk each remaining trace
@@ -90,26 +197,23 @@ double NetworkSimulator::Transfer(double start, uint64_t bytes) {
   }
   if (remaining_bits > 1e-9) t += remaining_bits / bps;
 
-  static Counter* transfers =
-      MetricRegistry::Global().GetCounter("net.transfers");
-  static Counter* bytes_sent =
-      MetricRegistry::Global().GetCounter("net.bytes_sent");
-  static Histogram* transfer_seconds =
-      MetricRegistry::Global().GetHistogram("net.transfer_seconds");
-  static Gauge* goodput =
-      MetricRegistry::Global().GetGauge("net.goodput_bps");
-  transfers->Add();
+  total_bytes_ += bytes;
   bytes_sent->Add(bytes);
   transfer_seconds->Observe(t - start);
   if (t > start) {
     goodput->Set(static_cast<double>(bytes) * 8.0 / (t - start));
   }
-  return t;
+  TransferResult result;
+  result.completion_time = t;
+  result.delivered_bytes = bytes;
+  result.faulted = false;
+  return result;
 }
 
 void NetworkSimulator::ResetStats() {
   total_bytes_ = 0;
   request_count_ = 0;
+  fault_count_ = 0;
 }
 
 }  // namespace vc

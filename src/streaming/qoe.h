@@ -28,6 +28,13 @@ struct SessionStats {
   /// Mean ladder rung delivered for in-view tiles (0 = best).
   double mean_inview_quality = 0.0;
 
+  // Fault handling on the network path (all zero when fault injection is
+  // disabled, which keeps fault-free runs byte-identical to builds that
+  // predate these fields).
+  int transfer_faults = 0;   ///< Requests that faulted (timed out).
+  int transfer_retries = 0;  ///< Faulted requests retried at a lower rung.
+  int segments_skipped = 0;  ///< Segments abandoned after a failed retry.
+
   /// Average delivered media bitrate (bits/second of content time).
   double MeanBitrateBps() const {
     return duration_seconds > 0

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/env.h"
+#include "core/session.h"
+#include "core/visualcloud.h"
+#include "predict/trace_synthesizer.h"
+#include "server/streaming_server.h"
+
+namespace vc {
+namespace {
+
+/// Shared fixture: one in-memory VisualCloud with a small venice clip
+/// ingested once (encoding dominates test time).
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = NewMemEnv().release();
+    VisualCloudOptions options;
+    options.storage.env = env_;
+    options.storage.root = "/vcdb";
+    auto db = VisualCloud::Open(options);
+    ASSERT_TRUE(db.ok());
+    db_ = db->release();
+
+    SceneOptions scene_options;
+    scene_options.width = 128;
+    scene_options.height = 64;
+    auto scene = NewVeniceScene(scene_options);
+
+    IngestOptions ingest;
+    ingest.tile_rows = 4;
+    ingest.tile_cols = 4;
+    ingest.frames_per_segment = 8;
+    ingest.fps = 8.0;  // 1-second segments with 8 frames
+    ingest.ladder = {{"high", 14}, {"medium", 28}, {"low", 42}};
+    auto version = db_->IngestScene("venice", *scene, 32, ingest);
+    ASSERT_TRUE(version.ok()) << version.status().ToString();
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+    delete env_;
+    env_ = nullptr;
+  }
+
+  static HeadTrace MakeTrace(double yaw_rate) {
+    std::vector<TraceSample> samples;
+    for (int i = 0; i <= 32 * 4; ++i) {
+      double t = i / 32.0 * 4.0;  // covers the 4-second clip
+      samples.push_back({t, {WrapYaw(1.0 + yaw_rate * t), kPi / 2}});
+    }
+    return *HeadTrace::FromSamples(std::move(samples));
+  }
+
+  static SessionOptions BaseSession() {
+    SessionOptions options;
+    options.network.bandwidth_bps = 50e6;
+    options.network.latency_seconds = 0.01;
+    options.viewport.width = 48;
+    options.viewport.height = 48;
+    options.viewport.fov_yaw = DegToRad(90.0);
+    options.viewport.fov_pitch = DegToRad(75.0);
+    return options;
+  }
+
+  /// `count` viewers with distinct traces and network seeds, arrivals
+  /// staggered 100 ms apart.
+  static std::vector<ViewerRequest> MakeViewers(int count) {
+    std::vector<ViewerRequest> viewers;
+    for (int i = 0; i < count; ++i) {
+      ViewerRequest viewer;
+      viewer.trace = MakeTrace(0.2 + 0.1 * i);
+      viewer.session = BaseSession();
+      viewer.session.network.seed = 100 + i;
+      viewer.arrival_seconds = 0.1 * i;
+      viewers.push_back(std::move(viewer));
+    }
+    return viewers;
+  }
+
+  static VideoMetadata Metadata() { return *db_->Describe("venice"); }
+
+  static Env* env_;
+  static VisualCloud* db_;
+};
+
+Env* ServerTest::env_ = nullptr;
+VisualCloud* ServerTest::db_ = nullptr;
+
+void ExpectSameStats(const SessionStats& a, const SessionStats& b) {
+  EXPECT_EQ(a.approach, b.approach);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.startup_delay, b.startup_delay);
+  EXPECT_EQ(a.stall_seconds, b.stall_seconds);
+  EXPECT_EQ(a.stall_events, b.stall_events);
+  EXPECT_EQ(a.duration_seconds, b.duration_seconds);
+  EXPECT_EQ(a.mean_viewport_psnr, b.mean_viewport_psnr);
+  EXPECT_EQ(a.min_viewport_psnr, b.min_viewport_psnr);
+  EXPECT_EQ(a.quality_samples, b.quality_samples);
+  EXPECT_EQ(a.mean_inview_quality, b.mean_inview_quality);
+  EXPECT_EQ(a.transfer_faults, b.transfer_faults);
+  EXPECT_EQ(a.transfer_retries, b.transfer_retries);
+  EXPECT_EQ(a.segments_skipped, b.segments_skipped);
+}
+
+// ------------------------------------------------------- ClientSession API
+
+TEST_F(ServerTest, WrapperMatchesManualStepLoop) {
+  // The SimulateSession compatibility wrapper and a hand-driven
+  // ClientSession must produce bit-identical stats.
+  VideoMetadata metadata = Metadata();
+  HeadTrace trace = MakeTrace(0.3);
+  SessionOptions options = BaseSession();
+
+  auto wrapped = SimulateSession(db_->storage(), metadata, trace, options);
+  ASSERT_TRUE(wrapped.ok()) << wrapped.status().ToString();
+
+  auto client = ClientSession::Create(db_->storage(), metadata, trace,
+                                      options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_FALSE((*client)->done());
+  EXPECT_EQ((*client)->next_segment(), 0);
+  while (!(*client)->done()) {
+    ASSERT_TRUE((*client)->Step((*client)->NextDeadline()).ok());
+  }
+  EXPECT_EQ((*client)->next_segment(), (*client)->segment_count());
+  ExpectSameStats(*wrapped, (*client)->stats());
+
+  // Stepping a finished session is an error, not a crash.
+  EXPECT_TRUE((*client)->Step((*client)->wall_seconds() + 1).IsAborted());
+}
+
+TEST_F(ServerTest, DeadlinePacingHoldsDownloads) {
+  VideoMetadata metadata = Metadata();
+  SessionOptions options = BaseSession();
+  options.buffer_ahead_seconds = 0.5;
+  auto client =
+      ClientSession::Create(db_->storage(), metadata, MakeTrace(0.3), options);
+  ASSERT_TRUE(client.ok());
+
+  // Before playback starts the session is ready immediately.
+  EXPECT_EQ((*client)->NextDeadline(), 0.0);
+  ASSERT_TRUE((*client)->Step((*client)->NextDeadline()).ok());
+  // After segment 0 the pacing deadline is in the future: segment 1 plays
+  // at play_start + 1s, so its download is held until 0.5s before that.
+  double deadline = (*client)->NextDeadline();
+  EXPECT_GT(deadline, (*client)->wall_seconds());
+  // Step() never moves the wall clock backwards.
+  ASSERT_TRUE((*client)->Step(deadline).ok());
+  EXPECT_GE((*client)->wall_seconds(), deadline);
+}
+
+TEST_F(ServerTest, FaultRetryAccounting) {
+  // Heavy fault injection over many seeds: every session must finish with
+  // consistent accounting (a retry per first fault, a skip per second),
+  // and the fault path must actually trigger across the seed sweep.
+  VideoMetadata metadata = Metadata();
+  int sessions_with_faults = 0;
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    SessionOptions options = BaseSession();
+    options.network.faults.episodes_per_minute = 240.0;
+    options.network.faults.episode_seconds = 2.0;
+    options.network.faults.timeout_seconds = 0.5;
+    options.network.faults.seed = seed;
+
+    auto stats =
+        SimulateSession(db_->storage(), metadata, MakeTrace(0.3), options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_GE(stats->transfer_faults, stats->transfer_retries);
+    EXPECT_LE(stats->segments_skipped, stats->transfer_retries);
+    EXPECT_EQ(stats->transfer_faults,
+              stats->transfer_retries + stats->segments_skipped);
+    EXPECT_EQ(stats->segments, metadata.segment_count());
+    if (stats->transfer_faults > 0 && stats->transfer_retries > 0) {
+      ++sessions_with_faults;
+    }
+  }
+  EXPECT_GT(sessions_with_faults, 0)
+      << "fault injection never fired across 16 seeds";
+}
+
+// ----------------------------------------------------------- server runs
+
+TEST_F(ServerTest, ServerRunIsDeterministic) {
+  // Two runs with identical viewers and seeds give bit-identical stats,
+  // regardless of host timing.
+  VideoMetadata metadata = Metadata();
+  auto run_once = [&]() {
+    db_->storage()->ClearCache();
+    StreamingServer server(db_->storage(), ServerOptions{});
+    auto stats = server.Run(metadata, MakeViewers(6));
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  };
+  ServerStats first = run_once();
+  ServerStats second = run_once();
+
+  EXPECT_EQ(first.bytes_sent, second.bytes_sent);
+  EXPECT_EQ(first.wall_seconds, second.wall_seconds);
+  EXPECT_EQ(first.stall_seconds, second.stall_seconds);
+  EXPECT_EQ(first.sessions_admitted, second.sessions_admitted);
+  EXPECT_EQ(first.sessions_completed, second.sessions_completed);
+  EXPECT_EQ(first.cache.hits, second.cache.hits);
+  EXPECT_EQ(first.cache.misses, second.cache.misses);
+  ASSERT_EQ(first.sessions.size(), second.sessions.size());
+  for (size_t i = 0; i < first.sessions.size(); ++i) {
+    ExpectSameStats(first.sessions[i], second.sessions[i]);
+  }
+}
+
+TEST_F(ServerTest, SessionStatsIndependentOfCohortSize) {
+  // Scheduler interleaving must not leak between sessions: viewer 0's
+  // stats are the same whether it streams alone or among five others.
+  // (Popularity sharing is disabled — that coupling is the one deliberate
+  // cross-session channel.)
+  VideoMetadata metadata = Metadata();
+  ServerOptions options;
+  options.shared_popularity = false;
+
+  db_->storage()->ClearCache();
+  StreamingServer solo_server(db_->storage(), options);
+  auto solo = solo_server.Run(metadata, MakeViewers(1));
+  ASSERT_TRUE(solo.ok());
+
+  db_->storage()->ClearCache();
+  StreamingServer cohort_server(db_->storage(), options);
+  auto cohort = cohort_server.Run(metadata, MakeViewers(6));
+  ASSERT_TRUE(cohort.ok());
+
+  ASSERT_EQ(solo->sessions.size(), 1u);
+  ASSERT_EQ(cohort->sessions.size(), 6u);
+  ExpectSameStats(solo->sessions[0], cohort->sessions[0]);
+}
+
+TEST_F(ServerTest, SharedCacheServesRepeatViewers) {
+  // Six viewers of one video: after the first warms the cache, the rest
+  // hit it — the whole point of serving from one storage manager.
+  VideoMetadata metadata = Metadata();
+  db_->storage()->ClearCache();
+  StreamingServer server(db_->storage(), ServerOptions{});
+  auto stats = server.Run(metadata, MakeViewers(6));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->cache.hits, 0u);
+  EXPECT_GT(stats->cache.HitRate(), 0.5);
+  EXPECT_EQ(stats->sessions_completed, 6);
+  EXPECT_GT(stats->bytes_sent, 0u);
+  EXPECT_GT(stats->wall_seconds, 0.0);
+}
+
+TEST_F(ServerTest, AdmissionControlQueuesAndRejects) {
+  VideoMetadata metadata = Metadata();
+  std::vector<ViewerRequest> viewers = MakeViewers(6);
+  // Viewer 3 wants more bandwidth than the whole uplink budget.
+  viewers[3].session.network.bandwidth_bps = 500e6;
+
+  ServerOptions options;
+  options.max_concurrent_sessions = 2;
+  options.bandwidth_budget_bps = 200e6;  // four 50 Mbps clients
+  db_->storage()->ClearCache();
+  StreamingServer server(db_->storage(), options);
+  auto stats = server.Run(metadata, viewers);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  EXPECT_EQ(stats->sessions_offered, 6);
+  EXPECT_EQ(stats->sessions_rejected, 1);
+  EXPECT_EQ(stats->sessions_admitted, 5);
+  EXPECT_EQ(stats->sessions_completed, 5);
+  EXPECT_GT(stats->sessions_queued, 0);
+  EXPECT_GT(stats->max_queue_depth, 0);
+  EXPECT_LE(stats->max_active_sessions, 2);
+  EXPECT_EQ(stats->sessions.size(), 5u);
+  ASSERT_EQ(stats->admitted.size(), 5u);
+  for (int viewer : stats->admitted) EXPECT_NE(viewer, 3);
+}
+
+TEST_F(ServerTest, FaultedServerRunCompletes) {
+  // A server full of faulty links must finish every admitted session with
+  // nonzero retry/stall accounting and zero crashes.
+  VideoMetadata metadata = Metadata();
+  std::vector<ViewerRequest> viewers = MakeViewers(6);
+  for (ViewerRequest& viewer : viewers) {
+    viewer.session.network.faults.episodes_per_minute = 120.0;
+    viewer.session.network.faults.episode_seconds = 0.5;
+    viewer.session.network.faults.timeout_seconds = 0.5;
+    viewer.session.network.faults.seed = viewer.session.network.seed;
+  }
+  db_->storage()->ClearCache();
+  StreamingServer server(db_->storage(), ServerOptions{});
+  auto stats = server.Run(metadata, viewers);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->sessions_completed, 6);
+  EXPECT_GT(stats->transfer_faults, 0);
+  EXPECT_GT(stats->transfer_retries, 0);
+}
+
+TEST_F(ServerTest, ServerOptionsValidate) {
+  ServerOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.max_concurrent_sessions = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServerOptions{};
+  options.bandwidth_budget_bps = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServerOptions{};
+  options.popularity_coverage = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// ------------------------------------------------------ live popularity
+
+TEST_F(ServerTest, PopularitySinkFeedsSharedModel) {
+  // A session configured with a popularity sink records its gaze live and
+  // bumps the viewer count when it finishes.
+  VideoMetadata metadata = Metadata();
+  PopularityModel model(metadata.tile_grid(),
+                        metadata.segment_duration_seconds(),
+                        metadata.segment_count());
+  SessionOptions options = BaseSession();
+  options.popularity_sink = &model;
+
+  auto stats =
+      SimulateSession(db_->storage(), metadata, MakeTrace(0.3), options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(model.viewer_count(), 1);
+  // The trace holds pitch at the equator, so some equatorial tile must
+  // have accumulated gaze mass in the first segment.
+  EXPECT_FALSE(model.PopularTiles(0, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace vc

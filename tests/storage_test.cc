@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "codec/encoder.h"
@@ -60,6 +62,105 @@ TEST(LruCacheTest, ReplaceUpdatesBytes) {
   auto v = cache.Get("k");
   ASSERT_NE(v, nullptr);
   EXPECT_EQ((*v)[0], 2);
+}
+
+TEST(LruCacheTest, ReplaceNearCapacityKeepsAccountingExact) {
+  // Regression guard: replacing an existing key near capacity must account
+  // bytes_cached exactly (old size out, new size in) and evict in strict
+  // LRU order — never the just-replaced key.
+  LruCache cache(300);
+  cache.Put("a", Bytes(100, 1));
+  cache.Put("b", Bytes(100, 2));
+  cache.Put("a", Bytes(180, 3));  // grows a: 280 bytes, still under capacity
+  EXPECT_EQ(cache.stats().bytes_cached, 280u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_NE(cache.Get("b"), nullptr);
+
+  // Replacing a again pushes the total over capacity; the LRU victim is a's
+  // neighbour b (a was just touched), and the accounting lands exactly on
+  // the new value's size.
+  cache.Put("a", Bytes(250, 4));
+  EXPECT_EQ(cache.stats().bytes_cached, 250u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  auto v = cache.Get("a");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->size(), 250u);
+  EXPECT_EQ((*v)[0], 4);
+
+  // Shrinking replacement: bytes_cached falls, nothing evicted.
+  cache.Put("a", Bytes(10, 5));
+  EXPECT_EQ(cache.stats().bytes_cached, 10u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, GetOrComputeCachesAndServesHits) {
+  LruCache cache(1024);
+  int loads = 0;
+  auto loader = [&loads]() -> Result<LruCache::Value> {
+    ++loads;
+    return Bytes(64, 7);
+  };
+  auto first = cache.GetOrCompute("k", loader);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(loads, 1);
+  auto second = cache.GetOrCompute("k", loader);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(loads, 1) << "second call must be served from cache";
+  EXPECT_EQ(*first, *second);  // same shared buffer
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LruCacheTest, GetOrComputeErrorsAreNotCached) {
+  LruCache cache(1024);
+  int loads = 0;
+  auto failing = [&loads]() -> Result<LruCache::Value> {
+    ++loads;
+    return Status::IOError("backing store down");
+  };
+  EXPECT_FALSE(cache.GetOrCompute("k", failing).ok());
+  EXPECT_FALSE(cache.GetOrCompute("k", failing).ok());
+  EXPECT_EQ(loads, 2) << "errors must not be cached";
+  EXPECT_EQ(cache.stats().bytes_cached, 0u);
+}
+
+TEST(LruCacheTest, GetOrComputeSingleFlight) {
+  // Thundering herd: many threads miss on one key at once; the loader must
+  // run exactly once and every caller must receive the same buffer.
+  LruCache cache(1 << 20);
+  std::atomic<int> loads{0};
+  std::atomic<int> in_loader{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<LruCache::Value> values(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto result = cache.GetOrCompute(
+          "hot", [&]() -> Result<LruCache::Value> {
+            in_loader.fetch_add(1);
+            loads.fetch_add(1);
+            // Hold the load open long enough for the herd to pile up.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            in_loader.fetch_sub(1);
+            return Bytes(128, 9);
+          });
+      ASSERT_TRUE(result.ok());
+      values[i] = *result;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(loads.load(), 1) << "concurrent misses must coalesce to one load";
+  EXPECT_EQ(in_loader.load(), 0);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(values[i], values[0]) << "all callers share the loaded buffer";
+  }
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<uint64_t>(kThreads));
+  // Everyone but the winner either coalesced onto the flight or hit the
+  // cache after the load landed.
+  EXPECT_EQ(stats.coalesced + stats.hits + 1,
+            static_cast<uint64_t>(kThreads));
 }
 
 TEST(LruCacheTest, EraseAndClear) {

@@ -33,8 +33,10 @@ TEST(NetworkTest, SteadyTransferTime) {
   options.latency_seconds = 0.05;
   auto net = NetworkSimulator::Create(options);
   ASSERT_TRUE(net.ok());
-  double done = net->Transfer(0.0, 1'000'000);
-  EXPECT_NEAR(done, 0.05 + 1.0, 1e-9);
+  TransferResult done = net->Transfer(0.0, 1'000'000);
+  EXPECT_NEAR(done.completion_time, 0.05 + 1.0, 1e-9);
+  EXPECT_EQ(done.delivered_bytes, 1'000'000u);
+  EXPECT_FALSE(done.faulted);
   EXPECT_EQ(net->total_bytes(), 1'000'000u);
   EXPECT_EQ(net->request_count(), 1u);
 }
@@ -49,7 +51,7 @@ TEST(NetworkTest, BandwidthTraceSteps) {
   EXPECT_DOUBLE_EQ(net->BandwidthAt(0.5), 8e6);
   EXPECT_DOUBLE_EQ(net->BandwidthAt(2.0), 4e6);
   // 2 MB starting at t=0: first 1 s moves 1 MB, remaining 1 MB at 0.5 MB/s.
-  double done = net->Transfer(0.0, 2'000'000);
+  double done = net->Transfer(0.0, 2'000'000).completion_time;
   EXPECT_NEAR(done, 1.0 + 2.0, 1e-9);
 }
 
@@ -62,8 +64,8 @@ TEST(NetworkTest, JitterIsDeterministicPerSeed) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   for (int i = 0; i < 5; ++i) {
-    EXPECT_DOUBLE_EQ(a->Transfer(i * 10.0, 500'000),
-                     b->Transfer(i * 10.0, 500'000));
+    EXPECT_DOUBLE_EQ(a->Transfer(i * 10.0, 500'000).completion_time,
+                     b->Transfer(i * 10.0, 500'000).completion_time);
   }
 }
 
@@ -82,10 +84,10 @@ TEST(NetworkTest, LongTraceIntegratesPastStepLimit) {
   ASSERT_TRUE(net.ok());
   // 3.75 MB at 1 Mbps = 30 s, spanning all 20k trace steps. The pre-fix
   // code returned ~10 s (the time reached when the step budget ran out).
-  double done = net->Transfer(0.0, 3'750'000);
+  double done = net->Transfer(0.0, 3'750'000).completion_time;
   EXPECT_NEAR(done, 30.0, 1e-6);
   // A transfer completing between trace steps still lands exactly.
-  EXPECT_NEAR(net->Transfer(0.0, 1'000), 0.008, 1e-9);
+  EXPECT_NEAR(net->Transfer(0.0, 1'000).completion_time, 0.008, 1e-9);
 }
 
 TEST(NetworkTest, TransferPastEndOfTraceUsesLastRate) {
@@ -96,7 +98,8 @@ TEST(NetworkTest, TransferPastEndOfTraceUsesLastRate) {
   auto net = NetworkSimulator::Create(options);
   ASSERT_TRUE(net.ok());
   // Starting after every trace step: the last rate applies analytically.
-  EXPECT_NEAR(net->Transfer(10.0, 1'000'000), 10.0 + 4.0, 1e-9);
+  EXPECT_NEAR(net->Transfer(10.0, 1'000'000).completion_time, 10.0 + 4.0,
+              1e-9);
 }
 
 TEST(NetworkTest, ResetStatsKeepsModel) {
@@ -106,6 +109,96 @@ TEST(NetworkTest, ResetStatsKeepsModel) {
   net->ResetStats();
   EXPECT_EQ(net->total_bytes(), 0u);
   EXPECT_EQ(net->request_count(), 0u);
+  EXPECT_EQ(net->fault_count(), 0u);
+}
+
+// ----------------------------------------------------------- Fault injection
+
+TEST(NetworkTest, FaultOptionsValidation) {
+  NetworkOptions options;
+  options.faults.episodes_per_minute = 6;
+  EXPECT_TRUE(options.Validate().ok());
+  options.faults.collapse_factor = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.faults = FaultInjectionOptions{};
+  options.faults.episodes_per_minute = 6;
+  options.faults.timeout_seconds = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  // Out-of-range values are ignored while injection is disabled.
+  options.faults = FaultInjectionOptions{};
+  options.faults.timeout_seconds = -1;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(NetworkTest, FaultScheduleIsDeterministicPerSeed) {
+  NetworkOptions options;
+  options.faults.episodes_per_minute = 30;
+  options.faults.seed = 7;
+  auto a = NetworkSimulator::Create(options);
+  auto b = NetworkSimulator::Create(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  int faults = 0;
+  for (int i = 0; i < 200; ++i) {
+    TransferResult ra = a->Transfer(i * 1.0, 100'000);
+    TransferResult rb = b->Transfer(i * 1.0, 100'000);
+    EXPECT_DOUBLE_EQ(ra.completion_time, rb.completion_time);
+    EXPECT_EQ(ra.faulted, rb.faulted);
+    if (ra.faulted) ++faults;
+  }
+  EXPECT_GT(faults, 0) << "30 episodes/min over 200 s must hit something";
+  EXPECT_EQ(a->fault_count(), static_cast<uint64_t>(faults));
+}
+
+TEST(NetworkTest, DroppedRequestTimesOutDeliveringNothing) {
+  NetworkOptions options;
+  options.latency_seconds = 0.0;
+  options.faults.episodes_per_minute = 60;
+  options.faults.timeout_seconds = 1.5;
+  auto net = NetworkSimulator::Create(options);
+  ASSERT_TRUE(net.ok());
+  // Find a drop episode in the generated schedule and issue inside it.
+  const FaultEpisode* drop = nullptr;
+  for (double t = 0; t < 600 && drop == nullptr; t += 0.05) {
+    const FaultEpisode* e = net->EpisodeAt(t);
+    if (e != nullptr && e->kind == FaultKind::kDrop) drop = e;
+  }
+  ASSERT_NE(drop, nullptr) << "schedule has no drop episode in 600 s";
+  TransferResult r = net->Transfer(drop->start, 1'000'000);
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(r.delivered_bytes, 0u);
+  EXPECT_NEAR(r.completion_time, drop->start + 1.5, 1e-9);
+  EXPECT_EQ(net->total_bytes(), 0u);  // nothing delivered
+  EXPECT_EQ(net->fault_count(), 1u);
+}
+
+TEST(NetworkTest, StallEpisodeDelaysAndCollapseSlowsService) {
+  NetworkOptions options;
+  options.bandwidth_bps = 8e6;  // 1 MB/s
+  options.latency_seconds = 0.0;
+  options.faults.episodes_per_minute = 60;
+  options.faults.collapse_factor = 0.25;
+  auto net = NetworkSimulator::Create(options);
+  ASSERT_TRUE(net.ok());
+  const FaultEpisode* stall = nullptr;
+  const FaultEpisode* collapse = nullptr;
+  for (double t = 0; t < 600; t += 0.05) {
+    const FaultEpisode* e = net->EpisodeAt(t);
+    if (e == nullptr) continue;
+    if (e->kind == FaultKind::kStall) stall = e;
+    if (e->kind == FaultKind::kCollapse) collapse = e;
+    if (stall != nullptr && collapse != nullptr) break;
+  }
+  ASSERT_NE(stall, nullptr);
+  ASSERT_NE(collapse, nullptr);
+  // Stall: service begins at episode end, then runs at full rate.
+  TransferResult rs = net->Transfer(stall->start, 1'000'000);
+  EXPECT_FALSE(rs.faulted);
+  EXPECT_NEAR(rs.completion_time, stall->end() + 1.0, 1e-9);
+  // Collapse: the transfer runs at collapse_factor × bandwidth.
+  TransferResult rc = net->Transfer(collapse->start, 1'000'000);
+  EXPECT_FALSE(rc.faulted);
+  EXPECT_NEAR(rc.completion_time, collapse->start + 4.0, 1e-9);
 }
 
 // -------------------------------------------------------------- Adaptation
