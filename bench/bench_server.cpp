@@ -8,6 +8,18 @@
 // fault-injection run (network drops/stalls/collapses answered by
 // retry-at-lower-rung) and an admission-control run (bounded concurrency
 // and byte-rate budget).
+//
+// E7b — async storage pipeline. The same 64-viewer run against a store
+// whose cold reads carry simulated backing-store latency, measured in HOST
+// wall time: synchronous loads vs an I/O worker pool with prediction-driven
+// prefetch. The simulated outcome (served bytes, QoE, faults) must be
+// byte-identical across configurations — only host time and cache traffic
+// may move.
+//
+// `--smoke` shrinks every population so the whole binary finishes in
+// seconds (registered as a ctest); smoke runs skip BENCH_server.json.
+
+#include <cstring>
 
 #include "bench_util.h"
 #include "server/streaming_server.h"
@@ -36,12 +48,35 @@ std::vector<ViewerRequest> MakeViewers(int count) {
   return viewers;
 }
 
+// Asserts that two runs of the same viewer population produced the same
+// simulated outcome — the determinism contract of the async pipeline.
+void CheckSameSimulation(const ServerStats& a, const ServerStats& b,
+                         const char* what) {
+  if (a.bytes_sent != b.bytes_sent || a.wall_seconds != b.wall_seconds ||
+      a.stall_seconds != b.stall_seconds ||
+      a.stall_events != b.stall_events ||
+      a.transfer_faults != b.transfer_faults ||
+      a.transfer_retries != b.transfer_retries ||
+      a.segments_skipped != b.segments_skipped ||
+      a.sessions_completed != b.sessions_completed) {
+    std::fprintf(stderr,
+                 "bench: %s changed the simulated outcome "
+                 "(bytes %llu vs %llu, wall %.6f vs %.6f)\n",
+                 what, static_cast<unsigned long long>(a.bytes_sent),
+                 static_cast<unsigned long long>(b.bytes_sent),
+                 a.wall_seconds, b.wall_seconds);
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
   Banner("E7: multi-viewer server scaling",
          "expect: shared-cache hit rate grows with viewer count; faulted "
-         "runs degrade, not crash");
+         "runs degrade, not crash; async I/O cuts host time, not outcomes");
 
   BenchDb bench = OpenBenchDb();
   const std::string scene_name = StandardSceneNames().back();  // coaster
@@ -56,8 +91,10 @@ int main() {
   std::printf("\n%8s %12s %10s %10s %10s %9s\n", "viewers", "served Mbps",
               "cache hit", "coalesced", "rebuffer", "wall s");
 
+  const std::vector<int> counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16, 32, 64};
   std::string points_json;
-  for (int count : {1, 2, 4, 8, 16, 32, 64}) {
+  for (int count : counts) {
     bench.db->storage()->ClearCache();  // cold cache for every population
     ServerOptions server_options;
     StreamingServer server(bench.db->storage(), server_options);
@@ -82,11 +119,12 @@ int main() {
     points_json += row;
   }
 
-  // Fault-injection run: 16 viewers on a network with seeded drop / stall /
+  // Fault-injection run: viewers on a network with seeded drop / stall /
   // bandwidth-collapse episodes. The run must complete (sessions degrade
   // through retries and skips; nothing crashes).
+  const int fault_viewers = smoke ? 4 : 16;
   bench.db->storage()->ClearCache();
-  std::vector<ViewerRequest> faulted = MakeViewers(16);
+  std::vector<ViewerRequest> faulted = MakeViewers(fault_viewers);
   for (ViewerRequest& viewer : faulted) {
     viewer.session.network.faults.episodes_per_minute = 12.0;
     viewer.session.network.faults.episode_seconds = 2.0;
@@ -97,31 +135,123 @@ int main() {
   StreamingServer fault_server(bench.db->storage(), ServerOptions{});
   ServerStats fault_stats =
       CheckOk(fault_server.Run(metadata, faulted), "fault run");
-  std::printf("\nfault run (16 viewers): faults=%d retries=%d skips=%d "
+  std::printf("\nfault run (%d viewers): faults=%d retries=%d skips=%d "
               "stalls=%d rebuffer=%.2f%%\n",
-              fault_stats.transfer_faults, fault_stats.transfer_retries,
-              fault_stats.segments_skipped, fault_stats.stall_events,
-              100.0 * fault_stats.RebufferRatio());
+              fault_viewers, fault_stats.transfer_faults,
+              fault_stats.transfer_retries, fault_stats.segments_skipped,
+              fault_stats.stall_events, 100.0 * fault_stats.RebufferRatio());
 
-  // Admission control: 24 viewers against 8 slots and a 600 Mbps budget.
-  // Two "whale" clients configured beyond the whole budget are rejected;
+  // Admission control: more viewers than slots plus a byte-rate budget.
+  // "Whale" clients configured beyond the whole budget are rejected;
   // everyone past the slot limit waits in the FIFO queue.
+  const int admission_viewers_count = smoke ? 8 : 24;
   bench.db->storage()->ClearCache();
   ServerOptions admission_options;
-  admission_options.max_concurrent_sessions = 8;
-  admission_options.bandwidth_budget_bps = 12 * 50e6;
-  std::vector<ViewerRequest> admission_viewers = MakeViewers(24);
+  admission_options.max_concurrent_sessions = smoke ? 4 : 8;
+  admission_options.bandwidth_budget_bps = (smoke ? 6 : 12) * 50e6;
+  std::vector<ViewerRequest> admission_viewers =
+      MakeViewers(admission_viewers_count);
   admission_viewers[5].session.network.bandwidth_bps = 700e6;
-  admission_viewers[17].session.network.bandwidth_bps = 700e6;
+  if (!smoke) admission_viewers[17].session.network.bandwidth_bps = 700e6;
   StreamingServer admission_server(bench.db->storage(), admission_options);
   ServerStats admission_stats =
       CheckOk(admission_server.Run(metadata, admission_viewers), "admission");
-  std::printf("admission (24 viewers, 8 slots, 600 Mbps budget): "
+  std::printf("admission (%d viewers, %d slots, %.0f Mbps budget): "
               "admitted=%d queued=%d rejected=%d max_queue=%d\n",
+              admission_viewers_count,
+              admission_options.max_concurrent_sessions,
+              admission_options.bandwidth_budget_bps / 1e6,
               admission_stats.sessions_admitted,
               admission_stats.sessions_queued,
               admission_stats.sessions_rejected,
               admission_stats.max_queue_depth);
+
+  // E7b — async storage pipeline, measured in host time. Fresh storage
+  // managers over the same ingested MemEnv store, with per-cold-read
+  // latency so miss serialization is visible on any machine: synchronous
+  // demand loads vs an I/O pool (overlapped batch reads) plus
+  // prediction-driven prefetch. Every configuration must reproduce the
+  // sync run's simulated outcome exactly.
+  const int async_viewers = smoke ? 8 : 64;
+  const double read_latency = smoke ? 0.001 : 0.002;
+  struct AsyncConfig {
+    const char* label;
+    int io_threads;
+    PrefetchMode prefetch;
+  };
+  const AsyncConfig async_configs[] = {
+      {"sync", 0, PrefetchMode::kOff},
+      {"async-1", 1, PrefetchMode::kPredict},
+      {"async-4", 4, PrefetchMode::kPredict},
+  };
+
+  std::printf("\nE7b: async pipeline, %d viewers, %.1f ms cold-read latency "
+              "(host time; simulated outcome pinned)\n",
+              async_viewers, read_latency * 1e3);
+  std::printf("%9s %11s %9s %9s %8s %8s %8s %10s %9s\n", "config",
+              "prefetch", "host s", "speedup", "issued", "pf hits",
+              "wasted", "cancelled", "hit rate");
+
+  std::string async_json;
+  ServerStats sync_stats;
+  for (const AsyncConfig& config : async_configs) {
+    StorageOptions storage_options;
+    storage_options.env = bench.env.get();
+    storage_options.root = "/bench";
+    storage_options.io_threads = config.io_threads;
+    storage_options.read_latency_seconds = read_latency;
+    auto storage = CheckOk(StorageManager::Open(storage_options),
+                           "open async store");
+
+    ServerOptions server_options;
+    server_options.prefetch = config.prefetch;
+    StreamingServer server(storage.get(), server_options);
+    ServerStats stats = CheckOk(
+        server.Run(metadata, MakeViewers(async_viewers)), "async run");
+
+    if (config.io_threads == 0) {
+      sync_stats = stats;
+    } else {
+      CheckSameSimulation(sync_stats, stats, config.label);
+    }
+    double speedup = config.io_threads == 0
+                         ? 1.0
+                         : sync_stats.host_seconds / stats.host_seconds;
+
+    std::printf("%9s %11s %9.3f %8.2fx %8llu %8llu %8llu %10llu %8.1f%%\n",
+                config.label, PrefetchModeName(config.prefetch),
+                stats.host_seconds, speedup,
+                static_cast<unsigned long long>(stats.cache.prefetch_issued),
+                static_cast<unsigned long long>(stats.cache.prefetch_hits),
+                static_cast<unsigned long long>(stats.cache.prefetch_wasted),
+                static_cast<unsigned long long>(stats.prefetch.cancelled),
+                100.0 * stats.cache.HitRate());
+
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "%s  {\"config\": \"%s\", \"io_threads\": %d, \"prefetch\": \"%s\", "
+        "\"host_seconds\": %.4f, \"speedup_vs_sync\": %.3f, "
+        "\"served_mbps\": %.4f, \"bytes_sent\": %llu, "
+        "\"rebuffer_ratio\": %.4f, \"transfer_faults\": %d, "
+        "\"cache_hit_rate\": %.4f, \"prefetch_issued\": %llu, "
+        "\"prefetch_hits\": %llu, \"prefetch_wasted\": %llu, "
+        "\"prefetch_cancelled\": %llu}",
+        async_json.empty() ? "" : ",\n", config.label, config.io_threads,
+        PrefetchModeName(config.prefetch), stats.host_seconds, speedup,
+        stats.ServedMbps(), static_cast<unsigned long long>(stats.bytes_sent),
+        stats.RebufferRatio(), stats.transfer_faults, stats.cache.HitRate(),
+        static_cast<unsigned long long>(stats.cache.prefetch_issued),
+        static_cast<unsigned long long>(stats.cache.prefetch_hits),
+        static_cast<unsigned long long>(stats.cache.prefetch_wasted),
+        static_cast<unsigned long long>(stats.prefetch.cancelled));
+    async_json += row;
+  }
+
+  if (smoke) {
+    std::printf("\nsmoke run: BENCH_server.json left untouched\n");
+    return 0;
+  }
 
   char tail[640];
   std::snprintf(tail, sizeof(tail),
@@ -129,18 +259,20 @@ int main() {
                 "\"transfer_retries\": %d, \"segments_skipped\": %d, "
                 "\"stall_events\": %d, \"rebuffer_ratio\": %.4f},\n"
                 " \"admission\": {\"viewers\": 24, \"admitted\": %d, "
-                "\"queued\": %d, \"rejected\": %d, \"max_queue_depth\": %d}}",
+                "\"queued\": %d, \"rejected\": %d, \"max_queue_depth\": %d},\n"
+                " \"async\": {\"viewers\": %d, "
+                "\"read_latency_seconds\": %.4f, \"configs\": [\n",
                 fault_stats.transfer_faults, fault_stats.transfer_retries,
                 fault_stats.segments_skipped, fault_stats.stall_events,
                 fault_stats.RebufferRatio(),
                 admission_stats.sessions_admitted,
                 admission_stats.sessions_queued,
                 admission_stats.sessions_rejected,
-                admission_stats.max_queue_depth);
+                admission_stats.max_queue_depth, async_viewers, read_latency);
 
   std::string json = "{\"experiment\": \"E7-server\",\n \"scene\": \"" +
                      scene_name + "\",\n \"scaling\": [\n" + points_json +
-                     "\n ],\n" + tail;
+                     "\n ],\n" + tail + async_json + "\n ]}}";
   WriteBenchJson("BENCH_server.json", json);
   EmitMetricsSnapshot("E7");
   return 0;

@@ -13,6 +13,10 @@
 //   vcctl metrics [name] [json|csv]      # subsystem counters snapshot
 //   vcctl drop <name>
 //
+// Global flags (any command): --io-threads N sizes the store's async cell
+// I/O pool; --prefetch {off,predict,popularity} turns on speculative cell
+// loading in serve-sim (needs --io-threads > 0).
+//
 // The store lives in $VCCTL_ROOT (default /tmp/visualcloud-store).
 
 #include <cstdio>
@@ -40,9 +44,10 @@ std::string StoreRoot() {
   return root != nullptr ? root : "/tmp/visualcloud-store";
 }
 
-std::unique_ptr<VisualCloud> OpenStore() {
+std::unique_ptr<VisualCloud> OpenStore(int io_threads) {
   VisualCloudOptions options;
   options.storage.root = StoreRoot();
+  options.storage.io_threads = io_threads;
   auto db = VisualCloud::Open(options);
   if (!db.ok()) {
     std::fprintf(stderr, "vcctl: cannot open store at %s: %s\n",
@@ -217,7 +222,8 @@ int CmdStream(VisualCloud* db, const std::string& name,
 }
 
 int CmdServeSim(VisualCloud* db, const std::string& name, int viewer_count,
-                int slots, double budget_mbps, double faults_per_minute) {
+                int slots, double budget_mbps, double faults_per_minute,
+                PrefetchMode prefetch) {
   auto metadata = db->Describe(name);
   if (!metadata.ok()) Fail(metadata.status(), "serve-sim");
   double seconds = 0;
@@ -254,6 +260,13 @@ int CmdServeSim(VisualCloud* db, const std::string& name, int viewer_count,
   ServerOptions server_options;
   server_options.max_concurrent_sessions = slots;
   server_options.bandwidth_budget_bps = budget_mbps * 1e6;
+  server_options.prefetch = prefetch;
+  if (prefetch != PrefetchMode::kOff &&
+      db->storage()->io_pool() == nullptr) {
+    std::fprintf(stderr,
+                 "vcctl: --prefetch needs an I/O pool; add --io-threads N "
+                 "(continuing without speculation)\n");
+  }
   StreamingServer server(db->storage(), server_options);
   auto stats = server.Run(*metadata, viewers);
   if (!stats.ok()) Fail(stats.status(), "server run");
@@ -263,12 +276,20 @@ int CmdServeSim(VisualCloud* db, const std::string& name, int viewer_count,
   std::printf("admission:    admitted=%d queued=%d rejected=%d max_queue=%d\n",
               stats->sessions_admitted, stats->sessions_queued,
               stats->sessions_rejected, stats->max_queue_depth);
-  std::printf("throughput:   %.2f Mbps aggregate over %.2fs\n",
-              stats->ServedMbps(), stats->wall_seconds);
+  std::printf("throughput:   %.2f Mbps aggregate over %.2fs simulated "
+              "(%.3fs host)\n",
+              stats->ServedMbps(), stats->wall_seconds, stats->host_seconds);
   std::printf("shared cache: %.1f%% hit rate (%llu hits, %llu misses)\n",
               100.0 * stats->cache.HitRate(),
               static_cast<unsigned long long>(stats->cache.hits),
               static_cast<unsigned long long>(stats->cache.misses));
+  std::printf("prefetch:     mode=%s issued=%llu hits=%llu wasted=%llu "
+              "cancelled=%llu\n",
+              PrefetchModeName(prefetch),
+              static_cast<unsigned long long>(stats->cache.prefetch_issued),
+              static_cast<unsigned long long>(stats->cache.prefetch_hits),
+              static_cast<unsigned long long>(stats->cache.prefetch_wasted),
+              static_cast<unsigned long long>(stats->prefetch.cancelled));
   std::printf("quality:      rebuffer %.2f%% (%d stalls), faults=%d "
               "retries=%d skips=%d\n",
               100.0 * stats->RebufferRatio(), stats->stall_events,
@@ -350,8 +371,38 @@ int CmdDemo(VisualCloud* db) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto db = OpenStore();
   std::vector<std::string> args(argv + 1, argv + argc);
+
+  // Global flags, stripped before command dispatch (they configure the
+  // store itself, which opens before any command runs).
+  int io_threads = 0;
+  PrefetchMode prefetch = PrefetchMode::kOff;
+  for (size_t i = 0; i < args.size();) {
+    if (args[i] == "--io-threads" && i + 1 < args.size()) {
+      io_threads = std::atoi(args[i + 1].c_str());
+      args.erase(args.begin() + i, args.begin() + i + 2);
+    } else if (args[i] == "--prefetch" && i + 1 < args.size()) {
+      const std::string& mode = args[i + 1];
+      if (mode == "off") {
+        prefetch = PrefetchMode::kOff;
+      } else if (mode == "predict") {
+        prefetch = PrefetchMode::kPredict;
+      } else if (mode == "popularity") {
+        prefetch = PrefetchMode::kPopularity;
+      } else {
+        std::fprintf(stderr,
+                     "vcctl: unknown --prefetch mode '%s' (off, predict, "
+                     "popularity)\n",
+                     mode.c_str());
+        return 2;
+      }
+      args.erase(args.begin() + i, args.begin() + i + 2);
+    } else {
+      ++i;
+    }
+  }
+
+  auto db = OpenStore(io_threads);
   if (args.empty()) return CmdDemo(db.get());
 
   const std::string& command = args[0];
@@ -378,7 +429,7 @@ int main(int argc, char** argv) {
     return CmdServeSim(db.get(), args[1], std::atoi(arg(2, "16").c_str()),
                        std::atoi(arg(3, "64").c_str()),
                        std::atof(arg(4, "0").c_str()),
-                       std::atof(arg(5, "0").c_str()));
+                       std::atof(arg(5, "0").c_str()), prefetch);
   }
   if (command == "metrics") return CmdMetrics(db.get(), args);
   if (command == "export" && args.size() >= 3) {
@@ -395,6 +446,8 @@ int main(int argc, char** argv) {
                "| describe <name> | manifest <name> | stream <name> "
                "[approach] [predictor] [mbps] [archetype] | serve-sim <name> "
                "[viewers] [slots] [budget_mbps] [faults/min] | metrics [name] "
-               "[json|csv] | export <name> <file> [quality] | drop <name>]\n");
+               "[json|csv] | export <name> <file> [quality] | drop <name>]\n"
+               "global flags: --io-threads N, --prefetch "
+               "{off,predict,popularity}\n");
   return 2;
 }

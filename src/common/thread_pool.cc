@@ -23,14 +23,15 @@ void ThreadPool::Shutdown() {
   work_available_.notify_all();
 }
 
-bool ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task, TaskPriority priority) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Checked under the same lock Shutdown() takes: a task is either
-    // enqueued before shutdown (and will run — workers drain the queue
+    // enqueued before shutdown (and will run — workers drain the queues
     // before exiting) or observably refused here.
     if (shutdown_) return false;
-    queue_.push_back(std::move(task));
+    (priority == TaskPriority::kHigh ? queue_ : low_queue_)
+        .push_back(std::move(task));
   }
   work_available_.notify_one();
   return true;
@@ -38,7 +39,9 @@ bool ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_.wait(lock, [this] {
+    return queue_.empty() && low_queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -46,18 +49,27 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_available_.wait(lock, [this] {
+        return shutdown_ || !queue_.empty() || !low_queue_.empty();
+      });
+      if (queue_.empty() && low_queue_.empty()) {
+        return;  // shutdown with drained queues
+      }
+      // High lane starves the low lane by design: a demand load never
+      // waits behind speculative prefetch.
+      std::deque<std::function<void()>>& source =
+          queue_.empty() ? low_queue_ : queue_;
+      task = std::move(source.front());
+      source.pop_front();
       ++active_;
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && low_queue_.empty() && active_ == 0) {
+        idle_.notify_all();
+      }
     }
   }
 }

@@ -11,10 +11,17 @@
 
 namespace vc {
 
+/// Scheduling lane of a submitted task. Workers always drain the high lane
+/// before touching the low lane, so background work (cache prefetch) can
+/// share a pool with latency-sensitive work (demand cell loads) without
+/// ever delaying it behind a queue of speculation.
+enum class TaskPriority { kHigh, kLow };
+
 /// \brief Fixed-size worker pool used to parallelize per-tile encoding during
-/// ingest. Tasks are plain `std::function<void()>`; `WaitIdle` blocks until
-/// every submitted task has completed (barrier semantics, the only
-/// synchronization the ingest pipeline needs).
+/// ingest and to run the storage layer's async cell loads. Tasks are plain
+/// `std::function<void()>`; `WaitIdle` blocks until every submitted task has
+/// completed (barrier semantics, the only synchronization the ingest
+/// pipeline needs).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -24,10 +31,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution. Returns false (and drops the task)
-  /// once shutdown has begun — every task accepted here is guaranteed to
-  /// run before the workers exit.
-  bool Submit(std::function<void()> task);
+  /// Enqueues a task for execution on the given lane. Returns false (and
+  /// drops the task) once shutdown has begun — every task accepted here is
+  /// guaranteed to run before the workers exit.
+  bool Submit(std::function<void()> task,
+              TaskPriority priority = TaskPriority::kHigh);
 
   /// Begins shutdown: subsequent Submit calls are refused, already-queued
   /// tasks still run. Idempotent; the destructor calls it and then joins.
@@ -44,7 +52,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;      // high lane
+  std::deque<std::function<void()>> low_queue_;  // low lane
   std::vector<std::thread> threads_;
   size_t active_ = 0;
   bool shutdown_ = false;

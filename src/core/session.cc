@@ -203,6 +203,39 @@ double ClientSession::NextDeadline() const {
   return std::max(wall_, earliest);
 }
 
+PrefetchHint ClientSession::NextPrefetchHint() const {
+  PrefetchHint hint;
+  if (done_) return hint;
+
+  // Mirror Step()'s prediction inputs without mutating anything: the same
+  // playback position, the same lookahead to the segment midpoint. The
+  // forecast is made with the orientations fed so far; by the time Step()
+  // runs the predictor will have seen more — that gap is exactly the
+  // uncertainty real prefetching lives with.
+  const SegmentInfo& info = metadata_.segments[segment_];
+  const double media_start = info.start_frame / fps_;
+  const double media_mid = media_start + info.frame_count / fps_ / 2.0;
+  double media_now = 0.0;
+  if (play_start_ >= 0.0) {
+    media_now =
+        Clamp(wall_ - play_start_ - stall_total_, 0.0, media_duration_);
+  }
+
+  hint.valid = true;
+  hint.segment = segment_;
+  if (options_.approach == StreamingApproach::kOracle) {
+    hint.predicted = trace_.At(media_mid);
+  } else {
+    hint.predicted = predictor_->Predict(std::max(0.0, media_mid - media_now));
+  }
+  hint.fov_yaw = options_.viewport.fov_yaw;
+  hint.fov_pitch = options_.viewport.fov_pitch;
+  hint.margin = options_.viewport_margin;
+  hint.high_quality = options_.high_quality;
+  hint.popularity_coverage = options_.popularity_coverage;
+  return hint;
+}
+
 Status ClientSession::Step(double now) {
   if (done_) return Status::Aborted("session already complete");
   if (now > wall_) wall_ = now;
@@ -328,12 +361,10 @@ Status ClientSession::Step(double now) {
 
   // Under a server, delivery is real: pull every planned cell through the
   // shared storage cache, so concurrent viewers contend for — and reuse —
-  // the same buffer pool.
+  // the same buffer pool. With an I/O pool the segment's cells load as one
+  // overlapped batch.
   if (options_.fetch_cells && delivered) {
-    for (int tile = 0; tile < metadata_.tile_count(); ++tile) {
-      auto cell = storage_->ReadCell(metadata_, segment, tile, plan[tile]);
-      if (!cell.ok()) return cell.status();
-    }
+    VC_RETURN_IF_ERROR(storage_->ReadPlannedCells(metadata_, segment, plan));
   }
 
   // In-view quality bookkeeping: the rung the viewer actually sees (the

@@ -10,6 +10,7 @@
 #include "predict/head_trace.h"
 #include "predict/popularity.h"
 #include "predict/predictor.h"
+#include "storage/prefetcher.h"
 #include "storage/storage_manager.h"
 #include "streaming/adaptation.h"
 #include "streaming/network.h"
@@ -119,6 +120,14 @@ class ClientSession {
   /// next segment. Finalizes stats() after the last segment. It is an
   /// error to step a completed session.
   Status Step(double now);
+
+  /// Forecast of the segment the next Step() will stream: its index and the
+  /// predictor's orientation estimate for its midpoint, plus the viewport
+  /// and ladder parameters a prefetcher needs to turn that into cells. A
+  /// pure read — calling it does not advance the predictor or any session
+  /// accounting, so servers may consult it (or not) without changing the
+  /// session's behaviour. Invalid once done().
+  PrefetchHint NextPrefetchHint() const;
 
   bool done() const { return done_; }
   /// Session accounting; aggregate means are finalized once done().

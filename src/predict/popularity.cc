@@ -45,6 +45,21 @@ double PopularityModel::Probability(int segment, TileId tile) const {
          static_cast<double>(total);
 }
 
+std::vector<double> PopularityModel::TileProbabilities(int segment) const {
+  std::vector<double> probabilities(grid_.tile_count(), 0.0);
+  if (segment < 0 || segment >= segment_count_) return probabilities;
+  const uint64_t* row =
+      counts_.data() + static_cast<size_t>(segment) * grid_.tile_count();
+  uint64_t total = std::accumulate(row, row + grid_.tile_count(),
+                                   static_cast<uint64_t>(0));
+  if (total == 0) return probabilities;
+  for (int tile = 0; tile < grid_.tile_count(); ++tile) {
+    probabilities[tile] =
+        static_cast<double>(row[tile]) / static_cast<double>(total);
+  }
+  return probabilities;
+}
+
 std::vector<TileId> PopularityModel::PopularTiles(int segment,
                                                   double coverage) const {
   std::vector<TileId> popular;

@@ -44,6 +44,12 @@ class PopularityModel {
   /// (0 when the segment has no observations).
   double Probability(int segment, TileId tile) const;
 
+  /// Every tile's gaze share of one segment in a single pass, indexed by
+  /// `TileGrid::IndexOf` order (all zeros when unobserved). The bulk read
+  /// the prefetcher scores candidate cells against — per-tile Probability
+  /// calls would rescan the segment's counts per tile.
+  std::vector<double> TileProbabilities(int segment) const;
+
   /// The most popular tiles of a segment, greedily selected until they
   /// cover at least `coverage` ∈ (0, 1] of the observed gaze mass. Empty
   /// when the segment has no observations.

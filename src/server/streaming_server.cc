@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <queue>
 
+#include "common/stopwatch.h"
 #include "obs/metrics.h"
 
 namespace vc {
@@ -17,6 +19,12 @@ Status ServerOptions::Validate() const {
   }
   if (popularity_coverage <= 0 || popularity_coverage > 1.0) {
     return Status::InvalidArgument("popularity_coverage must be in (0, 1]");
+  }
+  if (prefetcher.max_queue < 1) {
+    return Status::InvalidArgument("prefetcher.max_queue must be >= 1");
+  }
+  if (prefetcher.max_inflight < 0) {
+    return Status::InvalidArgument("prefetcher.max_inflight must be >= 0");
   }
   return Status::OK();
 }
@@ -73,7 +81,21 @@ Result<ServerStats> StreamingServer::Run(
   Gauge* hit_rate_gauge = registry.GetGauge("server.cache_hit_rate");
   Gauge* rebuffer_gauge = registry.GetGauge("server.rebuffer_ratio");
 
+  const Stopwatch host_clock;
   const CacheStats cache_before = storage_->cache_stats();
+
+  // Speculative loading rides alongside the scheduler: it only warms the
+  // shared cache, so the event loop below stays logically deterministic —
+  // identical simulated outcomes with prefetch on or off. Without an I/O
+  // pool there is nothing to overlap, so the mode degrades to off.
+  std::unique_ptr<PredictivePrefetcher> prefetcher;
+  if (options_.prefetch != PrefetchMode::kOff &&
+      storage_->io_pool() != nullptr) {
+    PrefetcherOptions prefetch_options = options_.prefetcher;
+    prefetch_options.mode = options_.prefetch;
+    prefetcher =
+        std::make_unique<PredictivePrefetcher>(storage_, prefetch_options);
+  }
 
   // One popularity model per run: written by every admitted session's live
   // orientation feed, read by every kVisualCloud plan. The event loop is
@@ -116,14 +138,24 @@ Result<ServerStats> StreamingServer::Run(
     admitted_bps += viewers[viewer].session.network.bandwidth_bps;
     stats.max_active_sessions = std::max(stats.max_active_sessions, active);
     active_gauge->Set(active);
-    events.push(Event{std::max(now, sessions[viewer]->NextDeadline()), seq++,
-                      EventKind::kStep, viewer});
+    double deadline = std::max(now, sessions[viewer]->NextDeadline());
+    events.push(Event{deadline, seq++, EventKind::kStep, viewer});
+    if (prefetcher != nullptr) {
+      prefetcher->EnqueueSegment(
+          metadata, sessions[viewer]->NextPrefetchHint(),
+          options_.shared_popularity ? &popularity : nullptr, deadline);
+    }
     return Status::OK();
   };
 
   while (!events.empty()) {
     const Event event = events.top();
     events.pop();
+
+    // Advance speculation to the event's simulated time: reap finished
+    // loads, cancel requests whose demand moment has arrived, dispatch the
+    // best of what remains.
+    if (prefetcher != nullptr) prefetcher->Pump(event.time);
 
     if (event.kind == EventKind::kArrival) {
       ++stats.sessions_offered;
@@ -154,8 +186,15 @@ Result<ServerStats> StreamingServer::Run(
     ClientSession* session = sessions[event.viewer].get();
     VC_RETURN_IF_ERROR(session->Step(event.time));
     if (!session->done()) {
-      events.push(Event{session->NextDeadline(), seq++, EventKind::kStep,
-                        event.viewer});
+      double deadline = session->NextDeadline();
+      events.push(Event{deadline, seq++, EventKind::kStep, event.viewer});
+      // The session just told us when it will want its next segment; start
+      // warming the cells its predictor expects it to ask for.
+      if (prefetcher != nullptr) {
+        prefetcher->EnqueueSegment(
+            metadata, session->NextPrefetchHint(),
+            options_.shared_popularity ? &popularity : nullptr, deadline);
+      }
       continue;
     }
 
@@ -193,15 +232,29 @@ Result<ServerStats> StreamingServer::Run(
     stats.segments_skipped += session.segments_skipped;
   }
 
+  // Settle speculation before reading the cache counters, so every
+  // prefetched value has been classified as hit or wasted-so-far.
+  if (prefetcher != nullptr) {
+    prefetcher->Drain();
+    stats.prefetch = prefetcher->stats();
+  }
+
   const CacheStats cache_after = storage_->cache_stats();
   stats.cache.hits = cache_after.hits - cache_before.hits;
   stats.cache.misses = cache_after.misses - cache_before.misses;
   stats.cache.evictions = cache_after.evictions - cache_before.evictions;
   stats.cache.coalesced = cache_after.coalesced - cache_before.coalesced;
   stats.cache.bytes_cached = cache_after.bytes_cached;
+  stats.cache.prefetch_issued =
+      cache_after.prefetch_issued - cache_before.prefetch_issued;
+  stats.cache.prefetch_hits =
+      cache_after.prefetch_hits - cache_before.prefetch_hits;
+  stats.cache.prefetch_wasted =
+      cache_after.prefetch_wasted - cache_before.prefetch_wasted;
 
   hit_rate_gauge->Set(stats.cache.HitRate());
   rebuffer_gauge->Set(stats.RebufferRatio());
+  stats.host_seconds = host_clock.ElapsedSeconds();
   return stats;
 }
 

@@ -7,6 +7,7 @@
 #include "core/session.h"
 #include "predict/popularity.h"
 #include "storage/cache.h"
+#include "storage/prefetcher.h"
 #include "storage/storage_manager.h"
 
 namespace vc {
@@ -39,6 +40,20 @@ struct ServerOptions {
   bool shared_popularity = true;
   double popularity_coverage = 0.8;
 
+  /// Speculative cell loading: ahead of each session's pacing deadline,
+  /// its orientation prediction (and, under kPopularity, the shared
+  /// popularity model) warms the storage cache on the I/O pool's
+  /// low-priority lane. Requires the storage manager to have an I/O pool
+  /// (StorageOptions::io_threads > 0); without one the mode silently
+  /// degrades to kOff. Prefetching never changes a run's simulated
+  /// outcome — served bytes, QoE, admission, and fault accounting are
+  /// byte-identical with it on or off — only host wall time and cache
+  /// statistics move.
+  PrefetchMode prefetch = PrefetchMode::kOff;
+  /// Queue/in-flight bounds of the prefetcher; `prefetcher.mode` is
+  /// ignored (`prefetch` above wins).
+  PrefetcherOptions prefetcher;
+
   Status Validate() const;
 };
 
@@ -54,6 +69,9 @@ struct ServerStats {
 
   uint64_t bytes_sent = 0;       ///< Media bytes across all sessions.
   double wall_seconds = 0.0;     ///< When the last session finished.
+  /// Real (host) time Run() took — the only field that legitimately moves
+  /// with io_threads / prefetch settings. Everything above is simulated.
+  double host_seconds = 0.0;
   double media_seconds = 0.0;    ///< Sum of media durations streamed.
   double stall_seconds = 0.0;    ///< Sum of rebuffering time.
   int stall_events = 0;
@@ -63,7 +81,10 @@ struct ServerStats {
 
   /// Shared-cache activity attributable to this run (delta over the
   /// storage manager's counters; bytes_cached is the end-of-run value).
+  /// Includes the prefetch issued/hit/wasted attribution deltas.
   CacheStats cache;
+  /// Prefetch request-queue accounting (zero when prefetch is off).
+  PrefetcherStats prefetch;
 
   /// Per-admitted-session stats, in viewer order (rejected viewers have
   /// no entry; see `admitted` for the mapping).

@@ -27,8 +27,58 @@ Counter* CoalescedCounter() {
       MetricRegistry::Global().GetCounter("cache.coalesced_loads");
   return counter;
 }
+Counter* PrefetchIssuedCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("prefetch.issued");
+  return counter;
+}
+Counter* PrefetchHitCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("prefetch.hit");
+  return counter;
+}
+Counter* PrefetchWastedCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("prefetch.wasted");
+  return counter;
+}
 
 }  // namespace
+
+/// Shared state of one asynchronous (or coalesced synchronous) load.
+///
+/// Lock order: when both are held, the cache-wide `LruCache::mu_` is
+/// acquired before `mu`. Waiters never hold the cache lock while blocking
+/// on `cv`.
+struct LruCache::AsyncHandle::State {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool hit = false;              ///< Served from cache at request time.
+  bool prefetch_origin = false;  ///< Load was started by a prefetch.
+  bool demanded = false;         ///< A demand caller shares this load.
+  Status status = Status::OK();
+  Value value;
+};
+
+bool LruCache::AsyncHandle::hit() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->hit;
+}
+
+bool LruCache::AsyncHandle::ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+Result<LruCache::Value> LruCache::AsyncHandle::Wait() const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  if (!state_->status.ok()) return state_->status;
+  return state_->value;
+}
 
 LruCache::LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
@@ -42,6 +92,7 @@ LruCache::Value LruCache::Get(const std::string& key) {
   }
   ++stats_.hits;
   HitCounter()->Add();
+  TouchLocked(&*it->second);
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }
@@ -53,13 +104,17 @@ void LruCache::Put(const std::string& key, Value value) {
 }
 
 Result<LruCache::Value> LruCache::GetOrCompute(const std::string& key,
-                                               const Loader& loader) {
+                                               const Loader& loader,
+                                               bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
   std::unique_lock<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     ++stats_.hits;
     HitCounter()->Add();
+    TouchLocked(&*it->second);
     lru_.splice(lru_.begin(), lru_, it->second);
+    if (was_hit != nullptr) *was_hit = true;
     return it->second->value;
   }
   ++stats_.misses;
@@ -68,36 +123,137 @@ Result<LruCache::Value> LruCache::GetOrCompute(const std::string& key,
   auto flight = inflight_.find(key);
   if (flight != inflight_.end()) {
     // Someone else is already loading this key: wait for their result.
-    std::shared_ptr<InFlight> state = flight->second;
+    std::shared_ptr<AsyncHandle::State> state = flight->second;
     ++stats_.coalesced;
     CoalescedCounter()->Add();
-    state->cv.wait(lock, [&state] { return state->done; });
+    {
+      std::lock_guard<std::mutex> state_lock(state->mu);
+      if (state->prefetch_origin && !state->demanded) {
+        ++stats_.prefetch_hits;
+        PrefetchHitCounter()->Add();
+      }
+      state->demanded = true;
+    }
+    lock.unlock();
+    std::unique_lock<std::mutex> state_lock(state->mu);
+    state->cv.wait(state_lock, [&state] { return state->done; });
     if (!state->status.ok()) return state->status;
     return state->value;
   }
 
   // We are the loader for this key.
-  auto state = std::make_shared<InFlight>();
+  auto state = std::make_shared<AsyncHandle::State>();
+  state->demanded = true;
   inflight_[key] = state;
   lock.unlock();
   Result<Value> loaded = loader();
-  lock.lock();
-  inflight_.erase(key);
-  state->done = true;
-  if (loaded.ok()) {
-    state->value = *loaded;
-    PutLocked(key, *loaded);
-  } else {
-    state->status = loaded.status();
+  Complete(key, state, loaded);
+  return loaded;
+}
+
+LruCache::AsyncHandle LruCache::GetOrComputeAsync(const std::string& key,
+                                                  Loader loader,
+                                                  ThreadPool* pool,
+                                                  LoadKind kind) {
+  const bool demand = kind == LoadKind::kDemand;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (demand) {
+      ++stats_.hits;
+      HitCounter()->Add();
+      TouchLocked(&*it->second);
+      lru_.splice(lru_.begin(), lru_, it->second);
+    }
+    auto state = std::make_shared<AsyncHandle::State>();
+    state->done = true;
+    state->hit = true;
+    state->value = it->second->value;
+    return AsyncHandle(std::move(state));
+  }
+  if (demand) {
+    ++stats_.misses;
+    MissCounter()->Add();
+  }
+
+  auto flight = inflight_.find(key);
+  if (flight != inflight_.end()) {
+    std::shared_ptr<AsyncHandle::State> state = flight->second;
+    if (demand) {
+      ++stats_.coalesced;
+      CoalescedCounter()->Add();
+      std::lock_guard<std::mutex> state_lock(state->mu);
+      if (state->prefetch_origin && !state->demanded) {
+        ++stats_.prefetch_hits;
+        PrefetchHitCounter()->Add();
+      }
+      state->demanded = true;
+    }
+    return AsyncHandle(std::move(state));
+  }
+
+  auto state = std::make_shared<AsyncHandle::State>();
+  state->prefetch_origin = !demand;
+  state->demanded = demand;
+  inflight_[key] = state;
+  if (!demand) {
+    ++stats_.prefetch_issued;
+    PrefetchIssuedCounter()->Add();
+  }
+  lock.unlock();
+
+  if (pool == nullptr) {
+    Complete(key, state, loader());
+    return AsyncHandle(std::move(state));
+  }
+  bool accepted = pool->Submit(
+      [this, key, loader = std::move(loader), state] {
+        Complete(key, state, loader());
+      },
+      demand ? TaskPriority::kHigh : TaskPriority::kLow);
+  if (!accepted) {
+    // Pool shut down: resolve the handle so no waiter hangs, cache nothing.
+    Complete(key, state, Status::Aborted("I/O pool shut down"));
+  }
+  return AsyncHandle(std::move(state));
+}
+
+void LruCache::Complete(const std::string& key,
+                        const std::shared_ptr<AsyncHandle::State>& state,
+                        Result<Value> loaded) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    state->done = true;
+    if (loaded.ok()) {
+      state->value = *loaded;
+      // A prefetched value nobody demanded yet stays tagged so its eventual
+      // consumption (or eviction) is attributed to the prefetcher.
+      PutLocked(key, std::move(*loaded),
+                state->prefetch_origin && !state->demanded);
+    } else {
+      state->status = loaded.status();
+    }
   }
   state->cv.notify_all();
-  return loaded;
+}
+
+void LruCache::TouchLocked(Entry* entry) {
+  if (!entry->prefetched) return;
+  entry->prefetched = false;
+  ++stats_.prefetch_hits;
+  PrefetchHitCounter()->Add();
 }
 
 void LruCache::Erase(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return;
+  if (it->second->prefetched) {
+    ++stats_.prefetch_wasted;
+    PrefetchWastedCounter()->Add();
+  }
   stats_.bytes_cached -= it->second->value->size();
   lru_.erase(it->second);
   index_.erase(it);
@@ -105,6 +261,12 @@ void LruCache::Erase(const std::string& key) {
 
 void LruCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : lru_) {
+    if (entry.prefetched) {
+      ++stats_.prefetch_wasted;
+      PrefetchWastedCounter()->Add();
+    }
+  }
   lru_.clear();
   index_.clear();
   stats_.bytes_cached = 0;
@@ -115,17 +277,19 @@ CacheStats LruCache::stats() const {
   return stats_;
 }
 
-void LruCache::PutLocked(const std::string& key, Value value) {
+void LruCache::PutLocked(const std::string& key, Value value,
+                         bool prefetched) {
   if (value == nullptr) return;
   if (value->size() > capacity_) return;
   auto it = index_.find(key);
   if (it != index_.end()) {
     stats_.bytes_cached -= it->second->value->size();
     it->second->value = std::move(value);
+    it->second->prefetched = prefetched;
     stats_.bytes_cached += it->second->value->size();
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Entry{key, std::move(value)});
+    lru_.push_front(Entry{key, std::move(value), prefetched});
     index_[key] = lru_.begin();
     stats_.bytes_cached += lru_.front().value->size();
   }
@@ -135,6 +299,10 @@ void LruCache::PutLocked(const std::string& key, Value value) {
 void LruCache::EvictIfNeededLocked() {
   while (stats_.bytes_cached > capacity_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
+    if (victim.prefetched) {
+      ++stats_.prefetch_wasted;
+      PrefetchWastedCounter()->Add();
+    }
     stats_.bytes_cached -= victim.value->size();
     index_.erase(victim.key);
     lru_.pop_back();

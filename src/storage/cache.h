@@ -12,8 +12,15 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 
 namespace vc {
+
+/// Why a load was requested. Demand loads update hit/miss statistics and run
+/// on the I/O pool's high-priority lane; prefetch loads are speculative —
+/// they leave the demand-facing statistics untouched and run on the low
+/// lane so they can never delay a session.
+enum class LoadKind { kDemand, kPrefetch };
 
 /// Hit/miss/eviction counters for a cache instance.
 struct CacheStats {
@@ -24,6 +31,15 @@ struct CacheStats {
   /// GetOrCompute callers that found another caller already loading the
   /// same key and waited for its result instead of loading again.
   uint64_t coalesced = 0;
+
+  /// Speculative loads actually dispatched (not already cached/in flight).
+  uint64_t prefetch_issued = 0;
+  /// Prefetched values later consumed by a demand read — including demand
+  /// reads that coalesced with a still-running prefetch load.
+  uint64_t prefetch_hits = 0;
+  /// Prefetched values evicted (or dropped by Clear) without any demand
+  /// read ever touching them: pure wasted work.
+  uint64_t prefetch_wasted = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -42,6 +58,32 @@ class LruCache {
   using Value = std::shared_ptr<const std::vector<uint8_t>>;
   using Loader = std::function<Result<Value>()>;
 
+  /// One pending or resolved asynchronous load (see GetOrComputeAsync).
+  /// Copyable handle over shared state; default-constructed handles are
+  /// invalid. Wait() may be called from any thread, any number of times.
+  class AsyncHandle {
+   public:
+    AsyncHandle() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    /// True when the value was already cached at request time (no load was
+    /// dispatched; Wait() returns without blocking).
+    bool hit() const;
+    /// True once the load has completed (value or error); Wait() will not
+    /// block.
+    bool ready() const;
+    /// Blocks until the load completes and returns its outcome. Requires
+    /// valid().
+    Result<Value> Wait() const;
+
+   private:
+    friend class LruCache;
+    struct State;
+    explicit AsyncHandle(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
   /// `capacity_bytes` of zero disables caching entirely.
   explicit LruCache(size_t capacity_bytes);
 
@@ -59,8 +101,24 @@ class LruCache {
   /// the backing store once, not once per waiting session. The loader runs
   /// without the cache lock held; loading the same key recursively from
   /// inside a loader deadlocks. Errors are not cached — the next caller
-  /// retries the load.
-  Result<Value> GetOrCompute(const std::string& key, const Loader& loader);
+  /// retries the load. Also coalesces with loads started by
+  /// GetOrComputeAsync. When `was_hit` is non-null it is set to whether the
+  /// value was served from cache without waiting on any load.
+  Result<Value> GetOrCompute(const std::string& key, const Loader& loader,
+                             bool* was_hit = nullptr);
+
+  /// Asynchronous GetOrCompute: the load is dispatched to `pool` (demand
+  /// loads on the high-priority lane, prefetch loads on the low lane) and a
+  /// handle to its eventual outcome is returned immediately. Single-flight
+  /// is shared with GetOrCompute: concurrent sync and async requests for
+  /// one key run a single loader. If the pool refuses the task (shutdown),
+  /// the handle resolves to an Aborted error and nothing is cached; a null
+  /// `pool` runs the loader synchronously on the calling thread and returns
+  /// an already-resolved handle. `kind` selects statistics: kPrefetch loads
+  /// never touch hit/miss counters and tag the cached value so later demand
+  /// consumption (or eviction without it) is attributed to prefetching.
+  AsyncHandle GetOrComputeAsync(const std::string& key, Loader loader,
+                                ThreadPool* pool, LoadKind kind);
 
   /// Removes one key if present.
   void Erase(const std::string& key);
@@ -75,24 +133,28 @@ class LruCache {
   struct Entry {
     std::string key;
     Value value;
+    /// Inserted by a prefetch load and not yet touched by any demand read.
+    bool prefetched = false;
   };
 
-  /// One in-progress GetOrCompute load; waiters block on `cv`.
-  struct InFlight {
-    std::condition_variable cv;
-    bool done = false;
-    Status status = Status::OK();
-    Value value;
-  };
+  /// Resolves `state` with the loader's outcome: removes the in-flight
+  /// entry, caches success, and wakes every waiter.
+  void Complete(const std::string& key,
+                const std::shared_ptr<AsyncHandle::State>& state,
+                Result<Value> loaded);
+  /// Marks a demand touch of `entry`, crediting the prefetcher when it was
+  /// the one that brought the value in.
+  void TouchLocked(Entry* entry);
 
-  void PutLocked(const std::string& key, Value value);
+  void PutLocked(const std::string& key, Value value, bool prefetched = false);
   void EvictIfNeededLocked();
 
   const size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  std::unordered_map<std::string, std::shared_ptr<AsyncHandle::State>>
+      inflight_;
   CacheStats stats_;
 };
 

@@ -1,0 +1,206 @@
+#include "storage/prefetcher.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace vc {
+
+namespace {
+
+Counter* CancelledCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("prefetch.cancelled");
+  return counter;
+}
+
+}  // namespace
+
+const char* PrefetchModeName(PrefetchMode mode) {
+  switch (mode) {
+    case PrefetchMode::kOff:
+      return "off";
+    case PrefetchMode::kPredict:
+      return "predict";
+    case PrefetchMode::kPopularity:
+      return "popularity";
+  }
+  return "unknown";
+}
+
+PredictivePrefetcher::PredictivePrefetcher(StorageManager* storage,
+                                           const PrefetcherOptions& options)
+    : storage_(storage), options_(options) {
+  max_inflight_ = options.max_inflight;
+  if (max_inflight_ <= 0) {
+    ThreadPool* pool = storage->io_pool();
+    max_inflight_ =
+        pool != nullptr ? 2 * static_cast<int>(pool->num_threads()) : 4;
+  }
+}
+
+void PredictivePrefetcher::EnqueueSegment(const VideoMetadata& metadata,
+                                          const PrefetchHint& hint,
+                                          const PopularityModel* popularity,
+                                          double deadline) {
+  if (options_.mode == PrefetchMode::kOff || !hint.valid) return;
+  if (hint.segment < 0 || hint.segment >= metadata.segment_count()) return;
+
+  const TileGrid grid = metadata.tile_grid();
+  const int lowest = metadata.quality_count() - 1;
+  const int high = std::min(std::max(hint.high_quality, 0), lowest);
+
+  std::vector<double> probabilities;
+  if (popularity != nullptr && popularity->grid() == grid) {
+    probabilities = popularity->TileProbabilities(hint.segment);
+  }
+  auto probability = [&probabilities](int tile) {
+    return tile < static_cast<int>(probabilities.size())
+               ? probabilities[tile]
+               : 0.0;
+  };
+
+  // The predicted viewport (with the session's selection margin) at the
+  // session's high rung — what the plan will most likely request.
+  for (const TileId& tile : grid.TilesInViewport(
+           hint.predicted, hint.fov_yaw + 2 * hint.margin,
+           hint.fov_pitch + 2 * hint.margin)) {
+    int index = grid.IndexOf(tile);
+    Add(metadata, hint.segment, index, high, 1.0 + probability(index),
+        deadline);
+  }
+
+  // Cross-user popularity: tiles covering most of the historical gaze mass
+  // are planned at high quality too (see PlanSegment), so warm them.
+  if (options_.mode == PrefetchMode::kPopularity && popularity != nullptr &&
+      popularity->grid() == grid) {
+    for (const TileId& tile :
+         popularity->PopularTiles(hint.segment, hint.popularity_coverage)) {
+      int index = grid.IndexOf(tile);
+      Add(metadata, hint.segment, index, high, 0.8 + probability(index),
+          deadline);
+    }
+  }
+
+  // Every remaining tile streams at the lowest rung; backfill those at low
+  // score so they fill otherwise-idle I/O capacity.
+  if (lowest != high) {
+    for (int index = 0; index < grid.tile_count(); ++index) {
+      Add(metadata, hint.segment, index, lowest,
+          0.05 + 0.05 * probability(index), deadline);
+    }
+  }
+}
+
+void PredictivePrefetcher::Add(const VideoMetadata& metadata, int segment,
+                               int tile, int quality, double score,
+                               double deadline) {
+  DedupeKey key{&metadata, metadata.CellIndex(segment, tile, quality)};
+  if (!pending_.insert(key).second) return;  // already queued or in flight
+
+  if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+    // Popularity-ordered eviction: the lowest-scored pending request makes
+    // room, unless the newcomer scores even lower.
+    auto victim = std::min_element(
+        queue_.begin(), queue_.end(), [](const Request& a, const Request& b) {
+          return a.score != b.score ? a.score < b.score : a.seq > b.seq;
+        });
+    if (victim->score >= score) {
+      pending_.erase(key);
+      return;
+    }
+    pending_.erase(
+        DedupeKey{victim->metadata, victim->metadata->CellIndex(
+                                        victim->segment, victim->tile,
+                                        victim->quality)});
+    ++stats_.cancelled;
+    CancelledCounter()->Add();
+    *victim = Request{&metadata, segment, tile, quality, score, deadline,
+                      seq_++};
+    ++stats_.enqueued;
+    return;
+  }
+  queue_.push_back(
+      Request{&metadata, segment, tile, quality, score, deadline, seq_++});
+  ++stats_.enqueued;
+}
+
+void PredictivePrefetcher::Pump(double now) {
+  // Reap finished loads so their slots free up (and a later re-request of
+  // the same cell is possible — it would hit the cache anyway).
+  for (size_t i = 0; i < inflight_.size();) {
+    if (inflight_[i].first.ready()) {
+      pending_.erase(inflight_[i].second);
+      inflight_[i] = std::move(inflight_.back());
+      inflight_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  // Cancel stale requests: their demand read happens at `deadline`, so once
+  // the clock reaches it there is nothing left to win.
+  for (size_t i = 0; i < queue_.size();) {
+    if (queue_[i].deadline <= now) {
+      pending_.erase(DedupeKey{
+          queue_[i].metadata,
+          queue_[i].metadata->CellIndex(queue_[i].segment, queue_[i].tile,
+                                        queue_[i].quality)});
+      ++stats_.cancelled;
+      CancelledCounter()->Add();
+      queue_[i] = std::move(queue_.back());
+      queue_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  DispatchPending();
+}
+
+void PredictivePrefetcher::DispatchPending() {
+  while (static_cast<int>(inflight_.size()) < max_inflight_ &&
+         !queue_.empty()) {
+    auto best = std::max_element(
+        queue_.begin(), queue_.end(), [](const Request& a, const Request& b) {
+          return a.score != b.score ? a.score < b.score : a.seq > b.seq;
+        });
+    Request request = *best;
+    *best = std::move(queue_.back());
+    queue_.pop_back();
+
+    DedupeKey key{request.metadata,
+                  request.metadata->CellIndex(request.segment, request.tile,
+                                              request.quality)};
+    auto handle = storage_->ReadCellAsync(*request.metadata, request.segment,
+                                          request.tile, request.quality,
+                                          LoadKind::kPrefetch);
+    ++stats_.dispatched;
+    if (!handle.ok() || handle->ready()) {
+      // Out of range (cannot happen for well-formed hints), already cached,
+      // or resolved synchronously: nothing to track.
+      pending_.erase(key);
+      continue;
+    }
+    inflight_.emplace_back(std::move(*handle), key);
+  }
+}
+
+void PredictivePrefetcher::Drain() {
+  for (auto& [handle, key] : inflight_) {
+    handle.Wait();  // outcome irrelevant — speculation may fail freely
+    pending_.erase(key);
+  }
+  inflight_.clear();
+  stats_.cancelled += queue_.size();
+  CancelledCounter()->Add(queue_.size());
+  for (const Request& request : queue_) {
+    pending_.erase(DedupeKey{
+        request.metadata,
+        request.metadata->CellIndex(request.segment, request.tile,
+                                    request.quality)});
+  }
+  queue_.clear();
+}
+
+}  // namespace vc

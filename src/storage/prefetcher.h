@@ -1,0 +1,147 @@
+#ifndef VC_STORAGE_PREFETCHER_H_
+#define VC_STORAGE_PREFETCHER_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "geometry/orientation.h"
+#include "predict/popularity.h"
+#include "storage/storage_manager.h"
+
+namespace vc {
+
+/// What the prefetcher speculates on.
+enum class PrefetchMode {
+  kOff,
+  /// Per-session orientation prediction: the predicted viewport's tiles at
+  /// the session's high rung, every other tile at the lowest rung.
+  kPredict,
+  /// kPredict plus the shared popularity model's hot tiles — cross-user
+  /// attention the motion predictor cannot see.
+  kPopularity,
+};
+
+/// Stable flag name ("off", "predict", "popularity").
+const char* PrefetchModeName(PrefetchMode mode);
+
+/// One session's forecast of its next segment, produced by
+/// `ClientSession::NextPrefetchHint()` on the scheduler thread. Carries
+/// everything the prefetcher needs to turn a predicted orientation into
+/// concrete (segment, tile, quality) cells without reaching back into the
+/// session.
+struct PrefetchHint {
+  bool valid = false;
+  int segment = 0;          ///< Segment the session will stream next.
+  Orientation predicted;    ///< Predicted gaze at that segment's midpoint.
+  double fov_yaw = 0.0;     ///< Viewport extents (radians).
+  double fov_pitch = 0.0;
+  double margin = 0.0;      ///< Tile-selection margin (radians).
+  int high_quality = 0;     ///< Ladder rung planned for in-view tiles.
+  double popularity_coverage = 0.8;
+};
+
+/// Tuning of the speculative pipeline.
+struct PrefetcherOptions {
+  PrefetchMode mode = PrefetchMode::kPredict;
+  /// Pending (not yet dispatched) requests kept; when full, the
+  /// lowest-scored request is evicted — popularity-ordered eviction.
+  int max_queue = 512;
+  /// Speculative loads allowed in flight on the I/O pool at once; bounds
+  /// how much of the pool speculation can occupy. 0 derives 2× the pool's
+  /// worker count.
+  int max_inflight = 0;
+};
+
+/// Accounting of one prefetcher instance (cache-level issued/hit/wasted
+/// counts live in CacheStats; these cover the request queue itself).
+struct PrefetcherStats {
+  uint64_t enqueued = 0;    ///< Requests accepted into the queue.
+  uint64_t dispatched = 0;  ///< Requests handed to the I/O pool.
+  /// Requests dropped before dispatch: stale (their playback deadline
+  /// passed) or evicted by a fuller queue.
+  uint64_t cancelled = 0;
+};
+
+/// \brief Prediction-driven cell prefetcher: VisualCloud's "do the work
+/// before the viewer needs it" half, applied to storage.
+///
+/// The streaming server calls `EnqueueSegment` one pacing deadline ahead of
+/// each session — the session's orientation predictor (and optionally the
+/// shared cross-user popularity model) names the (segment, tile, quality)
+/// cells the session is likely to request, and the prefetcher loads them
+/// through the shared LRU cache on the I/O pool's low-priority lane. Demand
+/// loads are never delayed: speculation is bounded (queue and in-flight
+/// caps), runs strictly below demand priority, and coalesces with demand
+/// reads through the cache's single-flight machinery.
+///
+/// Threading: EnqueueSegment/Pump/Drain must be called from one thread (the
+/// server's scheduler thread). The loads themselves run on the storage
+/// manager's I/O pool. Requests hold pointers to the caller's VideoMetadata
+/// and PopularityModel, which must outlive the prefetcher.
+///
+/// Determinism: the prefetcher only warms the cache. It never touches the
+/// predictor, the popularity model (read-only), or any session accounting,
+/// so a server run's served bytes / QoE / admission outcomes are
+/// byte-identical with prefetching on or off — only host wall time and
+/// cache statistics change.
+class PredictivePrefetcher {
+ public:
+  /// `storage` must outlive the prefetcher and should have an I/O pool
+  /// (without one, dispatched loads run synchronously inside Pump, which
+  /// still works but hides nothing).
+  PredictivePrefetcher(StorageManager* storage,
+                       const PrefetcherOptions& options);
+
+  /// Plans speculative loads for `hint.segment` of `metadata`, due at
+  /// simulated time `deadline` (the session's pacing deadline — requests
+  /// still queued past it are stale and get cancelled). `popularity` may be
+  /// null; it is consulted synchronously on the calling thread.
+  void EnqueueSegment(const VideoMetadata& metadata, const PrefetchHint& hint,
+                      const PopularityModel* popularity, double deadline);
+
+  /// Advances the pipeline at simulated time `now`: cancels stale requests,
+  /// reaps completed loads, and dispatches queued requests (highest score
+  /// first) while the in-flight cap allows.
+  void Pump(double now);
+
+  /// Blocks until every dispatched load has completed and drops the
+  /// remaining queue (counted as cancelled). Call before reading end-of-run
+  /// cache statistics.
+  void Drain();
+
+  const PrefetcherStats& stats() const { return stats_; }
+  const PrefetcherOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    const VideoMetadata* metadata;
+    int segment;
+    int tile;
+    int quality;
+    double score;     ///< Higher dispatches first; lowest is evicted.
+    double deadline;  ///< Simulated time after which the request is stale.
+    uint64_t seq;     ///< Tie-break: earlier requests win.
+  };
+
+  using DedupeKey = std::pair<const void*, size_t>;
+
+  void Add(const VideoMetadata& metadata, int segment, int tile, int quality,
+           double score, double deadline);
+  void DispatchPending();
+
+  StorageManager* storage_;
+  PrefetcherOptions options_;
+  int max_inflight_;
+  uint64_t seq_ = 0;
+  std::vector<Request> queue_;
+  /// Cells currently queued or in flight, to avoid duplicate requests.
+  std::set<DedupeKey> pending_;
+  std::vector<std::pair<LruCache::AsyncHandle, DedupeKey>> inflight_;
+  PrefetcherStats stats_;
+};
+
+}  // namespace vc
+
+#endif  // VC_STORAGE_PREFETCHER_H_

@@ -1,15 +1,51 @@
 #include "storage/storage_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "common/crc32.h"
+#include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 
 namespace vc {
 
 namespace {
+
+/// Buffer-cache key for one cell: a single fixed-size snprintf into a stack
+/// buffer and one std::string construction, instead of the chain of
+/// temporary concatenations the full file path needs (the path itself is
+/// only built on the cold load path). Keyed by data directory, not version,
+/// because live checkpoints publish versions that share cell files.
+std::string CellCacheKey(const VideoMetadata& metadata, int segment, int tile,
+                         int quality) {
+  char buffer[160];
+  int n;
+  if (metadata.data_dir.empty()) {
+    n = std::snprintf(buffer, sizeof(buffer), "%s|v%u|%d.%d.%d",
+                      metadata.name.c_str(), metadata.version, segment, tile,
+                      quality);
+  } else {
+    n = std::snprintf(buffer, sizeof(buffer), "%s|%s|%d.%d.%d",
+                      metadata.name.c_str(), metadata.data_dir.c_str(),
+                      segment, tile, quality);
+  }
+  if (n < 0 || n >= static_cast<int>(sizeof(buffer))) {
+    // Pathologically long video name: fall back to allocating pieces.
+    return metadata.name + "|" + metadata.DataDir() + "|" +
+           std::to_string(segment) + "." + std::to_string(tile) + "." +
+           std::to_string(quality);
+  }
+  return std::string(buffer, static_cast<size_t>(n));
+}
+
+Histogram* DemandMissHistogram() {
+  static Histogram* histogram =
+      MetricRegistry::Global().GetHistogram("storage.demand_miss_seconds");
+  return histogram;
+}
 
 constexpr char kMetadataPrefix[] = "metadata.v";
 constexpr char kMetadataSuffix[] = ".vcmf";
@@ -35,7 +71,11 @@ uint32_t VersionFromMetadataName(const std::string& filename) {
 }  // namespace
 
 StorageManager::StorageManager(const StorageOptions& options)
-    : options_(options), cache_(options.cache_capacity_bytes) {}
+    : options_(options), cache_(options.cache_capacity_bytes) {
+  if (options.io_threads > 0) {
+    io_pool_ = std::make_unique<ThreadPool>(options.io_threads);
+  }
+}
 
 Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     const StorageOptions& options) {
@@ -44,6 +84,13 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
   }
   if (options.root.empty()) {
     return Status::InvalidArgument("StorageOptions.root must not be empty");
+  }
+  if (options.io_threads < 0) {
+    return Status::InvalidArgument("StorageOptions.io_threads must be >= 0");
+  }
+  if (options.read_latency_seconds < 0) {
+    return Status::InvalidArgument(
+        "StorageOptions.read_latency_seconds must be >= 0");
   }
   VC_RETURN_IF_ERROR(options.env->CreateDirs(options.root));
   return std::unique_ptr<StorageManager>(new StorageManager(options));
@@ -227,6 +274,30 @@ Result<VideoMetadata> StorageManager::GetVideoVersion(
   return VideoMetadata::Parse(Slice(*bytes));
 }
 
+LruCache::Loader StorageManager::MakeCellLoader(const VideoMetadata& metadata,
+                                                int segment, int tile,
+                                                int quality) const {
+  // Owning captures only: the loader may run on an I/O pool thread after
+  // the calling frame (and its metadata reference) is gone.
+  std::string path = VideoDir(metadata.name) + "/" + metadata.DataDir() +
+                     "/" + metadata.CellFileName(segment, tile, quality);
+  CellInfo info = metadata.cells[metadata.CellIndex(segment, tile, quality)];
+  Env* env = options_.env;
+  double latency = options_.read_latency_seconds;
+  return [path = std::move(path), info, env,
+          latency]() -> Result<LruCache::Value> {
+    if (latency > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(latency));
+    }
+    std::vector<uint8_t> bytes;
+    VC_ASSIGN_OR_RETURN(bytes, env->ReadFile(path));
+    if (bytes.size() != info.byte_size || Crc32(Slice(bytes)) != info.crc32) {
+      return Status::Corruption("cell '" + path + "' fails checksum");
+    }
+    return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+  };
+}
+
 Result<LruCache::Value> StorageManager::ReadCell(
     const VideoMetadata& metadata, int segment, int tile, int quality) {
   static Counter* cell_reads =
@@ -242,25 +313,87 @@ Result<LruCache::Value> StorageManager::ReadCell(
   }
   ScopedTimer timer(read_seconds);
   cell_reads->Add();
-  std::string path = VideoDir(metadata.name) + "/" + metadata.DataDir() +
-                     "/" + metadata.CellFileName(segment, tile, quality);
-  const CellInfo& info =
-      metadata.cells[metadata.CellIndex(segment, tile, quality)];
   // Single-flight through the cache: when many concurrent sessions miss on
   // the same popular cell, exactly one hits the filesystem; the rest share
-  // its result.
-  Result<LruCache::Value> value = cache_.GetOrCompute(
-      path, [this, &path, &info]() -> Result<LruCache::Value> {
-        std::vector<uint8_t> bytes;
-        VC_ASSIGN_OR_RETURN(bytes, options_.env->ReadFile(path));
-        if (bytes.size() != info.byte_size ||
-            Crc32(Slice(bytes)) != info.crc32) {
-          return Status::Corruption("cell '" + path + "' fails checksum");
-        }
-        return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
-      });
+  // its result. The cache key is preformatted in one pass (the hot path of
+  // a warm server is this lookup); the file path is only built inside the
+  // loader, which runs on misses.
+  bool was_hit = false;
+  Stopwatch stopwatch;
+  Result<LruCache::Value> value =
+      cache_.GetOrCompute(CellCacheKey(metadata, segment, tile, quality),
+                          [this, &metadata, segment, tile,
+                           quality]() -> Result<LruCache::Value> {
+                            return MakeCellLoader(metadata, segment, tile,
+                                                  quality)();
+                          },
+                          &was_hit);
+  if (!was_hit) DemandMissHistogram()->Observe(stopwatch.ElapsedSeconds());
   if (value.ok()) cell_read_bytes->Add((*value)->size());
   return value;
+}
+
+Result<LruCache::AsyncHandle> StorageManager::ReadCellAsync(
+    const VideoMetadata& metadata, int segment, int tile, int quality,
+    LoadKind kind) {
+  static Counter* cell_reads =
+      MetricRegistry::Global().GetCounter("storage.cell_reads");
+  if (segment < 0 || segment >= metadata.segment_count() || tile < 0 ||
+      tile >= metadata.tile_count() || quality < 0 ||
+      quality >= metadata.quality_count()) {
+    return Status::InvalidArgument("cell coordinates out of range");
+  }
+  if (kind == LoadKind::kDemand) cell_reads->Add();
+  // A null pool makes GetOrComputeAsync run the load synchronously and
+  // return a resolved handle, so callers need not care whether the store
+  // has an I/O pipeline.
+  return cache_.GetOrComputeAsync(
+      CellCacheKey(metadata, segment, tile, quality),
+      MakeCellLoader(metadata, segment, tile, quality), io_pool_.get(), kind);
+}
+
+Status StorageManager::ReadPlannedCells(const VideoMetadata& metadata,
+                                        int segment,
+                                        const std::vector<int>& tile_qualities) {
+  static Counter* cell_read_bytes =
+      MetricRegistry::Global().GetCounter("storage.cell_read_bytes");
+  static Histogram* read_seconds =
+      MetricRegistry::Global().GetHistogram("storage.read_seconds");
+  if (static_cast<int>(tile_qualities.size()) != metadata.tile_count()) {
+    return Status::InvalidArgument("one quality per tile required");
+  }
+  if (io_pool_ == nullptr) {
+    for (int tile = 0; tile < metadata.tile_count(); ++tile) {
+      auto cell = ReadCell(metadata, segment, tile, tile_qualities[tile]);
+      if (!cell.ok()) return cell.status();
+    }
+    return Status::OK();
+  }
+  // Issue the whole segment's loads at once so cold tiles overlap on the
+  // I/O pool, then collect in tile order (first error wins, as in the
+  // sequential path).
+  std::vector<LruCache::AsyncHandle> handles;
+  handles.reserve(tile_qualities.size());
+  for (int tile = 0; tile < metadata.tile_count(); ++tile) {
+    auto handle = ReadCellAsync(metadata, segment, tile,
+                                tile_qualities[tile], LoadKind::kDemand);
+    if (!handle.ok()) return handle.status();
+    handles.push_back(std::move(*handle));
+  }
+  Status first_error = Status::OK();
+  for (const LruCache::AsyncHandle& handle : handles) {
+    Stopwatch stopwatch;
+    Result<LruCache::Value> value = handle.Wait();
+    double waited = stopwatch.ElapsedSeconds();
+    read_seconds->Observe(waited);
+    if (!handle.hit()) DemandMissHistogram()->Observe(waited);
+    if (value.ok()) {
+      cell_read_bytes->Add((*value)->size());
+    } else if (first_error.ok()) {
+      first_error = value.status();
+    }
+  }
+  return first_error;
 }
 
 void StorageManager::ClearCache() { cache_.Clear(); }

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -345,6 +347,42 @@ TEST(ThreadPoolTest, SubmitRefusedAfterShutdown) {
   // Every accepted task ran; the refused one did not.
   EXPECT_EQ(counter.load(), 10);
   pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, HighLaneDrainsBeforeLowLane) {
+  // One worker, blocked on a gate while both lanes fill up: on release,
+  // every high-priority task must run before any low-priority one, even
+  // though the low tasks were submitted first.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<int> order;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(
+        [&order, &mu, i] {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(100 + i);
+        },
+        TaskPriority::kLow);
+  }
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([&order, &mu, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.WaitIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 100, 101, 102}));
 }
 
 TEST(ThreadPoolTest, WaitIdleIsReusable) {

@@ -297,6 +297,75 @@ TEST_F(ServerTest, FaultedServerRunCompletes) {
   EXPECT_GT(stats->transfer_retries, 0);
 }
 
+TEST_F(ServerTest, AsyncPipelinePreservesSimulatedOutcome) {
+  // The determinism contract of the async storage pipeline: served bytes,
+  // QoE, admission, and fault accounting are byte-identical with prefetch
+  // on or off and across I/O pool widths — speculation only warms the
+  // cache. Fault injection is on so the invariance covers the retry path.
+  VideoMetadata metadata = Metadata();
+  auto make_viewers = [] {
+    std::vector<ViewerRequest> viewers = MakeViewers(6);
+    for (ViewerRequest& viewer : viewers) {
+      viewer.session.network.faults.episodes_per_minute = 120.0;
+      viewer.session.network.faults.episode_seconds = 0.5;
+      viewer.session.network.faults.timeout_seconds = 0.5;
+      viewer.session.network.faults.seed = viewer.session.network.seed;
+    }
+    return viewers;
+  };
+  auto run_config = [&](int io_threads, PrefetchMode mode) {
+    // Fresh storage manager (cold cache) over the same committed store.
+    StorageOptions storage_options;
+    storage_options.env = env_;
+    storage_options.root = "/vcdb";
+    storage_options.io_threads = io_threads;
+    storage_options.read_latency_seconds = 0.0002;
+    auto storage = StorageManager::Open(storage_options);
+    EXPECT_TRUE(storage.ok());
+    ServerOptions server_options;
+    server_options.prefetch = mode;
+    StreamingServer server(storage->get(), server_options);
+    auto stats = server.Run(metadata, make_viewers());
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  };
+
+  ServerStats baseline = run_config(0, PrefetchMode::kOff);
+  struct Config {
+    int io_threads;
+    PrefetchMode prefetch;
+  };
+  for (const Config& config :
+       {Config{1, PrefetchMode::kOff}, Config{1, PrefetchMode::kPredict},
+        Config{4, PrefetchMode::kPredict},
+        Config{4, PrefetchMode::kPopularity}}) {
+    ServerStats stats = run_config(config.io_threads, config.prefetch);
+    EXPECT_EQ(stats.bytes_sent, baseline.bytes_sent);
+    EXPECT_EQ(stats.wall_seconds, baseline.wall_seconds);
+    EXPECT_EQ(stats.media_seconds, baseline.media_seconds);
+    EXPECT_EQ(stats.stall_seconds, baseline.stall_seconds);
+    EXPECT_EQ(stats.stall_events, baseline.stall_events);
+    EXPECT_EQ(stats.transfer_faults, baseline.transfer_faults);
+    EXPECT_EQ(stats.transfer_retries, baseline.transfer_retries);
+    EXPECT_EQ(stats.segments_skipped, baseline.segments_skipped);
+    EXPECT_EQ(stats.sessions_admitted, baseline.sessions_admitted);
+    EXPECT_EQ(stats.sessions_queued, baseline.sessions_queued);
+    EXPECT_EQ(stats.sessions_rejected, baseline.sessions_rejected);
+    EXPECT_EQ(stats.sessions_completed, baseline.sessions_completed);
+    ASSERT_EQ(stats.sessions.size(), baseline.sessions.size());
+    for (size_t i = 0; i < stats.sessions.size(); ++i) {
+      ExpectSameStats(stats.sessions[i], baseline.sessions[i]);
+    }
+    if (config.prefetch != PrefetchMode::kOff) {
+      EXPECT_GT(stats.cache.prefetch_issued, 0u)
+          << "prefetch mode must actually speculate";
+      EXPECT_GT(stats.cache.prefetch_hits, 0u);
+    } else {
+      EXPECT_EQ(stats.cache.prefetch_issued, 0u);
+    }
+  }
+}
+
 TEST_F(ServerTest, ServerOptionsValidate) {
   ServerOptions options;
   EXPECT_TRUE(options.Validate().ok());
@@ -307,6 +376,12 @@ TEST_F(ServerTest, ServerOptionsValidate) {
   EXPECT_FALSE(options.Validate().ok());
   options = ServerOptions{};
   options.popularity_coverage = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServerOptions{};
+  options.prefetcher.max_queue = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServerOptions{};
+  options.prefetcher.max_inflight = -1;
   EXPECT_FALSE(options.Validate().ok());
 }
 

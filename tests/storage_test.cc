@@ -2,14 +2,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "codec/encoder.h"
 #include "common/env.h"
+#include "common/math_util.h"
 #include "image/scene.h"
 #include "storage/cache.h"
 #include "storage/metadata.h"
 #include "storage/monolithic.h"
+#include "storage/prefetcher.h"
 #include "storage/storage_manager.h"
 
 namespace vc {
@@ -172,6 +176,233 @@ TEST(LruCacheTest, EraseAndClear) {
   cache.Clear();
   EXPECT_EQ(cache.Get("b"), nullptr);
   EXPECT_EQ(cache.stats().bytes_cached, 0u);
+}
+
+// ------------------------------------------------------- Async cache loads
+
+TEST(LruCacheAsyncTest, DemandLoadResolvesAndCaches) {
+  LruCache cache(1 << 20);
+  ThreadPool pool(2);
+  auto loader = []() -> Result<LruCache::Value> { return Bytes(64, 7); };
+  auto handle = cache.GetOrComputeAsync("k", loader, &pool, LoadKind::kDemand);
+  ASSERT_TRUE(handle.valid());
+  EXPECT_FALSE(handle.hit());
+  auto value = handle.Wait();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ((*value)->size(), 64u);
+
+  // Second request finds the value cached: already-resolved handle, no
+  // second load dispatched.
+  auto again = cache.GetOrComputeAsync(
+      "k",
+      []() -> Result<LruCache::Value> {
+        ADD_FAILURE() << "cached key must not reload";
+        return Status::Internal("unexpected load");
+      },
+      &pool, LoadKind::kDemand);
+  EXPECT_TRUE(again.hit());
+  EXPECT_TRUE(again.ready());
+  ASSERT_TRUE(again.Wait().ok());
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(LruCacheAsyncTest, NullPoolRunsInline) {
+  LruCache cache(1 << 20);
+  int loads = 0;
+  auto handle = cache.GetOrComputeAsync(
+      "k",
+      [&loads]() -> Result<LruCache::Value> {
+        ++loads;
+        return Bytes(32, 3);
+      },
+      /*pool=*/nullptr, LoadKind::kDemand);
+  EXPECT_TRUE(handle.ready());
+  EXPECT_EQ(loads, 1);
+  ASSERT_TRUE(handle.Wait().ok());
+  EXPECT_NE(cache.Get("k"), nullptr);
+}
+
+TEST(LruCacheAsyncTest, PrefetchAttributionHitAndWasted) {
+  LruCache cache(1 << 20);
+  ThreadPool pool(2);
+  auto loader = []() -> Result<LruCache::Value> { return Bytes(64, 1); };
+
+  // A prefetch probe is invisible to demand statistics.
+  ASSERT_TRUE(cache.GetOrComputeAsync("warm", loader, &pool,
+                                      LoadKind::kPrefetch)
+                  .Wait()
+                  .ok());
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.prefetch_issued, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+
+  // Demand consumption of the prefetched value credits the prefetcher.
+  bool was_hit = false;
+  auto value = cache.GetOrCompute(
+      "warm",
+      []() -> Result<LruCache::Value> {
+        ADD_FAILURE() << "prefetched key must not reload";
+        return Status::Internal("unexpected load");
+      },
+      &was_hit);
+  ASSERT_TRUE(value.ok());
+  EXPECT_TRUE(was_hit);
+  EXPECT_EQ(cache.stats().prefetch_hits, 1u);
+
+  // A prefetched value dropped without any demand touch is wasted work —
+  // and the already-consumed one must not be double-counted.
+  ASSERT_TRUE(cache.GetOrComputeAsync("waste", loader, &pool,
+                                      LoadKind::kPrefetch)
+                  .Wait()
+                  .ok());
+  cache.Clear();
+  stats = cache.stats();
+  EXPECT_EQ(stats.prefetch_wasted, 1u);
+  EXPECT_EQ(stats.prefetch_hits, 1u);
+}
+
+TEST(LruCacheAsyncTest, DemandCoalescesWithInflightPrefetch) {
+  LruCache cache(1 << 20);
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  auto handle = cache.GetOrComputeAsync(
+      "k",
+      [&]() -> Result<LruCache::Value> {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+        return Bytes(32, 5);
+      },
+      &pool, LoadKind::kPrefetch);
+
+  // A demand read arriving while the prefetch is still loading must
+  // coalesce onto it (crediting the prefetcher), not start a second load.
+  std::thread demander([&cache] {
+    auto value = cache.GetOrCompute("k", []() -> Result<LruCache::Value> {
+      ADD_FAILURE() << "demand must coalesce with the in-flight prefetch";
+      return Status::Internal("unexpected load");
+    });
+    EXPECT_TRUE(value.ok());
+  });
+  while (cache.stats().coalesced == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  demander.join();
+  ASSERT_TRUE(handle.Wait().ok());
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.prefetch_issued, 1u);
+  EXPECT_EQ(stats.prefetch_hits, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.misses, 1u);  // the demand read missed, then waited
+}
+
+TEST(LruCacheAsyncTest, ErrorsResolveHandleAndAreNotCached) {
+  LruCache cache(1 << 20);
+  ThreadPool pool(2);
+  auto handle = cache.GetOrComputeAsync(
+      "k",
+      []() -> Result<LruCache::Value> {
+        return Status::IOError("backing store down");
+      },
+      &pool, LoadKind::kDemand);
+  EXPECT_TRUE(handle.Wait().status().IsIOError());
+
+  // The failure poisoned nothing: the next load runs fresh and succeeds.
+  auto retry =
+      cache.GetOrCompute("k", []() -> Result<LruCache::Value> {
+        return Bytes(64, 2);
+      });
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(cache.stats().bytes_cached, 64u);
+}
+
+TEST(LruCacheAsyncTest, PoolShutdownResolvesHandles) {
+  LruCache cache(1 << 20);
+  ThreadPool pool(1);
+  pool.Shutdown();
+  auto handle = cache.GetOrComputeAsync(
+      "k", []() -> Result<LruCache::Value> { return Bytes(16, 1); }, &pool,
+      LoadKind::kPrefetch);
+  ASSERT_TRUE(handle.ready()) << "refused dispatch must resolve immediately";
+  EXPECT_TRUE(handle.Wait().status().IsAborted());
+  EXPECT_EQ(cache.stats().bytes_cached, 0u);
+
+  // The key is not stuck in flight: a synchronous load still works.
+  auto value = cache.GetOrCompute(
+      "k", []() -> Result<LruCache::Value> { return Bytes(16, 1); });
+  EXPECT_TRUE(value.ok());
+}
+
+TEST(LruCacheAsyncTest, MixedDemandPrefetchHammer) {
+  // Thread-sanitizer target: demand reads, prefetch probes, coalesced
+  // waits, failing loaders, and cache clears all race over a small key
+  // space. Every handle must resolve, values must match their key's
+  // loader, and error loads must never land in the cache.
+  LruCache cache(1 << 16);
+  ThreadPool pool(4);
+  constexpr int kKeys = 8;
+  auto loader_for = [](int key) -> LruCache::Loader {
+    if (key % 4 == 3) {
+      return []() -> Result<LruCache::Value> {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        return Status::IOError("flaky backing store");
+      };
+    }
+    return [key]() -> Result<LruCache::Value> {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      return Bytes(256, static_cast<uint8_t>(key));
+    };
+  };
+
+  std::atomic<int> bad_values{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        int key = (t * 7 + i) % kKeys;
+        std::string name = "cell" + std::to_string(key);
+        int op = (t + i) % 3;
+        if (op == 0) {
+          auto value = cache.GetOrCompute(name, loader_for(key));
+          if (value.ok() && (**value)[0] != key) bad_values.fetch_add(1);
+        } else if (op == 1) {
+          auto handle = cache.GetOrComputeAsync(name, loader_for(key), &pool,
+                                                LoadKind::kDemand);
+          auto value = handle.Wait();
+          if (value.ok() && (**value)[0] != key) bad_values.fetch_add(1);
+        } else {
+          // Fire-and-forget speculation, like the prefetcher's probes.
+          cache.GetOrComputeAsync(name, loader_for(key), &pool,
+                                  LoadKind::kPrefetch);
+        }
+        if (i % 64 == 63) cache.Clear();
+        if (i % 97 == 96) cache.Erase(name);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  pool.WaitIdle();
+
+  EXPECT_EQ(bad_values.load(), 0);
+  for (int key = 3; key < kKeys; key += 4) {
+    EXPECT_EQ(cache.Get("cell" + std::to_string(key)), nullptr)
+        << "error loads must never be cached";
+  }
+  CacheStats stats = cache.stats();
+  // Each issued prefetch ends as at most one of {hit, wasted}.
+  EXPECT_LE(stats.prefetch_hits + stats.prefetch_wasted,
+            stats.prefetch_issued);
 }
 
 // --------------------------------------------------------------- Metadata
@@ -353,6 +584,121 @@ TEST_F(StorageManagerTest, ReadCellRangeChecks) {
   EXPECT_TRUE(store_->ReadCell(m, 5, 0, 0).status().IsInvalidArgument());
   EXPECT_TRUE(store_->ReadCell(m, 0, 9, 0).status().IsInvalidArgument());
   EXPECT_TRUE(store_->ReadCell(m, 0, 0, 9).status().IsInvalidArgument());
+}
+
+TEST_F(StorageManagerTest, AsyncReadsMatchSyncReads) {
+  VideoMetadata m = StoreSample("video", 2);
+
+  // Reopen the same root with an I/O pool and a little simulated
+  // backing-store latency, as a server would.
+  StorageOptions options;
+  options.env = env_.get();
+  options.root = "/store";
+  options.io_threads = 2;
+  options.read_latency_seconds = 0.0005;
+  auto async_store = StorageManager::Open(options);
+  ASSERT_TRUE(async_store.ok());
+  ASSERT_NE((*async_store)->io_pool(), nullptr);
+
+  auto handle = (*async_store)->ReadCellAsync(m, 0, 1, 1);
+  ASSERT_TRUE(handle.ok());
+  auto async_value = handle->Wait();
+  ASSERT_TRUE(async_value.ok());
+  auto sync_value = store_->ReadCell(m, 0, 1, 1);
+  ASSERT_TRUE(sync_value.ok());
+  EXPECT_EQ(**async_value, **sync_value);
+
+  // Coordinate validation happens before anything is dispatched.
+  EXPECT_TRUE(
+      (*async_store)->ReadCellAsync(m, 9, 0, 0).status().IsInvalidArgument());
+
+  // A prefetch probe loads the cell without touching demand statistics.
+  CacheStats before = (*async_store)->cache_stats();
+  auto probe = (*async_store)->ReadCellAsync(m, 1, 0, 0, LoadKind::kPrefetch);
+  ASSERT_TRUE(probe.ok());
+  ASSERT_TRUE(probe->Wait().ok());
+  CacheStats after = (*async_store)->cache_stats();
+  EXPECT_EQ(after.prefetch_issued, before.prefetch_issued + 1);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST_F(StorageManagerTest, ReadPlannedCellsLoadsEveryTile) {
+  VideoMetadata m = StoreSample("video", 2);
+  StorageOptions options;
+  options.env = env_.get();
+  options.root = "/store";
+  options.io_threads = 2;
+  auto store = StorageManager::Open(options);
+  ASSERT_TRUE(store.ok());
+
+  std::vector<int> plan(m.tile_count(), 0);
+  plan[1] = 1;
+  ASSERT_TRUE((*store)->ReadPlannedCells(m, 1, plan).ok());
+  CacheStats stats = (*store)->cache_stats();
+  EXPECT_EQ(stats.misses, 2u);  // one cold load per tile
+
+  // The batch warmed the cache: repeating it is all hits, and the cells
+  // match what the synchronous path reads.
+  ASSERT_TRUE((*store)->ReadPlannedCells(m, 1, plan).ok());
+  EXPECT_EQ((*store)->cache_stats().hits, 2u);
+  for (int tile = 0; tile < m.tile_count(); ++tile) {
+    auto batched = (*store)->ReadCell(m, 1, tile, plan[tile]);
+    ASSERT_TRUE(batched.ok());
+    auto direct = store_->ReadCell(m, 1, tile, plan[tile]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(**batched, **direct);
+  }
+
+  // A plan must cover every tile.
+  EXPECT_TRUE((*store)->ReadPlannedCells(m, 1, {0}).IsInvalidArgument());
+}
+
+TEST_F(StorageManagerTest, PrefetcherWarmsPredictedCells) {
+  VideoMetadata m = StoreSample("video", 2);
+  StorageOptions options;
+  options.env = env_.get();
+  options.root = "/store";
+  options.io_threads = 2;
+  auto store = StorageManager::Open(options);
+  ASSERT_TRUE(store.ok());
+
+  PrefetcherOptions prefetch_options;
+  prefetch_options.mode = PrefetchMode::kPredict;
+  PredictivePrefetcher prefetcher(store->get(), prefetch_options);
+
+  PrefetchHint hint;
+  hint.valid = true;
+  hint.segment = 0;
+  hint.fov_yaw = 2 * kPi;  // whole panorama in view: every tile qualifies
+  hint.fov_pitch = kPi;
+  hint.high_quality = 0;
+  prefetcher.EnqueueSegment(m, hint, /*popularity=*/nullptr,
+                            /*deadline=*/10.0);
+  // 2 viewport tiles at the high rung + 2 backfill tiles at the low rung.
+  EXPECT_EQ(prefetcher.stats().enqueued, 4u);
+  prefetcher.Pump(/*now=*/0.0);
+  prefetcher.Drain();
+  EXPECT_EQ(prefetcher.stats().dispatched, 4u);
+
+  // The speculative loads landed: demand reads are now pure hits credited
+  // to the prefetcher.
+  CacheStats stats = (*store)->cache_stats();
+  EXPECT_EQ(stats.prefetch_issued, 4u);
+  ASSERT_TRUE((*store)->ReadCell(m, 0, 0, 0).ok());
+  ASSERT_TRUE((*store)->ReadCell(m, 0, 1, 1).ok());
+  stats = (*store)->cache_stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.prefetch_hits, 2u);
+
+  // Hints past their deadline are cancelled, not dispatched.
+  hint.segment = 1;
+  prefetcher.EnqueueSegment(m, hint, nullptr, /*deadline=*/1.0);
+  prefetcher.Pump(/*now=*/2.0);
+  EXPECT_EQ(prefetcher.stats().dispatched, 4u);
+  EXPECT_EQ(prefetcher.stats().cancelled, 4u);
+  prefetcher.Drain();
 }
 
 TEST_F(StorageManagerTest, DropRemovesVideo) {
