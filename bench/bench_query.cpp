@@ -1,0 +1,220 @@
+// E8 — declarative query layer: tile pruning vs naive full scan.
+//
+// Paper claim (VisualCloud, SIGMOD'17 demo): declarative VR queries let the
+// DBMS prune work the viewer never sees — the optimizer turns viewport and
+// time predicates into (segment × tile × quality) cell pruning before any
+// byte is decoded, and serves stored ladder rungs without transcoding.
+//
+// This bench runs a canonical query mix twice through the same physical
+// executor: once pruned (the optimizer's plan) and once as a naive
+// filter-after-scan baseline that fetches and decodes every catalog cell,
+// then discards out-of-plan pixels. The decoded frames must be
+// byte-identical — pruning may only remove work, never change the answer —
+// and the pruned run must touch at most half the cells the naive run does.
+// A transcode-elision leg exports a full-grid selection both ways: stored
+// bitstream stitching vs decode + re-encode.
+//
+// `--smoke` shrinks the video so the whole binary finishes in seconds
+// (registered as a ctest); smoke runs skip BENCH_query.json.
+
+#include <cstring>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+namespace {
+
+bool FramesEqual(const std::vector<Frame>& a, const std::vector<Frame>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].SameSize(b[i]) || a[i].y_plane() != b[i].y_plane() ||
+        a[i].u_plane() != b[i].u_plane() || a[i].v_plane() != b[i].v_plane()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct NamedQuery {
+  const char* label;
+  Query query;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  Banner("E8: declarative query layer — pruned vs naive full scan",
+         "viewport/time predicates prune >=50% of catalog cells with "
+         "byte-identical decoded output");
+
+  BenchDb bench = OpenBenchDb();
+  const int seconds = smoke ? 4 : kVideoSeconds;
+  IngestOptions ingest = CanonicalIngest();
+  auto scene = CanonicalScene("venice");
+  CheckOk(bench.db->IngestScene("venice", *scene, seconds * kFps, ingest),
+          "ingest");
+  VideoMetadata metadata = CheckOk(bench.db->Describe("venice"), "describe");
+  StorageManager* storage = bench.db->storage();
+  const double duration = seconds;
+
+  // The query mix: viewport selections around the sphere, time windows,
+  // quality floors, one degrade (spatial quality falloff instead of spatial
+  // pruning), and one query arriving through the text-form parser.
+  std::vector<NamedQuery> queries;
+  queries.push_back(
+      {"front-window",
+       Query::Scan("venice")
+           .TimeSlice(0.0, duration / 2)
+           .Viewport(kPi, kPi / 2, DegToRad(kFovYawDeg),
+                     DegToRad(kFovPitchDeg))
+           .QualityFloor("high")});
+  queries.push_back(
+      {"seam-crossing",
+       Query::Scan("venice")
+           .TimeSlice(duration / 4, 3 * duration / 4)
+           .Viewport(0.05, kPi / 2, DegToRad(110), DegToRad(70))
+           .QualityFloor("medium")});
+  queries.push_back(
+      {"degrade-periphery",
+       Query::Scan("venice")
+           .TimeSlice(0.0, duration / 4)
+           .Viewport(kPi / 2, kPi / 2, DegToRad(kFovYawDeg),
+                     DegToRad(kFovPitchDeg))
+           .QualityFloor("high")
+           .Degrade("low")});
+  Query parsed = CheckOk(
+      ParseQuery(Slice(std::string("scan(venice) | timeslice(0,") +
+                       std::to_string(duration / 2) +
+                       ") | viewport(270,60,100,80) | quality(low)")),
+      "parse");
+  queries.push_back({"parsed-text", parsed});
+
+  std::printf("\n%-18s %9s %9s %8s %10s %10s %8s %7s\n", "query", "pruned",
+              "naive", "pruned%", "pruned ms", "naive ms", "speedup",
+              "equal");
+
+  std::string rows;
+  long long scanned_pruned = 0, scanned_naive = 0;
+  bool all_equal = true;
+  for (const NamedQuery& q : queries) {
+    PhysicalPlan plan = CheckOk(Optimize(q.query, storage), "optimize");
+    if (plan.Explain().empty()) CheckOk(Status::Internal("empty explain"),
+                                        "explain");
+
+    storage->ClearCache();
+    Stopwatch pruned_watch;
+    QueryResult pruned = CheckOk(ExecutePlan(plan, storage), "pruned run");
+    double pruned_ms = pruned_watch.ElapsedMillis();
+
+    storage->ClearCache();
+    ExecuteOptions naive_options;
+    naive_options.naive_full_scan = true;
+    Stopwatch naive_watch;
+    QueryResult naive =
+        CheckOk(ExecutePlan(plan, storage, naive_options), "naive run");
+    double naive_ms = naive_watch.ElapsedMillis();
+
+    bool equal = FramesEqual(pruned.frames, naive.frames);
+    all_equal = all_equal && equal;
+    scanned_pruned += pruned.cells_scanned;
+    scanned_naive += naive.cells_scanned;
+    double pruned_pct =
+        100.0 * (naive.cells_scanned - pruned.cells_scanned) /
+        (naive.cells_scanned > 0 ? naive.cells_scanned : 1);
+
+    std::printf("%-18s %9d %9d %7.1f%% %10.2f %10.2f %7.2fx %7s\n", q.label,
+                pruned.cells_scanned, naive.cells_scanned, pruned_pct,
+                pruned_ms, naive_ms,
+                pruned_ms > 0 ? naive_ms / pruned_ms : 0.0,
+                equal ? "yes" : "NO");
+
+    char row[384];
+    std::snprintf(row, sizeof(row),
+                  "%s  {\"query\": \"%s\", \"cells_pruned_run\": %d, "
+                  "\"cells_naive_run\": %d, \"pruned_fraction\": %.4f, "
+                  "\"pruned_ms\": %.3f, \"naive_ms\": %.3f, "
+                  "\"frames\": %zu, \"identical\": %s}",
+                  rows.empty() ? "" : ",\n", q.label, pruned.cells_scanned,
+                  naive.cells_scanned, pruned_pct / 100.0, pruned_ms,
+                  naive_ms, pruned.frames.size(), equal ? "true" : "false");
+    rows += row;
+  }
+
+  // Transcode-elision leg: a whole-video single-rung export served as
+  // stitched stored bytes vs the same plan forced through decode+re-encode.
+  Query export_query = Query::Scan("venice").QualityFloor("medium").Encode();
+  PhysicalPlan export_plan =
+      CheckOk(Optimize(export_query, storage), "optimize export");
+  storage->ClearCache();
+  Stopwatch stitch_watch;
+  QueryResult stitched =
+      CheckOk(ExecutePlan(export_plan, storage), "stitched export");
+  double stitch_ms = stitch_watch.ElapsedMillis();
+  storage->ClearCache();
+  ExecuteOptions transcode_options;
+  transcode_options.naive_full_scan = true;
+  Stopwatch transcode_watch;
+  QueryResult transcoded = CheckOk(
+      ExecutePlan(export_plan, storage, transcode_options), "transcoded");
+  double transcode_ms = transcode_watch.ElapsedMillis();
+
+  std::printf("\nE8b: transcode elision (full-grid medium export, %d "
+              "segments)\n", metadata.segment_count());
+  std::printf("  stitched:   %8.2f ms, %d segment merges, 0 transcodes\n",
+              stitch_ms, stitched.transcodes_avoided);
+  std::printf("  transcoded: %8.2f ms, %d transcodes (%.2fx slower)\n",
+              transcode_ms, transcoded.transcodes,
+              stitch_ms > 0 ? transcode_ms / stitch_ms : 0.0);
+
+  double aggregate_pruned_fraction =
+      scanned_naive > 0
+          ? 1.0 - static_cast<double>(scanned_pruned) / scanned_naive
+          : 0.0;
+  std::printf("\naggregate: %lld cells (pruned) vs %lld (naive) — %.1f%% "
+              "pruned, outputs %s\n",
+              scanned_pruned, scanned_naive,
+              100.0 * aggregate_pruned_fraction,
+              all_equal ? "byte-identical" : "DIVERGED");
+
+  // These two are the acceptance bar; fail loudly rather than report
+  // quietly so the smoke ctest enforces them.
+  if (!all_equal) {
+    std::fprintf(stderr, "bench: pruned and naive outputs diverged\n");
+    return 1;
+  }
+  if (aggregate_pruned_fraction < 0.5) {
+    std::fprintf(stderr, "bench: pruning below 50%% (%.1f%%)\n",
+                 100.0 * aggregate_pruned_fraction);
+    return 1;
+  }
+
+  EmitMetricsSnapshot("E8");
+  if (smoke) {
+    std::printf("\nsmoke run: BENCH_query.json left untouched\n");
+    return 0;
+  }
+
+  char tail[512];
+  std::snprintf(
+      tail, sizeof(tail),
+      " \"aggregate\": {\"cells_pruned_run\": %lld, "
+      "\"cells_naive_run\": %lld, \"pruned_fraction\": %.4f, "
+      "\"identical\": %s},\n"
+      " \"transcode_elision\": {\"stitched_ms\": %.3f, "
+      "\"transcoded_ms\": %.3f, \"segment_merges\": %d, "
+      "\"transcodes\": %d}",
+      scanned_pruned, scanned_naive, aggregate_pruned_fraction,
+      all_equal ? "true" : "false", stitch_ms, transcode_ms,
+      stitched.transcodes_avoided, transcoded.transcodes);
+
+  WriteBenchJson("BENCH_query.json", std::string("{\n \"experiment\": \"E8\","
+                                                 "\n \"queries\": [\n") +
+                                         rows + "\n ],\n" + tail + "\n}");
+  return 0;
+}

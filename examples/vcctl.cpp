@@ -8,10 +8,13 @@
 //   vcctl ls
 //   vcctl describe <name>
 //   vcctl manifest <name>
+//   vcctl query '<expr>' [explain]       # declarative query layer
 //   vcctl stream <name> [approach] [predictor] [mbps] [archetype]
 //   vcctl serve-sim <name> [viewers] [slots] [budget_mbps] [faults/min]
 //   vcctl metrics [name] [json|csv]      # subsystem counters snapshot
+//   vcctl export <name> <file> [quality]
 //   vcctl drop <name>
+//   vcctl help
 //
 // Global flags (any command): --io-threads N sizes the store's async cell
 // I/O pool; --prefetch {off,predict,popularity} turns on speculative cell
@@ -31,6 +34,8 @@
 #include "core/visualcloud.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "query/executor.h"
+#include "query/parser.h"
 #include "server/streaming_server.h"
 #include "streaming/manifest.h"
 #include "predict/trace_synthesizer.h"
@@ -38,6 +43,47 @@
 namespace {
 
 using namespace vc;
+
+void PrintUsage(std::FILE* out) {
+  std::fputs(
+      "usage: vcctl [global flags] <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  (none)                        canned end-to-end demo\n"
+      "  ingest <scene> <name> [RxC] [seconds]\n"
+      "                                synthesize and ingest a 360-degree scene\n"
+      "                                (tiles default 4x8, duration 10s)\n"
+      "  ls                            list catalog videos\n"
+      "  describe <name>               layout, ladder, and versions of a video\n"
+      "  manifest <name>               print the VCMPD streaming manifest\n"
+      "  query <expr> [explain]        run a declarative query; 'explain' prints\n"
+      "                                the optimized plan without executing.\n"
+      "                                e.g. \"scan(demo) | timeslice(0,2) |\n"
+      "                                viewport(90,90,100,80) | quality(high)\"\n"
+      "  stream <name> [approach] [predictor] [mbps] [archetype]\n"
+      "                                simulate one streaming session\n"
+      "                                (approach: monolithic, uniform_dash,\n"
+      "                                visualcloud, oracle)\n"
+      "  serve-sim <name> [viewers] [slots] [budget_mbps] [faults/min]\n"
+      "                                multi-viewer server simulation\n"
+      "  metrics [name] [json|csv]     subsystem counters snapshot (with a\n"
+      "                                name: runs a session and a query first\n"
+      "                                so the counters are live)\n"
+      "  export <name> <file> [quality]\n"
+      "                                monolithic no-transcode export\n"
+      "  drop <name>                   remove a video and all versions\n"
+      "  help                          this text\n"
+      "\n"
+      "global flags:\n"
+      "  --io-threads N                async cell-load I/O pool size (default\n"
+      "                                0: synchronous reads)\n"
+      "  --prefetch {off,predict,popularity}\n"
+      "                                speculative cell loading in serve-sim\n"
+      "                                (needs --io-threads > 0)\n"
+      "\n"
+      "store root: $VCCTL_ROOT (default /tmp/visualcloud-store)\n",
+      out);
+}
 
 std::string StoreRoot() {
   const char* root = std::getenv("VCCTL_ROOT");
@@ -327,6 +373,14 @@ int CmdMetrics(VisualCloud* db, const std::vector<std::string>& args) {
     session.viewport.fov_pitch = DegToRad(75);
     auto stats = SimulateSession(db->storage(), *metadata, *trace, session);
     if (!stats.ok()) Fail(stats.status(), "session");
+
+    // One viewport query as well, so the query.* counters are non-zero.
+    Query query = Query::Scan(name)
+                      .TimeSlice(0.0, metadata->segment_duration_seconds())
+                      .Viewport(kPi, kPi / 2, DegToRad(100), DegToRad(80))
+                      .QualityFloor(0);
+    auto executed = ExecuteQuery(query, db->storage());
+    if (!executed.ok()) Fail(executed.status(), "query");
   }
 
   MetricsSnapshot snapshot = MetricRegistry::Global().Snapshot();
@@ -354,6 +408,47 @@ int CmdExport(VisualCloud* db, const std::string& name,
   return 0;
 }
 
+int CmdQuery(VisualCloud* db, const std::string& expr, bool explain_only) {
+  auto parsed = ParseQuery(Slice(expr));
+  if (!parsed.ok()) Fail(parsed.status(), "query");
+
+  auto plan = Optimize(*parsed, db->storage());
+  if (!plan.ok()) Fail(plan.status(), "optimize");
+  std::fputs(plan->Explain().c_str(), stdout);
+  if (explain_only) return 0;
+
+  auto result = ExecutePlan(*plan, db->storage());
+  if (!result.ok()) Fail(result.status(), "execute");
+
+  std::printf("executed: %d cells scanned, %d pruned", result->cells_scanned,
+              result->cells_pruned);
+  if (result->transcodes_avoided > 0) {
+    std::printf(", %d transcodes avoided", result->transcodes_avoided);
+  }
+  if (result->transcodes > 0) {
+    std::printf(", %d transcodes", result->transcodes);
+  }
+  std::printf("\n");
+  if (!result->frames.empty()) {
+    std::printf("result: %zu decoded frames (%dx%d)\n",
+                result->frames.size(), result->frames[0].width(),
+                result->frames[0].height());
+  }
+  if (result->has_encoded) {
+    std::printf("result: encoded stream, %zu frames, %.1f KB%s\n",
+                result->encoded.frames.size(),
+                result->encoded.size_bytes() / 1024.0,
+                plan->sink == SinkKind::kToFile
+                    ? (" -> " + plan->target).c_str()
+                    : "");
+  }
+  if (plan->sink == SinkKind::kStore) {
+    std::printf("stored: '%s' v%u\n", plan->target.c_str(),
+                result->stored_version);
+  }
+  return 0;
+}
+
 int CmdDemo(VisualCloud* db) {
   std::printf("== vcctl demo: ingest + compare approaches ==\n");
   CmdIngest(db, "venice", "demo", "4x8", 10);
@@ -374,14 +469,30 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
 
   // Global flags, stripped before command dispatch (they configure the
-  // store itself, which opens before any command runs).
+  // store itself, which opens before any command runs). Any other --flag is
+  // an error: print usage and exit non-zero rather than silently treating
+  // it as a positional argument.
   int io_threads = 0;
   PrefetchMode prefetch = PrefetchMode::kOff;
   for (size_t i = 0; i < args.size();) {
-    if (args[i] == "--io-threads" && i + 1 < args.size()) {
+    if (args[i] == "--help" || args[i] == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (args[i] == "--io-threads") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "vcctl: --io-threads needs a value\n");
+        PrintUsage(stderr);
+        return 2;
+      }
       io_threads = std::atoi(args[i + 1].c_str());
       args.erase(args.begin() + i, args.begin() + i + 2);
-    } else if (args[i] == "--prefetch" && i + 1 < args.size()) {
+    } else if (args[i] == "--prefetch") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "vcctl: --prefetch needs a value\n");
+        PrintUsage(stderr);
+        return 2;
+      }
       const std::string& mode = args[i + 1];
       if (mode == "off") {
         prefetch = PrefetchMode::kOff;
@@ -394,12 +505,22 @@ int main(int argc, char** argv) {
                      "vcctl: unknown --prefetch mode '%s' (off, predict, "
                      "popularity)\n",
                      mode.c_str());
+        PrintUsage(stderr);
         return 2;
       }
       args.erase(args.begin() + i, args.begin() + i + 2);
+    } else if (args[i].rfind("--", 0) == 0) {
+      std::fprintf(stderr, "vcctl: unknown flag '%s'\n", args[i].c_str());
+      PrintUsage(stderr);
+      return 2;
     } else {
       ++i;
     }
+  }
+
+  if (!args.empty() && args[0] == "help") {
+    PrintUsage(stdout);
+    return 0;
   }
 
   auto db = OpenStore(io_threads);
@@ -431,6 +552,9 @@ int main(int argc, char** argv) {
                        std::atof(arg(4, "0").c_str()),
                        std::atof(arg(5, "0").c_str()), prefetch);
   }
+  if (command == "query" && args.size() >= 2) {
+    return CmdQuery(db.get(), args[1], arg(2, "") == "explain");
+  }
   if (command == "metrics") return CmdMetrics(db.get(), args);
   if (command == "export" && args.size() >= 3) {
     return CmdExport(db.get(), args[1], args[2],
@@ -441,13 +565,8 @@ int main(int argc, char** argv) {
     std::printf("dropped '%s'\n", args[1].c_str());
     return 0;
   }
-  std::fprintf(stderr,
-               "usage: vcctl [demo | ingest <scene> <name> [RxC] [sec] | ls "
-               "| describe <name> | manifest <name> | stream <name> "
-               "[approach] [predictor] [mbps] [archetype] | serve-sim <name> "
-               "[viewers] [slots] [budget_mbps] [faults/min] | metrics [name] "
-               "[json|csv] | export <name> <file> [quality] | drop <name>]\n"
-               "global flags: --io-threads N, --prefetch "
-               "{off,predict,popularity}\n");
+  std::fprintf(stderr, "vcctl: unknown or incomplete command '%s'\n",
+               command.c_str());
+  PrintUsage(stderr);
   return 2;
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# CI entry point. Runs the repo's verification legs; each leg uses its own
+# build tree so they can run independently or all in sequence.
+#
+#   scripts/ci.sh             # all legs, tier-1 first
+#   scripts/ci.sh tier1       # configure + build + full ctest (the gate)
+#   scripts/ci.sh release     # Release build + smoke-labeled benches + ctest
+#   scripts/ci.sh tsan        # ThreadSanitizer leg: concurrency-prone suites
+#
+# ctest labels (tests/CMakeLists.txt, bench/CMakeLists.txt) slice the suite:
+# unit, query, server, smoke.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+
+tier1() {
+  echo "== tier1: RelWithDebInfo build + full test suite =="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build --output-on-failure -j"$JOBS" --timeout 120
+}
+
+release() {
+  echo "== release: -O2 build, full ctest, bench smoke legs =="
+  cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-rel -j"$JOBS"
+  # Optimizer-dependent bugs (UB, uninitialized reads) only surface at -O2.
+  ctest --test-dir build-rel --output-on-failure -j"$JOBS" --timeout 120
+  # End-to-end bench smokes: server pipeline and query pruned-vs-naive
+  # byte-identity (also part of ctest, but run serially here for timing).
+  ctest --test-dir build-rel --output-on-failure -L smoke --timeout 600
+}
+
+tsan() {
+  echo "== tsan: ThreadSanitizer on the concurrency-prone suites =="
+  cmake -B build-tsan -S . -DVC_SANITIZE=thread
+  cmake --build build-tsan -j"$JOBS" \
+    --target server_test storage_test query_test obs_test common_test
+  # Where races would live: the single-flight/async cache loader, the
+  # prefetcher, the multi-session server scheduler, the query executor's
+  # batched async cell fetches, and the sharded metrics registry.
+  for t in server_test storage_test query_test obs_test common_test; do
+    echo "-- tsan: $t"
+    ./build-tsan/tests/"$t"
+  done
+}
+
+case "${1:-all}" in
+  tier1)   tier1 ;;
+  release) release ;;
+  tsan)    tsan ;;
+  all)     tier1; release; tsan ;;
+  *)
+    echo "usage: scripts/ci.sh [tier1|release|tsan|all]" >&2
+    exit 2
+    ;;
+esac

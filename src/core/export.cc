@@ -1,6 +1,6 @@
 #include "core/export.h"
 
-#include "codec/homomorphic.h"
+#include "query/executor.h"
 
 namespace vc {
 
@@ -10,27 +10,18 @@ Result<EncodedVideo> ExportMonolithic(StorageManager* storage,
   if (quality < 0 || quality >= metadata.quality_count()) {
     return Status::InvalidArgument("quality rung out of range");
   }
-  std::vector<EncodedVideo> segments;
-  segments.reserve(metadata.segment_count());
-  for (int segment = 0; segment < metadata.segment_count(); ++segment) {
-    std::vector<EncodedVideo> tiles;
-    tiles.reserve(metadata.tile_count());
-    for (int tile = 0; tile < metadata.tile_count(); ++tile) {
-      LruCache::Value bytes;
-      VC_ASSIGN_OR_RETURN(bytes,
-                          storage->ReadCell(metadata, segment, tile, quality));
-      EncodedVideo cell;
-      VC_ASSIGN_OR_RETURN(cell, EncodedVideo::Parse(Slice(*bytes)));
-      tiles.push_back(std::move(cell));
-    }
-    EncodedVideo merged;
-    VC_ASSIGN_OR_RETURN(
-        merged, MergeTileStreams(tiles, metadata.tile_rows,
-                                 metadata.tile_cols, metadata.width,
-                                 metadata.height));
-    segments.push_back(std::move(merged));
+  // A full-video, full-grid, single-rung query: the optimizer proves it
+  // transcode-free and the executor serves stored bytes homomorphically
+  // (TILEUNION per segment, then GOPUNION) — no pixel is ever decoded.
+  Query query = Query::Scan(metadata.name).QualityFloor(quality).Encode();
+  OptimizeOptions optimize;
+  optimize.scan_override = &metadata;  // pin the caller's version
+  QueryResult result;
+  VC_ASSIGN_OR_RETURN(result, ExecuteQuery(query, storage, optimize));
+  if (!result.has_encoded) {
+    return Status::Internal("export query produced no encoded stream");
   }
-  return ConcatenateStreams(segments);
+  return std::move(result.encoded);
 }
 
 }  // namespace vc

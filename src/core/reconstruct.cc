@@ -1,6 +1,6 @@
 #include "core/reconstruct.h"
 
-#include "codec/decoder.h"
+#include "query/executor.h"
 
 namespace vc {
 
@@ -14,39 +14,30 @@ Result<std::vector<Frame>> ReconstructSegment(StorageManager* storage,
   if (static_cast<int>(plan.size()) != metadata.tile_count()) {
     return Status::InvalidArgument("quality plan size != tile count");
   }
-  TileGrid grid = metadata.tile_grid();
-  const int frame_count = metadata.segments[segment].frame_count;
-
-  std::vector<Frame> panorama(frame_count,
-                              Frame(metadata.width, metadata.height));
-
-  for (int tile = 0; tile < metadata.tile_count(); ++tile) {
-    int quality = plan[tile];
+  for (int quality : plan) {
     if (quality < 0 || quality >= metadata.quality_count()) {
       return Status::InvalidArgument("quality plan rung out of range");
     }
-    LruCache::Value bytes;
-    VC_ASSIGN_OR_RETURN(bytes,
-                        storage->ReadCell(metadata, segment, tile, quality));
-    EncodedVideo video;
-    VC_ASSIGN_OR_RETURN(video, EncodedVideo::Parse(Slice(*bytes)));
-    if (static_cast<int>(video.frames.size()) != frame_count) {
-      return Status::Corruption("cell frame count mismatch");
-    }
-    std::unique_ptr<Decoder> decoder;
-    VC_ASSIGN_OR_RETURN(decoder, Decoder::Create(video.header));
-    TileGrid::PixelRect rect;
-    VC_ASSIGN_OR_RETURN(rect, grid.PixelRectOf(grid.TileAt(tile),
-                                               metadata.width,
-                                               metadata.height, 16));
-    for (int i = 0; i < frame_count; ++i) {
-      Frame tile_frame;
-      VC_ASSIGN_OR_RETURN(tile_frame,
-                          decoder->Decode(Slice(video.frames[i].payload)));
-      VC_RETURN_IF_ERROR(panorama[i].Paste(tile_frame, rect.x, rect.y));
-    }
   }
-  return panorama;
+  // Per-tile rung choices are not expressible in the logical algebra, so
+  // this builds the physical plan directly: one scan, one whole-segment
+  // slice carrying the per-tile rungs, materialize sink.
+  const SegmentInfo& info = metadata.segments[segment];
+  PhysicalPlan physical;
+  ScanPlan scan;
+  scan.metadata = metadata;
+  SegmentSlice slice;
+  slice.segment = segment;
+  slice.first_frame = static_cast<int>(info.start_frame);
+  slice.last_frame =
+      static_cast<int>(info.start_frame + info.frame_count) - 1;
+  slice.tile_quality = plan;
+  scan.slices.push_back(std::move(slice));
+  physical.scans.push_back(std::move(scan));
+
+  QueryResult result;
+  VC_ASSIGN_OR_RETURN(result, ExecutePlan(physical, storage));
+  return std::move(result.frames);
 }
 
 Result<std::vector<Frame>> ReconstructFrameRange(StorageManager* storage,
@@ -56,28 +47,19 @@ Result<std::vector<Frame>> ReconstructFrameRange(StorageManager* storage,
   if (first < 0 || last < first) {
     return Status::InvalidArgument("bad frame range");
   }
-  TileQualityPlan plan(metadata.tile_count(), quality);
-  std::vector<Frame> out;
-  for (int segment = 0; segment < metadata.segment_count(); ++segment) {
-    const SegmentInfo& info = metadata.segments[segment];
-    int seg_first = static_cast<int>(info.start_frame);
-    int seg_last = seg_first + static_cast<int>(info.frame_count) - 1;
-    if (seg_last < first) continue;
-    if (seg_first > last) break;
-    std::vector<Frame> frames;
-    VC_ASSIGN_OR_RETURN(frames,
-                        ReconstructSegment(storage, metadata, segment, plan));
-    for (int i = 0; i < static_cast<int>(frames.size()); ++i) {
-      int presentation = seg_first + i;
-      if (presentation >= first && presentation <= last) {
-        out.push_back(std::move(frames[i]));
-      }
-    }
+  if (quality < 0 || quality >= metadata.quality_count()) {
+    return Status::InvalidArgument("quality plan rung out of range");
   }
-  if (out.size() != static_cast<size_t>(last - first + 1)) {
+  Query query =
+      Query::Scan(metadata.name).FrameSlice(first, last).QualityFloor(quality);
+  OptimizeOptions optimize;
+  optimize.scan_override = &metadata;  // pin the caller's version
+  QueryResult result;
+  VC_ASSIGN_OR_RETURN(result, ExecuteQuery(query, storage, optimize));
+  if (result.frames.size() != static_cast<size_t>(last - first + 1)) {
     return Status::OutOfRange("frame range extends past stored video");
   }
-  return out;
+  return std::move(result.frames);
 }
 
 }  // namespace vc

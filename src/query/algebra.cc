@@ -1,0 +1,196 @@
+#include "query/algebra.h"
+
+#include <cstdio>
+
+#include "common/math_util.h"
+
+namespace vc {
+
+const char* LogicalOpName(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kScan:
+      return "scan";
+    case LogicalOpKind::kTimeSlice:
+      return "timeslice";
+    case LogicalOpKind::kViewport:
+      return "viewport";
+    case LogicalOpKind::kQualityFloor:
+      return "quality";
+    case LogicalOpKind::kDegrade:
+      return "degrade";
+    case LogicalOpKind::kUnion:
+      return "union";
+    case LogicalOpKind::kEncode:
+      return "encode";
+    case LogicalOpKind::kStore:
+      return "store";
+    case LogicalOpKind::kToFile:
+      return "tofile";
+  }
+  return "unknown";
+}
+
+Query Query::Scan(std::string video) {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kScan;
+  node.video = std::move(video);
+  return Query(std::make_shared<const LogicalNode>(std::move(node)));
+}
+
+Query Query::Union(std::vector<Query> branches) {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kUnion;
+  for (Query& branch : branches) node.inputs.push_back(branch.root_);
+  return Query(std::make_shared<const LogicalNode>(std::move(node)));
+}
+
+Query Query::Chain(LogicalNode node) const {
+  node.inputs = {root_};
+  return Query(std::make_shared<const LogicalNode>(std::move(node)));
+}
+
+Query Query::TimeSlice(double t0, double t1) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kTimeSlice;
+  node.t0 = t0;
+  node.t1 = t1;
+  return Chain(std::move(node));
+}
+
+Query Query::FrameSlice(int first, int last) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kTimeSlice;
+  node.first_frame = first;
+  node.last_frame = last;
+  return Chain(std::move(node));
+}
+
+Query Query::Viewport(double yaw, double pitch, double fov_yaw,
+                      double fov_pitch) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kViewport;
+  node.center = Orientation{yaw, pitch}.Normalized();
+  node.fov_yaw = fov_yaw;
+  node.fov_pitch = fov_pitch;
+  return Chain(std::move(node));
+}
+
+Query Query::QualityFloor(std::string rung_name) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kQualityFloor;
+  node.quality_name = std::move(rung_name);
+  return Chain(std::move(node));
+}
+
+Query Query::QualityFloor(int rung) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kQualityFloor;
+  node.quality = rung;
+  return Chain(std::move(node));
+}
+
+Query Query::Degrade(std::string rung_name) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kDegrade;
+  node.quality_name = std::move(rung_name);
+  return Chain(std::move(node));
+}
+
+Query Query::Degrade(int rung) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kDegrade;
+  node.quality = rung;
+  return Chain(std::move(node));
+}
+
+Query Query::Encode(int qp) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kEncode;
+  node.encode_qp = qp;
+  return Chain(std::move(node));
+}
+
+Query Query::Store(std::string name) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kStore;
+  node.target = std::move(name);
+  return Chain(std::move(node));
+}
+
+Query Query::ToFile(std::string path) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kToFile;
+  node.target = std::move(path);
+  return Chain(std::move(node));
+}
+
+namespace {
+
+/// Shortest decimal that round-trips for the values queries carry.
+std::string Num(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+void Print(const LogicalNode& node, std::string* out) {
+  if (!node.inputs.empty() && node.kind != LogicalOpKind::kUnion) {
+    Print(*node.inputs[0], out);
+    *out += " | ";
+  }
+  switch (node.kind) {
+    case LogicalOpKind::kScan:
+      *out += "scan(" + node.video + ")";
+      return;
+    case LogicalOpKind::kUnion: {
+      *out += "union(";
+      for (size_t i = 0; i < node.inputs.size(); ++i) {
+        if (i > 0) *out += " ; ";
+        Print(*node.inputs[i], out);
+      }
+      *out += ")";
+      return;
+    }
+    case LogicalOpKind::kTimeSlice:
+      if (node.first_frame >= 0) {
+        *out += "frames(" + std::to_string(node.first_frame) + "," +
+                std::to_string(node.last_frame) + ")";
+      } else {
+        *out += "timeslice(" + Num(node.t0) + "," + Num(node.t1) + ")";
+      }
+      return;
+    case LogicalOpKind::kViewport:
+      *out += "viewport(" + Num(RadToDeg(node.center.yaw)) + "," +
+              Num(RadToDeg(node.center.pitch)) + "," +
+              Num(RadToDeg(node.fov_yaw)) + "," +
+              Num(RadToDeg(node.fov_pitch)) + ")";
+      return;
+    case LogicalOpKind::kQualityFloor:
+    case LogicalOpKind::kDegrade:
+      *out += LogicalOpName(node.kind);
+      *out += "(";
+      *out += node.quality >= 0 ? std::to_string(node.quality)
+                                : node.quality_name;
+      *out += ")";
+      return;
+    case LogicalOpKind::kEncode:
+      *out += node.encode_qp >= 0 ? "encode(" + std::to_string(node.encode_qp) + ")"
+                                  : "encode";
+      return;
+    case LogicalOpKind::kStore:
+    case LogicalOpKind::kToFile:
+      *out += LogicalOpName(node.kind);
+      *out += "(" + node.target + ")";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Query::ToString() const {
+  std::string out;
+  if (root_ != nullptr) Print(*root_, &out);
+  return out;
+}
+
+}  // namespace vc

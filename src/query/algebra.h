@@ -1,0 +1,144 @@
+#ifndef VC_QUERY_ALGEBRA_H_
+#define VC_QUERY_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/orientation.h"
+
+namespace vc {
+
+// The declarative surface of the VR DBMS: a small logical algebra over
+// stored (segment × tile × quality) videos. A query is a chain of logical
+// operators over one or more Scan leaves; the optimizer (optimizer.h)
+// rewrites the chain into a physical plan whose predicates have been turned
+// into catalog pruning — time predicates into segment ranges, viewport
+// predicates into equirectangular tile sets, quality selection into stored
+// ladder rungs — and the executor (executor.h) runs only the surviving
+// cells. Callers build plans either with the fluent `Query` builder or by
+// parsing the text form (parser.h); `Query::ToString()` emits that text
+// form, so the two surfaces round-trip.
+
+/// Logical operator kinds, in the order they may appear bottom-up.
+enum class LogicalOpKind : uint8_t {
+  kScan,          ///< Leaf: one catalog video (latest committed version).
+  kTimeSlice,     ///< Temporal predicate: seconds [t0, t1) or exact frames.
+  kViewport,      ///< Spatial predicate: gaze direction + field of view.
+  kQualityFloor,  ///< Minimum acceptable ladder rung for selected tiles.
+  kDegrade,       ///< Keep out-of-view tiles, degraded to this rung.
+  kUnion,         ///< Temporal concatenation of sub-queries, in order.
+  kEncode,        ///< Produce one encoded stream (qp < 0: stored bytes).
+  kStore,         ///< Sink: commit the result as a new catalog video.
+  kToFile,        ///< Sink: serialize the encoded result to a file.
+};
+
+/// Stable text-form name of an operator ("scan", "timeslice", ...).
+const char* LogicalOpName(LogicalOpKind kind);
+
+struct LogicalNode;
+using LogicalNodeRef = std::shared_ptr<const LogicalNode>;
+
+/// \brief One node of a logical plan tree. Immutable once built; plans share
+/// subtrees freely. Only the fields of the node's `kind` are meaningful.
+struct LogicalNode {
+  LogicalOpKind kind = LogicalOpKind::kScan;
+
+  // kScan
+  std::string video;
+
+  // kTimeSlice: [t0, t1) in seconds, or an exact inclusive frame range when
+  // first_frame >= 0 (the frame-accurate form used by ReconstructFrameRange).
+  double t0 = 0.0;
+  double t1 = 0.0;
+  int first_frame = -1;
+  int last_frame = -1;
+
+  // kViewport
+  Orientation center;
+  double fov_yaw = 0.0;
+  double fov_pitch = 0.0;
+
+  // kQualityFloor / kDegrade: a ladder rung, by name or by index (>= 0).
+  // Resolution against the scanned video's ladder happens at optimize time.
+  std::string quality_name;
+  int quality = -1;
+
+  // kEncode: requested quantizer; -1 = serve stored rung bytes when a
+  // stored rung satisfies the plan (transcode only otherwise).
+  int encode_qp = -1;
+
+  // kStore (catalog name) / kToFile (path).
+  std::string target;
+
+  /// Inputs: empty for kScan, one for chain operators, 2+ for kUnion.
+  std::vector<LogicalNodeRef> inputs;
+};
+
+/// \brief Fluent builder over logical plans.
+///
+///   Query q = Query::Scan("venice")
+///                 .TimeSlice(5, 10)
+///                 .Viewport(kPi, kPi / 2, DegToRad(100), DegToRad(80))
+///                 .QualityFloor("high")
+///                 .Encode()
+///                 .ToFile("/tmp/venice.vcc");
+///
+/// Every method returns a new Query wrapping the extended chain; the
+/// builder never mutates, so prefixes may be reused.
+class Query {
+ public:
+  /// Leaf: scan the latest committed version of catalog video `video`.
+  static Query Scan(std::string video);
+
+  /// Temporal union: plays `branches` back to back, in order.
+  static Query Union(std::vector<Query> branches);
+
+  /// Keeps media time [t0, t1) seconds.
+  Query TimeSlice(double t0, double t1) const;
+
+  /// Frame-accurate TimeSlice: keeps presentation frames [first, last],
+  /// inclusive. Not expressible in the text form (which speaks seconds).
+  Query FrameSlice(int first, int last) const;
+
+  /// Keeps tiles intersecting the `fov_yaw` × `fov_pitch` viewport centered
+  /// on (yaw, pitch). Radians.
+  Query Viewport(double yaw, double pitch, double fov_yaw,
+                 double fov_pitch) const;
+
+  /// Selected tiles must be served at least at this ladder rung.
+  Query QualityFloor(std::string rung_name) const;
+  Query QualityFloor(int rung) const;
+
+  /// Instead of pruning out-of-view tiles, keep them at this rung.
+  Query Degrade(std::string rung_name) const;
+  Query Degrade(int rung) const;
+
+  /// Produce a single encoded stream. `qp` < 0 reuses stored rung bytes
+  /// (homomorphic merge) whenever a stored rung satisfies the plan.
+  Query Encode(int qp = -1) const;
+
+  /// Sink: commit the (encoded) result as catalog video `name`.
+  Query Store(std::string name) const;
+
+  /// Sink: write the serialized encoded result to `path`.
+  Query ToFile(std::string path) const;
+
+  /// Root of the logical plan (sink end of the chain).
+  const LogicalNodeRef& root() const { return root_; }
+
+  /// Parseable text form (see parser.h); angles are printed in degrees.
+  std::string ToString() const;
+
+ private:
+  explicit Query(LogicalNodeRef root) : root_(std::move(root)) {}
+  /// New node of `kind` with *this as its single input.
+  Query Chain(LogicalNode node) const;
+
+  LogicalNodeRef root_;
+};
+
+}  // namespace vc
+
+#endif  // VC_QUERY_ALGEBRA_H_

@@ -1,0 +1,390 @@
+#include "query/executor.h"
+
+#include <utility>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/homomorphic.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace vc {
+
+namespace {
+
+Counter* ScannedCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("query.cells_scanned");
+  return counter;
+}
+
+Counter* PrunedCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("query.cells_pruned");
+  return counter;
+}
+
+Counter* TranscodeCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("query.transcodes");
+  return counter;
+}
+
+Counter* TranscodeAvoidedCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("query.transcodes_avoided");
+  return counter;
+}
+
+Histogram* PlanHistogram() {
+  static Histogram* histogram =
+      MetricRegistry::Global().GetHistogram("query.plan_seconds");
+  return histogram;
+}
+
+Histogram* ExecHistogram() {
+  static Histogram* histogram =
+      MetricRegistry::Global().GetHistogram("query.exec_seconds");
+  return histogram;
+}
+
+/// One fetched-and-parsed cell stream.
+struct FetchedCell {
+  int tile = 0;
+  EncodedVideo video;
+};
+
+/// Issues async demand reads for `tiles` of one segment (issue first, wait
+/// after, so the loads overlap on the storage I/O pool), then parses each
+/// stream. `tiles` holds (tile, rung) pairs.
+Result<std::vector<FetchedCell>> FetchCells(
+    StorageManager* storage, const VideoMetadata& metadata, int segment,
+    const std::vector<std::pair<int, int>>& tiles) {
+  std::vector<LruCache::AsyncHandle> handles;
+  handles.reserve(tiles.size());
+  for (const auto& [tile, rung] : tiles) {
+    LruCache::AsyncHandle handle;
+    VC_ASSIGN_OR_RETURN(
+        handle, storage->ReadCellAsync(metadata, segment, tile, rung));
+    handles.push_back(std::move(handle));
+  }
+  std::vector<FetchedCell> out;
+  out.reserve(tiles.size());
+  for (size_t i = 0; i < tiles.size(); ++i) {
+    LruCache::Value bytes;
+    VC_ASSIGN_OR_RETURN(bytes, handles[i].Wait());
+    FetchedCell cell;
+    cell.tile = tiles[i].first;
+    VC_ASSIGN_OR_RETURN(cell.video, EncodedVideo::Parse(Slice(*bytes)));
+    const SegmentInfo& info = metadata.segments[segment];
+    if (cell.video.frames.size() != info.frame_count) {
+      return Status::Corruption("cell frame count mismatch");
+    }
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+/// Decodes `cell` and pastes frames [first, last] (global indices) into
+/// `canvases` (canvases[0] is frame `first`). The whole stream is decoded —
+/// inter frames need their references — but only in-range frames land.
+Status DecodeInto(const FetchedCell& cell, const TileGrid& grid,
+                  const VideoMetadata& metadata, int segment, int first,
+                  int last, std::vector<Frame>* canvases) {
+  std::unique_ptr<Decoder> decoder;
+  VC_ASSIGN_OR_RETURN(decoder, Decoder::Create(cell.video.header));
+  TileGrid::PixelRect rect;
+  VC_ASSIGN_OR_RETURN(rect,
+                      grid.PixelRectOf(grid.TileAt(cell.tile), metadata.width,
+                                       metadata.height, 16));
+  const int base = static_cast<int>(metadata.segments[segment].start_frame);
+  for (size_t i = 0; i < cell.video.frames.size(); ++i) {
+    Frame tile_frame;
+    VC_ASSIGN_OR_RETURN(tile_frame,
+                        decoder->Decode(Slice(cell.video.frames[i].payload)));
+    int global = base + static_cast<int>(i);
+    if (global < first || global > last) continue;
+    VC_RETURN_IF_ERROR(
+        (*canvases)[global - first].Paste(tile_frame, rect.x, rect.y));
+  }
+  return Status::OK();
+}
+
+/// The rung the naive baseline reads pruned cells at: the best rung the
+/// scan actually serves (the discarded pixels never reach the output, so
+/// any deterministic choice preserves byte identity).
+int NaiveRung(const ScanPlan& scan) {
+  int best = -1;
+  for (const SegmentSlice& slice : scan.slices) {
+    for (int rung : slice.tile_quality) {
+      if (rung >= 0 && (best < 0 || rung < best)) best = rung;
+    }
+  }
+  return best < 0 ? 0 : best;
+}
+
+/// Materializes the plan's output frames, grouped per segment slice (the
+/// grouping the encode path needs — each group starts at a keyframe).
+/// Pruned mode touches only surviving cells; naive mode fetches and decodes
+/// every catalog cell of each scan, then discards out-of-plan pixels.
+Result<std::vector<std::vector<Frame>>> MaterializeSlices(
+    const PhysicalPlan& plan, StorageManager* storage, bool naive,
+    QueryResult* result) {
+  std::vector<std::vector<Frame>> groups;
+  for (const ScanPlan& scan : plan.scans) {
+    const VideoMetadata& metadata = scan.metadata;
+    const TileGrid grid = metadata.tile_grid();
+    const int fallback = NaiveRung(scan);
+    size_t next_slice = 0;
+    for (int segment = 0; segment < metadata.segment_count(); ++segment) {
+      const SegmentSlice* slice = nullptr;
+      if (next_slice < scan.slices.size() &&
+          scan.slices[next_slice].segment == segment) {
+        slice = &scan.slices[next_slice];
+        ++next_slice;
+      }
+      if (!naive && slice == nullptr) continue;
+
+      std::vector<std::pair<int, int>> tiles;
+      for (int tile = 0; tile < metadata.tile_count(); ++tile) {
+        int rung = slice != nullptr ? slice->tile_quality[tile] : -1;
+        if (rung >= 0) {
+          tiles.emplace_back(tile, rung);
+        } else if (naive) {
+          tiles.emplace_back(tile, fallback);
+        }
+      }
+      if (tiles.empty() && slice == nullptr) continue;
+
+      int first = 0;
+      int last = -1;
+      if (slice != nullptr) {
+        first = slice->first_frame;
+        last = slice->last_frame;
+      }
+      std::vector<Frame> canvases(
+          slice != nullptr ? last - first + 1 : 0,
+          Frame(metadata.width, metadata.height));
+
+      std::vector<FetchedCell> cells;
+      VC_ASSIGN_OR_RETURN(cells,
+                          FetchCells(storage, metadata, segment, tiles));
+      result->cells_scanned += static_cast<int>(cells.size());
+      for (const FetchedCell& cell : cells) {
+        if (canvases.empty()) continue;  // naive read of a pruned segment
+        VC_RETURN_IF_ERROR(DecodeInto(cell, grid, metadata, segment, first,
+                                      last, &canvases));
+      }
+      if (slice == nullptr) continue;
+
+      if (naive) {
+        // Filter-after-scan: out-of-plan tiles were decoded and pasted;
+        // mask them back to the canvas fill so the output matches what the
+        // pruned execution never painted.
+        for (int tile = 0; tile < metadata.tile_count(); ++tile) {
+          if (slice->tile_quality[tile] >= 0) continue;
+          TileGrid::PixelRect rect;
+          VC_ASSIGN_OR_RETURN(
+              rect, grid.PixelRectOf(grid.TileAt(tile), metadata.width,
+                                     metadata.height, 16));
+          for (Frame& canvas : canvases) {
+            canvas.FillRect(rect.x, rect.y, rect.width, rect.height, 16, 128,
+                            128);
+          }
+        }
+      }
+      groups.push_back(std::move(canvases));
+    }
+  }
+  return groups;
+}
+
+/// Homomorphic path: stitch stored cell bitstreams into one stream per
+/// slice — no decode, no re-encode.
+Result<std::vector<EncodedVideo>> StitchSlices(const PhysicalPlan& plan,
+                                               StorageManager* storage,
+                                               QueryResult* result) {
+  std::vector<EncodedVideo> pieces;
+  for (const ScanPlan& scan : plan.scans) {
+    const VideoMetadata& metadata = scan.metadata;
+    for (const SegmentSlice& slice : scan.slices) {
+      std::vector<std::pair<int, int>> tiles;
+      for (int tile = 0; tile < metadata.tile_count(); ++tile) {
+        tiles.emplace_back(tile, slice.tile_quality[tile]);
+      }
+      std::vector<FetchedCell> cells;
+      VC_ASSIGN_OR_RETURN(
+          cells, FetchCells(storage, metadata, slice.segment, tiles));
+      result->cells_scanned += static_cast<int>(cells.size());
+      std::vector<EncodedVideo> parts;
+      parts.reserve(cells.size());
+      for (FetchedCell& cell : cells) parts.push_back(std::move(cell.video));
+      EncodedVideo merged;
+      VC_ASSIGN_OR_RETURN(
+          merged, MergeTileStreams(parts, metadata.tile_rows,
+                                   metadata.tile_cols, metadata.width,
+                                   metadata.height));
+      pieces.push_back(std::move(merged));
+      ++result->transcodes_avoided;
+    }
+  }
+  return pieces;
+}
+
+/// Commits `pieces` (one encoded stream per segment) as catalog video
+/// `name` at the single-rung ladder `ladder`, splitting each piece back
+/// into per-tile cells homomorphically.
+Result<uint32_t> StorePieces(StorageManager* storage, const std::string& name,
+                             const VideoMetadata& source,
+                             const QualityLadder& ladder,
+                             const std::vector<EncodedVideo>& pieces) {
+  VideoMetadata metadata;
+  metadata.name = name;
+  metadata.width = source.width;
+  metadata.height = source.height;
+  metadata.fps_times_100 = source.fps_times_100;
+  metadata.frames_per_segment = source.frames_per_segment;
+  metadata.tile_rows = source.tile_rows;
+  metadata.tile_cols = source.tile_cols;
+  metadata.spherical = source.spherical;
+  metadata.ladder = ladder;
+
+  std::unique_ptr<StorageManager::VideoWriter> writer;
+  VC_ASSIGN_OR_RETURN(writer, storage->NewVideoWriter(std::move(metadata)));
+  const TileGrid grid(source.tile_rows, source.tile_cols);
+  for (const EncodedVideo& piece : pieces) {
+    std::vector<std::vector<uint8_t>> cells;
+    cells.reserve(grid.tile_count());
+    for (int tile = 0; tile < grid.tile_count(); ++tile) {
+      EncodedVideo cell;
+      VC_ASSIGN_OR_RETURN(cell, ExtractTileStream(piece, grid.TileAt(tile)));
+      cells.push_back(cell.Serialize());
+    }
+    VC_RETURN_IF_ERROR(writer->AddSegment(
+        static_cast<uint32_t>(piece.frames.size()), cells));
+  }
+  return writer->Commit();
+}
+
+}  // namespace
+
+Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
+                                StorageManager* storage,
+                                const ExecuteOptions& options) {
+  Stopwatch watch;
+  QueryResult result;
+  if (plan.scans.empty()) {
+    return Status::InvalidArgument("plan has no scans");
+  }
+
+  const bool encode_sink = plan.sink != SinkKind::kMaterialize;
+  const VideoMetadata& lead = plan.scans[0].metadata;
+  if (encode_sink) {
+    for (const ScanPlan& scan : plan.scans) {
+      if (scan.metadata.width != lead.width ||
+          scan.metadata.height != lead.height ||
+          scan.metadata.fps_times_100 != lead.fps_times_100 ||
+          scan.metadata.tile_rows != lead.tile_rows ||
+          scan.metadata.tile_cols != lead.tile_cols) {
+        return Status::InvalidArgument(
+            "union branches disagree on geometry; cannot encode");
+      }
+    }
+  }
+
+  std::vector<EncodedVideo> pieces;
+  if (encode_sink && plan.transcode_free && !options.naive_full_scan) {
+    VC_ASSIGN_OR_RETURN(pieces, StitchSlices(plan, storage, &result));
+  } else {
+    std::vector<std::vector<Frame>> groups;
+    VC_ASSIGN_OR_RETURN(
+        groups, MaterializeSlices(plan, storage, options.naive_full_scan,
+                                  &result));
+    if (!encode_sink) {
+      for (std::vector<Frame>& group : groups) {
+        for (Frame& frame : group) result.frames.push_back(std::move(frame));
+      }
+    } else {
+      if (groups.empty()) {
+        return Status::InvalidArgument(
+            "query selects no cells; nothing to encode");
+      }
+      EncoderOptions encode;
+      encode.width = lead.width;
+      encode.height = lead.height;
+      encode.fps = lead.fps();
+      encode.gop_length = lead.frames_per_segment;
+      encode.qp = plan.encode_qp >= 0 ? plan.encode_qp : lead.ladder[0].qp;
+      encode.tile_rows = lead.tile_rows;
+      encode.tile_cols = lead.tile_cols;
+      for (const std::vector<Frame>& group : groups) {
+        EncodedVideo piece;
+        VC_ASSIGN_OR_RETURN(piece, EncodeVideo(group, encode));
+        pieces.push_back(std::move(piece));
+        ++result.transcodes;
+      }
+    }
+  }
+
+  if (encode_sink) {
+    if (pieces.empty()) {
+      return Status::InvalidArgument(
+          "query selects no cells; nothing to encode");
+    }
+    switch (plan.sink) {
+      case SinkKind::kEncode:
+      case SinkKind::kToFile: {
+        VC_ASSIGN_OR_RETURN(result.encoded, ConcatenateStreams(pieces));
+        result.has_encoded = true;
+        if (plan.sink == SinkKind::kToFile) {
+          std::vector<uint8_t> bytes = result.encoded.Serialize();
+          VC_RETURN_IF_ERROR(
+              storage->env()->WriteFile(plan.target, Slice(bytes)));
+        }
+        break;
+      }
+      case SinkKind::kStore: {
+        QualityLadder ladder;
+        if (plan.transcode_free && !options.naive_full_scan) {
+          // Stored bytes at one uniform rung: keep that rung's identity.
+          int rung = plan.scans[0].slices[0].tile_quality[0];
+          ladder = {lead.ladder[rung]};
+        } else {
+          int qp = plan.encode_qp >= 0 ? plan.encode_qp : lead.ladder[0].qp;
+          ladder = {{"q" + std::to_string(qp), qp}};
+        }
+        VC_ASSIGN_OR_RETURN(
+            result.stored_version,
+            StorePieces(storage, plan.target, lead, ladder, pieces));
+        VC_ASSIGN_OR_RETURN(result.encoded, ConcatenateStreams(pieces));
+        result.has_encoded = true;
+        break;
+      }
+      case SinkKind::kMaterialize:
+        break;
+    }
+  }
+
+  if (!options.naive_full_scan) {
+    result.cells_pruned = plan.TotalCells() - plan.ScannedCells();
+  }
+  ScannedCounter()->Add(static_cast<uint64_t>(result.cells_scanned));
+  PrunedCounter()->Add(static_cast<uint64_t>(result.cells_pruned));
+  TranscodeCounter()->Add(static_cast<uint64_t>(result.transcodes));
+  TranscodeAvoidedCounter()->Add(
+      static_cast<uint64_t>(result.transcodes_avoided));
+  ExecHistogram()->Observe(watch.ElapsedSeconds());
+  return result;
+}
+
+Result<QueryResult> ExecuteQuery(const Query& query, StorageManager* storage,
+                                 const OptimizeOptions& optimize_options,
+                                 const ExecuteOptions& execute_options) {
+  Stopwatch watch;
+  PhysicalPlan plan;
+  VC_ASSIGN_OR_RETURN(plan, Optimize(query, storage, optimize_options));
+  PlanHistogram()->Observe(watch.ElapsedSeconds());
+  return ExecutePlan(plan, storage, execute_options);
+}
+
+}  // namespace vc

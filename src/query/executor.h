@@ -1,0 +1,68 @@
+#ifndef VC_QUERY_EXECUTOR_H_
+#define VC_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "codec/bitstream.h"
+#include "image/frame.h"
+#include "query/optimizer.h"
+#include "storage/storage_manager.h"
+
+namespace vc {
+
+// The physical executor: runs a PhysicalPlan against the storage manager.
+// Cell fetches go through the async cell-load path (ReadCellAsync batches
+// per segment slice, issue-then-wait, so loads overlap on the I/O pool);
+// decode and re-encode touch only the cells that survived pruning. Every
+// execution reports to the metrics registry:
+//
+//   query.cells_scanned       cells fetched and decoded/stitched
+//   query.cells_pruned        catalog cells the optimizer eliminated
+//   query.transcodes          encode sinks served by decode + re-encode
+//   query.transcodes_avoided  segment slices served as stored bytes
+//   query.plan_seconds        Optimize() latency   (ExecuteQuery only)
+//   query.exec_seconds        ExecutePlan() latency
+
+struct ExecuteOptions {
+  /// Filter-after-scan baseline: fetch and decode every catalog cell of
+  /// each scan at one rung, paste everything, then discard what the plan
+  /// pruned (mask out-of-plan tiles back to black, drop out-of-range
+  /// frames). Decoded output is byte-identical to the pruned execution —
+  /// only the work differs. Benchmarks use this as the naive comparison;
+  /// transcode elision is disabled because the baseline always decodes.
+  bool naive_full_scan = false;
+};
+
+/// What an execution produced; which fields are set depends on the sink.
+struct QueryResult {
+  /// Decoded panorama frames in playback order (kMaterialize sink; also
+  /// the intermediate the transcode path encodes from).
+  std::vector<Frame> frames;
+  /// The encoded result (kEncode, kStore, and kToFile sinks).
+  EncodedVideo encoded;
+  bool has_encoded = false;
+  /// Catalog version written by a kStore sink.
+  uint32_t stored_version = 0;
+
+  // Work accounting for this execution (also mirrored to query.* metrics).
+  int cells_scanned = 0;
+  int cells_pruned = 0;
+  int transcodes = 0;
+  int transcodes_avoided = 0;
+};
+
+/// Runs `plan` against `storage`.
+Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
+                                StorageManager* storage,
+                                const ExecuteOptions& options = {});
+
+/// Optimize + ExecutePlan in one call, timing both phases into the
+/// query.plan_seconds / query.exec_seconds histograms.
+Result<QueryResult> ExecuteQuery(const Query& query, StorageManager* storage,
+                                 const OptimizeOptions& optimize_options = {},
+                                 const ExecuteOptions& execute_options = {});
+
+}  // namespace vc
+
+#endif  // VC_QUERY_EXECUTOR_H_

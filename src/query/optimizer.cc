@@ -1,0 +1,454 @@
+#include "query/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/math_util.h"
+
+namespace vc {
+
+const char* SinkKindName(SinkKind kind) {
+  switch (kind) {
+    case SinkKind::kMaterialize:
+      return "materialize";
+    case SinkKind::kEncode:
+      return "encode";
+    case SinkKind::kStore:
+      return "store";
+    case SinkKind::kToFile:
+      return "tofile";
+  }
+  return "unknown";
+}
+
+bool SegmentSlice::WholeSegment(const VideoMetadata& metadata) const {
+  const SegmentInfo& info = metadata.segments[segment];
+  return first_frame == static_cast<int>(info.start_frame) &&
+         last_frame ==
+             static_cast<int>(info.start_frame + info.frame_count) - 1;
+}
+
+int PhysicalPlan::ScannedCells() const {
+  int scanned = 0;
+  for (const ScanPlan& scan : scans) {
+    for (const SegmentSlice& slice : scan.slices) {
+      for (int rung : slice.tile_quality) {
+        if (rung >= 0) ++scanned;
+      }
+    }
+  }
+  return scanned;
+}
+
+int PhysicalPlan::TotalCells() const {
+  int total = 0;
+  for (const ScanPlan& scan : scans) {
+    total += scan.metadata.segment_count() * scan.metadata.tile_count();
+  }
+  return total;
+}
+
+namespace {
+
+std::string Percent(int part, int whole) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%",
+                whole > 0 ? 100.0 * part / whole : 0.0);
+  return buffer;
+}
+
+/// Predicates accumulated walking a chain top-down toward its Scan leaf.
+struct ChainState {
+  std::vector<const LogicalNode*> times;
+  std::vector<const LogicalNode*> views;
+  std::vector<const LogicalNode*> floors;
+  std::vector<const LogicalNode*> degrades;
+
+  bool empty() const {
+    return times.empty() && views.empty() && floors.empty() &&
+           degrades.empty();
+  }
+};
+
+class Planner {
+ public:
+  Planner(StorageManager* storage, const OptimizeOptions& options)
+      : storage_(storage), options_(options) {}
+
+  Result<PhysicalPlan> Plan(const Query& query) {
+    const LogicalNode* node = query.root().get();
+    if (node == nullptr) return Status::InvalidArgument("empty query");
+
+    // Peel the sink layers: [Store|ToFile] -> [Encode] -> predicates ->
+    // Scan/Union. Anything else at these positions is a malformed chain.
+    if (node->kind == LogicalOpKind::kStore ||
+        node->kind == LogicalOpKind::kToFile) {
+      plan_.sink = node->kind == LogicalOpKind::kStore ? SinkKind::kStore
+                                                       : SinkKind::kToFile;
+      plan_.target = node->target;
+      node = node->inputs[0].get();
+      if (node->kind != LogicalOpKind::kEncode) {
+        return Status::InvalidArgument(
+            std::string(SinkKindName(plan_.sink)) +
+            " sink requires an encoded input; add encode before it");
+      }
+    }
+    if (node->kind == LogicalOpKind::kEncode) {
+      if (plan_.sink == SinkKind::kMaterialize) plan_.sink = SinkKind::kEncode;
+      plan_.encode_qp = node->encode_qp;
+      node = node->inputs[0].get();
+    }
+
+    VC_RETURN_IF_ERROR(Walk(*node, ChainState{}));
+
+    if (options_.scan_override != nullptr && plan_.scans.size() != 1) {
+      return Status::InvalidArgument(
+          "scan_override requires a single-scan plan");
+    }
+    ApplyTranscodeElision();
+    return std::move(plan_);
+  }
+
+ private:
+  Status Walk(const LogicalNode& node, ChainState state) {
+    switch (node.kind) {
+      case LogicalOpKind::kScan:
+        return BindScan(node, state);
+      case LogicalOpKind::kUnion: {
+        if (!state.empty()) {
+          Log("push-predicates-into-union: outer predicates distributed to " +
+              std::to_string(node.inputs.size()) + " branches");
+        }
+        for (const LogicalNodeRef& branch : node.inputs) {
+          VC_RETURN_IF_ERROR(Walk(*branch, state));
+        }
+        return Status::OK();
+      }
+      case LogicalOpKind::kTimeSlice:
+        state.times.push_back(&node);
+        return Walk(*node.inputs[0], std::move(state));
+      case LogicalOpKind::kViewport:
+        state.views.push_back(&node);
+        return Walk(*node.inputs[0], std::move(state));
+      case LogicalOpKind::kQualityFloor:
+        state.floors.push_back(&node);
+        return Walk(*node.inputs[0], std::move(state));
+      case LogicalOpKind::kDegrade:
+        state.degrades.push_back(&node);
+        return Walk(*node.inputs[0], std::move(state));
+      case LogicalOpKind::kEncode:
+      case LogicalOpKind::kStore:
+      case LogicalOpKind::kToFile:
+        return Status::InvalidArgument(
+            std::string(LogicalOpName(node.kind)) +
+            " must be the outermost operators of a query");
+    }
+    return Status::InvalidArgument("unknown logical operator");
+  }
+
+  /// Resolves a rung reference against `ladder`.
+  Result<int> ResolveRung(const LogicalNode& node,
+                          const QualityLadder& ladder) {
+    if (node.quality >= 0) {
+      if (node.quality >= static_cast<int>(ladder.size())) {
+        return Status::InvalidArgument(
+            "quality rung " + std::to_string(node.quality) +
+            " out of range (ladder has " + std::to_string(ladder.size()) +
+            " rungs)");
+      }
+      return node.quality;
+    }
+    for (size_t i = 0; i < ladder.size(); ++i) {
+      if (ladder[i].name == node.quality_name) return static_cast<int>(i);
+    }
+    return Status::NotFound("quality rung '" + node.quality_name +
+                            "' not in ladder");
+  }
+
+  Status BindScan(const LogicalNode& scan, const ChainState& state) {
+    ScanPlan out;
+    if (options_.scan_override != nullptr) {
+      out.metadata = *options_.scan_override;
+      Log("scan " + out.metadata.name + ": pinned to caller-provided v" +
+          std::to_string(out.metadata.version));
+    } else {
+      VC_ASSIGN_OR_RETURN(out.metadata, storage_->GetVideo(scan.video));
+    }
+    const VideoMetadata& metadata = out.metadata;
+    const int tile_count = metadata.tile_count();
+    const TileGrid grid = metadata.tile_grid();
+
+    // --- Rule: fuse adjacent time predicates, then prune to a segment
+    // range against the catalog's segment index.
+    int total_frames = 0;
+    if (!metadata.segments.empty()) {
+      total_frames = static_cast<int>(metadata.segments.back().start_frame +
+                                      metadata.segments.back().frame_count);
+    }
+    int first = 0;
+    int last = total_frames - 1;
+    if (state.times.size() > 1) {
+      Log("fuse-timeslice: " + std::to_string(state.times.size()) +
+          " time predicates intersected");
+    }
+    for (const LogicalNode* t : state.times) {
+      int f0, f1;
+      if (t->first_frame >= 0) {
+        if (t->last_frame < t->first_frame) {
+          return Status::InvalidArgument("empty frame slice");
+        }
+        f0 = t->first_frame;
+        f1 = t->last_frame;
+      } else {
+        if (t->t1 <= t->t0) {
+          return Status::InvalidArgument("empty timeslice: t1 <= t0");
+        }
+        // Frame k covers [k/fps, (k+1)/fps): the slice [t0, t1) keeps the
+        // first frame starting at or after t0 through the last frame
+        // starting strictly before t1.
+        f0 = static_cast<int>(std::ceil(t->t0 * metadata.fps() - 1e-9));
+        f1 = static_cast<int>(std::ceil(t->t1 * metadata.fps() - 1e-9)) - 1;
+      }
+      first = std::max(first, f0);
+      last = std::min(last, f1);
+    }
+
+    int seg0 = 0;
+    int seg1 = metadata.segment_count() - 1;
+    if (!state.times.empty()) {
+      seg0 = metadata.segment_count();
+      seg1 = -1;
+      for (int s = 0; s < metadata.segment_count(); ++s) {
+        const SegmentInfo& info = metadata.segments[s];
+        int s_first = static_cast<int>(info.start_frame);
+        int s_last = s_first + static_cast<int>(info.frame_count) - 1;
+        if (s_last >= first && s_first <= last) {
+          seg0 = std::min(seg0, s);
+          seg1 = std::max(seg1, s);
+        }
+      }
+      Log("timeslice->segments: frames [" + std::to_string(first) + "," +
+          std::to_string(last) + "] -> segments [" + std::to_string(seg0) +
+          "," + std::to_string(seg1) + "] of " +
+          std::to_string(metadata.segment_count()));
+    }
+
+    // --- Rule: fuse adjacent viewport predicates, then prune to the
+    // equirectangular tile set the fused viewport intersects.
+    std::set<int> in_view;
+    bool has_view = !state.views.empty();
+    if (state.views.size() > 1) {
+      Log("fuse-viewport: " + std::to_string(state.views.size()) +
+          " viewport predicates intersected");
+    }
+    for (size_t i = 0; i < state.views.size(); ++i) {
+      const LogicalNode* v = state.views[i];
+      std::set<int> tiles;
+      for (const TileId& tile :
+           grid.TilesInViewport(v->center, v->fov_yaw, v->fov_pitch)) {
+        tiles.insert(grid.IndexOf(tile));
+      }
+      if (i == 0) {
+        in_view = std::move(tiles);
+      } else {
+        std::set<int> merged;
+        std::set_intersection(in_view.begin(), in_view.end(), tiles.begin(),
+                              tiles.end(),
+                              std::inserter(merged, merged.begin()));
+        in_view = std::move(merged);
+      }
+    }
+    if (!has_view) {
+      for (int t = 0; t < tile_count; ++t) in_view.insert(t);
+    } else {
+      Log("viewport->tiles: kept " + std::to_string(in_view.size()) + " of " +
+          std::to_string(tile_count) + " tiles");
+    }
+
+    // --- Rule: push quality selection down to a stored ladder rung.
+    int floor_rung = 0;
+    for (const LogicalNode* f : state.floors) {
+      int rung;
+      VC_ASSIGN_OR_RETURN(rung, ResolveRung(*f, metadata.ladder));
+      floor_rung = std::max(floor_rung, rung);
+    }
+    if (!state.floors.empty()) {
+      Log("quality-pushdown: serve stored rung " +
+          std::to_string(floor_rung) + " ('" +
+          metadata.ladder[floor_rung].name + "')");
+    }
+
+    // --- Rule: out-of-view tiles are kept at the degrade rung instead of
+    // pruned when one was requested.
+    int degrade_rung = -1;
+    if (!state.degrades.empty()) {
+      VC_ASSIGN_OR_RETURN(degrade_rung,
+                          ResolveRung(*state.degrades.back(), metadata.ladder));
+      if (has_view) {
+        Log("degrade-out-of-view: out-of-view tiles kept at rung " +
+            std::to_string(degrade_rung) + " ('" +
+            metadata.ladder[degrade_rung].name + "')");
+      }
+    }
+
+    for (int s = seg0; s <= seg1; ++s) {
+      const SegmentInfo& info = metadata.segments[s];
+      SegmentSlice slice;
+      slice.segment = s;
+      slice.first_frame =
+          std::max(first, static_cast<int>(info.start_frame));
+      slice.last_frame = std::min(
+          last, static_cast<int>(info.start_frame + info.frame_count) - 1);
+      slice.tile_quality.assign(tile_count, -1);
+      for (int t = 0; t < tile_count; ++t) {
+        if (in_view.count(t)) {
+          slice.tile_quality[t] = floor_rung;
+        } else if (degrade_rung >= 0) {
+          slice.tile_quality[t] = degrade_rung;
+        }
+      }
+      out.slices.push_back(std::move(slice));
+    }
+    plan_.scans.push_back(std::move(out));
+    return Status::OK();
+  }
+
+  /// Marks the plan transcode-free when the Encode sink can be served by
+  /// homomorphic bitstream stitching of stored cells.
+  void ApplyTranscodeElision() {
+    if (plan_.sink == SinkKind::kMaterialize) return;
+    if (plan_.encode_qp >= 0) {
+      Log("encode: explicit qp=" + std::to_string(plan_.encode_qp) +
+          " forces a transcode");
+      return;
+    }
+    int uniform_rung = -1;
+    bool elidable = !plan_.scans.empty();
+    for (const ScanPlan& scan : plan_.scans) {
+      // All stitched streams must agree on geometry and cadence.
+      const VideoMetadata& m0 = plan_.scans[0].metadata;
+      if (scan.metadata.width != m0.width ||
+          scan.metadata.height != m0.height ||
+          scan.metadata.fps_times_100 != m0.fps_times_100 ||
+          scan.metadata.tile_rows != m0.tile_rows ||
+          scan.metadata.tile_cols != m0.tile_cols) {
+        elidable = false;
+        break;
+      }
+      if (scan.slices.empty()) elidable = false;
+      for (const SegmentSlice& slice : scan.slices) {
+        if (!slice.WholeSegment(scan.metadata)) elidable = false;
+        for (int rung : slice.tile_quality) {
+          if (rung < 0) elidable = false;
+          if (uniform_rung < 0) uniform_rung = rung;
+          if (rung != uniform_rung) elidable = false;
+        }
+        if (!elidable) break;
+      }
+      if (!elidable) break;
+    }
+    if (elidable) {
+      plan_.transcode_free = true;
+      Log("transcode-elision: full grid of whole segments at rung " +
+          std::to_string(uniform_rung) +
+          " -> stitch stored bitstreams, no transcode");
+      return;
+    }
+    // The executor must re-encode; fix the quantizer now so the plan alone
+    // determines the output bytes. Use the best rung the plan serves.
+    int best_rung = -1;
+    for (const ScanPlan& scan : plan_.scans) {
+      for (const SegmentSlice& slice : scan.slices) {
+        for (int rung : slice.tile_quality) {
+          if (rung >= 0 && (best_rung < 0 || rung < best_rung)) {
+            best_rung = rung;
+          }
+        }
+      }
+    }
+    if (!plan_.scans.empty() && best_rung >= 0) {
+      plan_.encode_qp = plan_.scans[0].metadata.ladder[best_rung].qp;
+      Log("encode: partial plan, transcode at qp=" +
+          std::to_string(plan_.encode_qp) + " (rung " +
+          std::to_string(best_rung) + ")");
+    }
+  }
+
+  void Log(std::string line) { plan_.rewrites.push_back(std::move(line)); }
+
+  StorageManager* storage_;
+  OptimizeOptions options_;
+  PhysicalPlan plan_;
+};
+
+}  // namespace
+
+std::string PhysicalPlan::Explain() const {
+  std::string out = "plan: sink=";
+  out += SinkKindName(sink);
+  if (!target.empty()) out += "(" + target + ")";
+  if (sink != SinkKind::kMaterialize) {
+    out += transcode_free
+               ? " transcode=elided"
+               : " transcode=qp" + std::to_string(encode_qp);
+  }
+  out += "\n";
+  for (const ScanPlan& scan : scans) {
+    const VideoMetadata& m = scan.metadata;
+    out += "scan " + m.name + " v" + std::to_string(m.version) + ": " +
+           std::to_string(m.segment_count()) + " segments, " +
+           std::to_string(static_cast<int>(m.tile_rows)) + "x" +
+           std::to_string(static_cast<int>(m.tile_cols)) + " tiles, " +
+           std::to_string(m.quality_count()) + " rungs\n";
+    const size_t kMaxSlices = 12;
+    for (size_t i = 0; i < scan.slices.size() && i < kMaxSlices; ++i) {
+      const SegmentSlice& slice = scan.slices[i];
+      out += "  s" + std::to_string(slice.segment) + " frames [" +
+             std::to_string(slice.first_frame) + "," +
+             std::to_string(slice.last_frame) + "] tiles";
+      bool any = false;
+      for (size_t t = 0; t < slice.tile_quality.size(); ++t) {
+        if (slice.tile_quality[t] < 0) continue;
+        out += (any ? "," : " ") + std::to_string(t) + "@" +
+               std::to_string(slice.tile_quality[t]);
+        any = true;
+      }
+      if (!any) out += " none";
+      out += "\n";
+    }
+    if (scan.slices.size() > kMaxSlices) {
+      out += "  ... (" + std::to_string(scan.slices.size() - kMaxSlices) +
+             " more segments)\n";
+    }
+  }
+  int scanned = ScannedCells();
+  int total = TotalCells();
+  out += "cells: scan " + std::to_string(scanned) + " of " +
+         std::to_string(total) + " (pruned " +
+         std::to_string(total - scanned) + " = " +
+         Percent(total - scanned, total) + ")\n";
+  out += "rewrites:\n";
+  for (const std::string& line : rewrites) out += "  - " + line + "\n";
+  return out;
+}
+
+ManifestPlan ToManifestPlan(const ScanPlan& scan) {
+  ManifestPlan plan;
+  plan.entries.reserve(scan.slices.size());
+  for (const SegmentSlice& slice : scan.slices) {
+    ManifestPlan::Entry entry;
+    entry.segment = slice.segment;
+    entry.tile_quality = slice.tile_quality;
+    plan.entries.push_back(std::move(entry));
+  }
+  return plan;
+}
+
+Result<PhysicalPlan> Optimize(const Query& query, StorageManager* storage,
+                              const OptimizeOptions& options) {
+  return Planner(storage, options).Plan(query);
+}
+
+}  // namespace vc

@@ -1,0 +1,106 @@
+#ifndef VC_QUERY_OPTIMIZER_H_
+#define VC_QUERY_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/algebra.h"
+#include "storage/metadata.h"
+#include "storage/storage_manager.h"
+#include "streaming/manifest.h"
+
+namespace vc {
+
+// Rule-based logical -> physical rewriting. The optimizer resolves each
+// Scan leaf against the catalog, then turns the chain's declarative
+// predicates into pruning decisions over the video's (segment × tile ×
+// quality) cell lattice:
+//
+//   - adjacent TimeSlice (and adjacent Viewport) predicates are fused;
+//   - time predicates become an inclusive global frame range, and that
+//     range becomes a segment range against the catalog's segment index —
+//     segments outside it never reach the executor;
+//   - viewport predicates become equirectangular tile sets via
+//     TileGrid::TilesInViewport — out-of-view tiles are pruned, or kept at
+//     the Degrade rung when one was requested;
+//   - quality selection is pushed down to stored ladder rungs, so the
+//     executor serves stored bytes and only transcodes when an explicit
+//     quantizer forces it;
+//   - an Encode sink whose plan covers whole segments over the full tile
+//     grid at one uniform stored rung is marked transcode-free: the
+//     executor then stitches stored bitstreams homomorphically
+//     (MergeTileStreams + ConcatenateStreams) without touching pixels.
+//
+// Every applied rule appends one line to `PhysicalPlan::rewrites`, and
+// `Explain()` renders the plan plus those lines deterministically.
+
+/// Per-segment slice of a scan after pruning: which global frames of the
+/// segment survive and which rung each tile is served at (-1 = pruned).
+struct SegmentSlice {
+  int segment = 0;
+  int first_frame = 0;  ///< Global frame index, clamped into the segment.
+  int last_frame = 0;   ///< Inclusive.
+  std::vector<int> tile_quality;  ///< Ladder rung per tile; -1 = pruned.
+
+  /// True when the slice covers every frame of the segment.
+  bool WholeSegment(const VideoMetadata& metadata) const;
+};
+
+/// One Scan leaf after predicate pushdown.
+struct ScanPlan {
+  VideoMetadata metadata;
+  std::vector<SegmentSlice> slices;  ///< Ascending by segment.
+};
+
+/// What the plan does with the reconstructed result.
+enum class SinkKind : uint8_t {
+  kMaterialize,  ///< No sink op: executor returns decoded frames.
+  kEncode,       ///< Encode only: executor returns one encoded stream.
+  kStore,        ///< Commit the encoded result as a new catalog video.
+  kToFile,       ///< Serialize the encoded result to a file.
+};
+
+const char* SinkKindName(SinkKind kind);
+
+/// \brief Executable physical plan: pruned cell slices per scan, a sink,
+/// and the rewrite log that produced them.
+struct PhysicalPlan {
+  std::vector<ScanPlan> scans;  ///< Union branches in playback order.
+  SinkKind sink = SinkKind::kMaterialize;
+  int encode_qp = -1;        ///< >= 0 forces a transcode at this quantizer.
+  std::string target;        ///< Store name or file path.
+  /// Encode sink can be served by homomorphically stitching stored cell
+  /// bitstreams — no decode, no re-encode.
+  bool transcode_free = false;
+  std::vector<std::string> rewrites;  ///< One line per applied rule.
+
+  /// Cells addressed by the scans' segment x tile lattice at one rung each.
+  int ScannedCells() const;
+  /// Cells the same scans would touch without pruning (every tile of every
+  /// catalog segment, at one rung).
+  int TotalCells() const;
+
+  /// Deterministic multi-line rendering of the plan and its rewrite log.
+  std::string Explain() const;
+};
+
+/// The manifest overlay for one optimized scan: what a server publishes so
+/// a client fetches exactly the plan-selected cells (streaming/manifest.h).
+ManifestPlan ToManifestPlan(const ScanPlan& scan);
+
+struct OptimizeOptions {
+  /// When set, the (single) Scan leaf binds to this metadata instead of the
+  /// catalog's latest version — export paths pin an explicit version.
+  const VideoMetadata* scan_override = nullptr;
+};
+
+/// Rewrites `query` into an executable plan against `storage`'s catalog.
+/// Fails when a scan names an unknown video, a rung does not resolve
+/// against its ladder, a predicate is empty (t0 >= t1), or the plan shape
+/// is unsupported (e.g. Store sink without Encode).
+Result<PhysicalPlan> Optimize(const Query& query, StorageManager* storage,
+                              const OptimizeOptions& options = {});
+
+}  // namespace vc
+
+#endif  // VC_QUERY_OPTIMIZER_H_

@@ -1,0 +1,228 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/math_util.h"
+
+namespace vc {
+
+namespace {
+
+/// Recursive-descent parser over the pipe syntax. Arguments are raw tokens
+/// (anything up to ',', ';', ')', '|'), so paths and rung names need no
+/// quoting.
+class Parser {
+ public:
+  explicit Parser(Slice text)
+      : text_(text.empty() ? std::string() : text.ToString()) {}
+
+  Result<Query> Parse() {
+    Result<Query> query = ParsePipeline();
+    if (!query.ok()) return query;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing input after query");
+    }
+    return query;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("query parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string Ident() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return std::string(text_, start, pos_ - start);
+  }
+
+  /// One raw argument: everything up to a delimiter, trimmed.
+  std::string Arg() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != ')' &&
+           text_[pos_] != ';' && text_[pos_] != '|' && text_[pos_] != '(') {
+      ++pos_;
+    }
+    size_t end = pos_;
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(text_[end - 1]))) {
+      --end;
+    }
+    return std::string(text_, start, end - start);
+  }
+
+  /// Parses "(arg, arg, ...)" — possibly empty when absent entirely.
+  Result<std::vector<std::string>> Args(bool parens_required) {
+    std::vector<std::string> args;
+    if (!Consume('(')) {
+      if (parens_required) return Error("expected '('");
+      return args;
+    }
+    if (Consume(')')) return args;
+    while (true) {
+      args.push_back(Arg());
+      if (Consume(')')) return args;
+      if (!Consume(',')) return Error("expected ',' or ')'");
+    }
+  }
+
+  Result<double> Number(const std::string& arg, const char* what) {
+    char* end = nullptr;
+    double value = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end == nullptr || *end != '\0') {
+      return Error(std::string("bad ") + what + " '" + arg + "'");
+    }
+    return value;
+  }
+
+  Result<Query> ParsePipeline() {
+    Result<Query> source = ParseSource();
+    if (!source.ok()) return source;
+    Query query = *std::move(source);
+    while (true) {
+      SkipSpace();
+      if (!Consume('|')) return query;
+      Result<Query> next = ParseStage(query);
+      if (!next.ok()) return next;
+      query = *std::move(next);
+    }
+  }
+
+  Result<Query> ParseSource() {
+    std::string op = Ident();
+    if (op == "scan") {
+      std::vector<std::string> args;
+      VC_ASSIGN_OR_RETURN(args, Args(/*parens_required=*/true));
+      if (args.size() != 1 || args[0].empty()) {
+        return Error("scan takes one video name");
+      }
+      return Query::Scan(args[0]);
+    }
+    if (op == "union") {
+      if (!Consume('(')) return Error("expected '(' after union");
+      std::vector<Query> branches;
+      while (true) {
+        Result<Query> branch = ParsePipeline();
+        if (!branch.ok()) return branch;
+        branches.push_back(*std::move(branch));
+        if (Consume(')')) break;
+        if (!Consume(';')) return Error("expected ';' or ')' in union");
+      }
+      if (branches.size() < 2) {
+        return Error("union needs at least two branches");
+      }
+      return Query::Union(std::move(branches));
+    }
+    if (op.empty()) return Error("expected a query");
+    return Error("query must start with scan(...) or union(...), got '" + op +
+                 "'");
+  }
+
+  Result<Query> ParseStage(const Query& input) {
+    std::string op = Ident();
+    if (op.empty()) return Error("expected an operator after '|'");
+    std::vector<std::string> args;
+    VC_ASSIGN_OR_RETURN(args, Args(/*parens_required=*/false));
+
+    auto arity = [&](size_t n) -> Status {
+      if (args.size() != n) {
+        return Error(op + " takes " + std::to_string(n) + " argument" +
+                     (n == 1 ? "" : "s"));
+      }
+      return Status::OK();
+    };
+
+    if (op == "timeslice") {
+      VC_RETURN_IF_ERROR(arity(2));
+      double t0, t1;
+      VC_ASSIGN_OR_RETURN(t0, Number(args[0], "time"));
+      VC_ASSIGN_OR_RETURN(t1, Number(args[1], "time"));
+      return input.TimeSlice(t0, t1);
+    }
+    if (op == "frames") {
+      VC_RETURN_IF_ERROR(arity(2));
+      double first, last;
+      VC_ASSIGN_OR_RETURN(first, Number(args[0], "frame"));
+      VC_ASSIGN_OR_RETURN(last, Number(args[1], "frame"));
+      return input.FrameSlice(static_cast<int>(first), static_cast<int>(last));
+    }
+    if (op == "viewport") {
+      VC_RETURN_IF_ERROR(arity(4));
+      double deg[4];
+      for (int i = 0; i < 4; ++i) {
+        VC_ASSIGN_OR_RETURN(deg[i], Number(args[i], "angle"));
+      }
+      return input.Viewport(DegToRad(deg[0]), DegToRad(deg[1]),
+                            DegToRad(deg[2]), DegToRad(deg[3]));
+    }
+    if (op == "quality" || op == "degrade") {
+      VC_RETURN_IF_ERROR(arity(1));
+      if (args[0].empty()) return Error(op + " needs a rung name or index");
+      bool numeric = args[0].find_first_not_of("0123456789") ==
+                     std::string::npos;
+      if (op == "quality") {
+        return numeric ? input.QualityFloor(std::atoi(args[0].c_str()))
+                       : input.QualityFloor(args[0]);
+      }
+      return numeric ? input.Degrade(std::atoi(args[0].c_str()))
+                     : input.Degrade(args[0]);
+    }
+    if (op == "encode") {
+      if (args.empty()) return input.Encode();
+      VC_RETURN_IF_ERROR(arity(1));
+      double qp;
+      VC_ASSIGN_OR_RETURN(qp, Number(args[0], "qp"));
+      return input.Encode(static_cast<int>(qp));
+    }
+    if (op == "store") {
+      VC_RETURN_IF_ERROR(arity(1));
+      if (args[0].empty()) return Error("store needs a video name");
+      return input.Store(args[0]);
+    }
+    if (op == "tofile") {
+      VC_RETURN_IF_ERROR(arity(1));
+      if (args[0].empty()) return Error("tofile needs a path");
+      return input.ToFile(args[0]);
+    }
+    return Error("unknown operator '" + op + "'");
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(Slice text) { return Parser(text).Parse(); }
+
+}  // namespace vc

@@ -1,0 +1,40 @@
+#ifndef VC_QUERY_PARSER_H_
+#define VC_QUERY_PARSER_H_
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "query/algebra.h"
+
+namespace vc {
+
+/// \brief Parses the text form of the query algebra (the `vcctl query`
+/// surface) into a logical plan.
+///
+/// Grammar (whitespace-insensitive):
+///
+///     query    := pipeline
+///     pipeline := source ( '|' stage )*
+///     source   := 'scan' '(' name ')'
+///               | 'union' '(' pipeline ( ';' pipeline )+ ')'
+///     stage    := 'timeslice' '(' t0 ',' t1 ')'            seconds, [t0,t1)
+///               | 'frames' '(' first ',' last ')'          inclusive
+///               | 'viewport' '(' yaw ',' pitch ',' fovYaw ',' fovPitch ')'
+///                                                          degrees
+///               | 'quality' '(' rung ')'                   name or index
+///               | 'degrade' '(' rung ')'
+///               | 'encode' [ '(' qp ')' ]
+///               | 'store' '(' name ')'
+///               | 'tofile' '(' path ')'
+///
+/// Examples:
+///
+///     scan(venice) | timeslice(5,10) | viewport(180,90,100,80) | quality(high)
+///     union(scan(a) | timeslice(0,2) ; scan(b) | timeslice(0,2)) | encode
+///
+/// Angles are degrees in the text form (converted to radians in the plan);
+/// `Query::ToString()` emits this exact syntax, so parse/print round-trips.
+Result<Query> ParseQuery(Slice text);
+
+}  // namespace vc
+
+#endif  // VC_QUERY_PARSER_H_

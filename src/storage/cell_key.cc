@@ -1,0 +1,28 @@
+#include "storage/cell_key.h"
+
+#include <cstdio>
+
+namespace vc {
+
+std::string CellKey::CacheKey(const VideoMetadata& metadata) const {
+  char buffer[160];
+  int n;
+  if (metadata.data_dir.empty()) {
+    n = std::snprintf(buffer, sizeof(buffer), "%s|v%u|%d.%d.%d",
+                      metadata.name.c_str(), metadata.version, segment, tile,
+                      quality);
+  } else {
+    n = std::snprintf(buffer, sizeof(buffer), "%s|%s|%d.%d.%d",
+                      metadata.name.c_str(), metadata.data_dir.c_str(),
+                      segment, tile, quality);
+  }
+  if (n < 0 || n >= static_cast<int>(sizeof(buffer))) {
+    // Pathologically long video name: fall back to allocating pieces.
+    return metadata.name + "|" + metadata.DataDir() + "|" +
+           std::to_string(segment) + "." + std::to_string(tile) + "." +
+           std::to_string(quality);
+  }
+  return std::string(buffer, static_cast<size_t>(n));
+}
+
+}  // namespace vc

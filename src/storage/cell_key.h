@@ -1,0 +1,57 @@
+#ifndef VC_STORAGE_CELL_KEY_H_
+#define VC_STORAGE_CELL_KEY_H_
+
+#include <string>
+
+#include "storage/metadata.h"
+
+namespace vc {
+
+/// \brief The (segment, tile, quality) coordinates of one stored cell —
+/// the unit every layer above the storage manager addresses.
+///
+/// Centralizes the key/path formatting that the buffer cache, the
+/// prefetcher, and the query executor all need, so there is exactly one
+/// definition of what identifies a cell.
+struct CellKey {
+  int segment = 0;
+  int tile = 0;
+  int quality = 0;
+
+  bool operator==(const CellKey& o) const {
+    return segment == o.segment && tile == o.tile && quality == o.quality;
+  }
+  bool operator<(const CellKey& o) const {
+    if (segment != o.segment) return segment < o.segment;
+    if (tile != o.tile) return tile < o.tile;
+    return quality < o.quality;
+  }
+
+  /// True when the coordinates address a cell of `metadata`.
+  bool InRange(const VideoMetadata& metadata) const {
+    return segment >= 0 && segment < metadata.segment_count() && tile >= 0 &&
+           tile < metadata.tile_count() && quality >= 0 &&
+           quality < metadata.quality_count();
+  }
+
+  /// Flat index into `metadata.cells`.
+  size_t Index(const VideoMetadata& metadata) const {
+    return metadata.CellIndex(segment, tile, quality);
+  }
+
+  /// Relative file name of the cell within the video's data directory.
+  std::string FileName(const VideoMetadata& metadata) const {
+    return metadata.CellFileName(segment, tile, quality);
+  }
+
+  /// Buffer-cache key: a single fixed-size snprintf into a stack buffer and
+  /// one std::string construction, instead of the chain of temporary
+  /// concatenations the full file path needs (the path itself is only built
+  /// on the cold load path). Keyed by data directory, not version, because
+  /// live checkpoints publish versions that share cell files.
+  std::string CacheKey(const VideoMetadata& metadata) const;
+};
+
+}  // namespace vc
+
+#endif  // VC_STORAGE_CELL_KEY_H_

@@ -66,8 +66,8 @@ void PredictivePrefetcher::EnqueueSegment(const VideoMetadata& metadata,
            hint.predicted, hint.fov_yaw + 2 * hint.margin,
            hint.fov_pitch + 2 * hint.margin)) {
     int index = grid.IndexOf(tile);
-    Add(metadata, hint.segment, index, high, 1.0 + probability(index),
-        deadline);
+    Add(metadata, CellKey{hint.segment, index, high},
+        1.0 + probability(index), deadline);
   }
 
   // Cross-user popularity: tiles covering most of the historical gaze mass
@@ -77,8 +77,8 @@ void PredictivePrefetcher::EnqueueSegment(const VideoMetadata& metadata,
     for (const TileId& tile :
          popularity->PopularTiles(hint.segment, hint.popularity_coverage)) {
       int index = grid.IndexOf(tile);
-      Add(metadata, hint.segment, index, high, 0.8 + probability(index),
-          deadline);
+      Add(metadata, CellKey{hint.segment, index, high},
+          0.8 + probability(index), deadline);
     }
   }
 
@@ -86,16 +86,15 @@ void PredictivePrefetcher::EnqueueSegment(const VideoMetadata& metadata,
   // score so they fill otherwise-idle I/O capacity.
   if (lowest != high) {
     for (int index = 0; index < grid.tile_count(); ++index) {
-      Add(metadata, hint.segment, index, lowest,
+      Add(metadata, CellKey{hint.segment, index, lowest},
           0.05 + 0.05 * probability(index), deadline);
     }
   }
 }
 
-void PredictivePrefetcher::Add(const VideoMetadata& metadata, int segment,
-                               int tile, int quality, double score,
-                               double deadline) {
-  DedupeKey key{&metadata, metadata.CellIndex(segment, tile, quality)};
+void PredictivePrefetcher::Add(const VideoMetadata& metadata, CellKey cell,
+                               double score, double deadline) {
+  DedupeKey key = KeyFor(metadata, cell);
   if (!pending_.insert(key).second) return;  // already queued or in flight
 
   if (static_cast<int>(queue_.size()) >= options_.max_queue) {
@@ -109,19 +108,14 @@ void PredictivePrefetcher::Add(const VideoMetadata& metadata, int segment,
       pending_.erase(key);
       return;
     }
-    pending_.erase(
-        DedupeKey{victim->metadata, victim->metadata->CellIndex(
-                                        victim->segment, victim->tile,
-                                        victim->quality)});
+    pending_.erase(KeyFor(*victim));
     ++stats_.cancelled;
     CancelledCounter()->Add();
-    *victim = Request{&metadata, segment, tile, quality, score, deadline,
-                      seq_++};
+    *victim = Request{&metadata, cell, score, deadline, seq_++};
     ++stats_.enqueued;
     return;
   }
-  queue_.push_back(
-      Request{&metadata, segment, tile, quality, score, deadline, seq_++});
+  queue_.push_back(Request{&metadata, cell, score, deadline, seq_++});
   ++stats_.enqueued;
 }
 
@@ -142,10 +136,7 @@ void PredictivePrefetcher::Pump(double now) {
   // the clock reaches it there is nothing left to win.
   for (size_t i = 0; i < queue_.size();) {
     if (queue_[i].deadline <= now) {
-      pending_.erase(DedupeKey{
-          queue_[i].metadata,
-          queue_[i].metadata->CellIndex(queue_[i].segment, queue_[i].tile,
-                                        queue_[i].quality)});
+      pending_.erase(KeyFor(queue_[i]));
       ++stats_.cancelled;
       CancelledCounter()->Add();
       queue_[i] = std::move(queue_.back());
@@ -169,12 +160,10 @@ void PredictivePrefetcher::DispatchPending() {
     *best = std::move(queue_.back());
     queue_.pop_back();
 
-    DedupeKey key{request.metadata,
-                  request.metadata->CellIndex(request.segment, request.tile,
-                                              request.quality)};
-    auto handle = storage_->ReadCellAsync(*request.metadata, request.segment,
-                                          request.tile, request.quality,
-                                          LoadKind::kPrefetch);
+    DedupeKey key = KeyFor(request);
+    auto handle = storage_->ReadCellAsync(
+        *request.metadata, request.cell.segment, request.cell.tile,
+        request.cell.quality, LoadKind::kPrefetch);
     ++stats_.dispatched;
     if (!handle.ok() || handle->ready()) {
       // Out of range (cannot happen for well-formed hints), already cached,
@@ -195,10 +184,7 @@ void PredictivePrefetcher::Drain() {
   stats_.cancelled += queue_.size();
   CancelledCounter()->Add(queue_.size());
   for (const Request& request : queue_) {
-    pending_.erase(DedupeKey{
-        request.metadata,
-        request.metadata->CellIndex(request.segment, request.tile,
-                                    request.quality)});
+    pending_.erase(KeyFor(request));
   }
   queue_.clear();
 }

@@ -8,6 +8,7 @@
 
 #include "geometry/orientation.h"
 #include "predict/popularity.h"
+#include "storage/cell_key.h"
 #include "storage/storage_manager.h"
 
 namespace vc {
@@ -117,9 +118,7 @@ class PredictivePrefetcher {
  private:
   struct Request {
     const VideoMetadata* metadata;
-    int segment;
-    int tile;
-    int quality;
+    CellKey cell;
     double score;     ///< Higher dispatches first; lowest is evicted.
     double deadline;  ///< Simulated time after which the request is stale.
     uint64_t seq;     ///< Tie-break: earlier requests win.
@@ -127,8 +126,15 @@ class PredictivePrefetcher {
 
   using DedupeKey = std::pair<const void*, size_t>;
 
-  void Add(const VideoMetadata& metadata, int segment, int tile, int quality,
-           double score, double deadline);
+  static DedupeKey KeyFor(const VideoMetadata& metadata, CellKey cell) {
+    return {&metadata, cell.Index(metadata)};
+  }
+  static DedupeKey KeyFor(const Request& request) {
+    return KeyFor(*request.metadata, request.cell);
+  }
+
+  void Add(const VideoMetadata& metadata, CellKey cell, double score,
+           double deadline);
   void DispatchPending();
 
   StorageManager* storage_;

@@ -9,37 +9,11 @@
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "storage/cell_key.h"
 
 namespace vc {
 
 namespace {
-
-/// Buffer-cache key for one cell: a single fixed-size snprintf into a stack
-/// buffer and one std::string construction, instead of the chain of
-/// temporary concatenations the full file path needs (the path itself is
-/// only built on the cold load path). Keyed by data directory, not version,
-/// because live checkpoints publish versions that share cell files.
-std::string CellCacheKey(const VideoMetadata& metadata, int segment, int tile,
-                         int quality) {
-  char buffer[160];
-  int n;
-  if (metadata.data_dir.empty()) {
-    n = std::snprintf(buffer, sizeof(buffer), "%s|v%u|%d.%d.%d",
-                      metadata.name.c_str(), metadata.version, segment, tile,
-                      quality);
-  } else {
-    n = std::snprintf(buffer, sizeof(buffer), "%s|%s|%d.%d.%d",
-                      metadata.name.c_str(), metadata.data_dir.c_str(),
-                      segment, tile, quality);
-  }
-  if (n < 0 || n >= static_cast<int>(sizeof(buffer))) {
-    // Pathologically long video name: fall back to allocating pieces.
-    return metadata.name + "|" + metadata.DataDir() + "|" +
-           std::to_string(segment) + "." + std::to_string(tile) + "." +
-           std::to_string(quality);
-  }
-  return std::string(buffer, static_cast<size_t>(n));
-}
 
 Histogram* DemandMissHistogram() {
   static Histogram* histogram =
@@ -280,7 +254,7 @@ LruCache::Loader StorageManager::MakeCellLoader(const VideoMetadata& metadata,
   // Owning captures only: the loader may run on an I/O pool thread after
   // the calling frame (and its metadata reference) is gone.
   std::string path = VideoDir(metadata.name) + "/" + metadata.DataDir() +
-                     "/" + metadata.CellFileName(segment, tile, quality);
+                     "/" + CellKey{segment, tile, quality}.FileName(metadata);
   CellInfo info = metadata.cells[metadata.CellIndex(segment, tile, quality)];
   Env* env = options_.env;
   double latency = options_.read_latency_seconds;
@@ -306,9 +280,7 @@ Result<LruCache::Value> StorageManager::ReadCell(
       MetricRegistry::Global().GetCounter("storage.cell_read_bytes");
   static Histogram* read_seconds =
       MetricRegistry::Global().GetHistogram("storage.read_seconds");
-  if (segment < 0 || segment >= metadata.segment_count() || tile < 0 ||
-      tile >= metadata.tile_count() || quality < 0 ||
-      quality >= metadata.quality_count()) {
+  if (!CellKey{segment, tile, quality}.InRange(metadata)) {
     return Status::InvalidArgument("cell coordinates out of range");
   }
   ScopedTimer timer(read_seconds);
@@ -321,7 +293,7 @@ Result<LruCache::Value> StorageManager::ReadCell(
   bool was_hit = false;
   Stopwatch stopwatch;
   Result<LruCache::Value> value =
-      cache_.GetOrCompute(CellCacheKey(metadata, segment, tile, quality),
+      cache_.GetOrCompute(CellKey{segment, tile, quality}.CacheKey(metadata),
                           [this, &metadata, segment, tile,
                            quality]() -> Result<LruCache::Value> {
                             return MakeCellLoader(metadata, segment, tile,
@@ -338,9 +310,7 @@ Result<LruCache::AsyncHandle> StorageManager::ReadCellAsync(
     LoadKind kind) {
   static Counter* cell_reads =
       MetricRegistry::Global().GetCounter("storage.cell_reads");
-  if (segment < 0 || segment >= metadata.segment_count() || tile < 0 ||
-      tile >= metadata.tile_count() || quality < 0 ||
-      quality >= metadata.quality_count()) {
+  if (!CellKey{segment, tile, quality}.InRange(metadata)) {
     return Status::InvalidArgument("cell coordinates out of range");
   }
   if (kind == LoadKind::kDemand) cell_reads->Add();
@@ -348,7 +318,7 @@ Result<LruCache::AsyncHandle> StorageManager::ReadCellAsync(
   // return a resolved handle, so callers need not care whether the store
   // has an I/O pipeline.
   return cache_.GetOrComputeAsync(
-      CellCacheKey(metadata, segment, tile, quality),
+      CellKey{segment, tile, quality}.CacheKey(metadata),
       MakeCellLoader(metadata, segment, tile, quality), io_pool_.get(), kind);
 }
 

@@ -6,7 +6,8 @@
 
 namespace vc {
 
-std::string GenerateManifest(const VideoMetadata& metadata) {
+std::string GenerateManifest(const VideoMetadata& metadata,
+                             const ManifestPlan* plan) {
   std::ostringstream out;
   char line[160];
   out << "VCMPD 1\n";
@@ -38,6 +39,13 @@ std::string GenerateManifest(const VideoMetadata& metadata) {
       }
     }
   }
+  if (plan != nullptr) {
+    for (const ManifestPlan::Entry& entry : plan->entries) {
+      out << "plan " << entry.segment;
+      for (int rung : entry.tile_quality) out << " " << rung;
+      out << "\n";
+    }
+  }
   return out.str();
 }
 
@@ -50,7 +58,8 @@ Status Malformed(size_t line_number, const std::string& what) {
 
 }  // namespace
 
-Result<VideoMetadata> ParseManifest(Slice text) {
+Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan) {
+  if (plan != nullptr) plan->entries.clear();
   std::istringstream in(text.ToString());
   std::string line;
   size_t line_number = 0;
@@ -63,6 +72,7 @@ Result<VideoMetadata> ParseManifest(Slice text) {
     CellInfo info;
   };
   std::vector<CellEntry> cell_entries;
+  std::vector<ManifestPlan::Entry> plan_entries;
 
   while (std::getline(in, line)) {
     ++line_number;
@@ -129,6 +139,15 @@ Result<VideoMetadata> ParseManifest(Slice text) {
           entry.info.byte_size >> entry.info.crc32;
       if (fields.fail()) return Malformed(line_number, "bad cell entry");
       cell_entries.push_back(entry);
+    } else if (keyword == "plan") {
+      ManifestPlan::Entry entry;
+      fields >> entry.segment;
+      if (fields.fail()) return Malformed(line_number, "bad plan entry");
+      int rung;
+      while (fields >> rung) entry.tile_quality.push_back(rung);
+      if (!fields.eof()) return Malformed(line_number, "bad plan entry");
+      fields.clear();  // the rung loop always ends in a fail/eof state
+      plan_entries.push_back(std::move(entry));
     } else {
       return Malformed(line_number, "unknown keyword '" + keyword + "'");
     }
@@ -158,6 +177,25 @@ Result<VideoMetadata> ParseManifest(Slice text) {
     metadata.cells[index] = entry.info;
   }
   VC_RETURN_IF_ERROR(metadata.Validate());
+
+  int last_plan_segment = -1;
+  for (const ManifestPlan::Entry& entry : plan_entries) {
+    if (entry.segment < 0 || entry.segment >= metadata.segment_count() ||
+        entry.segment <= last_plan_segment) {
+      return Status::Corruption("manifest plan segments out of order");
+    }
+    last_plan_segment = entry.segment;
+    if (static_cast<int>(entry.tile_quality.size()) !=
+        metadata.tile_count()) {
+      return Status::Corruption("manifest plan entry tile count mismatch");
+    }
+    for (int rung : entry.tile_quality) {
+      if (rung < -1 || rung >= metadata.quality_count()) {
+        return Status::Corruption("manifest plan rung out of range");
+      }
+    }
+  }
+  if (plan != nullptr) plan->entries = std::move(plan_entries);
   return metadata;
 }
 

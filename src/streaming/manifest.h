@@ -27,14 +27,35 @@ namespace vc {
 ///     quality <index> <name> <qp>          (one per rung)
 ///     segment <index> <start> <frames>     (one per segment)
 ///     cell <seg> <tile> <quality> <bytes> <crc32>
+///     plan <seg> <rung per tile ...>       (optional query-plan overlay)
 ///
 /// GenerateManifest/ParseManifest round-trip every field, so a parsed
 /// manifest reconstructs the full VideoMetadata (sans data_dir, which is a
 /// server-side storage detail clients never see).
-std::string GenerateManifest(const VideoMetadata& metadata);
 
-/// Parses a manifest back into metadata (validated).
-Result<VideoMetadata> ParseManifest(Slice text);
+/// \brief Optional per-tile rung selections published with a manifest: the
+/// result of optimizing a query (see query/optimizer.h) server-side, so a
+/// client fetches exactly the planned cells instead of re-deriving the
+/// choice. One entry per planned segment, `tile_quality[t]` the ladder rung
+/// tile t should be fetched at, -1 = pruned (tile not sent at all).
+struct ManifestPlan {
+  struct Entry {
+    int segment = 0;
+    std::vector<int> tile_quality;
+  };
+  std::vector<Entry> entries;  ///< Ascending by segment.
+
+  bool empty() const { return entries.empty(); }
+};
+
+/// `plan`, when non-null and non-empty, appends the plan overlay.
+std::string GenerateManifest(const VideoMetadata& metadata,
+                             const ManifestPlan* plan = nullptr);
+
+/// Parses a manifest back into metadata (validated). When `plan` is
+/// non-null it receives the plan overlay (cleared first; left empty when
+/// the manifest carries none).
+Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan = nullptr);
 
 }  // namespace vc
 
