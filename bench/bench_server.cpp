@@ -16,13 +16,26 @@
 // byte-identical across configurations — only host time and cache traffic
 // may move.
 //
+// E9 — sharded cluster scale-out. The same store served by an N-node
+// cluster: cells consistent-hashed across N backends, every node reading
+// through a private L1 over a cluster-shared L2, sessions placed by
+// popularity locality. Scales to 1024 viewers on 16 nodes and reports the
+// L1/L2 hit-rate breakdown and per-node host time (the scale-out claim:
+// roughly flat as nodes and viewers grow together). A fixed 256-viewer
+// cohort is re-run at {1, 4, 16} nodes and must reproduce byte-identical
+// simulated outcomes — placement and tiering never change what is served.
+//
 // `--smoke` shrinks every population so the whole binary finishes in
-// seconds (registered as a ctest); smoke runs skip BENCH_server.json.
+// seconds (registered as a ctest); `--nodes N` sizes the smoke cluster
+// (default 2). Smoke runs skip BENCH_server.json.
 
+#include <algorithm>
 #include <cstring>
 
 #include "bench_util.h"
+#include "server/cluster_server.h"
 #include "server/streaming_server.h"
+#include "storage/sharded_store.h"
 
 using namespace vc;
 using namespace vc::bench;
@@ -72,7 +85,16 @@ void CheckSameSimulation(const ServerStats& a, const ServerStats& b,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  int smoke_nodes = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      smoke_nodes = std::atoi(argv[++i]);
+    }
+  }
+  if (smoke_nodes < 1) smoke_nodes = 1;
 
   Banner("E7: multi-viewer server scaling",
          "expect: shared-cache hit rate grows with viewer count; faulted "
@@ -248,6 +270,108 @@ int main(int argc, char** argv) {
     async_json += row;
   }
 
+  // E9 — sharded cluster scale-out. One ShardedStore per row (cold L2),
+  // one backend shard per serving node, ample admission slots so node
+  // count never changes queueing (the regime where the outcome is
+  // node-count invariant). Viewers and nodes grow together; the scale-out
+  // claim is per-node host time staying roughly flat while the L1/L2 tiers
+  // absorb the read traffic.
+  auto run_cluster = [&](int nodes, int viewer_count) {
+    ShardedStoreOptions store_options;
+    store_options.backend.env = bench.env.get();
+    store_options.backend.root = "/bench";
+    store_options.shards = nodes;
+    auto store = CheckOk(ShardedStore::Open(store_options), "sharded store");
+    ClusterOptions cluster_options;
+    cluster_options.nodes = nodes;
+    cluster_options.node.max_concurrent_sessions = viewer_count;  // ample
+    ClusterServer cluster(store.get(), cluster_options);
+    std::vector<VideoMetadata> videos = {metadata};
+    return CheckOk(cluster.Run(videos, MakeViewers(viewer_count)),
+                   "cluster run");
+  };
+  auto max_node_host = [](const ClusterStats& stats) {
+    double host = 0.0;
+    for (const ClusterNodeStats& node : stats.nodes) {
+      host = std::max(host, node.host_seconds);
+    }
+    return host;
+  };
+
+  struct ClusterRow {
+    int nodes;
+    int viewers;
+  };
+  std::vector<ClusterRow> cluster_rows;
+  if (smoke) {
+    cluster_rows = {{1, 8}, {smoke_nodes, 8 * smoke_nodes}};
+  } else {
+    cluster_rows = {{1, 64}, {2, 128}, {4, 256}, {8, 512}, {16, 1024}};
+  }
+
+  std::printf("\nE9: sharded cluster scale-out (viewers grow with nodes; "
+              "per-node host time should stay roughly flat)\n");
+  std::printf("%6s %8s %12s %8s %8s %11s %10s %9s %9s\n", "nodes", "viewers",
+              "served Mbps", "L1 hit", "L2 hit", "node host s", "vs 1-node",
+              "locality", "spill");
+
+  std::string cluster_json;
+  double baseline_node_host = 0.0;
+  for (const ClusterRow& row : cluster_rows) {
+    ClusterStats stats = run_cluster(row.nodes, row.viewers);
+    double node_host = max_node_host(stats);
+    if (row.nodes == 1) baseline_node_host = node_host;
+    double vs_baseline =
+        baseline_node_host > 0 ? node_host / baseline_node_host : 0.0;
+    int locality = 0;
+    for (const ClusterNodeStats& node : stats.nodes) {
+      locality += node.locality_placements;
+    }
+
+    std::printf("%6d %8d %12.2f %7.1f%% %7.1f%% %11.3f %9.2fx %9d %9d\n",
+                row.nodes, row.viewers, stats.totals.ServedMbps(),
+                100.0 * stats.totals.cache.HitRate(),
+                100.0 * stats.l2.HitRate(), node_host, vs_baseline, locality,
+                stats.spillovers());
+
+    char json_row[448];
+    std::snprintf(
+        json_row, sizeof(json_row),
+        "%s  {\"nodes\": %d, \"viewers\": %d, \"served_mbps\": %.4f, "
+        "\"l1_hit_rate\": %.4f, \"l2_hit_rate\": %.4f, "
+        "\"max_node_host_seconds\": %.4f, \"node_host_vs_single\": %.3f, "
+        "\"locality_placements\": %d, \"spillovers\": %d, "
+        "\"bytes_sent\": %llu, \"completed\": %d}",
+        cluster_json.empty() ? "" : ",\n", row.nodes, row.viewers,
+        stats.totals.ServedMbps(), stats.totals.cache.HitRate(),
+        stats.l2.HitRate(), node_host, vs_baseline, locality,
+        stats.spillovers(),
+        static_cast<unsigned long long>(stats.totals.bytes_sent),
+        stats.totals.sessions_completed);
+    cluster_json += json_row;
+  }
+
+  // Scale-out determinism: one fixed cohort, re-served at growing node
+  // counts — the simulated outcome must not move by a byte.
+  const int determinism_viewers = smoke ? 12 : 256;
+  const std::vector<int> determinism_nodes =
+      smoke ? std::vector<int>{1, smoke_nodes} : std::vector<int>{1, 4, 16};
+  ServerStats cluster_baseline;
+  for (size_t i = 0; i < determinism_nodes.size(); ++i) {
+    ClusterStats stats =
+        run_cluster(determinism_nodes[i], determinism_viewers);
+    if (i == 0) {
+      cluster_baseline = stats.totals;
+    } else {
+      CheckSameSimulation(cluster_baseline, stats.totals, "cluster scale-out");
+    }
+  }
+  std::printf("determinism: %d-viewer cohort byte-identical at",
+              determinism_viewers);
+  for (int nodes : determinism_nodes) std::printf(" %d", nodes);
+  std::printf(" nodes (%llu bytes)\n",
+              static_cast<unsigned long long>(cluster_baseline.bytes_sent));
+
   if (smoke) {
     std::printf("\nsmoke run: BENCH_server.json left untouched\n");
     return 0;
@@ -270,9 +394,18 @@ int main(int argc, char** argv) {
                 admission_stats.sessions_rejected,
                 admission_stats.max_queue_depth, async_viewers, read_latency);
 
+  char cluster_tail[320];
+  std::snprintf(cluster_tail, sizeof(cluster_tail),
+                ",\n \"cluster\": {\"baseline_node_host_seconds\": %.4f,\n"
+                "  \"determinism\": {\"viewers\": %d, \"nodes\": [1, 4, 16], "
+                "\"bytes_sent\": %llu},\n  \"scaling\": [\n",
+                baseline_node_host, determinism_viewers,
+                static_cast<unsigned long long>(cluster_baseline.bytes_sent));
+
   std::string json = "{\"experiment\": \"E7-server\",\n \"scene\": \"" +
                      scene_name + "\",\n \"scaling\": [\n" + points_json +
-                     "\n ],\n" + tail + async_json + "\n ]}}";
+                     "\n ],\n" + tail + async_json + "\n ]}" + cluster_tail +
+                     cluster_json + "\n ]}}";
   WriteBenchJson("BENCH_server.json", json);
   EmitMetricsSnapshot("E7");
   return 0;

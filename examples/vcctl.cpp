@@ -18,7 +18,10 @@
 //
 // Global flags (any command): --io-threads N sizes the store's async cell
 // I/O pool; --prefetch {off,predict,popularity} turns on speculative cell
-// loading in serve-sim (needs --io-threads > 0).
+// loading in serve-sim (needs --io-threads > 0); --nodes N runs serve-sim
+// as an N-node cluster over a consistent-hash sharded store, with
+// --l1-bytes sizing each node's private cache and --l2-bytes the shared
+// second tier.
 //
 // The store lives in $VCCTL_ROOT (default /tmp/visualcloud-store).
 
@@ -36,7 +39,9 @@
 #include "obs/metrics.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "server/cluster_server.h"
 #include "server/streaming_server.h"
+#include "storage/sharded_store.h"
 #include "streaming/manifest.h"
 #include "predict/trace_synthesizer.h"
 
@@ -80,6 +85,14 @@ void PrintUsage(std::FILE* out) {
       "  --prefetch {off,predict,popularity}\n"
       "                                speculative cell loading in serve-sim\n"
       "                                (needs --io-threads > 0)\n"
+      "  --nodes N                     run serve-sim as an N-node cluster over\n"
+      "                                a consistent-hash sharded store (one\n"
+      "                                backend shard per node; default 1:\n"
+      "                                single-node server)\n"
+      "  --l1-bytes N                  per-node private cache capacity in the\n"
+      "                                cluster (default 16 MiB)\n"
+      "  --l2-bytes N                  cluster-shared L2 cache capacity\n"
+      "                                (default 256 MiB)\n"
       "\n"
       "store root: $VCCTL_ROOT (default /tmp/visualcloud-store)\n",
       out);
@@ -267,9 +280,80 @@ int CmdStream(VisualCloud* db, const std::string& name,
   return 0;
 }
 
+void PrintServeSummary(const ServerStats& stats, PrefetchMode prefetch) {
+  std::printf("admission:    admitted=%d queued=%d rejected=%d max_queue=%d\n",
+              stats.sessions_admitted, stats.sessions_queued,
+              stats.sessions_rejected, stats.max_queue_depth);
+  std::printf("throughput:   %.2f Mbps aggregate over %.2fs simulated "
+              "(%.3fs host)\n",
+              stats.ServedMbps(), stats.wall_seconds, stats.host_seconds);
+  std::printf("prefetch:     mode=%s issued=%llu hits=%llu wasted=%llu "
+              "cancelled=%llu\n",
+              PrefetchModeName(prefetch),
+              static_cast<unsigned long long>(stats.cache.prefetch_issued),
+              static_cast<unsigned long long>(stats.cache.prefetch_hits),
+              static_cast<unsigned long long>(stats.cache.prefetch_wasted),
+              static_cast<unsigned long long>(stats.prefetch.cancelled));
+  std::printf("quality:      rebuffer %.2f%% (%d stalls), faults=%d "
+              "retries=%d skips=%d\n",
+              100.0 * stats.RebufferRatio(), stats.stall_events,
+              stats.transfer_faults, stats.transfer_retries,
+              stats.segments_skipped);
+}
+
+int CmdServeCluster(const VideoMetadata& metadata,
+                    const std::vector<ViewerRequest>& viewers,
+                    const ServerOptions& server_options, int nodes,
+                    size_t l1_bytes, size_t l2_bytes, int io_threads,
+                    PrefetchMode prefetch) {
+  ShardedStoreOptions store_options;
+  store_options.backend.root = StoreRoot();
+  store_options.backend.io_threads = io_threads;
+  store_options.shards = nodes;  // one backend shard per serving node
+  store_options.l2_capacity_bytes = l2_bytes;
+  auto store = ShardedStore::Open(store_options);
+  if (!store.ok()) Fail(store.status(), "sharded store");
+  if (prefetch != PrefetchMode::kOff && io_threads <= 0) {
+    std::fprintf(stderr,
+                 "vcctl: --prefetch needs an I/O pool; add --io-threads N "
+                 "(continuing without speculation)\n");
+  }
+
+  ClusterOptions cluster_options;
+  cluster_options.nodes = nodes;
+  cluster_options.l1_capacity_bytes = l1_bytes;
+  cluster_options.node = server_options;
+  ClusterServer cluster(store->get(), cluster_options);
+  std::vector<VideoMetadata> videos = {metadata};
+  auto run = cluster.Run(videos, viewers);
+  if (!run.ok()) Fail(run.status(), "cluster run");
+
+  std::printf("cluster:      %d nodes x %d shards (L1 %.1f MiB/node, L2 "
+              "%.1f MiB shared)\n",
+              nodes, store->get()->shard_count(), l1_bytes / 1048576.0,
+              l2_bytes / 1048576.0);
+  PrintServeSummary(run->totals, prefetch);
+  std::printf("tiered cache: L1 %.1f%% hit rate, L2 %.1f%% of L1 misses "
+              "(%llu hits), spillovers=%d\n",
+              100.0 * run->totals.cache.HitRate(), 100.0 * run->l2.HitRate(),
+              static_cast<unsigned long long>(run->l2.hits),
+              run->spillovers());
+  std::printf("%-6s %8s %9s %6s %10s %8s %9s\n", "node", "placed", "locality",
+              "spill", "bytes", "l1_hit%", "host_s");
+  for (const ClusterNodeStats& node : run->nodes) {
+    std::printf("%-6d %8d %9d %6d %10llu %7.1f%% %9.3f\n", node.node_id,
+                node.sessions_placed, node.locality_placements,
+                node.spillovers,
+                static_cast<unsigned long long>(node.bytes_sent),
+                100.0 * node.l1.HitRate(), node.host_seconds);
+  }
+  return 0;
+}
+
 int CmdServeSim(VisualCloud* db, const std::string& name, int viewer_count,
                 int slots, double budget_mbps, double faults_per_minute,
-                PrefetchMode prefetch) {
+                PrefetchMode prefetch, int nodes, size_t l1_bytes,
+                size_t l2_bytes, int io_threads) {
   auto metadata = db->Describe(name);
   if (!metadata.ok()) Fail(metadata.status(), "serve-sim");
   double seconds = 0;
@@ -307,6 +391,15 @@ int CmdServeSim(VisualCloud* db, const std::string& name, int viewer_count,
   server_options.max_concurrent_sessions = slots;
   server_options.bandwidth_budget_bps = budget_mbps * 1e6;
   server_options.prefetch = prefetch;
+
+  if (nodes > 1) {
+    std::printf("served '%s' to %d viewers (%d slots/node, %.0f Mbps "
+                "budget/node)\n",
+                name.c_str(), viewer_count, slots, budget_mbps);
+    return CmdServeCluster(*metadata, viewers, server_options, nodes,
+                           l1_bytes, l2_bytes, io_threads, prefetch);
+  }
+
   if (prefetch != PrefetchMode::kOff &&
       db->storage()->io_pool() == nullptr) {
     std::fprintf(stderr,
@@ -319,28 +412,11 @@ int CmdServeSim(VisualCloud* db, const std::string& name, int viewer_count,
 
   std::printf("served '%s' to %d viewers (%d slots, %.0f Mbps budget)\n",
               name.c_str(), viewer_count, slots, budget_mbps);
-  std::printf("admission:    admitted=%d queued=%d rejected=%d max_queue=%d\n",
-              stats->sessions_admitted, stats->sessions_queued,
-              stats->sessions_rejected, stats->max_queue_depth);
-  std::printf("throughput:   %.2f Mbps aggregate over %.2fs simulated "
-              "(%.3fs host)\n",
-              stats->ServedMbps(), stats->wall_seconds, stats->host_seconds);
+  PrintServeSummary(*stats, prefetch);
   std::printf("shared cache: %.1f%% hit rate (%llu hits, %llu misses)\n",
               100.0 * stats->cache.HitRate(),
               static_cast<unsigned long long>(stats->cache.hits),
               static_cast<unsigned long long>(stats->cache.misses));
-  std::printf("prefetch:     mode=%s issued=%llu hits=%llu wasted=%llu "
-              "cancelled=%llu\n",
-              PrefetchModeName(prefetch),
-              static_cast<unsigned long long>(stats->cache.prefetch_issued),
-              static_cast<unsigned long long>(stats->cache.prefetch_hits),
-              static_cast<unsigned long long>(stats->cache.prefetch_wasted),
-              static_cast<unsigned long long>(stats->prefetch.cancelled));
-  std::printf("quality:      rebuffer %.2f%% (%d stalls), faults=%d "
-              "retries=%d skips=%d\n",
-              100.0 * stats->RebufferRatio(), stats->stall_events,
-              stats->transfer_faults, stats->transfer_retries,
-              stats->segments_skipped);
   return 0;
 }
 
@@ -473,20 +549,38 @@ int main(int argc, char** argv) {
   // an error: print usage and exit non-zero rather than silently treating
   // it as a positional argument.
   int io_threads = 0;
+  int nodes = 1;
+  size_t l1_bytes = 16ull << 20;
+  size_t l2_bytes = 256ull << 20;
   PrefetchMode prefetch = PrefetchMode::kOff;
+  // --flag <integer> options share one parse-and-erase path.
+  auto int_flag = [&args](size_t i, long long* out) {
+    if (i + 1 >= args.size()) {
+      std::fprintf(stderr, "vcctl: %s needs a value\n", args[i].c_str());
+      PrintUsage(stderr);
+      std::exit(2);
+    }
+    *out = std::atoll(args[i + 1].c_str());
+    args.erase(args.begin() + i, args.begin() + i + 2);
+  };
   for (size_t i = 0; i < args.size();) {
     if (args[i] == "--help" || args[i] == "-h") {
       PrintUsage(stdout);
       return 0;
     }
+    long long value = 0;
     if (args[i] == "--io-threads") {
-      if (i + 1 >= args.size()) {
-        std::fprintf(stderr, "vcctl: --io-threads needs a value\n");
-        PrintUsage(stderr);
-        return 2;
-      }
-      io_threads = std::atoi(args[i + 1].c_str());
-      args.erase(args.begin() + i, args.begin() + i + 2);
+      int_flag(i, &value);
+      io_threads = static_cast<int>(value);
+    } else if (args[i] == "--nodes") {
+      int_flag(i, &value);
+      nodes = static_cast<int>(value);
+    } else if (args[i] == "--l1-bytes") {
+      int_flag(i, &value);
+      l1_bytes = value < 0 ? 0 : static_cast<size_t>(value);
+    } else if (args[i] == "--l2-bytes") {
+      int_flag(i, &value);
+      l2_bytes = value < 0 ? 0 : static_cast<size_t>(value);
     } else if (args[i] == "--prefetch") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "vcctl: --prefetch needs a value\n");
@@ -550,7 +644,8 @@ int main(int argc, char** argv) {
     return CmdServeSim(db.get(), args[1], std::atoi(arg(2, "16").c_str()),
                        std::atoi(arg(3, "64").c_str()),
                        std::atof(arg(4, "0").c_str()),
-                       std::atof(arg(5, "0").c_str()), prefetch);
+                       std::atof(arg(5, "0").c_str()), prefetch, nodes,
+                       l1_bytes, l2_bytes, io_threads);
   }
   if (command == "query" && args.size() >= 2) {
     return CmdQuery(db.get(), args[1], arg(2, "") == "explain");

@@ -28,8 +28,10 @@ release() {
   cmake --build build-rel -j"$JOBS"
   # Optimizer-dependent bugs (UB, uninitialized reads) only surface at -O2.
   ctest --test-dir build-rel --output-on-failure -j"$JOBS" --timeout 120
-  # End-to-end bench smokes: server pipeline and query pruned-vs-naive
-  # byte-identity (also part of ctest, but run serially here for timing).
+  # End-to-end bench smokes: server pipeline (single-node and the 4-node
+  # sharded-cluster variant with its scale-out determinism check) and query
+  # pruned-vs-naive byte-identity (also part of ctest, but run serially
+  # here for timing).
   ctest --test-dir build-rel --output-on-failure -L smoke --timeout 600
 }
 
@@ -38,9 +40,11 @@ tsan() {
   cmake -B build-tsan -S . -DVC_SANITIZE=thread
   cmake --build build-tsan -j"$JOBS" \
     --target server_test storage_test query_test obs_test common_test
-  # Where races would live: the single-flight/async cache loader, the
-  # prefetcher, the multi-session server scheduler, the query executor's
-  # batched async cell fetches, and the sharded metrics registry.
+  # Where races would live: the single-flight/async cache loader (including
+  # oversize rejection and prefetch attribution under concurrency), the
+  # tiered L1/L2 path through the sharded store, the prefetcher, the
+  # multi-session server scheduler, the query executor's batched async cell
+  # fetches, and the sharded metrics registry.
   for t in server_test storage_test query_test obs_test common_test; do
     echo "-- tsan: $t"
     ./build-tsan/tests/"$t"

@@ -364,7 +364,9 @@ Status ClientSession::Step(double now) {
   // the same buffer pool. With an I/O pool the segment's cells load as one
   // overlapped batch.
   if (options_.fetch_cells && delivered) {
-    VC_RETURN_IF_ERROR(storage_->ReadPlannedCells(metadata_, segment, plan));
+    CellSource* source =
+        options_.cell_source != nullptr ? options_.cell_source : storage_;
+    VC_RETURN_IF_ERROR(source->ReadPlannedCells(metadata_, segment, plan));
   }
 
   // In-view quality bookkeeping: the rung the viewer actually sees (the

@@ -10,6 +10,7 @@
 #include "predict/head_trace.h"
 #include "predict/popularity.h"
 #include "predict/predictor.h"
+#include "storage/cell_source.h"
 #include "storage/prefetcher.h"
 #include "storage/storage_manager.h"
 #include "streaming/adaptation.h"
@@ -66,6 +67,12 @@ struct SessionOptions {
   /// bytes). A server sets this so concurrent viewers of the same video
   /// exercise — and benefit from — the shared buffer cache.
   bool fetch_cells = false;
+
+  /// Optional cell source (not owned) that `fetch_cells` reads route
+  /// through instead of the session's StorageManager — a sharded store's
+  /// per-node view, so the session's demand misses land in that node's
+  /// L1/L2 tiers. Quality evaluation still decodes via the StorageManager.
+  CellSource* cell_source = nullptr;
 
   /// Optional cross-user popularity model (not owned). When set and the
   /// approach is kVisualCloud, tiles covering `popularity_coverage` of the

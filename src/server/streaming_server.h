@@ -18,6 +18,9 @@ struct ViewerRequest {
   HeadTrace trace;
   SessionOptions session;
   double arrival_seconds = 0.0;
+  /// Which catalog video the viewer streams — an index into the video list
+  /// given to ClusterServer::Run. A single-video StreamingServer ignores it.
+  int video = 0;
 };
 
 /// Admission and sharing policy of a streaming server.

@@ -42,6 +42,11 @@ Counter* PrefetchWastedCounter() {
       MetricRegistry::Global().GetCounter("prefetch.wasted");
   return counter;
 }
+Counter* RejectedOversizeCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("cache.rejected_oversize");
+  return counter;
+}
 
 }  // namespace
 
@@ -105,14 +110,17 @@ void LruCache::Put(const std::string& key, Value value) {
 
 Result<LruCache::Value> LruCache::GetOrCompute(const std::string& key,
                                                const Loader& loader,
-                                               bool* was_hit) {
+                                               bool* was_hit,
+                                               bool* consumed_prefetch) {
   if (was_hit != nullptr) *was_hit = false;
+  if (consumed_prefetch != nullptr) *consumed_prefetch = false;
   std::unique_lock<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     ++stats_.hits;
     HitCounter()->Add();
-    TouchLocked(&*it->second);
+    bool consumed = TouchLocked(&*it->second);
+    if (consumed_prefetch != nullptr) *consumed_prefetch = consumed;
     lru_.splice(lru_.begin(), lru_, it->second);
     if (was_hit != nullptr) *was_hit = true;
     return it->second->value;
@@ -131,6 +139,7 @@ Result<LruCache::Value> LruCache::GetOrCompute(const std::string& key,
       if (state->prefetch_origin && !state->demanded) {
         ++stats_.prefetch_hits;
         PrefetchHitCounter()->Add();
+        if (consumed_prefetch != nullptr) *consumed_prefetch = true;
       }
       state->demanded = true;
     }
@@ -154,15 +163,18 @@ Result<LruCache::Value> LruCache::GetOrCompute(const std::string& key,
 LruCache::AsyncHandle LruCache::GetOrComputeAsync(const std::string& key,
                                                   Loader loader,
                                                   ThreadPool* pool,
-                                                  LoadKind kind) {
+                                                  LoadKind kind,
+                                                  bool* consumed_prefetch) {
   const bool demand = kind == LoadKind::kDemand;
+  if (consumed_prefetch != nullptr) *consumed_prefetch = false;
   std::unique_lock<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     if (demand) {
       ++stats_.hits;
       HitCounter()->Add();
-      TouchLocked(&*it->second);
+      bool consumed = TouchLocked(&*it->second);
+      if (consumed_prefetch != nullptr) *consumed_prefetch = consumed;
       lru_.splice(lru_.begin(), lru_, it->second);
     }
     auto state = std::make_shared<AsyncHandle::State>();
@@ -186,6 +198,7 @@ LruCache::AsyncHandle LruCache::GetOrComputeAsync(const std::string& key,
       if (state->prefetch_origin && !state->demanded) {
         ++stats_.prefetch_hits;
         PrefetchHitCounter()->Add();
+        if (consumed_prefetch != nullptr) *consumed_prefetch = true;
       }
       state->demanded = true;
     }
@@ -234,14 +247,33 @@ void LruCache::Complete(const std::string& key,
                 state->prefetch_origin && !state->demanded);
     } else {
       state->status = loaded.status();
+      // A speculative load that failed before anyone wanted it produced
+      // nothing a demand read could consume: close its attribution as
+      // wasted so issued == hits + wasted still balances.
+      if (state->prefetch_origin && !state->demanded) {
+        ++stats_.prefetch_wasted;
+        PrefetchWastedCounter()->Add();
+      }
     }
   }
   state->cv.notify_all();
 }
 
-void LruCache::TouchLocked(Entry* entry) {
-  if (!entry->prefetched) return;
+bool LruCache::TouchLocked(Entry* entry) {
+  if (!entry->prefetched) return false;
   entry->prefetched = false;
+  ++stats_.prefetch_hits;
+  PrefetchHitCounter()->Add();
+  return true;
+}
+
+void LruCache::CreditPrefetchConsumption(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  Entry& entry = *it->second;
+  if (!entry.prefetched) return;
+  entry.prefetched = false;
   ++stats_.prefetch_hits;
   PrefetchHitCounter()->Add();
 }
@@ -280,9 +312,26 @@ CacheStats LruCache::stats() const {
 void LruCache::PutLocked(const std::string& key, Value value,
                          bool prefetched) {
   if (value == nullptr) return;
-  if (value->size() > capacity_) return;
+  if (value->size() > capacity_) {
+    // Too big to ever fit: refuse to cache, but loudly. Waiters still get
+    // the value (Complete resolves their state before calling us).
+    ++stats_.rejected_oversize;
+    RejectedOversizeCounter()->Add();
+    if (prefetched) {
+      // The speculation can never be consumed from this cache — wasted.
+      ++stats_.prefetch_wasted;
+      PrefetchWastedCounter()->Add();
+    }
+    return;
+  }
   auto it = index_.find(key);
   if (it != index_.end()) {
+    // Displacing a still-unconsumed prefetched value closes its
+    // attribution: nobody demanded it before it was overwritten.
+    if (it->second->prefetched && !prefetched) {
+      ++stats_.prefetch_wasted;
+      PrefetchWastedCounter()->Add();
+    }
     stats_.bytes_cached -= it->second->value->size();
     it->second->value = std::move(value);
     it->second->prefetched = prefetched;

@@ -32,13 +32,24 @@ struct CacheStats {
   /// same key and waited for its result instead of loading again.
   uint64_t coalesced = 0;
 
+  /// Values larger than the whole cache that PutLocked refused to admit.
+  /// The value is still delivered to every waiter — only caching is
+  /// skipped — so a demand path that keeps re-loading the same oversized
+  /// cell shows up here instead of thrashing invisibly.
+  uint64_t rejected_oversize = 0;
+
   /// Speculative loads actually dispatched (not already cached/in flight).
   uint64_t prefetch_issued = 0;
   /// Prefetched values later consumed by a demand read — including demand
-  /// reads that coalesced with a still-running prefetch load.
+  /// reads that coalesced with a still-running prefetch load, and tier
+  /// promotions credited via CreditPrefetchConsumption.
   uint64_t prefetch_hits = 0;
-  /// Prefetched values evicted (or dropped by Clear) without any demand
-  /// read ever touching them: pure wasted work.
+  /// Prefetched values that never served a demand read: evicted, erased,
+  /// dropped by Clear, displaced by a later Put, rejected as oversize, or
+  /// failed to load. Every issued prefetch eventually lands in exactly one
+  /// of hits/wasted (or is still cached/in flight), so
+  ///   prefetch_issued == prefetch_hits + prefetch_wasted
+  /// holds once the cache is drained and cleared.
   uint64_t prefetch_wasted = 0;
 
   double HitRate() const {
@@ -91,7 +102,8 @@ class LruCache {
   Value Get(const std::string& key);
 
   /// Inserts (or replaces) a value, evicting LRU entries over capacity.
-  /// Values larger than the whole capacity are not cached.
+  /// Values larger than the whole capacity are not cached (counted in
+  /// `rejected_oversize`).
   void Put(const std::string& key, Value value);
 
   /// Returns the cached value for `key`, or runs `loader` to produce (and
@@ -103,9 +115,13 @@ class LruCache {
   /// inside a loader deadlocks. Errors are not cached — the next caller
   /// retries the load. Also coalesces with loads started by
   /// GetOrComputeAsync. When `was_hit` is non-null it is set to whether the
-  /// value was served from cache without waiting on any load.
+  /// value was served from cache without waiting on any load. When
+  /// `consumed_prefetch` is non-null it is set to whether this call was the
+  /// first demand touch of a prefetched value (tiered callers use this to
+  /// credit the copy in the other tier via CreditPrefetchConsumption).
   Result<Value> GetOrCompute(const std::string& key, const Loader& loader,
-                             bool* was_hit = nullptr);
+                             bool* was_hit = nullptr,
+                             bool* consumed_prefetch = nullptr);
 
   /// Asynchronous GetOrCompute: the load is dispatched to `pool` (demand
   /// loads on the high-priority lane, prefetch loads on the low lane) and a
@@ -117,8 +133,20 @@ class LruCache {
   /// an already-resolved handle. `kind` selects statistics: kPrefetch loads
   /// never touch hit/miss counters and tag the cached value so later demand
   /// consumption (or eviction without it) is attributed to prefetching.
+  /// `consumed_prefetch` is as in GetOrCompute (only a demand `kind` ever
+  /// sets it).
   AsyncHandle GetOrComputeAsync(const std::string& key, Loader loader,
-                                ThreadPool* pool, LoadKind kind);
+                                ThreadPool* pool, LoadKind kind,
+                                bool* consumed_prefetch = nullptr);
+
+  /// Tier-promotion credit: a demand read consumed `key`'s copy held by
+  /// another cache tier (e.g. a node's private L1 over this shared L2). If
+  /// this cache still holds `key` tagged as prefetched, the tag is cleared
+  /// and the prefetch counted as a hit — the speculation paid off
+  /// downstream, so its eventual eviction here must not be double-counted
+  /// as wasted. Recency and the demand hit/miss counters are untouched.
+  /// No-op when the key is absent or already consumed.
+  void CreditPrefetchConsumption(const std::string& key);
 
   /// Removes one key if present.
   void Erase(const std::string& key);
@@ -143,8 +171,9 @@ class LruCache {
                 const std::shared_ptr<AsyncHandle::State>& state,
                 Result<Value> loaded);
   /// Marks a demand touch of `entry`, crediting the prefetcher when it was
-  /// the one that brought the value in.
-  void TouchLocked(Entry* entry);
+  /// the one that brought the value in. Returns whether this touch consumed
+  /// a prefetched value (cleared its tag).
+  bool TouchLocked(Entry* entry);
 
   void PutLocked(const std::string& key, Value value, bool prefetched = false);
   void EvictIfNeededLocked();

@@ -28,7 +28,7 @@ const char* PrefetchModeName(PrefetchMode mode) {
   return "unknown";
 }
 
-PredictivePrefetcher::PredictivePrefetcher(StorageManager* storage,
+PredictivePrefetcher::PredictivePrefetcher(CellSource* storage,
                                            const PrefetcherOptions& options)
     : storage_(storage), options_(options) {
   max_inflight_ = options.max_inflight;
@@ -125,7 +125,9 @@ void PredictivePrefetcher::Pump(double now) {
   for (size_t i = 0; i < inflight_.size();) {
     if (inflight_[i].first.ready()) {
       pending_.erase(inflight_[i].second);
-      inflight_[i] = std::move(inflight_.back());
+      if (i + 1 != inflight_.size()) {  // guard the self-move at the back
+        inflight_[i] = std::move(inflight_.back());
+      }
       inflight_.pop_back();
     } else {
       ++i;
@@ -139,7 +141,9 @@ void PredictivePrefetcher::Pump(double now) {
       pending_.erase(KeyFor(queue_[i]));
       ++stats_.cancelled;
       CancelledCounter()->Add();
-      queue_[i] = std::move(queue_.back());
+      if (i + 1 != queue_.size()) {  // guard the self-move at the back
+        queue_[i] = std::move(queue_.back());
+      }
       queue_.pop_back();
     } else {
       ++i;
@@ -150,14 +154,21 @@ void PredictivePrefetcher::Pump(double now) {
 }
 
 void PredictivePrefetcher::DispatchPending() {
+  if (queue_.empty() ||
+      static_cast<int>(inflight_.size()) >= max_inflight_) {
+    return;
+  }
+  // One sort per Pump instead of a max_element scan per dispatch: worst
+  // request first, so popping the back yields the same highest-score /
+  // earliest-seq order the scan produced — O(n log n) per Pump where the
+  // scan was O(n²) once 10k-viewer cohorts deepen the queue.
+  std::sort(queue_.begin(), queue_.end(),
+            [](const Request& a, const Request& b) {
+              return a.score != b.score ? a.score < b.score : a.seq > b.seq;
+            });
   while (static_cast<int>(inflight_.size()) < max_inflight_ &&
          !queue_.empty()) {
-    auto best = std::max_element(
-        queue_.begin(), queue_.end(), [](const Request& a, const Request& b) {
-          return a.score != b.score ? a.score < b.score : a.seq > b.seq;
-        });
-    Request request = *best;
-    *best = std::move(queue_.back());
+    Request request = queue_.back();
     queue_.pop_back();
 
     DedupeKey key = KeyFor(request);

@@ -9,7 +9,7 @@
 #include "geometry/orientation.h"
 #include "predict/popularity.h"
 #include "storage/cell_key.h"
-#include "storage/storage_manager.h"
+#include "storage/cell_source.h"
 
 namespace vc {
 
@@ -91,9 +91,9 @@ class PredictivePrefetcher {
  public:
   /// `storage` must outlive the prefetcher and should have an I/O pool
   /// (without one, dispatched loads run synchronously inside Pump, which
-  /// still works but hides nothing).
-  PredictivePrefetcher(StorageManager* storage,
-                       const PrefetcherOptions& options);
+  /// still works but hides nothing). Any CellSource works: a plain
+  /// StorageManager or one node of a sharded store.
+  PredictivePrefetcher(CellSource* storage, const PrefetcherOptions& options);
 
   /// Plans speculative loads for `hint.segment` of `metadata`, due at
   /// simulated time `deadline` (the session's pacing deadline — requests
@@ -137,7 +137,7 @@ class PredictivePrefetcher {
            double deadline);
   void DispatchPending();
 
-  StorageManager* storage_;
+  CellSource* storage_;
   PrefetcherOptions options_;
   int max_inflight_;
   uint64_t seq_ = 0;

@@ -1,0 +1,160 @@
+#include "storage/sharded_store.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "storage/cell_key.h"
+
+namespace vc {
+
+namespace {
+
+// Same metric names as StorageManager's read path: session-level
+// observability should not care which topology served the read.
+Counter* CellReadsCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("storage.cell_reads");
+  return counter;
+}
+Counter* CellReadBytesCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("storage.cell_read_bytes");
+  return counter;
+}
+Histogram* ReadSecondsHistogram() {
+  static Histogram* histogram =
+      MetricRegistry::Global().GetHistogram("storage.read_seconds");
+  return histogram;
+}
+Histogram* DemandMissHistogram() {
+  static Histogram* histogram =
+      MetricRegistry::Global().GetHistogram("storage.demand_miss_seconds");
+  return histogram;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
+    const ShardedStoreOptions& options) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument("ShardedStoreOptions.shards must be >= 1");
+  }
+  if (options.vnodes_per_shard < 1) {
+    return Status::InvalidArgument(
+        "ShardedStoreOptions.vnodes_per_shard must be >= 1");
+  }
+  std::vector<std::unique_ptr<StorageManager>> shards;
+  shards.reserve(options.shards);
+  for (int i = 0; i < options.shards; ++i) {
+    StorageOptions backend = options.backend;
+    // The tiers own all caching; a backend cache under them would only
+    // hide L2 miss costs and distort the hit-rate breakdown.
+    backend.cache_capacity_bytes = 0;
+    std::unique_ptr<StorageManager> shard;
+    VC_ASSIGN_OR_RETURN(shard, StorageManager::Open(backend));
+    shards.push_back(std::move(shard));
+  }
+  return std::unique_ptr<ShardedStore>(
+      new ShardedStore(options, std::move(shards)));
+}
+
+ShardedStore::ShardedStore(const ShardedStoreOptions& options,
+                           std::vector<std::unique_ptr<StorageManager>> shards)
+    : options_(options),
+      shard_map_(options.shards, options.vnodes_per_shard),
+      l2_(options.l2_capacity_bytes),
+      shards_(std::move(shards)) {}
+
+std::unique_ptr<ShardedStore::Node> ShardedStore::CreateNode(
+    size_t l1_capacity_bytes) {
+  return std::unique_ptr<Node>(
+      new Node(this, next_node_id_++, l1_capacity_bytes));
+}
+
+ShardedStore::Node::Node(ShardedStore* store, int node_id,
+                         size_t l1_capacity_bytes)
+    : store_(store), node_id_(node_id), tiers_(l1_capacity_bytes, store->l2()) {}
+
+ThreadPool* ShardedStore::Node::io_pool() const {
+  return store_->shards_[0]->io_pool();
+}
+
+Result<LruCache::Value> ShardedStore::Node::ReadCell(
+    const VideoMetadata& metadata, int segment, int tile, int quality) {
+  CellKey cell{segment, tile, quality};
+  if (!cell.InRange(metadata)) {
+    return Status::InvalidArgument("cell coordinates out of range");
+  }
+  CellReadsCounter()->Add();
+  ScopedTimer timer(ReadSecondsHistogram());
+  std::string key = cell.CacheKey(metadata);
+  StorageManager* backend = store_->shard(store_->shard_map_.ShardFor(key));
+  bool was_hit = false;
+  Stopwatch stopwatch;
+  Result<LruCache::Value> value = tiers_.GetOrCompute(
+      key,
+      [backend, &metadata, segment, tile,
+       quality]() -> Result<LruCache::Value> {
+        return backend->CellLoader(metadata, segment, tile, quality)();
+      },
+      &was_hit);
+  if (!was_hit) DemandMissHistogram()->Observe(stopwatch.ElapsedSeconds());
+  if (value.ok()) CellReadBytesCounter()->Add((*value)->size());
+  return value;
+}
+
+Result<LruCache::AsyncHandle> ShardedStore::Node::ReadCellAsync(
+    const VideoMetadata& metadata, int segment, int tile, int quality,
+    LoadKind kind) {
+  CellKey cell{segment, tile, quality};
+  if (!cell.InRange(metadata)) {
+    return Status::InvalidArgument("cell coordinates out of range");
+  }
+  if (kind == LoadKind::kDemand) CellReadsCounter()->Add();
+  std::string key = cell.CacheKey(metadata);
+  StorageManager* backend = store_->shard(store_->shard_map_.ShardFor(key));
+  // The load is dispatched on the *owning* backend's pool, so each shard's
+  // cold-read concurrency is bounded by its own pool regardless of how many
+  // nodes route to it.
+  return tiers_.GetOrComputeAsync(
+      key, backend->CellLoader(metadata, segment, tile, quality),
+      backend->io_pool(), kind);
+}
+
+Status ShardedStore::Node::ReadPlannedCells(
+    const VideoMetadata& metadata, int segment,
+    const std::vector<int>& tile_qualities) {
+  if (static_cast<int>(tile_qualities.size()) != metadata.tile_count()) {
+    return Status::InvalidArgument("one quality per tile required");
+  }
+  // Batch-issue so cold tiles overlap across their owning shards' pools,
+  // then collect in tile order (first error wins) — same contract as
+  // StorageManager::ReadPlannedCells. With synchronous backends the handles
+  // come back resolved and this degenerates to the sequential path.
+  std::vector<LruCache::AsyncHandle> handles;
+  handles.reserve(tile_qualities.size());
+  for (int tile = 0; tile < metadata.tile_count(); ++tile) {
+    auto handle = ReadCellAsync(metadata, segment, tile, tile_qualities[tile],
+                                LoadKind::kDemand);
+    if (!handle.ok()) return handle.status();
+    handles.push_back(std::move(*handle));
+  }
+  Status first_error = Status::OK();
+  for (const LruCache::AsyncHandle& handle : handles) {
+    Stopwatch stopwatch;
+    Result<LruCache::Value> value = handle.Wait();
+    double waited = stopwatch.ElapsedSeconds();
+    ReadSecondsHistogram()->Observe(waited);
+    if (!handle.hit()) DemandMissHistogram()->Observe(waited);
+    if (value.ok()) {
+      CellReadBytesCounter()->Add((*value)->size());
+    } else if (first_error.ok()) {
+      first_error = value.status();
+    }
+  }
+  return first_error;
+}
+
+}  // namespace vc

@@ -8,6 +8,7 @@
 
 #include "common/env.h"
 #include "storage/cache.h"
+#include "storage/cell_source.h"
 #include "storage/metadata.h"
 
 namespace vc {
@@ -40,7 +41,7 @@ struct StorageOptions {
 /// max+1; readers that opened version N keep seeing exactly N's files
 /// (snapshot isolation by immutability). Cell reads are checksum-verified
 /// and served through an LRU buffer cache at cell (≈GOP) granularity.
-class StorageManager {
+class StorageManager : public CellSource {
  public:
   /// Opens (creating the root directory if needed).
   static Result<std::unique_ptr<StorageManager>> Open(
@@ -105,7 +106,7 @@ class StorageManager {
 
   /// Reads one encoded cell stream (checksum-verified, cached).
   Result<LruCache::Value> ReadCell(const VideoMetadata& metadata, int segment,
-                                   int tile, int quality);
+                                   int tile, int quality) override;
 
   /// Asynchronous ReadCell: validates coordinates, then hands the load to
   /// the I/O pool and returns a handle to its eventual outcome. Demand
@@ -115,23 +116,22 @@ class StorageManager {
   /// the store was opened with `io_threads == 0` the load runs
   /// synchronously on the caller's thread and an already-resolved handle is
   /// returned.
-  Result<LruCache::AsyncHandle> ReadCellAsync(const VideoMetadata& metadata,
-                                              int segment, int tile,
-                                              int quality,
-                                              LoadKind kind = LoadKind::kDemand);
+  Result<LruCache::AsyncHandle> ReadCellAsync(
+      const VideoMetadata& metadata, int segment, int tile, int quality,
+      LoadKind kind = LoadKind::kDemand) override;
 
   /// Demand-reads one cell per tile of `segment` at the planned qualities
   /// (`tile_qualities[t]` is tile t's ladder rung). With an I/O pool the
   /// loads are issued as one batch and overlap; without one they run
   /// sequentially. Returns the first error in tile order.
   Status ReadPlannedCells(const VideoMetadata& metadata, int segment,
-                          const std::vector<int>& tile_qualities);
+                          const std::vector<int>& tile_qualities) override;
 
   /// Removes a video and all of its versions from disk and cache.
   Status DropVideo(const std::string& name);
 
   /// Buffer-cache statistics.
-  CacheStats cache_stats() const { return cache_.stats(); }
+  CacheStats cache_stats() const override { return cache_.stats(); }
 
   /// Drops every cached cell (statistics are preserved). Benchmarks use
   /// this to measure cold-vs-warm cache behaviour between runs.
@@ -140,7 +140,16 @@ class StorageManager {
   Env* env() const { return options_.env; }
   const std::string& root() const { return options_.root; }
   /// The async cell-load pool, or nullptr when `io_threads == 0`.
-  ThreadPool* io_pool() const { return io_pool_.get(); }
+  ThreadPool* io_pool() const override { return io_pool_.get(); }
+
+  /// The (owning) loader that reads and checksum-verifies one cell of this
+  /// store, bypassing its cache; safe to run on a pool thread after the
+  /// caller returns. Sharded stores use this to route a cell to its owning
+  /// backend while caching in their own tiers.
+  LruCache::Loader CellLoader(const VideoMetadata& metadata, int segment,
+                              int tile, int quality) const {
+    return MakeCellLoader(metadata, segment, tile, quality);
+  }
 
  private:
   explicit StorageManager(const StorageOptions& options);

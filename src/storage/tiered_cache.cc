@@ -1,0 +1,45 @@
+#include "storage/tiered_cache.h"
+
+#include <utility>
+
+namespace vc {
+
+TieredCache::TieredCache(size_t l1_capacity_bytes, LruCache* l2)
+    : l1_(l1_capacity_bytes), l2_(l2) {}
+
+Result<LruCache::Value> TieredCache::GetOrCompute(
+    const std::string& key, const LruCache::Loader& loader, bool* was_hit) {
+  bool consumed_l1_prefetch = false;
+  Result<LruCache::Value> value = l1_.GetOrCompute(
+      key,
+      // Reference captures are safe here: a synchronous loader runs inside
+      // this call, on this thread.
+      [this, &key, &loader]() -> Result<LruCache::Value> {
+        return l2_->GetOrCompute(key, loader);
+      },
+      was_hit, &consumed_l1_prefetch);
+  if (consumed_l1_prefetch) l2_->CreditPrefetchConsumption(key);
+  return value;
+}
+
+LruCache::AsyncHandle TieredCache::GetOrComputeAsync(const std::string& key,
+                                                     LruCache::Loader loader,
+                                                     ThreadPool* pool,
+                                                     LoadKind kind) {
+  bool consumed_l1_prefetch = false;
+  LruCache::AsyncHandle handle = l1_.GetOrComputeAsync(
+      key,
+      // Owning captures only: this runs on a pool thread after we return.
+      // The null pool makes the L2 resolve on that same thread (no
+      // double-dispatch), still coalescing with other nodes' loads.
+      [l2 = l2_, key, loader = std::move(loader),
+       kind]() -> Result<LruCache::Value> {
+        return l2->GetOrComputeAsync(key, std::move(loader), nullptr, kind)
+            .Wait();
+      },
+      pool, kind, &consumed_l1_prefetch);
+  if (consumed_l1_prefetch) l2_->CreditPrefetchConsumption(key);
+  return handle;
+}
+
+}  // namespace vc

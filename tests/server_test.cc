@@ -6,7 +6,9 @@
 #include "core/session.h"
 #include "core/visualcloud.h"
 #include "predict/trace_synthesizer.h"
+#include "server/cluster_server.h"
 #include "server/streaming_server.h"
+#include "storage/sharded_store.h"
 
 namespace vc {
 namespace {
@@ -383,6 +385,195 @@ TEST_F(ServerTest, ServerOptionsValidate) {
   options = ServerOptions{};
   options.prefetcher.max_inflight = -1;
   EXPECT_FALSE(options.Validate().ok());
+}
+
+// ------------------------------------------------------- cluster runs
+
+TEST_F(ServerTest, ClusterOptionsValidate) {
+  ClusterOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.nodes = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ClusterOptions{};
+  options.balance_slack = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ClusterOptions{};
+  options.node.max_concurrent_sessions = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST_F(ServerTest, ShardedClusterPreservesSimulatedOutcome) {
+  // The scale-out determinism contract: a fixed faulty cohort's served
+  // bytes, QoE, admission, and fault accounting are byte-identical to the
+  // single-node server across node counts, shard counts, and prefetch
+  // settings. Placement and tiered caching only move host time and cache
+  // hit rates. Admission is left ample (no per-node queueing), which is
+  // the regime where node count is outcome-invariant.
+  VideoMetadata metadata = Metadata();
+  auto make_viewers = [] {
+    std::vector<ViewerRequest> viewers = MakeViewers(6);
+    for (ViewerRequest& viewer : viewers) {
+      viewer.session.network.faults.episodes_per_minute = 120.0;
+      viewer.session.network.faults.episode_seconds = 0.5;
+      viewer.session.network.faults.timeout_seconds = 0.5;
+      viewer.session.network.faults.seed = viewer.session.network.seed;
+    }
+    return viewers;
+  };
+
+  ServerStats baseline = [&] {
+    StorageOptions storage_options;
+    storage_options.env = env_;
+    storage_options.root = "/vcdb";
+    storage_options.read_latency_seconds = 0.0002;
+    auto storage = StorageManager::Open(storage_options);
+    EXPECT_TRUE(storage.ok());
+    StreamingServer server(storage->get(), ServerOptions{});
+    auto stats = server.Run(metadata, make_viewers());
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  }();
+  EXPECT_GT(baseline.transfer_faults, 0);
+
+  struct Config {
+    int nodes;
+    int shards;
+    int io_threads;
+    PrefetchMode prefetch;
+  };
+  std::vector<VideoMetadata> videos = {metadata};
+  for (const Config& config :
+       {Config{1, 1, 0, PrefetchMode::kOff},
+        Config{2, 2, 0, PrefetchMode::kOff},
+        Config{2, 4, 2, PrefetchMode::kPredict},
+        Config{4, 2, 2, PrefetchMode::kPopularity}}) {
+    SCOPED_TRACE("nodes=" + std::to_string(config.nodes) +
+                 " shards=" + std::to_string(config.shards) +
+                 " io_threads=" + std::to_string(config.io_threads));
+    ShardedStoreOptions store_options;
+    store_options.backend.env = env_;
+    store_options.backend.root = "/vcdb";
+    store_options.backend.io_threads = config.io_threads;
+    store_options.backend.read_latency_seconds = 0.0002;
+    store_options.shards = config.shards;
+    auto store = ShardedStore::Open(store_options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+    ClusterOptions options;
+    options.nodes = config.nodes;
+    options.node.prefetch = config.prefetch;
+    ClusterServer cluster(store->get(), options);
+    auto run = cluster.Run(videos, make_viewers());
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+    const ServerStats& stats = run->totals;
+    EXPECT_EQ(stats.bytes_sent, baseline.bytes_sent);
+    EXPECT_EQ(stats.wall_seconds, baseline.wall_seconds);
+    EXPECT_EQ(stats.media_seconds, baseline.media_seconds);
+    EXPECT_EQ(stats.stall_seconds, baseline.stall_seconds);
+    EXPECT_EQ(stats.stall_events, baseline.stall_events);
+    EXPECT_EQ(stats.transfer_faults, baseline.transfer_faults);
+    EXPECT_EQ(stats.transfer_retries, baseline.transfer_retries);
+    EXPECT_EQ(stats.segments_skipped, baseline.segments_skipped);
+    EXPECT_EQ(stats.sessions_admitted, baseline.sessions_admitted);
+    EXPECT_EQ(stats.sessions_queued, baseline.sessions_queued);
+    EXPECT_EQ(stats.sessions_rejected, baseline.sessions_rejected);
+    EXPECT_EQ(stats.sessions_completed, baseline.sessions_completed);
+    ASSERT_EQ(stats.sessions.size(), baseline.sessions.size());
+    for (size_t i = 0; i < stats.sessions.size(); ++i) {
+      ExpectSameStats(stats.sessions[i], baseline.sessions[i]);
+    }
+
+    ASSERT_EQ(run->nodes.size(), static_cast<size_t>(config.nodes));
+    int placed = 0;
+    for (const ClusterNodeStats& node : run->nodes) {
+      placed += node.sessions_placed;
+      // Prefetch attribution never over-counts: tagged entries still
+      // resident at end of run are neither hit nor wasted yet, so the
+      // balance is an upper bound here (it closes exactly on Clear —
+      // see the randomized invariant test in storage_test).
+      EXPECT_GE(node.l1.prefetch_issued,
+                node.l1.prefetch_hits + node.l1.prefetch_wasted);
+    }
+    EXPECT_EQ(placed, stats.sessions_admitted);
+    if (config.prefetch != PrefetchMode::kOff) {
+      EXPECT_GT(stats.cache.prefetch_issued, 0u)
+          << "prefetch mode must actually speculate";
+    } else {
+      EXPECT_EQ(stats.cache.prefetch_issued, 0u);
+    }
+  }
+}
+
+TEST_F(ServerTest, ClusterNodesShareL2) {
+  // Six viewers of one video on two nodes: locality packs the first node
+  // until the balance guard spills the overflow onto the second, whose L1
+  // misses are then served by the L2 the first node already warmed —
+  // cross-node sharing without re-reading the backends.
+  VideoMetadata metadata = Metadata();
+  std::vector<VideoMetadata> videos = {metadata};
+
+  ShardedStoreOptions store_options;
+  store_options.backend.env = env_;
+  store_options.backend.root = "/vcdb";
+  store_options.shards = 2;
+  auto store = ShardedStore::Open(store_options);
+  ASSERT_TRUE(store.ok());
+
+  ClusterOptions options;
+  options.nodes = 2;
+  ClusterServer cluster(store->get(), options);
+  auto run = cluster.Run(videos, MakeViewers(6));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  ASSERT_EQ(run->nodes.size(), 2u);
+  EXPECT_GT(run->nodes[0].sessions_placed, 0);
+  EXPECT_GT(run->nodes[1].sessions_placed, 0);
+  EXPECT_EQ(run->nodes[0].sessions_placed + run->nodes[1].sessions_placed, 6);
+  // The balance guard forced some viewers off the hot node.
+  EXPECT_GT(run->spillovers(), 0);
+  // Repeat viewers hit their own node's L1; the spilled node's cold L1
+  // misses were absorbed by the shared L2.
+  EXPECT_GT(run->totals.cache.hits, 0u);
+  EXPECT_GT(run->l2.hits, 0u);
+  EXPECT_EQ(run->totals.sessions_completed, 6);
+}
+
+TEST_F(ServerTest, ClusterPlacementCoSchedulesHotVideos) {
+  // Two catalog entries (same committed clip — distinct videos as far as
+  // placement and popularity are concerned) with alternating audiences:
+  // the balancer gives each video its own node, and every follow-up viewer
+  // lands next to its predecessors.
+  VideoMetadata metadata = Metadata();
+  std::vector<VideoMetadata> videos = {metadata, metadata};
+  std::vector<ViewerRequest> viewers = MakeViewers(8);
+  for (int i = 0; i < 8; ++i) viewers[i].video = i % 2;
+
+  ShardedStoreOptions store_options;
+  store_options.backend.env = env_;
+  store_options.backend.root = "/vcdb";
+  auto store = ShardedStore::Open(store_options);
+  ASSERT_TRUE(store.ok());
+
+  ClusterOptions options;
+  options.nodes = 2;
+  ClusterServer cluster(store->get(), options);
+  auto run = cluster.Run(videos, viewers);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  ASSERT_EQ(run->nodes.size(), 2u);
+  EXPECT_EQ(run->nodes[0].sessions_placed, 4);
+  EXPECT_EQ(run->nodes[1].sessions_placed, 4);
+  // All but each video's first viewer joined an active audience.
+  EXPECT_EQ(run->nodes[0].locality_placements +
+                run->nodes[1].locality_placements,
+            6);
+  // The locality-preferred node was never full, so nothing spilled.
+  EXPECT_EQ(run->spillovers(), 0);
+  for (const ClusterNodeStats& node : run->nodes) {
+    EXPECT_GT(node.bytes_sent, 0u);
+    EXPECT_EQ(node.max_active_sessions, 4);
+  }
 }
 
 // ------------------------------------------------------ live popularity

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <random>
 #include <thread>
 
 #include "codec/encoder.h"
@@ -11,10 +12,14 @@
 #include "common/math_util.h"
 #include "image/scene.h"
 #include "storage/cache.h"
+#include "storage/cell_source.h"
 #include "storage/metadata.h"
 #include "storage/monolithic.h"
 #include "storage/prefetcher.h"
+#include "storage/shard_map.h"
+#include "storage/sharded_store.h"
 #include "storage/storage_manager.h"
+#include "storage/tiered_cache.h"
 
 namespace vc {
 namespace {
@@ -841,6 +846,416 @@ TEST(LruCacheTest, ConcurrentAccessIsSafe) {
   CacheStats stats = cache.stats();
   EXPECT_LE(stats.bytes_cached, 10'000u);
   EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+
+// ---------------------------------------------------- Sharding and tiering
+
+TEST(ShardMapTest, DeterministicAndInRange) {
+  ShardMap a(4), b(4);
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "cell" + std::to_string(i);
+    int shard = a.ShardFor(key);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    EXPECT_EQ(shard, b.ShardFor(key)) << "same config must map identically";
+  }
+  ShardMap one(1);
+  EXPECT_EQ(one.ShardFor("anything"), 0);
+}
+
+TEST(ShardMapTest, SpreadsKeysAcrossShards) {
+  constexpr int kShards = 8;
+  ShardMap map(kShards);
+  std::vector<int> counts(kShards, 0);
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[map.ShardFor("video|dir|" + std::to_string(i))];
+  }
+  for (int shard = 0; shard < kShards; ++shard) {
+    // Virtual nodes keep the split near uniform; allow a generous band.
+    EXPECT_GT(counts[shard], kKeys / kShards / 3) << "shard " << shard;
+    EXPECT_LT(counts[shard], kKeys / kShards * 3) << "shard " << shard;
+  }
+}
+
+TEST(ShardMapTest, GrowingRemapsOnlyAFraction) {
+  // The consistent-hash promise: adding a shard moves about 1/(N+1) of the
+  // keys, not all of them — a scale-out keeps most of the L2 warm.
+  ShardMap before(4), after(5);
+  constexpr int kKeys = 20000;
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    std::string key = "video|dir|" + std::to_string(i);
+    if (before.ShardFor(key) != after.ShardFor(key)) ++moved;
+  }
+  EXPECT_GT(moved, 0) << "the new shard must own something";
+  EXPECT_LT(moved, kKeys / 2) << "growing 4->5 must not reshuffle the world";
+}
+
+TEST(LruCacheTest, OversizeRejectionCountsAndStillDeliversSync) {
+  // Regression: a value larger than the whole cache used to be dropped
+  // silently. It must be counted — and GetOrCompute must still hand the
+  // loaded value to the caller even though it cannot be cached.
+  LruCache cache(50);
+  int loads = 0;
+  auto loader = [&loads]() -> Result<LruCache::Value> {
+    ++loads;
+    return Bytes(100, 9);
+  };
+  auto value = cache.GetOrCompute("big", loader);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ((*value)->size(), 100u);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.rejected_oversize, 1u);
+  EXPECT_EQ(stats.bytes_cached, 0u);
+
+  // Not cached, so the demand path visibly re-loads (and re-counts).
+  value = cache.GetOrCompute("big", loader);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(loads, 2);
+  EXPECT_EQ(cache.stats().rejected_oversize, 2u);
+
+  // Put() rejections count too.
+  cache.Put("alsobig", Bytes(200, 1));
+  EXPECT_EQ(cache.stats().rejected_oversize, 3u);
+}
+
+TEST(LruCacheAsyncTest, OversizeRejectionStillDeliversToAsyncWaiters) {
+  LruCache cache(50);
+  ThreadPool pool(2);
+  auto handle = cache.GetOrComputeAsync(
+      "big", []() -> Result<LruCache::Value> { return Bytes(100, 3); }, &pool,
+      LoadKind::kDemand);
+  auto value = handle.Wait();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ((*value)->size(), 100u);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.rejected_oversize, 1u);
+  EXPECT_EQ(stats.bytes_cached, 0u);
+
+  // An oversize *prefetch* is speculation that can never pay off from this
+  // cache: it closes as wasted, keeping issued == hits + wasted honest.
+  ASSERT_TRUE(cache
+                  .GetOrComputeAsync(
+                      "bigspec",
+                      []() -> Result<LruCache::Value> { return Bytes(99, 1); },
+                      &pool, LoadKind::kPrefetch)
+                  .Wait()
+                  .ok());
+  stats = cache.stats();
+  EXPECT_EQ(stats.prefetch_issued, 1u);
+  EXPECT_EQ(stats.prefetch_wasted, 1u);
+  EXPECT_EQ(stats.rejected_oversize, 2u);
+}
+
+TEST(LruCacheAsyncTest, FailedPrefetchCountsWasted) {
+  LruCache cache(1 << 16);
+  ThreadPool pool(1);
+  ASSERT_FALSE(cache
+                   .GetOrComputeAsync(
+                       "k",
+                       []() -> Result<LruCache::Value> {
+                         return Status::IOError("backing store down");
+                       },
+                       &pool, LoadKind::kPrefetch)
+                   .Wait()
+                   .ok());
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.prefetch_issued, 1u);
+  EXPECT_EQ(stats.prefetch_wasted, 1u);
+  EXPECT_EQ(stats.prefetch_hits, 0u);
+}
+
+TEST(LruCacheAsyncTest, PutDisplacingPrefetchedEntryCountsWasted) {
+  LruCache cache(1 << 16);
+  // Null pool: the prefetch resolves inline, leaving a tagged entry.
+  ASSERT_TRUE(cache
+                  .GetOrComputeAsync(
+                      "k",
+                      []() -> Result<LruCache::Value> { return Bytes(64, 1); },
+                      nullptr, LoadKind::kPrefetch)
+                  .Wait()
+                  .ok());
+  // A direct Put replaces the never-consumed speculation: wasted, once.
+  cache.Put("k", Bytes(64, 2));
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.prefetch_wasted, 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().prefetch_wasted, 1u) << "must not double-count";
+  EXPECT_EQ(cache.stats().prefetch_issued, 1u);
+}
+
+TEST(LruCacheAsyncTest, PrefetchAttributionInvariantRandomized) {
+  // Satellite audit: over a randomized mix of demand reads, prefetch
+  // probes, failing loads, oversize values, erases, and clears, every
+  // issued prefetch must end up as exactly one of {hit, wasted} once the
+  // pipeline is drained and the cache cleared.
+  std::mt19937 rng(20260808u);
+  LruCache cache(2048);
+  ThreadPool pool(3);
+  constexpr int kKeys = 12;
+  for (int i = 0; i < 4000; ++i) {
+    int key = static_cast<int>(rng() % kKeys);
+    std::string name = "cell" + std::to_string(key);
+    size_t size = key % 5 == 4 ? 4096 : 128 + (key * 37) % 512;  // some huge
+    bool fail = key % 6 == 5;
+    auto loader = [size, fail, key]() -> Result<LruCache::Value> {
+      if (fail) return Status::IOError("flaky backing store");
+      return Bytes(size, static_cast<uint8_t>(key));
+    };
+    switch (rng() % 6) {
+      case 0:
+        cache.GetOrCompute(name, loader);
+        break;
+      case 1:
+        cache.GetOrComputeAsync(name, loader, &pool, LoadKind::kDemand);
+        break;
+      case 2:
+      case 3:
+        cache.GetOrComputeAsync(name, loader, &pool, LoadKind::kPrefetch);
+        break;
+      case 4:
+        cache.Erase(name);
+        break;
+      default:
+        if (rng() % 16 == 0) cache.Clear();
+        break;
+    }
+  }
+  pool.WaitIdle();
+  cache.Clear();
+  CacheStats stats = cache.stats();
+  EXPECT_GT(stats.prefetch_issued, 0u);
+  EXPECT_EQ(stats.prefetch_issued,
+            stats.prefetch_hits + stats.prefetch_wasted);
+}
+
+TEST(TieredCacheTest, L1OverL2ServesAndAccountsBothTiers) {
+  LruCache l2(1 << 20);
+  TieredCache node_a(1 << 16, &l2);
+  TieredCache node_b(1 << 16, &l2);
+  int loads = 0;
+  auto loader = [&loads]() -> Result<LruCache::Value> {
+    ++loads;
+    return Bytes(256, 7);
+  };
+
+  // Cold read on node A: misses both tiers, runs the loader once.
+  bool was_hit = true;
+  ASSERT_TRUE(node_a.GetOrCompute("cell", loader, &was_hit).ok());
+  EXPECT_FALSE(was_hit);
+  EXPECT_EQ(loads, 1);
+
+  // Warm on node A: pure L1 hit, the L2 is not consulted.
+  ASSERT_TRUE(node_a.GetOrCompute("cell", loader, &was_hit).ok());
+  EXPECT_TRUE(was_hit);
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(node_a.l1_stats().hits, 1u);
+
+  // Cold on node B: its private L1 misses, but the shared L2 has it — the
+  // backend loader does not run again. Cross-node sharing via the L2.
+  ASSERT_TRUE(node_b.GetOrCompute("cell", loader, &was_hit).ok());
+  EXPECT_FALSE(was_hit) << "hit means node-local L1";
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(node_b.l1_stats().misses, 1u);
+  EXPECT_EQ(l2.stats().hits, 1u);
+  EXPECT_EQ(l2.stats().misses, 1u);
+}
+
+TEST(TieredCacheTest, PromotionCreditsL2PrefetchNotWasted) {
+  // Satellite audit target: a prefetch fills both tiers tagged; the demand
+  // read consumes the L1 copy. Without the tier-promotion credit the L2
+  // copy would stay tagged and its eventual eviction would count the same
+  // (consumed!) speculation as wasted.
+  LruCache l2(1 << 20);
+  TieredCache node(1 << 16, &l2);
+  auto handle = node.GetOrComputeAsync(
+      "cell", []() -> Result<LruCache::Value> { return Bytes(128, 4); },
+      /*pool=*/nullptr, LoadKind::kPrefetch);
+  ASSERT_TRUE(handle.Wait().ok());
+  EXPECT_EQ(node.l1_stats().prefetch_issued, 1u);
+  EXPECT_EQ(l2.stats().prefetch_issued, 1u);
+
+  bool was_hit = false;
+  ASSERT_TRUE(node.GetOrCompute(
+                      "cell",
+                      []() -> Result<LruCache::Value> {
+                        ADD_FAILURE() << "prefetched cell must not reload";
+                        return Status::Internal("unexpected load");
+                      },
+                      &was_hit)
+                  .ok());
+  EXPECT_TRUE(was_hit);
+
+  // Drop everything: neither tier may call the consumed speculation wasted.
+  node.ClearL1();
+  l2.Clear();
+  EXPECT_EQ(node.l1_stats().prefetch_hits, 1u);
+  EXPECT_EQ(node.l1_stats().prefetch_wasted, 0u);
+  EXPECT_EQ(l2.stats().prefetch_hits, 1u);
+  EXPECT_EQ(l2.stats().prefetch_wasted, 0u);
+}
+
+TEST_F(StorageManagerTest, ShardedStoreNodesShareL2AndMatchDirectReads) {
+  VideoMetadata m = StoreSample("video", 2);
+
+  ShardedStoreOptions options;
+  options.backend.env = env_.get();
+  options.backend.root = "/store";
+  options.backend.io_threads = 2;
+  options.shards = 3;
+  options.l2_capacity_bytes = 1 << 20;
+  auto store = ShardedStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->shard_count(), 3);
+
+  auto node_a = (*store)->CreateNode(1 << 16);
+  auto node_b = (*store)->CreateNode(1 << 16);
+
+  // Every cell a node reads matches the direct single-store read.
+  for (int segment = 0; segment < m.segment_count(); ++segment) {
+    for (int tile = 0; tile < m.tile_count(); ++tile) {
+      for (int quality = 0; quality < m.quality_count(); ++quality) {
+        auto sharded = node_a->ReadCell(m, segment, tile, quality);
+        ASSERT_TRUE(sharded.ok());
+        auto direct = store_->ReadCell(m, segment, tile, quality);
+        ASSERT_TRUE(direct.ok());
+        EXPECT_EQ(**sharded, **direct);
+      }
+    }
+  }
+
+  // Node B reads one planned segment: its L1 is cold but node A warmed the
+  // shared L2, so no backend read happens (L2 hits cover every tile).
+  CacheStats l2_before = (*store)->l2_stats();
+  std::vector<int> plan(m.tile_count(), 0);
+  ASSERT_TRUE(node_b->ReadPlannedCells(m, 0, plan).ok());
+  CacheStats l2_after = (*store)->l2_stats();
+  EXPECT_EQ(l2_after.hits - l2_before.hits,
+            static_cast<uint64_t>(m.tile_count()));
+  EXPECT_EQ(l2_after.misses, l2_before.misses);
+  EXPECT_EQ(node_b->cache_stats().misses,
+            static_cast<uint64_t>(m.tile_count()));
+
+  // Range validation still happens before any dispatch.
+  EXPECT_TRUE(node_a->ReadCell(m, 9, 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      node_a->ReadCellAsync(m, 0, 9, 0).status().IsInvalidArgument());
+}
+
+// A CellSource that records dispatch order and resolves loads inline,
+// for pinning the prefetcher's queue discipline.
+class RecordingCellSource : public CellSource {
+ public:
+  Result<LruCache::Value> ReadCell(const VideoMetadata& metadata, int segment,
+                                   int tile, int quality) override {
+    loads.push_back(CellKey{segment, tile, quality});
+    return Bytes(8, 0);
+  }
+  Result<LruCache::AsyncHandle> ReadCellAsync(const VideoMetadata& metadata,
+                                              int segment, int tile,
+                                              int quality,
+                                              LoadKind kind) override {
+    loads.push_back(CellKey{segment, tile, quality});
+    return cache_.GetOrComputeAsync(
+        CellKey{segment, tile, quality}.CacheKey(metadata),
+        []() -> Result<LruCache::Value> { return Bytes(8, 0); },
+        /*pool=*/nullptr, kind);
+  }
+  Status ReadPlannedCells(const VideoMetadata& metadata, int segment,
+                          const std::vector<int>& tile_qualities) override {
+    return Status::OK();
+  }
+  ThreadPool* io_pool() const override { return nullptr; }
+  CacheStats cache_stats() const override { return cache_.stats(); }
+
+  std::vector<CellKey> loads;
+
+ private:
+  LruCache cache_{0};  // uncached: every dispatch is observable
+};
+
+TEST_F(StorageManagerTest, PrefetcherDispatchesBestFirstIncludingLastElement) {
+  VideoMetadata m = StoreSample("video", 1);
+
+  // Teach the popularity model to love exactly one tile, so the two
+  // viewport candidates get distinct scores and the dispatch order is
+  // forced — regardless of the order they were enqueued in.
+  PopularityModel popularity(m.tile_grid(), m.segment_duration_seconds(),
+                             m.segment_count());
+  popularity.Observe(0.05, Orientation{});
+  popularity.EndViewer();
+  std::vector<double> probs = popularity.TileProbabilities(0);
+  ASSERT_EQ(probs.size(), 2u);
+  int hot = probs[0] > probs[1] ? 0 : 1;
+  int cold = 1 - hot;
+  ASSERT_GT(probs[hot], probs[cold]);
+
+  RecordingCellSource source;
+  PrefetcherOptions options;
+  options.mode = PrefetchMode::kPredict;
+  PredictivePrefetcher prefetcher(&source, options);
+
+  PrefetchHint hint;
+  hint.valid = true;
+  hint.segment = 0;
+  hint.fov_yaw = 2 * kPi;  // whole panorama: both tiles are candidates
+  hint.fov_pitch = kPi;
+  hint.high_quality = 0;
+  prefetcher.EnqueueSegment(m, hint, &popularity, /*deadline=*/10.0);
+  ASSERT_EQ(prefetcher.stats().enqueued, 4u);  // 2 viewport + 2 backfill
+
+  // Inline handles resolve immediately, so one Pump dispatches the whole
+  // queue — including the selection where the best request is the last
+  // element left (the old swap-with-back self-move spot).
+  prefetcher.Pump(/*now=*/0.0);
+  EXPECT_EQ(prefetcher.stats().dispatched, 4u);
+  ASSERT_EQ(source.loads.size(), 4u);
+  // Strictly score-descending: hot viewport tile, cold viewport tile, then
+  // the backfill pair in the same popularity order.
+  EXPECT_EQ(source.loads[0], (CellKey{0, hot, 0}));
+  EXPECT_EQ(source.loads[1], (CellKey{0, cold, 0}));
+  EXPECT_EQ(source.loads[2], (CellKey{0, hot, 1}));
+  EXPECT_EQ(source.loads[3], (CellKey{0, cold, 1}));
+  prefetcher.Drain();
+}
+
+TEST_F(StorageManagerTest, PrefetcherStaleCancelHandlesLastElement) {
+  VideoMetadata m = StoreSample("video", 2);
+  RecordingCellSource source;
+  PrefetcherOptions options;
+  options.mode = PrefetchMode::kPredict;
+  PredictivePrefetcher prefetcher(&source, options);
+
+  PrefetchHint hint;
+  hint.valid = true;
+  hint.segment = 0;
+  hint.fov_yaw = 2 * kPi;
+  hint.fov_pitch = kPi;
+  hint.high_quality = 0;
+  // Two batches with distinct deadlines; the stale sweep removes the first
+  // batch, repeatedly compacting against the queue's back — including the
+  // step where the victim *is* the back (the guarded self-move).
+  prefetcher.EnqueueSegment(m, hint, nullptr, /*deadline=*/1.0);
+  hint.segment = 1;
+  prefetcher.EnqueueSegment(m, hint, nullptr, /*deadline=*/5.0);
+  ASSERT_EQ(prefetcher.stats().enqueued, 8u);
+
+  prefetcher.Pump(/*now=*/2.0);  // past batch 1's deadline, before batch 2's
+  EXPECT_EQ(prefetcher.stats().cancelled, 4u);
+  EXPECT_EQ(prefetcher.stats().dispatched, 4u);
+  for (const CellKey& cell : source.loads) {
+    EXPECT_EQ(cell.segment, 1) << "stale segment-0 requests must not load";
+  }
+
+  // Cancelling cleared the dedupe set: the same cells can be re-requested.
+  hint.segment = 0;
+  prefetcher.EnqueueSegment(m, hint, nullptr, /*deadline=*/5.0);
+  EXPECT_EQ(prefetcher.stats().enqueued, 12u);
+  prefetcher.Pump(/*now=*/3.0);
+  EXPECT_EQ(prefetcher.stats().dispatched, 8u);
+  prefetcher.Drain();
 }
 
 // ------------------------------------------------------- Live checkpoints
