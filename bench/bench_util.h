@@ -5,6 +5,7 @@
 // regenerates one table/figure of EXPERIMENTS.md; they share this canonical
 // workload so numbers are comparable across experiments.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -163,6 +164,99 @@ inline void WriteBenchJson(const std::string& filename,
   std::fputc('\n', file);
   std::fclose(file);
   std::printf("wrote %s\n", path.c_str());
+}
+
+/// Merges `"key": value` into the top level of the JSON document `doc`
+/// (replacing the key's old value, or appending the key). A structural scan,
+/// not a full parser — sufficient for the documents the bench harness itself
+/// writes.
+inline std::string MergeJsonKey(const std::string& doc, const std::string& key,
+                                const std::string& value) {
+  size_t open = doc.find('{');
+  size_t close = doc.rfind('}');
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open) {
+    return "{\"" + key + "\": " + value + "}";
+  }
+  size_t i = open + 1;
+  while (i < close) {
+    while (i < close &&
+           (std::isspace(static_cast<unsigned char>(doc[i])) ||
+            doc[i] == ',')) {
+      ++i;
+    }
+    if (i >= close || doc[i] != '"') break;
+    size_t key_start = ++i;
+    while (i < close && doc[i] != '"') i += doc[i] == '\\' ? 2 : 1;
+    std::string this_key = doc.substr(key_start, i - key_start);
+    while (i < close && doc[i] != ':') ++i;
+    ++i;
+    while (i < close && std::isspace(static_cast<unsigned char>(doc[i]))) ++i;
+    size_t value_start = i;
+    int depth = 0;
+    bool in_string = false;
+    while (i < close) {
+      char c = doc[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+      ++i;
+    }
+    if (this_key == key) {
+      return doc.substr(0, value_start) + value + doc.substr(i);
+    }
+  }
+  // Key absent: append before the closing brace (with a separating comma
+  // unless the object is empty).
+  bool empty = true;
+  for (size_t j = open + 1; j < close; ++j) {
+    if (!std::isspace(static_cast<unsigned char>(doc[j]))) {
+      empty = false;
+      break;
+    }
+  }
+  return doc.substr(0, close) + (empty ? "" : ",\n ") + "\"" + key +
+         "\": " + value + doc.substr(close);
+}
+
+/// Read-modify-writes one top-level key of `BENCH_<name>.json`, so several
+/// bench binaries (e.g. bench_codec and bench_kernels) can share one
+/// snapshot file without clobbering each other's sections.
+inline void WriteBenchJsonKey(const std::string& filename,
+                              const std::string& key,
+                              const std::string& value) {
+  std::string path = filename;
+  if (const char* dir = std::getenv("VC_BENCH_JSON_DIR")) {
+    path = std::string(dir) + "/" + filename;
+  }
+  std::string existing;
+  if (std::FILE* file = std::fopen(path.c_str(), "r")) {
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      existing.append(buffer, n);
+    }
+    std::fclose(file);
+  }
+  std::string merged = MergeJsonKey(existing, key, value);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(merged.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("updated %s (key \"%s\")\n", path.c_str(), key.c_str());
 }
 
 /// Reads a counter out of a snapshot (0 when absent).

@@ -6,6 +6,7 @@
 #   scripts/ci.sh tier1       # configure + build + full ctest (the gate)
 #   scripts/ci.sh release     # Release build + smoke-labeled benches + ctest
 #   scripts/ci.sh tsan        # ThreadSanitizer leg: concurrency-prone suites
+#   scripts/ci.sh simd        # SIMD matrix: -msse4.1, scalar-only, ASan/UBSan
 #
 # ctest labels (tests/CMakeLists.txt, bench/CMakeLists.txt) slice the suite:
 # unit, query, server, smoke.
@@ -51,13 +52,47 @@ tsan() {
   done
 }
 
+simd() {
+  echo "== simd: cross-ISA bit-exactness + memory-safety matrix =="
+  # Leg 1: widened baseline ISA (-msse4.1). The codec suite proves every
+  # runtime-dispatchable tier (scalar, sse2, avx2 where the host has it)
+  # produces bit-identical streams, and the kernel micro-bench smoke
+  # re-verifies kernel-level agreement plus both entropy-coder round-trips.
+  cmake -B build-sse41 -S . -DCMAKE_CXX_FLAGS=-msse4.1
+  cmake --build build-sse41 -j"$JOBS" --target codec_test codec_fuzz_test \
+    common_test bench_kernels
+  ./build-sse41/tests/codec_test
+  ./build-sse41/tests/codec_fuzz_test
+  ./build-sse41/tests/common_test
+  ./build-sse41/bench/bench_kernels --smoke
+
+  # Leg 2: scalar-only build (-DVC_DISABLE_SIMD=ON removes every intrinsics
+  # path at compile time). The same codec suite passing here pins the scalar
+  # fallbacks as the reference the vector tiers are measured against.
+  cmake -B build-scalar -S . -DVC_DISABLE_SIMD=ON
+  cmake --build build-scalar -j"$JOBS" --target codec_test codec_fuzz_test
+  ./build-scalar/tests/codec_test
+  ./build-scalar/tests/codec_fuzz_test
+
+  # Leg 3: ASan + UBSan over the deterministic fuzz corpus (truncated and
+  # bit-flipped streams) and the kernel/bit-IO suites — out-of-bounds reads
+  # in the decoder or misaligned vector loads fail loudly here.
+  cmake -B build-asan -S . -DVC_SANITIZE=address+undefined
+  cmake --build build-asan -j"$JOBS" --target codec_fuzz_test codec_test \
+    common_test
+  ./build-asan/tests/codec_fuzz_test
+  ./build-asan/tests/codec_test
+  ./build-asan/tests/common_test
+}
+
 case "${1:-all}" in
   tier1)   tier1 ;;
   release) release ;;
   tsan)    tsan ;;
-  all)     tier1; release; tsan ;;
+  simd)    simd ;;
+  all)     tier1; release; tsan; simd ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|release|tsan|all]" >&2
+    echo "usage: scripts/ci.sh [tier1|release|tsan|simd|all]" >&2
     exit 2
     ;;
 esac

@@ -74,6 +74,11 @@ Result<SequenceHeader> SequenceHeader::Parse(Slice data) {
       header.tile_cols == 0 || header.qp > kMaxQp) {
     return Status::Corruption("sequence header has invalid parameters");
   }
+  constexpr uint8_t kKnownFlags = SequenceHeader::kFlagMotionConstrainedTiles |
+                                  SequenceHeader::kFlagHuffmanEntropy;
+  if ((header.flags & ~kKnownFlags) != 0) {
+    return Status::Corruption("sequence header has unknown flags");
+  }
   return header;
 }
 

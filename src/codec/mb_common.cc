@@ -1,6 +1,9 @@
 #include "codec/mb_common.h"
 
+#include <cstring>
+
 #include "codec/entropy.h"
+#include "codec/simd.h"
 #include "common/math_util.h"
 
 namespace vc {
@@ -87,15 +90,122 @@ inline void CopyPredBlock(const uint8_t* pred, int size, int bx, int by,
   for (int row = 0; row < kBlockSize; ++row) {
     const uint8_t* src = pred + (by + row) * size + bx;
     uint8_t* dst = recon + (by + row) * size + bx;
-    for (int col = 0; col < kBlockSize; ++col) dst[col] = src[col];
+    std::memcpy(dst, src, kBlockSize);
   }
 }
 
-}  // namespace
+/// Computes one 8×8 residual block (cur − pred) and returns max|residual|.
+inline int ComputeResidualBlock(const uint8_t* cur, int cur_stride,
+                                const uint8_t* pred, int size, int bx, int by,
+                                ResidualBlock* residual) {
+#if defined(VC_SIMD_X86)
+  if (simd::Enabled()) {
+    const __m128i zero = _mm_setzero_si128();
+    __m128i max_abs16 = zero;
+    for (int row = 0; row < kBlockSize; ++row) {
+      __m128i c = _mm_unpacklo_epi8(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+              cur + static_cast<size_t>(by + row) * cur_stride + bx)),
+          zero);
+      __m128i p = _mm_unpacklo_epi8(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+              pred + (by + row) * size + bx)),
+          zero);
+      __m128i d = _mm_sub_epi16(c, p);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(&(*residual)[row * kBlockSize]), d);
+      // |d| ≤ 255, so max(d, −d) cannot hit the int16 negation edge.
+      max_abs16 =
+          _mm_max_epi16(max_abs16, _mm_max_epi16(d, _mm_sub_epi16(zero, d)));
+    }
+    max_abs16 = _mm_max_epi16(max_abs16, _mm_srli_si128(max_abs16, 8));
+    max_abs16 = _mm_max_epi16(max_abs16, _mm_srli_si128(max_abs16, 4));
+    max_abs16 = _mm_max_epi16(max_abs16, _mm_srli_si128(max_abs16, 2));
+    return static_cast<int16_t>(_mm_cvtsi128_si32(max_abs16));
+  }
+#endif
+  int max_abs = 0;
+  for (int row = 0; row < kBlockSize; ++row) {
+    for (int col = 0; col < kBlockSize; ++col) {
+      int c = cur[static_cast<size_t>(by + row) * cur_stride + bx + col];
+      int p = pred[(by + row) * size + bx + col];
+      int diff = c - p;
+      (*residual)[row * kBlockSize + col] = static_cast<int16_t>(diff);
+      int abs_diff = diff < 0 ? -diff : diff;
+      if (abs_diff > max_abs) max_abs = abs_diff;
+    }
+  }
+  return max_abs;
+}
 
-void EncodeResidual(const uint8_t* cur, int cur_stride, const uint8_t* pred,
-                    int size, double qstep, BitWriter* writer,
-                    uint8_t* recon) {
+/// Sum of squared residuals. Exact in both paths: pmaddwd products fit in
+/// int32 lanes (≤ 16·255² per lane) and the total in int64.
+inline int64_t ResidualSsd(const ResidualBlock& residual) {
+#if defined(VC_SIMD_X86)
+  if (simd::Enabled()) {
+    __m128i acc = _mm_setzero_si128();
+    for (int i = 0; i < kBlockPixels; i += 8) {
+      __m128i d = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(&residual[i]));
+      acc = _mm_add_epi32(acc, _mm_madd_epi16(d, d));
+    }
+    acc = _mm_add_epi32(acc, _mm_srli_si128(acc, 8));
+    acc = _mm_add_epi32(acc, _mm_srli_si128(acc, 4));
+    return _mm_cvtsi128_si32(acc);
+  }
+#endif
+  int64_t ssd = 0;
+#pragma omp simd reduction(+ : ssd)
+  for (int i = 0; i < kBlockPixels; ++i) {
+    ssd += int{residual[i]} * int{residual[i]};
+  }
+  return ssd;
+}
+
+/// recon = ClampPixel(pred + residual) for one 8×8 block. The saturating
+/// 16-bit add followed by the unsigned-saturating pack equals the scalar
+/// int-domain clamp for every reachable input (pred ∈ [0,255] and residual ∈
+/// [−32768,32767] can overshoot 32767 by at most 255, where both paths pin
+/// to 255).
+inline void ReconstructBlock(const uint8_t* pred, int size, int bx, int by,
+                             const ResidualBlock& residual, uint8_t* recon) {
+#if defined(VC_SIMD_X86)
+  if (simd::Enabled()) {
+    const __m128i zero = _mm_setzero_si128();
+    for (int row = 0; row < kBlockSize; ++row) {
+      __m128i p = _mm_unpacklo_epi8(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+              pred + (by + row) * size + bx)),
+          zero);
+      __m128i r = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(&residual[row * kBlockSize]));
+      __m128i sum = _mm_adds_epi16(p, r);
+      _mm_storel_epi64(
+          reinterpret_cast<__m128i*>(recon + (by + row) * size + bx),
+          _mm_packus_epi16(sum, sum));
+    }
+    return;
+  }
+#endif
+  for (int row = 0; row < kBlockSize; ++row) {
+    for (int col = 0; col < kBlockSize; ++col) {
+      int p = pred[(by + row) * size + bx + col];
+      recon[(by + row) * size + bx + col] =
+          ClampPixel(p + residual[row * kBlockSize + col]);
+    }
+  }
+}
+
+/// Shared core of EncodeResidual and AnalyzeResidual: transform, quantize,
+/// and reconstruct each 8×8 block, handing the quantized result to `sink` as
+/// `sink(const LevelBlock* levels, int nonzero)` — `levels == nullptr` for a
+/// provably-zero block. The sink is the only difference between writing the
+/// stream directly (Exp-Golomb) and buffering for a two-pass profile, so the
+/// analysis/reconstruction can never drift between them.
+template <typename Sink>
+void ForEachResidualBlock(const uint8_t* cur, int cur_stride,
+                          const uint8_t* pred, int size, double qstep,
+                          uint8_t* recon, Sink&& sink) {
   ResidualBlock residual;
   CoeffBlock coeffs;
   LevelBlock levels;
@@ -110,39 +220,29 @@ void EncodeResidual(const uint8_t* cur, int cur_stride, const uint8_t* pred,
   const double zero_bound = 0.6 * qstep;
   for (int by = 0; by < size; by += kBlockSize) {
     for (int bx = 0; bx < size; bx += kBlockSize) {
-      int max_abs = 0;
-      for (int row = 0; row < kBlockSize; ++row) {
-        for (int col = 0; col < kBlockSize; ++col) {
-          int c = cur[static_cast<size_t>(by + row) * cur_stride + bx + col];
-          int p = pred[(by + row) * size + bx + col];
-          int diff = c - p;
-          residual[row * kBlockSize + col] = static_cast<int16_t>(diff);
-          int abs_diff = diff < 0 ? -diff : diff;
-          if (abs_diff > max_abs) max_abs = abs_diff;
-        }
-      }
+      int max_abs =
+          ComputeResidualBlock(cur, cur_stride, pred, size, bx, by, &residual);
       bool provably_zero = 8.0 * max_abs < zero_bound;
       if (!provably_zero && max_abs < zero_bound) {
         // Cheap bound failed but the exact L2 bound might not: 64 integer
         // multiplies against a 1024-flop transform.
-        int64_t ssd = 0;
-        for (int i = 0; i < kBlockPixels; ++i) {
-          ssd += int{residual[i]} * int{residual[i]};
-        }
-        provably_zero = static_cast<double>(ssd) < zero_bound * zero_bound;
+        provably_zero =
+            static_cast<double>(ResidualSsd(residual)) < zero_bound * zero_bound;
       }
       if (provably_zero) {
-        writer->WriteUE(0);  // as EncodeLevelBlock writes an all-zero block
+        sink(static_cast<const LevelBlock*>(nullptr), 0);
         CopyPredBlock(pred, size, bx, by, recon);
         continue;
       }
 
       ForwardDct(residual, &coeffs);
       Quantize(coeffs, qstep, &levels);
+      int nonzero = 0;
+      for (int i = 0; i < kBlockPixels; ++i) nonzero += levels[i] != 0;
+      sink(&levels, nonzero);
       // Reconstruct exactly as the decoder will, with the same all-zero /
       // sparse / dense inverse-transform dispatch so both reconstructions
       // stay bit-identical.
-      int nonzero = EncodeLevelBlock(levels, writer);
       if (nonzero == 0) {
         CopyPredBlock(pred, size, bx, by, recon);
         continue;
@@ -153,19 +253,41 @@ void EncodeResidual(const uint8_t* cur, int cur_stride, const uint8_t* pred,
       } else {
         InverseDct(coeffs, &residual);
       }
-      for (int row = 0; row < kBlockSize; ++row) {
-        for (int col = 0; col < kBlockSize; ++col) {
-          int p = pred[(by + row) * size + bx + col];
-          recon[(by + row) * size + bx + col] =
-              ClampPixel(p + residual[row * kBlockSize + col]);
-        }
-      }
+      ReconstructBlock(pred, size, bx, by, residual, recon);
     }
   }
 }
 
+}  // namespace
+
+void EncodeResidual(const uint8_t* cur, int cur_stride, const uint8_t* pred,
+                    int size, double qstep, BitWriter* writer,
+                    uint8_t* recon) {
+  ForEachResidualBlock(cur, cur_stride, pred, size, qstep, recon,
+                       [writer](const LevelBlock* levels, int /*nonzero*/) {
+                         if (levels == nullptr) {
+                           // As EncodeLevelBlock writes an all-zero block.
+                           writer->WriteUE(0);
+                           return;
+                         }
+                         EncodeLevelBlock(*levels, writer);
+                       });
+}
+
+void AnalyzeResidual(const uint8_t* cur, int cur_stride, const uint8_t* pred,
+                     int size, double qstep, std::vector<CodedBlock>* blocks,
+                     uint8_t* recon) {
+  ForEachResidualBlock(cur, cur_stride, pred, size, qstep, recon,
+                       [blocks](const LevelBlock* levels, int nonzero) {
+                         CodedBlock& block = blocks->emplace_back();
+                         block.nonzero = levels == nullptr ? 0 : nonzero;
+                         if (block.nonzero > 0) block.levels = *levels;
+                       });
+}
+
 Status DecodeResidual(BitReader* reader, const uint8_t* pred, int size,
-                      double qstep, uint8_t* recon) {
+                      double qstep, uint8_t* recon,
+                      const HuffmanBlockDecoder* huffman) {
   ResidualBlock residual;
   CoeffBlock coeffs;
   LevelBlock levels;
@@ -174,7 +296,11 @@ Status DecodeResidual(BitReader* reader, const uint8_t* pred, int size,
       // Mirror the encoder's all-zero / sparse / dense dispatch exactly so
       // both reconstructions stay bit-identical.
       int nonzero = 0;
-      VC_RETURN_IF_ERROR(DecodeLevelBlock(reader, &levels, &nonzero));
+      if (huffman != nullptr) {
+        VC_RETURN_IF_ERROR(huffman->DecodeBlock(reader, &levels, &nonzero));
+      } else {
+        VC_RETURN_IF_ERROR(DecodeLevelBlock(reader, &levels, &nonzero));
+      }
       if (nonzero == 0) {
         CopyPredBlock(pred, size, bx, by, recon);
         continue;
@@ -185,13 +311,7 @@ Status DecodeResidual(BitReader* reader, const uint8_t* pred, int size,
       } else {
         InverseDct(coeffs, &residual);
       }
-      for (int row = 0; row < kBlockSize; ++row) {
-        for (int col = 0; col < kBlockSize; ++col) {
-          int p = pred[(by + row) * size + bx + col];
-          recon[(by + row) * size + bx + col] =
-              ClampPixel(p + residual[row * kBlockSize + col]);
-        }
-      }
+      ReconstructBlock(pred, size, bx, by, residual, recon);
     }
   }
   return Status::OK();
@@ -202,7 +322,7 @@ void StoreBlock(const uint8_t* block, int size, uint8_t* plane, int stride,
   for (int row = 0; row < size; ++row) {
     uint8_t* dst = plane + static_cast<size_t>(y + row) * stride + x;
     const uint8_t* src = block + static_cast<size_t>(row) * size;
-    for (int col = 0; col < size; ++col) dst[col] = src[col];
+    std::memcpy(dst, src, static_cast<size_t>(size));
   }
 }
 

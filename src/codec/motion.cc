@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
+
+#include "codec/simd.h"
 
 namespace vc {
 
@@ -19,6 +22,35 @@ inline uint32_t RowSad(const uint8_t* pa, const uint8_t* pb) {
   }
   return sad;
 }
+
+#if defined(VC_SIMD_X86)
+/// One 16-pixel row in a single psadbw: |a-b| over 16 unsigned lanes, summed
+/// into two 16-bit-safe accumulators, then folded. Exact — SAD is pure
+/// integer arithmetic, so this equals RowSad<16> bit for bit.
+inline uint32_t RowSad16Simd(const uint8_t* pa, const uint8_t* pb) {
+  __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa));
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb));
+  return simd::HorizontalSadSum(_mm_sad_epu8(a, b));
+}
+
+inline uint32_t RowSad8Simd(const uint8_t* pa, const uint8_t* pb) {
+  __m128i a = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(pa));
+  __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(pb));
+  return static_cast<uint32_t>(_mm_cvtsi128_si32(_mm_sad_epu8(a, b)));
+}
+#elif defined(VC_SIMD_NEON)
+inline uint32_t RowSad16Simd(const uint8_t* pa, const uint8_t* pb) {
+  uint8x16_t a = vld1q_u8(pa);
+  uint8x16_t b = vld1q_u8(pb);
+  return vaddvq_u16(vpaddlq_u8(vabdq_u8(a, b)));
+}
+
+inline uint32_t RowSad8Simd(const uint8_t* pa, const uint8_t* pb) {
+  uint8x8_t a = vld1_u8(pa);
+  uint8x8_t b = vld1_u8(pb);
+  return vaddv_u16(vpaddl_u8(vabd_u8(a, b)));
+}
+#endif
 
 inline uint32_t RowSadGeneric(const uint8_t* pa, const uint8_t* pb, int n) {
   uint32_t sad = 0;
@@ -124,6 +156,26 @@ uint32_t BlockSad(PlaneView a, int ax, int ay, PlaneView b, int bx, int by,
   uint32_t sad = 0;
   const uint8_t* pa = a.data + static_cast<size_t>(ay) * a.stride + ax;
   const uint8_t* pb = b.data + static_cast<size_t>(by) * b.stride + bx;
+#if defined(VC_SIMD_ANY)
+  if (simd::Enabled()) {
+    if (size == 16) {
+      for (int row = 0; row < 16; ++row) {
+        sad += RowSad16Simd(pa, pb);
+        pa += a.stride;
+        pb += b.stride;
+      }
+      return sad;
+    }
+    if (size == 8) {
+      for (int row = 0; row < 8; ++row) {
+        sad += RowSad8Simd(pa, pb);
+        pa += a.stride;
+        pb += b.stride;
+      }
+      return sad;
+    }
+  }
+#endif
   for (int row = 0; row < size; ++row) {
     if (size == 16) {
       sad += RowSad<16>(pa, pb);
@@ -143,6 +195,31 @@ uint32_t BlockSadBounded(PlaneView a, int ax, int ay, PlaneView b, int bx,
   uint32_t sad = 0;
   const uint8_t* pa = a.data + static_cast<size_t>(ay) * a.stride + ax;
   const uint8_t* pb = b.data + static_cast<size_t>(by) * b.stride + bx;
+  // The row-granularity early exit survives vectorization: each psadbw folds
+  // one whole row, so the running sum (and therefore the partial value
+  // returned on abandonment) is identical to the scalar path's.
+#if defined(VC_SIMD_ANY)
+  if (simd::Enabled()) {
+    if (size == 16) {
+      for (int row = 0; row < 16; ++row) {
+        sad += RowSad16Simd(pa, pb);
+        if (sad >= limit) return sad;
+        pa += a.stride;
+        pb += b.stride;
+      }
+      return sad;
+    }
+    if (size == 8) {
+      for (int row = 0; row < 8; ++row) {
+        sad += RowSad8Simd(pa, pb);
+        if (sad >= limit) return sad;
+        pa += a.stride;
+        pb += b.stride;
+      }
+      return sad;
+    }
+  }
+#endif
   for (int row = 0; row < size; ++row) {
     if (size == 16) {
       sad += RowSad<16>(pa, pb);
@@ -220,7 +297,7 @@ void CompensateBlock(PlaneView reference, int x, int y, MotionVector mv,
                          static_cast<size_t>(y + mv.dy + row) * reference.stride +
                          (x + mv.dx);
     uint8_t* dst = out + static_cast<size_t>(row) * size;
-    for (int col = 0; col < size; ++col) dst[col] = src[col];
+    std::memcpy(dst, src, static_cast<size_t>(size));
   }
 }
 

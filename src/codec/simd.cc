@@ -1,0 +1,149 @@
+#include "codec/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vc {
+namespace simd {
+namespace {
+
+Level DetectCompiledLevel() {
+#if defined(VC_SIMD_NEON)
+  return Level::kNeon;
+#elif defined(VC_SIMD_X86_AVX2_DISPATCH)
+  // AVX2 kernel variants are compiled in via per-function `target`
+  // attributes even when the baseline ISA is SSE2; the capability probe
+  // below decides whether they may actually run.
+  return Level::kAvx2;
+#elif defined(VC_SIMD_X86_SSE41)
+  return Level::kSse41;
+#elif defined(VC_SIMD_X86)
+  return Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+// Runtime capability guard: a binary carrying code for a wider ISA than the
+// host supports must fall back to a narrower tier instead of faulting on an
+// illegal instruction. SSE2 is architectural on x86-64 and NEON on aarch64,
+// so only the optional extensions need a probe.
+bool HostSupports(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+#if defined(VC_SIMD_X86)
+    case Level::kSse2:
+      return true;
+    case Level::kSse41:
+#if defined(__GNUC__) || defined(__clang__)
+      return __builtin_cpu_supports("sse4.1") != 0;
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#if defined(__GNUC__) || defined(__clang__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+#elif defined(VC_SIMD_NEON)
+    case Level::kNeon:
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+/// The strongest compiled-in tier this host can execute. The baseline tier
+/// (SSE2/NEON) is architectural, so on x86 this is at least kSse2 whenever
+/// any vector path is compiled in.
+Level DetectHostLevel() {
+  Level best = Level::kScalar;
+  for (Level level : {Level::kSse2, Level::kSse41, Level::kAvx2,
+                      Level::kNeon}) {
+    if (level <= DetectCompiledLevel() && HostSupports(level)) best = level;
+  }
+  return best;
+}
+
+Level ParseLevelName(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(name, "sse2") == 0) return Level::kSse2;
+  if (std::strcmp(name, "sse4.1") == 0) return Level::kSse41;
+  if (std::strcmp(name, "avx2") == 0) return Level::kAvx2;
+  if (std::strcmp(name, "neon") == 0) return Level::kNeon;
+  return Level::kNeon;  // unrecognized: no cap
+}
+
+Level InitialLevelCap() {
+  const char* env = std::getenv("VC_SIMD");
+  if (env == nullptr) return Level::kNeon;  // strongest tier == no cap
+  if (std::strcmp(env, "off") == 0) return Level::kScalar;
+  return ParseLevelName(env);
+}
+
+bool SimdUsable() {
+#if defined(VC_SIMD_ANY)
+  // VC_SIMD=off|scalar is a hard kill: SetEnabled(true) cannot override it.
+  if (InitialLevelCap() == Level::kScalar) return false;
+  return DetectHostLevel() > Level::kScalar;
+#else
+  return false;
+#endif
+}
+
+// Evaluated once; SetEnabled(true) may not exceed this, and SetLevelCap
+// cannot raise ActiveLevel above what the host supports.
+const bool g_usable = SimdUsable();
+const Level g_host_level = DetectHostLevel();
+
+std::atomic<Level> g_level_cap{InitialLevelCap()};
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_enabled{SimdUsable() &&
+                            InitialLevelCap() > Level::kScalar};
+}  // namespace internal
+
+Level CompiledLevel() { return DetectCompiledLevel(); }
+
+Level ActiveLevel() {
+  if (!Enabled()) return Level::kScalar;
+  const Level cap = g_level_cap.load(std::memory_order_relaxed);
+  return g_host_level < cap ? g_host_level : cap;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kSse41:
+      return "sse4.1";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Level SetLevelCap(Level level) {
+  g_level_cap.store(level, std::memory_order_relaxed);
+  return ActiveLevel();
+}
+
+Level LevelCap() { return g_level_cap.load(std::memory_order_relaxed); }
+
+bool SetEnabled(bool enabled) {
+  const bool value = enabled && g_usable;
+  internal::g_enabled.store(value, std::memory_order_relaxed);
+  return value;
+}
+
+}  // namespace simd
+}  // namespace vc

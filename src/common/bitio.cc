@@ -16,8 +16,9 @@ std::vector<uint8_t> BitWriter::Finish() {
 
 Status BitReader::ReadBits(int bits, uint64_t* value) {
   assert(bits >= 0 && bits <= 64);
+  if (failed_) return Status::OutOfRange("bit reader in failed state");
   if (bit_pos_ + static_cast<size_t>(bits) > data_.size() * 8) {
-    return Status::OutOfRange("bit stream exhausted");
+    return Fail(Status::OutOfRange("bit stream exhausted"));
   }
   uint64_t result = 0;
   int remaining = bits;
@@ -50,7 +51,9 @@ Status BitReader::ReadUE(uint64_t* value) {
     bool bit = false;
     VC_RETURN_IF_ERROR(ReadBit(&bit));
     if (bit) break;
-    if (++zeros > 63) return Status::Corruption("exp-golomb code too long");
+    if (++zeros > 63) {
+      return Fail(Status::Corruption("exp-golomb code too long"));
+    }
   }
   uint64_t suffix = 0;
   VC_RETURN_IF_ERROR(ReadBits(zeros, &suffix));
@@ -69,15 +72,44 @@ Status BitReader::ReadSE(int64_t* value) {
   return Status::OK();
 }
 
+uint64_t BitReader::PeekBits(int bits) const {
+  assert(bits >= 0 && bits <= 57);
+  if (failed_ || bits == 0) return 0;
+  // Gather whole bytes into an accumulator, then shift so the requested bits
+  // land at the bottom. Bytes past the end read as zero (the padding a
+  // decode-then-SkipBits caller relies on being rejected at consume time).
+  uint64_t acc = 0;
+  int have = -static_cast<int>(bit_pos_ % 8);
+  size_t byte_index = bit_pos_ / 8;
+  while (have < bits) {
+    uint8_t byte = byte_index < data_.size() ? data_[byte_index] : 0;
+    acc = (acc << 8) | byte;
+    have += 8;
+    ++byte_index;
+  }
+  return (acc >> (have - bits)) & ((uint64_t{1} << bits) - 1);
+}
+
+Status BitReader::SkipBits(int bits) {
+  assert(bits >= 0);
+  if (failed_) return Status::OutOfRange("bit reader in failed state");
+  if (bit_pos_ + static_cast<size_t>(bits) > data_.size() * 8) {
+    return Fail(Status::OutOfRange("bit stream exhausted"));
+  }
+  bit_pos_ += static_cast<size_t>(bits);
+  return Status::OK();
+}
+
 void BitReader::AlignToByte() {
   bit_pos_ = (bit_pos_ + 7) / 8 * 8;
 }
 
 Status BitReader::ReadBytes(size_t count, std::vector<uint8_t>* out) {
   assert(aligned());
+  if (failed_) return Status::OutOfRange("bit reader in failed state");
   size_t byte_pos = bit_pos_ / 8;
   if (byte_pos + count > data_.size()) {
-    return Status::OutOfRange("byte stream exhausted");
+    return Fail(Status::OutOfRange("byte stream exhausted"));
   }
   out->assign(data_.data() + byte_pos, data_.data() + byte_pos + count);
   bit_pos_ += count * 8;

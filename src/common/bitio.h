@@ -103,7 +103,10 @@ class BitWriter {
 ///
 /// All read methods return Status-checked results: reading past the end of
 /// the underlying slice yields `OutOfRange` without UB, which the codec
-/// surfaces as `Corruption`.
+/// surfaces as `Corruption`. Errors are *sticky*: once any read fails — past
+/// the end or on a malformed code — every subsequent read fails too, so a
+/// caller that checks status only at a coarser granularity can never consume
+/// phantom data from a truncated stream.
 class BitReader {
  public:
   explicit BitReader(Slice data) : data_(data) {}
@@ -120,6 +123,18 @@ class BitReader {
   /// Reads a signed Exp-Golomb code.
   Status ReadSE(int64_t* value);
 
+  /// Returns the next `bits` bits (MSB-first) without consuming them,
+  /// zero-padded past the end of the stream. Never fails and never moves the
+  /// position — the caller that acts on peeked bits must consume them with
+  /// SkipBits, which does bounds-check. `bits` in [0, 57] (the zero-padding
+  /// shift must stay well-defined). Returns 0 once the reader has failed.
+  uint64_t PeekBits(int bits) const;
+
+  /// Consumes `bits` bits previously examined with PeekBits. Consuming more
+  /// bits than remain fails (stickily) — this is what catches a truncated
+  /// stream whose zero padding happened to look like a valid code.
+  Status SkipBits(int bits);
+
   /// Skips forward to the next byte boundary.
   void AlignToByte();
 
@@ -134,9 +149,18 @@ class BitReader {
 
   bool aligned() const { return bit_pos_ % 8 == 0; }
 
+  /// Whether a previous read failed (every further read will fail too).
+  bool failed() const { return failed_; }
+
  private:
+  Status Fail(Status status) {
+    failed_ = true;
+    return status;
+  }
+
   Slice data_;
   size_t bit_pos_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace vc

@@ -146,6 +146,7 @@ Result<std::vector<std::vector<uint8_t>>> VisualCloud::EncodeSegment(
     encoder_options.motion_range = options.motion_range;
     encoder_options.motion_constrained_tiles =
         options.motion_constrained_tiles;
+    encoder_options.entropy_profile = options.entropy_profile;
     encoder_options.capture_hints = capture;
     encoder_options.reuse_hints = reuse;
     auto video = EncodeVideo(frames, encoder_options);

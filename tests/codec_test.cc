@@ -7,7 +7,9 @@
 #include "codec/encoder.h"
 #include "codec/entropy.h"
 #include "codec/homomorphic.h"
+#include "codec/motion.h"
 #include "codec/quality.h"
+#include "codec/simd.h"
 #include "codec/transform.h"
 #include "common/random.h"
 #include "image/metrics.h"
@@ -939,6 +941,415 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<RdCase>& info) {
       return info.param.scene + "_qp" + std::to_string(info.param.qp);
     });
+
+// -------------------------------------------------------------------- SIMD
+//
+// The vector kernels must be *bit-identical* to their scalar fallbacks —
+// not merely close: the decoder mirrors the encoder's reconstruction
+// arithmetic, so any cross-ISA divergence would make streams encoded on one
+// machine drift on another. The runtime kill-switch lets one binary run
+// both paths. On machines where no SIMD path is compiled in or usable, both
+// runs take the scalar path and the tests pass vacuously.
+
+/// Toggles the SIMD kill-switch (and optionally the tier cap) for a scope,
+/// restoring the prior state.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(bool enabled)
+      : previous_enabled_(simd::Enabled()), previous_cap_(simd::LevelCap()) {
+    simd::SetEnabled(enabled);
+  }
+  ScopedSimd(bool enabled, simd::Level cap) : ScopedSimd(enabled) {
+    simd::SetLevelCap(cap);
+  }
+  ~ScopedSimd() {
+    simd::SetEnabled(previous_enabled_);
+    simd::SetLevelCap(previous_cap_);
+  }
+
+ private:
+  bool previous_enabled_;
+  simd::Level previous_cap_;
+};
+
+/// The distinct vector tiers this binary + host can actually run (e.g.
+/// {sse2, avx2} on a modern x86), so the bit-exactness tests prove *every*
+/// dispatchable path equals scalar, not just the strongest one.
+std::vector<simd::Level> VectorTiers() {
+  std::vector<simd::Level> tiers;
+  for (simd::Level cap :
+       {simd::Level::kSse2, simd::Level::kAvx2, simd::Level::kNeon}) {
+    ScopedSimd on(true, cap);
+    simd::Level active = simd::ActiveLevel();
+    if (active > simd::Level::kScalar &&
+        (tiers.empty() || tiers.back() != active)) {
+      tiers.push_back(active);
+    }
+  }
+  return tiers;
+}
+
+TEST(SimdTest, TransformKernelsMatchScalarBitExactly) {
+  Random rng(501);
+  for (int trial = 0; trial < 300; ++trial) {
+    ResidualBlock residual;
+    if (trial < 4) {
+      // Saturation edges: extreme residuals and exact corner values.
+      int16_t v = trial % 2 == 0 ? int16_t{255} : int16_t{-255};
+      residual.fill(v);
+    } else {
+      for (auto& v : residual) {
+        v = static_cast<int16_t>(static_cast<int>(rng.Uniform(511)) - 255);
+      }
+    }
+    const double qstep = QStepForQp(static_cast<int>(rng.Uniform(52)));
+
+    CoeffBlock coeffs_scalar;
+    LevelBlock levels_scalar;
+    CoeffBlock dq_scalar;
+    ResidualBlock out_scalar;
+    {
+      ScopedSimd off(false);
+      ForwardDct(residual, &coeffs_scalar);
+      Quantize(coeffs_scalar, qstep, &levels_scalar);
+      Dequantize(levels_scalar, qstep, &dq_scalar);
+      InverseDct(dq_scalar, &out_scalar);
+    }
+    for (simd::Level tier : VectorTiers()) {
+      CoeffBlock coeffs_simd, dq_simd;
+      LevelBlock levels_simd;
+      ResidualBlock out_simd;
+      ScopedSimd on(true, tier);
+      ForwardDct(residual, &coeffs_simd);
+      Quantize(coeffs_simd, qstep, &levels_simd);
+      Dequantize(levels_simd, qstep, &dq_simd);
+      InverseDct(dq_simd, &out_simd);
+      // Exact equality, including on the doubles: every SIMD tier performs
+      // the same IEEE operations in the same per-element order.
+      const char* name = simd::LevelName(tier);
+      ASSERT_EQ(coeffs_scalar, coeffs_simd) << "trial " << trial << " " << name;
+      ASSERT_EQ(levels_scalar, levels_simd) << "trial " << trial << " " << name;
+      ASSERT_EQ(dq_scalar, dq_simd) << "trial " << trial << " " << name;
+      ASSERT_EQ(out_scalar, out_simd) << "trial " << trial << " " << name;
+    }
+  }
+}
+
+TEST(SimdTest, SparseInverseDctMatchesScalarBitExactly) {
+  Random rng(502);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Sparse blocks as the decoder sees them: a handful of nonzero levels.
+    LevelBlock levels{};
+    int nonzero = 1 + static_cast<int>(rng.Uniform(kInverseDctSparseThreshold));
+    for (int i = 0; i < nonzero; ++i) {
+      levels[rng.Uniform(kBlockPixels)] =
+          static_cast<int32_t>(rng.Uniform(400)) - 200;
+    }
+    const double qstep = QStepForQp(28);
+    CoeffBlock coeffs;
+    Dequantize(levels, qstep, &coeffs);
+
+    ResidualBlock out_scalar;
+    {
+      ScopedSimd off(false);
+      InverseDctSparse(coeffs, nonzero, &out_scalar);
+    }
+    for (simd::Level tier : VectorTiers()) {
+      ResidualBlock out_simd;
+      ScopedSimd on(true, tier);
+      InverseDctSparse(coeffs, nonzero, &out_simd);
+      ASSERT_EQ(out_scalar, out_simd)
+          << "trial " << trial << " " << simd::LevelName(tier);
+    }
+  }
+}
+
+TEST(SimdTest, BlockSadMatchesScalarExactly) {
+  Random rng(503);
+  constexpr int kW = 64, kH = 48;
+  std::vector<uint8_t> a(kW * kH), b(kW * kH);
+  for (auto& v : a) v = static_cast<uint8_t>(rng.Uniform(256));
+  for (auto& v : b) v = static_cast<uint8_t>(rng.Uniform(256));
+  PlaneView pa{a.data(), kW}, pb{b.data(), kW};
+
+  for (int trial = 0; trial < 500; ++trial) {
+    const int size = trial % 2 == 0 ? 16 : 8;
+    const int ax = static_cast<int>(rng.Uniform(kW - size));
+    const int ay = static_cast<int>(rng.Uniform(kH - size));
+    const int bx = static_cast<int>(rng.Uniform(kW - size));
+    const int by = static_cast<int>(rng.Uniform(kH - size));
+    const uint32_t limit = rng.Uniform(2) == 0
+                               ? 1 + rng.Uniform(size * size * 255u)
+                               : UINT32_MAX;
+    uint32_t sad_scalar, bounded_scalar, sad_simd, bounded_simd;
+    {
+      ScopedSimd off(false);
+      sad_scalar = BlockSad(pa, ax, ay, pb, bx, by, size);
+      bounded_scalar = BlockSadBounded(pa, ax, ay, pb, bx, by, size, limit);
+    }
+    {
+      ScopedSimd on(true);
+      sad_simd = BlockSad(pa, ax, ay, pb, bx, by, size);
+      bounded_simd = BlockSadBounded(pa, ax, ay, pb, bx, by, size, limit);
+    }
+    ASSERT_EQ(sad_scalar, sad_simd) << "trial " << trial;
+    // Both paths fold a full row before checking the limit, so even the
+    // abandoned partial sums agree exactly.
+    ASSERT_EQ(bounded_scalar, bounded_simd) << "trial " << trial;
+  }
+}
+
+TEST(SimdTest, FullEncodeIsBitIdenticalToScalar) {
+  auto frames = TestFrames(6);
+  EncoderOptions options = SmallOptions();
+  options.tile_rows = 2;
+  options.tile_cols = 2;
+
+  std::vector<uint8_t> bytes_scalar;
+  {
+    ScopedSimd off(false);
+    auto video = EncodeVideo(frames, options);
+    ASSERT_TRUE(video.ok());
+    bytes_scalar = video->Serialize();
+  }
+  for (simd::Level tier : VectorTiers()) {
+    ScopedSimd on(true, tier);
+    auto video = EncodeVideo(frames, options);
+    ASSERT_TRUE(video.ok());
+    EXPECT_EQ(bytes_scalar, video->Serialize())
+        << "the " << simd::LevelName(tier)
+        << " tier and scalar encodes must produce identical streams";
+  }
+}
+
+// ------------------------------------------------------- Huffman profile
+
+std::vector<CodedBlock> RandomCodedBlocks(Random* rng, int count,
+                                          double density) {
+  std::vector<CodedBlock> blocks(count);
+  for (auto& block : blocks) {
+    block.levels.fill(0);
+    for (int i = 0; i < kBlockPixels; ++i) {
+      if (rng->UniformDouble(0, 1) < density) {
+        int32_t level = static_cast<int32_t>(rng->Uniform(2000)) - 1000;
+        if (level == 0) level = 1;
+        block.levels[i] = level;
+        ++block.nonzero;
+      }
+    }
+  }
+  return blocks;
+}
+
+TEST(HuffmanTest, BlocksRoundTripExactly) {
+  Random rng(601);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Mix sparse (typical) and dense (stress) payloads, including all-zero
+    // blocks, which are the common case for well-predicted inter content.
+    auto blocks = RandomCodedBlocks(&rng, 40, trial % 3 == 0 ? 0.6 : 0.08);
+    blocks[0] = CodedBlock{};  // all-zero block
+
+    HuffmanBlockEncoder encoder;
+    for (const CodedBlock& block : blocks) encoder.CountBlock(block);
+    encoder.Finalize();
+
+    BitWriter writer;
+    encoder.WriteTable(&writer);
+    for (const CodedBlock& block : blocks) encoder.WriteBlock(block, &writer);
+    auto bytes = writer.Finish();
+
+    BitReader reader{Slice(bytes)};
+    HuffmanBlockDecoder decoder;
+    ASSERT_TRUE(decoder.Init(&reader).ok()) << "trial " << trial;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      LevelBlock out;
+      int nonzero = -1;
+      ASSERT_TRUE(decoder.DecodeBlock(&reader, &out, &nonzero).ok())
+          << "trial " << trial << " block " << i;
+      ASSERT_EQ(nonzero, blocks[i].nonzero);
+      if (blocks[i].nonzero == 0) {
+        for (int32_t v : out) ASSERT_EQ(v, 0);
+      } else {
+        ASSERT_EQ(out, blocks[i].levels) << "trial " << trial << " blk " << i;
+      }
+    }
+  }
+}
+
+TEST(HuffmanTest, ExtremeLevelsUseEscapeAndRoundTrip) {
+  // Levels beyond 16 magnitude bits must take the escape token.
+  std::vector<CodedBlock> blocks(2);
+  blocks[0].levels.fill(0);
+  blocks[0].levels[0] = INT32_MAX;
+  blocks[0].levels[63] = INT32_MIN + 1;
+  blocks[0].nonzero = 2;
+  blocks[1].levels.fill(0);
+  blocks[1].levels[5] = -70000;
+  blocks[1].nonzero = 1;
+
+  HuffmanBlockEncoder encoder;
+  for (const CodedBlock& block : blocks) encoder.CountBlock(block);
+  encoder.Finalize();
+  BitWriter writer;
+  encoder.WriteTable(&writer);
+  for (const CodedBlock& block : blocks) encoder.WriteBlock(block, &writer);
+  auto bytes = writer.Finish();
+
+  BitReader reader{Slice(bytes)};
+  HuffmanBlockDecoder decoder;
+  ASSERT_TRUE(decoder.Init(&reader).ok());
+  for (const CodedBlock& expected : blocks) {
+    LevelBlock out;
+    ASSERT_TRUE(decoder.DecodeBlock(&reader, &out).ok());
+    EXPECT_EQ(out, expected.levels);
+  }
+}
+
+TEST(HuffmanTest, CostAccountingIsExact) {
+  // expgolomb_bits() must equal what EncodeLevelBlock actually writes, and
+  // huffman_bits() what WriteTable+WriteBlock write — the fallback decision
+  // rests on both being exact.
+  Random rng(602);
+  auto blocks = RandomCodedBlocks(&rng, 60, 0.1);
+  HuffmanBlockEncoder encoder;
+  BitWriter eg_writer;
+  for (const CodedBlock& block : blocks) {
+    encoder.CountBlock(block);
+    if (block.nonzero == 0) {
+      eg_writer.WriteUE(0);
+    } else {
+      EncodeLevelBlock(block.levels, &eg_writer);
+    }
+  }
+  const bool use_huffman = encoder.Finalize();
+  EXPECT_EQ(encoder.expgolomb_bits(), eg_writer.bit_count());
+
+  BitWriter hf_writer;
+  encoder.WriteTable(&hf_writer);
+  for (const CodedBlock& block : blocks) encoder.WriteBlock(block, &hf_writer);
+  EXPECT_EQ(encoder.huffman_bits(), hf_writer.bit_count());
+  EXPECT_EQ(use_huffman,
+            encoder.huffman_bits() < encoder.expgolomb_bits());
+}
+
+TEST(HuffmanTest, ProfileDecodesIdenticallyAndNeverCostsMore) {
+  auto frames = TestFrames(8);
+  EncoderOptions eg_options = SmallOptions();
+  EncoderOptions hf_options = SmallOptions();
+  hf_options.entropy_profile = EntropyProfile::kHuffman;
+
+  auto eg_video = EncodeVideo(frames, eg_options);
+  auto hf_video = EncodeVideo(frames, hf_options);
+  ASSERT_TRUE(eg_video.ok());
+  ASSERT_TRUE(hf_video.ok());
+  EXPECT_TRUE(hf_video->header.huffman_entropy());
+  EXPECT_FALSE(eg_video->header.huffman_entropy());
+
+  // Entropy coding is lossless and the analysis never looks at it, so the
+  // reconstructions are bit-identical across profiles...
+  auto eg_frames = DecodeVideo(*eg_video);
+  auto hf_frames = DecodeVideo(*hf_video);
+  ASSERT_TRUE(eg_frames.ok());
+  ASSERT_TRUE(hf_frames.ok());
+  ASSERT_EQ(eg_frames->size(), hf_frames->size());
+  for (size_t i = 0; i < eg_frames->size(); ++i) {
+    EXPECT_EQ((*eg_frames)[i].y_plane(), (*hf_frames)[i].y_plane());
+    EXPECT_EQ((*eg_frames)[i].u_plane(), (*hf_frames)[i].u_plane());
+    EXPECT_EQ((*eg_frames)[i].v_plane(), (*hf_frames)[i].v_plane());
+  }
+  // ...and the per-payload Exp-Golomb fallback caps the cost at one profile
+  // bit per tile payload.
+  size_t tile_payloads = hf_video->frames.size();  // 1×1 grid
+  EXPECT_LE(hf_video->size_bytes(),
+            eg_video->size_bytes() + (tile_payloads * 7) / 8 + 1)
+      << "Huffman profile must never lose more than the profile bits";
+  // On real content it should win outright.
+  EXPECT_LT(hf_video->size_bytes(), eg_video->size_bytes());
+}
+
+TEST(HuffmanTest, DecoderMatchesEncoderReconstruction) {
+  auto frames = TestFrames(10);
+  EncoderOptions options = SmallOptions();
+  options.entropy_profile = EntropyProfile::kHuffman;
+  options.tile_rows = 2;
+  options.tile_cols = 2;
+  auto encoder = Encoder::Create(options);
+  ASSERT_TRUE(encoder.ok());
+  auto decoder = Decoder::Create((*encoder)->header());
+  ASSERT_TRUE(decoder.ok());
+  for (const Frame& frame : frames) {
+    auto encoded = (*encoder)->Encode(frame);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = (*decoder)->Decode(Slice(encoded->payload));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->y_plane(), (*encoder)->reconstructed().y_plane());
+    ASSERT_EQ(decoded->u_plane(), (*encoder)->reconstructed().u_plane());
+    ASSERT_EQ(decoded->v_plane(), (*encoder)->reconstructed().v_plane());
+  }
+}
+
+TEST(HuffmanTest, HomomorphicOpsWorkOnHuffmanStreams) {
+  auto frames = TestFrames(6, 128, 64);
+  EncoderOptions options = SmallOptions();
+  options.entropy_profile = EntropyProfile::kHuffman;
+  options.tile_rows = 2;
+  options.tile_cols = 2;
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+
+  // Extract every tile, then merge them back: byte-identical payloads.
+  std::vector<EncodedVideo> parts;
+  TileGrid grid = video->header.tile_grid();
+  for (int i = 0; i < grid.tile_count(); ++i) {
+    auto part = ExtractTileStream(*video, grid.TileAt(i));
+    ASSERT_TRUE(part.ok());
+    EXPECT_TRUE(part->header.huffman_entropy());
+    auto decoded = DecodeVideo(*part);
+    ASSERT_TRUE(decoded.ok()) << "extracted Huffman tile must decode";
+    parts.push_back(std::move(*part));
+  }
+  auto merged = MergeTileStreams(parts, 2, 2, 128, 64);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->Serialize(), video->Serialize());
+}
+
+TEST(HuffmanTest, MergeRejectsMixedEntropyProfiles) {
+  auto frames = TestFrames(4, 64, 32);
+  EncoderOptions options = SmallOptions();
+  options.width = 64;
+  options.height = 32;
+  EncoderOptions huffman_options = options;
+  huffman_options.entropy_profile = EntropyProfile::kHuffman;
+
+  auto left = EncodeVideo(frames, options);
+  auto right = EncodeVideo(frames, huffman_options);
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  // A Huffman tile payload is not decodable under a non-Huffman header (and
+  // vice versa), so the merge must refuse to mix them.
+  auto merged = MergeTileStreams({*left, *right}, 1, 2, 128, 32);
+  EXPECT_TRUE(merged.status().IsInvalidArgument());
+}
+
+TEST(HuffmanTest, TruncatedHuffmanStreamFailsCleanly) {
+  auto frames = TestFrames(2);
+  EncoderOptions options = SmallOptions();
+  options.entropy_profile = EntropyProfile::kHuffman;
+  auto video = EncodeVideo(frames, options);
+  ASSERT_TRUE(video.ok());
+  auto decoder = Decoder::Create(video->header);
+  ASSERT_TRUE(decoder.ok());
+  auto& payload = video->frames[0].payload;
+  for (size_t keep : {payload.size() / 4, payload.size() / 2,
+                      payload.size() - 1}) {
+    std::vector<uint8_t> truncated(payload.begin(),
+                                   payload.begin() + keep);
+    auto fresh = Decoder::Create(video->header);
+    ASSERT_TRUE(fresh.ok());
+    auto decoded = (*fresh)->Decode(Slice(truncated));
+    EXPECT_FALSE(decoded.ok()) << "kept " << keep << " bytes";
+  }
+}
 
 }  // namespace
 }  // namespace vc
