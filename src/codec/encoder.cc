@@ -1,5 +1,6 @@
 #include "codec/encoder.h"
 
+#include <cassert>
 #include <cmath>
 #include <cstdlib>
 #include <utility>
@@ -303,6 +304,10 @@ void Encoder::EncodeTile(const Frame& frame, const TileGrid::PixelRect& rect,
   if (use_huffman) entropy.WriteTable(writer);
   const size_t blocks_per_mb =
       sink.mbs.empty() ? 0 : sink.blocks.size() / sink.mbs.size();
+  // Every macroblock must contribute the same block count (currently 6): the
+  // division above truncates otherwise and pass 2 would emit blocks
+  // misaligned with the macroblock syntax, an undecodable stream.
+  assert(sink.blocks.size() == sink.mbs.size() * blocks_per_mb);
   size_t block_index = 0;
   for (const BufferSink::MbSyntax& mb : sink.mbs) {
     WriteMbSyntax(type, mb.use_inter, mb.mv, mb.intra_mode, writer);

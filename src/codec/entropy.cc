@@ -279,7 +279,12 @@ Status HuffmanBlockDecoder::Init(BitReader* reader) {
   for (int i = 0; i < present; ++i) {
     uint64_t delta;
     VC_RETURN_IF_ERROR(reader->ReadUE(&delta));
-    int64_t symbol = int64_t{prev} + 1 + static_cast<int64_t>(delta);
+    // Bound the delta before any signed cast: ReadUE can return values up to
+    // 2^64-2, which would wrap negative and slip past the range check below.
+    if (delta >= kHuffmanAlphabetSize) {
+      return Status::Corruption("huffman table symbol delta out of range");
+    }
+    const int64_t symbol = int64_t{prev} + 1 + static_cast<int64_t>(delta);
     if (symbol >= kHuffmanAlphabetSize) {
       return Status::Corruption("huffman table symbol out of range");
     }
@@ -353,6 +358,9 @@ Status HuffmanBlockDecoder::DecodeBlock(BitReader* reader, LevelBlock* levels,
   while (position < kBlockPixels) {
     int symbol;
     VC_RETURN_IF_ERROR(DecodeSymbol(reader, &symbol));
+    if (symbol < 0 || symbol >= kHuffmanAlphabetSize) {
+      return Status::Corruption("huffman symbol out of range");
+    }
     if (symbol == kHuffmanEob) break;
     if (symbol == kHuffmanZrl) {
       position += 16;

@@ -1,5 +1,6 @@
 #include "codec/simd.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -74,7 +75,18 @@ Level ParseLevelName(const char* name) {
   if (std::strcmp(name, "sse4.1") == 0) return Level::kSse41;
   if (std::strcmp(name, "avx2") == 0) return Level::kAvx2;
   if (std::strcmp(name, "neon") == 0) return Level::kNeon;
-  return Level::kNeon;  // unrecognized: no cap
+  // Unrecognized values fail safe: a user setting VC_SIMD is trying to cap or
+  // disable SIMD, so a typo must not silently run the full vector paths.
+  // Warn once — the cap is evaluated from several startup initializers.
+  static const bool warned = [name] {
+    std::fprintf(stderr,
+                 "vc: unrecognized VC_SIMD value '%s' (expected off, scalar, "
+                 "sse2, sse4.1, avx2, or neon); forcing scalar\n",
+                 name);
+    return true;
+  }();
+  (void)warned;
+  return Level::kScalar;
 }
 
 Level InitialLevelCap() {

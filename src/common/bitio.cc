@@ -15,8 +15,12 @@ std::vector<uint8_t> BitWriter::Finish() {
 }
 
 Status BitReader::ReadBits(int bits, uint64_t* value) {
-  assert(bits >= 0 && bits <= 64);
   if (failed_) return Status::OutOfRange("bit reader in failed state");
+  // Hard check, not just an assert: a caller deriving a width from stream
+  // data must not wrap the bounds check below in NDEBUG builds.
+  if (bits < 0 || bits > 64) {
+    return Fail(Status::InvalidArgument("bit count out of range"));
+  }
   if (bit_pos_ + static_cast<size_t>(bits) > data_.size() * 8) {
     return Fail(Status::OutOfRange("bit stream exhausted"));
   }
@@ -91,8 +95,10 @@ uint64_t BitReader::PeekBits(int bits) const {
 }
 
 Status BitReader::SkipBits(int bits) {
-  assert(bits >= 0);
   if (failed_) return Status::OutOfRange("bit reader in failed state");
+  if (bits < 0) {
+    return Fail(Status::InvalidArgument("bit count out of range"));
+  }
   if (bit_pos_ + static_cast<size_t>(bits) > data_.size() * 8) {
     return Fail(Status::OutOfRange("bit stream exhausted"));
   }

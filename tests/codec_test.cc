@@ -1205,6 +1205,25 @@ TEST(HuffmanTest, ExtremeLevelsUseEscapeAndRoundTrip) {
   }
 }
 
+TEST(HuffmanTest, RejectsOversizedTableDelta) {
+  // A symbol delta of 2^63 would wrap negative through an int64 cast and,
+  // unless bounded before the cast, pass the upper-bound symbol check and
+  // poison the decode LUT with negative symbols (an OOB write primitive in
+  // DecodeBlock). Init must reject it as corruption instead.
+  for (uint64_t delta : {uint64_t{1} << 63, uint64_t{0} - 2,
+                         static_cast<uint64_t>(kHuffmanAlphabetSize)}) {
+    BitWriter writer;
+    writer.WriteUE(0);  // one symbol present
+    writer.WriteUE(delta);
+    writer.WriteBits(3, 4);  // code length, never reached
+    auto bytes = writer.Finish();
+
+    BitReader reader{Slice(bytes)};
+    HuffmanBlockDecoder decoder;
+    EXPECT_TRUE(decoder.Init(&reader).IsCorruption()) << "delta " << delta;
+  }
+}
+
 TEST(HuffmanTest, CostAccountingIsExact) {
   // expgolomb_bits() must equal what EncodeLevelBlock actually writes, and
   // huffman_bits() what WriteTable+WriteBlock write — the fallback decision

@@ -215,6 +215,31 @@ TEST(BitIoTest, ReadPastEndIsSticky) {
   EXPECT_EQ(reader.PeekBits(8), 0u);
 }
 
+TEST(BitIoTest, NegativeOrOversizedBitCountFails) {
+  // A decoder computing a field width from stream data can end up with a
+  // negative or oversized count; that must be a hard (and sticky) error, not
+  // an assert that vanishes in Release builds and wraps the bounds check.
+  std::vector<uint8_t> bytes(8, 0xff);
+  {
+    BitReader reader{Slice(bytes)};
+    uint64_t v;
+    EXPECT_TRUE(reader.ReadBits(-1, &v).IsInvalidArgument());
+    EXPECT_TRUE(reader.failed());
+    EXPECT_TRUE(reader.ReadBits(8, &v).IsOutOfRange());  // sticky
+  }
+  {
+    BitReader reader{Slice(bytes)};
+    uint64_t v;
+    EXPECT_TRUE(reader.ReadBits(65, &v).IsInvalidArgument());
+    EXPECT_TRUE(reader.failed());
+  }
+  {
+    BitReader reader{Slice(bytes)};
+    EXPECT_TRUE(reader.SkipBits(-1).IsInvalidArgument());
+    EXPECT_TRUE(reader.failed());
+  }
+}
+
 TEST(BitIoTest, CorruptGolombIsSticky) {
   std::vector<uint8_t> zeros(20, 0);
   BitReader reader{Slice(zeros)};
