@@ -25,6 +25,15 @@
 // cohort is re-run at {1, 4, 16} nodes and must reproduce byte-identical
 // simulated outcomes — placement and tiering never change what is served.
 //
+// E10 — live ingest → serve. A LiveFeed publishes the canonical scene
+// segment-by-segment while viewers join mid-stream at the live edge:
+// healthy, faulted (one slow encode, unbounded), and degrading (same fault
+// under a glass-to-glass budget) schedules. Reports the ingest-side edge
+// lag (the ingest.live_edge_lag_seconds gauge) and live-join QoE. The
+// caught-up live catalog must hold byte-identical cells to an offline
+// ingest of the same content, and the healthy cohort re-run on a cluster
+// must reproduce the single-node outcome exactly.
+//
 // `--smoke` shrinks every population so the whole binary finishes in
 // seconds (registered as a ctest); `--nodes N` sizes the smoke cluster
 // (default 2). Smoke runs skip BENCH_server.json.
@@ -34,6 +43,7 @@
 
 #include "bench_util.h"
 #include "server/cluster_server.h"
+#include "server/live_feed.h"
 #include "server/streaming_server.h"
 #include "storage/sharded_store.h"
 
@@ -372,6 +382,150 @@ int main(int argc, char** argv) {
   std::printf(" nodes (%llu bytes)\n",
               static_cast<unsigned long long>(cluster_baseline.bytes_sent));
 
+  // E10 — live ingest → serve. The same content as the offline ingest,
+  // published segment-by-segment while viewers join at the live edge.
+  const int live_viewers = smoke ? 6 : 24;
+  const int live_seconds = smoke ? 6 : kVideoSeconds;
+  const int live_frames = live_seconds * kFps;
+  const double live_duration = static_cast<double>(live_seconds);
+  auto live_scene = CanonicalScene(scene_name);
+
+  // Offline reference catalog with the exact same frames: the caught-up
+  // live catalog must be byte-identical to it.
+  CheckOk(bench.db
+              ->IngestScene("live_offline_ref", *live_scene, live_frames,
+                            CanonicalIngest())
+              .status(),
+          "live reference ingest");
+  VideoMetadata live_reference =
+      CheckOk(bench.db->Describe("live_offline_ref"), "live reference");
+
+  auto make_live_viewers = [&](int count) {
+    // Same archetype cohort, but arrivals spread over the first half of
+    // the broadcast so most viewers join mid-stream.
+    std::vector<ViewerRequest> viewers = MakeViewers(count);
+    for (int i = 0; i < count; ++i) {
+      viewers[i].arrival_seconds =
+          count > 1 ? live_duration * 0.5 * i / (count - 1) : 0.0;
+    }
+    return viewers;
+  };
+
+  struct LiveConfig {
+    const char* label;
+    double slow_cost;  // encode-latency override for segment 2 (0 = none)
+    double budget;     // max_lag_seconds (0 = unbounded)
+    double degraded;   // degraded_encode_seconds (0 = never degrade)
+  };
+  const LiveConfig live_configs[] = {
+      {"healthy", 0.0, 0.0, 0.0},
+      {"faulted", 2.0, 0.0, 0.0},
+      {"degrading", 2.0, 0.5, 0.05},
+  };
+
+  std::printf("\nE10: live ingest -> serve, %d viewers joining over %.1fs "
+              "of a %ds broadcast\n",
+              live_viewers, live_duration * 0.5, live_seconds);
+  std::printf("%10s %10s %9s %8s %8s %9s %9s %8s\n", "config", "published",
+              "degraded", "max lag", "mean lag", "final lag", "rebuffer",
+              "stalls");
+
+  auto run_live = [&](const LiveConfig& config,
+                      const std::string& name) {
+    LiveFeedOptions feed_options;
+    feed_options.encode_seconds = 0.2;
+    if (config.slow_cost > 0) feed_options.encode_overrides[2] = config.slow_cost;
+    feed_options.max_lag_seconds = config.budget;
+    feed_options.degraded_encode_seconds = config.degraded;
+    auto feed = CheckOk(
+        LiveFeed::Create(bench.db.get(), name, *live_scene, live_frames,
+                         CanonicalIngest(), feed_options),
+        "live feed");
+    bench.db->storage()->ClearCache();
+    StreamingServer server(bench.db->storage(), ServerOptions{});
+    ServerStats stats = CheckOk(
+        server.RunLive(feed.get(), make_live_viewers(live_viewers)),
+        "live run");
+    return stats;
+  };
+
+  std::string live_json;
+  ServerStats live_healthy;
+  for (const LiveConfig& config : live_configs) {
+    ServerStats stats =
+        run_live(config, std::string("live_") + config.label);
+    if (std::strcmp(config.label, "healthy") == 0) live_healthy = stats;
+
+    std::printf("%10s %7d/%-2d %9d %7.3fs %7.3fs %8.3fs %8.2f%% %8d\n",
+                config.label, stats.live.segments_published,
+                stats.live.total_segments, stats.live.degraded_segments,
+                stats.live.max_lag_seconds, stats.live.mean_lag_seconds,
+                stats.live.final_lag_seconds, 100.0 * stats.RebufferRatio(),
+                stats.stall_events);
+
+    char row[448];
+    std::snprintf(
+        row, sizeof(row),
+        "%s  {\"config\": \"%s\", \"segments_published\": %d, "
+        "\"degraded_segments\": %d, \"max_lag_seconds\": %.4f, "
+        "\"mean_lag_seconds\": %.4f, \"live_edge_lag_seconds\": %.4f, "
+        "\"rebuffer_ratio\": %.4f, \"stall_events\": %d, "
+        "\"bytes_sent\": %llu, \"completed\": %d}",
+        live_json.empty() ? "" : ",\n", config.label,
+        stats.live.segments_published, stats.live.degraded_segments,
+        stats.live.max_lag_seconds, stats.live.mean_lag_seconds,
+        stats.live.final_lag_seconds, stats.RebufferRatio(),
+        stats.stall_events,
+        static_cast<unsigned long long>(stats.bytes_sent),
+        stats.sessions_completed);
+    live_json += row;
+  }
+
+  // The caught-up healthy feed holds byte-identical cells to the offline
+  // ingest of the same frames.
+  VideoMetadata live_catalog =
+      CheckOk(bench.db->Describe("live_healthy"), "live catalog");
+  if (live_catalog.cells.size() != live_reference.cells.size()) {
+    std::fprintf(stderr, "bench: live catalog shape differs from offline\n");
+    return 1;
+  }
+  for (size_t i = 0; i < live_catalog.cells.size(); ++i) {
+    if (live_catalog.cells[i].byte_size != live_reference.cells[i].byte_size ||
+        live_catalog.cells[i].crc32 != live_reference.cells[i].crc32) {
+      std::fprintf(stderr, "bench: live cell %zu differs from offline\n", i);
+      return 1;
+    }
+  }
+
+  // Live determinism: the healthy cohort re-run on a fresh feed, then on a
+  // cluster — the simulated outcome must not move by a byte.
+  ServerStats live_rerun = run_live(live_configs[0], "live_rerun");
+  CheckSameSimulation(live_healthy, live_rerun, "live rerun");
+  const int live_nodes = smoke ? smoke_nodes : 4;
+  {
+    LiveFeedOptions feed_options;
+    feed_options.encode_seconds = 0.2;
+    auto feed = CheckOk(
+        LiveFeed::Create(bench.db.get(), "live_cluster", *live_scene,
+                         live_frames, CanonicalIngest(), feed_options),
+        "live cluster feed");
+    ShardedStoreOptions store_options;
+    store_options.backend.env = bench.env.get();
+    store_options.backend.root = "/bench";
+    store_options.shards = live_nodes;
+    auto store = CheckOk(ShardedStore::Open(store_options), "live store");
+    ClusterOptions cluster_options;
+    cluster_options.nodes = live_nodes;
+    ClusterServer cluster(store.get(), cluster_options);
+    ClusterStats stats = CheckOk(
+        cluster.RunLive(feed.get(), make_live_viewers(live_viewers)),
+        "live cluster run");
+    CheckSameSimulation(live_healthy, stats.totals, "live cluster");
+  }
+  std::printf("live catalog byte-identical to offline ingest; outcome "
+              "pinned across rerun and %d-node cluster\n",
+              live_nodes);
+
   if (smoke) {
     std::printf("\nsmoke run: BENCH_server.json left untouched\n");
     return 0;
@@ -402,10 +556,20 @@ int main(int argc, char** argv) {
                 baseline_node_host, determinism_viewers,
                 static_cast<unsigned long long>(cluster_baseline.bytes_sent));
 
+  char live_head[384];
+  std::snprintf(live_head, sizeof(live_head),
+                ",\n \"live\": {\"viewers\": %d, \"seconds\": %d, "
+                "\"encode_seconds\": 0.2, "
+                "\"edge_lag_gauge\": \"ingest.live_edge_lag_seconds\", "
+                "\"offline_byte_identical\": true, "
+                "\"determinism_nodes\": %d, \"configs\": [\n",
+                live_viewers, live_seconds, live_nodes);
+
   std::string json = "{\"experiment\": \"E7-server\",\n \"scene\": \"" +
                      scene_name + "\",\n \"scaling\": [\n" + points_json +
                      "\n ],\n" + tail + async_json + "\n ]}" + cluster_tail +
-                     cluster_json + "\n ]}}";
+                     cluster_json + "\n ]}" + live_head + live_json +
+                     "\n ]}}";
   WriteBenchJson("BENCH_server.json", json);
   EmitMetricsSnapshot("E7");
   return 0;

@@ -43,7 +43,7 @@ int main() {
   // latency for live viewers).
   const int total_frames = 9 * 15;
   for (int frame = 0; frame < total_frames; ++frame) {
-    if (auto s = (*live)->PushFrame(camera->FrameAt(frame)); !s.ok()) {
+    if (auto s = (*live)->AppendFrame(camera->FrameAt(frame)); !s.ok()) {
       std::fprintf(stderr, "push failed: %s\n", s.ToString().c_str());
       return 1;
     }
@@ -73,7 +73,7 @@ int main() {
     }
   }
 
-  auto final_version = (*live)->Finish();
+  auto final_version = (*live)->Close();
   auto metadata = (*db)->Describe("broadcast");
   std::printf("broadcast finished: version %u, %d segments, streaming=%s\n",
               *final_version, metadata->segment_count(),

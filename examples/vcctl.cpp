@@ -11,6 +11,7 @@
 //   vcctl query '<expr>' [explain]       # declarative query layer
 //   vcctl stream <name> [approach] [predictor] [mbps] [archetype]
 //   vcctl serve-sim <name> [viewers] [slots] [budget_mbps] [faults/min]
+//   vcctl live-sim <scene> <name> [viewers] [seconds] [encode_ms] [lag_ms]
 //   vcctl metrics [name] [json|csv]      # subsystem counters snapshot
 //   vcctl export <name> <file> [quality]
 //   vcctl drop <name>
@@ -40,6 +41,7 @@
 #include "query/executor.h"
 #include "query/parser.h"
 #include "server/cluster_server.h"
+#include "server/live_feed.h"
 #include "server/streaming_server.h"
 #include "storage/sharded_store.h"
 #include "streaming/manifest.h"
@@ -71,6 +73,11 @@ void PrintUsage(std::FILE* out) {
       "                                visualcloud, oracle)\n"
       "  serve-sim <name> [viewers] [slots] [budget_mbps] [faults/min]\n"
       "                                multi-viewer server simulation\n"
+      "  live-sim <scene> <name> [viewers] [seconds] [encode_ms] [lag_ms]\n"
+      "                                live broadcast: ingest the scene\n"
+      "                                segment-by-segment while viewers join\n"
+      "                                at the live edge; lag_ms > 0 enables\n"
+      "                                encoder degradation under that budget\n"
       "  metrics [name] [json|csv]     subsystem counters snapshot (with a\n"
       "                                name: runs a session and a query first\n"
       "                                so the counters are live)\n"
@@ -299,9 +306,18 @@ void PrintServeSummary(const ServerStats& stats, PrefetchMode prefetch) {
               100.0 * stats.RebufferRatio(), stats.stall_events,
               stats.transfer_faults, stats.transfer_retries,
               stats.segments_skipped);
+  if (stats.live.segments_published > 0) {
+    std::printf("live ingest:  %d/%d segments published (degraded=%d), "
+                "edge lag max=%.3fs mean=%.3fs final=%.3fs\n",
+                stats.live.segments_published, stats.live.total_segments,
+                stats.live.degraded_segments, stats.live.max_lag_seconds,
+                stats.live.mean_lag_seconds, stats.live.final_lag_seconds);
+  }
 }
 
-int CmdServeCluster(const VideoMetadata& metadata,
+// Serves either a static video (`metadata`) or a still-growing live feed
+// (`feed` non-null) over an N-node sharded cluster.
+int CmdServeCluster(const VideoMetadata* metadata, LiveFeed* feed,
                     const std::vector<ViewerRequest>& viewers,
                     const ServerOptions& server_options, int nodes,
                     size_t l1_bytes, size_t l2_bytes, int io_threads,
@@ -324,8 +340,11 @@ int CmdServeCluster(const VideoMetadata& metadata,
   cluster_options.l1_capacity_bytes = l1_bytes;
   cluster_options.node = server_options;
   ClusterServer cluster(store->get(), cluster_options);
-  std::vector<VideoMetadata> videos = {metadata};
-  auto run = cluster.Run(videos, viewers);
+  auto run = [&] {
+    if (feed != nullptr) return cluster.RunLive(feed, viewers);
+    std::vector<VideoMetadata> videos = {*metadata};
+    return cluster.Run(videos, viewers);
+  }();
   if (!run.ok()) Fail(run.status(), "cluster run");
 
   std::printf("cluster:      %d nodes x %d shards (L1 %.1f MiB/node, L2 "
@@ -396,8 +415,8 @@ int CmdServeSim(VisualCloud* db, const std::string& name, int viewer_count,
     std::printf("served '%s' to %d viewers (%d slots/node, %.0f Mbps "
                 "budget/node)\n",
                 name.c_str(), viewer_count, slots, budget_mbps);
-    return CmdServeCluster(*metadata, viewers, server_options, nodes,
-                           l1_bytes, l2_bytes, io_threads, prefetch);
+    return CmdServeCluster(&*metadata, nullptr, viewers, server_options,
+                           nodes, l1_bytes, l2_bytes, io_threads, prefetch);
   }
 
   if (prefetch != PrefetchMode::kOff &&
@@ -417,6 +436,89 @@ int CmdServeSim(VisualCloud* db, const std::string& name, int viewer_count,
               100.0 * stats->cache.HitRate(),
               static_cast<unsigned long long>(stats->cache.hits),
               static_cast<unsigned long long>(stats->cache.misses));
+  return 0;
+}
+
+// Live broadcast simulation: synthesize a scene, ingest it segment-by-
+// segment through a LiveFeed while viewers join mid-stream at the live
+// edge. The finished feed stays in the catalog as an ordinary archived
+// video (same bytes the offline ingest would have produced).
+int CmdLiveSim(VisualCloud* db, const std::string& scene_name,
+               const std::string& video_name, int viewer_count, int seconds,
+               double encode_ms, double lag_budget_ms, PrefetchMode prefetch,
+               int nodes, size_t l1_bytes, size_t l2_bytes, int io_threads) {
+  SceneOptions scene_options;
+  scene_options.width = 256;
+  scene_options.height = 128;
+  auto scene = MakeScene(scene_name, scene_options);
+  if (!scene.ok()) Fail(scene.status(), "scene");
+
+  IngestOptions ingest;
+  ingest.tile_rows = 4;
+  ingest.tile_cols = 8;
+  ingest.frames_per_segment = 15;
+  ingest.fps = 15.0;
+
+  LiveFeedOptions feed_options;
+  feed_options.encode_seconds = encode_ms / 1000.0;
+  if (lag_budget_ms > 0) {
+    feed_options.max_lag_seconds = lag_budget_ms / 1000.0;
+    feed_options.degraded_encode_seconds = feed_options.encode_seconds / 4.0;
+  }
+  int frame_count = seconds * 15;
+  auto feed = LiveFeed::Create(db, video_name, **scene, frame_count, ingest,
+                               feed_options);
+  if (!feed.ok()) Fail(feed.status(), "live feed");
+  double duration = frame_count / ingest.fps;
+
+  // Viewers join throughout the first half of the broadcast (archetype
+  // round-robin) and stream from the live edge to the end.
+  const std::vector<std::string>& archetypes = ViewerArchetypes();
+  std::vector<ViewerRequest> viewers;
+  for (int i = 0; i < viewer_count; ++i) {
+    auto trace_options =
+        ArchetypeOptions(archetypes[i % archetypes.size()], /*seed=*/1 + i);
+    if (!trace_options.ok()) Fail(trace_options.status(), "archetype");
+    trace_options->duration_seconds = duration;
+    auto trace = SynthesizeTrace(*trace_options);
+    if (!trace.ok()) Fail(trace.status(), "trace");
+    ViewerRequest viewer;
+    viewer.trace = std::move(*trace);
+    viewer.session.network.bandwidth_bps = 50e6;
+    viewer.session.network.seed = 1000 + i;
+    viewer.session.viewport.fov_yaw = DegToRad(90);
+    viewer.session.viewport.fov_pitch = DegToRad(75);
+    viewer.arrival_seconds =
+        viewer_count > 1 ? duration * 0.5 * i / (viewer_count - 1) : 0.0;
+    viewers.push_back(std::move(viewer));
+  }
+
+  std::printf("live '%s': %ds broadcast, %d segments, encode %.0f ms%s, "
+              "%d viewers joining over %.1fs\n",
+              video_name.c_str(), seconds,
+              (*feed)->final_segment_count(), encode_ms,
+              lag_budget_ms > 0 ? " (degrading)" : "", viewer_count,
+              duration * 0.5);
+
+  ServerOptions server_options;
+  server_options.prefetch = prefetch;
+  if (nodes > 1) {
+    return CmdServeCluster(nullptr, feed->get(), viewers, server_options,
+                           nodes, l1_bytes, l2_bytes, io_threads, prefetch);
+  }
+
+  if (prefetch != PrefetchMode::kOff &&
+      db->storage()->io_pool() == nullptr) {
+    std::fprintf(stderr,
+                 "vcctl: --prefetch needs an I/O pool; add --io-threads N "
+                 "(continuing without speculation)\n");
+  }
+  StreamingServer server(db->storage(), server_options);
+  auto stats = server.RunLive(feed->get(), viewers);
+  if (!stats.ok()) Fail(stats.status(), "live run");
+  PrintServeSummary(*stats, prefetch);
+  std::printf("archived:     '%s' v%u now a regular catalog video\n",
+              video_name.c_str(), (*feed)->final_version());
   return 0;
 }
 
@@ -646,6 +748,14 @@ int main(int argc, char** argv) {
                        std::atof(arg(4, "0").c_str()),
                        std::atof(arg(5, "0").c_str()), prefetch, nodes,
                        l1_bytes, l2_bytes, io_threads);
+  }
+  if (command == "live-sim" && args.size() >= 3) {
+    return CmdLiveSim(db.get(), args[1], args[2],
+                      std::atoi(arg(3, "8").c_str()),
+                      std::atoi(arg(4, "10").c_str()),
+                      std::atof(arg(5, "200").c_str()),
+                      std::atof(arg(6, "0").c_str()), prefetch, nodes,
+                      l1_bytes, l2_bytes, io_threads);
   }
   if (command == "query" && args.size() >= 2) {
     return CmdQuery(db.get(), args[1], arg(2, "") == "explain");

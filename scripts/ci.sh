@@ -29,10 +29,11 @@ release() {
   cmake --build build-rel -j"$JOBS"
   # Optimizer-dependent bugs (UB, uninitialized reads) only surface at -O2.
   ctest --test-dir build-rel --output-on-failure -j"$JOBS" --timeout 120
-  # End-to-end bench smokes: server pipeline (single-node and the 4-node
-  # sharded-cluster variant with its scale-out determinism check) and query
-  # pruned-vs-naive byte-identity (also part of ctest, but run serially
-  # here for timing).
+  # End-to-end bench smokes: server pipeline (single-node, the 4-node
+  # sharded-cluster variant with its scale-out determinism check, and the
+  # E10 live ingest->serve leg with its live-vs-offline catalog byte-
+  # identity check) and query pruned-vs-naive byte-identity (also part of
+  # ctest, but run serially here for timing).
   ctest --test-dir build-rel --output-on-failure -L smoke --timeout 600
 }
 
@@ -74,15 +75,19 @@ simd() {
   ./build-scalar/tests/codec_test
   ./build-scalar/tests/codec_fuzz_test
 
-  # Leg 3: ASan + UBSan over the deterministic fuzz corpus (truncated and
-  # bit-flipped streams) and the kernel/bit-IO suites — out-of-bounds reads
-  # in the decoder or misaligned vector loads fail loudly here.
+  # Leg 3: ASan + UBSan over the deterministic fuzz corpora — the codec
+  # bitstream (truncated and bit-flipped streams), the VCMPD manifest
+  # parser (plan + live overlays), and the VCMF container box walker —
+  # plus the kernel/bit-IO suites. Out-of-bounds reads in any decoder or
+  # misaligned vector loads fail loudly here.
   cmake -B build-asan -S . -DVC_SANITIZE=address+undefined
   cmake --build build-asan -j"$JOBS" --target codec_fuzz_test codec_test \
-    common_test
+    common_test manifest_fuzz_test container_fuzz_test
   ./build-asan/tests/codec_fuzz_test
   ./build-asan/tests/codec_test
   ./build-asan/tests/common_test
+  ./build-asan/tests/manifest_fuzz_test
+  ./build-asan/tests/container_fuzz_test
 }
 
 case "${1:-all}" in

@@ -172,8 +172,16 @@ ClientSession::ClientSession(StorageManager* storage,
                       metadata_.segments.back().frame_count / fps_),
       feed_dt_(1.0 / options.feed_rate_hz),
       psnr_min_(kInfinitePsnr) {
+  if (options_.live != nullptr) {
+    // Join at the live edge: the newest published segment. Media time is
+    // viewer-local from here on — the trace's t=0 is the join point.
+    start_segment_ = std::max(0, metadata_.segment_count() - 1);
+    segment_ = start_segment_;
+    media_origin_ = metadata_.segments[start_segment_].start_frame / fps_;
+    media_duration_ -= media_origin_;
+  }
   stats_.approach = ApproachName(options_.approach);
-  stats_.segments = metadata_.segment_count();
+  stats_.segments = FinalSegmentCount() - start_segment_;
   stats_.duration_seconds = media_duration_;
 
   MetricRegistry& registry = MetricRegistry::Global();
@@ -193,19 +201,58 @@ ClientSession::ClientSession(StorageManager* storage,
 
 ClientSession::~ClientSession() = default;
 
+int ClientSession::FinalSegmentCount() const {
+  return options_.live != nullptr ? options_.live->final_segment_count()
+                                  : metadata_.segment_count();
+}
+
+void ClientSession::RefreshLiveMetadata() {
+  if (options_.live == nullptr) return;
+  if (segment_ < metadata_.segment_count()) return;
+  const VideoMetadata& snapshot = options_.live->snapshot();
+  if (snapshot.segment_count() <= metadata_.segment_count()) return;
+  metadata_ = snapshot;
+  media_duration_ = metadata_.segments.back().start_frame / fps_ +
+                    metadata_.segments.back().frame_count / fps_ -
+                    media_origin_;
+  stats_.duration_seconds = media_duration_;
+}
+
 double ClientSession::NextDeadline() const {
   // Pacing: the next segment's download is held until it is within the
   // client's buffer target of its playback deadline.
-  if (done_ || play_start_ < 0.0) return wall_;
-  const SegmentInfo& info = metadata_.segments[segment_];
-  double earliest = play_start_ + stall_total_ + info.start_frame / fps_ -
-                    options_.buffer_ahead_seconds;
-  return std::max(wall_, earliest);
+  if (done_) return wall_;
+  double deadline = wall_;
+  if (play_start_ >= 0.0) {
+    // The next segment's stream media start: from its SegmentInfo when
+    // known, else from the uniform layout (start_frame is always
+    // segment × frames_per_segment — only the final frame_count varies).
+    double media_start =
+        segment_ < metadata_.segment_count()
+            ? metadata_.segments[segment_].start_frame / fps_
+            : segment_ * segment_seconds_;
+    double earliest = play_start_ + stall_total_ +
+                      (media_start - media_origin_) -
+                      options_.buffer_ahead_seconds;
+    deadline = std::max(deadline, earliest);
+  }
+  // A live segment cannot be fetched before the ingest pipeline publishes
+  // it: blocking at the live edge is just a later deadline.
+  if (options_.live != nullptr && segment_ < FinalSegmentCount()) {
+    deadline = std::max(deadline, options_.live->PublishTimeOf(segment_));
+  }
+  return deadline;
 }
 
 PrefetchHint ClientSession::NextPrefetchHint() const {
   PrefetchHint hint;
   if (done_) return hint;
+  // At the live edge the next segment is not published yet: its cell files
+  // do not exist, so there is nothing to warm — and speculatively touching
+  // them would race the ingest pipeline. No hint until it lands.
+  if (options_.live != nullptr && segment_ >= metadata_.segment_count()) {
+    return hint;
+  }
 
   // Mirror Step()'s prediction inputs without mutating anything: the same
   // playback position, the same lookahead to the segment midpoint. The
@@ -213,7 +260,7 @@ PrefetchHint ClientSession::NextPrefetchHint() const {
   // runs the predictor will have seen more — that gap is exactly the
   // uncertainty real prefetching lives with.
   const SegmentInfo& info = metadata_.segments[segment_];
-  const double media_start = info.start_frame / fps_;
+  const double media_start = info.start_frame / fps_ - media_origin_;
   const double media_mid = media_start + info.frame_count / fps_ / 2.0;
   double media_now = 0.0;
   if (play_start_ >= 0.0) {
@@ -239,10 +286,15 @@ PrefetchHint ClientSession::NextPrefetchHint() const {
 Status ClientSession::Step(double now) {
   if (done_) return Status::Aborted("session already complete");
   if (now > wall_) wall_ = now;
+  RefreshLiveMetadata();
+  if (segment_ >= metadata_.segment_count()) {
+    return Status::Aborted("segment not published yet");
+  }
 
   const int segment = segment_;
   const SegmentInfo& info = metadata_.segments[segment];
-  const double media_start = info.start_frame / fps_;
+  // Viewer-local media time (origin 0 offline, the join point live).
+  const double media_start = info.start_frame / fps_ - media_origin_;
   const double media_mid = media_start + info.frame_count / fps_ / 2.0;
 
   // The viewer's current playback position: media advances in wall time
@@ -260,7 +312,9 @@ Status ClientSession::Step(double now) {
     Orientation seen = trace_.At(t);
     predictor_->Observe(t, seen);
     if (options_.popularity_sink != nullptr) {
-      options_.popularity_sink->Observe(t, seen);
+      // The shared model is indexed by stream media time, so mid-join
+      // viewers teach (and learn) about the segments they actually watch.
+      options_.popularity_sink->Observe(t + media_origin_, seen);
     }
     last_fed_ = t;
   }
@@ -345,7 +399,7 @@ Status ClientSession::Step(double now) {
   }
   wall_ = transfer.completion_time;
 
-  if (segment == 0) {
+  if (segment == start_segment_) {
     play_start_ = wall_;
     stats_.startup_delay = wall_;
   } else {
@@ -404,7 +458,7 @@ Status ClientSession::Step(double now) {
                                options_.eval_frames_per_segment);
     for (int k = step / 2; k < static_cast<int>(info.frame_count); k += step) {
       int frame_index = static_cast<int>(info.start_frame) + k;
-      double media_t = frame_index / fps_;
+      double media_t = frame_index / fps_ - media_origin_;
       Orientation actual = trace_.At(media_t);
       Frame original = reference_->FrameAt(frame_index);
       double psnr;
@@ -417,7 +471,7 @@ Status ClientSession::Step(double now) {
   }
 
   ++segment_;
-  if (segment_ == metadata_.segment_count()) Finalize();
+  if (segment_ == FinalSegmentCount()) Finalize();
   return Status::OK();
 }
 

@@ -41,6 +41,32 @@ enum class StreamingApproach {
 /// Stable display name ("monolithic", "uniform_dash", ...).
 std::string ApproachName(StreamingApproach approach);
 
+/// \brief What a session can know about a still-growing (live) stream.
+///
+/// Implemented by the server-side live feed (see server/live_feed.h). All
+/// times are on the same simulated wall clock the session and server use.
+/// The publish schedule is deterministic — PublishTimeOf is defined for
+/// every segment the stream will ever have, published or not — so session
+/// deadlines stay a pure function of the run's inputs.
+class LiveAvailability {
+ public:
+  virtual ~LiveAvailability() = default;
+
+  /// Segments published (fetchable) so far.
+  virtual int published_segments() const = 0;
+
+  /// Wall-clock time at which `segment` was (or will be) published.
+  virtual double PublishTimeOf(int segment) const = 0;
+
+  /// Total segments the stream will have once complete.
+  virtual int final_segment_count() const = 0;
+
+  /// Metadata of the newest published checkpoint: it only ever grows
+  /// (segments/cells append; layout fields never change). Sessions refresh
+  /// their own copy from this when they exhaust it at the live edge.
+  virtual const VideoMetadata& snapshot() const = 0;
+};
+
 /// Configuration of one simulated client session.
 struct SessionOptions {
   StreamingApproach approach = StreamingApproach::kVisualCloud;
@@ -87,6 +113,15 @@ struct SessionOptions {
   /// from `popularity` (the read side) — a server typically points both at
   /// the same shared model.
   PopularityModel* popularity_sink = nullptr;
+
+  /// Optional live-stream availability (not owned; must outlive the
+  /// session). When set the session joins at the live edge: playback
+  /// starts at the newest published segment, NextDeadline() never precedes
+  /// a segment's publish time (waiting at the edge surfaces as ordinary
+  /// pacing, and a late publish as a stall), the session refreshes its
+  /// metadata from `live->snapshot()` as the catalog grows, and it runs
+  /// until the feed's final segment.
+  const LiveAvailability* live = nullptr;
 
   Status Validate() const;
 };
@@ -143,6 +178,9 @@ class ClientSession {
   /// Index of the segment the next Step() will stream.
   int next_segment() const { return segment_; }
   int segment_count() const { return metadata_.segment_count(); }
+  /// The segment playback started at: 0 offline, the live-edge join point
+  /// for a session created against a LiveAvailability.
+  int start_segment() const { return start_segment_; }
   const SessionOptions& options() const { return options_; }
   const VideoMetadata& metadata() const { return metadata_; }
 
@@ -151,6 +189,14 @@ class ClientSession {
                 const HeadTrace& trace, const SessionOptions& options,
                 const SceneGenerator* reference, NetworkSimulator network,
                 std::unique_ptr<Predictor> predictor);
+
+  /// Pulls newly published segments from the live snapshot when the
+  /// session has streamed everything it knows about. No-op offline.
+  void RefreshLiveMetadata();
+
+  /// Total segments this session will stream through (the feed's final
+  /// count when live; the static count otherwise).
+  int FinalSegmentCount() const;
 
   void Finalize();
 
@@ -170,6 +216,13 @@ class ClientSession {
 
   SessionStats stats_;
   int segment_ = 0;
+  /// Live-edge join point; 0 offline. Media time is viewer-local: t=0 is
+  /// this segment's start, so traces and predictors are join-relative.
+  int start_segment_ = 0;
+  /// Media seconds between stream start and the viewer's join point —
+  /// what converts viewer-local media time back to stream media time
+  /// (popularity observations, publish comparisons). 0 offline.
+  double media_origin_ = 0.0;
   bool done_ = false;
   double wall_ = 0.0;
   double play_start_ = -1.0;

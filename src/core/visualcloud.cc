@@ -35,6 +35,20 @@ Status IngestOptions::Validate() const {
   return Status::OK();
 }
 
+EncoderOptions IngestOptions::MakeEncoderOptions(int width, int height,
+                                                 int quality) const {
+  EncoderOptions encoder;
+  encoder.width = width;
+  encoder.height = height;
+  encoder.fps = fps;
+  encoder.gop_length = frames_per_segment;
+  encoder.qp = ladder[quality].qp;
+  encoder.motion_range = motion_range;
+  encoder.motion_constrained_tiles = motion_constrained_tiles;
+  encoder.entropy_profile = entropy_profile;
+  return encoder;
+}
+
 VisualCloud::VisualCloud(std::unique_ptr<StorageManager> storage,
                          int encode_threads)
     : storage_(std::move(storage)),
@@ -137,16 +151,8 @@ Result<std::vector<std::vector<uint8_t>>> VisualCloud::EncodeSegment(
     ScopedTimer timer(cell_seconds);
     size_t index = static_cast<size_t>(tile) * qualities + quality;
     const std::vector<Frame>& frames = *tile_frames[tile];
-    EncoderOptions encoder_options;
-    encoder_options.width = frames[0].width();
-    encoder_options.height = frames[0].height();
-    encoder_options.fps = options.fps;
-    encoder_options.gop_length = options.frames_per_segment;
-    encoder_options.qp = options.ladder[quality].qp;
-    encoder_options.motion_range = options.motion_range;
-    encoder_options.motion_constrained_tiles =
-        options.motion_constrained_tiles;
-    encoder_options.entropy_profile = options.entropy_profile;
+    EncoderOptions encoder_options = options.MakeEncoderOptions(
+        frames[0].width(), frames[0].height(), quality);
     encoder_options.capture_hints = capture;
     encoder_options.reuse_hints = reuse;
     auto video = EncodeVideo(frames, encoder_options);
@@ -208,23 +214,11 @@ Result<uint32_t> VisualCloud::Ingest(const std::string& name,
   const int height = frames[0].height();
   VC_RETURN_IF_ERROR(CheckIngestFrames(frames, width, height));
 
-  std::unique_ptr<StorageManager::VideoWriter> writer;
-  VC_ASSIGN_OR_RETURN(
-      writer, storage_->NewVideoWriter(
-                  MakeLayoutMetadata(name, width, height, options)));
-
-  for (size_t start = 0; start < frames.size();
-       start += options.frames_per_segment) {
-    size_t end =
-        std::min(frames.size(),
-                 start + static_cast<size_t>(options.frames_per_segment));
-    std::vector<Frame> segment(frames.begin() + start, frames.begin() + end);
-    std::vector<std::vector<uint8_t>> cells;
-    VC_ASSIGN_OR_RETURN(cells, EncodeSegment(segment, options, width, height));
-    VC_RETURN_IF_ERROR(
-        writer->AddSegment(static_cast<uint32_t>(segment.size()), cells));
-  }
-  return writer->Commit();
+  std::unique_ptr<LiveIngestSession> session;
+  VC_ASSIGN_OR_RETURN(session,
+                      StartLiveIngest(name, width, height, options));
+  VC_RETURN_IF_ERROR(session->AppendFrames(frames));
+  return session->Close();
 }
 
 Result<uint32_t> VisualCloud::IngestScene(const std::string& name,
@@ -241,88 +235,118 @@ Result<uint32_t> VisualCloud::IngestScene(const std::string& name,
     return Status::InvalidArgument("scene dimensions must be multiples of 16");
   }
 
-  std::unique_ptr<StorageManager::VideoWriter> writer;
-  VC_ASSIGN_OR_RETURN(
-      writer, storage_->NewVideoWriter(
-                  MakeLayoutMetadata(name, width, height, options)));
-
+  std::unique_ptr<LiveIngestSession> session;
+  VC_ASSIGN_OR_RETURN(session,
+                      StartLiveIngest(name, width, height, options));
+  // Generate one segment's worth at a time — the whole video never exists
+  // in memory; each AppendFrames lands exactly on a segment boundary.
   for (int start = 0; start < frame_count;
        start += options.frames_per_segment) {
     int end = std::min(frame_count, start + options.frames_per_segment);
     std::vector<Frame> segment;
     segment.reserve(end - start);
     for (int i = start; i < end; ++i) segment.push_back(scene.FrameAt(i));
-    std::vector<std::vector<uint8_t>> cells;
-    VC_ASSIGN_OR_RETURN(cells, EncodeSegment(segment, options, width, height));
-    VC_RETURN_IF_ERROR(
-        writer->AddSegment(static_cast<uint32_t>(segment.size()), cells));
+    VC_RETURN_IF_ERROR(session->AppendFrames(segment));
   }
-  return writer->Commit();
+  return session->Close();
 }
 
-Result<std::unique_ptr<LiveIngest>> VisualCloud::StartLiveIngest(
+Result<std::unique_ptr<LiveIngestSession>> VisualCloud::StartLiveIngest(
     const std::string& name, int width, int height,
-    const IngestOptions& options) {
-  VC_RETURN_IF_ERROR(options.Validate());
+    const LiveIngestOptions& options) {
+  VC_RETURN_IF_ERROR(options.ingest.Validate());
   if (width <= 0 || height <= 0 || width % 16 != 0 || height % 16 != 0) {
     return Status::InvalidArgument("live frame size must be multiples of 16");
   }
   std::unique_ptr<StorageManager::VideoWriter> writer;
-  VC_ASSIGN_OR_RETURN(writer,
-                      storage_->NewVideoWriter(
-                          MakeLayoutMetadata(name, width, height, options)));
-  return std::unique_ptr<LiveIngest>(
-      new LiveIngest(this, std::move(writer), options, width, height));
+  VC_ASSIGN_OR_RETURN(
+      writer, storage_->NewVideoWriter(
+                  MakeLayoutMetadata(name, width, height, options.ingest)));
+  return std::unique_ptr<LiveIngestSession>(
+      new LiveIngestSession(this, std::move(writer), options, width, height));
 }
 
-LiveIngest::LiveIngest(VisualCloud* db,
-                       std::unique_ptr<StorageManager::VideoWriter> writer,
-                       IngestOptions options, int width, int height)
+Result<std::unique_ptr<LiveIngestSession>> VisualCloud::StartLiveIngest(
+    const std::string& name, int width, int height,
+    const IngestOptions& options) {
+  LiveIngestOptions live;
+  live.ingest = options;
+  return StartLiveIngest(name, width, height, live);
+}
+
+LiveIngestSession::LiveIngestSession(
+    VisualCloud* db, std::unique_ptr<StorageManager::VideoWriter> writer,
+    LiveIngestOptions options, int width, int height)
     : db_(db),
       writer_(std::move(writer)),
       options_(std::move(options)),
       width_(width),
       height_(height) {}
 
-int LiveIngest::segments_written() const {
+int LiveIngestSession::segments_written() const {
   return writer_->metadata().segment_count();
 }
 
-Status LiveIngest::FlushSegment() {
+const VideoMetadata& LiveIngestSession::metadata() const {
+  return writer_->metadata();
+}
+
+Status LiveIngestSession::FlushSegment() {
   if (pending_.empty()) return Status::OK();
   std::vector<std::vector<uint8_t>> cells;
   VC_ASSIGN_OR_RETURN(
-      cells, db_->EncodeSegment(pending_, options_, width_, height_));
+      cells, db_->EncodeSegment(pending_, options_.ingest, width_, height_));
   VC_RETURN_IF_ERROR(
       writer_->AddSegment(static_cast<uint32_t>(pending_.size()), cells));
   pending_.clear();
+  if (options_.publish_segments) {
+    uint32_t version;
+    VC_ASSIGN_OR_RETURN(version, writer_->CommitCheckpoint());
+    last_published_ = version;
+  }
   return Status::OK();
 }
 
-Status LiveIngest::PushFrame(const Frame& frame) {
-  if (finished_) return Status::Aborted("live ingest already finished");
+Status LiveIngestSession::AppendFrame(const Frame& frame) {
+  if (closed_) return Status::Aborted("live ingest already finished");
   if (frame.width() != width_ || frame.height() != height_) {
     return Status::InvalidArgument("live frame size mismatch");
   }
   pending_.push_back(frame);
-  if (static_cast<int>(pending_.size()) >= options_.frames_per_segment) {
+  if (static_cast<int>(pending_.size()) >=
+      options_.ingest.frames_per_segment) {
     return FlushSegment();
   }
   return Status::OK();
 }
 
-Result<uint32_t> LiveIngest::Checkpoint() {
-  if (finished_) return Status::Aborted("live ingest already finished");
+Status LiveIngestSession::AppendFrames(const std::vector<Frame>& frames) {
+  for (const Frame& frame : frames) {
+    VC_RETURN_IF_ERROR(AppendFrame(frame));
+  }
+  return Status::OK();
+}
+
+Status LiveIngestSession::FinishSegment() {
+  if (closed_) return Status::Aborted("live ingest already finished");
+  return FlushSegment();
+}
+
+Result<uint32_t> LiveIngestSession::Checkpoint() {
+  if (closed_) return Status::Aborted("live ingest already finished");
   if (writer_->metadata().segment_count() == 0) {
     return Status::InvalidArgument("no full segment captured yet");
   }
-  return writer_->CommitCheckpoint();
+  uint32_t version;
+  VC_ASSIGN_OR_RETURN(version, writer_->CommitCheckpoint());
+  last_published_ = version;
+  return version;
 }
 
-Result<uint32_t> LiveIngest::Finish() {
-  if (finished_) return Status::Aborted("live ingest already finished");
+Result<uint32_t> LiveIngestSession::Close() {
+  if (closed_) return Status::Aborted("live ingest already finished");
   VC_RETURN_IF_ERROR(FlushSegment());
-  finished_ = true;
+  closed_ = true;
   return writer_->Commit();
 }
 

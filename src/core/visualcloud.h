@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "codec/bitstream.h"
+#include "codec/encoder.h"
 #include "codec/quality.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -49,47 +50,85 @@ struct IngestOptions {
   EntropyProfile entropy_profile = EntropyProfile::kExpGolomb;
 
   Status Validate() const;
+
+  /// The codec-level options one ladder rung of one cell encodes with —
+  /// the single source of truth for the IngestOptions → EncoderOptions
+  /// mapping (hint capture/reuse wiring stays with the caller).
+  EncoderOptions MakeEncoderOptions(int width, int height, int quality) const;
+};
+
+/// Configuration of a live ingest session beyond the layout itself.
+struct LiveIngestOptions {
+  IngestOptions ingest;
+  /// Publish every completed segment immediately as a streaming checkpoint
+  /// version (CommitCheckpoint): the append-only catalog grows while
+  /// capture continues and viewers can join at the live edge. When false —
+  /// the default, and what the offline `Ingest*` wrappers use — nothing is
+  /// visible to readers until an explicit Checkpoint() or Close().
+  bool publish_segments = false;
 };
 
 class VisualCloud;
 
-/// \brief A live (streaming) ingest session.
+/// \brief A live (streaming) ingest session — the primitive every ingest
+/// path is built on.
 ///
-/// Push frames as a camera rig produces them; every full segment is encoded
-/// and written immediately, and `Checkpoint()` publishes everything captured
-/// so far as a committed version — viewers stream the latest checkpoint
-/// while capture continues. Checkpoints share cell files (no copying).
-class LiveIngest {
+/// Append frames as a camera rig produces them; every time a segment's
+/// worth has accumulated it is encoded (full quality ladder, multi-rate
+/// hint reuse) and written. With `publish_segments` set each finished
+/// segment is also committed as a streaming checkpoint version, so the
+/// catalog grows append-only under live viewers; otherwise `Checkpoint()`
+/// publishes on demand. `Close()` encodes any buffered partial segment and
+/// commits the final archived version. The offline `VisualCloud::Ingest*`
+/// entry points are thin byte-identical wrappers over this class.
+class LiveIngestSession {
  public:
-  /// Buffers one frame; encodes and persists when a segment fills.
-  Status PushFrame(const Frame& frame);
+  /// Buffers one frame; encodes (and, with publish_segments, publishes)
+  /// when a segment fills.
+  Status AppendFrame(const Frame& frame);
 
-  /// Publishes the segments captured so far; returns the version.
-  /// At least one full segment must exist.
+  /// Appends frames in order; equivalent to AppendFrame per frame.
+  Status AppendFrames(const std::vector<Frame>& frames);
+
+  /// Encodes and writes the buffered partial segment immediately instead
+  /// of waiting for it to fill (e.g. an ad-break splice point). No-op when
+  /// nothing is buffered.
+  Status FinishSegment();
+
+  /// Publishes the segments captured so far as a streaming checkpoint
+  /// version; returns the version. At least one full segment must exist.
+  /// (With publish_segments set this happens automatically per segment.)
   Result<uint32_t> Checkpoint();
 
-  /// Encodes any buffered partial segment and commits the final version.
-  /// The session must not be used afterwards.
-  Result<uint32_t> Finish();
+  /// Encodes any buffered partial segment and commits the final archived
+  /// version; returns it. The session must not be used afterwards.
+  Result<uint32_t> Close();
 
   /// Segments fully encoded and written so far.
   int segments_written() const;
 
+  /// The metadata accumulated so far (pre-commit: version already set).
+  const VideoMetadata& metadata() const;
+
+  /// Version of the most recent checkpoint publish; 0 before any.
+  uint32_t last_published_version() const { return last_published_; }
+
  private:
   friend class VisualCloud;
-  LiveIngest(VisualCloud* db,
-             std::unique_ptr<StorageManager::VideoWriter> writer,
-             IngestOptions options, int width, int height);
+  LiveIngestSession(VisualCloud* db,
+                    std::unique_ptr<StorageManager::VideoWriter> writer,
+                    LiveIngestOptions options, int width, int height);
 
   Status FlushSegment();
 
   VisualCloud* db_;
   std::unique_ptr<StorageManager::VideoWriter> writer_;
-  const IngestOptions options_;
+  const LiveIngestOptions options_;
   const int width_;
   const int height_;
   std::vector<Frame> pending_;
-  bool finished_ = false;
+  uint32_t last_published_ = 0;
+  bool closed_ = false;
 };
 
 /// \brief The VisualCloud server facade: a DBMS for VR video.
@@ -104,20 +143,26 @@ class VisualCloud {
   static Result<std::unique_ptr<VisualCloud>> Open(
       const VisualCloudOptions& options);
 
-  /// Ingests `frames` as a new version of video `name`. Returns the version.
+  /// Ingests `frames` as a new version of video `name`. Returns the
+  /// version. Thin wrapper over LiveIngestSession (append everything,
+  /// Close) — byte-identical output, same segment chunking.
   Result<uint32_t> Ingest(const std::string& name,
                           const std::vector<Frame>& frames,
                           const IngestOptions& options);
 
   /// Ingests frames produced by `scene` without materializing the whole
-  /// video: frames are generated and encoded one segment at a time — the
-  /// live-ingest path.
+  /// video: frames are generated and appended one segment at a time.
   Result<uint32_t> IngestScene(const std::string& name,
                                const SceneGenerator& scene, int frame_count,
                                const IngestOptions& options);
 
-  /// Starts a live ingest session for `name` (see LiveIngest).
-  Result<std::unique_ptr<LiveIngest>> StartLiveIngest(
+  /// Starts a live ingest session for `name` (see LiveIngestSession).
+  Result<std::unique_ptr<LiveIngestSession>> StartLiveIngest(
+      const std::string& name, int width, int height,
+      const LiveIngestOptions& options);
+
+  /// Convenience overload: plain layout options, explicit-checkpoint mode.
+  Result<std::unique_ptr<LiveIngestSession>> StartLiveIngest(
       const std::string& name, int width, int height,
       const IngestOptions& options);
 
@@ -138,7 +183,7 @@ class VisualCloud {
   StorageManager* storage() { return storage_.get(); }
 
  private:
-  friend class LiveIngest;
+  friend class LiveIngestSession;
   VisualCloud(std::unique_ptr<StorageManager> storage, int encode_threads);
 
   /// Encodes one segment's worth of tile frames into cell payloads

@@ -23,12 +23,15 @@ Status ClusterOptions::Validate() const {
 
 namespace {
 
-enum class EventKind { kArrival, kStep };
+enum class EventKind { kPublish, kArrival, kStep };
 
 /// One scheduler entry. `seq` (assigned in push order, cluster-wide) breaks
 /// time ties exactly as in the single-node server; `node` completes the
 /// tiebreak so the order is total even for events sharing a seq source.
 /// Arrivals carry node -1 — their node is decided by placement at pop time.
+/// Publish events (live runs) also carry node -1 and reuse `viewer` for the
+/// segment index; they are pushed before any arrival, so their seqs win
+/// every time tie — the catalog grows before viewers act.
 struct Event {
   double time;
   uint64_t seq;
@@ -66,10 +69,6 @@ Result<ClusterStats> ClusterServer::Run(
     const std::vector<VideoMetadata>& videos,
     const std::vector<ViewerRequest>& viewers,
     const SceneGenerator* reference) {
-  VC_RETURN_IF_ERROR(options_.Validate());
-  if (store_ == nullptr) {
-    return Status::InvalidArgument("cluster requires a sharded store");
-  }
   if (videos.empty()) {
     return Status::InvalidArgument("cluster requires at least one video");
   }
@@ -78,11 +77,41 @@ Result<ClusterStats> ClusterServer::Run(
       return Status::InvalidArgument("video has no segments");
     }
   }
+  return RunInternal(&videos, nullptr, viewers, reference);
+}
+
+Result<ClusterStats> ClusterServer::RunLive(
+    LiveFeed* feed, const std::vector<ViewerRequest>& viewers,
+    const SceneGenerator* reference) {
+  if (feed == nullptr) {
+    return Status::InvalidArgument("RunLive requires a live feed");
+  }
+  if (feed->published_segments() != 0) {
+    return Status::InvalidArgument("live feed already partially published");
+  }
+  return RunInternal(nullptr, feed, viewers, reference);
+}
+
+Result<ClusterStats> ClusterServer::RunInternal(
+    const std::vector<VideoMetadata>* static_videos, LiveFeed* live,
+    const std::vector<ViewerRequest>& viewers,
+    const SceneGenerator* reference) {
+  VC_RETURN_IF_ERROR(options_.Validate());
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("cluster requires a sharded store");
+  }
+  // A live run serves a one-video catalog whose metadata is the feed's
+  // growing snapshot; `video_of` reads the newest published state.
+  const size_t video_count = live != nullptr ? 1 : static_videos->size();
+  auto video_of = [&](int video) -> const VideoMetadata& {
+    return live != nullptr ? live->snapshot() : (*static_videos)[video];
+  };
   for (const ViewerRequest& viewer : viewers) {
     if (viewer.arrival_seconds < 0) {
       return Status::InvalidArgument("viewer arrival_seconds must be >= 0");
     }
-    if (viewer.video < 0 || viewer.video >= static_cast<int>(videos.size())) {
+    if (viewer.video < 0 ||
+        viewer.video >= static_cast<int>(video_count)) {
       return Status::InvalidArgument("viewer video index out of range");
     }
   }
@@ -101,17 +130,19 @@ Result<ClusterStats> ClusterServer::Run(
   // placed. The event loop is single-threaded, and the model feed order is
   // fixed by the (time, seq) event order — placement never perturbs it.
   std::vector<std::unique_ptr<PopularityModel>> popularity;
-  popularity.reserve(videos.size());
-  for (const VideoMetadata& video : videos) {
+  popularity.reserve(video_count);
+  for (size_t v = 0; v < video_count; ++v) {
+    const VideoMetadata& video = video_of(static_cast<int>(v));
     popularity.push_back(std::make_unique<PopularityModel>(
         video.tile_grid(), video.segment_duration_seconds(),
-        video.segment_count()));
+        live != nullptr ? live->final_segment_count()
+                        : video.segment_count()));
   }
 
   std::vector<NodeState> nodes(options_.nodes);
   for (int n = 0; n < options_.nodes; ++n) {
     nodes[n].view = store_->CreateNode(options_.l1_capacity_bytes);
-    nodes[n].video_active.assign(videos.size(), 0);
+    nodes[n].video_active.assign(video_count, 0);
     nodes[n].stats.node_id = n;
     if (options_.node.prefetch != PrefetchMode::kOff &&
         nodes[n].view->io_pool() != nullptr) {
@@ -130,9 +161,17 @@ Result<ClusterStats> ClusterServer::Run(
   uint64_t seq = 0;
   int total_active = 0;
 
+  if (live != nullptr) {
+    for (int s = 0; s < live->final_segment_count(); ++s) {
+      events.push(
+          Event{live->PublishTimeOf(s), seq++, -1, EventKind::kPublish, s});
+    }
+  }
   for (size_t i = 0; i < viewers.size(); ++i) {
-    events.push(Event{viewers[i].arrival_seconds, seq++, -1,
-                      EventKind::kArrival, static_cast<int>(i)});
+    double at = viewers[i].arrival_seconds;
+    if (live != nullptr) at = std::max(at, live->PublishTimeOf(0));
+    events.push(Event{at, seq++, -1, EventKind::kArrival,
+                      static_cast<int>(i)});
   }
 
   // Popularity-locality placement with a balance guard. Among nodes that
@@ -183,6 +222,7 @@ Result<ClusterStats> ClusterServer::Run(
     SessionOptions session_options = viewers[viewer].session;
     session_options.fetch_cells = options_.node.fetch_cells;
     session_options.cell_source = node.view.get();
+    session_options.live = live;
     if (options_.node.shared_popularity) {
       session_options.popularity = popularity[video].get();
       session_options.popularity_sink = popularity[video].get();
@@ -192,7 +232,7 @@ Result<ClusterStats> ClusterServer::Run(
     std::unique_ptr<ClientSession> session;
     VC_ASSIGN_OR_RETURN(
         session,
-        ClientSession::Create(store_->shard(0), videos[video],
+        ClientSession::Create(store_->shard(0), video_of(video),
                               viewers[viewer].trace, session_options,
                               reference));
     sessions[viewer] = std::move(session);
@@ -210,7 +250,7 @@ Result<ClusterStats> ClusterServer::Run(
     events.push(Event{deadline, seq++, node_id, EventKind::kStep, viewer});
     if (node.prefetcher != nullptr) {
       node.prefetcher->EnqueueSegment(
-          videos[video], sessions[viewer]->NextPrefetchHint(),
+          video_of(video), sessions[viewer]->NextPrefetchHint(),
           options_.node.shared_popularity ? popularity[video].get() : nullptr,
           deadline);
     }
@@ -227,6 +267,11 @@ Result<ClusterStats> ClusterServer::Run(
 
     if (event.node >= 0 && nodes[event.node].prefetcher != nullptr) {
       nodes[event.node].prefetcher->Pump(event.time);
+    }
+
+    if (event.kind == EventKind::kPublish) {
+      VC_RETURN_IF_ERROR(live->Publish(event.viewer));
+      continue;
     }
 
     if (event.kind == EventKind::kArrival) {
@@ -264,7 +309,7 @@ Result<ClusterStats> ClusterServer::Run(
       if (node.prefetcher != nullptr) {
         int video = viewers[event.viewer].video;
         node.prefetcher->EnqueueSegment(
-            videos[video], session->NextPrefetchHint(),
+            video_of(video), session->NextPrefetchHint(),
             options_.node.shared_popularity ? popularity[video].get()
                                             : nullptr,
             deadline);
@@ -305,6 +350,8 @@ Result<ClusterStats> ClusterServer::Run(
     totals.segments_skipped += session.segments_skipped;
     nodes[placed_on[i]].stats.bytes_sent += session.bytes_sent;
   }
+
+  if (live != nullptr) totals.live = live->stats();
 
   // Settle speculation, then read each node's L1 (created fresh for this
   // run, so its counters are the run's deltas) and publish per-node gauges.

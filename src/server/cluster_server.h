@@ -97,9 +97,25 @@ class ClusterServer {
                            const std::vector<ViewerRequest>& viewers,
                            const SceneGenerator* reference = nullptr);
 
+  /// Streams a still-growing feed (single-video catalog) exactly as
+  /// StreamingServer::RunLive does: publish events carry the lowest seqs
+  /// (cluster-wide), so the event order — and the simulated outcome — is
+  /// identical to the single-node live run and across node counts. The
+  /// feed must ingest into the same store root the cluster's backends
+  /// share — published cells are then readable by every node through its
+  /// L1/L2 tiers, exactly as for static videos.
+  Result<ClusterStats> RunLive(LiveFeed* feed,
+                               const std::vector<ViewerRequest>& viewers,
+                               const SceneGenerator* reference = nullptr);
+
   const ClusterOptions& options() const { return options_; }
 
  private:
+  Result<ClusterStats> RunInternal(const std::vector<VideoMetadata>* videos,
+                                   LiveFeed* live,
+                                   const std::vector<ViewerRequest>& viewers,
+                                   const SceneGenerator* reference);
+
   ShardedStore* store_;
   ClusterOptions options_;
 };

@@ -31,10 +31,11 @@ Status ServerOptions::Validate() const {
 
 namespace {
 
-enum class EventKind { kArrival, kStep };
+enum class EventKind { kPublish, kArrival, kStep };
 
 /// One scheduler entry. `seq` (assigned in push order) breaks time ties, so
-/// the event order — and therefore the whole run — is deterministic.
+/// the event order — and therefore the whole run — is deterministic. For
+/// kPublish events, `viewer` carries the segment index instead.
 struct Event {
   double time;
   uint64_t seq;
@@ -58,13 +59,37 @@ StreamingServer::StreamingServer(StorageManager* storage,
 Result<ServerStats> StreamingServer::Run(
     const VideoMetadata& metadata, const std::vector<ViewerRequest>& viewers,
     const SceneGenerator* reference) {
+  if (metadata.segment_count() == 0) {
+    return Status::InvalidArgument("video has no segments");
+  }
+  return RunInternal(&metadata, nullptr, viewers, reference);
+}
+
+Result<ServerStats> StreamingServer::RunLive(
+    LiveFeed* feed, const std::vector<ViewerRequest>& viewers,
+    const SceneGenerator* reference) {
+  if (feed == nullptr) {
+    return Status::InvalidArgument("RunLive requires a live feed");
+  }
+  if (feed->published_segments() != 0) {
+    return Status::InvalidArgument("live feed already partially published");
+  }
+  return RunInternal(nullptr, feed, viewers, reference);
+}
+
+Result<ServerStats> StreamingServer::RunInternal(
+    const VideoMetadata* static_metadata, LiveFeed* live,
+    const std::vector<ViewerRequest>& viewers,
+    const SceneGenerator* reference) {
   VC_RETURN_IF_ERROR(options_.Validate());
   if (storage_ == nullptr) {
     return Status::InvalidArgument("server requires a storage manager");
   }
-  if (metadata.segment_count() == 0) {
-    return Status::InvalidArgument("video has no segments");
-  }
+  // Under a live feed the catalog grows during the run: `metadata` is a
+  // reference to the feed's stable-address snapshot, so every use below
+  // reads the newest published state.
+  const VideoMetadata& metadata =
+      live != nullptr ? live->snapshot() : *static_metadata;
   for (const ViewerRequest& viewer : viewers) {
     if (viewer.arrival_seconds < 0) {
       return Status::InvalidArgument("viewer arrival_seconds must be >= 0");
@@ -103,7 +128,8 @@ Result<ServerStats> StreamingServer::Run(
   // locking and no ordering ambiguity.
   PopularityModel popularity(metadata.tile_grid(),
                              metadata.segment_duration_seconds(),
-                             metadata.segment_count());
+                             live != nullptr ? live->final_segment_count()
+                                             : metadata.segment_count());
 
   ServerStats stats;
   std::vector<std::unique_ptr<ClientSession>> sessions(viewers.size());
@@ -113,14 +139,27 @@ Result<ServerStats> StreamingServer::Run(
   int active = 0;
   double admitted_bps = 0.0;
 
+  // Publish events first: their seqs are the lowest, so at equal times the
+  // catalog grows before any viewer arrives or steps — a session blocked
+  // at the live edge finds the segment it was waiting for. Arrivals before
+  // the first publish are clamped to it (nothing exists to join earlier),
+  // mirroring a player that holds its join until the stream goes up.
+  if (live != nullptr) {
+    for (int s = 0; s < live->final_segment_count(); ++s) {
+      events.push(
+          Event{live->PublishTimeOf(s), seq++, EventKind::kPublish, s});
+    }
+  }
   for (size_t i = 0; i < viewers.size(); ++i) {
-    events.push(Event{viewers[i].arrival_seconds, seq++, EventKind::kArrival,
-                      static_cast<int>(i)});
+    double at = viewers[i].arrival_seconds;
+    if (live != nullptr) at = std::max(at, live->PublishTimeOf(0));
+    events.push(Event{at, seq++, EventKind::kArrival, static_cast<int>(i)});
   }
 
   auto admit = [&](int viewer, double now) -> Status {
     SessionOptions session_options = viewers[viewer].session;
     session_options.fetch_cells = options_.fetch_cells;
+    session_options.live = live;
     if (options_.shared_popularity) {
       session_options.popularity = &popularity;
       session_options.popularity_sink = &popularity;
@@ -156,6 +195,11 @@ Result<ServerStats> StreamingServer::Run(
     // loads, cancel requests whose demand moment has arrived, dispatch the
     // best of what remains.
     if (prefetcher != nullptr) prefetcher->Pump(event.time);
+
+    if (event.kind == EventKind::kPublish) {
+      VC_RETURN_IF_ERROR(live->Publish(event.viewer));
+      continue;
+    }
 
     if (event.kind == EventKind::kArrival) {
       ++stats.sessions_offered;
@@ -231,6 +275,8 @@ Result<ServerStats> StreamingServer::Run(
     stats.transfer_retries += session.transfer_retries;
     stats.segments_skipped += session.segments_skipped;
   }
+
+  if (live != nullptr) stats.live = live->stats();
 
   // Settle speculation before reading the cache counters, so every
   // prefetched value has been classified as hit or wasted-so-far.

@@ -6,6 +6,7 @@
 
 #include "core/session.h"
 #include "predict/popularity.h"
+#include "server/live_feed.h"
 #include "storage/cache.h"
 #include "storage/prefetcher.h"
 #include "storage/storage_manager.h"
@@ -89,6 +90,10 @@ struct ServerStats {
   /// Prefetch request-queue accounting (zero when prefetch is off).
   PrefetcherStats prefetch;
 
+  /// Ingest-side accounting of the feed a RunLive() run served (all zero
+  /// for an ordinary video-on-demand run).
+  LiveFeedStats live;
+
   /// Per-admitted-session stats, in viewer order (rejected viewers have
   /// no entry; see `admitted` for the mapping).
   std::vector<SessionStats> sessions;
@@ -128,9 +133,26 @@ class StreamingServer {
                           const std::vector<ViewerRequest>& viewers,
                           const SceneGenerator* reference = nullptr);
 
+  /// Streams a still-growing feed: the scheduler drives `feed`'s publish
+  /// schedule and the viewers together, so sessions join at the live edge,
+  /// discover segments as they are published, and wait (as ordinary
+  /// pacing) for segments that do not exist yet. Publish events are pushed
+  /// before any arrival, so at equal times the catalog grows first —
+  /// making the run a pure function of the feed and cohort, byte-identical
+  /// across host timing and prefetch settings. `feed` must be freshly
+  /// created (nothing published).
+  Result<ServerStats> RunLive(LiveFeed* feed,
+                              const std::vector<ViewerRequest>& viewers,
+                              const SceneGenerator* reference = nullptr);
+
   const ServerOptions& options() const { return options_; }
 
  private:
+  Result<ServerStats> RunInternal(const VideoMetadata* static_metadata,
+                                  LiveFeed* live,
+                                  const std::vector<ViewerRequest>& viewers,
+                                  const SceneGenerator* reference);
+
   StorageManager* storage_;
   ServerOptions options_;
 };

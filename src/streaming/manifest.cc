@@ -6,10 +6,31 @@
 
 namespace vc {
 
-std::string GenerateManifest(const VideoMetadata& metadata,
-                             const ManifestPlan* plan) {
-  std::ostringstream out;
+namespace {
+
+void AppendSegmentLines(std::string* out, int segment, const SegmentInfo& info,
+                        const CellInfo* cells, int tiles, int qualities) {
   char line[160];
+  std::snprintf(line, sizeof(line), "segment %d %u %u\n", segment,
+                info.start_frame, info.frame_count);
+  out->append(line);
+  for (int tile = 0; tile < tiles; ++tile) {
+    for (int quality = 0; quality < qualities; ++quality) {
+      const CellInfo& cell = cells[static_cast<size_t>(tile) * qualities +
+                                   quality];
+      std::snprintf(line, sizeof(line), "cell %d %d %d %" PRIu64 " %u\n",
+                    segment, tile, quality, cell.byte_size, cell.crc32);
+      out->append(line);
+    }
+  }
+}
+
+}  // namespace
+
+ManifestBuilder::ManifestBuilder(const VideoMetadata& metadata,
+                                 const ManifestPlan* plan)
+    : tiles_(metadata.tile_count()), qualities_(metadata.quality_count()) {
+  std::ostringstream out;
   out << "VCMPD 1\n";
   out << "name " << metadata.name << "\n";
   out << "version " << metadata.version << "\n";
@@ -23,30 +44,65 @@ std::string GenerateManifest(const VideoMetadata& metadata,
     out << "quality " << i << " " << metadata.ladder[i].name << " "
         << metadata.ladder[i].qp << "\n";
   }
-  for (size_t i = 0; i < metadata.segments.size(); ++i) {
-    out << "segment " << i << " " << metadata.segments[i].start_frame << " "
-        << metadata.segments[i].frame_count << "\n";
-  }
+  header_ = out.str();
+
   for (int segment = 0; segment < metadata.segment_count(); ++segment) {
-    for (int tile = 0; tile < metadata.tile_count(); ++tile) {
-      for (int quality = 0; quality < metadata.quality_count(); ++quality) {
-        const CellInfo& cell =
-            metadata.cells[metadata.CellIndex(segment, tile, quality)];
-        std::snprintf(line, sizeof(line),
-                      "cell %d %d %d %" PRIu64 " %u\n", segment, tile,
-                      quality, cell.byte_size, cell.crc32);
-        out << line;
-      }
-    }
+    AppendSegmentLines(&body_, segment, metadata.segments[segment],
+                       &metadata.cells[metadata.CellIndex(segment, 0, 0)],
+                       tiles_, qualities_);
+    ++segments_;
   }
+
   if (plan != nullptr) {
+    std::ostringstream plan_out;
     for (const ManifestPlan::Entry& entry : plan->entries) {
-      out << "plan " << entry.segment;
-      for (int rung : entry.tile_quality) out << " " << rung;
-      out << "\n";
+      plan_out << "plan " << entry.segment;
+      for (int rung : entry.tile_quality) plan_out << " " << rung;
+      plan_out << "\n";
+    }
+    plan_ = plan_out.str();
+  }
+}
+
+std::string ManifestBuilder::AppendSegment(const SegmentInfo& segment,
+                                           const std::vector<CellInfo>& cells,
+                                           int64_t publish_ms) {
+  std::string delta;
+  AppendSegmentLines(&delta, segments_, segment, cells.data(), tiles_,
+                     qualities_);
+  body_ += delta;
+  if (publish_ms >= 0) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "publish %d %" PRId64 "\n", segments_,
+                  publish_ms);
+    delta += line;
+    live_.publish_times_ms.push_back(publish_ms);
+    ++live_.epoch;
+  }
+  ++segments_;
+  return delta;
+}
+
+std::string ManifestBuilder::Build(const ManifestLive* live) const {
+  std::string out = header_ + body_ + plan_;
+  if (live != nullptr && !live->empty()) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "live %u %d\n", live->epoch,
+                  live->complete ? 1 : 0);
+    out += line;
+    for (size_t i = 0; i < live->publish_times_ms.size(); ++i) {
+      std::snprintf(line, sizeof(line), "publish %zu %" PRId64 "\n", i,
+                    live->publish_times_ms[i]);
+      out += line;
     }
   }
-  return out.str();
+  return out;
+}
+
+std::string GenerateManifest(const VideoMetadata& metadata,
+                             const ManifestPlan* plan,
+                             const ManifestLive* live) {
+  return ManifestBuilder(metadata, plan).Build(live);
 }
 
 namespace {
@@ -58,8 +114,10 @@ Status Malformed(size_t line_number, const std::string& what) {
 
 }  // namespace
 
-Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan) {
+Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan,
+                                    ManifestLive* live) {
   if (plan != nullptr) plan->entries.clear();
+  if (live != nullptr) *live = ManifestLive{};
   std::istringstream in(text.ToString());
   std::string line;
   size_t line_number = 0;
@@ -73,6 +131,8 @@ Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan) {
   };
   std::vector<CellEntry> cell_entries;
   std::vector<ManifestPlan::Entry> plan_entries;
+  ManifestLive live_overlay;
+  bool saw_live = false;
 
   while (std::getline(in, line)) {
     ++line_number;
@@ -148,6 +208,31 @@ Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan) {
       if (!fields.eof()) return Malformed(line_number, "bad plan entry");
       fields.clear();  // the rung loop always ends in a fail/eof state
       plan_entries.push_back(std::move(entry));
+    } else if (keyword == "live") {
+      if (saw_live) return Malformed(line_number, "duplicate live line");
+      saw_live = true;
+      int64_t epoch = -1;
+      int complete = -1;
+      fields >> epoch >> complete;
+      if (fields.fail() || epoch < 0 || epoch > UINT32_MAX || complete < 0 ||
+          complete > 1) {
+        return Malformed(line_number, "bad live entry");
+      }
+      live_overlay.epoch = static_cast<uint32_t>(epoch);
+      live_overlay.complete = complete == 1;
+    } else if (keyword == "publish") {
+      size_t index;
+      int64_t time_ms = -1;
+      fields >> index >> time_ms;
+      if (fields.fail() || index != live_overlay.publish_times_ms.size() ||
+          time_ms < 0) {
+        return Malformed(line_number, "publish entries must be dense");
+      }
+      if (!live_overlay.publish_times_ms.empty() &&
+          time_ms < live_overlay.publish_times_ms.back()) {
+        return Malformed(line_number, "publish times must be non-decreasing");
+      }
+      live_overlay.publish_times_ms.push_back(time_ms);
     } else {
       return Malformed(line_number, "unknown keyword '" + keyword + "'");
     }
@@ -195,7 +280,18 @@ Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan) {
       }
     }
   }
+
+  if (!live_overlay.publish_times_ms.empty() && !saw_live) {
+    return Status::Corruption("manifest publish entries without live line");
+  }
+  if (saw_live && live_overlay.publish_times_ms.size() !=
+                      static_cast<size_t>(metadata.segment_count())) {
+    return Status::Corruption(
+        "manifest live overlay must publish every segment");
+  }
+
   if (plan != nullptr) plan->entries = std::move(plan_entries);
+  if (live != nullptr && saw_live) *live = std::move(live_overlay);
   return metadata;
 }
 

@@ -1,7 +1,9 @@
 #ifndef VC_STREAMING_MANIFEST_H_
 #define VC_STREAMING_MANIFEST_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/slice.h"
@@ -25,9 +27,17 @@ namespace vc {
 ///     tiles 6 8
 ///     stereo 0
 ///     quality <index> <name> <qp>          (one per rung)
-///     segment <index> <start> <frames>     (one per segment)
-///     cell <seg> <tile> <quality> <bytes> <crc32>
+///     segment <index> <start> <frames>     (one per segment, followed by
+///     cell <seg> <tile> <quality> <bytes> <crc32>   its tile×quality cells)
 ///     plan <seg> <rung per tile ...>       (optional query-plan overlay)
+///     live <epoch> <complete 0|1>          (optional live overlay)
+///     publish <seg> <time_ms>              (one per segment when live)
+///
+/// Segments are serialized grouped — each `segment` line followed by its
+/// own `cell` lines — so a growing (live) manifest is strictly append-only
+/// in its body: ManifestBuilder::AppendSegment returns exactly the lines
+/// the full manifest gains. ParseManifest is order-agnostic and still
+/// accepts the historical all-segments-then-all-cells layout.
 ///
 /// GenerateManifest/ParseManifest round-trip every field, so a parsed
 /// manifest reconstructs the full VideoMetadata (sans data_dir, which is a
@@ -48,14 +58,89 @@ struct ManifestPlan {
   bool empty() const { return entries.empty(); }
 };
 
-/// `plan`, when non-null and non-empty, appends the plan overlay.
-std::string GenerateManifest(const VideoMetadata& metadata,
-                             const ManifestPlan* plan = nullptr);
+/// \brief Optional live overlay: the versioned "this stream is still
+/// growing" annotation of a manifest published mid-ingest.
+///
+/// `epoch` is the manifest revision — it increments every time the ingest
+/// pipeline publishes a segment, so a client polling the manifest can tell
+/// at a glance whether anything changed. `publish_times_ms` records, per
+/// listed segment, the server wall-clock millisecond at which that segment
+/// became fetchable — the client's live-edge clock. `complete` flips to
+/// true on the final (archived) manifest of a finished stream.
+struct ManifestLive {
+  uint32_t epoch = 0;
+  bool complete = false;
+  /// One entry per segment, ascending, non-decreasing times (ms).
+  std::vector<int64_t> publish_times_ms;
 
-/// Parses a manifest back into metadata (validated). When `plan` is
-/// non-null it receives the plan overlay (cleared first; left empty when
-/// the manifest carries none).
-Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan = nullptr);
+  bool empty() const {
+    return epoch == 0 && !complete && publish_times_ms.empty();
+  }
+};
+
+/// \brief Incremental manifest assembly for the append-only catalog.
+///
+/// Constructed from a video's layout (and any segments it already has),
+/// the builder serializes the immutable header once and keeps the body as
+/// an append-only string: `AppendSegment` adds one segment's lines in O(1)
+/// relative to the segments already present and returns the serialized
+/// delta, while `Build` snapshots the full manifest. For a static video
+/// `ManifestBuilder(m).Build()` is byte-identical to `GenerateManifest(m)`
+/// (which is itself implemented on top of this builder).
+class ManifestBuilder {
+ public:
+  /// Seeds the header from `metadata`'s layout fields and the body from any
+  /// segments/cells it already carries. `plan`, when non-null and
+  /// non-empty, is serialized after the body.
+  explicit ManifestBuilder(const VideoMetadata& metadata,
+                           const ManifestPlan* plan = nullptr);
+
+  /// Appends one segment — its SegmentInfo plus `cells` (tile-major ×
+  /// quality-minor, tile_count × quality_count entries) — and returns the
+  /// serialized delta: exactly the body lines Build() gains. When
+  /// `publish_ms >= 0` the segment is also recorded in the live overlay
+  /// (its `publish` line is part of the delta and the overlay epoch
+  /// increments).
+  std::string AppendSegment(const SegmentInfo& segment,
+                            const std::vector<CellInfo>& cells,
+                            int64_t publish_ms = -1);
+
+  /// Marks the stream finished; the overlay of subsequent Build() calls
+  /// carries `complete 1`.
+  void SetComplete(bool complete) { live_.complete = complete; }
+
+  /// The live overlay accumulated from AppendSegment publish times.
+  const ManifestLive& live() const { return live_; }
+  int segment_count() const { return segments_; }
+
+  /// Full manifest with the builder's own live overlay (empty for a static
+  /// video — byte-identical to the historical whole-string generation).
+  std::string Build() const { return Build(&live_); }
+
+  /// Full manifest with an explicit live overlay (nullptr or empty = no
+  /// overlay lines).
+  std::string Build(const ManifestLive* live) const;
+
+ private:
+  std::string header_;  ///< VCMPD magic through quality lines.
+  std::string body_;    ///< Append-only segment + cell lines.
+  std::string plan_;    ///< Serialized plan overlay (may be empty).
+  ManifestLive live_;
+  int segments_ = 0;
+  int tiles_ = 0;
+  int qualities_ = 0;
+};
+
+/// `plan` / `live`, when non-null and non-empty, append their overlays.
+std::string GenerateManifest(const VideoMetadata& metadata,
+                             const ManifestPlan* plan = nullptr,
+                             const ManifestLive* live = nullptr);
+
+/// Parses a manifest back into metadata (validated). When `plan` / `live`
+/// are non-null they receive the matching overlay (cleared first; left
+/// empty when the manifest carries none).
+Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan = nullptr,
+                                    ManifestLive* live = nullptr);
 
 }  // namespace vc
 

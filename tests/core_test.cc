@@ -532,7 +532,7 @@ TEST_F(CoreTest, LiveIngestCheckpointsAndFinishes) {
 
   // Push 1.5 segments, checkpoint after the first full one.
   for (int i = 0; i < 8; ++i) {
-    ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(i)).ok());
+    ASSERT_TRUE((*live)->AppendFrame(scene_->FrameAt(i)).ok());
   }
   EXPECT_EQ((*live)->segments_written(), 1);
   auto v1 = (*live)->Checkpoint();
@@ -550,9 +550,9 @@ TEST_F(CoreTest, LiveIngestCheckpointsAndFinishes) {
   EXPECT_GT(stats->bytes_sent, 0u);
 
   for (int i = 8; i < 12; ++i) {
-    ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(i)).ok());
+    ASSERT_TRUE((*live)->AppendFrame(scene_->FrameAt(i)).ok());
   }
-  auto final_version = (*live)->Finish();
+  auto final_version = (*live)->Close();
   ASSERT_TRUE(final_version.ok());
   EXPECT_GT(*final_version, *v1);
   auto final_md = db_->Describe("live");
@@ -573,20 +573,155 @@ TEST_F(CoreTest, LiveIngestValidation) {
   auto live = db_->StartLiveIngest("liveval", 128, 64, ingest);
   ASSERT_TRUE(live.ok());
   // Wrong frame size rejected.
-  EXPECT_TRUE((*live)->PushFrame(Frame(64, 64)).IsInvalidArgument());
+  EXPECT_TRUE((*live)->AppendFrame(Frame(64, 64)).IsInvalidArgument());
   // Checkpoint before any full segment rejected.
   EXPECT_TRUE((*live)->Checkpoint().status().IsInvalidArgument());
   // After Finish, the session is closed.
-  ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(0)).ok());
-  ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(1)).ok());
-  ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(2)).ok());
-  ASSERT_TRUE((*live)->PushFrame(scene_->FrameAt(3)).ok());
-  ASSERT_TRUE((*live)->Finish().ok());
-  EXPECT_TRUE((*live)->PushFrame(scene_->FrameAt(4)).IsAborted());
-  EXPECT_TRUE((*live)->Finish().status().IsAborted());
+  ASSERT_TRUE((*live)->AppendFrame(scene_->FrameAt(0)).ok());
+  ASSERT_TRUE((*live)->AppendFrame(scene_->FrameAt(1)).ok());
+  ASSERT_TRUE((*live)->AppendFrame(scene_->FrameAt(2)).ok());
+  ASSERT_TRUE((*live)->AppendFrame(scene_->FrameAt(3)).ok());
+  ASSERT_TRUE((*live)->Close().ok());
+  EXPECT_TRUE((*live)->AppendFrame(scene_->FrameAt(4)).IsAborted());
+  EXPECT_TRUE((*live)->Close().status().IsAborted());
   ASSERT_TRUE(db_->Drop("liveval").ok());
   // Bad dimensions rejected up front.
   EXPECT_FALSE(db_->StartLiveIngest("bad", 100, 64, ingest).ok());
+}
+
+void ExpectSameCatalog(const VideoMetadata& a, const VideoMetadata& b) {
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (size_t s = 0; s < a.segments.size(); ++s) {
+    EXPECT_EQ(a.segments[s].start_frame, b.segments[s].start_frame);
+    EXPECT_EQ(a.segments[s].frame_count, b.segments[s].frame_count);
+  }
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].byte_size, b.cells[i].byte_size) << "cell " << i;
+    EXPECT_EQ(a.cells[i].crc32, b.cells[i].crc32) << "cell " << i;
+  }
+}
+
+TEST_F(CoreTest, IngestWrapperMatchesManualSession) {
+  // The offline Ingest entry point is a thin wrapper over
+  // LiveIngestSession; driving the session by hand (same chunking: every
+  // frame appended in order, Close at the end) must produce byte-identical
+  // cells.
+  IngestOptions ingest;
+  ingest.tile_rows = 2;
+  ingest.tile_cols = 2;
+  ingest.frames_per_segment = 8;
+  ingest.fps = 8.0;
+  ingest.ladder = {{"high", 14}, {"low", 42}};
+  std::vector<Frame> frames;
+  for (int i = 0; i < 12; ++i) frames.push_back(scene_->FrameAt(i));
+
+  auto wrapped = db_->Ingest("wrap_a", frames, ingest);
+  ASSERT_TRUE(wrapped.ok()) << wrapped.status().ToString();
+
+  auto session = db_->StartLiveIngest("wrap_b", 128, 64, ingest);
+  ASSERT_TRUE(session.ok());
+  for (const Frame& frame : frames) {
+    ASSERT_TRUE((*session)->AppendFrame(frame).ok());
+  }
+  auto manual = (*session)->Close();
+  ASSERT_TRUE(manual.ok()) << manual.status().ToString();
+
+  auto a = db_->Describe("wrap_a");
+  auto b = db_->Describe("wrap_b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectSameCatalog(*a, *b);
+  ASSERT_TRUE(db_->Drop("wrap_a").ok());
+  ASSERT_TRUE(db_->Drop("wrap_b").ok());
+}
+
+TEST_F(CoreTest, FinishSegmentSplicesShortSegment) {
+  // FinishSegment cuts the buffered partial segment immediately — the
+  // ad-break splice: the catalog gains a short segment mid-stream and
+  // capture continues on a fresh segment boundary.
+  IngestOptions ingest;
+  ingest.tile_rows = 1;
+  ingest.tile_cols = 1;
+  ingest.frames_per_segment = 4;
+  ingest.fps = 4.0;
+  ingest.ladder = {{"only", 30}};
+  auto live = db_->StartLiveIngest("splice", 128, 64, ingest);
+  ASSERT_TRUE(live.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*live)->AppendFrame(scene_->FrameAt(i)).ok());
+  }
+  EXPECT_EQ((*live)->segments_written(), 1);  // frame 4 is buffered
+  ASSERT_TRUE((*live)->FinishSegment().ok());
+  EXPECT_EQ((*live)->segments_written(), 2);
+  ASSERT_TRUE((*live)->FinishSegment().ok());  // nothing buffered: no-op
+  EXPECT_EQ((*live)->segments_written(), 2);
+  for (int i = 5; i < 9; ++i) {
+    ASSERT_TRUE((*live)->AppendFrame(scene_->FrameAt(i)).ok());
+  }
+  ASSERT_TRUE((*live)->Close().ok());
+  auto metadata = db_->Describe("splice");
+  ASSERT_TRUE(metadata.ok());
+  ASSERT_EQ(metadata->segment_count(), 3);
+  EXPECT_EQ(metadata->segments[0].frame_count, 4u);
+  EXPECT_EQ(metadata->segments[1].frame_count, 1u);
+  EXPECT_EQ(metadata->segments[2].frame_count, 4u);
+  EXPECT_EQ(metadata->segments[2].start_frame, 5u);
+  ASSERT_TRUE(db_->Drop("splice").ok());
+}
+
+TEST_F(CoreTest, PublishedLiveCatalogMatchesOfflineIngest) {
+  // The append-only live path (publish a streaming checkpoint after every
+  // segment) must converge, once caught up, to byte-identical cells as the
+  // same video ingested offline in one shot — the live/archived equivalence
+  // the catalog API promises.
+  IngestOptions ingest;
+  ingest.tile_rows = 2;
+  ingest.tile_cols = 2;
+  ingest.frames_per_segment = 8;
+  ingest.fps = 8.0;
+  ingest.ladder = {{"high", 14}, {"low", 42}};
+
+  auto offline = db_->IngestScene("eq_offline", *scene_, 20, ingest);
+  ASSERT_TRUE(offline.ok());
+
+  LiveIngestOptions live_options;
+  live_options.ingest = ingest;
+  live_options.publish_segments = true;
+  auto live = db_->StartLiveIngest("eq_live", 128, 64, live_options);
+  ASSERT_TRUE(live.ok());
+  uint32_t previous_version = 0;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*live)->AppendFrame(scene_->FrameAt(i)).ok());
+    // Every completed segment publishes automatically, and each publish is
+    // a fresh catalog version over the shared data directory.
+    if ((i + 1) % 8 == 0) {
+      EXPECT_GT((*live)->last_published_version(), previous_version);
+      previous_version = (*live)->last_published_version();
+      auto checkpoint = db_->storage()->GetVideoVersion(
+          "eq_live", (*live)->last_published_version());
+      ASSERT_TRUE(checkpoint.ok());
+      EXPECT_TRUE(checkpoint->streaming);
+      EXPECT_EQ(checkpoint->segment_count(), (i + 1) / 8);
+    }
+  }
+  auto final_version = (*live)->Close();
+  ASSERT_TRUE(final_version.ok());
+
+  auto offline_md = db_->Describe("eq_offline");
+  auto live_md = db_->Describe("eq_live");
+  ASSERT_TRUE(offline_md.ok() && live_md.ok());
+  EXPECT_FALSE(live_md->streaming);
+  ExpectSameCatalog(*offline_md, *live_md);
+
+  // Not just the index: the cell payloads themselves are byte-identical.
+  for (int tile = 0; tile < 4; ++tile) {
+    auto a = db_->storage()->ReadCell(*offline_md, 1, tile, 0);
+    auto b = db_->storage()->ReadCell(*live_md, 1, tile, 0);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(**a, **b);
+  }
+  ASSERT_TRUE(db_->Drop("eq_offline").ok());
+  ASSERT_TRUE(db_->Drop("eq_live").ok());
 }
 
 // ------------------------------------------------------- Versioned reingest

@@ -181,7 +181,7 @@ TEST(IntegrationTest, LiveCheckpointStreamsWhileIngestContinues) {
   uint64_t previous_bytes = 0;
   for (int batch = 0; batch < 3; ++batch) {
     for (int i = 0; i < 4; ++i) {
-      ASSERT_TRUE(live->PushFrame(scene->FrameAt(batch * 4 + i)).ok());
+      ASSERT_TRUE(live->AppendFrame(scene->FrameAt(batch * 4 + i)).ok());
     }
     auto version = live->Checkpoint();
     ASSERT_TRUE(version.ok());
@@ -194,7 +194,7 @@ TEST(IntegrationTest, LiveCheckpointStreamsWhileIngestContinues) {
         << "each checkpoint should stream strictly more content";
     previous_bytes = stats->bytes_sent;
   }
-  ASSERT_TRUE(live->Finish().ok());
+  ASSERT_TRUE(live->Close().ok());
   EXPECT_EQ((*db->Describe("feed")).segment_count(), 3);
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/env.h"
@@ -7,8 +9,10 @@
 #include "core/visualcloud.h"
 #include "predict/trace_synthesizer.h"
 #include "server/cluster_server.h"
+#include "server/live_feed.h"
 #include "server/streaming_server.h"
 #include "storage/sharded_store.h"
+#include "streaming/manifest.h"
 
 namespace vc {
 namespace {
@@ -573,6 +577,259 @@ TEST_F(ServerTest, ClusterPlacementCoSchedulesHotVideos) {
   for (const ClusterNodeStats& node : run->nodes) {
     EXPECT_GT(node.bytes_sent, 0u);
     EXPECT_EQ(node.max_active_sessions, 4);
+  }
+}
+
+// --------------------------------------------------------- live serving
+
+/// Same tile/ladder layout as the fixture's "venice" ingest: 1-second
+/// segments so publish instants land on easy numbers.
+IngestOptions LiveLayout() {
+  IngestOptions ingest;
+  ingest.tile_rows = 4;
+  ingest.tile_cols = 4;
+  ingest.frames_per_segment = 8;
+  ingest.fps = 8.0;
+  ingest.ladder = {{"high", 14}, {"medium", 28}, {"low", 42}};
+  return ingest;
+}
+
+std::unique_ptr<SceneGenerator> LiveScene() {
+  SceneOptions options;
+  options.width = 128;
+  options.height = 64;
+  return NewVeniceScene(options);
+}
+
+TEST_F(ServerTest, LiveViewersJoinAtTheLiveEdge) {
+  // A 4-segment feed (1 s segments, 0.2 s encode) publishes at 1.2, 2.2,
+  // 3.2, 4.2. Viewers arriving mid-stream join at the live edge and stream
+  // only the remaining segments; an early arrival is clamped to the first
+  // publish and streams everything.
+  auto scene = LiveScene();
+  auto feed = LiveFeed::Create(db_, "live_edge_feed", *scene, 32,
+                               LiveLayout(), LiveFeedOptions{});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  EXPECT_EQ((*feed)->final_segment_count(), 4);
+  EXPECT_EQ((*feed)->snapshot().segment_count(), 0);
+  EXPECT_NEAR((*feed)->PublishTimeOf(0), 1.2, 1e-12);
+  EXPECT_NEAR((*feed)->PublishTimeOf(3), 4.2, 1e-12);
+
+  std::vector<ViewerRequest> viewers = MakeViewers(3);
+  viewers[0].arrival_seconds = 0.0;  // before the first publish: clamped
+  viewers[1].arrival_seconds = 2.5;  // two segments live
+  viewers[2].arrival_seconds = 3.5;  // three segments live
+
+  StreamingServer server(db_->storage(), ServerOptions{});
+  auto stats = server.RunLive(feed->get(), viewers);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  EXPECT_TRUE((*feed)->complete());
+  EXPECT_EQ(stats->live.total_segments, 4);
+  EXPECT_EQ(stats->live.segments_published, 4);
+  EXPECT_EQ(stats->live.degraded_segments, 0);
+  EXPECT_NEAR(stats->live.max_lag_seconds, 0.2, 1e-12);
+  EXPECT_NEAR(stats->live.final_lag_seconds, 0.2, 1e-12);
+
+  EXPECT_EQ(stats->sessions_completed, 3);
+  ASSERT_EQ(stats->sessions.size(), 3u);
+  EXPECT_EQ(stats->sessions[0].segments, 4);
+  EXPECT_EQ(stats->sessions[1].segments, 3);
+  EXPECT_EQ(stats->sessions[2].segments, 2);
+
+  // The caught-up feed is an ordinary archived video in the catalog...
+  auto archived = db_->Describe("live_edge_feed");
+  ASSERT_TRUE(archived.ok()) << archived.status().ToString();
+  EXPECT_FALSE(archived->streaming);
+  EXPECT_EQ(archived->segment_count(), 4);
+  // ...and its manifest carries a complete, parseable live overlay.
+  ManifestLive overlay;
+  auto parsed =
+      ParseManifest(Slice((*feed)->Manifest()), nullptr, &overlay);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(overlay.complete);
+  ASSERT_EQ(overlay.publish_times_ms.size(), 4u);
+  EXPECT_EQ(overlay.publish_times_ms[0], 1200);
+  EXPECT_EQ(overlay.publish_times_ms[3], 4200);
+  ASSERT_TRUE(db_->Drop("live_edge_feed").ok());
+}
+
+TEST_F(ServerTest, LiveFeedDegradesToStayUnderLagBudget) {
+  // Fault injection: segment 1's encode takes 2.5 s instead of 0.3 s.
+  // Without a budget the backlog drains slowly; with a 0.6 s glass-to-glass
+  // budget the scheduler degrades the next segments to the fast preset and
+  // catches up sooner. The schedule is precomputed, so this needs no
+  // publishes at all.
+  auto scene = LiveScene();
+  LiveFeedOptions slow;
+  slow.encode_seconds = 0.3;
+  slow.encode_overrides[1] = 2.5;
+  LiveFeedOptions degrading = slow;
+  degrading.max_lag_seconds = 0.6;
+  degrading.degraded_encode_seconds = 0.05;
+
+  auto blocked =
+      LiveFeed::Create(db_, "lag_blocked", *scene, 48, LiveLayout(), slow);
+  auto bounded = LiveFeed::Create(db_, "lag_bounded", *scene, 48,
+                                  LiveLayout(), degrading);
+  ASSERT_TRUE(blocked.ok()) << blocked.status().ToString();
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+
+  // The faulted segment itself never degrades (the override is its cost).
+  EXPECT_FALSE((*bounded)->IsDegraded(1));
+  EXPECT_NEAR((*bounded)->LagOf(1), 2.5, 1e-12);
+  // The two segments behind the backlog degrade; once lag is back inside
+  // the budget the encoder returns to the full-quality preset.
+  EXPECT_TRUE((*bounded)->IsDegraded(2));
+  EXPECT_TRUE((*bounded)->IsDegraded(3));
+  EXPECT_FALSE((*bounded)->IsDegraded(4));
+  EXPECT_FALSE((*bounded)->IsDegraded(5));
+  EXPECT_NEAR((*blocked)->LagOf(2), 1.8, 1e-12);
+  EXPECT_NEAR((*bounded)->LagOf(2), 1.55, 1e-12);
+  EXPECT_NEAR((*bounded)->LagOf(3), 0.6, 1e-12);
+  for (int segment : {2, 3, 4}) {
+    EXPECT_LT((*bounded)->LagOf(segment), (*blocked)->LagOf(segment))
+        << "segment " << segment;
+  }
+
+  // Served run over the faulted feed: the early viewer stalls at the live
+  // edge while segment 1 encodes, and the ingest-side stats surface the
+  // degrade decisions and the worst-case lag.
+  LiveFeedOptions run_options = degrading;
+  auto feed = LiveFeed::Create(db_, "lag_run", *scene, 32, LiveLayout(),
+                               run_options);
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  std::vector<ViewerRequest> viewers = MakeViewers(1);
+  viewers[0].arrival_seconds = 0.0;
+  StreamingServer server(db_->storage(), ServerOptions{});
+  auto stats = server.RunLive(feed->get(), viewers);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->live.segments_published, 4);
+  EXPECT_EQ(stats->live.degraded_segments, 2);
+  EXPECT_NEAR(stats->live.max_lag_seconds, 2.5, 1e-12);
+  ASSERT_EQ(stats->sessions.size(), 1u);
+  EXPECT_GE(stats->sessions[0].stall_events, 1);
+  EXPECT_GT(stats->sessions[0].stall_seconds, 1.0);
+  ASSERT_TRUE(db_->Drop("lag_run").ok());
+}
+
+TEST_F(ServerTest, LiveOutcomeInvariantAcrossRerunsNodesAndPrefetch) {
+  // The live determinism contract: the same frame-arrival schedule and
+  // viewer cohort produce byte-identical served output and ingest stats
+  // across reruns (fresh feeds), node counts, shard counts, io_threads,
+  // and prefetch modes. Includes a fault + degrade so the invariance
+  // covers the budget path too.
+  auto scene = LiveScene();
+  LiveFeedOptions feed_options;
+  feed_options.encode_seconds = 0.25;
+  feed_options.encode_overrides[2] = 1.5;
+  feed_options.max_lag_seconds = 0.5;
+  feed_options.degraded_encode_seconds = 0.1;
+
+  auto make_viewers = [] {
+    std::vector<ViewerRequest> viewers = MakeViewers(4);
+    viewers[0].arrival_seconds = 0.0;
+    viewers[1].arrival_seconds = 1.4;
+    viewers[2].arrival_seconds = 2.6;
+    viewers[3].arrival_seconds = 3.0;
+    return viewers;
+  };
+
+  int run_id = 0;
+  std::vector<std::string> feed_names;
+  auto make_feed = [&]() {
+    std::string name = "live_det_" + std::to_string(run_id++);
+    feed_names.push_back(name);
+    auto feed = LiveFeed::Create(db_, name, *scene, 32, LiveLayout(),
+                                 feed_options);
+    EXPECT_TRUE(feed.ok()) << feed.status().ToString();
+    return std::move(*feed);
+  };
+  auto expect_same_run = [&](const ServerStats& stats,
+                             const ServerStats& baseline) {
+    EXPECT_EQ(stats.bytes_sent, baseline.bytes_sent);
+    EXPECT_EQ(stats.wall_seconds, baseline.wall_seconds);
+    EXPECT_EQ(stats.media_seconds, baseline.media_seconds);
+    EXPECT_EQ(stats.stall_seconds, baseline.stall_seconds);
+    EXPECT_EQ(stats.stall_events, baseline.stall_events);
+    EXPECT_EQ(stats.sessions_completed, baseline.sessions_completed);
+    EXPECT_EQ(stats.live.segments_published,
+              baseline.live.segments_published);
+    EXPECT_EQ(stats.live.degraded_segments,
+              baseline.live.degraded_segments);
+    EXPECT_EQ(stats.live.max_lag_seconds, baseline.live.max_lag_seconds);
+    EXPECT_EQ(stats.live.mean_lag_seconds, baseline.live.mean_lag_seconds);
+    ASSERT_EQ(stats.sessions.size(), baseline.sessions.size());
+    for (size_t i = 0; i < stats.sessions.size(); ++i) {
+      ExpectSameStats(stats.sessions[i], baseline.sessions[i]);
+    }
+  };
+
+  auto run_single = [&]() {
+    StorageOptions storage_options;
+    storage_options.env = env_;
+    storage_options.root = "/vcdb";
+    storage_options.read_latency_seconds = 0.0002;
+    auto storage = StorageManager::Open(storage_options);
+    EXPECT_TRUE(storage.ok());
+    auto feed = make_feed();
+    StreamingServer server(storage->get(), ServerOptions{});
+    auto stats = server.RunLive(feed.get(), make_viewers());
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  };
+
+  ServerStats baseline = run_single();
+  EXPECT_EQ(baseline.live.degraded_segments, 1);
+  EXPECT_GT(baseline.stall_seconds, 0.0);
+
+  // Rerun on a fresh feed: identical serving stats, and the two archived
+  // catalogs hold byte-identical cells.
+  ServerStats rerun = run_single();
+  expect_same_run(rerun, baseline);
+  auto first = db_->Describe(feed_names[0]);
+  auto second = db_->Describe(feed_names[1]);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_EQ(first->cells.size(), second->cells.size());
+  for (size_t i = 0; i < first->cells.size(); ++i) {
+    ASSERT_EQ(first->cells[i].byte_size, second->cells[i].byte_size);
+    ASSERT_EQ(first->cells[i].crc32, second->cells[i].crc32);
+  }
+
+  struct Config {
+    int nodes;
+    int shards;
+    int io_threads;
+    PrefetchMode prefetch;
+  };
+  for (const Config& config :
+       {Config{1, 1, 0, PrefetchMode::kOff},
+        Config{3, 2, 2, PrefetchMode::kPredict},
+        Config{2, 1, 2, PrefetchMode::kPopularity}}) {
+    SCOPED_TRACE("nodes=" + std::to_string(config.nodes) +
+                 " shards=" + std::to_string(config.shards) +
+                 " io_threads=" + std::to_string(config.io_threads));
+    ShardedStoreOptions store_options;
+    store_options.backend.env = env_;
+    store_options.backend.root = "/vcdb";
+    store_options.backend.io_threads = config.io_threads;
+    store_options.backend.read_latency_seconds = 0.0002;
+    store_options.shards = config.shards;
+    auto store = ShardedStore::Open(store_options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+    ClusterOptions options;
+    options.nodes = config.nodes;
+    options.node.prefetch = config.prefetch;
+    ClusterServer cluster(store->get(), options);
+    auto feed = make_feed();
+    auto run = cluster.RunLive(feed.get(), make_viewers());
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    expect_same_run(run->totals, baseline);
+  }
+
+  for (const std::string& name : feed_names) {
+    ASSERT_TRUE(db_->Drop(name).ok());
   }
 }
 

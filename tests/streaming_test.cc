@@ -328,6 +328,101 @@ TEST(ManifestTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseManifest(Slice(unknown)).ok());
 }
 
+TEST(ManifestTest, BuilderMatchesGenerateManifest) {
+  // GenerateManifest is a thin wrapper over ManifestBuilder; the whole-
+  // string and incremental paths must be byte-identical for static videos.
+  VideoMetadata m = ManifestSample();
+  EXPECT_EQ(ManifestBuilder(m).Build(), GenerateManifest(m));
+  ManifestPlan plan;
+  plan.entries.push_back({0, std::vector<int>(8, 0)});
+  plan.entries.push_back({2, {0, 1, 0, 1, -1, 1, 0, 0}});
+  EXPECT_EQ(ManifestBuilder(m, &plan).Build(), GenerateManifest(m, &plan));
+}
+
+TEST(ManifestTest, BuilderGrowsIncrementally) {
+  // Appending segments to a layout-only builder reproduces, at every step,
+  // the canonical manifest of the video grown to that point — so a live
+  // manifest is always exactly what a cold regeneration would produce.
+  VideoMetadata full = ManifestSample();
+  VideoMetadata layout = full;
+  layout.segments.clear();
+  layout.cells.clear();
+  const size_t per_segment =
+      static_cast<size_t>(full.tile_count()) * full.quality_count();
+  ManifestBuilder builder(layout);
+  for (int s = 0; s < full.segment_count(); ++s) {
+    std::vector<CellInfo> cells(
+        full.cells.begin() + full.CellIndex(s, 0, 0),
+        full.cells.begin() + full.CellIndex(s, 0, 0) + per_segment);
+    std::string delta =
+        builder.AppendSegment(full.segments[s], cells, 1200 + s * 1000);
+    EXPECT_NE(delta.find("segment " + std::to_string(s)), std::string::npos);
+    EXPECT_NE(delta.find("publish " + std::to_string(s)), std::string::npos);
+    EXPECT_EQ(builder.segment_count(), s + 1);
+
+    VideoMetadata grown = full;
+    grown.segments.resize(s + 1);
+    grown.cells.resize((s + 1) * per_segment);
+    EXPECT_EQ(builder.Build(),
+              GenerateManifest(grown, nullptr, &builder.live()));
+
+    ManifestLive live;
+    auto parsed = ParseManifest(Slice(builder.Build()), nullptr, &live);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->segment_count(), s + 1);
+    EXPECT_EQ(live.epoch, static_cast<uint32_t>(s + 1));
+    ASSERT_EQ(live.publish_times_ms.size(), static_cast<size_t>(s + 1));
+    EXPECT_EQ(live.publish_times_ms[s], 1200 + s * 1000);
+    EXPECT_FALSE(live.complete);
+  }
+  builder.SetComplete(true);
+  ManifestLive live;
+  ASSERT_TRUE(ParseManifest(Slice(builder.Build()), nullptr, &live).ok());
+  EXPECT_TRUE(live.complete);
+}
+
+TEST(ManifestTest, LiveOverlayRoundTripsByteIdentically) {
+  VideoMetadata m = ManifestSample();
+  ManifestLive live;
+  live.epoch = 3;
+  live.complete = true;
+  live.publish_times_ms = {1200, 2200, 3250};
+  std::string text = GenerateManifest(m, nullptr, &live);
+  ManifestLive parsed_live;
+  auto parsed = ParseManifest(Slice(text), nullptr, &parsed_live);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed_live.epoch, 3u);
+  EXPECT_TRUE(parsed_live.complete);
+  EXPECT_EQ(parsed_live.publish_times_ms, live.publish_times_ms);
+  EXPECT_EQ(GenerateManifest(*parsed, nullptr, &parsed_live), text);
+  // A static parse of the same text ignores the overlay without error.
+  EXPECT_TRUE(ParseManifest(Slice(text)).ok());
+}
+
+TEST(ManifestTest, RejectsBadLiveOverlay) {
+  std::string base = GenerateManifest(ManifestSample());
+  // Publish entries require the live line.
+  EXPECT_FALSE(ParseManifest(Slice(base + "publish 0 100\n")).ok());
+  // The overlay must publish every segment (the sample has 3).
+  EXPECT_FALSE(
+      ParseManifest(Slice(base + "live 1 0\npublish 0 100\n")).ok());
+  std::string good =
+      base + "live 3 1\npublish 0 100\npublish 1 200\npublish 2 300\n";
+  EXPECT_TRUE(ParseManifest(Slice(good)).ok());
+  // Duplicate live line.
+  EXPECT_FALSE(ParseManifest(Slice(good + "live 3 1\n")).ok());
+  // Publish indices must be dense and times non-negative, non-decreasing.
+  EXPECT_FALSE(ParseManifest(Slice(
+      base + "live 3 1\npublish 1 100\npublish 0 100\npublish 2 100\n"))
+          .ok());
+  EXPECT_FALSE(ParseManifest(Slice(
+      base + "live 3 0\npublish 0 -5\npublish 1 1\npublish 2 2\n"))
+          .ok());
+  EXPECT_FALSE(ParseManifest(Slice(
+      base + "live 3 0\npublish 0 500\npublish 1 400\npublish 2 600\n"))
+          .ok());
+}
+
 // -------------------------------------------------------------------- QoE
 
 TEST(QoeTest, BandwidthSavings) {
