@@ -34,9 +34,22 @@
 // ingest of the same content, and the healthy cohort re-run on a cluster
 // must reproduce the single-node outcome exactly.
 //
+// E11 — 10k-viewer serving fast path. The regime the packed 64-bit cell
+// keys, the shared per-video plan cache, and the prefetch churn control
+// exist for: cohorts of 1k/4k/10k viewers built from a cycled pool of
+// (trace seed, network seed) pairs, served single-node and by a 16-node
+// cluster, reported as host seconds per viewer. The hard check is
+// sublinearity headroom — at 10k viewers the single-node host cost per
+// viewer must stay within 1.5x of the 1k value. A fixed smaller cohort is
+// then re-served across {plan cache on/off} x {rerun} x {node count} x
+// {prefetch mode} and every variant must reproduce the baseline's
+// simulated outcome byte-for-byte.
+//
 // `--smoke` shrinks every population so the whole binary finishes in
 // seconds (registered as a ctest); `--nodes N` sizes the smoke cluster
-// (default 2). Smoke runs skip BENCH_server.json.
+// (default 2). `--viewers N` runs ONLY the E11 fast-path experiment with
+// an N-viewer cohort (the perf-smoke ctest legs use `--smoke --viewers
+// 1000`). Smoke runs skip BENCH_server.json.
 
 #include <algorithm>
 #include <cstring>
@@ -92,16 +105,239 @@ void CheckSameSimulation(const ServerStats& a, const ServerStats& b,
   }
 }
 
+// E11 cohort: `count` viewers cycled from a pool of 48 distinct
+// (trace seed, network seed) pairs — a real fleet replays a bounded set of
+// conditions, and the cycling is what lets the shared plan cache flyweight
+// identical planning inputs across replicas. Arrivals wrap a 100-slot,
+// 25 ms comb so admission pressure is flat at any cohort size. Traces are
+// synthesized once per pool slot, not per viewer, so building a 10k-viewer
+// cohort costs 48 syntheses plus copies.
+std::vector<ViewerRequest> MakeFastPathViewers(int count) {
+  const std::vector<std::string>& archetypes = ViewerArchetypes();
+  constexpr int kPool = 48;
+  std::vector<HeadTrace> traces;
+  traces.reserve(kPool);
+  for (int p = 0; p < kPool; ++p) {
+    auto options = ArchetypeOptions(archetypes[p % archetypes.size()], 1 + p);
+    options->duration_seconds = kVideoSeconds;
+    traces.push_back(CheckOk(SynthesizeTrace(*options), "trace"));
+  }
+  std::vector<ViewerRequest> viewers;
+  viewers.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    ViewerRequest viewer;
+    viewer.trace = traces[i % kPool];
+    viewer.session = CanonicalSession(StreamingApproach::kVisualCloud);
+    viewer.session.network.seed = 1000 + i % kPool;
+    viewer.arrival_seconds = 0.025 * (i % 100);
+    viewers.push_back(std::move(viewer));
+  }
+  return viewers;
+}
+
+// E11 — the 10k-viewer serving fast path (see the file header). Returns
+// the experiment's JSON object, or "" for smoke runs.
+std::string RunFastPathExperiment(BenchDb& bench,
+                                  const VideoMetadata& metadata, bool smoke,
+                                  int viewers_override, int smoke_nodes) {
+  std::printf("\nE11: serving fast path (packed cell keys + shared plan "
+              "cache + prefetch churn control)\n");
+
+  const std::vector<int> cohorts =
+      viewers_override > 0 ? std::vector<int>{viewers_override}
+      : smoke              ? std::vector<int>{16, 64}
+                           : std::vector<int>{1000, 4000, 10000};
+  const int cluster_nodes = smoke ? smoke_nodes : 16;
+
+  auto run_single = [&](const std::vector<ViewerRequest>& viewers,
+                        bool share_plans) {
+    bench.db->storage()->ClearCache();
+    ServerOptions options;
+    options.max_concurrent_sessions = static_cast<int>(viewers.size());
+    options.share_plans = share_plans;
+    StreamingServer server(bench.db->storage(), options);
+    return CheckOk(server.Run(metadata, viewers), "E11 single-node run");
+  };
+  auto run_cluster = [&](const std::vector<ViewerRequest>& viewers, int nodes,
+                         bool share_plans, PrefetchMode prefetch) {
+    ShardedStoreOptions store_options;
+    store_options.backend.env = bench.env.get();
+    store_options.backend.root = "/bench";
+    store_options.shards = nodes;
+    if (prefetch != PrefetchMode::kOff) {
+      store_options.backend.io_threads = 2;
+      store_options.backend.read_latency_seconds = 0.0005;
+    }
+    auto store = CheckOk(ShardedStore::Open(store_options), "E11 store");
+    ClusterOptions cluster_options;
+    cluster_options.nodes = nodes;
+    cluster_options.node.max_concurrent_sessions =
+        static_cast<int>(viewers.size());
+    cluster_options.node.share_plans = share_plans;
+    cluster_options.node.prefetch = prefetch;
+    ClusterServer cluster(store.get(), cluster_options);
+    std::vector<VideoMetadata> videos = {metadata};
+    return CheckOk(cluster.Run(videos, viewers), "E11 cluster run");
+  };
+
+  std::printf("%8s %10s %12s %10s %10s | %8s %12s %12s %8s %8s\n", "viewers",
+              "host s", "host s/view", "plan hit", "cache hit", "nodes",
+              "host s/view", "node host s", "plan hit", "L2 hit");
+
+  std::string cohort_json;
+  double first_hsv = 0.0, last_hsv = 0.0;
+  for (int count : cohorts) {
+    std::vector<ViewerRequest> viewers = MakeFastPathViewers(count);
+
+    ServerStats single = run_single(viewers, /*share_plans=*/true);
+    double hsv = single.host_seconds / count;
+    if (first_hsv == 0.0) first_hsv = hsv;
+    last_hsv = hsv;
+
+    ClusterStats cluster =
+        run_cluster(viewers, cluster_nodes, /*share_plans=*/true,
+                    PrefetchMode::kOff);
+    CheckSameSimulation(single, cluster.totals, "E11 single vs cluster");
+    double node_host = 0.0;
+    for (const ClusterNodeStats& node : cluster.nodes) {
+      node_host = std::max(node_host, node.host_seconds);
+    }
+
+    std::printf(
+        "%8d %10.3f %12.6f %9.1f%% %9.1f%% | %8d %12.6f %12.3f "
+        "%7.1f%% %7.1f%%\n",
+        count, single.host_seconds, hsv, 100.0 * single.plan.HitRate(),
+        100.0 * single.cache.HitRate(), cluster_nodes,
+        cluster.totals.host_seconds / count, node_host,
+        100.0 * cluster.totals.plan.HitRate(), 100.0 * cluster.l2.HitRate());
+
+    char row[640];
+    std::snprintf(
+        row, sizeof(row),
+        "%s  {\"viewers\": %d,\n"
+        "   \"single\": {\"host_seconds\": %.4f, "
+        "\"host_seconds_per_viewer\": %.6f, \"plan_hit_rate\": %.4f, "
+        "\"cache_hit_rate\": %.4f, \"bytes_sent\": %llu, "
+        "\"completed\": %d},\n"
+        "   \"cluster\": {\"nodes\": %d, \"host_seconds_per_viewer\": %.6f, "
+        "\"max_node_host_seconds\": %.4f, \"plan_hit_rate\": %.4f, "
+        "\"l1_hit_rate\": %.4f, \"l2_hit_rate\": %.4f}}",
+        cohort_json.empty() ? "" : ",\n", count, single.host_seconds, hsv,
+        single.plan.HitRate(), single.cache.HitRate(),
+        static_cast<unsigned long long>(single.bytes_sent),
+        single.sessions_completed, cluster_nodes,
+        cluster.totals.host_seconds / count, node_host,
+        cluster.totals.plan.HitRate(), cluster.totals.cache.HitRate(),
+        cluster.l2.HitRate());
+    cohort_json += row;
+  }
+
+  // The sublinearity hard check: per-viewer host cost at the largest
+  // cohort within 1.5x of the smallest. Plan sharing and the packed-key
+  // cache path are what hold this flat as replicas pile up.
+  double hsv_ratio = first_hsv > 0 ? last_hsv / first_hsv : 0.0;
+  if (cohorts.size() > 1) {
+    std::printf("host s/viewer at %d viewers = %.3fx the %d-viewer value\n",
+                cohorts.back(), hsv_ratio, cohorts.front());
+    if (hsv_ratio > 1.5) {
+      std::fprintf(stderr,
+                   "bench: E11 per-viewer host cost grew %.3fx from %d to %d "
+                   "viewers (limit 1.5x)\n",
+                   hsv_ratio, cohorts.front(), cohorts.back());
+      std::exit(1);
+    }
+  }
+
+  // Determinism matrix: one fixed cohort re-served across every fast-path
+  // toggle — plan cache on/off, an exact rerun, prefetch on/off (with cold-
+  // read latency so the async path really runs), and growing node counts.
+  // The simulated outcome must not move by a byte in any cell; only host
+  // time and cache/plan/prefetch statistics may.
+  const int matrix_viewers =
+      viewers_override > 0 ? std::min(viewers_override, 256)
+      : smoke              ? 12
+                           : 256;
+  std::vector<ViewerRequest> cohort = MakeFastPathViewers(matrix_viewers);
+  ServerStats baseline = run_single(cohort, /*share_plans=*/true);
+  CheckSameSimulation(baseline, run_single(cohort, /*share_plans=*/false),
+                      "E11 plan cache off");
+  CheckSameSimulation(baseline, run_single(cohort, /*share_plans=*/true),
+                      "E11 rerun");
+  {
+    // Prefetch leg: an async store over the same cells, predict-mode
+    // prefetch feeding the churn-controlled queue.
+    StorageOptions storage_options;
+    storage_options.env = bench.env.get();
+    storage_options.root = "/bench";
+    storage_options.io_threads = 2;
+    storage_options.read_latency_seconds = 0.0005;
+    auto storage =
+        CheckOk(StorageManager::Open(storage_options), "E11 async store");
+    ServerOptions options;
+    options.max_concurrent_sessions = matrix_viewers;
+    options.prefetch = PrefetchMode::kPredict;
+    StreamingServer server(storage.get(), options);
+    ServerStats stats =
+        CheckOk(server.Run(metadata, cohort), "E11 prefetch run");
+    CheckSameSimulation(baseline, stats, "E11 prefetch");
+    std::printf("prefetch leg: enqueued=%llu deduped=%llu stale_skipped=%llu "
+                "cancellation_ratio=%.3f\n",
+                static_cast<unsigned long long>(stats.prefetch.enqueued),
+                static_cast<unsigned long long>(stats.prefetch.deduped),
+                static_cast<unsigned long long>(stats.prefetch.stale_skipped),
+                stats.prefetch.CancellationRatio());
+  }
+  const std::vector<int> matrix_nodes =
+      smoke ? std::vector<int>{smoke_nodes} : std::vector<int>{4, 16};
+  for (int nodes : matrix_nodes) {
+    CheckSameSimulation(
+        baseline,
+        run_cluster(cohort, nodes, /*share_plans=*/true, PrefetchMode::kOff)
+            .totals,
+        "E11 cluster plans-on");
+    CheckSameSimulation(baseline,
+                        run_cluster(cohort, nodes, /*share_plans=*/false,
+                                    PrefetchMode::kPredict)
+                            .totals,
+                        "E11 cluster plans-off prefetch");
+  }
+  std::printf("determinism: %d-viewer cohort byte-identical across plan "
+              "cache on/off, rerun, prefetch on/off, and",
+              matrix_viewers);
+  for (int nodes : matrix_nodes) std::printf(" %d", nodes);
+  std::printf(" nodes (%llu bytes)\n",
+              static_cast<unsigned long long>(baseline.bytes_sent));
+
+  if (smoke || viewers_override > 0) return "";
+
+  char tail[384];
+  std::snprintf(
+      tail, sizeof(tail),
+      "\n ],\n  \"host_seconds_per_viewer_ratio\": %.4f,\n"
+      "  \"determinism\": {\"viewers\": %d, \"variants\": "
+      "[\"plans_off\", \"rerun\", \"prefetch\", \"cluster_4\", "
+      "\"cluster_16\", \"cluster_16_plans_off_prefetch\"], "
+      "\"bytes_sent\": %llu}}",
+      hsv_ratio, matrix_viewers,
+      static_cast<unsigned long long>(baseline.bytes_sent));
+  return "{\"pool\": 48, \"cluster_nodes\": " +
+         std::to_string(cluster_nodes) + ", \"cohorts\": [\n" + cohort_json +
+         tail;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   int smoke_nodes = 2;
+  int viewers_override = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
       smoke_nodes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--viewers") == 0 && i + 1 < argc) {
+      viewers_override = std::atoi(argv[++i]);
     }
   }
   if (smoke_nodes < 1) smoke_nodes = 1;
@@ -119,6 +355,15 @@ int main(int argc, char** argv) {
               .status(),
           "ingest");
   VideoMetadata metadata = CheckOk(bench.db->Describe(scene_name), "describe");
+
+  // `--viewers N` isolates the E11 fast-path experiment (the perf-smoke
+  // ctest legs run `--smoke --viewers 1000`): one cohort size, single-node
+  // and cluster, plus the full determinism matrix. No JSON.
+  if (viewers_override > 0) {
+    RunFastPathExperiment(bench, metadata, smoke, viewers_override,
+                          smoke_nodes);
+    return 0;
+  }
 
   std::printf("\n%8s %12s %10s %10s %10s %9s\n", "viewers", "served Mbps",
               "cache hit", "coalesced", "rebuffer", "wall s");
@@ -526,6 +771,11 @@ int main(int argc, char** argv) {
               "pinned across rerun and %d-node cluster\n",
               live_nodes);
 
+  // E11 — the 10k-viewer serving fast path (hs/viewer sublinearity check
+  // plus the plan-cache/prefetch/node-count determinism matrix).
+  std::string e11_json =
+      RunFastPathExperiment(bench, metadata, smoke, 0, smoke_nodes);
+
   if (smoke) {
     std::printf("\nsmoke run: BENCH_server.json left untouched\n");
     return 0;
@@ -569,7 +819,7 @@ int main(int argc, char** argv) {
                      scene_name + "\",\n \"scaling\": [\n" + points_json +
                      "\n ],\n" + tail + async_json + "\n ]}" + cluster_tail +
                      cluster_json + "\n ]}" + live_head + live_json +
-                     "\n ]}}";
+                     "\n ]},\n \"e11\": " + e11_json + "}";
   WriteBenchJson("BENCH_server.json", json);
   EmitMetricsSnapshot("E7");
   return 0;

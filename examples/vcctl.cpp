@@ -301,6 +301,15 @@ void PrintServeSummary(const ServerStats& stats, PrefetchMode prefetch) {
               static_cast<unsigned long long>(stats.cache.prefetch_hits),
               static_cast<unsigned long long>(stats.cache.prefetch_wasted),
               static_cast<unsigned long long>(stats.prefetch.cancelled));
+  std::printf("churn:        deduped=%llu stale_skipped=%llu "
+              "cancellation_ratio=%.3f\n",
+              static_cast<unsigned long long>(stats.prefetch.deduped),
+              static_cast<unsigned long long>(stats.prefetch.stale_skipped),
+              stats.prefetch.CancellationRatio());
+  std::printf("plan cache:   hits=%llu misses=%llu hit_rate=%.1f%%\n",
+              static_cast<unsigned long long>(stats.plan.hits),
+              static_cast<unsigned long long>(stats.plan.misses),
+              100.0 * stats.plan.HitRate());
   std::printf("quality:      rebuffer %.2f%% (%d stalls), faults=%d "
               "retries=%d skips=%d\n",
               100.0 * stats.RebufferRatio(), stats.stall_events,

@@ -67,17 +67,29 @@ Counter* DowngradeCounter() {
   return counter;
 }
 
-/// Plans the segment's per-tile qualities for the chosen approach.
-TileQualityPlan PlanSegment(const VideoMetadata& metadata, int segment,
-                            StreamingApproach approach,
-                            const Orientation& predicted,
-                            const SessionOptions& options,
-                            double budget_bytes) {
+/// A computed plan plus its budget-fitting downgrade count (0 when fitting
+/// did not run) — what the plan cache memoizes.
+struct PlannedSegment {
+  TileQualityPlan plan;
+  int downgrades = 0;
+};
+
+/// Computes the segment's per-tile qualities for the chosen approach.
+/// `popular` is the popularity overlay as grid indices (already resolved by
+/// the caller so it can also key the plan cache); only kVisualCloud applies
+/// it. Pure function of its arguments — the property the plan cache rests
+/// on.
+PlannedSegment ComputePlan(const VideoMetadata& metadata, int segment,
+                           StreamingApproach approach,
+                           const Orientation& predicted,
+                           const SessionOptions& options, double budget_bytes,
+                           const std::vector<int>& popular) {
   const int lowest = metadata.quality_count() - 1;
   switch (approach) {
     case StreamingApproach::kMonolithicFull: {
-      return TileQualityPlan(metadata.tile_count(),
-                             Clamp(options.high_quality, 0, lowest));
+      return {TileQualityPlan(metadata.tile_count(),
+                              Clamp(options.high_quality, 0, lowest)),
+              0};
     }
     case StreamingApproach::kUniformDash: {
       std::vector<uint64_t> sizes(metadata.quality_count());
@@ -87,7 +99,7 @@ TileQualityPlan PlanSegment(const VideoMetadata& metadata, int segment,
       int quality = options.adaptive
                         ? PickQualityForBudget(sizes, budget_bytes)
                         : Clamp(options.high_quality, 0, lowest);
-      return TileQualityPlan(metadata.tile_count(), quality);
+      return {TileQualityPlan(metadata.tile_count(), quality), 0};
     }
     case StreamingApproach::kVisualCloud:
     case StreamingApproach::kOracle: {
@@ -100,25 +112,84 @@ TileQualityPlan PlanSegment(const VideoMetadata& metadata, int segment,
       assignment.high_quality = options.high_quality;
       TileQualityPlan plan =
           AssignTileQualities(metadata, predicted, assignment);
-      if (approach == StreamingApproach::kVisualCloud &&
-          options.popularity != nullptr &&
-          options.popularity->grid() == metadata.tile_grid()) {
+      if (approach == StreamingApproach::kVisualCloud && !popular.empty()) {
         int high = Clamp(options.high_quality, 0, lowest);
-        for (const TileId& tile : options.popularity->PopularTiles(
-                 segment, options.popularity_coverage)) {
-          plan[metadata.tile_grid().IndexOf(tile)] = high;
-        }
+        for (int index : popular) plan[index] = high;
       }
+      int downgrades = 0;
       if (options.adaptive) {
         TileQualityPlan requested = plan;
         plan = FitPlanToBudget(metadata, segment, std::move(plan), predicted,
                                budget_bytes);
-        DowngradeCounter()->Add(CountDowngrades(requested, plan));
+        downgrades = CountDowngrades(requested, plan);
       }
-      return plan;
+      return {std::move(plan), downgrades};
     }
   }
-  return TileQualityPlan(metadata.tile_count(), lowest);
+  return {TileQualityPlan(metadata.tile_count(), lowest), 0};
+}
+
+/// Plans the segment's per-tile qualities, memoizing through
+/// `options.plan_cache` when one is wired in. The cached entry replays the
+/// downgrade metric, so observability is identical on a hit.
+TileQualityPlan PlanSegment(const VideoMetadata& metadata, int segment,
+                            StreamingApproach approach,
+                            const Orientation& predicted,
+                            const SessionOptions& options,
+                            double budget_bytes) {
+  // The popularity overlay is resolved once, up front: it both keys the
+  // cache (the overlay is a plan input that changes as the shared model
+  // learns) and feeds the computation, so PopularTiles runs once per plan
+  // either way.
+  std::vector<int> popular;
+  if (approach == StreamingApproach::kVisualCloud &&
+      options.popularity != nullptr &&
+      options.popularity->grid() == metadata.tile_grid()) {
+    for (const TileId& tile : options.popularity->PopularTiles(
+             segment, options.popularity_coverage)) {
+      popular.push_back(metadata.tile_grid().IndexOf(tile));
+    }
+  }
+
+  const bool cacheable = options.plan_cache != nullptr &&
+                         (approach == StreamingApproach::kVisualCloud ||
+                          approach == StreamingApproach::kUniformDash);
+  if (cacheable) {
+    PlanKey key;
+    key.segment = segment;
+    key.approach = static_cast<int>(approach);
+    key.adaptive = options.adaptive;
+    key.high_quality = options.high_quality;
+    if (approach == StreamingApproach::kVisualCloud) {
+      // View-dependent inputs, exactly as used by the computation.
+      key.fov_yaw = options.viewport.fov_yaw;
+      key.fov_pitch = options.viewport.fov_pitch;
+      key.margin = options.viewport_margin;
+      key.yaw = predicted.yaw;
+      key.pitch = predicted.pitch;
+      key.popular = popular;
+    }
+    // kUniformDash is view-agnostic: zeroed orientation fields let every
+    // session at the same budget tier share one entry per segment.
+    key.budget_bytes = options.adaptive ? budget_bytes : 0.0;
+
+    PlanCache::Entry entry;
+    if (options.plan_cache->Lookup(key, &entry)) {
+      DowngradeCounter()->Add(entry.downgrades);
+      return entry.plan;
+    }
+    PlannedSegment planned = ComputePlan(metadata, segment, approach,
+                                         predicted, options, budget_bytes,
+                                         popular);
+    DowngradeCounter()->Add(planned.downgrades);
+    options.plan_cache->Insert(key, {planned.plan, planned.downgrades});
+    return std::move(planned.plan);
+  }
+
+  PlannedSegment planned = ComputePlan(metadata, segment, approach, predicted,
+                                       options, budget_bytes, popular);
+  DowngradeCounter()->Add(planned.downgrades);
+  return std::move(planned.plan);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "core/plan_cache.h"
 #include "core/tile_assignment.h"
 #include "geometry/viewport.h"
 #include "image/scene.h"
@@ -106,6 +107,15 @@ struct SessionOptions {
   /// content-driven attention shifts individual motion prediction misses.
   const PopularityModel* popularity = nullptr;
   double popularity_coverage = 0.8;
+
+  /// Optional shared plan cache (not owned; one per video). Sessions with
+  /// identical planning inputs (segment, predicted orientation, approach,
+  /// budget, popularity overlay) flyweight one TileQualityPlan instead of
+  /// each re-running assignment + budget fitting. Exact memoization: served
+  /// bytes and QoE are byte-identical with or without it. Only
+  /// kVisualCloud and kUniformDash plans are cached (kOracle plans from
+  /// the whole trace path; kMonolithicFull is already trivial).
+  PlanCache* plan_cache = nullptr;
 
   /// Optional live popularity sink (not owned). Every orientation the
   /// session observes while playing is also recorded here, so concurrent

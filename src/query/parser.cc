@@ -1,6 +1,8 @@
 #include "query/parser.h"
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 #include "common/math_util.h"
@@ -105,6 +107,21 @@ class Parser {
     return value;
   }
 
+  /// Range-checked integer argument. Rejects overflow instead of wrapping:
+  /// a wrapped atoi once turned degrade(10^21) into a negative rung whose
+  /// canonical form didn't re-parse (found by the query fuzzer).
+  Result<int> Int(const std::string& arg, const char* what, long min_value,
+                  long max_value) {
+    char* end = nullptr;
+    errno = 0;
+    long value = std::strtol(arg.c_str(), &end, 10);
+    if (arg.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+        value < min_value || value > max_value) {
+      return Error(std::string("bad ") + what + " '" + arg + "'");
+    }
+    return static_cast<int>(value);
+  }
+
   Result<Query> ParsePipeline() {
     Result<Query> source = ParseSource();
     if (!source.ok()) return source;
@@ -171,10 +188,10 @@ class Parser {
     }
     if (op == "frames") {
       VC_RETURN_IF_ERROR(arity(2));
-      double first, last;
-      VC_ASSIGN_OR_RETURN(first, Number(args[0], "frame"));
-      VC_ASSIGN_OR_RETURN(last, Number(args[1], "frame"));
-      return input.FrameSlice(static_cast<int>(first), static_cast<int>(last));
+      int first, last;
+      VC_ASSIGN_OR_RETURN(first, Int(args[0], "frame", INT_MIN, INT_MAX));
+      VC_ASSIGN_OR_RETURN(last, Int(args[1], "frame", INT_MIN, INT_MAX));
+      return input.FrameSlice(first, last);
     }
     if (op == "viewport") {
       VC_RETURN_IF_ERROR(arity(4));
@@ -190,19 +207,21 @@ class Parser {
       if (args[0].empty()) return Error(op + " needs a rung name or index");
       bool numeric = args[0].find_first_not_of("0123456789") ==
                      std::string::npos;
-      if (op == "quality") {
-        return numeric ? input.QualityFloor(std::atoi(args[0].c_str()))
-                       : input.QualityFloor(args[0]);
+      if (numeric) {
+        int rung;
+        VC_ASSIGN_OR_RETURN(rung, Int(args[0], "rung", 0, INT_MAX));
+        return op == "quality" ? input.QualityFloor(rung)
+                               : input.Degrade(rung);
       }
-      return numeric ? input.Degrade(std::atoi(args[0].c_str()))
-                     : input.Degrade(args[0]);
+      return op == "quality" ? input.QualityFloor(args[0])
+                             : input.Degrade(args[0]);
     }
     if (op == "encode") {
       if (args.empty()) return input.Encode();
       VC_RETURN_IF_ERROR(arity(1));
-      double qp;
-      VC_ASSIGN_OR_RETURN(qp, Number(args[0], "qp"));
-      return input.Encode(static_cast<int>(qp));
+      int qp;
+      VC_ASSIGN_OR_RETURN(qp, Int(args[0], "qp", INT_MIN, INT_MAX));
+      return input.Encode(qp);
     }
     if (op == "store") {
       VC_RETURN_IF_ERROR(arity(1));

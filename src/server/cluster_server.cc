@@ -139,6 +139,16 @@ Result<ClusterStats> ClusterServer::RunInternal(
                         : video.segment_count()));
   }
 
+  // One plan cache per catalog video, shared by every node: a session's
+  // planning inputs carry no node identity, so any node's viewer can reuse
+  // a plan first computed anywhere in the cluster. Exact memoization keeps
+  // outcomes byte-identical across node counts and with the cache off.
+  std::vector<std::unique_ptr<PlanCache>> plan_caches;
+  plan_caches.reserve(video_count);
+  for (size_t v = 0; v < video_count; ++v) {
+    plan_caches.push_back(std::make_unique<PlanCache>());
+  }
+
   std::vector<NodeState> nodes(options_.nodes);
   for (int n = 0; n < options_.nodes; ++n) {
     nodes[n].view = store_->CreateNode(options_.l1_capacity_bytes);
@@ -227,6 +237,9 @@ Result<ClusterStats> ClusterServer::RunInternal(
       session_options.popularity = popularity[video].get();
       session_options.popularity_sink = popularity[video].get();
       session_options.popularity_coverage = options_.node.popularity_coverage;
+    }
+    if (options_.node.share_plans) {
+      session_options.plan_cache = plan_caches[video].get();
     }
     Stopwatch node_clock;
     std::unique_ptr<ClientSession> session;
@@ -363,6 +376,8 @@ Result<ClusterStats> ClusterServer::RunInternal(
       totals.prefetch.enqueued += node.stats.prefetch.enqueued;
       totals.prefetch.dispatched += node.stats.prefetch.dispatched;
       totals.prefetch.cancelled += node.stats.prefetch.cancelled;
+      totals.prefetch.deduped += node.stats.prefetch.deduped;
+      totals.prefetch.stale_skipped += node.stats.prefetch.stale_skipped;
     }
     node.stats.l1 = node.view->cache_stats();
     node.stats.host_seconds = node.host_seconds;
@@ -371,6 +386,7 @@ Result<ClusterStats> ClusterServer::RunInternal(
     totals.cache.evictions += node.stats.l1.evictions;
     totals.cache.coalesced += node.stats.l1.coalesced;
     totals.cache.rejected_oversize += node.stats.l1.rejected_oversize;
+    totals.cache.admission_rejects += node.stats.l1.admission_rejects;
     totals.cache.bytes_cached += node.stats.l1.bytes_cached;
     totals.cache.prefetch_issued += node.stats.l1.prefetch_issued;
     totals.cache.prefetch_hits += node.stats.l1.prefetch_hits;
@@ -389,12 +405,21 @@ Result<ClusterStats> ClusterServer::RunInternal(
   stats.l2.coalesced = l2_after.coalesced - l2_before.coalesced;
   stats.l2.rejected_oversize =
       l2_after.rejected_oversize - l2_before.rejected_oversize;
+  stats.l2.admission_rejects =
+      l2_after.admission_rejects - l2_before.admission_rejects;
   stats.l2.bytes_cached = l2_after.bytes_cached;
   stats.l2.prefetch_issued =
       l2_after.prefetch_issued - l2_before.prefetch_issued;
   stats.l2.prefetch_hits = l2_after.prefetch_hits - l2_before.prefetch_hits;
   stats.l2.prefetch_wasted =
       l2_after.prefetch_wasted - l2_before.prefetch_wasted;
+
+  for (const std::unique_ptr<PlanCache>& cache : plan_caches) {
+    PlanCache::Stats plan = cache->stats();
+    totals.plan.hits += plan.hits;
+    totals.plan.misses += plan.misses;
+  }
+  registry.GetGauge("server.plan_cache_hit_rate")->Set(totals.plan.HitRate());
 
   totals.host_seconds = host_clock.ElapsedSeconds();
   return stats;

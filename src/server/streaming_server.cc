@@ -131,6 +131,11 @@ Result<ServerStats> StreamingServer::RunInternal(
                              live != nullptr ? live->final_segment_count()
                                              : metadata.segment_count());
 
+  // One plan cache per run (this server streams one video): sessions with
+  // identical planning inputs flyweight one TileQualityPlan. Exact
+  // memoization — only host time and `stats.plan` move when this is on.
+  PlanCache plan_cache;
+
   ServerStats stats;
   std::vector<std::unique_ptr<ClientSession>> sessions(viewers.size());
   std::priority_queue<Event, std::vector<Event>, EventLater> events;
@@ -165,6 +170,7 @@ Result<ServerStats> StreamingServer::RunInternal(
       session_options.popularity_sink = &popularity;
       session_options.popularity_coverage = options_.popularity_coverage;
     }
+    if (options_.share_plans) session_options.plan_cache = &plan_cache;
     std::unique_ptr<ClientSession> session;
     VC_ASSIGN_OR_RETURN(
         session, ClientSession::Create(storage_, metadata,
@@ -297,6 +303,13 @@ Result<ServerStats> StreamingServer::RunInternal(
       cache_after.prefetch_hits - cache_before.prefetch_hits;
   stats.cache.prefetch_wasted =
       cache_after.prefetch_wasted - cache_before.prefetch_wasted;
+  stats.cache.rejected_oversize =
+      cache_after.rejected_oversize - cache_before.rejected_oversize;
+  stats.cache.admission_rejects =
+      cache_after.admission_rejects - cache_before.admission_rejects;
+
+  stats.plan = plan_cache.stats();
+  registry.GetGauge("server.plan_cache_hit_rate")->Set(stats.plan.HitRate());
 
   hit_rate_gauge->Set(stats.cache.HitRate());
   rebuffer_gauge->Set(stats.RebufferRatio());

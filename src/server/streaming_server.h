@@ -44,6 +44,12 @@ struct ServerOptions {
   bool shared_popularity = true;
   double popularity_coverage = 0.8;
 
+  /// Maintain one PlanCache per run (per video under a cluster): sessions
+  /// with identical planning inputs share one computed TileQualityPlan.
+  /// Exact memoization — served bytes and QoE are byte-identical with this
+  /// on or off; only host time and `plan` stats move. On by default.
+  bool share_plans = true;
+
   /// Speculative cell loading: ahead of each session's pacing deadline,
   /// its orientation prediction (and, under kPopularity, the shared
   /// popularity model) warms the storage cache on the I/O pool's
@@ -89,6 +95,9 @@ struct ServerStats {
   CacheStats cache;
   /// Prefetch request-queue accounting (zero when prefetch is off).
   PrefetcherStats prefetch;
+  /// Plan-cache accounting (zero when share_plans is off). Under a cluster
+  /// this sums the per-video caches.
+  PlanCache::Stats plan;
 
   /// Ingest-side accounting of the feed a RunLive() run served (all zero
   /// for an ordinary video-on-demand run).

@@ -47,6 +47,11 @@ Counter* RejectedOversizeCounter() {
       MetricRegistry::Global().GetCounter("cache.rejected_oversize");
   return counter;
 }
+Counter* AdmissionRejectCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("cache.l2_admission_rejects");
+  return counter;
+}
 
 }  // namespace
 
@@ -85,53 +90,60 @@ Result<LruCache::Value> LruCache::AsyncHandle::Wait() const {
   return state_->value;
 }
 
-LruCache::LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+LruCache::LruCache(size_t capacity_bytes)
+    : LruCache(LruCacheOptions{capacity_bytes}) {}
 
-LruCache::Value LruCache::Get(const std::string& key) {
+LruCache::LruCache(const LruCacheOptions& options) : options_(options) {}
+
+LruCache::Value LruCache::Get(PackedCellKey key) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
+  auto it = table_.find(key);
+  if (it == table_.end() || !it->second.cached) {
     ++stats_.misses;
     MissCounter()->Add();
     return nullptr;
   }
   ++stats_.hits;
   HitCounter()->Add();
-  TouchLocked(&*it->second);
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->value;
+  TouchLocked(&*it->second.entry);
+  lru_.splice(lru_.begin(), lru_, it->second.entry);
+  return it->second.entry->value;
 }
 
-void LruCache::Put(const std::string& key, Value value) {
+void LruCache::Put(PackedCellKey key, Value value) {
   if (value == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
-  PutLocked(key, std::move(value));
+  PutLocked(table_.try_emplace(key).first, std::move(value),
+            /*prefetched=*/false);
 }
 
-Result<LruCache::Value> LruCache::GetOrCompute(const std::string& key,
+Result<LruCache::Value> LruCache::GetOrCompute(PackedCellKey key,
                                                const Loader& loader,
                                                bool* was_hit,
                                                bool* consumed_prefetch) {
   if (was_hit != nullptr) *was_hit = false;
   if (consumed_prefetch != nullptr) *consumed_prefetch = false;
   std::unique_lock<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  // One try_emplace covers every case with a single hash of the key: a hit
+  // (slot cached), a coalesce (slot in flight), or a miss that makes us the
+  // loader (slot freshly inserted — it doubles as the in-flight marker).
+  auto it = table_.try_emplace(key).first;
+  Slot& slot = it->second;
+  if (slot.cached) {
     ++stats_.hits;
     HitCounter()->Add();
-    bool consumed = TouchLocked(&*it->second);
+    bool consumed = TouchLocked(&*slot.entry);
     if (consumed_prefetch != nullptr) *consumed_prefetch = consumed;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    lru_.splice(lru_.begin(), lru_, slot.entry);
     if (was_hit != nullptr) *was_hit = true;
-    return it->second->value;
+    return slot.entry->value;
   }
   ++stats_.misses;
   MissCounter()->Add();
 
-  auto flight = inflight_.find(key);
-  if (flight != inflight_.end()) {
+  if (slot.inflight != nullptr) {
     // Someone else is already loading this key: wait for their result.
-    std::shared_ptr<AsyncHandle::State> state = flight->second;
+    std::shared_ptr<AsyncHandle::State> state = slot.inflight;
     ++stats_.coalesced;
     CoalescedCounter()->Add();
     {
@@ -153,14 +165,14 @@ Result<LruCache::Value> LruCache::GetOrCompute(const std::string& key,
   // We are the loader for this key.
   auto state = std::make_shared<AsyncHandle::State>();
   state->demanded = true;
-  inflight_[key] = state;
+  slot.inflight = state;
   lock.unlock();
   Result<Value> loaded = loader();
   Complete(key, state, loaded);
   return loaded;
 }
 
-LruCache::AsyncHandle LruCache::GetOrComputeAsync(const std::string& key,
+LruCache::AsyncHandle LruCache::GetOrComputeAsync(PackedCellKey key,
                                                   Loader loader,
                                                   ThreadPool* pool,
                                                   LoadKind kind,
@@ -168,19 +180,20 @@ LruCache::AsyncHandle LruCache::GetOrComputeAsync(const std::string& key,
   const bool demand = kind == LoadKind::kDemand;
   if (consumed_prefetch != nullptr) *consumed_prefetch = false;
   std::unique_lock<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  auto it = table_.try_emplace(key).first;
+  Slot& slot = it->second;
+  if (slot.cached) {
     if (demand) {
       ++stats_.hits;
       HitCounter()->Add();
-      bool consumed = TouchLocked(&*it->second);
+      bool consumed = TouchLocked(&*slot.entry);
       if (consumed_prefetch != nullptr) *consumed_prefetch = consumed;
-      lru_.splice(lru_.begin(), lru_, it->second);
+      lru_.splice(lru_.begin(), lru_, slot.entry);
     }
     auto state = std::make_shared<AsyncHandle::State>();
     state->done = true;
     state->hit = true;
-    state->value = it->second->value;
+    state->value = slot.entry->value;
     return AsyncHandle(std::move(state));
   }
   if (demand) {
@@ -188,9 +201,8 @@ LruCache::AsyncHandle LruCache::GetOrComputeAsync(const std::string& key,
     MissCounter()->Add();
   }
 
-  auto flight = inflight_.find(key);
-  if (flight != inflight_.end()) {
-    std::shared_ptr<AsyncHandle::State> state = flight->second;
+  if (slot.inflight != nullptr) {
+    std::shared_ptr<AsyncHandle::State> state = slot.inflight;
     if (demand) {
       ++stats_.coalesced;
       CoalescedCounter()->Add();
@@ -208,7 +220,7 @@ LruCache::AsyncHandle LruCache::GetOrComputeAsync(const std::string& key,
   auto state = std::make_shared<AsyncHandle::State>();
   state->prefetch_origin = !demand;
   state->demanded = demand;
-  inflight_[key] = state;
+  slot.inflight = state;
   if (!demand) {
     ++stats_.prefetch_issued;
     PrefetchIssuedCounter()->Add();
@@ -231,19 +243,23 @@ LruCache::AsyncHandle LruCache::GetOrComputeAsync(const std::string& key,
   return AsyncHandle(std::move(state));
 }
 
-void LruCache::Complete(const std::string& key,
+void LruCache::Complete(PackedCellKey key,
                         const std::shared_ptr<AsyncHandle::State>& state,
                         Result<Value> loaded) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    inflight_.erase(key);
+    auto it = table_.find(key);
+    // Only the thread that registered `state` completes this key, and
+    // nothing else clears an in-flight marker, so the slot must still be
+    // here holding it.
+    it->second.inflight = nullptr;
     std::lock_guard<std::mutex> state_lock(state->mu);
     state->done = true;
     if (loaded.ok()) {
       state->value = *loaded;
       // A prefetched value nobody demanded yet stays tagged so its eventual
       // consumption (or eviction) is attributed to the prefetcher.
-      PutLocked(key, std::move(*loaded),
+      PutLocked(it, std::move(*loaded),
                 state->prefetch_origin && !state->demanded);
     } else {
       state->status = loaded.status();
@@ -254,6 +270,7 @@ void LruCache::Complete(const std::string& key,
         ++stats_.prefetch_wasted;
         PrefetchWastedCounter()->Add();
       }
+      EraseSlotIfEmptyLocked(it);
     }
   }
   state->cv.notify_all();
@@ -267,28 +284,29 @@ bool LruCache::TouchLocked(Entry* entry) {
   return true;
 }
 
-void LruCache::CreditPrefetchConsumption(const std::string& key) {
+void LruCache::CreditPrefetchConsumption(PackedCellKey key) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) return;
-  Entry& entry = *it->second;
+  auto it = table_.find(key);
+  if (it == table_.end() || !it->second.cached) return;
+  Entry& entry = *it->second.entry;
   if (!entry.prefetched) return;
   entry.prefetched = false;
   ++stats_.prefetch_hits;
   PrefetchHitCounter()->Add();
 }
 
-void LruCache::Erase(const std::string& key) {
+void LruCache::Erase(PackedCellKey key) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) return;
-  if (it->second->prefetched) {
+  auto it = table_.find(key);
+  if (it == table_.end() || !it->second.cached) return;
+  if (it->second.entry->prefetched) {
     ++stats_.prefetch_wasted;
     PrefetchWastedCounter()->Add();
   }
-  stats_.bytes_cached -= it->second->value->size();
-  lru_.erase(it->second);
-  index_.erase(it);
+  stats_.bytes_cached -= it->second.entry->value->size();
+  lru_.erase(it->second.entry);
+  it->second.cached = false;
+  EraseSlotIfEmptyLocked(it);
 }
 
 void LruCache::Clear() {
@@ -300,7 +318,14 @@ void LruCache::Clear() {
     }
   }
   lru_.clear();
-  index_.clear();
+  for (auto it = table_.begin(); it != table_.end();) {
+    it->second.cached = false;
+    if (it->second.inflight == nullptr) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   stats_.bytes_cached = 0;
 }
 
@@ -309,10 +334,13 @@ CacheStats LruCache::stats() const {
   return stats_;
 }
 
-void LruCache::PutLocked(const std::string& key, Value value,
-                         bool prefetched) {
-  if (value == nullptr) return;
-  if (value->size() > capacity_) {
+void LruCache::PutLocked(Table::iterator it, Value value, bool prefetched) {
+  if (value == nullptr) {
+    EraseSlotIfEmptyLocked(it);
+    return;
+  }
+  Slot& slot = it->second;
+  if (value->size() > options_.capacity_bytes) {
     // Too big to ever fit: refuse to cache, but loudly. Waiters still get
     // the value (Complete resolves their state before calling us).
     ++stats_.rejected_oversize;
@@ -322,41 +350,69 @@ void LruCache::PutLocked(const std::string& key, Value value,
       ++stats_.prefetch_wasted;
       PrefetchWastedCounter()->Add();
     }
+    EraseSlotIfEmptyLocked(it);
     return;
   }
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  if (slot.cached) {
     // Displacing a still-unconsumed prefetched value closes its
     // attribution: nobody demanded it before it was overwritten.
-    if (it->second->prefetched && !prefetched) {
+    if (slot.entry->prefetched && !prefetched) {
       ++stats_.prefetch_wasted;
       PrefetchWastedCounter()->Add();
     }
-    stats_.bytes_cached -= it->second->value->size();
-    it->second->value = std::move(value);
-    it->second->prefetched = prefetched;
-    stats_.bytes_cached += it->second->value->size();
-    lru_.splice(lru_.begin(), lru_, it->second);
+    stats_.bytes_cached -= slot.entry->value->size();
+    slot.entry->value = std::move(value);
+    slot.entry->prefetched = prefetched;
+    stats_.bytes_cached += slot.entry->value->size();
+    lru_.splice(lru_.begin(), lru_, slot.entry);
   } else {
-    lru_.push_front(Entry{key, std::move(value), prefetched});
-    index_[key] = lru_.begin();
+    if (options_.admit_on_second_touch && !AdmitLocked(it->first)) {
+      ++stats_.admission_rejects;
+      AdmissionRejectCounter()->Add();
+      if (prefetched) {
+        ++stats_.prefetch_wasted;
+        PrefetchWastedCounter()->Add();
+      }
+      EraseSlotIfEmptyLocked(it);
+      return;
+    }
+    lru_.push_front(Entry{it->first, std::move(value), prefetched});
+    slot.entry = lru_.begin();
+    slot.cached = true;
     stats_.bytes_cached += lru_.front().value->size();
   }
   EvictIfNeededLocked();
 }
 
+bool LruCache::AdmitLocked(PackedCellKey key) {
+  if (touch_filter_.erase(key) > 0) return true;
+  if (touch_filter_.size() >= options_.touch_filter_keys) {
+    touch_filter_.clear();
+  }
+  touch_filter_.insert(key);
+  return false;
+}
+
 void LruCache::EvictIfNeededLocked() {
-  while (stats_.bytes_cached > capacity_ && !lru_.empty()) {
+  while (stats_.bytes_cached > options_.capacity_bytes && !lru_.empty()) {
     const Entry& victim = lru_.back();
     if (victim.prefetched) {
       ++stats_.prefetch_wasted;
       PrefetchWastedCounter()->Add();
     }
+    auto it = table_.find(victim.key);
     stats_.bytes_cached -= victim.value->size();
-    index_.erase(victim.key);
     lru_.pop_back();
+    it->second.cached = false;
+    EraseSlotIfEmptyLocked(it);
     ++stats_.evictions;
     EvictionCounter()->Add();
+  }
+}
+
+void LruCache::EraseSlotIfEmptyLocked(Table::iterator it) {
+  if (!it->second.cached && it->second.inflight == nullptr) {
+    table_.erase(it);
   }
 }
 

@@ -7,12 +7,13 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "storage/cell_key.h"
 
 namespace vc {
 
@@ -38,6 +39,11 @@ struct CacheStats {
   /// cell shows up here instead of thrashing invisibly.
   uint64_t rejected_oversize = 0;
 
+  /// New values the admit-on-second-touch policy refused to cache (first
+  /// touch goes into the filter, not the cache). Zero unless the policy is
+  /// enabled. The value is still delivered to every waiter.
+  uint64_t admission_rejects = 0;
+
   /// Speculative loads actually dispatched (not already cached/in flight).
   uint64_t prefetch_issued = 0;
   /// Prefetched values later consumed by a demand read — including demand
@@ -45,9 +51,9 @@ struct CacheStats {
   /// promotions credited via CreditPrefetchConsumption.
   uint64_t prefetch_hits = 0;
   /// Prefetched values that never served a demand read: evicted, erased,
-  /// dropped by Clear, displaced by a later Put, rejected as oversize, or
-  /// failed to load. Every issued prefetch eventually lands in exactly one
-  /// of hits/wasted (or is still cached/in flight), so
+  /// dropped by Clear, displaced by a later Put, rejected as oversize or by
+  /// admission, or failed to load. Every issued prefetch eventually lands
+  /// in exactly one of hits/wasted (or is still cached/in flight), so
   ///   prefetch_issued == prefetch_hits + prefetch_wasted
   /// holds once the cache is drained and cleared.
   uint64_t prefetch_wasted = 0;
@@ -58,12 +64,32 @@ struct CacheStats {
   }
 };
 
-/// \brief Byte-bounded LRU cache from string keys to immutable byte buffers.
+/// Construction options for LruCache.
+struct LruCacheOptions {
+  /// Zero disables caching entirely.
+  size_t capacity_bytes = 0;
+  /// Admit a *new* key only on its second load within the filter's memory:
+  /// the first load parks the key in a small touch filter and the value is
+  /// delivered but not cached; a later load of the same key admits it.
+  /// Filters one-touch-wonder scans out of a shared tier (the classic L2
+  /// problem: 10k viewers each touching a cold tail cell once would churn
+  /// the whole tier). Replacements of already-cached keys always proceed.
+  bool admit_on_second_touch = false;
+  /// Touch-filter capacity in keys; when full it is cleared wholesale (a
+  /// deterministic, allocation-stable approximation of aging out).
+  size_t touch_filter_keys = 4096;
+};
+
+/// \brief Byte-bounded LRU cache from packed 64-bit cell keys to immutable
+/// byte buffers.
 ///
 /// This is VisualCloud's buffer pool: the storage manager caches encoded
 /// segment cells at GOP granularity, which captures the temporal locality of
 /// streaming sessions (clients re-request neighbouring qualities and replay
-/// ranges). Thread-safe.
+/// ranges). Keys are PackedCellKey (storage/cell_key.h); one unified slot
+/// table holds both the cached entry and any in-flight load for a key, so
+/// every lookup — hit, coalesce, or miss-become-loader — hashes exactly
+/// once. Thread-safe.
 class LruCache {
  public:
   using Value = std::shared_ptr<const std::vector<uint8_t>>;
@@ -97,14 +123,15 @@ class LruCache {
 
   /// `capacity_bytes` of zero disables caching entirely.
   explicit LruCache(size_t capacity_bytes);
+  explicit LruCache(const LruCacheOptions& options);
 
   /// Returns the cached value or nullptr, updating recency and stats.
-  Value Get(const std::string& key);
+  Value Get(PackedCellKey key);
 
   /// Inserts (or replaces) a value, evicting LRU entries over capacity.
   /// Values larger than the whole capacity are not cached (counted in
   /// `rejected_oversize`).
-  void Put(const std::string& key, Value value);
+  void Put(PackedCellKey key, Value value);
 
   /// Returns the cached value for `key`, or runs `loader` to produce (and
   /// cache) it. Single-flight: when several threads miss on the same key
@@ -119,7 +146,7 @@ class LruCache {
   /// `consumed_prefetch` is non-null it is set to whether this call was the
   /// first demand touch of a prefetched value (tiered callers use this to
   /// credit the copy in the other tier via CreditPrefetchConsumption).
-  Result<Value> GetOrCompute(const std::string& key, const Loader& loader,
+  Result<Value> GetOrCompute(PackedCellKey key, const Loader& loader,
                              bool* was_hit = nullptr,
                              bool* consumed_prefetch = nullptr);
 
@@ -135,7 +162,7 @@ class LruCache {
   /// consumption (or eviction without it) is attributed to prefetching.
   /// `consumed_prefetch` is as in GetOrCompute (only a demand `kind` ever
   /// sets it).
-  AsyncHandle GetOrComputeAsync(const std::string& key, Loader loader,
+  AsyncHandle GetOrComputeAsync(PackedCellKey key, Loader loader,
                                 ThreadPool* pool, LoadKind kind,
                                 bool* consumed_prefetch = nullptr);
 
@@ -146,28 +173,39 @@ class LruCache {
   /// downstream, so its eventual eviction here must not be double-counted
   /// as wasted. Recency and the demand hit/miss counters are untouched.
   /// No-op when the key is absent or already consumed.
-  void CreditPrefetchConsumption(const std::string& key);
+  void CreditPrefetchConsumption(PackedCellKey key);
 
-  /// Removes one key if present.
-  void Erase(const std::string& key);
+  /// Removes one key if present (in-flight loads are unaffected).
+  void Erase(PackedCellKey key);
 
-  /// Drops everything (stats are preserved).
+  /// Drops everything cached (stats and in-flight loads are preserved).
   void Clear();
 
   CacheStats stats() const;
-  size_t capacity_bytes() const { return capacity_; }
+  size_t capacity_bytes() const { return options_.capacity_bytes; }
 
  private:
   struct Entry {
-    std::string key;
+    PackedCellKey key = 0;
     Value value;
     /// Inserted by a prefetch load and not yet touched by any demand read.
     bool prefetched = false;
   };
 
-  /// Resolves `state` with the loader's outcome: removes the in-flight
-  /// entry, caches success, and wakes every waiter.
-  void Complete(const std::string& key,
+  /// One key's slot in the unified table: the cached entry (when `cached`)
+  /// and/or the in-flight load. A slot exists iff at least one of the two
+  /// is live; lookups therefore hash the key exactly once to learn
+  /// everything about it.
+  struct Slot {
+    std::list<Entry>::iterator entry;
+    bool cached = false;
+    std::shared_ptr<AsyncHandle::State> inflight;
+  };
+  using Table = std::unordered_map<PackedCellKey, Slot, CellKeyHash>;
+
+  /// Resolves `state` with the loader's outcome: clears the slot's
+  /// in-flight marker, caches success, and wakes every waiter.
+  void Complete(PackedCellKey key,
                 const std::shared_ptr<AsyncHandle::State>& state,
                 Result<Value> loaded);
   /// Marks a demand touch of `entry`, crediting the prefetcher when it was
@@ -175,15 +213,22 @@ class LruCache {
   /// a prefetched value (cleared its tag).
   bool TouchLocked(Entry* entry);
 
-  void PutLocked(const std::string& key, Value value, bool prefetched = false);
+  /// Stores `value` into the slot at `it` (which must be in table_),
+  /// applying oversize and admission policy; erases the slot when it ends
+  /// up neither cached nor in flight.
+  void PutLocked(Table::iterator it, Value value, bool prefetched);
+  /// Second-touch filter decision for a new key; true = admit now.
+  bool AdmitLocked(PackedCellKey key);
   void EvictIfNeededLocked();
+  /// Erases the slot when it holds neither a cached entry nor an in-flight
+  /// load.
+  void EraseSlotIfEmptyLocked(Table::iterator it);
 
-  const size_t capacity_;
+  const LruCacheOptions options_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::unordered_map<std::string, std::shared_ptr<AsyncHandle::State>>
-      inflight_;
+  Table table_;
+  std::unordered_set<PackedCellKey, CellKeyHash> touch_filter_;
   CacheStats stats_;
 };
 

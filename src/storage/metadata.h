@@ -1,6 +1,7 @@
 #ifndef VC_STORAGE_METADATA_H_
 #define VC_STORAGE_METADATA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -10,6 +11,37 @@
 #include "geometry/tile_grid.h"
 
 namespace vc {
+
+/// \brief Memo slot for a video's process-wide packed-key namespace.
+///
+/// Packed cell keys (storage/cell_key.h) namespace the (segment, tile,
+/// quality) bit-fields by video identity. Interning the identity string
+/// costs a mutex + hash-map lookup, so the resulting id is memoized here on
+/// first use. The id is a pure function of (name, DataDir()), which copies
+/// carry along, so copies keep the memo; do not mutate those fields after
+/// cells have been read through the cache. Copy operations are defined on
+/// this member class (not on VideoMetadata) so VideoMetadata stays an
+/// aggregate.
+class CellKeyspaceId {
+ public:
+  CellKeyspaceId() = default;
+  CellKeyspaceId(const CellKeyspaceId& o)
+      : id_(o.id_.load(std::memory_order_relaxed)) {}
+  CellKeyspaceId& operator=(const CellKeyspaceId& o) {
+    id_.store(o.id_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// 0 = not yet interned.
+  uint32_t get() const { return id_.load(std::memory_order_relaxed); }
+  void set(uint32_t id) const {
+    id_.store(id, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<uint32_t> id_{0};
+};
 
 /// \brief Complete description of one stored (versioned) VR video.
 ///
@@ -39,6 +71,8 @@ struct VideoMetadata {
   std::vector<SegmentInfo> segments;
   /// Segment-major, then tile (row-major), then quality (ladder order).
   std::vector<CellInfo> cells;
+  /// Runtime-only memo of the packed-cell-key namespace; never serialized.
+  CellKeyspaceId cell_keyspace;
 
   int tile_count() const { return tile_rows * tile_cols; }
   int quality_count() const { return static_cast<int>(ladder.size()); }

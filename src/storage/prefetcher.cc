@@ -1,6 +1,7 @@
 #include "storage/prefetcher.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "obs/metrics.h"
 
@@ -11,6 +12,16 @@ namespace {
 Counter* CancelledCounter() {
   static Counter* counter =
       MetricRegistry::Global().GetCounter("prefetch.cancelled");
+  return counter;
+}
+Counter* DedupedCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("prefetch.deduped");
+  return counter;
+}
+Counter* StaleSkippedCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("prefetch.stale_skipped");
   return counter;
 }
 
@@ -94,8 +105,36 @@ void PredictivePrefetcher::EnqueueSegment(const VideoMetadata& metadata,
 
 void PredictivePrefetcher::Add(const VideoMetadata& metadata, CellKey cell,
                                double score, double deadline) {
-  DedupeKey key = KeyFor(metadata, cell);
+  // Cancellation-aware enqueue: Pump cancels any request whose deadline has
+  // passed *before* dispatching, and Pump runs at or after `now_` — so a
+  // request already stale on arrival can never dispatch. Refusing it here
+  // saves the queue insert, the eviction scan it might trigger, and the
+  // guaranteed cancellation.
+  if (deadline <= now_) {
+    ++stats_.stale_skipped;
+    StaleSkippedCounter()->Add();
+    return;
+  }
+  PackedCellKey key = cell.Packed(metadata);
+  if (options_.dedupe_ttl_seconds > 0) {
+    auto it = recent_.find(key);
+    if (it != recent_.end() && it->second > now_) {
+      ++stats_.deduped;
+      DedupedCounter()->Add();
+      return;
+    }
+  }
   if (!pending_.insert(key).second) return;  // already queued or in flight
+  if (options_.dedupe_ttl_seconds > 0) {
+    recent_[key] = now_ + options_.dedupe_ttl_seconds;
+    // Lazy purge: once the memory far outgrows the queue bound, sweep
+    // expired entries in one pass (deterministic — depends only on `now_`).
+    if (recent_.size() > static_cast<size_t>(options_.max_queue) * 4 + 4096) {
+      for (auto it = recent_.begin(); it != recent_.end();) {
+        it = it->second <= now_ ? recent_.erase(it) : std::next(it);
+      }
+    }
+  }
 
   if (static_cast<int>(queue_.size()) >= options_.max_queue) {
     // Popularity-ordered eviction: the lowest-scored pending request makes
@@ -106,20 +145,23 @@ void PredictivePrefetcher::Add(const VideoMetadata& metadata, CellKey cell,
         });
     if (victim->score >= score) {
       pending_.erase(key);
+      // Nothing was accepted — leave no dedupe memory behind.
+      recent_.erase(key);
       return;
     }
-    pending_.erase(KeyFor(*victim));
+    pending_.erase(victim->key);
     ++stats_.cancelled;
     CancelledCounter()->Add();
-    *victim = Request{&metadata, cell, score, deadline, seq_++};
+    *victim = Request{&metadata, cell, key, score, deadline, seq_++};
     ++stats_.enqueued;
     return;
   }
-  queue_.push_back(Request{&metadata, cell, score, deadline, seq_++});
+  queue_.push_back(Request{&metadata, cell, key, score, deadline, seq_++});
   ++stats_.enqueued;
 }
 
 void PredictivePrefetcher::Pump(double now) {
+  if (now > now_) now_ = now;
   // Reap finished loads so their slots free up (and a later re-request of
   // the same cell is possible — it would hit the cache anyway).
   for (size_t i = 0; i < inflight_.size();) {
@@ -138,7 +180,7 @@ void PredictivePrefetcher::Pump(double now) {
   // the clock reaches it there is nothing left to win.
   for (size_t i = 0; i < queue_.size();) {
     if (queue_[i].deadline <= now) {
-      pending_.erase(KeyFor(queue_[i]));
+      pending_.erase(queue_[i].key);
       ++stats_.cancelled;
       CancelledCounter()->Add();
       if (i + 1 != queue_.size()) {  // guard the self-move at the back
@@ -171,7 +213,7 @@ void PredictivePrefetcher::DispatchPending() {
     Request request = queue_.back();
     queue_.pop_back();
 
-    DedupeKey key = KeyFor(request);
+    PackedCellKey key = request.key;
     auto handle = storage_->ReadCellAsync(
         *request.metadata, request.cell.segment, request.cell.tile,
         request.cell.quality, LoadKind::kPrefetch);
@@ -195,7 +237,7 @@ void PredictivePrefetcher::Drain() {
   stats_.cancelled += queue_.size();
   CancelledCounter()->Add(queue_.size());
   for (const Request& request : queue_) {
-    pending_.erase(KeyFor(request));
+    pending_.erase(request.key);
   }
   queue_.clear();
 }

@@ -2,7 +2,8 @@
 #define VC_STORAGE_PREFETCHER_H_
 
 #include <cstdint>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -53,6 +54,13 @@ struct PrefetcherOptions {
   /// how much of the pool speculation can occupy. 0 derives 2× the pool's
   /// worker count.
   int max_inflight = 0;
+  /// Churn control: a cell hinted again within this many simulated seconds
+  /// of a previous accepted hint is suppressed (`deduped`), even after the
+  /// first request left the queue. Sessions pacing the same segment re-hint
+  /// the same cells every deadline; without a memory the queue refills with
+  /// work that the next Pump cancels again. 0 disables. Never affects
+  /// served bytes or outcomes — only which speculative loads are attempted.
+  double dedupe_ttl_seconds = 2.0;
 };
 
 /// Accounting of one prefetcher instance (cache-level issued/hit/wasted
@@ -63,6 +71,18 @@ struct PrefetcherStats {
   /// Requests dropped before dispatch: stale (their playback deadline
   /// passed) or evicted by a fuller queue.
   uint64_t cancelled = 0;
+  /// Hints suppressed by the dedupe TTL (the cell was accepted recently).
+  uint64_t deduped = 0;
+  /// Hints refused at enqueue because their deadline had already passed —
+  /// the next Pump would cancel them before any dispatch, so queueing them
+  /// is pure churn.
+  uint64_t stale_skipped = 0;
+
+  /// Fraction of accepted requests later dropped without dispatch — the
+  /// churn the dedupe TTL and stale skip exist to keep low.
+  double CancellationRatio() const {
+    return enqueued == 0 ? 0.0 : static_cast<double>(cancelled) / enqueued;
+  }
 };
 
 /// \brief Prediction-driven cell prefetcher: VisualCloud's "do the work
@@ -119,19 +139,11 @@ class PredictivePrefetcher {
   struct Request {
     const VideoMetadata* metadata;
     CellKey cell;
-    double score;     ///< Higher dispatches first; lowest is evicted.
-    double deadline;  ///< Simulated time after which the request is stale.
-    uint64_t seq;     ///< Tie-break: earlier requests win.
+    PackedCellKey key;  ///< cell.Packed(*metadata), computed once at Add.
+    double score;       ///< Higher dispatches first; lowest is evicted.
+    double deadline;    ///< Simulated time after which the request is stale.
+    uint64_t seq;       ///< Tie-break: earlier requests win.
   };
-
-  using DedupeKey = std::pair<const void*, size_t>;
-
-  static DedupeKey KeyFor(const VideoMetadata& metadata, CellKey cell) {
-    return {&metadata, cell.Index(metadata)};
-  }
-  static DedupeKey KeyFor(const Request& request) {
-    return KeyFor(*request.metadata, request.cell);
-  }
 
   void Add(const VideoMetadata& metadata, CellKey cell, double score,
            double deadline);
@@ -141,10 +153,16 @@ class PredictivePrefetcher {
   PrefetcherOptions options_;
   int max_inflight_;
   uint64_t seq_ = 0;
+  /// Latest simulated time seen by Pump; the stale skip and dedupe TTL are
+  /// measured on this clock.
+  double now_ = 0.0;
   std::vector<Request> queue_;
   /// Cells currently queued or in flight, to avoid duplicate requests.
-  std::set<DedupeKey> pending_;
-  std::vector<std::pair<LruCache::AsyncHandle, DedupeKey>> inflight_;
+  std::unordered_set<PackedCellKey, CellKeyHash> pending_;
+  /// Dedupe-TTL memory: key -> simulated time its suppression expires.
+  /// Purged lazily when it outgrows the queue bound.
+  std::unordered_map<PackedCellKey, double, CellKeyHash> recent_;
+  std::vector<std::pair<LruCache::AsyncHandle, PackedCellKey>> inflight_;
   PrefetcherStats stats_;
 };
 

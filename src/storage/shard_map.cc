@@ -5,6 +5,15 @@
 
 namespace vc {
 
+uint64_t ShardMap::Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
 uint64_t ShardMap::Hash(const std::string& key) {
   uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
   for (unsigned char c : key) {
@@ -14,12 +23,7 @@ uint64_t ShardMap::Hash(const std::string& key) {
   // FNV-1a mixes short strings (like the ring's "<shard>#<vnode>" labels)
   // poorly in the high bits; a splitmix64-style finalizer avalanches them
   // so the ring points spread uniformly.
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ull;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebull;
-  h ^= h >> 31;
-  return h;
+  return Mix(h);
 }
 
 ShardMap::ShardMap(int shard_count, int vnodes_per_shard)
@@ -41,7 +45,17 @@ ShardMap::ShardMap(int shard_count, int vnodes_per_shard)
 
 int ShardMap::ShardFor(const std::string& key) const {
   if (shard_count_ == 1) return 0;
-  uint64_t h = Hash(key);
+  return ShardForHash(Hash(key));
+}
+
+int ShardMap::ShardFor(uint64_t key) const {
+  if (shard_count_ == 1) return 0;
+  // Sequential packed keys differ only in low bits; the mix avalanches them
+  // across the whole ring.
+  return ShardForHash(Mix(key));
+}
+
+int ShardMap::ShardForHash(uint64_t h) const {
   auto it = std::lower_bound(
       ring_.begin(), ring_.end(), std::make_pair(h, 0),
       [](const std::pair<uint64_t, int>& a, const std::pair<uint64_t, int>& b) {

@@ -25,12 +25,24 @@ class ShardMap {
   /// The shard owning `key`, in [0, shard_count).
   int ShardFor(const std::string& key) const;
 
+  /// The shard owning a packed 64-bit cell key (storage/cell_key.h) — the
+  /// hot-path overload: one splitmix64 mix + ring lookup, no string
+  /// formatting or byte-wise hashing.
+  int ShardFor(uint64_t key) const;
+
   int shard_count() const { return shard_count_; }
 
   /// Stable 64-bit FNV-1a, the ring's hash. Exposed for tests.
   static uint64_t Hash(const std::string& key);
 
+  /// splitmix64-style finalizer used both by Hash and by the packed-key
+  /// ShardFor. Exposed for tests.
+  static uint64_t Mix(uint64_t x);
+
  private:
+  /// Ring lookup for an already-mixed 64-bit position.
+  int ShardForHash(uint64_t h) const;
+
   int shard_count_;
   /// (ring position, shard) sorted by position.
   std::vector<std::pair<uint64_t, int>> ring_;

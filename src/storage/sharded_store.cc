@@ -64,7 +64,8 @@ ShardedStore::ShardedStore(const ShardedStoreOptions& options,
                            std::vector<std::unique_ptr<StorageManager>> shards)
     : options_(options),
       shard_map_(options.shards, options.vnodes_per_shard),
-      l2_(options.l2_capacity_bytes),
+      l2_(LruCacheOptions{options.l2_capacity_bytes,
+                          options.l2_admit_on_second_touch}),
       shards_(std::move(shards)) {}
 
 std::unique_ptr<ShardedStore::Node> ShardedStore::CreateNode(
@@ -89,7 +90,7 @@ Result<LruCache::Value> ShardedStore::Node::ReadCell(
   }
   CellReadsCounter()->Add();
   ScopedTimer timer(ReadSecondsHistogram());
-  std::string key = cell.CacheKey(metadata);
+  PackedCellKey key = cell.Packed(metadata);
   StorageManager* backend = store_->shard(store_->shard_map_.ShardFor(key));
   bool was_hit = false;
   Stopwatch stopwatch;
@@ -113,7 +114,7 @@ Result<LruCache::AsyncHandle> ShardedStore::Node::ReadCellAsync(
     return Status::InvalidArgument("cell coordinates out of range");
   }
   if (kind == LoadKind::kDemand) CellReadsCounter()->Add();
-  std::string key = cell.CacheKey(metadata);
+  PackedCellKey key = cell.Packed(metadata);
   StorageManager* backend = store_->shard(store_->shard_map_.ShardFor(key));
   // The load is dispatched on the *owning* backend's pool, so each shard's
   // cold-read concurrency is bounded by its own pool regardless of how many

@@ -287,13 +287,13 @@ Result<LruCache::Value> StorageManager::ReadCell(
   cell_reads->Add();
   // Single-flight through the cache: when many concurrent sessions miss on
   // the same popular cell, exactly one hits the filesystem; the rest share
-  // its result. The cache key is preformatted in one pass (the hot path of
-  // a warm server is this lookup); the file path is only built inside the
-  // loader, which runs on misses.
+  // its result. The packed cache key is three shifts and an OR (the hot
+  // path of a warm server is this lookup); the file path is only built
+  // inside the loader, which runs on misses.
   bool was_hit = false;
   Stopwatch stopwatch;
   Result<LruCache::Value> value =
-      cache_.GetOrCompute(CellKey{segment, tile, quality}.CacheKey(metadata),
+      cache_.GetOrCompute(CellKey{segment, tile, quality}.Packed(metadata),
                           [this, &metadata, segment, tile,
                            quality]() -> Result<LruCache::Value> {
                             return MakeCellLoader(metadata, segment, tile,
@@ -318,7 +318,7 @@ Result<LruCache::AsyncHandle> StorageManager::ReadCellAsync(
   // return a resolved handle, so callers need not care whether the store
   // has an I/O pipeline.
   return cache_.GetOrComputeAsync(
-      CellKey{segment, tile, quality}.CacheKey(metadata),
+      CellKey{segment, tile, quality}.Packed(metadata),
       MakeCellLoader(metadata, segment, tile, quality), io_pool_.get(), kind);
 }
 

@@ -8,13 +8,13 @@ TieredCache::TieredCache(size_t l1_capacity_bytes, LruCache* l2)
     : l1_(l1_capacity_bytes), l2_(l2) {}
 
 Result<LruCache::Value> TieredCache::GetOrCompute(
-    const std::string& key, const LruCache::Loader& loader, bool* was_hit) {
+    PackedCellKey key, const LruCache::Loader& loader, bool* was_hit) {
   bool consumed_l1_prefetch = false;
   Result<LruCache::Value> value = l1_.GetOrCompute(
       key,
-      // Reference captures are safe here: a synchronous loader runs inside
-      // this call, on this thread.
-      [this, &key, &loader]() -> Result<LruCache::Value> {
+      // The reference capture is safe here: a synchronous loader runs
+      // inside this call, on this thread.
+      [this, key, &loader]() -> Result<LruCache::Value> {
         return l2_->GetOrCompute(key, loader);
       },
       was_hit, &consumed_l1_prefetch);
@@ -22,7 +22,7 @@ Result<LruCache::Value> TieredCache::GetOrCompute(
   return value;
 }
 
-LruCache::AsyncHandle TieredCache::GetOrComputeAsync(const std::string& key,
+LruCache::AsyncHandle TieredCache::GetOrComputeAsync(PackedCellKey key,
                                                      LruCache::Loader loader,
                                                      ThreadPool* pool,
                                                      LoadKind kind) {

@@ -1,9 +1,8 @@
 #ifndef VC_STORAGE_TIERED_CACHE_H_
 #define VC_STORAGE_TIERED_CACHE_H_
 
-#include <string>
-
 #include "storage/cache.h"
+#include "storage/cell_key.h"
 
 namespace vc {
 
@@ -31,7 +30,7 @@ class TieredCache {
 
   /// Synchronous tiered read: L1, then L2, then `loader`. `was_hit` reports
   /// an L1 hit (the cheap, node-local case).
-  Result<LruCache::Value> GetOrCompute(const std::string& key,
+  Result<LruCache::Value> GetOrCompute(PackedCellKey key,
                                        const LruCache::Loader& loader,
                                        bool* was_hit = nullptr);
 
@@ -39,7 +38,7 @@ class TieredCache {
   /// the owning backend's I/O pool so load concurrency is bounded per
   /// backend); that task resolves through the L2, coalescing with any other
   /// node's load of the same key. `kind` propagates to both tiers.
-  LruCache::AsyncHandle GetOrComputeAsync(const std::string& key,
+  LruCache::AsyncHandle GetOrComputeAsync(PackedCellKey key,
                                           LruCache::Loader loader,
                                           ThreadPool* pool, LoadKind kind);
 

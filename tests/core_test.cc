@@ -748,5 +748,115 @@ TEST_F(CoreTest, ReingestCreatesNewVersion) {
   EXPECT_TRUE(db_->Describe("versioned").status().IsNotFound());
 }
 
+// -------------------------------------------------------------- Plan cache
+
+TEST(PlanCacheTest, ExactMemoizationHitsAndMisses) {
+  PlanCache cache;
+  PlanKey key;
+  key.segment = 3;
+  key.approach = static_cast<int>(StreamingApproach::kVisualCloud);
+  key.adaptive = true;
+  key.high_quality = 0;
+  key.yaw = 1.25;
+  key.pitch = 0.5;
+  key.budget_bytes = 123456.0;
+  key.popular = {1, 5, 9};
+
+  PlanCache::Entry entry;
+  EXPECT_FALSE(cache.Lookup(key, &entry));
+  entry.plan = {0, 1, 2, 0};
+  entry.downgrades = 2;
+  cache.Insert(key, entry);
+
+  PlanCache::Entry out;
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out.plan, (TileQualityPlan{0, 1, 2, 0}));
+  EXPECT_EQ(out.downgrades, 2);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_NEAR(cache.stats().HitRate(), 0.5, 1e-9);
+
+  // Equality is exact: a hair of orientation difference is a different
+  // key (quantization lives only in the hash, for bucketing).
+  PlanKey near = key;
+  near.yaw += 1e-9;
+  EXPECT_FALSE(cache.Lookup(near, &out));
+  PlanKey popular = key;
+  popular.popular = {1, 5};
+  EXPECT_FALSE(cache.Lookup(popular, &out));
+}
+
+TEST(PlanCacheTest, GenerationalFlushBoundsSize) {
+  PlanCache cache(/*max_entries=*/4);
+  for (int i = 0; i < 10; ++i) {
+    PlanKey key;
+    key.segment = i;
+    cache.Insert(key, PlanCache::Entry{{0}, 0});
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST_F(CoreTest, PlanCacheKeepsSessionsByteIdentical) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  HeadTrace trace = MakeTrace();
+
+  // A constrained budget so adaptive fitting (the expensive, downgrade-
+  // producing path) actually runs and must be replayed faithfully on hits.
+  SessionOptions plain = BaseSession(StreamingApproach::kVisualCloud);
+  plain.network.bandwidth_bps = 2e6;
+
+  auto uncached = SimulateSession(db_->storage(), *metadata, trace, plain);
+  ASSERT_TRUE(uncached.ok());
+
+  PlanCache cache;
+  SessionOptions cached_options = plain;
+  cached_options.plan_cache = &cache;
+  auto first = SimulateSession(db_->storage(), *metadata, trace,
+                               cached_options);
+  ASSERT_TRUE(first.ok());
+  auto second = SimulateSession(db_->storage(), *metadata, trace,
+                                cached_options);
+  ASSERT_TRUE(second.ok());
+
+  // Byte-identity: the cache is a pure memoizer.
+  for (const SessionStats* stats : {&*first, &*second}) {
+    EXPECT_EQ(stats->bytes_sent, uncached->bytes_sent);
+    EXPECT_EQ(stats->segments, uncached->segments);
+    EXPECT_EQ(stats->stall_events, uncached->stall_events);
+    EXPECT_DOUBLE_EQ(stats->stall_seconds, uncached->stall_seconds);
+    EXPECT_DOUBLE_EQ(stats->startup_delay, uncached->startup_delay);
+    EXPECT_DOUBLE_EQ(stats->mean_inview_quality,
+                     uncached->mean_inview_quality);
+  }
+
+  // The identical replica shares every plan: the second session's segments
+  // are all hits.
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.hits, static_cast<uint64_t>(metadata->segment_count()));
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST_F(CoreTest, PlanCacheServesUniformDash) {
+  auto metadata = db_->Describe("venice");
+  ASSERT_TRUE(metadata.ok());
+  HeadTrace trace = MakeTrace();
+
+  // View-agnostic approach: even viewers with different gazes share plans
+  // (the key zeroes the view fields).
+  PlanCache cache;
+  SessionOptions options = BaseSession(StreamingApproach::kUniformDash);
+  options.plan_cache = &cache;
+  auto a = SimulateSession(db_->storage(), *metadata, trace, options);
+  ASSERT_TRUE(a.ok());
+  auto b = SimulateSession(db_->storage(), *metadata, MakeTrace(0.7),
+                           options);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->bytes_sent, b->bytes_sent) << "uniform plans are view-free";
+  EXPECT_GE(cache.stats().hits,
+            static_cast<uint64_t>(metadata->segment_count()));
+}
+
 }  // namespace
 }  // namespace vc

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/parser.h"
+
+// Deterministic fuzzing of the query text parser (closes ROADMAP item 6 for
+// the last text surface): a corpus of valid pipelines — every stage kind,
+// unions, nesting — is truncated at every length, peppered with seeded bit
+// flips, token-mutilated with adversarial values, and pattern-filled, and
+// every mutant goes through ParseQuery. The contract is totality: every
+// input either parses or returns a clean error Status; crashes, hangs, and
+// out-of-bounds access (the ASan/UBSan CI leg runs this suite) are the
+// failures. Mutants that do parse must additionally reach a ToString()
+// fixed point: parse → print → re-parse → print yields the same text, so
+// the canonical form is stable even for inputs no generator ever emits.
+
+namespace vc {
+namespace {
+
+std::vector<std::string> Corpus() {
+  return {
+      "scan(venice)",
+      "scan(venice) | timeslice(5,10) | viewport(180,90,100,80) | "
+      "quality(high)",
+      "scan(a) | frames(0,47) | degrade(2) | encode(31) | store(out)",
+      "scan(b) | quality(0) | encode | tofile(/tmp/out.vcc)",
+      "union(scan(a) | timeslice(0,2) ; scan(b) | timeslice(0,2)) | encode",
+      "union(scan(a) ; union(scan(b) ; scan(c)) | frames(1,2)) | "
+      "viewport(-30.5,12.25,90,60) | degrade(low) | store(merged)",
+  };
+}
+
+void DriveParser(const std::string& text) {
+  auto parsed = ParseQuery(Slice(text));
+  if (!parsed.ok()) return;
+  // Whatever parsed must have a stable canonical form: its printed text
+  // parses again and prints identically (a fixed point after one hop).
+  std::string printed = parsed->ToString();
+  auto reparsed = ParseQuery(Slice(printed));
+  ASSERT_TRUE(reparsed.ok())
+      << "canonical form failed to re-parse: " << printed;
+  EXPECT_EQ(reparsed->ToString(), printed)
+      << "ToString is not a fixed point for: " << text;
+}
+
+TEST(QueryFuzzTest, CorpusRoundTrips) {
+  // The corpus itself must parse — otherwise the mutants below would all
+  // take the early-return path and test nothing.
+  for (const std::string& text : Corpus()) {
+    auto parsed = ParseQuery(Slice(text));
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    DriveParser(text);
+  }
+}
+
+TEST(QueryFuzzTest, TruncationsFailCleanly) {
+  for (const std::string& text : Corpus()) {
+    for (size_t keep = 0; keep <= text.size(); ++keep) {
+      DriveParser(text.substr(0, keep));
+    }
+  }
+}
+
+TEST(QueryFuzzTest, BitFlipsFailCleanly) {
+  Random rng(20260808);
+  for (const std::string& text : Corpus()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string mutant = text;
+      int flips = 1 + static_cast<int>(rng.Uniform(6));
+      for (int i = 0; i < flips; ++i) {
+        size_t bit = rng.Uniform(static_cast<uint32_t>(mutant.size() * 8));
+        mutant[bit / 8] = static_cast<char>(
+            static_cast<uint8_t>(mutant[bit / 8]) ^ (1u << (bit % 8)));
+      }
+      DriveParser(mutant);
+    }
+  }
+}
+
+TEST(QueryFuzzTest, TokenSurgeryFailsCleanly) {
+  // Structured mutations the bit flipper rarely lands on: delimiters
+  // dropped or doubled, stage keywords swapped into argument position, and
+  // arguments replaced with adversarial values (overflow, empty, nested
+  // parens, keywords).
+  const std::vector<std::string> poison = {
+      "-1",    "4294967296", "999999999999999999999",
+      "scan",  "union",      "encode",
+      "1e308", "",           "NaN",
+      "(",     ")",          "(((((((((((((((((((((((((((((((",
+      ";",     "|",          "quality(high",
+  };
+  Random rng(424242);
+  for (const std::string& text : Corpus()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string mutant = text;
+      switch (rng.Uniform(4)) {
+        case 0: {  // delete one structural character
+          const std::string structural = "(),;|";
+          std::vector<size_t> spots;
+          for (size_t i = 0; i < mutant.size(); ++i) {
+            if (structural.find(mutant[i]) != std::string::npos) {
+              spots.push_back(i);
+            }
+          }
+          if (spots.empty()) break;
+          mutant.erase(
+              spots[rng.Uniform(static_cast<uint32_t>(spots.size()))], 1);
+          break;
+        }
+        case 1: {  // duplicate one character
+          size_t at = rng.Uniform(static_cast<uint32_t>(mutant.size()));
+          mutant.insert(at, 1, mutant[at]);
+          break;
+        }
+        case 2: {  // splice a poison token at a random position
+          size_t at = rng.Uniform(static_cast<uint32_t>(mutant.size() + 1));
+          mutant.insert(
+              at, poison[rng.Uniform(static_cast<uint32_t>(poison.size()))]);
+          break;
+        }
+        default: {  // replace one parenthesized argument list wholesale
+          size_t open = mutant.find('(');
+          if (open == std::string::npos) break;
+          size_t close = mutant.find(')', open);
+          if (close == std::string::npos) break;
+          mutant = mutant.substr(0, open + 1) +
+                   poison[rng.Uniform(static_cast<uint32_t>(poison.size()))] +
+                   mutant.substr(close);
+          break;
+        }
+      }
+      DriveParser(mutant);
+    }
+  }
+}
+
+TEST(QueryFuzzTest, PatternFillsFailCleanly) {
+  for (const std::string& text : Corpus()) {
+    for (char fill : {'\0', '\xff', ' ', '9', '\n'}) {
+      std::string mutant = text;
+      // Keep the leading keyword so parsing reaches stage dispatch.
+      for (size_t i = 5; i < mutant.size(); ++i) mutant[i] = fill;
+      DriveParser(mutant);
+    }
+    // And the pure pattern string with no valid prefix at all.
+    for (char fill : {'(', ')', '|', ';', ','}) {
+      DriveParser(std::string(512, fill));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vc

@@ -854,5 +854,154 @@ TEST_F(ServerTest, PopularitySinkFeedsSharedModel) {
   EXPECT_FALSE(model.PopularTiles(0, 0.5).empty());
 }
 
+// ------------------------------------------------- Serving fast-path PRs
+
+TEST_F(ServerTest, PlanCacheToggleKeepsOutcomeByteIdentical) {
+  // The shared plan cache is a pure memoizer: turning it off changes host
+  // time and plan stats, never a single served byte or QoE field.
+  VideoMetadata metadata = Metadata();
+  StorageOptions storage_options;
+  storage_options.env = env_;
+  storage_options.root = "/vcdb";
+  auto storage = StorageManager::Open(storage_options);
+  ASSERT_TRUE(storage.ok());
+
+  ServerOptions with_cache;
+  ASSERT_TRUE(with_cache.share_plans) << "must default on";
+  ServerOptions without_cache;
+  without_cache.share_plans = false;
+
+  StreamingServer cached_server(storage->get(), with_cache);
+  auto cached = cached_server.Run(metadata, MakeViewers(6));
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  StreamingServer plain_server(storage->get(), without_cache);
+  auto plain = plain_server.Run(metadata, MakeViewers(6));
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  EXPECT_EQ(cached->bytes_sent, plain->bytes_sent);
+  EXPECT_EQ(cached->wall_seconds, plain->wall_seconds);
+  EXPECT_EQ(cached->stall_seconds, plain->stall_seconds);
+  ASSERT_EQ(cached->sessions.size(), plain->sessions.size());
+  for (size_t i = 0; i < cached->sessions.size(); ++i) {
+    ExpectSameStats(cached->sessions[i], plain->sessions[i]);
+  }
+
+  // The cohort's sessions share at least the view-independent work, so the
+  // cache must both be exercised and actually hit.
+  EXPECT_GT(cached->plan.hits + cached->plan.misses, 0u);
+  EXPECT_EQ(plain->plan.hits + plain->plan.misses, 0u);
+}
+
+TEST_F(ServerTest, IdenticalViewersShareEveryPlanAfterTheFirst) {
+  // Exact replicas (same trace, same seed) are the plan cache's best case:
+  // every session after the first plans entirely from cache. This is the
+  // regime the 10k-viewer benchmark leans on.
+  VideoMetadata metadata = Metadata();
+  StorageOptions storage_options;
+  storage_options.env = env_;
+  storage_options.root = "/vcdb";
+  auto storage = StorageManager::Open(storage_options);
+  ASSERT_TRUE(storage.ok());
+
+  std::vector<ViewerRequest> viewers;
+  for (int i = 0; i < 5; ++i) {
+    ViewerRequest viewer;
+    viewer.trace = MakeTrace(0.3);
+    viewer.session = BaseSession();
+    viewer.session.network.seed = 7;  // identical network draws
+    viewer.arrival_seconds = 0.0;     // identical pacing
+    viewers.push_back(std::move(viewer));
+  }
+
+  StreamingServer server(storage->get(), ServerOptions{});
+  auto stats = server.Run(metadata, viewers);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->sessions.size(), 5u);
+  for (const SessionStats& session : stats->sessions) {
+    ExpectSameStats(session, stats->sessions[0]);
+  }
+  // One cohort member misses per (segment, plan input); the other four hit.
+  EXPECT_GE(stats->plan.HitRate(), 0.75);
+  EXPECT_GE(stats->plan.hits,
+            4 * static_cast<uint64_t>(metadata.segment_count()));
+}
+
+TEST_F(ServerTest, L2AdmissionToggleKeepsClusterOutcomeByteIdentical) {
+  // Admit-on-second-touch only decides what the shared L2 *retains*; every
+  // read still delivers the same bytes, so cluster outcomes are invariant.
+  VideoMetadata metadata = Metadata();
+  std::vector<VideoMetadata> videos = {metadata};
+
+  auto run_with = [&](bool second_touch) {
+    ShardedStoreOptions store_options;
+    store_options.backend.env = env_;
+    store_options.backend.root = "/vcdb";
+    store_options.shards = 2;
+    store_options.l2_admit_on_second_touch = second_touch;
+    auto store = ShardedStore::Open(store_options);
+    EXPECT_TRUE(store.ok());
+    ClusterOptions options;
+    options.nodes = 2;
+    ClusterServer cluster(store->get(), options);
+    auto run = cluster.Run(videos, MakeViewers(6));
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return *run;
+  };
+
+  ClusterStats filtered = run_with(true);
+  ClusterStats open = run_with(false);
+
+  EXPECT_EQ(filtered.totals.bytes_sent, open.totals.bytes_sent);
+  EXPECT_EQ(filtered.totals.stall_seconds, open.totals.stall_seconds);
+  ASSERT_EQ(filtered.totals.sessions.size(), open.totals.sessions.size());
+  for (size_t i = 0; i < filtered.totals.sessions.size(); ++i) {
+    ExpectSameStats(filtered.totals.sessions[i], open.totals.sessions[i]);
+  }
+  // The policy visibly filtered first touches out of the L2...
+  EXPECT_GT(filtered.l2.admission_rejects, 0u);
+  EXPECT_EQ(open.l2.admission_rejects, 0u);
+  // ...and each rejected first touch showed up as an extra L2 miss.
+  EXPECT_GE(filtered.l2.misses, open.l2.misses);
+}
+
+TEST_F(ServerTest, PrefetchChurnCountersSurfaceInServerStats) {
+  // Per-session hints repeat across a cohort streaming one video; the
+  // dedupe TTL suppresses the repeats instead of queueing and cancelling
+  // them. The suppression is visible in stats and changes no outcome.
+  VideoMetadata metadata = Metadata();
+  StorageOptions storage_options;
+  storage_options.env = env_;
+  storage_options.root = "/vcdb";
+  storage_options.io_threads = 2;
+  storage_options.read_latency_seconds = 0.0002;
+  auto storage = StorageManager::Open(storage_options);
+  ASSERT_TRUE(storage.ok());
+
+  ServerOptions options;
+  options.prefetch = PrefetchMode::kPredict;
+  StreamingServer server(storage->get(), options);
+  auto stats = server.Run(metadata, MakeViewers(8));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->prefetch.enqueued, 0u);
+  EXPECT_GT(stats->prefetch.deduped, 0u)
+      << "a one-video cohort must generate overlapping hints";
+  EXPECT_LE(stats->prefetch.CancellationRatio(), 1.0);
+
+  // Churn control must not perturb the simulated outcome: rerun without
+  // any prefetching and demand byte-identical sessions.
+  StorageOptions cold_options = storage_options;
+  cold_options.io_threads = 0;
+  auto cold_storage = StorageManager::Open(cold_options);
+  ASSERT_TRUE(cold_storage.ok());
+  StreamingServer cold_server(cold_storage->get(), ServerOptions{});
+  auto cold = cold_server.Run(metadata, MakeViewers(8));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(stats->bytes_sent, cold->bytes_sent);
+  ASSERT_EQ(stats->sessions.size(), cold->sessions.size());
+  for (size_t i = 0; i < stats->sessions.size(); ++i) {
+    ExpectSameStats(stats->sessions[i], cold->sessions[i]);
+  }
+}
+
 }  // namespace
 }  // namespace vc

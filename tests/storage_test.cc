@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <random>
+#include <set>
 #include <thread>
 
 #include "codec/encoder.h"
@@ -32,9 +33,9 @@ std::shared_ptr<const std::vector<uint8_t>> Bytes(size_t n, uint8_t fill) {
 
 TEST(LruCacheTest, HitAndMiss) {
   LruCache cache(1024);
-  EXPECT_EQ(cache.Get("a"), nullptr);
-  cache.Put("a", Bytes(100, 1));
-  auto v = cache.Get("a");
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, Bytes(100, 1));
+  auto v = cache.Get(1);
   ASSERT_NE(v, nullptr);
   EXPECT_EQ(v->size(), 100u);
   CacheStats stats = cache.stats();
@@ -46,29 +47,29 @@ TEST(LruCacheTest, HitAndMiss) {
 
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   LruCache cache(250);
-  cache.Put("a", Bytes(100, 1));
-  cache.Put("b", Bytes(100, 2));
-  EXPECT_NE(cache.Get("a"), nullptr);  // refresh a
-  cache.Put("c", Bytes(100, 3));       // evicts b
-  EXPECT_NE(cache.Get("a"), nullptr);
-  EXPECT_EQ(cache.Get("b"), nullptr);
-  EXPECT_NE(cache.Get("c"), nullptr);
+  cache.Put(1, Bytes(100, 1));
+  cache.Put(2, Bytes(100, 2));
+  EXPECT_NE(cache.Get(1), nullptr);  // refresh a
+  cache.Put(3, Bytes(100, 3));       // evicts b
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
 TEST(LruCacheTest, OversizedValueNotCached) {
   LruCache cache(50);
-  cache.Put("big", Bytes(100, 1));
-  EXPECT_EQ(cache.Get("big"), nullptr);
+  cache.Put(5, Bytes(100, 1));
+  EXPECT_EQ(cache.Get(5), nullptr);
   EXPECT_EQ(cache.stats().bytes_cached, 0u);
 }
 
 TEST(LruCacheTest, ReplaceUpdatesBytes) {
   LruCache cache(1000);
-  cache.Put("k", Bytes(100, 1));
-  cache.Put("k", Bytes(300, 2));
+  cache.Put(4, Bytes(100, 1));
+  cache.Put(4, Bytes(300, 2));
   EXPECT_EQ(cache.stats().bytes_cached, 300u);
-  auto v = cache.Get("k");
+  auto v = cache.Get(4);
   ASSERT_NE(v, nullptr);
   EXPECT_EQ((*v)[0], 2);
 }
@@ -78,27 +79,27 @@ TEST(LruCacheTest, ReplaceNearCapacityKeepsAccountingExact) {
   // bytes_cached exactly (old size out, new size in) and evict in strict
   // LRU order — never the just-replaced key.
   LruCache cache(300);
-  cache.Put("a", Bytes(100, 1));
-  cache.Put("b", Bytes(100, 2));
-  cache.Put("a", Bytes(180, 3));  // grows a: 280 bytes, still under capacity
+  cache.Put(1, Bytes(100, 1));
+  cache.Put(2, Bytes(100, 2));
+  cache.Put(1, Bytes(180, 3));  // grows a: 280 bytes, still under capacity
   EXPECT_EQ(cache.stats().bytes_cached, 280u);
   EXPECT_EQ(cache.stats().evictions, 0u);
-  EXPECT_NE(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
 
   // Replacing a again pushes the total over capacity; the LRU victim is a's
   // neighbour b (a was just touched), and the accounting lands exactly on
   // the new value's size.
-  cache.Put("a", Bytes(250, 4));
+  cache.Put(1, Bytes(250, 4));
   EXPECT_EQ(cache.stats().bytes_cached, 250u);
   EXPECT_EQ(cache.stats().evictions, 1u);
-  EXPECT_EQ(cache.Get("b"), nullptr);
-  auto v = cache.Get("a");
+  EXPECT_EQ(cache.Get(2), nullptr);
+  auto v = cache.Get(1);
   ASSERT_NE(v, nullptr);
   EXPECT_EQ(v->size(), 250u);
   EXPECT_EQ((*v)[0], 4);
 
   // Shrinking replacement: bytes_cached falls, nothing evicted.
-  cache.Put("a", Bytes(10, 5));
+  cache.Put(1, Bytes(10, 5));
   EXPECT_EQ(cache.stats().bytes_cached, 10u);
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
@@ -110,10 +111,10 @@ TEST(LruCacheTest, GetOrComputeCachesAndServesHits) {
     ++loads;
     return Bytes(64, 7);
   };
-  auto first = cache.GetOrCompute("k", loader);
+  auto first = cache.GetOrCompute(4, loader);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(loads, 1);
-  auto second = cache.GetOrCompute("k", loader);
+  auto second = cache.GetOrCompute(4, loader);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(loads, 1) << "second call must be served from cache";
   EXPECT_EQ(*first, *second);  // same shared buffer
@@ -128,8 +129,8 @@ TEST(LruCacheTest, GetOrComputeErrorsAreNotCached) {
     ++loads;
     return Status::IOError("backing store down");
   };
-  EXPECT_FALSE(cache.GetOrCompute("k", failing).ok());
-  EXPECT_FALSE(cache.GetOrCompute("k", failing).ok());
+  EXPECT_FALSE(cache.GetOrCompute(4, failing).ok());
+  EXPECT_FALSE(cache.GetOrCompute(4, failing).ok());
   EXPECT_EQ(loads, 2) << "errors must not be cached";
   EXPECT_EQ(cache.stats().bytes_cached, 0u);
 }
@@ -146,7 +147,7 @@ TEST(LruCacheTest, GetOrComputeSingleFlight) {
   for (int i = 0; i < kThreads; ++i) {
     threads.emplace_back([&, i] {
       auto result = cache.GetOrCompute(
-          "hot", [&]() -> Result<LruCache::Value> {
+          8, [&]() -> Result<LruCache::Value> {
             in_loader.fetch_add(1);
             loads.fetch_add(1);
             // Hold the load open long enough for the herd to pile up.
@@ -174,12 +175,12 @@ TEST(LruCacheTest, GetOrComputeSingleFlight) {
 
 TEST(LruCacheTest, EraseAndClear) {
   LruCache cache(1000);
-  cache.Put("a", Bytes(10, 1));
-  cache.Put("b", Bytes(10, 1));
-  cache.Erase("a");
-  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put(1, Bytes(10, 1));
+  cache.Put(2, Bytes(10, 1));
+  cache.Erase(1);
+  EXPECT_EQ(cache.Get(1), nullptr);
   cache.Clear();
-  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
   EXPECT_EQ(cache.stats().bytes_cached, 0u);
 }
 
@@ -189,7 +190,7 @@ TEST(LruCacheAsyncTest, DemandLoadResolvesAndCaches) {
   LruCache cache(1 << 20);
   ThreadPool pool(2);
   auto loader = []() -> Result<LruCache::Value> { return Bytes(64, 7); };
-  auto handle = cache.GetOrComputeAsync("k", loader, &pool, LoadKind::kDemand);
+  auto handle = cache.GetOrComputeAsync(4, loader, &pool, LoadKind::kDemand);
   ASSERT_TRUE(handle.valid());
   EXPECT_FALSE(handle.hit());
   auto value = handle.Wait();
@@ -199,7 +200,7 @@ TEST(LruCacheAsyncTest, DemandLoadResolvesAndCaches) {
   // Second request finds the value cached: already-resolved handle, no
   // second load dispatched.
   auto again = cache.GetOrComputeAsync(
-      "k",
+      4,
       []() -> Result<LruCache::Value> {
         ADD_FAILURE() << "cached key must not reload";
         return Status::Internal("unexpected load");
@@ -218,7 +219,7 @@ TEST(LruCacheAsyncTest, NullPoolRunsInline) {
   LruCache cache(1 << 20);
   int loads = 0;
   auto handle = cache.GetOrComputeAsync(
-      "k",
+      4,
       [&loads]() -> Result<LruCache::Value> {
         ++loads;
         return Bytes(32, 3);
@@ -227,7 +228,7 @@ TEST(LruCacheAsyncTest, NullPoolRunsInline) {
   EXPECT_TRUE(handle.ready());
   EXPECT_EQ(loads, 1);
   ASSERT_TRUE(handle.Wait().ok());
-  EXPECT_NE(cache.Get("k"), nullptr);
+  EXPECT_NE(cache.Get(4), nullptr);
 }
 
 TEST(LruCacheAsyncTest, PrefetchAttributionHitAndWasted) {
@@ -236,7 +237,7 @@ TEST(LruCacheAsyncTest, PrefetchAttributionHitAndWasted) {
   auto loader = []() -> Result<LruCache::Value> { return Bytes(64, 1); };
 
   // A prefetch probe is invisible to demand statistics.
-  ASSERT_TRUE(cache.GetOrComputeAsync("warm", loader, &pool,
+  ASSERT_TRUE(cache.GetOrComputeAsync(9, loader, &pool,
                                       LoadKind::kPrefetch)
                   .Wait()
                   .ok());
@@ -248,7 +249,7 @@ TEST(LruCacheAsyncTest, PrefetchAttributionHitAndWasted) {
   // Demand consumption of the prefetched value credits the prefetcher.
   bool was_hit = false;
   auto value = cache.GetOrCompute(
-      "warm",
+      9,
       []() -> Result<LruCache::Value> {
         ADD_FAILURE() << "prefetched key must not reload";
         return Status::Internal("unexpected load");
@@ -260,7 +261,7 @@ TEST(LruCacheAsyncTest, PrefetchAttributionHitAndWasted) {
 
   // A prefetched value dropped without any demand touch is wasted work —
   // and the already-consumed one must not be double-counted.
-  ASSERT_TRUE(cache.GetOrComputeAsync("waste", loader, &pool,
+  ASSERT_TRUE(cache.GetOrComputeAsync(10, loader, &pool,
                                       LoadKind::kPrefetch)
                   .Wait()
                   .ok());
@@ -277,7 +278,7 @@ TEST(LruCacheAsyncTest, DemandCoalescesWithInflightPrefetch) {
   std::condition_variable cv;
   bool release = false;
   auto handle = cache.GetOrComputeAsync(
-      "k",
+      4,
       [&]() -> Result<LruCache::Value> {
         std::unique_lock<std::mutex> lock(mu);
         cv.wait(lock, [&] { return release; });
@@ -288,7 +289,7 @@ TEST(LruCacheAsyncTest, DemandCoalescesWithInflightPrefetch) {
   // A demand read arriving while the prefetch is still loading must
   // coalesce onto it (crediting the prefetcher), not start a second load.
   std::thread demander([&cache] {
-    auto value = cache.GetOrCompute("k", []() -> Result<LruCache::Value> {
+    auto value = cache.GetOrCompute(4, []() -> Result<LruCache::Value> {
       ADD_FAILURE() << "demand must coalesce with the in-flight prefetch";
       return Status::Internal("unexpected load");
     });
@@ -316,7 +317,7 @@ TEST(LruCacheAsyncTest, ErrorsResolveHandleAndAreNotCached) {
   LruCache cache(1 << 20);
   ThreadPool pool(2);
   auto handle = cache.GetOrComputeAsync(
-      "k",
+      4,
       []() -> Result<LruCache::Value> {
         return Status::IOError("backing store down");
       },
@@ -325,7 +326,7 @@ TEST(LruCacheAsyncTest, ErrorsResolveHandleAndAreNotCached) {
 
   // The failure poisoned nothing: the next load runs fresh and succeeds.
   auto retry =
-      cache.GetOrCompute("k", []() -> Result<LruCache::Value> {
+      cache.GetOrCompute(4, []() -> Result<LruCache::Value> {
         return Bytes(64, 2);
       });
   ASSERT_TRUE(retry.ok());
@@ -337,7 +338,7 @@ TEST(LruCacheAsyncTest, PoolShutdownResolvesHandles) {
   ThreadPool pool(1);
   pool.Shutdown();
   auto handle = cache.GetOrComputeAsync(
-      "k", []() -> Result<LruCache::Value> { return Bytes(16, 1); }, &pool,
+      4, []() -> Result<LruCache::Value> { return Bytes(16, 1); }, &pool,
       LoadKind::kPrefetch);
   ASSERT_TRUE(handle.ready()) << "refused dispatch must resolve immediately";
   EXPECT_TRUE(handle.Wait().status().IsAborted());
@@ -345,7 +346,7 @@ TEST(LruCacheAsyncTest, PoolShutdownResolvesHandles) {
 
   // The key is not stuck in flight: a synchronous load still works.
   auto value = cache.GetOrCompute(
-      "k", []() -> Result<LruCache::Value> { return Bytes(16, 1); });
+      4, []() -> Result<LruCache::Value> { return Bytes(16, 1); });
   EXPECT_TRUE(value.ok());
 }
 
@@ -376,7 +377,7 @@ TEST(LruCacheAsyncTest, MixedDemandPrefetchHammer) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < 200; ++i) {
         int key = (t * 7 + i) % kKeys;
-        std::string name = "cell" + std::to_string(key);
+        PackedCellKey name = 900 + key;
         int op = (t + i) % 3;
         if (op == 0) {
           auto value = cache.GetOrCompute(name, loader_for(key));
@@ -401,7 +402,7 @@ TEST(LruCacheAsyncTest, MixedDemandPrefetchHammer) {
 
   EXPECT_EQ(bad_values.load(), 0);
   for (int key = 3; key < kKeys; key += 4) {
-    EXPECT_EQ(cache.Get("cell" + std::to_string(key)), nullptr)
+    EXPECT_EQ(cache.Get(900 + key), nullptr)
         << "error loads must never be cached";
   }
   CacheStats stats = cache.stats();
@@ -827,7 +828,7 @@ TEST(LruCacheTest, ConcurrentAccessIsSafe) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&cache, t] {
       for (int i = 0; i < kOps; ++i) {
-        std::string key = "k" + std::to_string((t * 7 + i) % 50);
+        PackedCellKey key = 100 + (t * 7 + i) % 50;
         if (i % 3 == 0) {
           cache.Put(key, Bytes(100, static_cast<uint8_t>(i)));
         } else if (i % 7 == 0) {
@@ -903,7 +904,7 @@ TEST(LruCacheTest, OversizeRejectionCountsAndStillDeliversSync) {
     ++loads;
     return Bytes(100, 9);
   };
-  auto value = cache.GetOrCompute("big", loader);
+  auto value = cache.GetOrCompute(5, loader);
   ASSERT_TRUE(value.ok());
   EXPECT_EQ((*value)->size(), 100u);
   CacheStats stats = cache.stats();
@@ -911,13 +912,13 @@ TEST(LruCacheTest, OversizeRejectionCountsAndStillDeliversSync) {
   EXPECT_EQ(stats.bytes_cached, 0u);
 
   // Not cached, so the demand path visibly re-loads (and re-counts).
-  value = cache.GetOrCompute("big", loader);
+  value = cache.GetOrCompute(5, loader);
   ASSERT_TRUE(value.ok());
   EXPECT_EQ(loads, 2);
   EXPECT_EQ(cache.stats().rejected_oversize, 2u);
 
   // Put() rejections count too.
-  cache.Put("alsobig", Bytes(200, 1));
+  cache.Put(6, Bytes(200, 1));
   EXPECT_EQ(cache.stats().rejected_oversize, 3u);
 }
 
@@ -925,7 +926,7 @@ TEST(LruCacheAsyncTest, OversizeRejectionStillDeliversToAsyncWaiters) {
   LruCache cache(50);
   ThreadPool pool(2);
   auto handle = cache.GetOrComputeAsync(
-      "big", []() -> Result<LruCache::Value> { return Bytes(100, 3); }, &pool,
+      5, []() -> Result<LruCache::Value> { return Bytes(100, 3); }, &pool,
       LoadKind::kDemand);
   auto value = handle.Wait();
   ASSERT_TRUE(value.ok());
@@ -938,7 +939,7 @@ TEST(LruCacheAsyncTest, OversizeRejectionStillDeliversToAsyncWaiters) {
   // cache: it closes as wasted, keeping issued == hits + wasted honest.
   ASSERT_TRUE(cache
                   .GetOrComputeAsync(
-                      "bigspec",
+                      7,
                       []() -> Result<LruCache::Value> { return Bytes(99, 1); },
                       &pool, LoadKind::kPrefetch)
                   .Wait()
@@ -954,7 +955,7 @@ TEST(LruCacheAsyncTest, FailedPrefetchCountsWasted) {
   ThreadPool pool(1);
   ASSERT_FALSE(cache
                    .GetOrComputeAsync(
-                       "k",
+                       4,
                        []() -> Result<LruCache::Value> {
                          return Status::IOError("backing store down");
                        },
@@ -972,13 +973,13 @@ TEST(LruCacheAsyncTest, PutDisplacingPrefetchedEntryCountsWasted) {
   // Null pool: the prefetch resolves inline, leaving a tagged entry.
   ASSERT_TRUE(cache
                   .GetOrComputeAsync(
-                      "k",
+                      4,
                       []() -> Result<LruCache::Value> { return Bytes(64, 1); },
                       nullptr, LoadKind::kPrefetch)
                   .Wait()
                   .ok());
   // A direct Put replaces the never-consumed speculation: wasted, once.
-  cache.Put("k", Bytes(64, 2));
+  cache.Put(4, Bytes(64, 2));
   CacheStats stats = cache.stats();
   EXPECT_EQ(stats.prefetch_wasted, 1u);
   cache.Clear();
@@ -997,7 +998,7 @@ TEST(LruCacheAsyncTest, PrefetchAttributionInvariantRandomized) {
   constexpr int kKeys = 12;
   for (int i = 0; i < 4000; ++i) {
     int key = static_cast<int>(rng() % kKeys);
-    std::string name = "cell" + std::to_string(key);
+    PackedCellKey name = 900 + key;
     size_t size = key % 5 == 4 ? 4096 : 128 + (key * 37) % 512;  // some huge
     bool fail = key % 6 == 5;
     auto loader = [size, fail, key]() -> Result<LruCache::Value> {
@@ -1043,19 +1044,19 @@ TEST(TieredCacheTest, L1OverL2ServesAndAccountsBothTiers) {
 
   // Cold read on node A: misses both tiers, runs the loader once.
   bool was_hit = true;
-  ASSERT_TRUE(node_a.GetOrCompute("cell", loader, &was_hit).ok());
+  ASSERT_TRUE(node_a.GetOrCompute(11, loader, &was_hit).ok());
   EXPECT_FALSE(was_hit);
   EXPECT_EQ(loads, 1);
 
   // Warm on node A: pure L1 hit, the L2 is not consulted.
-  ASSERT_TRUE(node_a.GetOrCompute("cell", loader, &was_hit).ok());
+  ASSERT_TRUE(node_a.GetOrCompute(11, loader, &was_hit).ok());
   EXPECT_TRUE(was_hit);
   EXPECT_EQ(loads, 1);
   EXPECT_EQ(node_a.l1_stats().hits, 1u);
 
   // Cold on node B: its private L1 misses, but the shared L2 has it — the
   // backend loader does not run again. Cross-node sharing via the L2.
-  ASSERT_TRUE(node_b.GetOrCompute("cell", loader, &was_hit).ok());
+  ASSERT_TRUE(node_b.GetOrCompute(11, loader, &was_hit).ok());
   EXPECT_FALSE(was_hit) << "hit means node-local L1";
   EXPECT_EQ(loads, 1);
   EXPECT_EQ(node_b.l1_stats().misses, 1u);
@@ -1071,7 +1072,7 @@ TEST(TieredCacheTest, PromotionCreditsL2PrefetchNotWasted) {
   LruCache l2(1 << 20);
   TieredCache node(1 << 16, &l2);
   auto handle = node.GetOrComputeAsync(
-      "cell", []() -> Result<LruCache::Value> { return Bytes(128, 4); },
+      11, []() -> Result<LruCache::Value> { return Bytes(128, 4); },
       /*pool=*/nullptr, LoadKind::kPrefetch);
   ASSERT_TRUE(handle.Wait().ok());
   EXPECT_EQ(node.l1_stats().prefetch_issued, 1u);
@@ -1079,7 +1080,7 @@ TEST(TieredCacheTest, PromotionCreditsL2PrefetchNotWasted) {
 
   bool was_hit = false;
   ASSERT_TRUE(node.GetOrCompute(
-                      "cell",
+                      11,
                       []() -> Result<LruCache::Value> {
                         ADD_FAILURE() << "prefetched cell must not reload";
                         return Status::Internal("unexpected load");
@@ -1159,7 +1160,7 @@ class RecordingCellSource : public CellSource {
                                               LoadKind kind) override {
     loads.push_back(CellKey{segment, tile, quality});
     return cache_.GetOrComputeAsync(
-        CellKey{segment, tile, quality}.CacheKey(metadata),
+        CellKey{segment, tile, quality}.Packed(metadata),
         []() -> Result<LruCache::Value> { return Bytes(8, 0); },
         /*pool=*/nullptr, kind);
   }
@@ -1339,6 +1340,260 @@ TEST(VideoMetadataTest, DataDirDefaultsAndRoundTrips) {
   EXPECT_EQ(m.DataDir(), "v7");
   m.data_dir = "v3";
   EXPECT_EQ(m.DataDir(), "v3");
+}
+
+// ------------------------------------------------------------ Packed keys
+
+TEST(PackedCellKeyTest, DistinctCoordinatesDistinctKeys) {
+  VideoMetadata m = SampleMetadata();
+  std::set<PackedCellKey> seen;
+  for (int segment = 0; segment < m.segment_count(); ++segment) {
+    for (int tile = 0; tile < m.tile_count(); ++tile) {
+      for (int quality = 0; quality < m.quality_count(); ++quality) {
+        PackedCellKey key = CellKey{segment, tile, quality}.Packed(m);
+        EXPECT_TRUE(seen.insert(key).second)
+            << CellKey{segment, tile, quality}.DebugString(m);
+        // Stable: repacking the same coordinates gives the same key.
+        EXPECT_EQ(key, (CellKey{segment, tile, quality}.Packed(m)));
+      }
+    }
+  }
+  // A different video never collides with this one's keys.
+  VideoMetadata other = SampleMetadata();
+  other.name = "rialto";
+  EXPECT_EQ(seen.count(CellKey{0, 0, 0}.Packed(other)), 0u);
+}
+
+TEST(PackedCellKeyTest, KeyspaceSharedAcrossCheckpointVersions) {
+  // Live checkpoints publish new versions over one data directory; their
+  // cells are the same files, so their packed keys must coincide.
+  VideoMetadata v1 = SampleMetadata();
+  v1.data_dir = "v1";
+  VideoMetadata v2 = v1;
+  v2.version = 2;  // same data_dir
+  EXPECT_EQ((CellKey{0, 1, 2}.Packed(v1)), (CellKey{0, 1, 2}.Packed(v2)));
+
+  // Distinct data dirs are distinct keyspaces even under one name. (Built
+  // fresh: copying carries the keyspace memo by design — identity fields
+  // must not change after a metadata's cells are first addressed.)
+  VideoMetadata forked = SampleMetadata();
+  forked.data_dir = "v9";
+  EXPECT_NE((CellKey{0, 1, 2}.Packed(v1)), (CellKey{0, 1, 2}.Packed(forked)));
+}
+
+TEST(PackedCellKeyTest, OverflowingCoordinatesUseExactEscapePath) {
+  VideoMetadata m = SampleMetadata();
+  m.name = "marathon";
+  // A segment index past the 22-bit field cannot be packed positionally.
+  CellKey huge{1 << 22, 0, 0};
+  PackedCellKey escaped = huge.Packed(m);
+  EXPECT_EQ(escaped, huge.Packed(m)) << "escape keys must be stable";
+  EXPECT_NE(escaped, (CellKey{0, 0, 0}.Packed(m)));
+  // Escape keys live below the fast-path range (keyspace bits all zero),
+  // so the two regimes can never collide.
+  EXPECT_EQ(escaped >> (64 - kPackedKeyspaceBits), 0u);
+  EXPECT_NE((CellKey{0, 0, 0}.Packed(m)) >> (64 - kPackedKeyspaceBits), 0u);
+  // Distinct overflowing coordinates stay distinct.
+  EXPECT_NE(escaped, (CellKey{(1 << 22) + 1, 0, 0}.Packed(m)));
+}
+
+TEST(CellKeyHashTest, UnifiedIndexHashesOncePerHit) {
+  // The point of collapsing the cache's dual string-keyed maps into one
+  // integer-keyed slot table: a lookup — hit, coalesce, or miss-becomes-
+  // loader — hashes the key exactly once.
+  LruCache cache(1 << 16);
+  cache.Put(42, Bytes(64, 1));
+
+  uint64_t before = CellKeyHash::invocations.load();
+  EXPECT_NE(cache.Get(42), nullptr);
+  EXPECT_EQ(CellKeyHash::invocations.load() - before, 1u);
+
+  before = CellKeyHash::invocations.load();
+  auto hit = cache.GetOrCompute(42, []() -> Result<LruCache::Value> {
+    ADD_FAILURE() << "cached key must not reload";
+    return Status::Internal("unexpected");
+  });
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(CellKeyHash::invocations.load() - before, 1u);
+
+  // A miss hashes twice in total: the slot lookup and the completion that
+  // publishes the loaded value back into the slot.
+  before = CellKeyHash::invocations.load();
+  auto miss = cache.GetOrCompute(
+      43, []() -> Result<LruCache::Value> { return Bytes(64, 2); });
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(CellKeyHash::invocations.load() - before, 2u);
+}
+
+// ------------------------------------------------------ Admission control
+
+TEST(LruCacheTest, SecondTouchAdmissionFiltersOneTouchWonders) {
+  LruCacheOptions options;
+  options.capacity_bytes = 1 << 16;
+  options.admit_on_second_touch = true;
+  LruCache cache(options);
+  int loads = 0;
+  auto loader = [&loads]() -> Result<LruCache::Value> {
+    ++loads;
+    return Bytes(128, 5);
+  };
+
+  // First touch: delivered but not cached — the key parks in the filter.
+  auto first = cache.GetOrCompute(7, loader);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)->size(), 128u);
+  EXPECT_EQ(cache.stats().bytes_cached, 0u);
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+
+  // Second touch: admitted, cached, and the filter forgets the key.
+  auto second = cache.GetOrCompute(7, loader);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(loads, 2);
+  EXPECT_EQ(cache.stats().bytes_cached, 128u);
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+
+  // Third: plain hit.
+  ASSERT_TRUE(cache.GetOrCompute(7, loader).ok());
+  EXPECT_EQ(loads, 2);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Replacing an already-cached key is never filtered.
+  cache.Put(7, Bytes(256, 6));
+  EXPECT_EQ(cache.stats().bytes_cached, 256u);
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+}
+
+TEST(LruCacheTest, AdmissionPolicyNeverChangesDeliveredBytes) {
+  // The policy only decides what is *retained*; every caller gets the same
+  // bytes either way. Replay one randomized op sequence against a filtered
+  // and an unfiltered cache and demand byte-identical deliveries.
+  LruCacheOptions filtered;
+  filtered.capacity_bytes = 4096;
+  filtered.admit_on_second_touch = true;
+  filtered.touch_filter_keys = 8;  // force wholesale filter clears too
+  LruCache with(filtered);
+  LruCache without(4096);
+
+  std::mt19937 rng(123u);
+  for (int i = 0; i < 2000; ++i) {
+    PackedCellKey key = rng() % 32;
+    auto loader = [key]() -> Result<LruCache::Value> {
+      return Bytes(64 + key * 8, static_cast<uint8_t>(key));
+    };
+    auto a = with.GetOrCompute(key, loader);
+    auto b = without.GetOrCompute(key, loader);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(**a, **b) << "admission policy changed delivered bytes";
+  }
+  EXPECT_GT(with.stats().admission_rejects, 0u);
+  EXPECT_EQ(without.stats().admission_rejects, 0u);
+}
+
+TEST(LruCacheAsyncTest, AdmissionRejectedPrefetchCountsWasted) {
+  LruCacheOptions options;
+  options.capacity_bytes = 1 << 16;
+  options.admit_on_second_touch = true;
+  LruCache cache(options);
+  // A first-touch prefetch is speculation the filter refuses to retain: it
+  // can never serve a demand read from this cache, so it closes as wasted.
+  ASSERT_TRUE(cache
+                  .GetOrComputeAsync(
+                      9,
+                      []() -> Result<LruCache::Value> { return Bytes(32, 1); },
+                      /*pool=*/nullptr, LoadKind::kPrefetch)
+                  .Wait()
+                  .ok());
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.admission_rejects, 1u);
+  EXPECT_EQ(stats.prefetch_issued, 1u);
+  EXPECT_EQ(stats.prefetch_wasted, 1u);
+  EXPECT_EQ(stats.bytes_cached, 0u);
+}
+
+// ------------------------------------------------------- Prefetch churn
+
+TEST_F(StorageManagerTest, PrefetcherDedupesRepeatHintsWithinTtl) {
+  VideoMetadata m = StoreSample("video", 1);
+  RecordingCellSource source;
+  PrefetcherOptions options;
+  options.mode = PrefetchMode::kPredict;
+  options.dedupe_ttl_seconds = 2.0;
+  PredictivePrefetcher prefetcher(&source, options);
+
+  PrefetchHint hint;
+  hint.valid = true;
+  hint.segment = 0;
+  hint.fov_yaw = 2 * kPi;
+  hint.fov_pitch = kPi;
+  hint.high_quality = 0;
+  prefetcher.EnqueueSegment(m, hint, nullptr, /*deadline=*/10.0);
+  uint64_t first = prefetcher.stats().enqueued;
+  ASSERT_GT(first, 0u);
+
+  // The same hint again (the 10k-viewer cohort case: many sessions aimed
+  // at one segment) adds nothing — every cell is suppressed by the TTL.
+  prefetcher.EnqueueSegment(m, hint, nullptr, /*deadline=*/10.0);
+  EXPECT_EQ(prefetcher.stats().enqueued, first);
+  EXPECT_EQ(prefetcher.stats().deduped, first);
+
+  // Dispatch does not forget: within the TTL the hint stays suppressed
+  // even though the queue is empty.
+  prefetcher.Pump(/*now=*/0.5);
+  EXPECT_EQ(prefetcher.stats().dispatched, first);
+  prefetcher.EnqueueSegment(m, hint, nullptr, /*deadline=*/10.0);
+  EXPECT_EQ(prefetcher.stats().enqueued, first);
+  EXPECT_EQ(prefetcher.stats().deduped, 2 * first);
+
+  // Past the TTL the same cells are fair game again.
+  prefetcher.Pump(/*now=*/3.0);
+  prefetcher.EnqueueSegment(m, hint, nullptr, /*deadline=*/10.0);
+  EXPECT_EQ(prefetcher.stats().enqueued, 2 * first);
+  prefetcher.Drain();
+}
+
+TEST_F(StorageManagerTest, PrefetcherSkipsHintsAlreadyPastDeadline) {
+  VideoMetadata m = StoreSample("video", 1);
+  RecordingCellSource source;
+  PrefetcherOptions options;
+  options.mode = PrefetchMode::kPredict;
+  PredictivePrefetcher prefetcher(&source, options);
+
+  PrefetchHint hint;
+  hint.valid = true;
+  hint.segment = 0;
+  hint.fov_yaw = 2 * kPi;
+  hint.fov_pitch = kPi;
+  hint.high_quality = 0;
+
+  // Time has moved past the deadline: enqueueing would only create work
+  // for the stale sweep to cancel, so the hint is dropped at the door.
+  prefetcher.Pump(/*now=*/5.0);
+  prefetcher.EnqueueSegment(m, hint, nullptr, /*deadline=*/4.0);
+  EXPECT_EQ(prefetcher.stats().enqueued, 0u);
+  EXPECT_GT(prefetcher.stats().stale_skipped, 0u);
+  EXPECT_EQ(prefetcher.stats().CancellationRatio(), 0.0);
+  prefetcher.Drain();
+  EXPECT_TRUE(source.loads.empty());
+}
+
+TEST(ShardMapTest, PackedOverloadDeterministicAndSpreads) {
+  ShardMap a(8), b(8);
+  std::vector<int> counts(8, 0);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    PackedCellKey key = (i << 24) | (i * 2654435761u & 0xffffff);
+    int shard = a.ShardFor(key);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 8);
+    EXPECT_EQ(shard, b.ShardFor(key)) << "same config must map identically";
+    ++counts[shard];
+  }
+  for (int shard = 0; shard < 8; ++shard) {
+    EXPECT_GT(counts[shard], 20000 / 8 / 3) << "shard " << shard;
+    EXPECT_LT(counts[shard], 20000 / 8 * 3) << "shard " << shard;
+  }
+  ShardMap one(1);
+  EXPECT_EQ(one.ShardFor(PackedCellKey{12345}), 0);
 }
 
 TEST_F(MonolithicTest, RangeValidation) {
