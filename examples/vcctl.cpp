@@ -9,6 +9,10 @@
 //   vcctl describe <name>
 //   vcctl manifest <name>
 //   vcctl query '<expr>' [explain]       # declarative query layer
+//   vcctl query --standing '<expr>'      # standing query: per-segment replay
+//   vcctl view create <name> '<expr>'    # materialized view + maintenance
+//   vcctl view list
+//   vcctl view refresh <name>
 //   vcctl stream <name> [approach] [predictor] [mbps] [archetype]
 //   vcctl serve-sim <name> [viewers] [slots] [budget_mbps] [faults/min]
 //   vcctl live-sim <scene> <name> [viewers] [seconds] [encode_ms] [lag_ms]
@@ -40,6 +44,8 @@
 #include "obs/metrics.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "view/catalog.h"
+#include "view/maintainer.h"
 #include "server/cluster_server.h"
 #include "server/live_feed.h"
 #include "server/streaming_server.h"
@@ -67,6 +73,18 @@ void PrintUsage(std::FILE* out) {
       "                                the optimized plan without executing.\n"
       "                                e.g. \"scan(demo) | timeslice(0,2) |\n"
       "                                viewport(90,90,100,80) | quality(high)\"\n"
+      "                                fresh materialized views are offered to\n"
+      "                                the optimizer automatically\n"
+      "  query --standing <expr>       register a standing query (expr ends in\n"
+      "                                subscribe(<name>)) and replay the\n"
+      "                                catalog through it, one deterministic\n"
+      "                                result per committed segment\n"
+      "  view create <name> <expr>     define + materialize view <name>; expr\n"
+      "                                sinks into store(<name>), e.g.\n"
+      "                                \"scan(demo) | quality(high) | encode |\n"
+      "                                store(best)\"\n"
+      "  view list                     views, sources, freshness\n"
+      "  view refresh <name>           full recompute of a (stale) view\n"
       "  stream <name> [approach] [predictor] [mbps] [archetype]\n"
       "                                simulate one streaming session\n"
       "                                (approach: monolithic, uniform_dash,\n"
@@ -599,7 +617,15 @@ int CmdQuery(VisualCloud* db, const std::string& expr, bool explain_only) {
   auto parsed = ParseQuery(Slice(expr));
   if (!parsed.ok()) Fail(parsed.status(), "query");
 
-  auto plan = Optimize(*parsed, db->storage());
+  // Offer every fresh materialized view; subsumed queries serve stored
+  // view cells byte-identically instead of re-deriving.
+  ViewCatalog views(db->storage()->env(), db->storage()->root());
+  auto candidates = views.Candidates(*db->storage());
+  if (!candidates.ok()) Fail(candidates.status(), "view catalog");
+  OptimizeOptions optimize_options;
+  optimize_options.views = &*candidates;
+
+  auto plan = Optimize(*parsed, db->storage(), optimize_options);
   if (!plan.ok()) Fail(plan.status(), "optimize");
   std::fputs(plan->Explain().c_str(), stdout);
   if (explain_only) return 0;
@@ -633,6 +659,92 @@ int CmdQuery(VisualCloud* db, const std::string& expr, bool explain_only) {
     std::printf("stored: '%s' v%u\n", plan->target.c_str(),
                 result->stored_version);
   }
+  if (!plan->view_served.empty()) {
+    std::printf("served from view '%s'\n", plan->view_served.c_str());
+  }
+  return 0;
+}
+
+int CmdQueryStanding(VisualCloud* db, const std::string& expr) {
+  ViewMaintainer maintainer(db);
+  auto name = maintainer.Register(Slice(expr));
+  if (!name.ok()) Fail(name.status(), "standing query");
+  // Catch-up replay: one emission per committed defining-plan slice.
+  if (Status s = maintainer.Maintain(*name); !s.ok()) Fail(s, "maintain");
+  auto results = maintainer.Results(*name);
+  if (!results.ok()) Fail(results.status(), "results");
+  std::printf("standing '%s': %zu segment results\n", name->c_str(),
+              results->size());
+  std::printf("%5s %8s %6s %10s %10s %6s\n", "idx", "src_seg", "src_v",
+              "bytes", "crc32", "cells");
+  for (const StandingQueryResult& r : *results) {
+    std::printf("%5d %8d %6u %10llu %10u %6d\n", r.index, r.source_segment,
+                r.source_version, static_cast<unsigned long long>(r.bytes),
+                r.checksum, r.cells_scanned);
+  }
+  return 0;
+}
+
+int CmdViewCreate(VisualCloud* db, const std::string& name,
+                  const std::string& expr) {
+  ViewMaintainer maintainer(db);
+  if (Status s = maintainer.CreateView(name, Slice(expr)); !s.ok()) {
+    Fail(s, "view create");
+  }
+  if (Status s = maintainer.Maintain(name); !s.ok()) Fail(s, "view create");
+  auto def = maintainer.catalog()->Load(name);
+  if (!def.ok()) Fail(def.status(), "view create");
+  std::printf("view '%s' over '%s' v%u: %d segments materialized\n",
+              name.c_str(), def->source.c_str(), def->source_version,
+              def->segments);
+  std::printf("defining query: %s\n", def->query.c_str());
+  return 0;
+}
+
+int CmdViewList(VisualCloud* db) {
+  ViewCatalog catalog(db->storage()->env(), db->storage()->root());
+  auto names = catalog.List();
+  if (!names.ok()) Fail(names.status(), "view list");
+  if (names->empty()) {
+    std::printf("(no views — try: vcctl view create best "
+                "'scan(demo) | quality(high) | encode | store(best)')\n");
+    return 0;
+  }
+  std::printf("%-20s %-20s %8s %9s %-6s\n", "view", "source", "src_ver",
+              "segments", "state");
+  for (const std::string& name : *names) {
+    auto def = catalog.Load(name);
+    if (!def.ok()) {
+      std::printf("%-20s (unreadable: %s)\n", name.c_str(),
+                  def.status().ToString().c_str());
+      continue;
+    }
+    const char* state = "stale";
+    if (def->source_version == 0) {
+      state = "empty";
+    } else {
+      auto source = db->storage()->GetVideo(def->source);
+      if (source.ok() && source->version == def->source_version) {
+        state = "fresh";
+      }
+    }
+    std::printf("%-20s %-20s %8u %9d %-6s\n", def->name.c_str(),
+                def->source.c_str(), def->source_version, def->segments,
+                state);
+  }
+  return 0;
+}
+
+int CmdViewRefresh(VisualCloud* db, const std::string& name) {
+  ViewMaintainer maintainer(db);
+  if (Status s = maintainer.RefreshView(name); !s.ok()) {
+    Fail(s, "view refresh");
+  }
+  auto def = maintainer.catalog()->Load(name);
+  if (!def.ok()) Fail(def.status(), "view refresh");
+  std::printf("refreshed view '%s': %d segments over '%s' v%u\n",
+              name.c_str(), def->segments, def->source.c_str(),
+              def->source_version);
   return 0;
 }
 
@@ -664,6 +776,7 @@ int main(int argc, char** argv) {
   size_t l1_bytes = 16ull << 20;
   size_t l2_bytes = 256ull << 20;
   PrefetchMode prefetch = PrefetchMode::kOff;
+  bool standing = false;  // query --standing
   // --flag <integer> options share one parse-and-erase path.
   auto int_flag = [&args](size_t i, long long* out) {
     if (i + 1 >= args.size()) {
@@ -714,6 +827,9 @@ int main(int argc, char** argv) {
         return 2;
       }
       args.erase(args.begin() + i, args.begin() + i + 2);
+    } else if (args[i] == "--standing") {
+      standing = true;
+      args.erase(args.begin() + i);
     } else if (args[i].rfind("--", 0) == 0) {
       std::fprintf(stderr, "vcctl: unknown flag '%s'\n", args[i].c_str());
       PrintUsage(stderr);
@@ -767,7 +883,22 @@ int main(int argc, char** argv) {
                       l1_bytes, l2_bytes, io_threads);
   }
   if (command == "query" && args.size() >= 2) {
+    if (standing) return CmdQueryStanding(db.get(), args[1]);
     return CmdQuery(db.get(), args[1], arg(2, "") == "explain");
+  }
+  if (command == "view" && args.size() >= 2) {
+    const std::string& sub = args[1];
+    if (sub == "create" && args.size() >= 4) {
+      return CmdViewCreate(db.get(), args[2], args[3]);
+    }
+    if (sub == "list") return CmdViewList(db.get());
+    if (sub == "refresh" && args.size() >= 3) {
+      return CmdViewRefresh(db.get(), args[2]);
+    }
+    std::fprintf(stderr, "vcctl: unknown or incomplete view command '%s'\n",
+                 sub.c_str());
+    PrintUsage(stderr);
+    return 2;
   }
   if (command == "metrics") return CmdMetrics(db.get(), args);
   if (command == "export" && args.size() >= 3) {

@@ -77,19 +77,22 @@ simd() {
 
   # Leg 3: ASan + UBSan over the deterministic fuzz corpora — the codec
   # bitstream (truncated and bit-flipped streams), the VCMPD manifest
-  # parser (plan + live overlays), the VCMF container box walker, and the
+  # parser (plan + live overlays), the VCMF container box walker, the
   # query text parser (truncations, token surgery, integer-overflow
-  # arguments) — plus the kernel/bit-IO suites. Out-of-bounds reads in any
-  # decoder or misaligned vector loads fail loudly here.
+  # arguments), and the VCVIEW materialized-view definition parser — plus
+  # the kernel/bit-IO suites. Out-of-bounds reads in any decoder or
+  # misaligned vector loads fail loudly here.
   cmake -B build-asan -S . -DVC_SANITIZE=address+undefined
   cmake --build build-asan -j"$JOBS" --target codec_fuzz_test codec_test \
-    common_test manifest_fuzz_test container_fuzz_test query_fuzz_test
+    common_test manifest_fuzz_test container_fuzz_test query_fuzz_test \
+    view_fuzz_test
   ./build-asan/tests/codec_fuzz_test
   ./build-asan/tests/codec_test
   ./build-asan/tests/common_test
   ./build-asan/tests/manifest_fuzz_test
   ./build-asan/tests/container_fuzz_test
   ./build-asan/tests/query_fuzz_test
+  ./build-asan/tests/view_fuzz_test
 }
 
 case "${1:-all}" in

@@ -303,6 +303,7 @@ Status LiveIngestSession::FlushSegment() {
     uint32_t version;
     VC_ASSIGN_OR_RETURN(version, writer_->CommitCheckpoint());
     last_published_ = version;
+    db_->NotifyCommit(writer_->metadata().name, version, /*final=*/false);
   }
   return Status::OK();
 }
@@ -340,6 +341,7 @@ Result<uint32_t> LiveIngestSession::Checkpoint() {
   uint32_t version;
   VC_ASSIGN_OR_RETURN(version, writer_->CommitCheckpoint());
   last_published_ = version;
+  db_->NotifyCommit(writer_->metadata().name, version, /*final=*/false);
   return version;
 }
 
@@ -347,7 +349,11 @@ Result<uint32_t> LiveIngestSession::Close() {
   if (closed_) return Status::Aborted("live ingest already finished");
   VC_RETURN_IF_ERROR(FlushSegment());
   closed_ = true;
-  return writer_->Commit();
+  const std::string name = writer_->metadata().name;
+  uint32_t version;
+  VC_ASSIGN_OR_RETURN(version, writer_->Commit());
+  db_->NotifyCommit(name, version, /*final=*/true);
+  return version;
 }
 
 Result<VideoMetadata> VisualCloud::Describe(const std::string& name) const {
@@ -360,6 +366,34 @@ Result<std::vector<std::string>> VisualCloud::List() const {
 
 Status VisualCloud::Drop(const std::string& name) {
   return storage_->DropVideo(name);
+}
+
+void VisualCloud::AddObserver(CatalogObserver* observer) {
+  if (observer == nullptr) return;
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  observers_.push_back(observer);
+}
+
+void VisualCloud::RemoveObserver(CatalogObserver* observer) {
+  std::lock_guard<std::mutex> lock(observers_mu_);
+  for (size_t i = 0; i < observers_.size(); ++i) {
+    if (observers_[i] == observer) {
+      observers_.erase(observers_.begin() + i);
+      return;
+    }
+  }
+}
+
+void VisualCloud::NotifyCommit(const std::string& name, uint32_t version,
+                               bool final) {
+  std::vector<CatalogObserver*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(observers_mu_);
+    snapshot = observers_;
+  }
+  for (CatalogObserver* observer : snapshot) {
+    observer->OnCommit(name, version, final);
+  }
 }
 
 Result<std::vector<Frame>> VisualCloud::ReadFrames(const std::string& name,

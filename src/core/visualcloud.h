@@ -2,6 +2,7 @@
 #define VC_CORE_VISUALCLOUD_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,26 @@ struct LiveIngestOptions {
 };
 
 class VisualCloud;
+
+/// \brief Subscriber to catalog commits: the hook standing queries and
+/// materialized-view maintenance build on (see view/maintainer.h).
+///
+/// `OnCommit` fires synchronously on the committing thread immediately
+/// after a version of `name` becomes visible to readers — once per
+/// streaming checkpoint publish (per segment with `publish_segments`, or
+/// per explicit `Checkpoint()`) and once for the final archived commit of
+/// `Close()`. Because live publishes happen inside the server's
+/// deterministic (time, seq) event scheduler, work done here inherits that
+/// ordering: per-segment results are byte-identical across reruns, node
+/// counts, and prefetch modes. Observers must not re-enter the session
+/// that notified them.
+class CatalogObserver {
+ public:
+  virtual ~CatalogObserver() = default;
+  /// `final` is true for the archived (Close) commit of the video.
+  virtual void OnCommit(const std::string& name, uint32_t version,
+                        bool final) = 0;
+};
 
 /// \brief A live (streaming) ingest session — the primitive every ingest
 /// path is built on.
@@ -175,6 +196,12 @@ class VisualCloud {
   /// Drops a video and all versions.
   Status Drop(const std::string& name);
 
+  /// Registers `observer` for commit notifications from every ingest
+  /// session of this instance (see CatalogObserver). Not owned; the
+  /// observer must outlive its registration.
+  void AddObserver(CatalogObserver* observer);
+  void RemoveObserver(CatalogObserver* observer);
+
   /// Reconstructs full panorama frames [first, last] (inclusive) of the
   /// latest version, decoding every tile at ladder rung `quality`.
   Result<std::vector<Frame>> ReadFrames(const std::string& name, int first,
@@ -186,6 +213,10 @@ class VisualCloud {
   friend class LiveIngestSession;
   VisualCloud(std::unique_ptr<StorageManager> storage, int encode_threads);
 
+  /// Invokes every registered observer, in registration order, on the
+  /// calling thread.
+  void NotifyCommit(const std::string& name, uint32_t version, bool final);
+
   /// Encodes one segment's worth of tile frames into cell payloads
   /// (tile-major × quality-minor) on the long-lived pool. With analysis
   /// reuse enabled the schedule runs in two waves: every tile's reference
@@ -196,6 +227,11 @@ class VisualCloud {
       int width, int height);
 
   std::unique_ptr<StorageManager> storage_;
+  /// Commit observers, in registration order. Guarded by observers_mu_;
+  /// notification happens outside the lock on a copied snapshot so an
+  /// observer may remove itself (but not others) during a callback.
+  mutable std::mutex observers_mu_;
+  std::vector<CatalogObserver*> observers_;
   /// Long-lived encode pool: live ingest encodes a segment every second,
   /// and spinning up / joining a pool per segment costs more than encoding
   /// small segments. EncodeSegment is the only submitter and drains the

@@ -26,6 +26,8 @@ const char* LogicalOpName(LogicalOpKind kind) {
       return "store";
     case LogicalOpKind::kToFile:
       return "tofile";
+    case LogicalOpKind::kSubscribe:
+      return "subscribe";
   }
   return "unknown";
 }
@@ -124,6 +126,13 @@ Query Query::ToFile(std::string path) const {
   return Chain(std::move(node));
 }
 
+Query Query::Subscribe(std::string name) const {
+  LogicalNode node;
+  node.kind = LogicalOpKind::kSubscribe;
+  node.target = std::move(name);
+  return Chain(std::move(node));
+}
+
 namespace {
 
 /// Shortest decimal that round-trips for the values queries carry.
@@ -179,6 +188,7 @@ void Print(const LogicalNode& node, std::string* out) {
       return;
     case LogicalOpKind::kStore:
     case LogicalOpKind::kToFile:
+    case LogicalOpKind::kSubscribe:
       *out += LogicalOpName(node.kind);
       *out += "(" + node.target + ")";
       return;

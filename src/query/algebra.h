@@ -32,6 +32,7 @@ enum class LogicalOpKind : uint8_t {
   kEncode,        ///< Produce one encoded stream (qp < 0: stored bytes).
   kStore,         ///< Sink: commit the result as a new catalog video.
   kToFile,        ///< Sink: serialize the encoded result to a file.
+  kSubscribe,     ///< Standing-query marker: re-run per committed segment.
 };
 
 /// Stable text-form name of an operator ("scan", "timeslice", ...).
@@ -89,6 +90,10 @@ struct LogicalNode {
 /// builder never mutates, so prefixes may be reused.
 class Query {
  public:
+  /// Empty query (null root): only for containers and deferred assignment —
+  /// ToString() is "" and Optimize() rejects it.
+  Query() = default;
+
   /// Leaf: scan the latest committed version of catalog video `video`.
   static Query Scan(std::string video);
 
@@ -124,6 +129,13 @@ class Query {
 
   /// Sink: write the serialized encoded result to `path`.
   Query ToFile(std::string path) const;
+
+  /// Marks the query as *standing*: registered with a ViewMaintainer (see
+  /// view/maintainer.h) it re-runs incrementally for every segment the
+  /// scanned video commits. `name` identifies the registration. Must be the
+  /// outermost operator; a Store sink inside makes the standing query a
+  /// materialized view.
+  Query Subscribe(std::string name) const;
 
   /// Root of the logical plan (sink end of the chain).
   const LogicalNodeRef& root() const { return root_; }

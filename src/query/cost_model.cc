@@ -1,0 +1,30 @@
+#include "query/cost_model.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace vc {
+
+CostModel CostModel::Calibrated() {
+  CostModel model;
+  MetricRegistry& registry = MetricRegistry::Global();
+  HistogramSnapshot stitch =
+      registry.GetHistogram("query.stitch_seconds_per_cell")->Snapshot();
+  if (stitch.count > 0) model.stitch_seconds_per_cell = stitch.Mean();
+  HistogramSnapshot decode =
+      registry.GetHistogram("query.decode_seconds_per_cell")->Snapshot();
+  if (decode.count > 0) model.decode_seconds_per_cell = decode.Mean();
+  HistogramSnapshot encode =
+      registry.GetHistogram("query.encode_seconds_per_pixel")->Snapshot();
+  if (encode.count > 0) model.encode_seconds_per_pixel = encode.Mean();
+  return model;
+}
+
+std::string FormatCostMs(double seconds) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3fms", seconds * 1000.0);
+  return buffer;
+}
+
+}  // namespace vc

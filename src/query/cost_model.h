@@ -1,0 +1,68 @@
+#ifndef VC_QUERY_COST_MODEL_H_
+#define VC_QUERY_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vc {
+
+// The optimizer's cost model: estimated host seconds for the primitive
+// operations a physical plan composes — reading stored cell bytes,
+// homomorphically stitching cell bitstreams, decoding cells to pixels, and
+// re-encoding pixels. The optimizer (optimizer.cc) derives the operand
+// volumes (bytes, cells, pixels) from catalog statistics — per-cell byte
+// sizes, rung sizes, segment counts — and combines them with these
+// coefficients to rank plan alternatives.
+//
+// Two construction modes:
+//   - `CostModel{}` (the defaults): fixed, platform-independent
+//     coefficients. Explain() golden tests pin plans built with these, so
+//     cost-model changes show up as reviewable text diffs.
+//   - `CostModel::Calibrated()`: defaults refined by the observed query.*
+//     histograms (query.stitch_seconds_per_cell, query.decode_seconds_per_cell,
+//     query.encode_seconds_per_pixel) that the executor feeds on every
+//     execution — the longer a process runs queries, the closer the
+//     estimates track the actual hardware.
+//
+// Calibration moves only *host* time estimates; the optimizer never lets a
+// cost decision change output bytes (see ChooseAlternative in
+// optimizer.cc), so calibrated and default models always produce
+// byte-identical results — they may just pick a faster route to them.
+
+struct CostModel {
+  /// Seconds to read one stored byte through the cell cache (cold).
+  double read_seconds_per_byte = 10e-9;
+  /// Seconds to stitch one cell bitstream into a merged stream.
+  double stitch_seconds_per_cell = 30e-6;
+  /// Seconds to parse + decode one cell to pixels.
+  double decode_seconds_per_cell = 400e-6;
+  /// Seconds to re-encode one output pixel.
+  double encode_seconds_per_pixel = 120e-9;
+
+  /// Defaults refined from the query.* calibration histograms; coefficients
+  /// whose histogram is still empty keep their defaults.
+  static CostModel Calibrated();
+
+  /// Estimated seconds to serve `bytes` of stored cells as `cells` stitched
+  /// bitstreams (the transcode-free path).
+  double StitchCost(uint64_t bytes, int cells) const {
+    return read_seconds_per_byte * static_cast<double>(bytes) +
+           stitch_seconds_per_cell * cells;
+  }
+
+  /// Estimated seconds to decode `cells` (`bytes` stored) and re-encode
+  /// `pixels` output pixels (the transcode path).
+  double TranscodeCost(uint64_t bytes, int cells, uint64_t pixels) const {
+    return read_seconds_per_byte * static_cast<double>(bytes) +
+           decode_seconds_per_cell * cells +
+           encode_seconds_per_pixel * static_cast<double>(pixels);
+  }
+};
+
+/// Deterministic "1.234ms" rendering of a cost estimate (three decimals),
+/// used by Explain() so golden tests stay byte-stable.
+std::string FormatCostMs(double seconds);
+
+}  // namespace vc
+
+#endif  // VC_QUERY_COST_MODEL_H_

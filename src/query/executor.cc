@@ -48,6 +48,26 @@ Histogram* ExecHistogram() {
   return histogram;
 }
 
+// Cost-model calibration feeds (CostModel::Calibrated): observed per-cell
+// stitch/decode time and per-pixel encode time.
+Histogram* StitchPerCellHistogram() {
+  static Histogram* histogram =
+      MetricRegistry::Global().GetHistogram("query.stitch_seconds_per_cell");
+  return histogram;
+}
+
+Histogram* DecodePerCellHistogram() {
+  static Histogram* histogram =
+      MetricRegistry::Global().GetHistogram("query.decode_seconds_per_cell");
+  return histogram;
+}
+
+Histogram* EncodePerPixelHistogram() {
+  static Histogram* histogram =
+      MetricRegistry::Global().GetHistogram("query.encode_seconds_per_pixel");
+  return histogram;
+}
+
 /// One fetched-and-parsed cell stream.
 struct FetchedCell {
   int tile = 0;
@@ -170,10 +190,15 @@ Result<std::vector<std::vector<Frame>>> MaterializeSlices(
       VC_ASSIGN_OR_RETURN(cells,
                           FetchCells(storage, metadata, segment, tiles));
       result->cells_scanned += static_cast<int>(cells.size());
+      Stopwatch decode_watch;
       for (const FetchedCell& cell : cells) {
         if (canvases.empty()) continue;  // naive read of a pruned segment
         VC_RETURN_IF_ERROR(DecodeInto(cell, grid, metadata, segment, first,
                                       last, &canvases));
+      }
+      if (!cells.empty() && !canvases.empty()) {
+        DecodePerCellHistogram()->Observe(decode_watch.ElapsedSeconds() /
+                                          static_cast<double>(cells.size()));
       }
       if (slice == nullptr) continue;
 
@@ -219,11 +244,16 @@ Result<std::vector<EncodedVideo>> StitchSlices(const PhysicalPlan& plan,
       std::vector<EncodedVideo> parts;
       parts.reserve(cells.size());
       for (FetchedCell& cell : cells) parts.push_back(std::move(cell.video));
+      Stopwatch stitch_watch;
       EncodedVideo merged;
       VC_ASSIGN_OR_RETURN(
           merged, MergeTileStreams(parts, metadata.tile_rows,
                                    metadata.tile_cols, metadata.width,
                                    metadata.height));
+      if (!parts.empty()) {
+        StitchPerCellHistogram()->Observe(stitch_watch.ElapsedSeconds() /
+                                          static_cast<double>(parts.size()));
+      }
       pieces.push_back(std::move(merged));
       ++result->transcodes_avoided;
     }
@@ -238,6 +268,25 @@ Result<uint32_t> StorePieces(StorageManager* storage, const std::string& name,
                              const VideoMetadata& source,
                              const QualityLadder& ladder,
                              const std::vector<EncodedVideo>& pieces) {
+  std::unique_ptr<StorageManager::VideoWriter> writer;
+  VC_ASSIGN_OR_RETURN(
+      writer,
+      storage->NewVideoWriter(DerivedVideoMetadata(name, source, ladder)));
+  for (const EncodedVideo& piece : pieces) {
+    std::vector<std::vector<uint8_t>> cells;
+    VC_ASSIGN_OR_RETURN(
+        cells, SplitPieceToCells(piece, source.tile_rows, source.tile_cols));
+    VC_RETURN_IF_ERROR(writer->AddSegment(
+        static_cast<uint32_t>(piece.frames.size()), cells));
+  }
+  return writer->Commit();
+}
+
+}  // namespace
+
+VideoMetadata DerivedVideoMetadata(const std::string& name,
+                                   const VideoMetadata& source,
+                                   const QualityLadder& ladder) {
   VideoMetadata metadata;
   metadata.name = name;
   metadata.width = source.width;
@@ -248,25 +297,31 @@ Result<uint32_t> StorePieces(StorageManager* storage, const std::string& name,
   metadata.tile_cols = source.tile_cols;
   metadata.spherical = source.spherical;
   metadata.ladder = ladder;
-
-  std::unique_ptr<StorageManager::VideoWriter> writer;
-  VC_ASSIGN_OR_RETURN(writer, storage->NewVideoWriter(std::move(metadata)));
-  const TileGrid grid(source.tile_rows, source.tile_cols);
-  for (const EncodedVideo& piece : pieces) {
-    std::vector<std::vector<uint8_t>> cells;
-    cells.reserve(grid.tile_count());
-    for (int tile = 0; tile < grid.tile_count(); ++tile) {
-      EncodedVideo cell;
-      VC_ASSIGN_OR_RETURN(cell, ExtractTileStream(piece, grid.TileAt(tile)));
-      cells.push_back(cell.Serialize());
-    }
-    VC_RETURN_IF_ERROR(writer->AddSegment(
-        static_cast<uint32_t>(piece.frames.size()), cells));
-  }
-  return writer->Commit();
+  return metadata;
 }
 
-}  // namespace
+QualityLadder StoreLadderFor(const PhysicalPlan& plan) {
+  const VideoMetadata& lead = plan.scans[0].metadata;
+  if (plan.transcode_free) {
+    int rung = plan.scans[0].slices[0].tile_quality[0];
+    return {lead.ladder[rung]};
+  }
+  int qp = plan.encode_qp >= 0 ? plan.encode_qp : lead.ladder[0].qp;
+  return {{"q" + std::to_string(qp), qp}};
+}
+
+Result<std::vector<std::vector<uint8_t>>> SplitPieceToCells(
+    const EncodedVideo& piece, int tile_rows, int tile_cols) {
+  const TileGrid grid(tile_rows, tile_cols);
+  std::vector<std::vector<uint8_t>> cells;
+  cells.reserve(grid.tile_count());
+  for (int tile = 0; tile < grid.tile_count(); ++tile) {
+    EncodedVideo cell;
+    VC_ASSIGN_OR_RETURN(cell, ExtractTileStream(piece, grid.TileAt(tile)));
+    cells.push_back(cell.Serialize());
+  }
+  return cells;
+}
 
 Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
                                 StorageManager* storage,
@@ -318,8 +373,16 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
       encode.tile_rows = lead.tile_rows;
       encode.tile_cols = lead.tile_cols;
       for (const std::vector<Frame>& group : groups) {
+        Stopwatch encode_watch;
         EncodedVideo piece;
         VC_ASSIGN_OR_RETURN(piece, EncodeVideo(group, encode));
+        const uint64_t group_pixels = static_cast<uint64_t>(lead.width) *
+                                      lead.height * group.size();
+        if (group_pixels > 0) {
+          EncodePerPixelHistogram()->Observe(
+              encode_watch.ElapsedSeconds() /
+              static_cast<double>(group_pixels));
+        }
         pieces.push_back(std::move(piece));
         ++result.transcodes;
       }
@@ -345,13 +408,12 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
       }
       case SinkKind::kStore: {
         QualityLadder ladder;
-        if (plan.transcode_free && !options.naive_full_scan) {
-          // Stored bytes at one uniform rung: keep that rung's identity.
-          int rung = plan.scans[0].slices[0].tile_quality[0];
-          ladder = {lead.ladder[rung]};
-        } else {
+        if (options.naive_full_scan && plan.transcode_free) {
+          // The naive baseline re-encodes even elided plans.
           int qp = plan.encode_qp >= 0 ? plan.encode_qp : lead.ladder[0].qp;
           ladder = {{"q" + std::to_string(qp), qp}};
+        } else {
+          ladder = StoreLadderFor(plan);
         }
         VC_ASSIGN_OR_RETURN(
             result.stored_version,

@@ -23,6 +23,10 @@ namespace vc {
 //   query.transcodes_avoided  segment slices served as stored bytes
 //   query.plan_seconds        Optimize() latency   (ExecuteQuery only)
 //   query.exec_seconds        ExecutePlan() latency
+//
+// plus the cost-model calibration histograms (query/cost_model.h):
+// query.stitch_seconds_per_cell, query.decode_seconds_per_cell,
+// query.encode_seconds_per_pixel.
 
 struct ExecuteOptions {
   /// Filter-after-scan baseline: fetch and decode every catalog cell of
@@ -62,6 +66,28 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
 Result<QueryResult> ExecuteQuery(const Query& query, StorageManager* storage,
                                  const OptimizeOptions& optimize_options = {},
                                  const ExecuteOptions& execute_options = {});
+
+// --- Building blocks for derived (materialized-view) videos. The view
+// maintainer re-uses exactly the pieces the kStore sink is built from, so
+// an incrementally maintained view is byte-identical to a full recompute.
+
+/// Metadata for a video derived from `source` by a store/view plan: same
+/// geometry, cadence, and tiling; `ladder` (single rung) replaces the
+/// source ladder. Segments and cells are filled by the writer.
+VideoMetadata DerivedVideoMetadata(const std::string& name,
+                                   const VideoMetadata& source,
+                                   const QualityLadder& ladder);
+
+/// The single-rung ladder a kStore sink commits `plan`'s output at:
+/// transcode-free plans keep the served rung's identity, transcode plans
+/// get a synthetic "q<qp>" rung.
+QualityLadder StoreLadderFor(const PhysicalPlan& plan);
+
+/// Splits one encoded segment piece back into serialized per-tile cell
+/// payloads (ExtractTileStream per tile, homomorphic — stitching the cells
+/// reproduces `piece` byte-for-byte).
+Result<std::vector<std::vector<uint8_t>>> SplitPieceToCells(
+    const EncodedVideo& piece, int tile_rows, int tile_cols);
 
 }  // namespace vc
 

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/math_util.h"
+#include "obs/metrics.h"
 
 namespace vc {
 
@@ -59,6 +60,45 @@ std::string Percent(int part, int whole) {
   return buffer;
 }
 
+Counter* ViewHitCounter() {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("query.view_hits");
+  return counter;
+}
+
+/// Stored bytes of exactly the cells the plan scans (catalog statistics).
+uint64_t PlanStoredBytes(const PhysicalPlan& plan) {
+  uint64_t bytes = 0;
+  for (const ScanPlan& scan : plan.scans) {
+    for (const SegmentSlice& slice : scan.slices) {
+      for (size_t tile = 0; tile < slice.tile_quality.size(); ++tile) {
+        int rung = slice.tile_quality[tile];
+        if (rung < 0) continue;
+        bytes += scan.metadata
+                     .cells[scan.metadata.CellIndex(slice.segment,
+                                                    static_cast<int>(tile),
+                                                    rung)]
+                     .byte_size;
+      }
+    }
+  }
+  return bytes;
+}
+
+/// Output pixels a transcode of the plan would re-encode.
+uint64_t PlanOutputPixels(const PhysicalPlan& plan) {
+  uint64_t pixels = 0;
+  for (const ScanPlan& scan : plan.scans) {
+    const uint64_t frame_pixels = static_cast<uint64_t>(scan.metadata.width) *
+                                  scan.metadata.height;
+    for (const SegmentSlice& slice : scan.slices) {
+      pixels += frame_pixels *
+                static_cast<uint64_t>(slice.last_frame - slice.first_frame + 1);
+    }
+  }
+  return pixels;
+}
+
 /// Predicates accumulated walking a chain top-down toward its Scan leaf.
 struct ChainState {
   std::vector<const LogicalNode*> times;
@@ -81,8 +121,16 @@ class Planner {
     const LogicalNode* node = query.root().get();
     if (node == nullptr) return Status::InvalidArgument("empty query");
 
-    // Peel the sink layers: [Store|ToFile] -> [Encode] -> predicates ->
-    // Scan/Union. Anything else at these positions is a malformed chain.
+    // Peel the sink layers: [Subscribe] -> [Store|ToFile] -> [Encode] ->
+    // predicates -> Scan/Union. Anything else at these positions is a
+    // malformed chain.
+    if (node->kind == LogicalOpKind::kSubscribe) {
+      if (node->target.empty()) {
+        return Status::InvalidArgument("subscribe needs a name");
+      }
+      plan_.standing_name = node->target;
+      node = node->inputs[0].get();
+    }
     if (node->kind == LogicalOpKind::kStore ||
         node->kind == LogicalOpKind::kToFile) {
       plan_.sink = node->kind == LogicalOpKind::kStore ? SinkKind::kStore
@@ -108,6 +156,7 @@ class Planner {
           "scan_override requires a single-scan plan");
     }
     ApplyTranscodeElision();
+    ChooseAlternative();
     return std::move(plan_);
   }
 
@@ -141,6 +190,7 @@ class Planner {
       case LogicalOpKind::kEncode:
       case LogicalOpKind::kStore:
       case LogicalOpKind::kToFile:
+      case LogicalOpKind::kSubscribe:
         return Status::InvalidArgument(
             std::string(LogicalOpName(node.kind)) +
             " must be the outermost operators of a query");
@@ -376,6 +426,217 @@ class Planner {
     }
   }
 
+  /// A view-scan alternative plus everything needed to apply its rewrite.
+  struct ViewRewrite {
+    size_t alternative = 0;  ///< Index into plan_.alternatives.
+    VideoMetadata metadata;  ///< The view video's catalog metadata.
+    std::vector<int> view_segments;  ///< View segment per plan slice.
+    std::string name;
+    uint32_t source_version = 0;
+  };
+
+  /// Cost-based physical strategy selection for encode sinks. Enumerates
+  /// the byte-equivalent alternatives (the elision decision's winner, any
+  /// subsuming fresh views), lists the displaced strategy as infeasible,
+  /// and rewrites the plan onto the cheapest feasible one. Never changes
+  /// output bytes: every feasible alternative reproduces the baseline's
+  /// stream exactly (view cells are the defining plan's stored output and
+  /// MergeTileStreams(ExtractTileStream(x)) == x).
+  void ChooseAlternative() {
+    if (plan_.sink == SinkKind::kMaterialize) return;
+    CostModel model_storage;
+    const CostModel& model = options_.cost_model != nullptr
+                                 ? *options_.cost_model
+                                 : (model_storage = CostModel::Calibrated());
+    const uint64_t bytes = PlanStoredBytes(plan_);
+    const int cells = plan_.ScannedCells();
+    const uint64_t pixels = PlanOutputPixels(plan_);
+
+    const std::string volumes = std::to_string(cells) + " cells, " +
+                                std::to_string(bytes) + "B stored";
+    if (plan_.transcode_free) {
+      PlanAlternative stitch;
+      stitch.name = "stitch";
+      stitch.cost_seconds = model.StitchCost(bytes, cells);
+      stitch.detail = volumes;
+      plan_.alternatives.push_back(std::move(stitch));
+
+      PlanAlternative reencode;
+      reencode.name = "re-encode";
+      reencode.cost_seconds = model.TranscodeCost(bytes, cells, pixels);
+      reencode.feasible = false;
+      reencode.detail = "would change output bytes (re-quantizes elided plan)";
+      plan_.alternatives.push_back(std::move(reencode));
+    } else {
+      PlanAlternative reencode;
+      reencode.name = "re-encode";
+      reencode.cost_seconds = model.TranscodeCost(bytes, cells, pixels);
+      reencode.detail = volumes + ", " + std::to_string(pixels) + "px out";
+      plan_.alternatives.push_back(std::move(reencode));
+
+      PlanAlternative stitch;
+      stitch.name = "stitch";
+      stitch.cost_seconds = model.StitchCost(bytes, cells);
+      stitch.feasible = false;
+      stitch.detail = "plan not stitchable (partial coverage, mixed rungs, "
+                      "or explicit qp)";
+      plan_.alternatives.push_back(std::move(stitch));
+    }
+
+    std::vector<ViewRewrite> rewrites;
+    if ((plan_.sink == SinkKind::kEncode || plan_.sink == SinkKind::kToFile) &&
+        options_.views != nullptr && plan_.scans.size() == 1) {
+      for (const MaterializedViewInfo& view : *options_.views) {
+        TryViewCandidate(view, model, &rewrites);
+      }
+    }
+
+    size_t best = plan_.alternatives.size();
+    for (size_t i = 0; i < plan_.alternatives.size(); ++i) {
+      const PlanAlternative& alt = plan_.alternatives[i];
+      if (!alt.feasible) continue;
+      if (best == plan_.alternatives.size() ||
+          alt.cost_seconds < plan_.alternatives[best].cost_seconds) {
+        best = i;
+      }
+    }
+    if (best == plan_.alternatives.size()) return;
+    plan_.alternatives[best].chosen = true;
+    Log("cost-choice: " + plan_.alternatives[best].name + " est " +
+        FormatCostMs(plan_.alternatives[best].cost_seconds) + " (cheapest of " +
+        std::to_string(plan_.alternatives.size()) + " alternatives)");
+    for (ViewRewrite& rewrite : rewrites) {
+      if (rewrite.alternative != best) continue;
+      ApplyViewRewrite(std::move(rewrite));
+      break;
+    }
+  }
+
+  /// Offers `view` as an alternative when it subsumes the current plan:
+  /// same pinned source snapshot, the view's defining plan selects exactly
+  /// the frames and per-tile rungs the incoming plan selects, the same
+  /// transcode decision, and every needed segment is already maintained.
+  void TryViewCandidate(const MaterializedViewInfo& view,
+                        const CostModel& model,
+                        std::vector<ViewRewrite>* rewrites) {
+    const ScanPlan& scan = plan_.scans[0];
+    if (scan.metadata.name != view.source) return;
+    if (scan.metadata.version != view.source_version) return;
+
+    // Re-derive the view's defining plan against the same pinned snapshot
+    // the incoming plan bound to, so slice-by-slice comparison is exact.
+    OptimizeOptions inner;
+    inner.scan_override = &scan.metadata;
+    static const CostModel kInnerModel;
+    inner.cost_model = &kInnerModel;
+    Result<PhysicalPlan> defining = Optimize(view.query, storage_, inner);
+    if (!defining.ok()) return;
+    if (defining->scans.size() != 1 || defining->sink != SinkKind::kStore) {
+      return;
+    }
+    if (defining->transcode_free != plan_.transcode_free) return;
+    if (!plan_.transcode_free && defining->encode_qp != plan_.encode_qp) {
+      return;
+    }
+
+    // Map each incoming slice onto the defining plan's slice for the same
+    // segment; both lists ascend by segment.
+    const std::vector<SegmentSlice>& view_slices = defining->scans[0].slices;
+    std::vector<int> mapped;
+    size_t vi = 0;
+    for (const SegmentSlice& wanted : scan.slices) {
+      while (vi < view_slices.size() &&
+             view_slices[vi].segment < wanted.segment) {
+        ++vi;
+      }
+      if (vi >= view_slices.size() ||
+          view_slices[vi].segment != wanted.segment) {
+        return;
+      }
+      const SegmentSlice& have = view_slices[vi];
+      if (have.first_frame != wanted.first_frame ||
+          have.last_frame != wanted.last_frame ||
+          have.tile_quality != wanted.tile_quality) {
+        return;
+      }
+      if (static_cast<int>(vi) >= view.segments) return;  // not maintained
+      mapped.push_back(static_cast<int>(vi));
+    }
+    if (mapped.empty()) return;
+
+    Result<VideoMetadata> stored = storage_->GetVideo(view.name);
+    if (!stored.ok()) return;
+    VideoMetadata view_meta = *std::move(stored);
+    if (view_meta.quality_count() != 1) return;
+    if (view_meta.width != scan.metadata.width ||
+        view_meta.height != scan.metadata.height ||
+        view_meta.fps_times_100 != scan.metadata.fps_times_100 ||
+        view_meta.tile_rows != scan.metadata.tile_rows ||
+        view_meta.tile_cols != scan.metadata.tile_cols) {
+      return;
+    }
+    const int view_tiles = view_meta.tile_count();
+    uint64_t view_bytes = 0;
+    for (size_t i = 0; i < mapped.size(); ++i) {
+      if (mapped[i] >= view_meta.segment_count()) return;
+      const SegmentSlice& wanted = scan.slices[i];
+      const SegmentInfo& info = view_meta.segments[mapped[i]];
+      if (static_cast<int>(info.frame_count) !=
+          wanted.last_frame - wanted.first_frame + 1) {
+        return;
+      }
+      for (int t = 0; t < view_tiles; ++t) {
+        view_bytes +=
+            view_meta.cells[view_meta.CellIndex(mapped[i], t, 0)].byte_size;
+      }
+    }
+    const int view_cells = static_cast<int>(mapped.size()) * view_tiles;
+
+    PlanAlternative alt;
+    alt.name = "view-scan(" + view.name + ")";
+    alt.cost_seconds = model.StitchCost(view_bytes, view_cells);
+    alt.detail = std::to_string(view_cells) + " cells, " +
+                 std::to_string(view_bytes) + "B stored, source v" +
+                 std::to_string(view.source_version);
+    ViewRewrite rewrite;
+    rewrite.alternative = plan_.alternatives.size();
+    rewrite.metadata = std::move(view_meta);
+    rewrite.view_segments = std::move(mapped);
+    rewrite.name = view.name;
+    rewrite.source_version = view.source_version;
+    rewrites->push_back(std::move(rewrite));
+    plan_.alternatives.push_back(std::move(alt));
+  }
+
+  /// Retargets the plan's single scan at the view video: whole view
+  /// segments, full tile grid, the view's only rung — always stitchable.
+  void ApplyViewRewrite(ViewRewrite rewrite) {
+    ScanPlan& scan = plan_.scans[0];
+    const std::string source = scan.metadata.name;
+    const int view_tiles = rewrite.metadata.tile_count();
+    std::vector<SegmentSlice> slices;
+    slices.reserve(rewrite.view_segments.size());
+    for (int segment : rewrite.view_segments) {
+      const SegmentInfo& info = rewrite.metadata.segments[segment];
+      SegmentSlice slice;
+      slice.segment = segment;
+      slice.first_frame = static_cast<int>(info.start_frame);
+      slice.last_frame =
+          static_cast<int>(info.start_frame + info.frame_count) - 1;
+      slice.tile_quality.assign(view_tiles, 0);
+      slices.push_back(std::move(slice));
+    }
+    scan.metadata = std::move(rewrite.metadata);
+    scan.slices = std::move(slices);
+    plan_.transcode_free = true;
+    plan_.encode_qp = -1;
+    plan_.view_served = rewrite.name;
+    ViewHitCounter()->Add(1);
+    Log("view-match: '" + rewrite.name + "' subsumes query over " + source +
+        " v" + std::to_string(rewrite.source_version) + " -> stitch " +
+        std::to_string(scan.slices.size()) + " stored view segments");
+  }
+
   void Log(std::string line) { plan_.rewrites.push_back(std::move(line)); }
 
   StorageManager* storage_;
@@ -394,6 +655,8 @@ std::string PhysicalPlan::Explain() const {
                ? " transcode=elided"
                : " transcode=qp" + std::to_string(encode_qp);
   }
+  if (!view_served.empty()) out += " view=" + view_served;
+  if (!standing_name.empty()) out += " standing=" + standing_name;
   out += "\n";
   for (const ScanPlan& scan : scans) {
     const VideoMetadata& m = scan.metadata;
@@ -429,6 +692,19 @@ std::string PhysicalPlan::Explain() const {
          std::to_string(total) + " (pruned " +
          std::to_string(total - scanned) + " = " +
          Percent(total - scanned, total) + ")\n";
+  if (!alternatives.empty()) {
+    out += "alternatives:\n";
+    for (const PlanAlternative& alt : alternatives) {
+      out += "  - " + alt.name + ": est " + FormatCostMs(alt.cost_seconds) +
+             " (" + alt.detail + ")";
+      if (alt.chosen) {
+        out += " [chosen]";
+      } else if (!alt.feasible) {
+        out += " [infeasible]";
+      }
+      out += "\n";
+    }
+  }
   out += "rewrites:\n";
   for (const std::string& line : rewrites) out += "  - " + line + "\n";
   return out;

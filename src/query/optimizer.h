@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "query/algebra.h"
+#include "query/cost_model.h"
 #include "storage/metadata.h"
 #include "storage/storage_manager.h"
 #include "streaming/manifest.h"
@@ -33,6 +34,37 @@ namespace vc {
 //
 // Every applied rule appends one line to `PhysicalPlan::rewrites`, and
 // `Explain()` renders the plan plus those lines deterministically.
+//
+// Physical strategy selection is cost-based: for encode sinks the planner
+// enumerates the feasible alternatives — homomorphic stitch, decode +
+// re-encode, and (when a fresh materialized view subsumes the query) a
+// view scan — estimates each with the CostModel from catalog statistics
+// (per-cell bytes, segment counts, output pixels), and picks the cheapest.
+// Only byte-equivalent alternatives compete: a strategy that would change
+// the output bytes is listed in `alternatives` as infeasible, never chosen,
+// so cost calibration moves host time without moving results.
+
+/// \brief One materialized view offered to the optimizer as a rewrite
+/// candidate (built by ViewCatalog::Candidates from persisted definitions).
+/// The view video `name` holds, per maintained segment, exactly the bytes
+/// the defining `query` produces over `source` at `source_version`.
+struct MaterializedViewInfo {
+  std::string name;            ///< Catalog name of the derived video.
+  std::string source;          ///< The defining query's scanned video.
+  uint32_t source_version = 0; ///< Source version maintained through.
+  int segments = 0;            ///< Defining-plan slices materialized so far.
+  Query query;                 ///< Parsed defining query (Store sink).
+};
+
+/// One strategy the planner costed. Infeasible entries are retained so
+/// Explain() shows why they were rejected.
+struct PlanAlternative {
+  std::string name;          ///< "stitch", "re-encode", "view-scan(<v>)".
+  double cost_seconds = 0.0; ///< CostModel estimate.
+  bool feasible = true;      ///< False: listed for Explain only.
+  bool chosen = false;
+  std::string detail;        ///< Operand volumes or the rejection reason.
+};
 
 /// Per-segment slice of a scan after pruning: which global frames of the
 /// segment survive and which rung each tile is served at (-1 = pruned).
@@ -73,6 +105,16 @@ struct PhysicalPlan {
   /// bitstreams — no decode, no re-encode.
   bool transcode_free = false;
   std::vector<std::string> rewrites;  ///< One line per applied rule.
+  /// Costed strategy alternatives for encode sinks (empty for materialize).
+  /// Exactly one entry is `chosen` when non-empty.
+  std::vector<PlanAlternative> alternatives;
+  /// Name of the materialized view the plan scans instead of the source
+  /// (empty when no view-matching rewrite applied).
+  std::string view_served;
+  /// Registration name from an outermost Subscribe operator; empty for
+  /// one-shot queries. The plan itself executes one catch-up pass — the
+  /// ViewMaintainer re-runs it per committed segment.
+  std::string standing_name;
 
   /// Cells addressed by the scans' segment x tile lattice at one rung each.
   int ScannedCells() const;
@@ -92,6 +134,15 @@ struct OptimizeOptions {
   /// When set, the (single) Scan leaf binds to this metadata instead of the
   /// catalog's latest version — export paths pin an explicit version.
   const VideoMetadata* scan_override = nullptr;
+  /// Materialized views offered for the view-matching rewrite (not owned).
+  /// When an incoming encode-sink query is subsumed by a fresh view the
+  /// planner may serve the view's stored cells instead of re-deriving the
+  /// result — counted via the query.view_hits metric.
+  const std::vector<MaterializedViewInfo>* views = nullptr;
+  /// Cost model used to rank alternatives. nullptr (the default) uses
+  /// CostModel::Calibrated(); tests pass an explicit default-constructed
+  /// model so Explain() output is pinned.
+  const CostModel* cost_model = nullptr;
 };
 
 /// Rewrites `query` into an executable plan against `storage`'s catalog.

@@ -233,6 +233,11 @@ class Parser {
       if (args[0].empty()) return Error("tofile needs a path");
       return input.ToFile(args[0]);
     }
+    if (op == "subscribe") {
+      VC_RETURN_IF_ERROR(arity(1));
+      if (args[0].empty()) return Error("subscribe needs a name");
+      return input.Subscribe(args[0]);
+    }
     return Error("unknown operator '" + op + "'");
   }
 

@@ -85,6 +85,10 @@ std::string ManifestBuilder::AppendSegment(const SegmentInfo& segment,
 
 std::string ManifestBuilder::Build(const ManifestLive* live) const {
   std::string out = header_ + body_ + plan_;
+  if (!view_.empty()) {
+    out += "view " + view_.source + " " +
+           std::to_string(view_.source_version) + " " + view_.query + "\n";
+  }
   if (live != nullptr && !live->empty()) {
     char line[96];
     std::snprintf(line, sizeof(line), "live %u %d\n", live->epoch,
@@ -100,9 +104,11 @@ std::string ManifestBuilder::Build(const ManifestLive* live) const {
 }
 
 std::string GenerateManifest(const VideoMetadata& metadata,
-                             const ManifestPlan* plan,
-                             const ManifestLive* live) {
-  return ManifestBuilder(metadata, plan).Build(live);
+                             const ManifestPlan* plan, const ManifestLive* live,
+                             const ManifestView* view) {
+  ManifestBuilder builder(metadata, plan);
+  if (view != nullptr && !view->empty()) builder.SetView(*view);
+  return builder.Build(live);
 }
 
 namespace {
@@ -115,9 +121,10 @@ Status Malformed(size_t line_number, const std::string& what) {
 }  // namespace
 
 Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan,
-                                    ManifestLive* live) {
+                                    ManifestLive* live, ManifestView* view) {
   if (plan != nullptr) plan->entries.clear();
   if (live != nullptr) *live = ManifestLive{};
+  if (view != nullptr) *view = ManifestView{};
   std::istringstream in(text.ToString());
   std::string line;
   size_t line_number = 0;
@@ -133,6 +140,8 @@ Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan,
   std::vector<ManifestPlan::Entry> plan_entries;
   ManifestLive live_overlay;
   bool saw_live = false;
+  ManifestView view_overlay;
+  bool saw_view = false;
 
   while (std::getline(in, line)) {
     ++line_number;
@@ -208,6 +217,25 @@ Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan,
       if (!fields.eof()) return Malformed(line_number, "bad plan entry");
       fields.clear();  // the rung loop always ends in a fail/eof state
       plan_entries.push_back(std::move(entry));
+    } else if (keyword == "view") {
+      if (saw_view) return Malformed(line_number, "duplicate view line");
+      saw_view = true;
+      int64_t source_version = -1;
+      fields >> view_overlay.source >> source_version;
+      if (fields.fail() || view_overlay.source.empty() || source_version < 1 ||
+          source_version > UINT32_MAX) {
+        return Malformed(line_number, "bad view entry");
+      }
+      view_overlay.source_version = static_cast<uint32_t>(source_version);
+      std::string query;
+      std::getline(fields, query);
+      size_t begin = query.find_first_not_of(" \t");
+      size_t end = query.find_last_not_of(" \t\r");
+      if (begin == std::string::npos) {
+        return Malformed(line_number, "view entry missing query text");
+      }
+      view_overlay.query = query.substr(begin, end - begin + 1);
+      fields.clear();  // getline to EOL leaves eof set
     } else if (keyword == "live") {
       if (saw_live) return Malformed(line_number, "duplicate live line");
       saw_live = true;
@@ -292,6 +320,7 @@ Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan,
 
   if (plan != nullptr) plan->entries = std::move(plan_entries);
   if (live != nullptr && saw_live) *live = std::move(live_overlay);
+  if (view != nullptr && saw_view) *view = std::move(view_overlay);
   return metadata;
 }
 

@@ -30,6 +30,7 @@ namespace vc {
 ///     segment <index> <start> <frames>     (one per segment, followed by
 ///     cell <seg> <tile> <quality> <bytes> <crc32>   its tile×quality cells)
 ///     plan <seg> <rung per tile ...>       (optional query-plan overlay)
+///     view <source> <src_version> <query>  (optional materialized-view overlay)
 ///     live <epoch> <complete 0|1>          (optional live overlay)
 ///     publish <seg> <time_ms>              (one per segment when live)
 ///
@@ -56,6 +57,25 @@ struct ManifestPlan {
   std::vector<Entry> entries;  ///< Ascending by segment.
 
   bool empty() const { return entries.empty(); }
+};
+
+/// \brief Optional materialized-view overlay: marks a published video as a
+/// derived video maintained by a standing query (see src/view).
+///
+/// `source`/`source_version` name the catalog video and version the view is
+/// maintained through (its freshness watermark), and `query` is the defining
+/// query's canonical text form (query/parser.h syntax — opaque at this
+/// layer; the view subsystem validates it). A client or operator reading
+/// the manifest can tell exactly what derived content the video holds and
+/// whether it is stale relative to its source.
+struct ManifestView {
+  std::string source;
+  uint32_t source_version = 0;
+  std::string query;  ///< Defining query text; single line, never empty.
+
+  bool empty() const {
+    return source.empty() && source_version == 0 && query.empty();
+  }
 };
 
 /// \brief Optional live overlay: the versioned "this stream is still
@@ -109,6 +129,10 @@ class ManifestBuilder {
   /// carries `complete 1`.
   void SetComplete(bool complete) { live_.complete = complete; }
 
+  /// Attaches (or updates) the materialized-view overlay; subsequent
+  /// Build() calls carry its `view` line. An empty overlay emits nothing.
+  void SetView(ManifestView view) { view_ = std::move(view); }
+
   /// The live overlay accumulated from AppendSegment publish times.
   const ManifestLive& live() const { return live_; }
   int segment_count() const { return segments_; }
@@ -125,22 +149,26 @@ class ManifestBuilder {
   std::string header_;  ///< VCMPD magic through quality lines.
   std::string body_;    ///< Append-only segment + cell lines.
   std::string plan_;    ///< Serialized plan overlay (may be empty).
+  ManifestView view_;
   ManifestLive live_;
   int segments_ = 0;
   int tiles_ = 0;
   int qualities_ = 0;
 };
 
-/// `plan` / `live`, when non-null and non-empty, append their overlays.
+/// `plan` / `live` / `view`, when non-null and non-empty, append their
+/// overlays.
 std::string GenerateManifest(const VideoMetadata& metadata,
                              const ManifestPlan* plan = nullptr,
-                             const ManifestLive* live = nullptr);
+                             const ManifestLive* live = nullptr,
+                             const ManifestView* view = nullptr);
 
-/// Parses a manifest back into metadata (validated). When `plan` / `live`
-/// are non-null they receive the matching overlay (cleared first; left
-/// empty when the manifest carries none).
+/// Parses a manifest back into metadata (validated). When `plan` / `live` /
+/// `view` are non-null they receive the matching overlay (cleared first;
+/// left empty when the manifest carries none).
 Result<VideoMetadata> ParseManifest(Slice text, ManifestPlan* plan = nullptr,
-                                    ManifestLive* live = nullptr);
+                                    ManifestLive* live = nullptr,
+                                    ManifestView* view = nullptr);
 
 }  // namespace vc
 

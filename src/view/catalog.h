@@ -1,0 +1,59 @@
+#ifndef VC_VIEW_CATALOG_H_
+#define VC_VIEW_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "query/optimizer.h"
+#include "storage/storage_manager.h"
+#include "view/definition.h"
+
+namespace vc {
+
+/// \brief Persistent registry of materialized-view definitions.
+///
+/// One "VCVIEW 1" file per view under `<store root>/views/<name>.vcq`,
+/// beside (never inside) the video directories the storage manager owns.
+/// Saves are last-writer-wins whole-file rewrites — the maintainer is the
+/// only writer and serializes them. Candidates() is the optimizer bridge:
+/// it re-parses every definition and offers only *fresh* views (maintained
+/// through the source's latest committed version, view video present) as
+/// rewrite candidates, so a stale view silently stops matching instead of
+/// serving old bytes.
+class ViewCatalog {
+ public:
+  /// `root` is the storage manager's root directory (not owned env).
+  ViewCatalog(Env* env, std::string root);
+
+  /// Writes (or overwrites) `def`'s file.
+  Status Save(const ViewDefinition& def);
+
+  /// Loads and re-validates one definition.
+  Result<ViewDefinition> Load(const std::string& name) const;
+
+  /// Names of every persisted definition, sorted. Missing directory is an
+  /// empty catalog, not an error.
+  Result<std::vector<std::string>> List() const;
+
+  /// Removes a definition (not the view's video). NotFound when absent.
+  Status Drop(const std::string& name);
+
+  /// Fresh view candidates for OptimizeOptions::views, sorted by name.
+  /// Skips (without failing) definitions that are unreadable, never
+  /// maintained, stale against the source's latest version, or whose view
+  /// video is missing.
+  Result<std::vector<MaterializedViewInfo>> Candidates(
+      const StorageManager& storage) const;
+
+ private:
+  std::string PathFor(const std::string& name) const;
+
+  Env* env_;
+  std::string dir_;
+};
+
+}  // namespace vc
+
+#endif  // VC_VIEW_CATALOG_H_

@@ -1,0 +1,172 @@
+#include "view/definition.h"
+
+#include <sstream>
+
+#include "query/algebra.h"
+#include "query/parser.h"
+
+namespace vc {
+
+namespace {
+
+/// View names become file and catalog names; keep them one safe token.
+Status ValidateName(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty view name");
+  for (char c : name) {
+    if (c <= ' ' || c == '/' || c == '\\' || c == 0x7f) {
+      return Status::InvalidArgument("view name '" + name +
+                                     "' has unsafe characters");
+    }
+  }
+  return Status::OK();
+}
+
+/// Validates the defining query's shape for view `name` and returns the
+/// scanned source video: store(<name>) sink, single Scan leaf, no nested
+/// subscribe/union/sinks.
+Result<std::string> ValidateDefiningQuery(const Query& query,
+                                          const std::string& name) {
+  const LogicalNode* node = query.root().get();
+  if (node == nullptr) return Status::InvalidArgument("empty defining query");
+  if (node->kind != LogicalOpKind::kStore) {
+    return Status::InvalidArgument(
+        "defining query must sink into store(" + name + ")");
+  }
+  if (node->target != name) {
+    return Status::InvalidArgument("defining query stores into '" +
+                                   node->target + "', not view '" + name +
+                                   "'");
+  }
+  node = node->inputs[0].get();
+  while (node != nullptr) {
+    switch (node->kind) {
+      case LogicalOpKind::kScan:
+        return node->video;
+      case LogicalOpKind::kUnion:
+        return Status::InvalidArgument(
+            "materialized views take a single scan, not a union");
+      case LogicalOpKind::kStore:
+      case LogicalOpKind::kToFile:
+      case LogicalOpKind::kSubscribe:
+        return Status::InvalidArgument(
+            std::string(LogicalOpName(node->kind)) +
+            " cannot appear inside a view definition");
+      default:
+        node = node->inputs.empty() ? nullptr : node->inputs[0].get();
+    }
+  }
+  return Status::InvalidArgument("defining query has no scan");
+}
+
+}  // namespace
+
+std::string ViewDefinition::Serialize() const {
+  std::string out = "VCVIEW 1\n";
+  out += "name " + name + "\n";
+  out += "source " + source + " " + std::to_string(source_version) + "\n";
+  out += "segments " + std::to_string(segments) + "\n";
+  out += "query " + query + "\n";
+  return out;
+}
+
+Result<ViewDefinition> ParseViewDefinition(Slice text) {
+  std::istringstream in(text.ToString());
+  std::string line;
+  if (!std::getline(in, line) || (line != "VCVIEW 1" && line != "VCVIEW 1\r")) {
+    return Status::Corruption("view definition: bad magic");
+  }
+  ViewDefinition def;
+  bool saw_name = false;
+  bool saw_source = false;
+  bool saw_segments = false;
+  bool saw_query = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "name") {
+      if (saw_name) return Status::Corruption("view definition: dup name");
+      std::string extra;
+      if (!(fields >> def.name) || (fields >> extra)) {
+        return Status::Corruption("view definition: bad name line");
+      }
+      saw_name = true;
+    } else if (keyword == "source") {
+      if (saw_source) return Status::Corruption("view definition: dup source");
+      long long version = -1;
+      std::string extra;
+      if (!(fields >> def.source >> version) || (fields >> extra) ||
+          version < 0 || version > 0xffffffffLL) {
+        return Status::Corruption("view definition: bad source line");
+      }
+      def.source_version = static_cast<uint32_t>(version);
+      saw_source = true;
+    } else if (keyword == "segments") {
+      if (saw_segments) {
+        return Status::Corruption("view definition: dup segments");
+      }
+      long long count = -1;
+      std::string extra;
+      if (!(fields >> count) || (fields >> extra) || count < 0 ||
+          count > 0x7fffffffLL) {
+        return Status::Corruption("view definition: bad segments line");
+      }
+      def.segments = static_cast<int>(count);
+      saw_segments = true;
+    } else if (keyword == "query") {
+      if (saw_query) return Status::Corruption("view definition: dup query");
+      std::string rest;
+      std::getline(fields, rest);
+      size_t start = rest.find_first_not_of(" \t");
+      size_t end = rest.find_last_not_of(" \t");
+      if (start == std::string::npos) {
+        return Status::Corruption("view definition: empty query");
+      }
+      def.query = rest.substr(start, end - start + 1);
+      saw_query = true;
+    } else {
+      return Status::Corruption("view definition: unknown keyword '" +
+                                keyword + "'");
+    }
+  }
+  if (!saw_name || !saw_source || !saw_segments || !saw_query) {
+    return Status::Corruption("view definition: missing fields");
+  }
+  VC_RETURN_IF_ERROR(ValidateName(def.name));
+  // Never-maintained definitions carry version 0 and no segments; anything
+  // maintained must name a real version.
+  if (def.source_version == 0 && def.segments != 0) {
+    return Status::Corruption(
+        "view definition: segments without a source version");
+  }
+  Result<Query> parsed = ParseQuery(Slice(def.query));
+  if (!parsed.ok()) {
+    return Status::Corruption("view definition: defining query: " +
+                              parsed.status().ToString());
+  }
+  std::string scanned;
+  VC_ASSIGN_OR_RETURN(scanned, ValidateDefiningQuery(*parsed, def.name));
+  if (scanned != def.source) {
+    return Status::Corruption("view definition: query scans '" + scanned +
+                              "' but source says '" + def.source + "'");
+  }
+  // Canonicalize so Serialize() is a fixed point of parse -> serialize.
+  def.query = parsed->ToString();
+  return def;
+}
+
+Result<ViewDefinition> MakeViewDefinition(const std::string& name,
+                                          Slice query_text) {
+  VC_RETURN_IF_ERROR(ValidateName(name));
+  Result<Query> parsed = ParseQuery(query_text);
+  if (!parsed.ok()) return parsed.status();
+  ViewDefinition def;
+  def.name = name;
+  VC_ASSIGN_OR_RETURN(def.source, ValidateDefiningQuery(*parsed, name));
+  def.query = parsed->ToString();
+  return def;
+}
+
+}  // namespace vc

@@ -1,0 +1,58 @@
+#ifndef VC_VIEW_DEFINITION_H_
+#define VC_VIEW_DEFINITION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace vc {
+
+// A materialized view's persisted definition: the defining query plus how
+// far maintenance has progressed. Definitions live next to the catalog
+// (one "VCVIEW 1" text file per view, see view/catalog.h) so a restarted
+// process can re-offer fresh views to the optimizer and refresh stale ones.
+//
+// Format (line-oriented, keyword-first, one of each line, any order after
+// the magic):
+//
+//     VCVIEW 1
+//     name <view>
+//     source <video> <version>
+//     segments <count>
+//     query <canonical defining query>
+//
+// `source <video> 0` / `segments 0` means the view was defined but never
+// maintained. The query line holds the *canonical* text form
+// (ParseQuery -> Query::ToString), must parse, must sink into
+// `store(<view>)`, and must scan exactly `<video>` — ParseViewDefinition
+// re-validates all of that, so a parsed definition always round-trips:
+// Parse(Serialize(Parse(x))) == Parse(x).
+
+struct ViewDefinition {
+  std::string name;            ///< View (derived video) catalog name.
+  std::string source;          ///< The defining query's scanned video.
+  uint32_t source_version = 0; ///< Source version maintained through; 0 =
+                               ///< never maintained.
+  int segments = 0;            ///< Defining-plan slices materialized so far.
+  std::string query;           ///< Canonical defining query text.
+
+  /// The "VCVIEW 1" text form.
+  std::string Serialize() const;
+};
+
+/// Parses and fully validates a "VCVIEW 1" definition (see format above).
+Result<ViewDefinition> ParseViewDefinition(Slice text);
+
+/// Builds a fresh (never-maintained) definition for view `name` from a
+/// defining query: parses `query_text`, requires a single Scan leaf and a
+/// `store(<name>)` sink (no subscribe, no union), canonicalizes the text,
+/// and derives `source` from the scan. This is the only constructor the
+/// create paths (vcctl `view create`, ViewMaintainer::Register) use.
+Result<ViewDefinition> MakeViewDefinition(const std::string& name,
+                                          Slice query_text);
+
+}  // namespace vc
+
+#endif  // VC_VIEW_DEFINITION_H_

@@ -93,6 +93,18 @@ TEST(QueryAlgebraTest, UnionAndSinksRoundTrip) {
   EXPECT_EQ(reparsed->ToString(), q.ToString());
 }
 
+TEST(QueryAlgebraTest, SubscribeRoundTrip) {
+  Query q = Query::Scan("cam")
+                .QualityFloor("high")
+                .Encode()
+                .Store("cam_hi")
+                .Subscribe("cam_hi");
+  auto reparsed = ParseQuery(Slice(q.ToString()));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToString(), q.ToString());
+  EXPECT_FALSE(ParseQuery(Slice("scan(a) | subscribe()")).ok());
+}
+
 TEST(QueryAlgebraTest, ParserReportsOffset) {
   auto bad = ParseQuery(Slice("scan(venice) | warp(1,2)"));
   ASSERT_FALSE(bad.ok());
@@ -197,6 +209,58 @@ TEST_F(QueryTest, ExplainGolden) {
             "rewrites:\n"
             "  - timeslice->segments: frames [0,7] -> segments [0,0] of 4\n"
             "  - quality-pushdown: serve stored rung 0 ('high')\n");
+}
+
+TEST_F(QueryTest, ExplainCostAlternativesGolden) {
+  // A hand-stored video with 1000-byte cells pins the operand volumes, and
+  // the explicit default CostModel pins the coefficients, so the estimates
+  // below are pure arithmetic: cost-model changes show up as a text diff.
+  VideoMetadata m;
+  m.name = "flat";
+  m.width = 128;
+  m.height = 64;
+  m.fps_times_100 = 800;
+  m.frames_per_segment = 8;
+  m.tile_rows = 2;
+  m.tile_cols = 2;
+  m.ladder = {{"only", 30}};
+  m.segments = {{0, 8}, {8, 8}};
+  auto stored = storage()->StoreVideo(
+      m, std::vector<std::vector<uint8_t>>(8, std::vector<uint8_t>(1000, 7)));
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+
+  const CostModel pinned;
+  OptimizeOptions options;
+  options.cost_model = &pinned;
+  Query q = Query::Scan("flat").QualityFloor("only").Encode();
+  auto plan = Optimize(q, storage(), options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->Explain(),
+            "plan: sink=encode transcode=elided\n"
+            "scan flat v1: 2 segments, 2x2 tiles, 1 rungs\n"
+            "  s0 frames [0,7] tiles 0@0,1@0,2@0,3@0\n"
+            "  s1 frames [8,15] tiles 0@0,1@0,2@0,3@0\n"
+            "cells: scan 8 of 8 (pruned 0 = 0.0%)\n"
+            "alternatives:\n"
+            "  - stitch: est 0.320ms (8 cells, 8000B stored) [chosen]\n"
+            "  - re-encode: est 19.009ms (would change output bytes "
+            "(re-quantizes elided plan)) [infeasible]\n"
+            "rewrites:\n"
+            "  - quality-pushdown: serve stored rung 0 ('only')\n"
+            "  - transcode-elision: full grid of whole segments at rung 0 -> "
+            "stitch stored bitstreams, no transcode\n"
+            "  - cost-choice: stitch est 0.320ms (cheapest of 2 "
+            "alternatives)\n");
+}
+
+TEST_F(QueryTest, SubscribePeelsToStandingName) {
+  Query q =
+      Query::Scan("venice").QualityFloor("high").Encode().Subscribe("watch");
+  auto plan = Optimize(q, storage());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->standing_name, "watch");
+  EXPECT_EQ(plan->sink, SinkKind::kEncode);
+  EXPECT_NE(plan->Explain().find(" standing=watch"), std::string::npos);
 }
 
 TEST_F(QueryTest, OptimizeErrors) {
